@@ -1,0 +1,36 @@
+//! Criterion bench for the estimator: training-data collection and the
+//! closed-form fit (§V-B, §VI-A).
+
+use autoindex_bench::experiments::estimator_validation;
+use autoindex_estimator::{OneLayerRegression, TrainConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimator");
+    g.sample_size(10);
+    g.bench_function("collect_and_9fold_cv", |b| {
+        b.iter(|| black_box(estimator_validation(black_box(60))))
+    });
+
+    // Pure model fit on synthetic data.
+    let data: Vec<([f64; 3], f64)> = (0..2_000)
+        .map(|i| {
+            let a = (i % 997) as f64 * 3.0 + 1.0;
+            let io = (i % 31) as f64;
+            let cpu = (i % 13) as f64 * 0.5;
+            ([a, io, cpu], a + 1.3 * io + 1.15 * cpu)
+        })
+        .collect();
+    g.bench_function("fit_2000_samples", |b| {
+        b.iter(|| {
+            black_box(
+                OneLayerRegression::train(black_box(&data), &TrainConfig::default()).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 10: tuning TPC-C 100x under four storage
+//! budgets.
+
+use autoindex_bench::experiments::fig10_storage;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_storage");
+    g.sample_size(10);
+    g.bench_function("four_budgets", |b| {
+        b.iter(|| black_box(fig10_storage(black_box(30))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 9: rounds of dynamic TPC-C tuning with data
+//! growth between rounds.
+
+use autoindex_bench::experiments::fig9_dynamic;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_dynamic");
+    g.sample_size(10);
+    g.bench_function("three_rounds", |b| {
+        b.iter(|| black_box(fig9_dynamic(black_box(3), black_box(40))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! Shared harness for regenerating the paper's evaluation (§VI).
+//!
+//! Each experiment (Figures 1, 5–10; Tables I–III; the §VI-A estimator
+//! validation) has a function in [`experiments`] that builds the scenario,
+//! runs the three methods — `Default`, `Greedy`, `AutoIndex` — and returns
+//! the rows the paper reports. The `repro` binary pretty-prints them; the
+//! Criterion benches time the interesting parts.
+//!
+//! Fairness rules from §VI-A are enforced structurally:
+//! * Greedy and AutoIndex share one trained benefit estimator;
+//! * Default is the scenario's shipped configuration (primary keys for the
+//!   TPC suites, the 263 DBA indexes for banking);
+//! * measurements run the same statement stream against the same database
+//!   state, resetting indexes between methods.
+
+pub mod experiments;
+
+use autoindex_core::{greedy_select, AutoIndex, AutoIndexConfig, GreedyConfig};
+use autoindex_core::{CandidateConfig, CandidateGenerator};
+use autoindex_estimator::{
+    CollectConfig, CostEstimator, LearnedCostEstimator, TrainConfig, TrainingSet,
+};
+use autoindex_storage::index::IndexDef;
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::{SimDb, SimDbConfig, WorkloadMeasurement};
+use autoindex_sql::{parse_statement, Statement};
+use autoindex_workloads::Scenario;
+use std::time::{Duration, Instant};
+
+/// The three compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Default,
+    Greedy,
+    AutoIndex,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::Default => "Default",
+            Method::Greedy => "Greedy",
+            Method::AutoIndex => "AutoIndex",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One measured row of a comparison table.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    pub method: Method,
+    pub total_latency_ms: f64,
+    pub throughput: f64,
+    pub index_count: usize,
+    pub index_bytes: u64,
+    /// Wall-clock tuning time (zero for Default).
+    pub tuning_time: Duration,
+    /// Indexes the method added on top of Default.
+    pub added: Vec<IndexDef>,
+    /// Indexes the method removed from Default.
+    pub removed: Vec<IndexDef>,
+}
+
+/// Fresh database for a scenario with its Default indexes installed.
+pub fn fresh_db(scenario: &Scenario, db_config: SimDbConfig) -> SimDb {
+    let mut db = SimDb::new(scenario.catalog.clone(), db_config);
+    for d in &scenario.default_indexes {
+        db.create_index(d.clone()).expect("scenario default index");
+    }
+    db
+}
+
+/// Parse a workload (panicking on generator bugs).
+pub fn parse_workload(queries: &[String]) -> Vec<Statement> {
+    queries
+        .iter()
+        .map(|q| parse_statement(q).expect("generated SQL parses"))
+        .collect()
+}
+
+/// Train the shared benefit estimator for a scenario on a sampled history,
+/// probing configurations drawn from the scenario's candidate pool.
+pub fn train_estimator(
+    db: &mut SimDb,
+    history: &[Statement],
+    pool_hint: &[IndexDef],
+) -> LearnedCostEstimator {
+    let mut pool: Vec<IndexDef> = pool_hint.to_vec();
+    pool.truncate(12); // Training probes a subset; more adds little.
+    let set = TrainingSet::collect(db, history, &pool, &CollectConfig::default());
+    let model = set
+        .train(&TrainConfig::default())
+        .expect("training set is non-empty for non-empty history");
+    LearnedCostEstimator::new(model)
+}
+
+/// Candidate pool for estimator training: what candgen finds on the
+/// workload's templates (plus the defaults, so the trainer also sees
+/// near-production configurations).
+pub fn candidate_pool(db: &SimDb, stmts: &[Statement], defaults: &[IndexDef]) -> Vec<IndexDef> {
+    let shapes: Vec<(QueryShape, u64)> = stmts
+        .iter()
+        .take(2_000)
+        .map(|s| (QueryShape::extract(s, db.catalog()), 1))
+        .collect();
+    let mut pool = CandidateGenerator::new(CandidateConfig::default()).generate(
+        &shapes,
+        db.catalog(),
+        defaults,
+    );
+    pool.truncate(10);
+    pool
+}
+
+/// Run `stmts` against `db` and measure.
+pub fn measure(db: &mut SimDb, stmts: &[Statement]) -> WorkloadMeasurement {
+    db.run_workload(stmts)
+}
+
+/// Apply a method to a fresh scenario database and measure it on `eval`.
+///
+/// `observe` is the query stream the tuner sees (usually a prefix of the
+/// workload); `eval` is the measured slice.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method<E: CostEstimator>(
+    method: Method,
+    scenario: &Scenario,
+    db_config: SimDbConfig,
+    estimator: &E,
+    observe: &[String],
+    eval: &[Statement],
+    budget: Option<u64>,
+    concurrency: u32,
+) -> MethodResult {
+    let mut db = fresh_db(scenario, db_config);
+    let before_defs: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
+    let mut tuning_time = Duration::ZERO;
+
+    match method {
+        Method::Default => {}
+        Method::Greedy => {
+            let t0 = Instant::now();
+            // Greedy enumerates every query (§VI-B: "Greedy enumerated each
+            // query and parsed the candidate indexes from those queries").
+            let shapes: Vec<(QueryShape, u64)> = observe
+                .iter()
+                .filter_map(|q| parse_statement(q).ok())
+                .map(|s| (QueryShape::extract(&s, db.catalog()), 1))
+                .collect();
+            let existing: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
+            let candidates = CandidateGenerator::new(CandidateConfig::default()).generate(
+                &shapes,
+                db.catalog(),
+                &existing,
+            );
+            let picked = greedy_select(
+                &db,
+                estimator,
+                &shapes,
+                &candidates,
+                &existing,
+                &GreedyConfig {
+                    budget,
+                    max_indexes: None,
+                },
+            );
+            tuning_time = t0.elapsed();
+            for d in picked {
+                let _ = db.create_index(d);
+            }
+        }
+        Method::AutoIndex => {
+            let t0 = Instant::now();
+            let mut ai = AutoIndex::new(
+                AutoIndexConfig {
+                    storage_budget: budget,
+                    ..AutoIndexConfig::default()
+                },
+                BorrowedEstimator(estimator),
+            );
+            ai.observe_batch(observe.iter().map(String::as_str), &db);
+            let _ = ai.tune(&mut db);
+            tuning_time = t0.elapsed();
+        }
+    }
+
+    let after_defs: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
+    let added = after_defs
+        .iter()
+        .filter(|d| !before_defs.contains(d))
+        .cloned()
+        .collect();
+    let removed = before_defs
+        .iter()
+        .filter(|d| !after_defs.contains(d))
+        .cloned()
+        .collect();
+
+    let m = measure(&mut db, eval);
+    MethodResult {
+        method,
+        total_latency_ms: m.total_latency_ms,
+        throughput: m.throughput(concurrency),
+        index_count: db.index_count(),
+        index_bytes: db.total_index_bytes(),
+        tuning_time,
+        added,
+        removed,
+    }
+}
+
+/// Adapter: use a borrowed estimator where an owned one is expected.
+pub struct BorrowedEstimator<'a, E: CostEstimator>(pub &'a E);
+
+impl<'a, E: CostEstimator> CostEstimator for BorrowedEstimator<'a, E> {
+    fn workload_cost(
+        &self,
+        db: &SimDb,
+        workload: &autoindex_estimator::TemplateWorkload,
+        config: &[IndexDef],
+    ) -> f64 {
+        self.0.workload_cost(db, workload, config)
+    }
+}
+
+/// Format bytes human-readably.
+pub fn fmt_bytes(b: u64) -> String {
+    const MB: f64 = (1u64 << 20) as f64;
+    const GB: f64 = (1u64 << 30) as f64;
+    let b = b as f64;
+    if b >= GB {
+        format!("{:.2} GiB", b / GB)
+    } else {
+        format!("{:.1} MiB", b / MB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_workloads::tpcc::{self, TpccScale};
+
+    #[test]
+    fn run_method_orders_sanely_on_tpcc() {
+        let scenario = tpcc::scenario(TpccScale::X1);
+        let mut generator = tpcc::TpccGenerator::new(TpccScale::X1, 3);
+        let queries = generator.generate(120);
+        let stmts = parse_workload(&queries);
+        let est = NativeCostEstimator;
+        let run = |m| {
+            run_method(
+                m,
+                &scenario,
+                SimDbConfig::default(),
+                &est,
+                &queries,
+                &stmts,
+                None,
+                32,
+            )
+        };
+        let d = run(Method::Default);
+        let a = run(Method::AutoIndex);
+        assert!(d.index_count <= a.index_count);
+        assert!(a.total_latency_ms <= d.total_latency_ms * 1.02);
+        assert!(a.tuning_time > Duration::ZERO);
+    }
+}

@@ -1,0 +1,627 @@
+//! Template-based candidate index generation (§IV-A steps 2–3).
+//!
+//! For every template shape, three classes of expressions produce
+//! candidates:
+//!
+//! 1. **Filter predicates** — each DNF conjunct whose combined selectivity
+//!    passes the threshold yields one composite candidate: equality columns
+//!    first (most selective first), then at most one range column. A
+//!    conjunct that filters too little ("low selectivity" in the paper's
+//!    terminology) is discarded.
+//! 2. **Join predicates** — each equi-join edge yields a candidate on the
+//!    join column of the *driven* table (the smaller side, looked up during
+//!    the join). Additionally, a composite `(join column + equality filter
+//!    columns)` candidate is generated when the driven side also carries
+//!    equality filters — the classic index-nested-loop accelerator. (The
+//!    paper generates the join-column candidate; the composite extension is
+//!    documented in DESIGN.md.)
+//! 3. **GROUP/ORDER expressions** — the involved columns, when the
+//!    expression takes effect (non-trivial cardinality, columns exist).
+//!
+//! Step 3 then deduplicates, merges by the leftmost-prefix principle
+//! (keep `(a,b)`, drop `a`), and subtracts indexes that already exist.
+//! For partitioned tables a LOCAL variant is emitted alongside the GLOBAL
+//! one, supporting §III's index *type* selection.
+
+use autoindex_sql::predicate::AtomicPredicate;
+use autoindex_storage::catalog::Catalog;
+use autoindex_storage::index::{IndexDef, IndexScope};
+use autoindex_storage::selectivity::atom_selectivity;
+use autoindex_storage::shape::QueryShape;
+
+/// Candidate generation parameters.
+#[derive(Debug, Clone)]
+pub struct CandidateConfig {
+    /// A conjunct must keep at most this fraction of rows to be indexable
+    /// (the paper's example threshold: 1/3).
+    pub selectivity_threshold: f64,
+    /// Maximum columns in a generated composite index.
+    pub max_index_columns: usize,
+    /// Generate LOCAL variants for partitioned tables.
+    pub partitioned_variants: bool,
+    /// Generate `(join col + equality filters)` composites.
+    pub join_filter_composites: bool,
+    /// Skip index candidates on tables smaller than this (a tiny table is
+    /// always cached and scanned faster than it is sought).
+    pub min_table_rows: u64,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            selectivity_threshold: 1.0 / 3.0,
+            max_index_columns: 4,
+            partitioned_variants: true,
+            join_filter_composites: true,
+            min_table_rows: 100,
+        }
+    }
+}
+
+/// The candidate index generator.
+pub struct CandidateGenerator {
+    pub config: CandidateConfig,
+}
+
+impl CandidateGenerator {
+    /// Generator with the given config.
+    pub fn new(config: CandidateConfig) -> Self {
+        CandidateGenerator { config }
+    }
+
+    /// Generate candidates for a template workload against `catalog`,
+    /// excluding (anything covered by) `existing`.
+    pub fn generate(
+        &self,
+        workload: &[(QueryShape, u64)],
+        catalog: &Catalog,
+        existing: &[IndexDef],
+    ) -> Vec<IndexDef> {
+        let mut raw: Vec<IndexDef> = Vec::new();
+        for (shape, _count) in workload {
+            self.candidates_from_shape(shape, catalog, existing, &mut raw);
+        }
+        self.reduce(raw, catalog, existing)
+    }
+
+    /// Candidates from one shape (pre-merge).
+    fn candidates_from_shape(
+        &self,
+        shape: &QueryShape,
+        catalog: &Catalog,
+        existing: &[IndexDef],
+        out: &mut Vec<IndexDef>,
+    ) {
+        // (1) Filter predicates: one composite per DNF conjunct.
+        for t in &shape.tables {
+            let Some(table) = catalog.table(&t.table) else {
+                continue;
+            };
+            if table.rows < self.config.min_table_rows {
+                continue;
+            }
+            for group in &t.conjunct_groups {
+                if let Some(cols) = self.conjunct_columns(group, table, existing) {
+                    out.push(IndexDef::new(t.table.clone(), &to_strs(&cols)));
+                }
+            }
+        }
+
+        // (2) Join predicates: driven-table join column (+ filter composite).
+        for e in &shape.joins {
+            let lt = catalog.table(&e.left_table);
+            let rt = catalog.table(&e.right_table);
+            let (driven_table, driven_col) = match (lt, rt) {
+                (Some(l), Some(r)) => {
+                    if l.rows <= r.rows {
+                        (&e.left_table, &e.left_column)
+                    } else {
+                        (&e.right_table, &e.right_column)
+                    }
+                }
+                (Some(_), None) => (&e.left_table, &e.left_column),
+                (None, Some(_)) => (&e.right_table, &e.right_column),
+                (None, None) => continue,
+            };
+            let driven_ok = catalog.table(driven_table).is_some_and(|table| {
+                table.rows >= self.config.min_table_rows && table.column(driven_col).is_some()
+            });
+            if driven_ok {
+                let table = catalog.table(driven_table).expect("checked above");
+                out.push(IndexDef::new(driven_table.clone(), &[driven_col]));
+
+                // Composite: join column + the driven table's equality filters.
+                if self.config.join_filter_composites {
+                    if let Some(t) = shape.table(driven_table) {
+                        let mut cols = vec![driven_col.clone()];
+                        for atom in &t.conjuncts {
+                            if cols.len() >= self.config.max_index_columns {
+                                break;
+                            }
+                            if atom.is_sargable() && atom.is_equality() {
+                                if let Some(c) = atom.restricted_column() {
+                                    if !cols.contains(&c.column)
+                                        && table.column(&c.column).is_some()
+                                    {
+                                        cols.push(c.column.clone());
+                                    }
+                                }
+                            }
+                        }
+                        if cols.len() > 1 {
+                            out.push(IndexDef::new(driven_table.clone(), &to_strs(&cols)));
+                        }
+                    }
+                }
+            }
+            // The join also serves the other side: an index on the bigger
+            // table's join column lets it be driven when the plan flips.
+            let (other_table, other_col) =
+                if driven_table == &e.left_table && driven_col == &e.left_column {
+                    (&e.right_table, &e.right_column)
+                } else {
+                    (&e.left_table, &e.left_column)
+                };
+            if let Some(ot) = catalog.table(other_table) {
+                if ot.rows >= self.config.min_table_rows && ot.column(other_col).is_some() {
+                    out.push(IndexDef::new(other_table.clone(), &[other_col]));
+                }
+            }
+        }
+
+        // (3) GROUP/ORDER expressions.
+        for t in &shape.tables {
+            let Some(table) = catalog.table(&t.table) else {
+                continue;
+            };
+            if table.rows < self.config.min_table_rows {
+                continue;
+            }
+            for cols in [&t.group_columns, &t.order_columns] {
+                if cols.is_empty() || cols.len() > self.config.max_index_columns {
+                    continue;
+                }
+                if !cols.iter().all(|c| table.column(c).is_some()) {
+                    continue;
+                }
+                // "Takes effect": grouping a column that is already unique
+                // per row is pointless.
+                let trivially_distinct = cols.len() == 1
+                    && table
+                        .column(&cols[0])
+                        .is_some_and(|c| c.stats.ndv >= table.rows as f64 * 0.99)
+                    && !t.order_columns.contains(&cols[0]);
+                if trivially_distinct {
+                    continue;
+                }
+                out.push(IndexDef::new(t.table.clone(), &to_strs(cols)));
+            }
+        }
+    }
+
+    /// Order and threshold one DNF conjunct: equality atoms (most selective
+    /// first), then the single most selective range atom. Returns `None`
+    /// when the conjunct filters too little, or when an existing index
+    /// already serves it as well as the candidate would (equality columns
+    /// commute, so this is a permutation-aware check: the customer primary
+    /// key `(c_w_id, c_d_id, c_id)` fully serves a would-be candidate
+    /// `(c_id, c_d_id, c_w_id)`).
+    fn conjunct_columns(
+        &self,
+        group: &[AtomicPredicate],
+        table: &autoindex_storage::catalog::Table,
+        existing: &[IndexDef],
+    ) -> Option<Vec<String>> {
+        let mut eqs: Vec<(&AtomicPredicate, f64)> = Vec::new();
+        let mut ranges: Vec<(&AtomicPredicate, f64)> = Vec::new();
+        for a in group {
+            if !a.is_sargable() {
+                continue;
+            }
+            let Some(col) = a.restricted_column() else {
+                continue;
+            };
+            if table.column(&col.column).is_none() {
+                continue;
+            }
+            let sel = atom_selectivity(a, table);
+            if a.is_equality() {
+                eqs.push((a, sel));
+            } else {
+                ranges.push((a, sel));
+            }
+        }
+        if eqs.is_empty() && ranges.is_empty() {
+            return None;
+        }
+        eqs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("selectivity is finite"));
+        ranges.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("selectivity is finite"));
+
+        let mut cols: Vec<String> = Vec::new();
+        let mut combined = 1.0_f64;
+        for (a, sel) in &eqs {
+            let col = &a.restricted_column().expect("checked above").column;
+            if !cols.contains(col) && cols.len() < self.config.max_index_columns {
+                cols.push(col.clone());
+                combined *= sel;
+            }
+        }
+        if let Some((a, sel)) = ranges.first() {
+            let col = &a.restricted_column().expect("checked above").column;
+            if !cols.contains(col) && cols.len() < self.config.max_index_columns {
+                cols.push(col.clone());
+                combined *= sel;
+            }
+        }
+        if cols.is_empty() || combined > self.config.selectivity_threshold {
+            return None;
+        }
+        // Permutation-aware subsumption by an existing index.
+        let (eq_cols, range_col) = if ranges.first().is_some_and(|(a, _)| {
+            a.restricted_column()
+                .is_some_and(|c| cols.last() == Some(&c.column))
+        }) {
+            (&cols[..cols.len() - 1], cols.last())
+        } else {
+            (&cols[..], None)
+        };
+        let served = existing
+            .iter()
+            .filter(|e| e.table == table.name)
+            .any(|e| serves_conjunct(&e.columns, &[], eq_cols, range_col));
+        if served {
+            return None;
+        }
+        Some(cols)
+    }
+
+    /// Step 3: dedupe, merge by leftmost prefix, subtract existing, add
+    /// partitioned variants.
+    fn reduce(
+        &self,
+        mut raw: Vec<IndexDef>,
+        catalog: &Catalog,
+        existing: &[IndexDef],
+    ) -> Vec<IndexDef> {
+        // Dedupe exact definitions.
+        raw.sort_by_key(|d| d.key());
+        raw.dedup();
+
+        // Leftmost-prefix merge: drop any candidate covered by another.
+        let merged: Vec<IndexDef> = raw
+            .iter()
+            .filter(|a| !raw.iter().any(|b| *b != **a && b.covers(a)))
+            .cloned()
+            .collect();
+
+        // Subtract candidates that an existing index already covers.
+        let mut out: Vec<IndexDef> = merged
+            .into_iter()
+            .filter(|c| !existing.iter().any(|e| e.covers(c)))
+            .collect();
+
+        // Partitioned tables: emit a LOCAL twin for index-type selection.
+        if self.config.partitioned_variants {
+            let locals: Vec<IndexDef> = out
+                .iter()
+                .filter(|d| {
+                    catalog
+                        .table(&d.table)
+                        .is_some_and(|t| t.partitions > 1)
+                })
+                .map(|d| d.clone().with_scope(IndexScope::Local))
+                .filter(|l| !existing.contains(l))
+                .collect();
+            out.extend(locals);
+        }
+        out.sort_by(|a, b| a.key().cmp(&b.key()).then(a.scope_key().cmp(&b.scope_key())));
+        out
+    }
+}
+
+fn to_strs(cols: &[String]) -> Vec<&str> {
+    cols.iter().map(String::as_str).collect()
+}
+
+/// Whether an existing index with `index_cols` serves a conjunct of
+/// `fixed_prefix ++ eq_cols (any order) ++ [range_col]` as well as a
+/// purpose-built candidate would: the index must start with exactly
+/// `fixed_prefix`, then consume every equality column (in any order, since
+/// equality columns commute in a B+Tree prefix) and, if present, reach the
+/// range column immediately after.
+fn serves_conjunct(
+    index_cols: &[String],
+    fixed_prefix: &[String],
+    eq_cols: &[String],
+    range_col: Option<&String>,
+) -> bool {
+    if index_cols.len() < fixed_prefix.len() + eq_cols.len() + usize::from(range_col.is_some()) {
+        return false;
+    }
+    // Fixed prefix: position-sensitive.
+    if !index_cols
+        .iter()
+        .zip(fixed_prefix)
+        .all(|(a, b)| a == b)
+    {
+        return false;
+    }
+    let mut remaining: Vec<&String> = eq_cols.iter().collect();
+    let mut i = fixed_prefix.len();
+    while !remaining.is_empty() {
+        let Some(col) = index_cols.get(i) else {
+            return false;
+        };
+        match remaining.iter().position(|c| *c == col) {
+            Some(p) => {
+                remaining.swap_remove(p);
+            }
+            None => return false, // Foreign column interrupts the prefix.
+        }
+        i += 1;
+    }
+    match range_col {
+        None => true,
+        Some(r) => index_cols.get(i) == Some(r),
+    }
+}
+
+/// Ordering helper for deterministic output.
+trait ScopeKey {
+    fn scope_key(&self) -> u8;
+}
+
+impl ScopeKey for IndexDef {
+    fn scope_key(&self) -> u8 {
+        match self.scope {
+            IndexScope::Global => 0,
+            IndexScope::Local => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_storage::catalog::{Column, TableBuilder};
+    use autoindex_storage::shape::QueryShape;
+    use autoindex_sql::parse_statement;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("orders", 1_000_000)
+                .column(Column::int("o_id", 1_000_000))
+                .column(Column::int("o_c_id", 30_000))
+                .column(Column::int("o_w_id", 100))
+                .column(Column::int("o_d_id", 10))
+                .column(Column::float("o_amount", 100_000, 0.0, 10_000.0))
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("customer", 30_000)
+                .column(Column::int("c_id", 30_000))
+                .column(Column::text("c_last", 1_000, 16))
+                .column(Column::int("c_w_id", 100))
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("part_t", 500_000)
+                .column(Column::int("pk", 500_000))
+                .column(Column::int("region", 16))
+                .column(Column::int("val", 250_000))
+                .partitioned(16, "region")
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    fn gen(sqls: &[&str], existing: &[IndexDef]) -> Vec<IndexDef> {
+        let c = catalog();
+        let workload: Vec<(QueryShape, u64)> = sqls
+            .iter()
+            .map(|s| {
+                (
+                    QueryShape::extract(&parse_statement(s).unwrap(), &c),
+                    1u64,
+                )
+            })
+            .collect();
+        CandidateGenerator::new(CandidateConfig::default()).generate(&workload, &c, existing)
+    }
+
+    fn keys(v: &[IndexDef]) -> Vec<String> {
+        v.iter().map(|d| d.to_string()).collect()
+    }
+
+    #[test]
+    fn composite_from_and_conjunct() {
+        let c = gen(&["SELECT * FROM orders WHERE o_c_id = 5 AND o_w_id = 2"], &[]);
+        // Equality atoms ordered most-selective-first: o_c_id (1/30000)
+        // before o_w_id (1/100).
+        assert!(keys(&c).contains(&"orders(o_c_id,o_w_id)".to_string()), "{:?}", keys(&c));
+    }
+
+    #[test]
+    fn range_column_goes_last() {
+        let c = gen(
+            &["SELECT * FROM orders WHERE o_amount > 9000 AND o_c_id = 5"],
+            &[],
+        );
+        assert!(keys(&c).contains(&"orders(o_c_id,o_amount)".to_string()), "{:?}", keys(&c));
+    }
+
+    #[test]
+    fn unselective_conjunct_rejected() {
+        // o_d_id alone keeps 1/10 of rows — passes 1/3; o_amount > tiny
+        // keeps ~all rows — rejected.
+        let c = gen(&["SELECT * FROM orders WHERE o_amount > 1"], &[]);
+        assert!(c.is_empty(), "{:?}", keys(&c));
+    }
+
+    #[test]
+    fn dnf_equivalent_forms_give_same_candidates() {
+        let c1 = gen(
+            &["SELECT * FROM orders WHERE (o_c_id = 1 AND o_w_id = 2) OR (o_c_id = 1 AND o_d_id = 3)"],
+            &[],
+        );
+        let c2 = gen(
+            &["SELECT * FROM orders WHERE o_c_id = 1 AND (o_w_id = 2 OR o_d_id = 3)"],
+            &[],
+        );
+        assert_eq!(keys(&c1), keys(&c2));
+        assert!(keys(&c1).contains(&"orders(o_c_id,o_w_id)".to_string()));
+        assert!(keys(&c1).contains(&"orders(o_c_id,o_d_id)".to_string()));
+    }
+
+    #[test]
+    fn join_generates_driven_table_candidate() {
+        let c = gen(
+            &["SELECT * FROM customer, orders WHERE customer.c_id = orders.o_c_id AND customer.c_w_id = 7"],
+            &[],
+        );
+        let k = keys(&c);
+        // Driven side is the smaller table (customer), but the fact-side
+        // join column is also offered.
+        assert!(k.iter().any(|s| s.starts_with("customer(c_id")), "{k:?}");
+        assert!(k.contains(&"orders(o_c_id)".to_string()), "{k:?}");
+    }
+
+    #[test]
+    fn join_filter_composite_generated() {
+        let c = gen(
+            &["SELECT * FROM customer, orders WHERE customer.c_id = orders.o_c_id AND customer.c_w_id = 7"],
+            &[],
+        );
+        assert!(
+            keys(&c).contains(&"customer(c_id,c_w_id)".to_string()),
+            "{:?}",
+            keys(&c)
+        );
+    }
+
+    #[test]
+    fn group_and_order_candidates() {
+        let c = gen(
+            &["SELECT c_w_id, COUNT(*) FROM customer GROUP BY c_w_id"],
+            &[],
+        );
+        assert!(keys(&c).contains(&"customer(c_w_id)".to_string()));
+        let c = gen(&["SELECT * FROM customer ORDER BY c_last"], &[]);
+        assert!(keys(&c).contains(&"customer(c_last)".to_string()));
+    }
+
+    #[test]
+    fn trivially_distinct_group_skipped() {
+        // Grouping by a unique column takes no effect.
+        let c = gen(&["SELECT c_id, COUNT(*) FROM customer GROUP BY c_id"], &[]);
+        assert!(!keys(&c).contains(&"customer(c_id)".to_string()), "{:?}", keys(&c));
+    }
+
+    #[test]
+    fn leftmost_prefix_merge() {
+        let c = gen(
+            &[
+                "SELECT * FROM orders WHERE o_c_id = 1",
+                "SELECT * FROM orders WHERE o_c_id = 1 AND o_w_id = 2",
+            ],
+            &[],
+        );
+        let k = keys(&c);
+        assert!(k.contains(&"orders(o_c_id,o_w_id)".to_string()));
+        assert!(!k.contains(&"orders(o_c_id)".to_string()), "prefix must merge: {k:?}");
+    }
+
+    #[test]
+    fn permuted_equality_prefix_subsumed_by_existing() {
+        // The PK orders the same equality columns differently; a candidate
+        // for the same conjunct must not be generated.
+        let existing = [IndexDef::new("orders", &["o_w_id", "o_c_id"])];
+        let c = gen(
+            &["SELECT * FROM orders WHERE o_c_id = 1 AND o_w_id = 2"],
+            &existing,
+        );
+        assert!(
+            !keys(&c).iter().any(|k| k.contains("o_c_id,o_w_id")),
+            "{:?}",
+            keys(&c)
+        );
+    }
+
+    #[test]
+    fn range_position_not_permuted() {
+        // (o_amount range) must stay last: an existing index with the range
+        // column in the middle does NOT serve the conjunct.
+        let existing = [IndexDef::new("orders", &["o_amount", "o_c_id"])];
+        let c = gen(
+            &["SELECT * FROM orders WHERE o_amount > 9900 AND o_c_id = 5"],
+            &existing,
+        );
+        assert!(
+            keys(&c).contains(&"orders(o_c_id,o_amount)".to_string()),
+            "{:?}",
+            keys(&c)
+        );
+    }
+
+    #[test]
+    fn serves_conjunct_rules() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+        // Permuted equality prefix.
+        assert!(serves_conjunct(&s(&["a", "b", "c"]), &[], &s(&["b", "a"]), None));
+        // Range must follow the consumed equalities.
+        let r = "r".to_string();
+        assert!(serves_conjunct(&s(&["a", "b", "r"]), &[], &s(&["b", "a"]), Some(&r)));
+        assert!(!serves_conjunct(&s(&["a", "r", "b"]), &[], &s(&["b", "a"]), Some(&r)));
+        // Foreign column interrupting the prefix defeats it.
+        assert!(!serves_conjunct(&s(&["a", "x", "b"]), &[], &s(&["a", "b"]), None));
+        // Fixed prefix is position-sensitive.
+        assert!(serves_conjunct(&s(&["j", "a"]), &s(&["j"]), &s(&["a"]), None));
+        assert!(!serves_conjunct(&s(&["a", "j"]), &s(&["j"]), &s(&["a"]), None));
+        // Too short.
+        assert!(!serves_conjunct(&s(&["a"]), &[], &s(&["a", "b"]), None));
+    }
+
+    #[test]
+    fn existing_indexes_subtracted() {
+        let existing = [IndexDef::new("orders", &["o_c_id", "o_w_id"])];
+        let c = gen(
+            &[
+                "SELECT * FROM orders WHERE o_c_id = 1",
+                "SELECT * FROM orders WHERE o_c_id = 1 AND o_w_id = 2",
+            ],
+            &existing,
+        );
+        assert!(c.is_empty(), "{:?}", keys(&c));
+    }
+
+    #[test]
+    fn partitioned_table_gets_local_variant() {
+        let c = gen(&["SELECT * FROM part_t WHERE val = 7"], &[]);
+        let k = keys(&c);
+        assert!(k.contains(&"part_t(val)".to_string()), "{k:?}");
+        assert!(k.contains(&"part_t(val) LOCAL".to_string()), "{k:?}");
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let sqls = [
+            "SELECT * FROM orders WHERE o_c_id = 1 AND o_w_id = 2",
+            "SELECT * FROM customer WHERE c_last = 'X'",
+        ];
+        assert_eq!(keys(&gen(&sqls, &[])), keys(&gen(&sqls, &[])));
+    }
+
+    #[test]
+    fn subquery_tables_produce_candidates() {
+        let c = gen(
+            &["SELECT * FROM orders WHERE o_c_id IN (SELECT c_id FROM customer WHERE c_last = 'BARBAR')"],
+            &[],
+        );
+        let k = keys(&c);
+        assert!(k.iter().any(|s| s.contains("c_last")), "{k:?}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Index Diagnosis (§III).
+//!
+//! "Index Diagnosis monitors the system metrics during workload execution
+//! … we compute the ratio of three classes of indexes: (i) beneficial
+//! indexes that have not been created, (ii) rarely-used indexes, and (iii)
+//! indexes that have negative effects to the workload performance. If the
+//! ratio of those indexes is higher than a threshold, we will issue an
+//! index tuning request."
+//!
+//! Classes (ii) and (iii) come from the database's usage counters; class
+//! (i) is probed cheaply with one what-if evaluation of the full candidate
+//! set against the current configuration.
+
+use crate::candgen::{CandidateConfig, CandidateGenerator};
+use autoindex_estimator::{CostEstimator, TemplateWorkload};
+use autoindex_storage::index::{IndexDef, IndexId};
+use autoindex_storage::SimDb;
+
+/// Diagnosis thresholds.
+#[derive(Debug, Clone)]
+pub struct DiagnosisConfig {
+    /// An index with fewer scans than this over the window is "rarely used".
+    pub rare_scan_threshold: u64,
+    /// Minimum statements in the window before diagnosing at all.
+    pub min_statements: u64,
+    /// Relative workload-cost improvement from the candidate set that
+    /// counts as "beneficial indexes missing".
+    pub missing_benefit_threshold: f64,
+    /// Problem-index ratio above which a tuning request fires.
+    pub trigger_ratio: f64,
+    /// Exempt primary-key indexes from the rarely-used class: they enforce
+    /// uniqueness and are never removable, so flagging them only produces
+    /// tuning rounds that cannot act.
+    pub ignore_primary_keys: bool,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        DiagnosisConfig {
+            rare_scan_threshold: 2,
+            min_statements: 500,
+            missing_benefit_threshold: 0.05,
+            trigger_ratio: 0.15,
+            ignore_primary_keys: true,
+        }
+    }
+}
+
+/// Diagnosis result.
+#[derive(Debug, Clone)]
+pub struct DiagnosisReport {
+    /// Class (ii): indexes almost never scanned in the window.
+    pub rarely_used: Vec<IndexId>,
+    /// Class (iii): indexes whose maintenance exceeded their benefit.
+    pub negative: Vec<IndexId>,
+    /// Class (i): estimated relative improvement were all candidates built.
+    pub missing_benefit: f64,
+    /// Problem ratio: (|ii ∪ iii|)/|indexes|.
+    pub problem_ratio: f64,
+    /// Whether an index tuning request should be issued.
+    pub should_tune: bool,
+}
+
+/// The diagnosis module.
+pub struct IndexDiagnosis {
+    pub config: DiagnosisConfig,
+}
+
+impl IndexDiagnosis {
+    /// With the given thresholds.
+    pub fn new(config: DiagnosisConfig) -> Self {
+        IndexDiagnosis { config }
+    }
+
+    /// Diagnose `db` against the template workload.
+    pub fn diagnose<E: CostEstimator>(
+        &self,
+        db: &SimDb,
+        workload: &TemplateWorkload,
+        estimator: &E,
+    ) -> DiagnosisReport {
+        let usage = db.usage();
+        let total_indexes = db.index_count().max(1);
+
+        let is_pk = |id: IndexId| -> bool {
+            self.config.ignore_primary_keys
+                && db
+                    .index_def(id)
+                    .and_then(|d| db.catalog().table(&d.table).map(|t| (d, t)))
+                    .is_some_and(|(d, t)| {
+                        !t.primary_key.is_empty() && d.columns == t.primary_key
+                    })
+        };
+        let (rarely_used, negative) = if usage.statements >= self.config.min_statements {
+            (
+                usage
+                    .rarely_used(self.config.rare_scan_threshold, self.config.min_statements)
+                    .into_iter()
+                    .filter(|id| !is_pk(*id))
+                    .collect(),
+                usage.negative(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        // An index can be both rare and negative; count it once.
+        let mut problem: Vec<IndexId> = rarely_used.clone();
+        for id in &negative {
+            if !problem.contains(id) {
+                problem.push(*id);
+            }
+        }
+        // Rarely-used includes never-scanned indexes that the tracker has
+        // not seen at all: any real index absent from the tracker.
+        if usage.statements >= self.config.min_statements {
+            for (id, _) in db.indexes() {
+                if usage.usage(id).scans < self.config.rare_scan_threshold
+                    && !problem.contains(&id)
+                    && !is_pk(id)
+                {
+                    problem.push(id);
+                }
+            }
+        }
+        let problem_ratio = problem.len() as f64 / total_indexes as f64;
+
+        // Class (i): what would the full candidate set buy us?
+        let existing: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
+        let candidates = CandidateGenerator::new(CandidateConfig::default()).generate(
+            workload,
+            db.catalog(),
+            &existing,
+        );
+        let missing_benefit = if candidates.is_empty() || workload.is_empty() {
+            0.0
+        } else {
+            let base = estimator.workload_cost(db, workload, &existing);
+            let mut all: Vec<IndexDef> = existing.clone();
+            all.extend(candidates);
+            let with = estimator.workload_cost(db, workload, &all);
+            if base > 0.0 {
+                ((base - with) / base).max(0.0)
+            } else {
+                0.0
+            }
+        };
+
+        let should_tune = problem_ratio > self.config.trigger_ratio
+            || missing_benefit > self.config.missing_benefit_threshold;
+
+        DiagnosisReport {
+            rarely_used,
+            negative,
+            missing_benefit,
+            problem_ratio,
+            should_tune,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::shape::QueryShape;
+    use autoindex_storage::SimDbConfig;
+    use autoindex_sql::parse_statement;
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 500_000)
+                .column(Column::int("a", 500_000))
+                .column(Column::int("b", 5_000))
+                .column(Column::int("c", 50))
+                .build()
+                .unwrap(),
+        );
+        SimDb::new(c, SimDbConfig::default())
+    }
+
+    fn shapes(db: &SimDb, sqls: &[(&str, u64)]) -> Vec<(QueryShape, u64)> {
+        sqls.iter()
+            .map(|(s, n)| {
+                (
+                    QueryShape::extract(&parse_statement(s).unwrap(), db.catalog()),
+                    *n,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_db_with_good_indexes_does_not_fire() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        // Run a healthy workload that uses the index.
+        let q = parse_statement("SELECT * FROM t WHERE a = 1").unwrap();
+        for _ in 0..600 {
+            db.execute(&q);
+        }
+        let w = shapes(&db, &[("SELECT * FROM t WHERE a = 1", 100)]);
+        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
+            &db,
+            &w,
+            &NativeCostEstimator,
+        );
+        assert!(!rep.should_tune, "{rep:?}");
+        assert!(rep.rarely_used.is_empty());
+    }
+
+    #[test]
+    fn missing_beneficial_index_fires() {
+        let mut db = db();
+        let q = parse_statement("SELECT * FROM t WHERE a = 1").unwrap();
+        for _ in 0..600 {
+            db.execute(&q);
+        }
+        let w = shapes(&db, &[("SELECT * FROM t WHERE a = 1", 100)]);
+        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
+            &db,
+            &w,
+            &NativeCostEstimator,
+        );
+        assert!(rep.missing_benefit > 0.5);
+        assert!(rep.should_tune);
+    }
+
+    #[test]
+    fn unused_indexes_fire() {
+        let mut db = db();
+        // Three indexes the workload never touches.
+        db.create_index(IndexDef::new("t", &["b"])).unwrap();
+        db.create_index(IndexDef::new("t", &["c"])).unwrap();
+        db.create_index(IndexDef::new("t", &["b", "c"])).unwrap();
+        let q = parse_statement("SELECT COUNT(*) FROM t").unwrap();
+        for _ in 0..600 {
+            db.execute(&q);
+        }
+        let w = shapes(&db, &[("SELECT COUNT(*) FROM t", 100)]);
+        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
+            &db,
+            &w,
+            &NativeCostEstimator,
+        );
+        assert!(rep.problem_ratio > 0.9);
+        assert!(rep.should_tune);
+    }
+
+    #[test]
+    fn negative_index_detected_via_usage() {
+        let mut db = db();
+        let id = db.create_index(IndexDef::new("t", &["b"])).unwrap();
+        let ins = parse_statement("INSERT INTO t (a, b, c) VALUES (1, 2, 3)").unwrap();
+        for _ in 0..600 {
+            db.execute(&ins);
+        }
+        let w = shapes(&db, &[("INSERT INTO t (a, b, c) VALUES (1, 2, 3)", 100)]);
+        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
+            &db,
+            &w,
+            &NativeCostEstimator,
+        );
+        assert!(rep.negative.contains(&id), "{rep:?}");
+        assert!(rep.should_tune);
+    }
+
+    #[test]
+    fn primary_key_index_exempt_from_rarely_used() {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("p", 100_000)
+                .column(Column::int("id", 100_000))
+                .column(Column::int("x", 1_000))
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::new(c, SimDbConfig::default());
+        db.create_index(IndexDef::new("p", &["id"])).unwrap();
+        db.create_index(IndexDef::new("p", &["x"])).unwrap();
+        // Traffic that uses only the x index.
+        let q = parse_statement("SELECT * FROM p WHERE x = 1").unwrap();
+        for _ in 0..600 {
+            db.execute(&q);
+        }
+        let w = vec![(
+            QueryShape::extract(&q, db.catalog()),
+            100u64,
+        )];
+        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
+            &db,
+            &w,
+            &NativeCostEstimator,
+        );
+        // The unused PK index must not count as a problem.
+        assert!(rep.rarely_used.is_empty(), "{rep:?}");
+        assert!(!rep.should_tune, "{rep:?}");
+
+        // With the exemption off, it does count.
+        let rep = IndexDiagnosis::new(DiagnosisConfig {
+            ignore_primary_keys: false,
+            ..DiagnosisConfig::default()
+        })
+        .diagnose(&db, &w, &NativeCostEstimator);
+        assert!(rep.problem_ratio > 0.0, "{rep:?}");
+    }
+
+    #[test]
+    fn warmup_window_respected() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["b"])).unwrap();
+        // Too few statements to judge.
+        let q = parse_statement("SELECT COUNT(*) FROM t").unwrap();
+        for _ in 0..10 {
+            db.execute(&q);
+        }
+        let w = shapes(&db, &[("SELECT COUNT(*) FROM t", 10)]);
+        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
+            &db,
+            &w,
+            &NativeCostEstimator,
+        );
+        assert!(rep.rarely_used.is_empty());
+        assert_eq!(rep.problem_ratio, 0.0);
+    }
+}

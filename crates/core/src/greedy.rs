@@ -1,0 +1,351 @@
+//! The Greedy baseline (§VI-A).
+//!
+//! "Greedy greedily selected indexes with the highest benefits until
+//! arriving resource limit." Each candidate's benefit is estimated
+//! *standalone* against the current configuration — the method evaluates
+//! single indexes, never combinations, which is precisely the weakness the
+//! policy-tree search addresses: it cannot see substitution (two
+//! overlapping indexes both look great), it cannot trade a big redundant
+//! index for two small complementary ones, and it never removes anything.
+//!
+//! To keep the comparison fair (§VI-A), Greedy uses the *same* cost
+//! estimator as AutoIndex.
+
+use autoindex_estimator::{CostEstimator, TemplateWorkload};
+use autoindex_storage::index::IndexDef;
+use autoindex_storage::SimDb;
+
+/// Greedy parameters.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyConfig {
+    /// Storage budget in bytes for *added* indexes plus existing ones
+    /// (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Optional cap on the number of added indexes.
+    pub max_indexes: Option<usize>,
+}
+
+/// One scored candidate, as ranked by Greedy.
+#[derive(Debug, Clone)]
+pub struct ScoredCandidate {
+    pub def: IndexDef,
+    /// Standalone estimated cost reduction against the existing config.
+    pub benefit: f64,
+    /// Estimated size in bytes.
+    pub size: u64,
+}
+
+/// Select indexes greedily: rank candidates by standalone benefit, take
+/// from the top while the budget lasts. Returns the added definitions.
+pub fn greedy_select<E: CostEstimator>(
+    db: &SimDb,
+    estimator: &E,
+    workload: &TemplateWorkload,
+    candidates: &[IndexDef],
+    existing: &[IndexDef],
+    config: &GreedyConfig,
+) -> Vec<IndexDef> {
+    rank_candidates(db, estimator, workload, candidates, existing)
+        .into_iter()
+        .filter(|c| c.benefit > 0.0)
+        .scan(
+            (existing_size(db, existing), 0usize),
+            |(used, count), c| {
+                if let Some(max) = config.max_indexes {
+                    if *count >= max {
+                        return None;
+                    }
+                }
+                if let Some(b) = config.budget {
+                    if *used + c.size > b {
+                        // Skip candidates that no longer fit; keep trying
+                        // smaller ones (standard top-k with knapsack skip).
+                        return Some(None);
+                    }
+                }
+                *used += c.size;
+                *count += 1;
+                Some(Some(c.def))
+            },
+        )
+        .flatten()
+        .collect()
+}
+
+/// Rank candidates by standalone benefit (descending).
+pub fn rank_candidates<E: CostEstimator>(
+    db: &SimDb,
+    estimator: &E,
+    workload: &TemplateWorkload,
+    candidates: &[IndexDef],
+    existing: &[IndexDef],
+) -> Vec<ScoredCandidate> {
+    let base_cost = estimator.workload_cost(db, workload, existing);
+    let mut scored: Vec<ScoredCandidate> = candidates
+        .iter()
+        .map(|c| score_one(db, estimator, workload, existing, base_cost, c))
+        .collect();
+    sort_scored(&mut scored);
+    scored
+}
+
+/// Parallel [`rank_candidates`]: standalone evaluations are independent, so
+/// they fan out over scoped threads. Worthwhile from a few dozen
+/// candidates; identical output ordering to the serial version.
+pub fn rank_candidates_parallel<E: CostEstimator + Sync>(
+    db: &SimDb,
+    estimator: &E,
+    workload: &TemplateWorkload,
+    candidates: &[IndexDef],
+    existing: &[IndexDef],
+    threads: usize,
+) -> Vec<ScoredCandidate> {
+    let threads = threads.max(1);
+    if threads == 1 || candidates.len() < 2 * threads {
+        return rank_candidates(db, estimator, workload, candidates, existing);
+    }
+    let base_cost = estimator.workload_cost(db, workload, existing);
+    let chunk = candidates.len().div_ceil(threads);
+    let mut scored: Vec<ScoredCandidate> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    part.iter()
+                        .map(|c| score_one(db, estimator, workload, existing, base_cost, c))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scoring thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    sort_scored(&mut scored);
+    scored
+}
+
+fn score_one<E: CostEstimator>(
+    db: &SimDb,
+    estimator: &E,
+    workload: &TemplateWorkload,
+    existing: &[IndexDef],
+    base_cost: f64,
+    c: &IndexDef,
+) -> ScoredCandidate {
+    let mut config: Vec<IndexDef> = existing.to_vec();
+    config.push(c.clone());
+    let cost = estimator.workload_cost(db, workload, &config);
+    ScoredCandidate {
+        def: c.clone(),
+        benefit: base_cost - cost,
+        size: db.index_size_bytes(c).unwrap_or(u64::MAX / 1024),
+    }
+}
+
+fn sort_scored(scored: &mut [ScoredCandidate]) {
+    scored.sort_by(|a, b| {
+        b.benefit
+            .partial_cmp(&a.benefit)
+            .expect("benefits are finite")
+            .then_with(|| a.def.key().cmp(&b.def.key()))
+    });
+}
+
+fn existing_size(db: &SimDb, existing: &[IndexDef]) -> u64 {
+    existing
+        .iter()
+        .filter_map(|d| db.index_size_bytes(d).ok())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::shape::QueryShape;
+    use autoindex_storage::SimDbConfig;
+    use autoindex_sql::parse_statement;
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 1_000_000)
+                .column(Column::int("a", 1_000_000))
+                .column(Column::int("b", 5_000))
+                .column(Column::int("c", 100))
+                .build()
+                .unwrap(),
+        );
+        SimDb::new(c, SimDbConfig::default())
+    }
+
+    fn workload(db: &SimDb, sqls: &[(&str, u64)]) -> Vec<(QueryShape, u64)> {
+        sqls.iter()
+            .map(|(s, n)| {
+                (
+                    QueryShape::extract(&parse_statement(s).unwrap(), db.catalog()),
+                    *n,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_highest_benefit_first() {
+        let db = db();
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 100),
+                ("SELECT * FROM t WHERE b = 7", 2),
+            ],
+        );
+        let cands = [IndexDef::new("t", &["a"]), IndexDef::new("t", &["b"])];
+        let ranked = rank_candidates(&db, &NativeCostEstimator, &w, &cands, &[]);
+        assert_eq!(ranked[0].def.key(), "t(a)");
+        assert!(ranked[0].benefit > ranked[1].benefit);
+    }
+
+    #[test]
+    fn budget_limits_selection_but_smaller_still_fit() {
+        let db = db();
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 100),
+                ("SELECT * FROM t WHERE b = 7", 90),
+            ],
+        );
+        let cands = [IndexDef::new("t", &["a"]), IndexDef::new("t", &["b"])];
+        let one = db.index_size_bytes(&cands[0]).unwrap();
+        let picked = greedy_select(
+            &db,
+            &NativeCostEstimator,
+            &w,
+            &cands,
+            &[],
+            &GreedyConfig {
+                budget: Some(one + one / 2),
+                max_indexes: None,
+            },
+        );
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].key(), "t(a)");
+    }
+
+    #[test]
+    fn zero_benefit_candidates_skipped() {
+        let db = db();
+        let w = workload(&db, &[("SELECT * FROM t WHERE a = 5", 100)]);
+        // c has ndv 100 over 1M rows; index scan loses to seq scan, so the
+        // candidate has zero standalone benefit.
+        let cands = [IndexDef::new("t", &["c"])];
+        let picked = greedy_select(
+            &db,
+            &NativeCostEstimator,
+            &w,
+            &cands,
+            &[],
+            &GreedyConfig::default(),
+        );
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn greedy_picks_redundant_overlapping_indexes() {
+        // The structural weakness MCTS fixes: both t(a) and t(a,b) have
+        // huge standalone benefits, so Greedy takes both — wasting budget —
+        // even though either one subsumes the other for this workload.
+        let db = db();
+        let w = workload(&db, &[("SELECT * FROM t WHERE a = 5 AND b = 2", 100)]);
+        let cands = [IndexDef::new("t", &["a"]), IndexDef::new("t", &["a", "b"])];
+        let picked = greedy_select(
+            &db,
+            &NativeCostEstimator,
+            &w,
+            &cands,
+            &[],
+            &GreedyConfig::default(),
+        );
+        assert_eq!(picked.len(), 2, "greedy cannot see substitution");
+    }
+
+    #[test]
+    fn max_indexes_cap() {
+        let db = db();
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 100),
+                ("SELECT * FROM t WHERE b = 7", 90),
+            ],
+        );
+        let cands = [IndexDef::new("t", &["a"]), IndexDef::new("t", &["b"])];
+        let picked = greedy_select(
+            &db,
+            &NativeCostEstimator,
+            &w,
+            &cands,
+            &[],
+            &GreedyConfig {
+                budget: None,
+                max_indexes: Some(1),
+            },
+        );
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn parallel_ranking_matches_serial() {
+        let db = db();
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 100),
+                ("SELECT * FROM t WHERE b = 7 AND c = 1", 60),
+                ("SELECT * FROM t WHERE c = 2", 10),
+            ],
+        );
+        let cands: Vec<IndexDef> = vec![
+            IndexDef::new("t", &["a"]),
+            IndexDef::new("t", &["b"]),
+            IndexDef::new("t", &["c"]),
+            IndexDef::new("t", &["b", "c"]),
+            IndexDef::new("t", &["a", "b"]),
+            IndexDef::new("t", &["a", "c"]),
+            IndexDef::new("t", &["c", "b"]),
+            IndexDef::new("t", &["c", "a"]),
+        ];
+        let serial = rank_candidates(&db, &NativeCostEstimator, &w, &cands, &[]);
+        let parallel =
+            rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.def, p.def);
+            assert!((s.benefit - p.benefit).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn benefit_measured_against_existing_config() {
+        let db = db();
+        let w = workload(&db, &[("SELECT * FROM t WHERE a = 5 AND b = 2", 100)]);
+        let existing = [IndexDef::new("t", &["a", "b"])];
+        // With the composite already present, the single-column prefix adds
+        // nothing.
+        let cands = [IndexDef::new("t", &["a"])];
+        let picked = greedy_select(
+            &db,
+            &NativeCostEstimator,
+            &w,
+            &cands,
+            &existing,
+            &GreedyConfig::default(),
+        );
+        assert!(picked.is_empty());
+    }
+}

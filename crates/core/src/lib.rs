@@ -1,0 +1,38 @@
+//! AutoIndex core: the paper's contribution.
+//!
+//! * [`templates`] — `SQL2Template` (§IV-A step 1, §IV-C): maps the query
+//!   stream onto a bounded set of templates with frequency counters,
+//!   LRU/LFU eviction and decay-based workload-shift handling.
+//! * [`candgen`] — template-based candidate index generation (§IV-A
+//!   steps 2–3): expression extraction (filter / join / GROUP-ORDER),
+//!   DNF-driven composite candidates, selectivity thresholding, leftmost-
+//!   prefix merging and existing-index subtraction.
+//! * [`mcts`] — the policy tree and MCTS-based index update (§IV-B):
+//!   UCB-guided exploration over add/remove actions under a storage
+//!   budget, with random-descendant rollouts and incremental tree reuse.
+//! * [`greedy`] — the Greedy baseline of §VI-A: per-candidate standalone
+//!   benefit ranking, top-k until the budget is exhausted, no removal.
+//! * [`diagnosis`] — the Index Diagnosis module (§III): classifies indexes
+//!   into beneficial-but-missing / rarely-used / negative and fires an
+//!   index-tuning request when their ratio crosses a threshold.
+//! * [`system`] — the [`system::AutoIndex`] driver gluing everything
+//!   together: observe queries → diagnose → generate candidates → search →
+//!   apply DDL, incrementally, round after round.
+//! * [`online`] — the §III control loop: wraps a database and an advisor
+//!   so that executing the query stream automatically diagnoses and tunes.
+
+pub mod candgen;
+pub mod diagnosis;
+pub mod greedy;
+pub mod mcts;
+pub mod online;
+pub mod system;
+pub mod templates;
+
+pub use candgen::{CandidateConfig, CandidateGenerator};
+pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
+pub use greedy::{greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate};
+pub use mcts::{MctsConfig, MctsSearch, PolicyTree, SearchOutcome};
+pub use online::{OnlineAutoIndex, OnlineConfig, OnlineEvent};
+pub use system::{AutoIndex, AutoIndexConfig, Recommendation, TuningReport};
+pub use templates::{TemplateEntry, TemplateStore, TemplateStoreConfig};

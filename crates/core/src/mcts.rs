@@ -1,0 +1,965 @@
+//! Policy tree + Monte-Carlo Tree Search index update (§IV-B).
+//!
+//! The *policy tree*'s nodes are index configurations (subsets of the
+//! universe = existing indexes ∪ candidate indexes); an edge adds one
+//! candidate or removes one existing index, always under the storage
+//! budget. Node utility is the paper's UCB:
+//!
+//! ```text
+//! U(v) = B(v) + γ · sqrt( ln F(v₀) / F(v) )
+//! ```
+//!
+//! with `B(v)` the (normalised) best cost reduction seen at `v` or its
+//! explored descendants and `F` the visit counts. Each selected node is
+//! evaluated through the index benefit estimator and additionally probed
+//! with `K` random descendant rollouts (§IV-B step 2: "we randomly explore
+//! K descendants of v and take the maximum estimated cost reduction").
+//!
+//! The tree persists across tuning rounds (*incremental* index
+//! management): when the workload changes, cached benefits are invalidated
+//! and visit counts decayed, but the explored structure — which the paper
+//! calls "the advantage of the policy tree" — is retained, so knowledge
+//! about good regions of the configuration space carries over.
+
+use autoindex_estimator::CostEstimator;
+use autoindex_storage::index::IndexDef;
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::SimDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A set of universe slots, packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ConfigSet {
+    words: Vec<u64>,
+}
+
+impl ConfigSet {
+    /// Empty set sized for `n` slots.
+    pub fn with_capacity(n: usize) -> Self {
+        ConfigSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert slot `i` (growing as needed).
+    pub fn insert(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (i % 64);
+    }
+
+    /// Remove slot `i`.
+    pub fn remove(&mut self, i: usize) {
+        let w = i / 64;
+        if w < self.words.len() {
+            self.words[w] &= !(1 << (i % 64));
+        }
+        // Keep the representation canonical so Eq/Hash work.
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let w = i / 64;
+        w < self.words.len() && self.words[w] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterate member slots in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for ConfigSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = ConfigSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// The stable universe of index definitions: existing + candidates. Slots
+/// never change meaning across rounds, which is what lets the policy tree
+/// persist.
+#[derive(Debug, Default)]
+pub struct Universe {
+    defs: Vec<IndexDef>,
+    by_key: HashMap<String, usize>,
+    /// Estimated size in bytes (refreshed per round).
+    sizes: Vec<u64>,
+}
+
+impl Universe {
+    /// Empty universe.
+    pub fn new() -> Self {
+        Universe::default()
+    }
+
+    /// Intern a definition, returning its stable slot.
+    pub fn intern(&mut self, def: &IndexDef) -> usize {
+        let key = universe_key(def);
+        if let Some(&i) = self.by_key.get(&key) {
+            return i;
+        }
+        let i = self.defs.len();
+        self.defs.push(def.clone());
+        self.by_key.insert(key, i);
+        self.sizes.push(0);
+        i
+    }
+
+    /// Slot of a definition, if interned.
+    pub fn slot(&self, def: &IndexDef) -> Option<usize> {
+        self.by_key.get(&universe_key(def)).copied()
+    }
+
+    /// Definition at a slot.
+    pub fn def(&self, slot: usize) -> &IndexDef {
+        &self.defs[slot]
+    }
+
+    /// Number of interned definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Refresh size estimates against the database (sizes change when
+    /// tables grow).
+    pub fn refresh_sizes(&mut self, db: &SimDb) {
+        for (i, d) in self.defs.iter().enumerate() {
+            self.sizes[i] = db.index_size_bytes(d).unwrap_or(u64::MAX / 1024);
+        }
+    }
+
+    /// Size of one slot.
+    pub fn size(&self, slot: usize) -> u64 {
+        self.sizes[slot]
+    }
+
+    /// Total size of a configuration.
+    pub fn config_size(&self, config: &ConfigSet) -> u64 {
+        config.iter().map(|i| self.sizes[i]).sum()
+    }
+
+    /// Materialise a configuration into definitions.
+    pub fn config_defs(&self, config: &ConfigSet) -> Vec<IndexDef> {
+        config.iter().map(|i| self.defs[i].clone()).collect()
+    }
+}
+
+fn universe_key(def: &IndexDef) -> String {
+    format!("{def}")
+}
+
+/// MCTS parameters.
+#[derive(Debug, Clone)]
+pub struct MctsConfig {
+    /// Search iterations per round.
+    pub iterations: usize,
+    /// Exploration constant γ.
+    pub gamma: f64,
+    /// Random descendant rollouts per evaluated node (the paper's K,
+    /// "e.g. 5 leaf nodes for dozens of indexes").
+    pub rollouts: usize,
+    /// Maximum rollout depth (actions per rollout).
+    pub rollout_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Visit-count decay applied when a new round begins.
+    pub round_decay: f64,
+    /// Early-stop: quit after this many iterations without improvement.
+    pub patience: usize,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            iterations: 400,
+            gamma: 0.7,
+            rollouts: 5,
+            rollout_depth: 4,
+            seed: 17,
+            round_decay: 0.5,
+            patience: 120,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    config: ConfigSet,
+    children: Vec<usize>,
+    /// Actions not yet expanded into children.
+    untried: Vec<Action>,
+    expanded_init: bool,
+    visits: f64,
+    /// B(v): best cost reduction at v or explored descendants.
+    benefit: f64,
+    /// Round at which `benefit` was last computed.
+    eval_round: u64,
+}
+
+/// One policy-tree action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Add(usize),
+    Remove(usize),
+}
+
+/// The persistent policy tree.
+pub struct PolicyTree {
+    nodes: Vec<Node>,
+    by_config: HashMap<ConfigSet, usize>,
+    round: u64,
+}
+
+impl Default for PolicyTree {
+    fn default() -> Self {
+        PolicyTree::new()
+    }
+}
+
+impl PolicyTree {
+    /// Fresh, empty tree.
+    pub fn new() -> Self {
+        PolicyTree {
+            nodes: Vec::new(),
+            by_config: HashMap::new(),
+            round: 0,
+        }
+    }
+
+    /// Number of materialised nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current tuning round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn node_for(&mut self, config: ConfigSet) -> usize {
+        if let Some(&id) = self.by_config.get(&config) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.by_config.insert(config.clone(), id);
+        self.nodes.push(Node {
+            config,
+            children: Vec::new(),
+            untried: Vec::new(),
+            expanded_init: false,
+            visits: 0.0,
+            benefit: 0.0,
+            eval_round: 0,
+        });
+        id
+    }
+
+    /// Begin a new tuning round: invalidate benefits, decay visits.
+    pub fn begin_round(&mut self, decay: f64) {
+        self.round += 1;
+        for n in &mut self.nodes {
+            n.visits *= decay;
+            // Benefits are stale; they lazily recompute when revisited.
+            if n.eval_round < self.round {
+                n.benefit = 0.0;
+            }
+            // New candidates may have appeared: re-enumerate lazily.
+            n.expanded_init = false;
+            n.untried.clear();
+        }
+    }
+}
+
+/// Result of one search round.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best configuration found (as universe slots).
+    pub best_config: ConfigSet,
+    /// Estimated workload cost of the starting configuration.
+    pub baseline_cost: f64,
+    /// Estimated workload cost of `best_config`.
+    pub best_cost: f64,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Estimator evaluations performed (cache misses).
+    pub evaluations: usize,
+}
+
+impl SearchOutcome {
+    /// Estimated relative improvement (0 if none).
+    pub fn improvement(&self) -> f64 {
+        if self.baseline_cost <= 0.0 {
+            return 0.0;
+        }
+        ((self.baseline_cost - self.best_cost) / self.baseline_cost).max(0.0)
+    }
+}
+
+/// One MCTS search over the policy tree.
+pub struct MctsSearch<'a, E: CostEstimator> {
+    pub universe: &'a Universe,
+    pub estimator: &'a E,
+    pub db: &'a SimDb,
+    pub workload: &'a [(QueryShape, u64)],
+    pub config: MctsConfig,
+    /// Storage budget in bytes (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Slots that are *existing* indexes (removable); all other universe
+    /// slots are candidates (addable).
+    pub existing: ConfigSet,
+    /// Existing indexes that must not be removed (e.g. primary keys).
+    pub protected: ConfigSet,
+    /// Root configuration the search starts from. Usually equals
+    /// `existing`; the system passes a pre-pruned configuration after the
+    /// estimator-driven redundant-index pass ("we also figure out redundant
+    /// or negative indexes based on the index benefit estimation results",
+    /// §III). Baseline cost is always measured at `existing`.
+    pub start: ConfigSet,
+}
+
+impl<'a, E: CostEstimator> MctsSearch<'a, E> {
+    /// Run the search on `tree`, starting from the current existing
+    /// configuration.
+    pub fn run(&self, tree: &mut PolicyTree) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ tree.round());
+        let mut eval_cache: HashMap<ConfigSet, f64> = HashMap::new();
+        let mut evaluations = 0usize;
+
+        let mut eval = |config: &ConfigSet, evals: &mut usize| -> f64 {
+            if let Some(&c) = eval_cache.get(config) {
+                return c;
+            }
+            let defs = self.universe.config_defs(config);
+            // Estimated workload cost, inflated by the buffer-pressure the
+            // configuration's footprint would cause. This is what makes
+            // dropping *unused* indexes worthwhile (Figure 1): they have
+            // zero maintenance, but they evict hot pages.
+            let pressure = self
+                .db
+                .pressure_for_index_bytes(self.universe.config_size(config));
+            let cost = self.estimator.workload_cost(self.db, self.workload, &defs) * pressure;
+            *evals += 1;
+            eval_cache.insert(config.clone(), cost);
+            cost
+        };
+
+        let baseline_cost = eval(&self.existing, &mut evaluations);
+        let root_config = self.start.clone();
+        let root = tree.node_for(root_config.clone());
+        let root_cost = eval(&root_config, &mut evaluations);
+
+        // Ties favour the start configuration: the caller's prune pass may
+        // have removed cost-neutral redundant indexes, and that reduction
+        // must survive the search.
+        let mut best_config = if root_cost <= baseline_cost {
+            root_config.clone()
+        } else {
+            self.existing.clone()
+        };
+        let mut best_cost = root_cost.min(baseline_cost);
+        let mut since_improvement = 0usize;
+        let mut iterations = 0usize;
+
+        for _ in 0..self.config.iterations {
+            iterations += 1;
+            // ---- selection ------------------------------------------------
+            let mut path = vec![root];
+            let mut current = root;
+            loop {
+                if !tree.nodes[current].expanded_init {
+                    let untried = self.legal_actions(&tree.nodes[current].config);
+                    tree.nodes[current].untried = untried;
+                    tree.nodes[current].expanded_init = true;
+                }
+                // Expand one untried action if any remain.
+                if !tree.nodes[current].untried.is_empty() {
+                    let k = rng.random_range(0..tree.nodes[current].untried.len());
+                    let action = tree.nodes[current].untried.swap_remove(k);
+                    let child_config = self.apply(&tree.nodes[current].config, action);
+                    let child = tree.node_for(child_config);
+                    if !tree.nodes[current].children.contains(&child) {
+                        tree.nodes[current].children.push(child);
+                    }
+                    path.push(child);
+                    current = child;
+                    break;
+                }
+                // Fully expanded: descend to the max-utility child. Nodes
+                // are deduplicated by configuration, so a remove-then-add
+                // sequence can lead back to an ancestor — skip any child
+                // already on the path to keep the walk acyclic, and bound
+                // the depth defensively.
+                let parent_visits = tree.nodes[current].visits.max(1.0);
+                let children: Vec<usize> = tree.nodes[current]
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|c| !path.contains(c))
+                    .collect();
+                if children.is_empty() || path.len() > 2 * self.universe.len() + 4 {
+                    break; // Terminal node (or depth bound reached).
+                }
+                let next = children
+                    .into_iter()
+                    .max_by(|&a, &b| {
+                        let ua = self.utility(&tree.nodes[a], parent_visits, baseline_cost);
+                        let ub = self.utility(&tree.nodes[b], parent_visits, baseline_cost);
+                        ua.partial_cmp(&ub).expect("utility is finite")
+                    })
+                    .expect("children checked non-empty");
+                path.push(next);
+                current = next;
+                if tree.nodes[current].visits < 1.0 {
+                    break; // First visit of this node: evaluate it now.
+                }
+            }
+
+            // ---- evaluation + rollouts (§IV-B step 2) ---------------------
+            let node_cost = eval(&tree.nodes[current].config, &mut evaluations);
+            let mut best_local = node_cost;
+            for _ in 0..self.config.rollouts {
+                let cfg = self.random_descendant(&tree.nodes[current].config, &mut rng);
+                let c = eval(&cfg, &mut evaluations);
+                if c < best_local {
+                    best_local = c;
+                }
+                if c < best_cost {
+                    best_cost = c;
+                    best_config = cfg;
+                    since_improvement = 0;
+                }
+            }
+            if node_cost < best_cost {
+                best_cost = node_cost;
+                best_config = tree.nodes[current].config.clone();
+                since_improvement = 0;
+            }
+
+            // ---- backpropagation (§IV-B step 3) ---------------------------
+            let reduction = (baseline_cost - best_local).max(0.0);
+            for &id in &path {
+                let n = &mut tree.nodes[id];
+                n.visits += 1.0;
+                if n.eval_round < tree.round {
+                    n.benefit = 0.0;
+                    n.eval_round = tree.round;
+                }
+                if reduction > n.benefit {
+                    n.benefit = reduction;
+                }
+            }
+
+            since_improvement += 1;
+            if since_improvement > self.config.patience {
+                break;
+            }
+        }
+
+        SearchOutcome {
+            best_config,
+            baseline_cost,
+            best_cost,
+            iterations,
+            evaluations,
+        }
+    }
+
+    /// Node utility `U(v) = B(v)/baseline + γ·sqrt(ln F(v0)/F(v))`.
+    fn utility(&self, n: &Node, parent_visits: f64, baseline: f64) -> f64 {
+        let b_norm = if baseline > 0.0 {
+            n.benefit / baseline
+        } else {
+            0.0
+        };
+        if n.visits < 1.0 {
+            return f64::INFINITY; // Unvisited nodes are explored first.
+        }
+        b_norm + self.config.gamma * (parent_visits.ln().max(0.0) / n.visits).sqrt()
+    }
+
+    /// Legal actions at a configuration: add any absent universe index
+    /// within the budget; remove any present, existing, unprotected index.
+    fn legal_actions(&self, config: &ConfigSet) -> Vec<Action> {
+        let size = self.universe.config_size(config);
+        let mut out = Vec::new();
+        for slot in 0..self.universe.len() {
+            if config.contains(slot) {
+                if self.existing.contains(slot) && !self.protected.contains(slot) {
+                    out.push(Action::Remove(slot));
+                }
+                // Candidates added deeper in the tree are not re-removed:
+                // their parent node already represents that state.
+                continue;
+            }
+            let fits = match self.budget {
+                Some(b) => size + self.universe.size(slot) <= b,
+                None => true,
+            };
+            if fits {
+                out.push(Action::Add(slot));
+            }
+        }
+        out
+    }
+
+    fn apply(&self, config: &ConfigSet, action: Action) -> ConfigSet {
+        let mut c = config.clone();
+        match action {
+            Action::Add(s) => c.insert(s),
+            Action::Remove(s) => c.remove(s),
+        }
+        c
+    }
+
+    /// A random descendant configuration within the budget.
+    fn random_descendant(&self, config: &ConfigSet, rng: &mut StdRng) -> ConfigSet {
+        let mut c = config.clone();
+        for _ in 0..self.config.rollout_depth {
+            let actions = self.legal_actions(&c);
+            if actions.is_empty() {
+                break;
+            }
+            let a = actions[rng.random_range(0..actions.len())];
+            c = self.apply(&c, a);
+            // Bias rollouts toward stopping early part of the time so
+            // shallow descendants are sampled too.
+            if rng.random_bool(0.35) {
+                break;
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::SimDbConfig;
+    use autoindex_sql::parse_statement;
+
+    #[test]
+    fn config_set_basics() {
+        let mut s = ConfigSet::default();
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(70);
+        s.insert(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(70) && !s.contains(4));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70]);
+        s.remove(70);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+        // Canonical representation: equal content ⇒ equal value.
+        let t: ConfigSet = [3usize].into_iter().collect();
+        assert_eq!(s, t);
+        let cap = ConfigSet::with_capacity(100);
+        assert!(cap.is_empty());
+    }
+
+    #[test]
+    fn universe_interning_is_stable() {
+        let mut u = Universe::new();
+        let a = IndexDef::new("t", &["a"]);
+        let b = IndexDef::new("t", &["b"]);
+        let sa = u.intern(&a);
+        let sb = u.intern(&b);
+        assert_ne!(sa, sb);
+        assert_eq!(u.intern(&a), sa);
+        assert_eq!(u.slot(&b), Some(sb));
+        assert_eq!(u.def(sa), &a);
+        assert_eq!(u.len(), 2);
+    }
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 1_000_000)
+                .column(Column::int("a", 1_000_000))
+                .column(Column::int("b", 5_000))
+                .column(Column::int("c", 100))
+                .build()
+                .unwrap(),
+        );
+        SimDb::new(c, SimDbConfig::default())
+    }
+
+    fn workload(db: &SimDb, sqls: &[(&str, u64)]) -> Vec<(QueryShape, u64)> {
+        sqls.iter()
+            .map(|(s, n)| {
+                (
+                    QueryShape::extract(&parse_statement(s).unwrap(), db.catalog()),
+                    *n,
+                )
+            })
+            .collect()
+    }
+
+    fn setup_universe(u: &mut Universe, defs: &[IndexDef]) -> Vec<usize> {
+        defs.iter().map(|d| u.intern(d)).collect()
+    }
+
+    /// A maintenance-aware estimator for tests that need write costs.
+    struct MaintAware;
+    impl CostEstimator for MaintAware {
+        fn workload_cost(
+            &self,
+            db: &SimDb,
+            workload: &autoindex_estimator::TemplateWorkload,
+            config: &[IndexDef],
+        ) -> f64 {
+            workload
+                .iter()
+                .map(|(s, n)| {
+                    let f = db.whatif_features(s, config);
+                    (f.c_data + 1.3 * f.c_io + 1.15 * f.c_cpu) * *n as f64
+                })
+                .sum()
+        }
+    }
+
+    #[test]
+    fn search_finds_the_obviously_good_index() {
+        let db = db();
+        let w = workload(&db, &[("SELECT * FROM t WHERE a = 5", 100)]);
+        let mut u = Universe::new();
+        let slots = setup_universe(
+            &mut u,
+            &[IndexDef::new("t", &["a"]), IndexDef::new("t", &["c"])],
+        );
+        u.refresh_sizes(&db);
+        let est = NativeCostEstimator;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &w,
+            config: MctsConfig {
+                iterations: 100,
+                ..MctsConfig::default()
+            },
+            budget: None,
+            existing: ConfigSet::default(),
+            protected: ConfigSet::default(),
+            start: ConfigSet::default(),
+        };
+        let out = search.run(&mut tree);
+        assert!(out.best_config.contains(slots[0]), "must pick t(a)");
+        assert!(out.best_cost < out.baseline_cost / 5.0);
+        assert!(out.improvement() > 0.8);
+    }
+
+    #[test]
+    fn search_respects_budget() {
+        let db = db();
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 100),
+                ("SELECT * FROM t WHERE b = 7", 100),
+            ],
+        );
+        let mut u = Universe::new();
+        let _ = setup_universe(
+            &mut u,
+            &[IndexDef::new("t", &["a"]), IndexDef::new("t", &["b"])],
+        );
+        u.refresh_sizes(&db);
+        // Budget for exactly one index.
+        let one = db.index_size_bytes(&IndexDef::new("t", &["a"])).unwrap();
+        let est = NativeCostEstimator;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &w,
+            config: MctsConfig::default(),
+            budget: Some(one + one / 2),
+            existing: ConfigSet::default(),
+            protected: ConfigSet::default(),
+            start: ConfigSet::default(),
+        };
+        let out = search.run(&mut tree);
+        assert!(u.config_size(&out.best_config) <= one + one / 2);
+        assert_eq!(out.best_config.len(), 1);
+    }
+
+    #[test]
+    fn search_removes_harmful_existing_index() {
+        // Write-only workload: any index is pure maintenance cost. The
+        // native estimator cannot see that; the maintenance-aware one can.
+        let db = db();
+        let w = workload(&db, &[("INSERT INTO t (a, b, c) VALUES (1, 2, 3)", 1_000)]);
+        let mut u = Universe::new();
+        let slots = setup_universe(&mut u, &[IndexDef::new("t", &["b"])]);
+        u.refresh_sizes(&db);
+        let existing: ConfigSet = [slots[0]].into_iter().collect();
+        let est = MaintAware;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &w,
+            config: MctsConfig::default(),
+            budget: None,
+            existing: existing.clone(),
+            protected: ConfigSet::default(),
+            start: existing.clone(),
+        };
+        let out = search.run(&mut tree);
+        assert!(
+            !out.best_config.contains(slots[0]),
+            "harmful index must be removed"
+        );
+        assert!(out.best_cost < out.baseline_cost);
+    }
+
+    #[test]
+    fn protected_indexes_are_never_removed() {
+        let db = db();
+        let w = workload(&db, &[("INSERT INTO t (a, b, c) VALUES (1, 2, 3)", 1_000)]);
+        let mut u = Universe::new();
+        let slots = setup_universe(&mut u, &[IndexDef::new("t", &["b"])]);
+        u.refresh_sizes(&db);
+        let existing: ConfigSet = [slots[0]].into_iter().collect();
+        let est = MaintAware;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &w,
+            config: MctsConfig::default(),
+            budget: None,
+            existing: existing.clone(),
+            protected: existing.clone(),
+            start: existing.clone(),
+        };
+        let out = search.run(&mut tree);
+        assert!(out.best_config.contains(slots[0]));
+    }
+
+    #[test]
+    fn tree_persists_across_rounds() {
+        let db = db();
+        let w = workload(&db, &[("SELECT * FROM t WHERE a = 5", 100)]);
+        let mut u = Universe::new();
+        let _ = setup_universe(&mut u, &[IndexDef::new("t", &["a"])]);
+        u.refresh_sizes(&db);
+        let est = NativeCostEstimator;
+        let mut tree = PolicyTree::new();
+
+        tree.begin_round(0.5);
+        let s1 = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &w,
+            config: MctsConfig::default(),
+            budget: None,
+            existing: ConfigSet::default(),
+            protected: ConfigSet::default(),
+            start: ConfigSet::default(),
+        };
+        let o1 = s1.run(&mut tree);
+        let nodes_after_1 = tree.len();
+        assert!(nodes_after_1 > 1);
+
+        // Second round reuses the tree; cached evals are gone but the
+        // structure remains and the same optimum is found.
+        tree.begin_round(0.5);
+        let o2 = s1.run(&mut tree);
+        assert_eq!(o1.best_config, o2.best_config);
+        assert!(tree.len() >= nodes_after_1);
+        assert_eq!(tree.round(), 2);
+    }
+
+    #[test]
+    fn zero_budget_blocks_all_additions() {
+        let db = db();
+        let w = workload(&db, &[("SELECT * FROM t WHERE a = 5", 100)]);
+        let mut u = Universe::new();
+        let _ = setup_universe(&mut u, &[IndexDef::new("t", &["a"])]);
+        u.refresh_sizes(&db);
+        let est = NativeCostEstimator;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &w,
+            config: MctsConfig::default(),
+            budget: Some(0),
+            existing: ConfigSet::default(),
+            protected: ConfigSet::default(),
+            start: ConfigSet::default(),
+        };
+        let out = search.run(&mut tree);
+        assert!(out.best_config.is_empty());
+        assert_eq!(out.best_cost, out.baseline_cost);
+    }
+
+    #[test]
+    fn empty_workload_is_a_noop() {
+        let db = db();
+        let mut u = Universe::new();
+        let _ = u.intern(&IndexDef::new("t", &["a"]));
+        u.refresh_sizes(&db);
+        let est = NativeCostEstimator;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &u,
+            estimator: &est,
+            db: &db,
+            workload: &[],
+            config: MctsConfig {
+                iterations: 20,
+                ..MctsConfig::default()
+            },
+            budget: None,
+            existing: ConfigSet::default(),
+            protected: ConfigSet::default(),
+            start: ConfigSet::default(),
+        };
+        let out = search.run(&mut tree);
+        assert_eq!(out.baseline_cost, 0.0);
+        assert_eq!(out.best_cost, 0.0);
+    }
+
+    #[test]
+    fn search_outcome_improvement_math() {
+        let o = SearchOutcome {
+            best_config: ConfigSet::default(),
+            baseline_cost: 100.0,
+            best_cost: 75.0,
+            iterations: 10,
+            evaluations: 20,
+        };
+        assert!((o.improvement() - 0.25).abs() < 1e-12);
+        let regressed = SearchOutcome {
+            best_cost: 120.0,
+            ..o.clone()
+        };
+        assert_eq!(regressed.improvement(), 0.0);
+        let zero_base = SearchOutcome {
+            baseline_cost: 0.0,
+            ..o
+        };
+        assert_eq!(zero_base.improvement(), 0.0);
+    }
+
+    #[test]
+    fn universe_config_defs_and_sizes() {
+        let db = db();
+        let mut u = Universe::new();
+        let a = u.intern(&IndexDef::new("t", &["a"]));
+        let b = u.intern(&IndexDef::new("t", &["b", "c"]));
+        u.refresh_sizes(&db);
+        assert!(u.size(a) > 0 && u.size(b) > 0);
+        let cfg: ConfigSet = [a, b].into_iter().collect();
+        let defs = u.config_defs(&cfg);
+        assert_eq!(defs.len(), 2);
+        assert_eq!(u.config_size(&cfg), u.size(a) + u.size(b));
+        assert!(!u.is_empty());
+        // Unknown-table defs get a sentinel size rather than panicking.
+        let ghost = u.intern(&IndexDef::new("ghost", &["x"]));
+        u.refresh_sizes(&db);
+        assert!(u.size(ghost) > (1 << 40));
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let db = db();
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 50),
+                ("SELECT * FROM t WHERE b = 5 AND c = 2", 50),
+                ("INSERT INTO t (a, b, c) VALUES (1, 2, 3)", 30),
+            ],
+        );
+        let mut u = Universe::new();
+        let _ = setup_universe(
+            &mut u,
+            &[
+                IndexDef::new("t", &["a"]),
+                IndexDef::new("t", &["b", "c"]),
+                IndexDef::new("t", &["c"]),
+            ],
+        );
+        u.refresh_sizes(&db);
+        let est = MaintAware;
+        let run = || {
+            let mut tree = PolicyTree::new();
+            tree.begin_round(0.5);
+            MctsSearch {
+                universe: &u,
+                estimator: &est,
+                db: &db,
+                workload: &w,
+                config: MctsConfig::default(),
+                budget: None,
+                existing: ConfigSet::default(),
+                protected: ConfigSet::default(),
+                start: ConfigSet::default(),
+            }
+            .run(&mut tree)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.best_cost, b.best_cost);
+    }
+}

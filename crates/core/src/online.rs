@@ -1,0 +1,278 @@
+//! The online management loop (§III Workflow).
+//!
+//! "For any new workload being executed in the database, we first diagnose
+//! the index problems when performance regression occurs. If any index
+//! problem is identified, we generate candidate indexes … and utilize MCTS
+//! to explore for the optimal combination … Finally, we update the
+//! existing index set with the recommended indexes."
+//!
+//! [`OnlineAutoIndex`] wraps a [`SimDb`] and an [`AutoIndex`] instance into
+//! that loop: every statement fed to it is executed *and* observed; at a
+//! configurable cadence the diagnosis module runs against live usage
+//! counters, and a firing diagnosis triggers a tuning round — no manual
+//! `tune()` calls. This is the deployment shape the paper describes: a
+//! management process sitting next to the database, consuming its query
+//! log.
+
+use crate::diagnosis::DiagnosisReport;
+use crate::system::{AutoIndex, TuningReport};
+use autoindex_estimator::CostEstimator;
+use autoindex_storage::{ExecOutcome, SimDb};
+
+/// Cadence and guard rails for the online loop.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Run diagnosis every this many executed statements.
+    pub diagnosis_interval: u64,
+    /// Minimum statements between two tuning rounds (cool-down, so a round
+    /// has time to show its effect in the usage counters).
+    pub tuning_cooldown: u64,
+    /// Reset usage counters after each tuning round (a fresh measurement
+    /// window for the new configuration).
+    pub reset_usage_after_tuning: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            diagnosis_interval: 1_000,
+            tuning_cooldown: 2_000,
+            reset_usage_after_tuning: true,
+        }
+    }
+}
+
+/// What happened as a side effect of feeding one statement.
+#[derive(Debug, Clone)]
+pub enum OnlineEvent {
+    /// Statement executed, nothing else happened.
+    Executed,
+    /// Diagnosis ran and did not fire.
+    DiagnosedHealthy(DiagnosisReport),
+    /// Diagnosis fired and a tuning round ran.
+    Tuned {
+        diagnosis: DiagnosisReport,
+        report: TuningReport,
+    },
+}
+
+/// The self-driving wrapper: database + advisor + the §III control loop.
+pub struct OnlineAutoIndex<E: CostEstimator> {
+    db: SimDb,
+    advisor: AutoIndex<E>,
+    config: OnlineConfig,
+    executed: u64,
+    last_tuning_at: Option<u64>,
+    /// Number of tuning rounds triggered so far.
+    pub tuning_rounds: u64,
+}
+
+impl<E: CostEstimator> OnlineAutoIndex<E> {
+    /// Wrap a database and an advisor into the online loop.
+    pub fn new(db: SimDb, advisor: AutoIndex<E>, config: OnlineConfig) -> Self {
+        OnlineAutoIndex {
+            db,
+            advisor,
+            config,
+            executed: 0,
+            last_tuning_at: None,
+            tuning_rounds: 0,
+        }
+    }
+
+    /// The wrapped database.
+    pub fn db(&self) -> &SimDb {
+        &self.db
+    }
+
+    /// The wrapped advisor.
+    pub fn advisor(&self) -> &AutoIndex<E> {
+        &self.advisor
+    }
+
+    /// Statements executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Execute one statement from the stream, observe it, and run the
+    /// control loop. Unparseable statements are executed… nowhere — the
+    /// simulator needs an AST — so they are skipped with `Executed` (a real
+    /// deployment would pass them straight to the server).
+    pub fn feed(&mut self, sql: &str) -> (Option<ExecOutcome>, OnlineEvent) {
+        let Ok(stmt) = autoindex_sql::parse_statement(sql) else {
+            return (None, OnlineEvent::Executed);
+        };
+        let outcome = self.db.execute(&stmt);
+        let _ = self.advisor.observe(sql, &self.db);
+        self.executed += 1;
+
+        if !self.executed.is_multiple_of(self.config.diagnosis_interval) {
+            return (Some(outcome), OnlineEvent::Executed);
+        }
+        if let Some(t) = self.last_tuning_at {
+            if self.executed - t < self.config.tuning_cooldown {
+                return (Some(outcome), OnlineEvent::Executed);
+            }
+        }
+        let diagnosis = self.advisor.diagnose(&self.db);
+        if !diagnosis.should_tune {
+            return (Some(outcome), OnlineEvent::DiagnosedHealthy(diagnosis));
+        }
+        let report = self.advisor.tune(&mut self.db);
+        self.last_tuning_at = Some(self.executed);
+        // Count only rounds that actually changed the configuration; a
+        // no-op round still resets the cooldown clock.
+        if !report.recommendation.is_noop() {
+            self.tuning_rounds += 1;
+        }
+        if self.config.reset_usage_after_tuning {
+            self.db.reset_usage();
+        }
+        (
+            Some(outcome),
+            OnlineEvent::Tuned { diagnosis, report },
+        )
+    }
+
+    /// Feed a whole stream; returns the tuning events that occurred.
+    pub fn feed_all<'q>(
+        &mut self,
+        sqls: impl IntoIterator<Item = &'q str>,
+    ) -> Vec<(u64, TuningReport)> {
+        let mut out = Vec::new();
+        for q in sqls {
+            if let (_, OnlineEvent::Tuned { report, .. }) = self.feed(q) {
+                out.push((self.executed, report));
+            }
+        }
+        out
+    }
+
+    /// Dissolve the wrapper, returning the parts.
+    pub fn into_parts(self) -> (SimDb, AutoIndex<E>) {
+        (self.db, self.advisor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::AutoIndexConfig;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::index::IndexDef;
+    use autoindex_storage::SimDbConfig;
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 600_000)
+                .column(Column::int("id", 600_000))
+                .column(Column::int("a", 300_000))
+                .column(Column::int("b", 3_000))
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::new(c, SimDbConfig::default());
+        db.create_index(IndexDef::new("t", &["id"])).unwrap();
+        db
+    }
+
+    fn online() -> OnlineAutoIndex<NativeCostEstimator> {
+        OnlineAutoIndex::new(
+            db(),
+            AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
+            OnlineConfig {
+                diagnosis_interval: 200,
+                tuning_cooldown: 400,
+                reset_usage_after_tuning: true,
+            },
+        )
+    }
+
+    #[test]
+    fn missing_index_triggers_automatic_tuning() {
+        let mut o = online();
+        let events = o.feed_all(
+            (0..900)
+                .map(|i| format!("SELECT * FROM t WHERE a = {i}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        assert!(!events.is_empty(), "diagnosis must fire and tune");
+        assert!(o
+            .db()
+            .indexes()
+            .any(|(_, d)| d.key() == "t(a)"), "the missing index gets built");
+        assert!(o.tuning_rounds >= 1);
+    }
+
+    #[test]
+    fn healthy_configuration_does_not_thrash() {
+        let mut o = online();
+        // First pass creates the index…
+        o.feed_all(
+            (0..900)
+                .map(|i| format!("SELECT * FROM t WHERE a = {i}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        let rounds_after_first = o.tuning_rounds;
+        // …after which the same traffic must not keep re-tuning.
+        o.feed_all(
+            (0..2_000)
+                .map(|i| format!("SELECT * FROM t WHERE a = {i}"))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        assert!(
+            o.tuning_rounds <= rounds_after_first + 1,
+            "thrashing: {} rounds after {rounds_after_first}",
+            o.tuning_rounds
+        );
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_rounds() {
+        let mut o = OnlineAutoIndex::new(
+            db(),
+            AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
+            OnlineConfig {
+                diagnosis_interval: 100,
+                tuning_cooldown: 10_000, // effectively once
+                reset_usage_after_tuning: true,
+            },
+        );
+        o.feed_all(
+            (0..3_000)
+                .map(|i| format!("SELECT * FROM t WHERE a = {i} AND b = {}", i % 7))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        assert!(o.tuning_rounds <= 1);
+    }
+
+    #[test]
+    fn unparseable_statements_are_skipped() {
+        let mut o = online();
+        let (outcome, event) = o.feed("THIS IS NOT SQL");
+        assert!(outcome.is_none());
+        assert!(matches!(event, OnlineEvent::Executed));
+        assert_eq!(o.executed(), 0);
+    }
+
+    #[test]
+    fn into_parts_returns_state() {
+        let mut o = online();
+        o.feed("SELECT * FROM t WHERE a = 1");
+        let (db, advisor) = o.into_parts();
+        assert_eq!(db.usage().statements, 1);
+        assert_eq!(advisor.template_count(), 1);
+    }
+}

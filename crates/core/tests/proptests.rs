@@ -1,0 +1,160 @@
+//! Property-based tests for the AutoIndex core.
+
+use autoindex_core::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
+use autoindex_core::templates::{TemplateStore, TemplateStoreConfig};
+use autoindex_core::{CandidateConfig, CandidateGenerator};
+use autoindex_estimator::NativeCostEstimator;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::{SimDb, SimDbConfig};
+use autoindex_sql::parse_statement;
+use proptest::prelude::*;
+
+const COLS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut tb = TableBuilder::new("t", 500_000);
+    for (i, c) in COLS.iter().enumerate() {
+        tb = tb.column(Column::int(*c, 10u64.pow(i as u32 + 1)));
+    }
+    cat.add_table(tb.build().unwrap());
+    cat
+}
+
+/// Random simple SELECT over table t.
+fn arb_query() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec((0usize..COLS.len(), 0i64..1000), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(preds, use_or)| {
+            let parts: Vec<String> = preds
+                .iter()
+                .map(|(c, v)| format!("{} = {v}", COLS[*c]))
+                .collect();
+            let joiner = if use_or { " OR " } else { " AND " };
+            format!("SELECT * FROM t WHERE {}", parts.join(joiner))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The template store never exceeds its capacity and never loses the
+    /// query count.
+    #[test]
+    fn template_store_respects_capacity(
+        queries in prop::collection::vec(arb_query(), 1..200),
+        cap in 1usize..16,
+    ) {
+        let cat = catalog();
+        let mut store = TemplateStore::new(TemplateStoreConfig {
+            max_templates: cap,
+            ..TemplateStoreConfig::default()
+        });
+        for q in &queries {
+            store.observe(q, &cat).unwrap();
+        }
+        prop_assert!(store.len() <= cap);
+        prop_assert_eq!(store.observed(), queries.len() as u64);
+    }
+
+    /// Candidate generation is deterministic and never proposes an index
+    /// covered by an existing one or referencing unknown columns.
+    #[test]
+    fn candgen_sound(queries in prop::collection::vec(arb_query(), 1..40)) {
+        let cat = catalog();
+        let shapes: Vec<(QueryShape, u64)> = queries
+            .iter()
+            .map(|q| (QueryShape::extract(&parse_statement(q).unwrap(), &cat), 1))
+            .collect();
+        let existing = [IndexDef::new("t", &["a", "b"])];
+        let generator = CandidateGenerator::new(CandidateConfig::default());
+        let c1 = generator.generate(&shapes, &cat, &existing);
+        let c2 = generator.generate(&shapes, &cat, &existing);
+        prop_assert_eq!(&c1, &c2);
+        let table = cat.table("t").unwrap();
+        for cand in &c1 {
+            prop_assert!(cand.validate(table).is_ok());
+            for e in &existing {
+                prop_assert!(!e.covers(cand), "{} covered by {}", cand, e);
+            }
+            // No candidate covered by another candidate (merge invariant).
+            for other in &c1 {
+                prop_assert!(
+                    other == cand || !other.covers(cand),
+                    "{cand} covered by {other}"
+                );
+            }
+        }
+    }
+
+    /// MCTS always returns a configuration within budget that never costs
+    /// more than the baseline (under the same estimator).
+    #[test]
+    fn mcts_never_regresses_and_respects_budget(
+        queries in prop::collection::vec(arb_query(), 1..12),
+        budget_mb in 0u64..64,
+        seed in 0u64..1000,
+    ) {
+        let cat = catalog();
+        let db = SimDb::new(cat, SimDbConfig::default());
+        let shapes: Vec<(QueryShape, u64)> = queries
+            .iter()
+            .map(|q| (QueryShape::extract(&parse_statement(q).unwrap(), db.catalog()), 1))
+            .collect();
+        let cands = CandidateGenerator::new(CandidateConfig::default())
+            .generate(&shapes, db.catalog(), &[]);
+        let mut universe = Universe::new();
+        for c in &cands {
+            universe.intern(c);
+        }
+        universe.refresh_sizes(&db);
+        let budget_bytes = budget_mb * (1 << 20);
+        let budget = Some(budget_bytes);
+        let est = NativeCostEstimator;
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &universe,
+            estimator: &est,
+            db: &db,
+            workload: &shapes,
+            config: MctsConfig {
+                iterations: 60,
+                seed,
+                ..MctsConfig::default()
+            },
+            budget,
+            existing: ConfigSet::default(),
+            protected: ConfigSet::default(),
+            start: ConfigSet::default(),
+        };
+        let out = search.run(&mut tree);
+        prop_assert!(out.best_cost <= out.baseline_cost + 1e-9);
+        prop_assert!(universe.config_size(&out.best_config) <= budget_bytes);
+    }
+
+    /// ConfigSet behaves like a set of usizes.
+    #[test]
+    fn config_set_models_a_set(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..100)) {
+        let mut reference = std::collections::BTreeSet::new();
+        let mut cs = ConfigSet::default();
+        for (i, add) in ops {
+            if add {
+                reference.insert(i);
+                cs.insert(i);
+            } else {
+                reference.remove(&i);
+                cs.remove(i);
+            }
+        }
+        prop_assert_eq!(cs.len(), reference.len());
+        prop_assert_eq!(cs.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+        // Equality is structural over contents.
+        let rebuilt: ConfigSet = reference.iter().copied().collect();
+        prop_assert_eq!(cs, rebuilt);
+    }
+}

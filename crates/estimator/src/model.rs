@@ -1,0 +1,424 @@
+//! The one-layer deep-regression cost model (§V-B).
+//!
+//! `cost(q) = Sigmoid(W_cost · C + b_cost) · scale`, where `C` is the
+//! normalised feature vector. Features are log-transformed (`ln(1 + x)`)
+//! before entering the linear layer — optimizer cost features span seven
+//! orders of magnitude, so raw inputs would saturate the sigmoid
+//! immediately. The fit is closed-form: ridge least squares in logit
+//! space with an active-set non-negativity pass (see [`TrainConfig`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of input features: `(C^data, C^io, C^cpu)` per §V.
+pub const N_FEATURES: usize = 3;
+
+/// Errors from model construction or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// No training samples supplied.
+    EmptyTrainingSet,
+    /// A sample had a non-finite feature or target.
+    NonFiniteSample { index: usize },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyTrainingSet => write!(f, "empty training set"),
+            ModelError::NonFiniteSample { index } => {
+                write!(f, "non-finite feature/target in sample {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Training hyper-parameters.
+///
+/// The model is fit by *ridge least squares in logit space*: with
+/// `t = logit(y / scale)`, the sigmoid model is exactly linear,
+/// `t = W·C + b`, so the optimum is the solution of a 4×4 normal-equation
+/// system — deterministic and immune to the plateau a naive SGD hits when
+/// one feature spans seven orders of magnitude. Negative weights are
+/// eliminated with an active-set pass (a cost feature can never *reduce*
+/// execution cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Ridge (L2) regularisation strength on the weights.
+    pub ridge: f64,
+    /// Clamp applied to `y/scale` before the logit transform.
+    pub target_clamp: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            ridge: 1e-6,
+            target_clamp: 1e-7,
+        }
+    }
+}
+
+/// The trained model: normalisation statistics + linear layer + output
+/// scale. Serialisable so a trained estimator can be persisted and reloaded
+/// across tuning sessions (the paper trains once on historical data).
+///
+/// Features are scaled by their training-set maxima (min-max, preserving
+/// the *additive* structure of costs — a log transform would destroy it)
+/// and the loss is mean-squared error in **log space**, i.e. relative
+/// error, so cheap write statements contribute as much signal as expensive
+/// scans. Weights are projected to `≥ 0` after every step: each §V cost
+/// feature can only ever increase execution cost, and encoding that
+/// monotonicity is exactly the kind of "practical experience" §V bakes
+/// into the features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneLayerRegression {
+    /// Per-feature scale (max over the training set, ≥ epsilon).
+    pub feat_scale: [f64; N_FEATURES],
+    /// Linear weights `W_cost` (non-negative).
+    pub weights: [f64; N_FEATURES],
+    /// Bias `b_cost`.
+    pub bias: f64,
+    /// Output scale: predictions are `sigmoid(z) * scale`.
+    pub scale: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl OneLayerRegression {
+    /// Normalise a raw feature vector: `ln(1 + x)` scaled by the training
+    /// maximum (log features span the seven decades of optimizer cost
+    /// units; the logit-space fit then makes the model multiplicative,
+    /// `cost ∝ Π (1 + C_i)^{w_i}`, which is the standard functional form
+    /// for execution-cost estimation).
+    fn normalise(&self, x: &[f64; N_FEATURES]) -> [f64; N_FEATURES] {
+        let mut out = [0.0; N_FEATURES];
+        for i in 0..N_FEATURES {
+            out[i] = (1.0 + x[i].max(0.0)).ln() / (1.0 + self.feat_scale[i]).ln().max(1e-9);
+        }
+        out
+    }
+
+    /// Predict the cost (same units as the training targets).
+    pub fn predict(&self, features: &[f64; N_FEATURES]) -> f64 {
+        let x = self.normalise(features);
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(&x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z) * self.scale
+    }
+
+    /// Train a fresh model on `(features, target)` samples.
+    pub fn train(
+        samples: &[([f64; N_FEATURES], f64)],
+        cfg: &TrainConfig,
+    ) -> Result<OneLayerRegression, ModelError> {
+        if samples.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        for (i, (x, y)) in samples.iter().enumerate() {
+            if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+                return Err(ModelError::NonFiniteSample { index: i });
+            }
+        }
+
+        // Per-feature max for min-max scaling.
+        let mut feat_scale = [1e-9_f64; N_FEATURES];
+        for (x, _) in samples {
+            for i in 0..N_FEATURES {
+                feat_scale[i] = feat_scale[i].max(x[i].max(0.0));
+            }
+        }
+        for s in &mut feat_scale {
+            *s = s.max(1e-9);
+        }
+
+        // Output scale: a bit above the largest observed target, so the
+        // sigmoid operates in its responsive range.
+        let max_y = samples.iter().map(|(_, y)| *y).fold(0.0_f64, f64::max);
+        let scale = (max_y * 1.25).max(1e-9);
+
+        let mut model = OneLayerRegression {
+            feat_scale,
+            weights: [0.0; N_FEATURES],
+            bias: 0.0,
+            scale,
+        };
+
+        // Logit-space targets: sigmoid(z)·scale = y  ⇔  z = logit(y/scale).
+        let clamp = cfg.target_clamp.clamp(1e-12, 0.4);
+        let rows: Vec<([f64; N_FEATURES], f64)> = samples
+            .iter()
+            .map(|(x, y)| {
+                let p = (*y / scale).clamp(clamp, 1.0 - clamp);
+                (model.normalise(x), (p / (1.0 - p)).ln())
+            })
+            .collect();
+
+        // Active-set non-negative ridge regression: solve the 4×4 normal
+        // equations, clamp any negative weight to zero (drop its column),
+        // and re-solve until all active weights are non-negative.
+        let mut active = [true; N_FEATURES];
+        loop {
+            let (w, b) = solve_ridge(&rows, &active, cfg.ridge);
+            let mut clamped = false;
+            for i in 0..N_FEATURES {
+                if active[i] && w[i] < 0.0 {
+                    active[i] = false;
+                    clamped = true;
+                }
+            }
+            if !clamped {
+                model.weights = w;
+                model.bias = b;
+                break;
+            }
+        }
+        Ok(model)
+    }
+
+    /// Mean relative error over a sample set.
+    pub fn mean_relative_error(&self, samples: &[([f64; N_FEATURES], f64)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples
+            .iter()
+            .map(|(x, y)| {
+                let p = self.predict(x);
+                (p - y).abs() / y.abs().max(1e-9)
+            })
+            .sum::<f64>()
+            / samples.len() as f64
+    }
+
+    /// Median q-error (max(p/y, y/p)) over a sample set.
+    pub fn median_q_error(&self, samples: &[([f64; N_FEATURES], f64)]) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        let mut qs: Vec<f64> = samples
+            .iter()
+            .map(|(x, y)| {
+                let p = self.predict(x).max(1e-9);
+                let y = y.max(1e-9);
+                (p / y).max(y / p)
+            })
+            .collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+        qs[qs.len() / 2]
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model is always serialisable")
+    }
+
+    /// Deserialise from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Solve the ridge-regularised least-squares problem
+/// `min Σ (w·x + b - t)² + ridge·|w|²` over the `active` feature columns
+/// (inactive columns are forced to weight 0). Returns `(weights, bias)`.
+///
+/// The system is (N_FEATURES+1)×(N_FEATURES+1); Gaussian elimination with
+/// partial pivoting is ample at this size.
+fn solve_ridge(
+    rows: &[([f64; N_FEATURES], f64)],
+    active: &[bool; N_FEATURES],
+    ridge: f64,
+) -> ([f64; N_FEATURES], f64) {
+    const D: usize = N_FEATURES + 1; // weights + bias
+    let mut a = [[0.0f64; D]; D];
+    let mut v = [0.0f64; D];
+
+    let xi = |x: &[f64; N_FEATURES], i: usize| -> f64 {
+        if i < N_FEATURES {
+            if active[i] {
+                x[i]
+            } else {
+                0.0
+            }
+        } else {
+            1.0 // bias column
+        }
+    };
+
+    for (x, t) in rows {
+        for i in 0..D {
+            let xv = xi(x, i);
+            v[i] += xv * t;
+            for (j, aij) in a[i].iter_mut().enumerate() {
+                *aij += xv * xi(x, j);
+            }
+        }
+    }
+    for (i, ai) in a.iter_mut().enumerate().take(N_FEATURES) {
+        ai[i] += ridge * rows.len().max(1) as f64;
+        // Inactive columns: force identity row so the system stays regular.
+        if !active[i] {
+            for (j, aij) in ai.iter_mut().enumerate() {
+                *aij = if i == j { 1.0 } else { 0.0 };
+            }
+            v[i] = 0.0;
+        }
+    }
+
+    // Gaussian elimination with partial pivoting.
+    let mut m = a;
+    let mut rhs = v;
+    for col in 0..D {
+        // Pivot.
+        let piv = (col..D)
+            .max_by(|&p, &q| {
+                m[p][col]
+                    .abs()
+                    .partial_cmp(&m[q][col].abs())
+                    .expect("matrix entries are finite")
+            })
+            .expect("non-empty range");
+        m.swap(col, piv);
+        rhs.swap(col, piv);
+        let d = m[col][col];
+        if d.abs() < 1e-12 {
+            continue; // Degenerate column; its solution stays 0.
+        }
+        for r in (col + 1)..D {
+            let f = m[r][col] / d;
+            let pivot_row = m[col];
+            for (c, mrc) in m[r].iter_mut().enumerate().skip(col) {
+                *mrc -= f * pivot_row[c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    let mut sol = [0.0f64; D];
+    for col in (0..D).rev() {
+        let mut s = rhs[col];
+        for c in (col + 1)..D {
+            s -= m[col][c] * sol[c];
+        }
+        sol[col] = if m[col][col].abs() < 1e-12 {
+            0.0
+        } else {
+            s / m[col][col]
+        };
+    }
+
+    let mut w = [0.0; N_FEATURES];
+    w.copy_from_slice(&sol[..N_FEATURES]);
+    for i in 0..N_FEATURES {
+        if !active[i] {
+            w[i] = 0.0;
+        }
+    }
+    (w, sol[N_FEATURES])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic ground truth: y = 1.0*d + 1.3*io + 1.15*cpu (the
+    /// simulator's TrueCostWeights), across decades of magnitude.
+    fn synthetic(n: usize) -> Vec<([f64; 3], f64)> {
+        let mut out = Vec::with_capacity(n);
+        let mut x = 1u64;
+        for i in 0..n {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let a = ((x >> 16) % 10_000) as f64 * 0.7 + 1.0;
+            let b = ((x >> 32) % 1_000) as f64 * (i % 3) as f64;
+            let c = ((x >> 45) % 500) as f64;
+            out.push(([a, b, c], a + 1.3 * b + 1.15 * c));
+        }
+        out
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        assert_eq!(
+            OneLayerRegression::train(&[], &TrainConfig::default()),
+            Err(ModelError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn non_finite_sample_errors() {
+        let s = vec![([1.0, f64::NAN, 0.0], 1.0)];
+        assert!(matches!(
+            OneLayerRegression::train(&s, &TrainConfig::default()),
+            Err(ModelError::NonFiniteSample { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn learns_linear_combination_of_features() {
+        let data = synthetic(600);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let mre = model.mean_relative_error(&data);
+        assert!(mre < 0.35, "mean relative error too high: {mre}");
+    }
+
+    #[test]
+    fn predictions_ordered_by_maintenance_cost() {
+        // Two points that the *native* estimator cannot distinguish (same
+        // C^data) must be ordered by the learned model.
+        let data = synthetic(600);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let light = model.predict(&[1000.0, 0.0, 0.0]);
+        let heavy = model.predict(&[1000.0, 800.0, 400.0]);
+        assert!(heavy > light * 1.2, "heavy={heavy} light={light}");
+    }
+
+    #[test]
+    fn predictions_bounded_by_scale() {
+        let data = synthetic(200);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        for (x, _) in &data {
+            let p = model.predict(x);
+            assert!(p >= 0.0 && p <= model.scale);
+        }
+        // Even absurd inputs stay bounded (sigmoid saturation).
+        assert!(model.predict(&[1e30, 1e30, 1e30]) <= model.scale);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = synthetic(100);
+        let m1 = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let m2 = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let data = synthetic(100);
+        let m = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let j = m.to_json();
+        let m2 = OneLayerRegression::from_json(&j).unwrap();
+        // JSON may lose the last ULP of a float; predictions must agree to
+        // within rounding.
+        for (x, _) in &data {
+            let (a, b) = (m.predict(x), m2.predict(x));
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn q_error_reasonable_on_train_data() {
+        let data = synthetic(600);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let q = model.median_q_error(&data);
+        assert!(q < 2.0, "median q-error {q}");
+    }
+}

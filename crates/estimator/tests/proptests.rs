@@ -1,0 +1,83 @@
+//! Property-based tests for the estimator.
+
+use autoindex_estimator::{OneLayerRegression, TrainConfig};
+use proptest::prelude::*;
+
+/// Synthetic linear cost process with decade-spanning features.
+fn synthetic(seed: u64, n: usize) -> Vec<([f64; 3], f64)> {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|_| {
+            let d = (next() % 100_000) as f64 / 7.0 + 1.0;
+            let io = (next() % 500) as f64 / 3.0;
+            let cpu = (next() % 200) as f64 / 5.0;
+            ([d, io, cpu], d + 1.3 * io + 1.15 * cpu)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Predictions are monotone non-decreasing in every feature — the
+    /// non-negative-weight constraint guarantees it, and every consumer
+    /// (MCTS, Greedy, prune pass) relies on it.
+    #[test]
+    fn predictions_monotone_in_each_feature(seed in 1u64..10_000, scale in 1.0f64..100.0) {
+        let data = synthetic(seed, 300);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let base = [50.0 * scale, 10.0 * scale, 5.0 * scale];
+        let p0 = model.predict(&base);
+        for i in 0..3 {
+            let mut bumped = base;
+            bumped[i] *= 2.0;
+            let p1 = model.predict(&bumped);
+            prop_assert!(p1 + 1e-12 >= p0, "feature {i}: {p0} -> {p1}");
+        }
+    }
+
+    /// Predictions are always finite, non-negative and bounded by scale.
+    #[test]
+    fn predictions_bounded(seed in 1u64..10_000,
+                           d in 0.0f64..1e9, io in 0.0f64..1e9, cpu in 0.0f64..1e9) {
+        let data = synthetic(seed, 200);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let p = model.predict(&[d, io, cpu]);
+        prop_assert!(p.is_finite());
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= model.scale);
+    }
+
+    /// Training is insensitive to sample order (closed-form fit).
+    #[test]
+    fn training_is_order_invariant(seed in 1u64..10_000) {
+        let data = synthetic(seed, 200);
+        let mut reversed = data.clone();
+        reversed.reverse();
+        let m1 = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        let m2 = OneLayerRegression::train(&reversed, &TrainConfig::default()).unwrap();
+        for (x, _) in data.iter().take(20) {
+            let (a, b) = (m1.predict(x), m2.predict(x));
+            prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    /// The fit recovers a usable model: median q-error below 2 on its own
+    /// training distribution.
+    #[test]
+    fn fit_quality_holds_across_seeds(seed in 1u64..10_000) {
+        let data = synthetic(seed, 400);
+        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+        prop_assert!(model.median_q_error(&data) < 2.0);
+        // Weights are non-negative by construction.
+        for w in model.weights {
+            prop_assert!(w >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Query fingerprinting — the mechanism behind `SQL2Template` (§IV-A
+//! step 1): "for any new query, we replace the predicate values in the
+//! query with placeholders and match that query with the most similar
+//! template".
+//!
+//! Two fingerprinting paths are provided:
+//!
+//! * [`fingerprint`] — fast, text-level: lex the query, replace every
+//!   literal token with `$`, normalise whitespace/casing, and hash-join the
+//!   result. This is what the online `SQL2Template` hot path uses; it never
+//!   builds an AST.
+//! * [`fingerprint_statement`] — structural: render a parsed statement with
+//!   all values replaced by placeholders. Used when the template store also
+//!   needs the AST (e.g. for candidate generation on first sight of a
+//!   template).
+//!
+//! Both produce the same string for the same query, so templates created on
+//! either path unify.
+
+use crate::ast::{InsertStatement, Predicate, SelectStatement, Statement, TableRef, Value};
+use crate::lexer::{Lexer, TokenKind};
+use crate::SqlError;
+
+/// A canonical query template string plus a stable 64-bit hash of it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Canonical text with literals replaced by `$`.
+    pub text: String,
+    /// FNV-1a hash of `text` (stable across runs — used as the template
+    /// key so the store never depends on `DefaultHasher` randomisation).
+    pub hash: u64,
+}
+
+impl Fingerprint {
+    fn from_text(text: String) -> Self {
+        let hash = fnv1a(text.as_bytes());
+        Fingerprint { text, hash }
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Stable FNV-1a (64-bit) hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Text-level fingerprint: lex, replace literals with `$`, re-emit with
+/// single spaces. Errors only on lexically invalid SQL.
+pub fn fingerprint(sql: &str) -> Result<Fingerprint, SqlError> {
+    let tokens = Lexer::tokenize(sql)?;
+    // Canonical text is about the same length as the input.
+    let mut text = String::with_capacity(sql.len());
+    let mut prev_glue = false; // previous token glues to the next (no space)
+    let mut after_like = false; // previous keyword was LIKE
+    for t in &tokens {
+        let piece: &str = match &t.kind {
+            TokenKind::Eof => break,
+            // A string after LIKE keeps its wildcard anchoring: prefix
+            // patterns ('abc%') are sargable, suffix patterns ('%abc') are
+            // not, so they must map to different templates.
+            TokenKind::Str(s) if after_like => {
+                if s.starts_with('%') || s.starts_with('_') {
+                    "'%$'"
+                } else {
+                    "'$%'"
+                }
+            }
+            TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_)
+            | TokenKind::Placeholder => "$",
+            TokenKind::Ident(s) => s,
+            TokenKind::Keyword(k) => k,
+            TokenKind::Punct(p) => p,
+        };
+        after_like = matches!(&t.kind, TokenKind::Keyword(k) if k == "LIKE");
+        let glue_before = matches!(t.kind, TokenKind::Punct("." | "," | ")" | ";"));
+        if !text.is_empty() && !prev_glue && !glue_before {
+            text.push(' ');
+        }
+        text.push_str(piece);
+        prev_glue = matches!(t.kind, TokenKind::Punct("." | "("));
+        // Commas glue left but space right.
+        if matches!(t.kind, TokenKind::Punct(",")) {
+            prev_glue = false;
+        }
+    }
+    Ok(Fingerprint::from_text(text))
+}
+
+/// Structural fingerprint: replace all values in the AST with
+/// [`Value::Placeholder`], multi-row inserts with a single row, then render
+/// through the text-level path so both paths produce identical strings.
+pub fn fingerprint_statement(stmt: &Statement) -> Fingerprint {
+    let templated = templatize(stmt);
+    let rendered = templated.to_string();
+    fingerprint(&rendered).expect("rendered SQL always lexes")
+}
+
+/// Produce the *template statement*: the input with every literal value
+/// replaced by a placeholder. The template AST is what candidate index
+/// generation runs on.
+pub fn templatize(stmt: &Statement) -> Statement {
+    match stmt {
+        Statement::Select(s) => Statement::Select(templatize_select(s)),
+        Statement::Insert(i) => Statement::Insert(InsertStatement {
+            table: i.table.clone(),
+            columns: i.columns.clone(),
+            // Multi-row inserts collapse to one row: same index requirement.
+            rows: vec![vec![Value::Placeholder; i.columns.len().max(1)]],
+        }),
+        Statement::Update(u) => Statement::Update(crate::ast::UpdateStatement {
+            table: u.table.clone(),
+            sets: u
+                .sets
+                .iter()
+                .map(|s| crate::ast::SetClause {
+                    column: s.column.clone(),
+                    value: Value::Placeholder,
+                })
+                .collect(),
+            where_clause: u.where_clause.as_ref().map(templatize_predicate),
+        }),
+        Statement::Delete(d) => Statement::Delete(crate::ast::DeleteStatement {
+            table: d.table.clone(),
+            where_clause: d.where_clause.as_ref().map(templatize_predicate),
+        }),
+    }
+}
+
+fn templatize_select(s: &SelectStatement) -> SelectStatement {
+    SelectStatement {
+        distinct: s.distinct,
+        projection: s.projection.clone(),
+        from: s.from.iter().map(templatize_table_ref).collect(),
+        joins: s
+            .joins
+            .iter()
+            .map(|j| crate::ast::Join {
+                kind: j.kind,
+                relation: templatize_table_ref(&j.relation),
+                on: j.on.as_ref().map(templatize_predicate),
+            })
+            .collect(),
+        where_clause: s.where_clause.as_ref().map(templatize_predicate),
+        group_by: s.group_by.clone(),
+        having: s.having.as_ref().map(templatize_predicate),
+        order_by: s.order_by.clone(),
+        limit: s.limit,
+        for_update: s.for_update,
+    }
+}
+
+fn templatize_table_ref(t: &TableRef) -> TableRef {
+    match t {
+        TableRef::Table { .. } => t.clone(),
+        TableRef::Derived { query, alias } => TableRef::Derived {
+            query: Box::new(templatize_select(query)),
+            alias: alias.clone(),
+        },
+    }
+}
+
+fn templatize_predicate(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::And(ps) => Predicate::And(ps.iter().map(templatize_predicate).collect()),
+        Predicate::Or(ps) => Predicate::Or(ps.iter().map(templatize_predicate).collect()),
+        Predicate::Not(inner) => Predicate::Not(Box::new(templatize_predicate(inner))),
+        Predicate::Cmp { column, op, .. } => Predicate::Cmp {
+            column: column.clone(),
+            op: *op,
+            value: Value::Placeholder,
+        },
+        Predicate::JoinEq { .. } => p.clone(),
+        Predicate::InList {
+            column, negated, ..
+        } => Predicate::InList {
+            column: column.clone(),
+            // IN lists collapse to one placeholder: list length varies per
+            // query instance but the index requirement does not.
+            values: vec![Value::Placeholder],
+            negated: *negated,
+        },
+        Predicate::Between {
+            column, negated, ..
+        } => Predicate::Between {
+            column: column.clone(),
+            low: Value::Placeholder,
+            high: Value::Placeholder,
+            negated: *negated,
+        },
+        Predicate::Like {
+            column,
+            pattern,
+            negated,
+        } => {
+            // Keep a leading literal prefix marker: `abc%` and `%abc` have
+            // different sargability, so they must template differently.
+            let canonical = if pattern.starts_with('%') || pattern.starts_with('_') {
+                "%$".to_string()
+            } else {
+                "$%".to_string()
+            };
+            Predicate::Like {
+                column: column.clone(),
+                pattern: canonical,
+                negated: *negated,
+            }
+        }
+        Predicate::IsNull { .. } => p.clone(),
+        Predicate::Exists { query, negated } => Predicate::Exists {
+            query: Box::new(templatize_select(query)),
+            negated: *negated,
+        },
+        Predicate::InSubquery {
+            column,
+            query,
+            negated,
+        } => Predicate::InSubquery {
+            column: column.clone(),
+            query: Box::new(templatize_select(query)),
+            negated: *negated,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    #[test]
+    fn same_template_for_different_constants() {
+        let f1 = fingerprint("SELECT a FROM t WHERE b = 10 AND c = 'x'").unwrap();
+        let f2 = fingerprint("SELECT a FROM t WHERE b = 999 AND c = 'zebra'").unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn different_structure_different_template() {
+        let f1 = fingerprint("SELECT a FROM t WHERE b = 1").unwrap();
+        let f2 = fingerprint("SELECT a FROM t WHERE c = 1").unwrap();
+        assert_ne!(f1, f2);
+        let f3 = fingerprint("SELECT a FROM t WHERE b > 1").unwrap();
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn whitespace_case_and_comments_are_normalised() {
+        let f1 = fingerprint("select  a\nfrom   T where B = 3 -- note").unwrap();
+        let f2 = fingerprint("SELECT a FROM t WHERE b = 3").unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn placeholders_and_literals_unify() {
+        let f1 = fingerprint("SELECT a FROM t WHERE b = ?").unwrap();
+        let f2 = fingerprint("SELECT a FROM t WHERE b = 42").unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn fingerprint_is_idempotent() {
+        let f1 = fingerprint("SELECT a FROM t WHERE b = 7").unwrap();
+        let f2 = fingerprint(&f1.text).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn structural_matches_textual() {
+        for sql in [
+            "SELECT a, b FROM t WHERE a = 1 AND b > 2.5 ORDER BY a",
+            "UPDATE t SET a = 3 WHERE b = 'x'",
+            "DELETE FROM t WHERE a BETWEEN 1 AND 2",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let fs = fingerprint_statement(&stmt);
+            // Textual fingerprint of the structural template's text must be
+            // a fixed point.
+            let ft = fingerprint(&fs.text).unwrap();
+            assert_eq!(fs, ft, "for {sql:?}");
+        }
+    }
+
+    #[test]
+    fn insert_row_count_does_not_change_template() {
+        let s1 = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap();
+        let s2 = parse_statement("INSERT INTO t (a, b) VALUES (3, 4), (5, 6)").unwrap();
+        assert_eq!(fingerprint_statement(&s1), fingerprint_statement(&s2));
+    }
+
+    #[test]
+    fn in_list_length_does_not_change_template() {
+        let s1 = parse_statement("SELECT * FROM t WHERE a IN (1)").unwrap();
+        let s2 = parse_statement("SELECT * FROM t WHERE a IN (1, 2, 3, 4)").unwrap();
+        assert_eq!(fingerprint_statement(&s1), fingerprint_statement(&s2));
+    }
+
+    #[test]
+    fn like_prefix_vs_suffix_template_differ() {
+        let s1 = parse_statement("SELECT * FROM t WHERE a LIKE 'abc%'").unwrap();
+        let s2 = parse_statement("SELECT * FROM t WHERE a LIKE '%abc'").unwrap();
+        assert_ne!(fingerprint_statement(&s1), fingerprint_statement(&s2));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // Known FNV-1a vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,465 @@
+//! Hand-written SQL tokenizer.
+//!
+//! Produces a flat token stream; keywords are recognised case-insensitively
+//! and normalised to upper case. Literals keep their raw text so the
+//! fingerprinter can replace them with placeholders without re-rendering.
+
+use crate::SqlError;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier (table, column, alias). Stored lower-cased; SQL
+    /// identifiers are case-insensitive in the dialect we model.
+    Ident(String),
+    /// A recognised SQL keyword, upper-cased (`SELECT`, `WHERE`, ...).
+    Keyword(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped content).
+    Str(String),
+    /// A `?` or `$n` bind parameter.
+    Placeholder,
+    /// Punctuation / operator: `(`, `)`, `,`, `.`, `*`, `=`, `<`, `<=`, `>`,
+    /// `>=`, `<>`, `!=`, `+`, `-`, `/`, `;`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True for literal tokens that `SQL2Template` replaces with `$`.
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_) | TokenKind::Placeholder
+        )
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// All keywords the parser understands. Anything else lexes as an
+/// identifier, which keeps the lexer forward-compatible.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "OFFSET", "AS", "AND",
+    "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "EXISTS", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "ON", "ASC",
+    "DESC", "DISTINCT", "COUNT", "SUM", "AVG", "MIN", "MAX", "UNION", "ALL", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "FOR", "OF",
+];
+
+/// Streaming tokenizer over a SQL string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, SqlError> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::with_capacity(src.len() / 4 + 4);
+        loop {
+            let tok = lx.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), SqlError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(SqlError::Lex {
+                                    offset: start,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lex one token.
+    pub fn next_token(&mut self) -> Result<Token, SqlError> {
+        self.skip_ws_and_comments()?;
+        let offset = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match b {
+            b'\'' => self.lex_string(offset)?,
+            b'0'..=b'9' => self.lex_number(offset)?,
+            b'?' => {
+                self.pos += 1;
+                TokenKind::Placeholder
+            }
+            b'$' => {
+                self.pos += 1;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                TokenKind::Placeholder
+            }
+            b'"' => self.lex_quoted_ident(offset)?,
+            b if b.is_ascii_alphabetic() || b == b'_' => self.lex_word(),
+            _ => self.lex_punct(offset)?,
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_string(&mut self, offset: usize) -> Result<TokenKind, SqlError> {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.pos += 1;
+        let mut content = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // '' escapes a quote inside a string literal.
+                    if self.peek() == Some(b'\'') {
+                        self.pos += 1;
+                        content.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(content));
+                    }
+                }
+                Some(c) => content.push(c as char),
+                None => {
+                    return Err(SqlError::Lex {
+                        offset,
+                        message: "unterminated string literal".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, offset: usize) -> Result<TokenKind, SqlError> {
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let ident = self.src[start..self.pos].to_ascii_lowercase();
+                self.pos += 1;
+                return Ok(TokenKind::Ident(ident));
+            }
+            self.pos += 1;
+        }
+        Err(SqlError::Lex {
+            offset,
+            message: "unterminated quoted identifier".into(),
+        })
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<TokenKind, SqlError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| SqlError::Lex {
+                    offset,
+                    message: format!("bad float literal {text:?}: {e}"),
+                })
+        } else {
+            // Fall back to float on i64 overflow rather than failing.
+            match text.parse::<i64>() {
+                Ok(v) => Ok(TokenKind::Int(v)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(TokenKind::Float)
+                    .map_err(|e| SqlError::Lex {
+                        offset,
+                        message: format!("bad numeric literal {text:?}: {e}"),
+                    }),
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let upper = word.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Ident(word.to_ascii_lowercase())
+        }
+    }
+
+    fn lex_punct(&mut self, offset: usize) -> Result<TokenKind, SqlError> {
+        let b = self.bump().expect("caller checked non-empty");
+        let two = |lx: &mut Self, s: &'static str| {
+            lx.pos += 1;
+            Ok(TokenKind::Punct(s))
+        };
+        match b {
+            b'(' => Ok(TokenKind::Punct("(")),
+            b')' => Ok(TokenKind::Punct(")")),
+            b',' => Ok(TokenKind::Punct(",")),
+            b'.' => Ok(TokenKind::Punct(".")),
+            b'*' => Ok(TokenKind::Punct("*")),
+            b'+' => Ok(TokenKind::Punct("+")),
+            b'-' => Ok(TokenKind::Punct("-")),
+            b'/' => Ok(TokenKind::Punct("/")),
+            b';' => Ok(TokenKind::Punct(";")),
+            b'=' => Ok(TokenKind::Punct("=")),
+            b'<' => match self.peek() {
+                Some(b'=') => two(self, "<="),
+                Some(b'>') => two(self, "<>"),
+                _ => Ok(TokenKind::Punct("<")),
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => two(self, ">="),
+                _ => Ok(TokenKind::Punct(">")),
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => two(self, "<>"),
+                _ => Err(SqlError::Lex {
+                    offset,
+                    message: "unexpected '!'".into(),
+                }),
+            },
+            other => Err(SqlError::Lex {
+                offset,
+                message: format!("unexpected character {:?}", other as char),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        let ks = kinds("select FROM WhErE");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Keyword("WHERE".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_identifiers_lowercased() {
+        let ks = kinds("Customer c_ID");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("customer".into()),
+                TokenKind::Ident("c_id".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let ks = kinds("42 2.75 1e3 7.5e-2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.75),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.075),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_overflow_falls_back_to_float() {
+        let ks = kinds("99999999999999999999999999");
+        assert!(matches!(ks[0], TokenKind::Float(_)));
+    }
+
+    #[test]
+    fn lexes_strings_with_escaped_quotes() {
+        let ks = kinds("'o''brien'");
+        assert_eq!(ks[0], TokenKind::Str("o'brien".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn lexes_placeholders() {
+        let ks = kinds("? $1 $23");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Placeholder,
+                TokenKind::Placeholder,
+                TokenKind::Placeholder,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let ks = kinds("<= >= <> != =");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Punct("<="),
+                TokenKind::Punct(">="),
+                TokenKind::Punct("<>"),
+                TokenKind::Punct("<>"),
+                TokenKind::Punct("="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let ks = kinds("select -- hi\n /* block\n comment */ 1");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(Lexer::tokenize("select /* nope").is_err());
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let ks = kinds("\"Order\"");
+        assert_eq!(ks[0], TokenKind::Ident("order".into()));
+    }
+
+    #[test]
+    fn offsets_point_at_token_start() {
+        let toks = Lexer::tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn literal_classification() {
+        assert!(TokenKind::Int(1).is_literal());
+        assert!(TokenKind::Str("x".into()).is_literal());
+        assert!(TokenKind::Placeholder.is_literal());
+        assert!(!TokenKind::Ident("a".into()).is_literal());
+        assert!(!TokenKind::Punct("=").is_literal());
+    }
+}

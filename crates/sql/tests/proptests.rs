@@ -1,0 +1,144 @@
+//! Property-based tests for the SQL front-end.
+//!
+//! * DNF conversion preserves boolean semantics on random predicate trees.
+//! * `Display` → `parse` round-trips on randomly generated statements.
+//! * Fingerprinting is idempotent and literal-invariant.
+
+use autoindex_sql::predicate::{collect_atoms, evaluate, evaluate_dnf, to_dnf_capped};
+use autoindex_sql::{
+    fingerprint, parse_statement, CmpOp, ColumnRef, Predicate, SelectItem, SelectStatement,
+    Statement, TableRef, Value,
+};
+use proptest::prelude::*;
+
+const COLUMNS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_column() -> impl Strategy<Value = ColumnRef> {
+    prop::sample::select(&COLUMNS[..]).prop_map(ColumnRef::bare)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0i64..5).prop_map(Value::Int)
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
+}
+
+fn arb_atom() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (arb_column(), arb_op(), arb_value()).prop_map(|(column, op, value)| Predicate::Cmp {
+            column,
+            op,
+            value
+        }),
+        (arb_column(), prop::collection::vec(arb_value(), 1..3), any::<bool>()).prop_map(
+            |(column, values, negated)| Predicate::InList {
+                column,
+                values,
+                negated
+            }
+        ),
+        (arb_column(), 0i64..3, 2i64..5, any::<bool>()).prop_map(
+            |(column, lo, hi, negated)| Predicate::Between {
+                column,
+                low: Value::Int(lo),
+                high: Value::Int(hi),
+                negated
+            }
+        ),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    arb_atom().prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Predicate::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Predicate::Or),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    /// DNF must agree with direct evaluation on every assignment of small
+    /// integers to the four columns (two-valued rows, no NULLs).
+    #[test]
+    fn dnf_preserves_semantics(p in arb_predicate(), row in prop::collection::vec(0i64..5, 4)) {
+        let Ok(dnf) = to_dnf_capped(&p, 4096) else {
+            // Cap exceeded is an accepted outcome; callers fall back.
+            return Ok(());
+        };
+        let lookup = |c: &ColumnRef| -> Option<Value> {
+            COLUMNS.iter().position(|n| *n == c.column).map(|i| Value::Int(row[i]))
+        };
+        let oracle = |_: &str| false;
+        prop_assert_eq!(
+            evaluate(&p, &lookup, &oracle),
+            evaluate_dnf(&dnf, &lookup, &oracle)
+        );
+    }
+
+    /// Every atom collected from a tree keeps a resolvable column.
+    #[test]
+    fn collected_atoms_have_columns(p in arb_predicate()) {
+        for atom in collect_atoms(&p) {
+            prop_assert!(atom.restricted_column().is_some() || atom.join_edge().is_some());
+        }
+    }
+
+    /// Rendering a SELECT built around a random predicate and re-parsing it
+    /// yields the same AST.
+    #[test]
+    fn select_display_roundtrips(p in arb_predicate()) {
+        let stmt = Statement::Select(SelectStatement {
+            distinct: false,
+            projection: vec![SelectItem::Star],
+            from: vec![TableRef::Table { name: "t".into(), alias: None }],
+            joins: vec![],
+            where_clause: Some(p),
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            for_update: false,
+        });
+        let rendered = stmt.to_string();
+        let reparsed = parse_statement(&rendered);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {}", rendered);
+        prop_assert_eq!(reparsed.unwrap(), stmt);
+    }
+
+    /// Fingerprinting is idempotent: fp(fp(q).text) == fp(q).
+    #[test]
+    fn fingerprint_idempotent(p in arb_predicate()) {
+        let sql = format!("SELECT * FROM t WHERE {p}");
+        let f1 = fingerprint(&sql).unwrap();
+        let f2 = fingerprint(&f1.text).unwrap();
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// Fingerprints are invariant under changing every literal.
+    #[test]
+    fn fingerprint_literal_invariant(col in prop::sample::select(&COLUMNS[..]),
+                                     v1 in 0i64..1000, v2 in 0i64..1000) {
+        let f1 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v1}")).unwrap();
+        let f2 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v2}")).unwrap();
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// The DNF conjunct count never exceeds the cap when Ok.
+    #[test]
+    fn dnf_respects_cap(p in arb_predicate(), cap in 1usize..64) {
+        if let Ok(dnf) = to_dnf_capped(&p, cap) {
+            prop_assert!(dnf.conjuncts.len() <= cap);
+        }
+    }
+}

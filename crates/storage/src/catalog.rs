@@ -1,0 +1,487 @@
+//! Catalog: tables, columns and per-column statistics.
+//!
+//! Statistics are the ones a real optimizer keeps (`pg_statistic`-style):
+//! row counts, page counts, per-column distinct counts, numeric ranges,
+//! null fractions, physical correlation. They drive both selectivity
+//! estimation and the §V-A cost features.
+
+use crate::StorageError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Logical page size in bytes, matching openGauss/PostgreSQL's 8 KiB.
+pub const PAGE_SIZE: u64 = 8192;
+
+/// Heap page fill factor: usable fraction of each page.
+pub const HEAP_FILL: f64 = 0.9;
+
+/// The SQL type class of a column (only what selectivity needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Text,
+    Timestamp,
+}
+
+impl ColumnType {
+    /// Whether range selectivity can be interpolated from min/max.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::Float | ColumnType::Timestamp)
+    }
+}
+
+/// Per-column statistics (the `pg_statistic` subset the model needs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub ndv: f64,
+    /// Minimum value (numeric domains only; meaningless for text).
+    pub min: f64,
+    /// Maximum value (numeric domains only).
+    pub max: f64,
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+    /// Physical ordering correlation in `[-1, 1]`; `1.0` means the heap is
+    /// stored in this column's order (cheap range index scans).
+    pub correlation: f64,
+    /// Optional equi-depth histogram; when present, range selectivity uses
+    /// it instead of min/max interpolation (essential for skewed columns).
+    pub histogram: Option<crate::histogram::Histogram>,
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        ColumnStats {
+            ndv: 100.0,
+            min: 0.0,
+            max: 1_000_000.0,
+            null_frac: 0.0,
+            correlation: 0.0,
+            histogram: None,
+        }
+    }
+}
+
+/// A column definition: name, type, byte width and statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+    /// Average stored width in bytes.
+    pub width: u32,
+    pub stats: ColumnStats,
+}
+
+impl Column {
+    /// Shorthand for an integer column with `ndv` distinct values over
+    /// `[0, ndv)`.
+    pub fn int(name: impl Into<String>, ndv: u64) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            width: 8,
+            stats: ColumnStats {
+                ndv: ndv.max(1) as f64,
+                min: 0.0,
+                max: ndv.max(1) as f64,
+                ..ColumnStats::default()
+            },
+        }
+    }
+
+    /// Shorthand for a float column over `[min, max]`.
+    pub fn float(name: impl Into<String>, ndv: u64, min: f64, max: f64) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Float,
+            width: 8,
+            stats: ColumnStats {
+                ndv: ndv.max(1) as f64,
+                min,
+                max,
+                ..ColumnStats::default()
+            },
+        }
+    }
+
+    /// Shorthand for a text column with `ndv` distinct values and average
+    /// width `width`.
+    pub fn text(name: impl Into<String>, ndv: u64, width: u32) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Text,
+            width,
+            stats: ColumnStats {
+                ndv: ndv.max(1) as f64,
+                ..ColumnStats::default()
+            },
+        }
+    }
+
+    /// Set the physical correlation (builder-style).
+    pub fn with_correlation(mut self, corr: f64) -> Self {
+        self.stats.correlation = corr.clamp(-1.0, 1.0);
+        self
+    }
+
+    /// Set the null fraction (builder-style).
+    pub fn with_null_frac(mut self, frac: f64) -> Self {
+        self.stats.null_frac = frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Attach an equi-depth histogram built from sampled values
+    /// (builder-style). Also tightens min/max to the sample range.
+    pub fn with_histogram(mut self, samples: Vec<f64>, buckets: usize) -> Self {
+        if let Some(h) = crate::histogram::Histogram::from_samples(samples, buckets) {
+            self.stats.min = h.min();
+            self.stats.max = h.max();
+            self.stats.histogram = Some(h);
+        }
+        self
+    }
+}
+
+/// A table: columns, cardinality and derived physical geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Current row count (grows under INSERT workloads).
+    pub rows: u64,
+    /// Number of horizontal partitions (1 = unpartitioned). Partitioned
+    /// tables distinguish GLOBAL vs LOCAL indexes (§III "index type
+    /// selection for the data partitioning scenarios").
+    pub partitions: u32,
+    /// Name of the partitioning column, if partitioned.
+    pub partition_key: Option<String>,
+    /// Columns of the primary key (always indexed by `Default` setups).
+    pub primary_key: Vec<String>,
+    column_index: HashMap<String, usize>,
+}
+
+impl Table {
+    /// Average row width in bytes (sum of column widths + tuple header).
+    pub fn row_width(&self) -> u64 {
+        const TUPLE_HEADER: u64 = 24;
+        TUPLE_HEADER + self.columns.iter().map(|c| c.width as u64).sum::<u64>()
+    }
+
+    /// Heap pages occupied by this table.
+    pub fn pages(&self) -> u64 {
+        let per_page = ((PAGE_SIZE as f64 * HEAP_FILL) / self.row_width() as f64).max(1.0);
+        (self.rows as f64 / per_page).ceil() as u64
+    }
+
+    /// Total heap bytes.
+    pub fn bytes(&self) -> u64 {
+        self.pages() * PAGE_SIZE
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index.get(name).map(|&i| &self.columns[i])
+    }
+
+    /// Mutable column lookup.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
+        let i = *self.column_index.get(name)?;
+        Some(&mut self.columns[i])
+    }
+
+    /// Whether `columns` is exactly the primary key prefix (those lookups
+    /// are always index-backed even in the Default configuration).
+    pub fn is_primary_prefix(&self, columns: &[String]) -> bool {
+        !columns.is_empty()
+            && columns.len() <= self.primary_key.len()
+            && columns
+                .iter()
+                .zip(&self.primary_key)
+                .all(|(a, b)| a == b)
+    }
+}
+
+/// Builder for [`Table`], enforcing invariants at `build` time.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+    rows: u64,
+    partitions: u32,
+    partition_key: Option<String>,
+    primary_key: Vec<String>,
+}
+
+impl TableBuilder {
+    /// Start building a table with `rows` rows.
+    pub fn new(name: impl Into<String>, rows: u64) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            rows,
+            partitions: 1,
+            partition_key: None,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Add a column.
+    pub fn column(mut self, column: Column) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Declare the primary key columns (must exist).
+    pub fn primary_key(mut self, columns: &[&str]) -> Self {
+        self.primary_key = columns.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Partition the table into `n` partitions on `key`.
+    pub fn partitioned(mut self, n: u32, key: &str) -> Self {
+        self.partitions = n.max(1);
+        self.partition_key = Some(key.to_string());
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Table, StorageError> {
+        if self.columns.is_empty() {
+            return Err(StorageError::Invalid(format!(
+                "table {:?} has no columns",
+                self.name
+            )));
+        }
+        let mut column_index = HashMap::with_capacity(self.columns.len());
+        for (i, c) in self.columns.iter().enumerate() {
+            if column_index.insert(c.name.clone(), i).is_some() {
+                return Err(StorageError::Invalid(format!(
+                    "duplicate column {:?} in table {:?}",
+                    c.name, self.name
+                )));
+            }
+        }
+        for pk in &self.primary_key {
+            if !column_index.contains_key(pk) {
+                return Err(StorageError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: pk.clone(),
+                });
+            }
+        }
+        if let Some(k) = &self.partition_key {
+            if !column_index.contains_key(k) {
+                return Err(StorageError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: k.clone(),
+                });
+            }
+        }
+        Ok(Table {
+            name: self.name,
+            columns: self.columns,
+            rows: self.rows,
+            partitions: self.partitions,
+            partition_key: self.partition_key,
+            primary_key: self.primary_key,
+            column_index,
+        })
+    }
+}
+
+/// The catalog: all tables by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table; replaces any previous definition with the name.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Look up a table or error.
+    pub fn require_table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.table(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// All tables (iteration order unspecified).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Grow a table's row count by `delta` rows, scaling NDVs of its
+    /// high-cardinality columns proportionally (models INSERT-driven data
+    /// growth in the Figure 9 dynamic experiment).
+    pub fn grow_table(&mut self, name: &str, delta: u64) -> Result<(), StorageError> {
+        let t = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        if t.rows == 0 {
+            t.rows = delta;
+            return Ok(());
+        }
+        let factor = (t.rows + delta) as f64 / t.rows as f64;
+        t.rows += delta;
+        for c in &mut t.columns {
+            // Only near-unique columns grow in NDV; low-cardinality
+            // categorical columns keep their domain.
+            if c.stats.ndv > 0.5 * (t.rows as f64 / factor) {
+                c.stats.ndv = (c.stats.ndv * factor).min(t.rows as f64);
+                if c.ty.is_numeric() {
+                    c.stats.max *= factor;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> Table {
+        TableBuilder::new("person", 100_000)
+            .column(Column::int("id", 100_000))
+            .column(Column::text("name", 90_000, 16))
+            .column(Column::float("temperature", 300, 35.0, 42.0))
+            .column(Column::text("community", 50, 12))
+            .primary_key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn row_width_and_pages() {
+        let t = person();
+        assert_eq!(t.row_width(), 24 + 8 + 16 + 8 + 12);
+        let per_page = 8192.0 * 0.9 / t.row_width() as f64;
+        assert_eq!(t.pages(), (100_000.0 / per_page).ceil() as u64);
+        assert_eq!(t.bytes(), t.pages() * PAGE_SIZE);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = person();
+        assert_eq!(t.column("temperature").unwrap().ty, ColumnType::Float);
+        assert!(t.column("nope").is_none());
+    }
+
+    #[test]
+    fn primary_prefix_detection() {
+        let t = person();
+        assert!(t.is_primary_prefix(&["id".to_string()]));
+        assert!(!t.is_primary_prefix(&["name".to_string()]));
+        assert!(!t.is_primary_prefix(&[]));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_columns() {
+        let r = TableBuilder::new("t", 10)
+            .column(Column::int("a", 10))
+            .column(Column::int("a", 10))
+            .build();
+        assert!(matches!(r, Err(StorageError::Invalid(_))));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_pk() {
+        let r = TableBuilder::new("t", 10)
+            .column(Column::int("a", 10))
+            .primary_key(&["b"])
+            .build();
+        assert!(matches!(r, Err(StorageError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_empty_table() {
+        assert!(TableBuilder::new("t", 10).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_unknown_partition_key() {
+        let r = TableBuilder::new("t", 10)
+            .column(Column::int("a", 10))
+            .partitioned(4, "b")
+            .build();
+        assert!(matches!(r, Err(StorageError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.add_table(person());
+        assert_eq!(c.len(), 1);
+        assert!(c.table("person").is_some());
+        assert!(c.require_table("ghost").is_err());
+    }
+
+    #[test]
+    fn grow_table_scales_rows_and_unique_ndv() {
+        let mut c = Catalog::new();
+        c.add_table(person());
+        let ndv_id_before = c.table("person").unwrap().column("id").unwrap().stats.ndv;
+        let ndv_comm_before = c
+            .table("person")
+            .unwrap()
+            .column("community")
+            .unwrap()
+            .stats
+            .ndv;
+        c.grow_table("person", 100_000).unwrap();
+        let t = c.table("person").unwrap();
+        assert_eq!(t.rows, 200_000);
+        assert!(t.column("id").unwrap().stats.ndv > ndv_id_before);
+        // Categorical column keeps its domain size.
+        assert_eq!(t.column("community").unwrap().stats.ndv, ndv_comm_before);
+    }
+
+    #[test]
+    fn grow_unknown_table_errors() {
+        let mut c = Catalog::new();
+        assert!(c.grow_table("ghost", 5).is_err());
+    }
+
+    #[test]
+    fn grow_empty_table_sets_rows() {
+        let mut c = Catalog::new();
+        let t = TableBuilder::new("t", 0)
+            .column(Column::int("a", 1))
+            .build()
+            .unwrap();
+        c.add_table(t);
+        c.grow_table("t", 42).unwrap();
+        assert_eq!(c.table("t").unwrap().rows, 42);
+    }
+}

@@ -1,0 +1,666 @@
+//! The simulated database façade: DDL, hypothetical indexes, what-if
+//! costing, simulated execution and usage tracking.
+//!
+//! [`SimDb`] plays the role openGauss plays in the paper. Key properties:
+//!
+//! * **What-if API** ([`SimDb::whatif_features`]) — cost a statement under
+//!   an *arbitrary* index configuration without building anything (the
+//!   `hypopg_index` equivalent, §V C2.1). The configuration is passed in
+//!   explicitly so MCTS can probe thousands of candidate sets cheaply.
+//! * **Execution** ([`SimDb::execute`]) — runs a statement against the
+//!   *real* index set, paying maintenance costs and buffer-pressure
+//!   penalties, with multiplicative log-normal noise, and returns the
+//!   "measured" latency. Inserts grow the catalog tables.
+//! * **Buffer pressure** — total on-disk bytes beyond `memory_bytes`
+//!   inflate read latency. This models the Figure 1 observation that
+//!   dropping redundant indexes *improves* throughput by freeing cache.
+
+use crate::catalog::Catalog;
+use crate::index::{geometry, IndexDef, IndexGeometry, IndexId};
+use crate::planner::{CostFeatures, CostParams, PlanSummary, Planner, TrueCostWeights, VisibleIndex};
+use crate::shape::QueryShape;
+use crate::usage::UsageTracker;
+use crate::StorageError;
+use autoindex_sql::Statement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Configuration of the simulated database.
+#[derive(Debug, Clone)]
+pub struct SimDbConfig {
+    pub cost_params: CostParams,
+    /// Ground-truth cost weights applied at execution time.
+    pub true_weights: TrueCostWeights,
+    /// Std-dev of the multiplicative log-normal execution noise.
+    pub noise: f64,
+    /// RNG seed for reproducible "measurements".
+    pub seed: u64,
+    /// Buffer-pool size; total data+index bytes above this inflate reads.
+    pub memory_bytes: u64,
+    /// Read-latency inflation per 1x of memory overshoot.
+    pub memory_pressure_factor: f64,
+    /// Milliseconds per optimizer cost unit (calibration constant).
+    pub ms_per_cost_unit: f64,
+}
+
+impl Default for SimDbConfig {
+    fn default() -> Self {
+        SimDbConfig {
+            cost_params: CostParams::default(),
+            true_weights: TrueCostWeights::default(),
+            noise: 0.03,
+            seed: 42,
+            memory_bytes: 16 * 1024 * 1024 * 1024, // 16 GB, the paper's server
+            memory_pressure_factor: 0.12,
+            ms_per_cost_unit: 0.01,
+        }
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Simulated measured latency in milliseconds.
+    pub latency_ms: f64,
+    /// The §V cost features of the executed plan.
+    pub features: CostFeatures,
+    /// Indexes used on the read side.
+    pub indexes_used: Vec<IndexId>,
+}
+
+/// Aggregate measurement over a workload run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadMeasurement {
+    /// Sum of per-statement latencies, ms.
+    pub total_latency_ms: f64,
+    /// Number of statements executed.
+    pub statements: u64,
+    /// Per-statement latencies (same order as input).
+    pub latencies_ms: Vec<f64>,
+}
+
+impl WorkloadMeasurement {
+    /// Mean statement latency, ms.
+    pub fn avg_latency_ms(&self) -> f64 {
+        if self.statements == 0 {
+            0.0
+        } else {
+            self.total_latency_ms / self.statements as f64
+        }
+    }
+
+    /// Throughput under `concurrency` independent streams, statements/s.
+    pub fn throughput(&self, concurrency: u32) -> f64 {
+        let avg = self.avg_latency_ms();
+        if avg <= 0.0 {
+            0.0
+        } else {
+            concurrency as f64 * 1000.0 / avg
+        }
+    }
+
+    /// Latency percentile in ms (`q` in `[0, 1]`; e.g. `0.95` for p95).
+    /// Returns 0 for an empty measurement.
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_ms.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+}
+
+/// The simulated database.
+pub struct SimDb {
+    catalog: Catalog,
+    config: SimDbConfig,
+    indexes: BTreeMap<IndexId, IndexDef>,
+    next_id: u32,
+    usage: UsageTracker,
+    rng: StdRng,
+}
+
+impl SimDb {
+    /// Create a database over `catalog`.
+    pub fn new(catalog: Catalog, config: SimDbConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimDb {
+            catalog,
+            config,
+            indexes: BTreeMap::new(),
+            next_id: 0,
+            usage: UsageTracker::new(),
+            rng,
+        }
+    }
+
+    /// The catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (workload generators adjust statistics).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimDbConfig {
+        &self.config
+    }
+
+    /// Usage counters.
+    pub fn usage(&self) -> &UsageTracker {
+        &self.usage
+    }
+
+    /// Reset usage counters (start of a diagnosis window).
+    pub fn reset_usage(&mut self) {
+        self.usage.reset();
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    /// Create a real index. Errors if an identical key already exists.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<IndexId, StorageError> {
+        let table = self.catalog.require_table(&def.table)?;
+        def.validate(table)?;
+        if self.indexes.values().any(|d| *d == def) {
+            return Err(StorageError::DuplicateIndex(def.key()));
+        }
+        let id = IndexId(self.next_id);
+        self.next_id += 1;
+        self.indexes.insert(id, def);
+        Ok(id)
+    }
+
+    /// Drop a real index.
+    pub fn drop_index(&mut self, id: IndexId) -> Result<IndexDef, StorageError> {
+        let def = self
+            .indexes
+            .remove(&id)
+            .ok_or(StorageError::UnknownIndex(id))?;
+        self.usage.forget(id);
+        Ok(def)
+    }
+
+    /// All real indexes.
+    pub fn indexes(&self) -> impl Iterator<Item = (IndexId, &IndexDef)> {
+        self.indexes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of real indexes.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Look up an index definition.
+    pub fn index_def(&self, id: IndexId) -> Option<&IndexDef> {
+        self.indexes.get(&id)
+    }
+
+    /// Find the id of an index by definition.
+    pub fn find_index(&self, def: &IndexDef) -> Option<IndexId> {
+        self.indexes
+            .iter()
+            .find(|(_, d)| *d == def)
+            .map(|(id, _)| *id)
+    }
+
+    /// Geometry of a real or hypothetical index at current cardinality.
+    pub fn index_geometry(&self, def: &IndexDef) -> Result<IndexGeometry, StorageError> {
+        let table = self.catalog.require_table(&def.table)?;
+        geometry(def, table)
+    }
+
+    /// Estimated on-disk size of an index (hypothetical sizing, §V C2.1).
+    pub fn index_size_bytes(&self, def: &IndexDef) -> Result<u64, StorageError> {
+        Ok(self.index_geometry(def)?.bytes)
+    }
+
+    /// Total bytes of all real indexes.
+    pub fn total_index_bytes(&self) -> u64 {
+        self.indexes
+            .values()
+            .filter_map(|d| self.index_size_bytes(d).ok())
+            .sum()
+    }
+
+    /// Total bytes of heap data.
+    pub fn total_heap_bytes(&self) -> u64 {
+        self.catalog.tables().map(|t| t.bytes()).sum()
+    }
+
+    // ----------------------------------------------------------- what-if
+
+    /// Plan `shape` under an explicit hypothetical index configuration and
+    /// return its cost features. Does not touch usage counters.
+    pub fn whatif_features(&self, shape: &QueryShape, config: &[IndexDef]) -> CostFeatures {
+        self.whatif_plan(shape, config).features
+    }
+
+    /// Full plan summary under a hypothetical configuration.
+    pub fn whatif_plan(&self, shape: &QueryShape, config: &[IndexDef]) -> PlanSummary {
+        let planner = Planner::new(&self.catalog, &self.config.cost_params);
+        let defs: Vec<(IndexId, IndexDef)> = config
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (IndexId(u32::MAX - i as u32), d.clone()))
+            .collect();
+        let visible = planner.resolve_indexes(&defs);
+        planner.plan(shape, &visible)
+    }
+
+    /// Native what-if cost (maintenance-blind, like the DB's own advisor).
+    pub fn whatif_native_cost(&self, shape: &QueryShape, config: &[IndexDef]) -> f64 {
+        self.whatif_features(shape, config).native_cost()
+    }
+
+    /// EXPLAIN a statement under a hypothetical configuration: the chosen
+    /// plan, rendered with index names.
+    pub fn whatif_explain(&self, shape: &QueryShape, config: &[IndexDef]) -> String {
+        let plan = self.whatif_plan(shape, config);
+        plan.explain(&|id| {
+            // What-if ids count down from u32::MAX in config order.
+            let i = (u32::MAX - id.0) as usize;
+            config.get(i).map(|d| d.to_string())
+        })
+    }
+
+    /// EXPLAIN a statement under the *real* index set.
+    pub fn explain(&self, stmt: &Statement) -> String {
+        let shape = QueryShape::extract(stmt, &self.catalog);
+        let planner = Planner::new(&self.catalog, &self.config.cost_params);
+        let visible = self.visible_real_indexes();
+        let plan = planner.plan(&shape, &visible);
+        plan.explain(&|id| self.indexes.get(&id).map(|d| d.to_string()))
+    }
+
+    fn visible_real_indexes(&self) -> Vec<VisibleIndex> {
+        let planner = Planner::new(&self.catalog, &self.config.cost_params);
+        let defs: Vec<(IndexId, IndexDef)> = self
+            .indexes
+            .iter()
+            .map(|(id, d)| (*id, d.clone()))
+            .collect();
+        planner.resolve_indexes(&defs)
+    }
+
+    // ---------------------------------------------------------- execution
+
+    /// Buffer-pressure multiplier on read latency given current footprint.
+    pub fn memory_pressure(&self) -> f64 {
+        self.pressure_for_index_bytes(self.total_index_bytes())
+    }
+
+    /// Buffer-pressure multiplier for a *hypothetical* total index
+    /// footprint (heap size unchanged). Index tuners use this to price the
+    /// cache impact of a candidate configuration — the Figure 1 effect
+    /// where dropping unused indexes improves throughput by freeing
+    /// memory.
+    pub fn pressure_for_index_bytes(&self, index_bytes: u64) -> f64 {
+        let total = self.total_heap_bytes() + index_bytes;
+        let mem = self.config.memory_bytes.max(1);
+        let over = (total as f64 - mem as f64) / mem as f64;
+        1.0 + self.config.memory_pressure_factor * over.max(0.0)
+    }
+
+    /// Execute one parsed statement against the real index set.
+    pub fn execute(&mut self, stmt: &Statement) -> ExecOutcome {
+        let shape = QueryShape::extract(stmt, &self.catalog);
+        self.execute_shape(&shape)
+    }
+
+    /// Execute a pre-extracted shape (hot path for template workloads).
+    pub fn execute_shape(&mut self, shape: &QueryShape) -> ExecOutcome {
+        let planner = Planner::new(&self.catalog, &self.config.cost_params);
+        let visible = self.visible_real_indexes();
+        let plan = planner.plan(shape, &visible);
+
+        // Usage accounting: credit each read-side index with the saving
+        // versus the no-index plan (computed lazily and cheaply: the seq
+        // baseline of the same shape).
+        self.usage.record_statement();
+        if !plan.indexes_used.is_empty() {
+            let baseline = planner.plan(shape, &[]);
+            let saving = (baseline.features.native_cost() - plan.features.native_cost())
+                .max(0.0)
+                / plan.indexes_used.len() as f64;
+            for id in &plan.indexes_used {
+                self.usage.record_scan(*id, saving);
+            }
+        }
+        for (id, m) in &plan.maintenance {
+            self.usage.record_maintenance(*id, m.total());
+        }
+
+        // Data growth from inserts.
+        if let Some(w) = &shape.write {
+            if w.kind == crate::shape::WriteKind::Insert {
+                let _ = self.catalog.grow_table(&w.table, w.inserted_rows);
+            }
+        }
+
+        // "Measured" latency: true-cost weights + buffer pressure + noise.
+        let pressure = self.memory_pressure();
+        let true_cost = plan.features.true_cost(&self.config.true_weights);
+        let noisy = true_cost
+            * pressure
+            * lognormal(&mut self.rng, self.config.noise);
+        let latency_ms = noisy * self.config.ms_per_cost_unit;
+
+        ExecOutcome {
+            latency_ms,
+            features: plan.features,
+            indexes_used: plan.indexes_used,
+        }
+    }
+
+    /// Execute a sequence of statements and aggregate the measurement.
+    pub fn run_workload(&mut self, stmts: &[Statement]) -> WorkloadMeasurement {
+        let mut m = WorkloadMeasurement::default();
+        m.latencies_ms.reserve(stmts.len());
+        for s in stmts {
+            let o = self.execute(s);
+            m.total_latency_ms += o.latency_ms;
+            m.statements += 1;
+            m.latencies_ms.push(o.latency_ms);
+        }
+        m
+    }
+
+    /// Execute pre-extracted shapes (weights = repetition counts), the
+    /// template-level hot path.
+    pub fn run_shapes(&mut self, shapes: &[(QueryShape, u64)]) -> WorkloadMeasurement {
+        let mut m = WorkloadMeasurement::default();
+        for (shape, count) in shapes {
+            for _ in 0..*count {
+                let o = self.execute_shape(shape);
+                m.total_latency_ms += o.latency_ms;
+                m.statements += 1;
+                m.latencies_ms.push(o.latency_ms);
+            }
+        }
+        m
+    }
+}
+
+/// Multiplicative log-normal noise factor with σ = `sigma`.
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, TableBuilder};
+    use autoindex_sql::parse_statement;
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 500_000)
+                .column(Column::int("a", 500_000))
+                .column(Column::int("b", 50))
+                .column(Column::text("c", 10_000, 24))
+                .primary_key(&["a"])
+                .build()
+                .unwrap(),
+        );
+        SimDb::new(c, SimDbConfig::default())
+    }
+
+    fn stmt(sql: &str) -> Statement {
+        parse_statement(sql).unwrap()
+    }
+
+    #[test]
+    fn create_and_drop_index() {
+        let mut db = db();
+        let id = db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        assert_eq!(db.index_count(), 1);
+        assert!(db.find_index(&IndexDef::new("t", &["a"])).is_some());
+        let def = db.drop_index(id).unwrap();
+        assert_eq!(def.key(), "t(a)");
+        assert_eq!(db.index_count(), 0);
+        assert!(db.drop_index(id).is_err());
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        assert!(matches!(
+            db.create_index(IndexDef::new("t", &["a"])),
+            Err(StorageError::DuplicateIndex(_))
+        ));
+        // Different column order is a different index.
+        assert!(db.create_index(IndexDef::new("t", &["a", "b"])).is_ok());
+    }
+
+    #[test]
+    fn index_on_unknown_table_or_column_rejected() {
+        let mut db = db();
+        assert!(db.create_index(IndexDef::new("ghost", &["a"])).is_err());
+        assert!(db.create_index(IndexDef::new("t", &["ghost"])).is_err());
+    }
+
+    #[test]
+    fn whatif_cost_drops_with_useful_index() {
+        let db = db();
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE a = 5"), db.catalog());
+        let without = db.whatif_native_cost(&shape, &[]);
+        let with = db.whatif_native_cost(&shape, &[IndexDef::new("t", &["a"])]);
+        assert!(with < without / 10.0);
+    }
+
+    #[test]
+    fn execution_uses_real_indexes_and_tracks_usage() {
+        let mut db = db();
+        let id = db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let o = db.execute(&stmt("SELECT * FROM t WHERE a = 5"));
+        assert_eq!(o.indexes_used, vec![id]);
+        assert!(db.usage().usage(id).scans == 1);
+        assert!(db.usage().usage(id).benefit > 0.0);
+    }
+
+    #[test]
+    fn execution_latency_reflects_index_benefit() {
+        let mut db = db();
+        let slow = db.execute(&stmt("SELECT * FROM t WHERE a = 5")).latency_ms;
+        db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let fast = db.execute(&stmt("SELECT * FROM t WHERE a = 5")).latency_ms;
+        assert!(fast < slow / 5.0, "slow={slow} fast={fast}");
+    }
+
+    #[test]
+    fn inserts_grow_tables_and_charge_maintenance() {
+        let mut db = db();
+        let id = db.create_index(IndexDef::new("t", &["c"])).unwrap();
+        let rows_before = db.catalog().table("t").unwrap().rows;
+        let o = db.execute(&stmt("INSERT INTO t (a, b, c) VALUES (1, 2, 'x')"));
+        assert!(o.features.c_io > 0.0);
+        assert_eq!(db.catalog().table("t").unwrap().rows, rows_before + 1);
+        assert_eq!(db.usage().usage(id).maintenance_events, 1);
+    }
+
+    #[test]
+    fn workload_measurement_aggregates() {
+        let mut db = db();
+        let stmts = vec![
+            stmt("SELECT * FROM t WHERE a = 1"),
+            stmt("SELECT * FROM t WHERE a = 2"),
+        ];
+        let m = db.run_workload(&stmts);
+        assert_eq!(m.statements, 2);
+        assert_eq!(m.latencies_ms.len(), 2);
+        assert!(m.total_latency_ms > 0.0);
+        assert!(m.avg_latency_ms() > 0.0);
+        assert!(m.throughput(10) > 0.0);
+    }
+
+    #[test]
+    fn execution_is_reproducible_with_same_seed() {
+        let run = || {
+            let mut d = db();
+            d.execute(&stmt("SELECT * FROM t WHERE b = 3")).latency_ms
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn memory_pressure_grows_with_indexes() {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("big", 50_000_000)
+                .column(Column::int("a", 50_000_000))
+                .column(Column::text("pad", 1_000_000, 200))
+                .build()
+                .unwrap(),
+        );
+        let cfg = SimDbConfig {
+            memory_bytes: 4 * 1024 * 1024 * 1024,
+            ..SimDbConfig::default()
+        };
+        let mut db = SimDb::new(c, cfg);
+        let before = db.memory_pressure();
+        db.create_index(IndexDef::new("big", &["a"])).unwrap();
+        db.create_index(IndexDef::new("big", &["pad"])).unwrap();
+        let after = db.memory_pressure();
+        assert!(after > before);
+        assert!(before >= 1.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let stmts: Vec<Statement> = (0..50)
+            .map(|i| {
+                // Mostly fast lookups with a few full scans mixed in.
+                if i % 10 == 0 {
+                    stmt("SELECT COUNT(*) FROM t")
+                } else {
+                    stmt(&format!("SELECT * FROM t WHERE a = {i}"))
+                }
+            })
+            .collect();
+        let m = db.run_workload(&stmts);
+        let p50 = m.percentile_ms(0.5);
+        let p95 = m.percentile_ms(0.95);
+        let p100 = m.percentile_ms(1.0);
+        assert!(p50 <= p95 && p95 <= p100);
+        assert!(p95 > p50 * 10.0, "tail is full-scan heavy: p50={p50} p95={p95}");
+        assert_eq!(WorkloadMeasurement::default().percentile_ms(0.9), 0.0);
+    }
+
+    #[test]
+    fn run_shapes_counts_repetitions() {
+        let mut db = db();
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE a = 1"), db.catalog());
+        let m = db.run_shapes(&[(shape, 5)]);
+        assert_eq!(m.statements, 5);
+    }
+
+    #[test]
+    fn explain_names_real_and_hypothetical_indexes() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let text = db.explain(&stmt("SELECT * FROM t WHERE a = 5"));
+        assert!(text.contains("t(a)"), "{text}");
+
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE b = 3 AND c = 'x'"), db.catalog());
+        let text = db.whatif_explain(&shape, &[IndexDef::new("t", &["b", "c"])]);
+        assert!(text.contains("t(b,c)") || text.contains("Seq Scan"), "{text}");
+    }
+
+    #[test]
+    fn usage_tracking_credits_join_lookup_indexes() {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("dim", 1_000)
+                .column(Column::int("dk", 1_000))
+                .column(Column::int("attr", 10))
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("fact", 2_000_000)
+                .column(Column::int("fk", 1_000))
+                .column(Column::float("v", 100_000, 0.0, 1e6))
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::new(c, SimDbConfig::default());
+        let id = db.create_index(IndexDef::new("fact", &["fk"])).unwrap();
+        // One dimension row drives a nested-loop lookup into the fact.
+        let q = stmt("SELECT SUM(v) FROM dim, fact WHERE dim.dk = 7 AND dim.dk = fact.fk");
+        let o = db.execute(&q);
+        assert!(o.indexes_used.contains(&id), "NL lookup index must be tracked");
+        assert!(db.usage().usage(id).scans >= 1);
+    }
+
+    #[test]
+    fn drop_index_slows_queries_back_down() {
+        let mut db = db();
+        let id = db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let fast = db.execute(&stmt("SELECT * FROM t WHERE a = 5")).latency_ms;
+        db.drop_index(id).unwrap();
+        let slow = db.execute(&stmt("SELECT * FROM t WHERE a = 5")).latency_ms;
+        assert!(slow > fast * 5.0);
+    }
+
+    #[test]
+    fn whatif_does_not_touch_usage_or_catalog() {
+        let mut db = db();
+        let shape = QueryShape::extract(&stmt("INSERT INTO t (a) VALUES (1)"), db.catalog());
+        let rows_before = db.catalog().table("t").unwrap().rows;
+        let _ = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
+        assert_eq!(db.catalog().table("t").unwrap().rows, rows_before);
+        assert_eq!(db.usage().statements, 0);
+        // Execution, by contrast, does both.
+        db.execute_shape(&shape);
+        assert_eq!(db.catalog().table("t").unwrap().rows, rows_before + 1);
+        assert_eq!(db.usage().statements, 1);
+    }
+
+    #[test]
+    fn index_geometry_grows_with_table() {
+        let mut db = db();
+        let def = IndexDef::new("t", &["a"]);
+        let g1 = db.index_geometry(&def).unwrap();
+        db.catalog_mut().grow_table("t", 5_000_000).unwrap();
+        let g2 = db.index_geometry(&def).unwrap();
+        assert!(g2.bytes > g1.bytes);
+        assert!(g2.entries > g1.entries);
+    }
+
+    #[test]
+    fn zero_noise_removes_randomness() {
+        let cfg = SimDbConfig {
+            noise: 0.0,
+            ..SimDbConfig::default()
+        };
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 1000)
+                .column(Column::int("a", 1000))
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::new(c, cfg);
+        let a = db.execute(&stmt("SELECT * FROM t WHERE a = 1")).latency_ms;
+        let b = db.execute(&stmt("SELECT * FROM t WHERE a = 1")).latency_ms;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,411 @@
+//! B+Tree index model: definitions, geometry and maintenance cost.
+//!
+//! The geometry model gives the advisor what `hypopg_index` gives it in
+//! openGauss: the estimated size and tree height of an index *without
+//! building it* (§V C2.1, "hypothesis index technique"). The maintenance
+//! model implements the §V-A formulas verbatim:
+//!
+//! ```text
+//! C^io      = |pages| * seq_page_cost
+//! t_start   = (ceil(log N) + (H+1) * 50) * cpu_operator_cost
+//! t_running = N_insert * cpu_index_tuple_cost
+//! C^cpu     = t_start + t_running
+//! ```
+
+use crate::catalog::{Table, PAGE_SIZE};
+use crate::planner::CostParams;
+use crate::StorageError;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of an index within a [`crate::db::SimDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IndexId(pub u32);
+
+impl std::fmt::Display for IndexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "idx#{}", self.0)
+    }
+}
+
+/// GLOBAL vs LOCAL index on a partitioned table (§III): a global index is
+/// one tree over all partitions — fast lookups, more space; a local index
+/// is one small tree per partition — less space, but a lookup that cannot
+/// prune partitions must probe every tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IndexScope {
+    #[default]
+    Global,
+    Local,
+}
+
+/// An index definition: target table and ordered key columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexDef {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub scope: IndexScope,
+}
+
+impl IndexDef {
+    /// A global B+Tree index on `table(columns...)`.
+    pub fn new(table: impl Into<String>, columns: &[&str]) -> Self {
+        IndexDef {
+            table: table.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            scope: IndexScope::Global,
+        }
+    }
+
+    /// Same, with an explicit scope.
+    pub fn with_scope(mut self, scope: IndexScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Canonical display key, e.g. `orders(o_c_id,o_w_id)`.
+    pub fn key(&self) -> String {
+        format!("{}({})", self.table, self.columns.join(","))
+    }
+
+    /// Whether `other`'s key columns are a leftmost prefix of this index's
+    /// key columns (then this index *covers* `other`: §IV-A step 3, "merge
+    /// indexes based on the leftmost matching principle").
+    pub fn covers(&self, other: &IndexDef) -> bool {
+        self.table == other.table
+            && other.columns.len() <= self.columns.len()
+            && other
+                .columns
+                .iter()
+                .zip(&self.columns)
+                .all(|(a, b)| a == b)
+    }
+
+    /// Validate against the catalog table (columns exist, non-empty).
+    pub fn validate(&self, table: &Table) -> Result<(), StorageError> {
+        if self.columns.is_empty() {
+            return Err(StorageError::Invalid(format!(
+                "index on {:?} has no columns",
+                self.table
+            )));
+        }
+        for c in &self.columns {
+            if table.column(c).is_none() {
+                return Err(StorageError::UnknownColumn {
+                    table: self.table.clone(),
+                    column: c.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for IndexDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())?;
+        if self.scope == IndexScope::Local {
+            write!(f, " LOCAL")?;
+        }
+        Ok(())
+    }
+}
+
+/// Derived physical geometry of a (possibly hypothetical) B+Tree index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexGeometry {
+    /// Index entries (= table rows, NULLs included).
+    pub entries: u64,
+    /// Bytes per leaf entry (key + TID + item header).
+    pub entry_width: u64,
+    /// Leaf pages per tree.
+    pub leaf_pages: u64,
+    /// Tree height in levels above the leaves (root at height `h`).
+    pub height: u32,
+    /// Number of physical trees (1 for global, = partitions for local).
+    pub trees: u32,
+    /// Total on-disk size in bytes, all trees and internal levels.
+    pub bytes: u64,
+}
+
+/// Leaf fill factor for B+Tree pages.
+const INDEX_FILL: f64 = 0.9;
+/// Per-entry overhead: 6-byte TID + 8-byte item header/alignment.
+const ENTRY_OVERHEAD: u64 = 14;
+/// Fan-out of internal pages (pointers per internal page).
+const INTERNAL_FANOUT: f64 = 256.0;
+
+/// Compute the geometry of `def` over `table` at its current cardinality.
+pub fn geometry(def: &IndexDef, table: &Table) -> Result<IndexGeometry, StorageError> {
+    def.validate(table)?;
+    let key_width: u64 = def
+        .columns
+        .iter()
+        .map(|c| table.column(c).map(|col| col.width as u64).unwrap_or(8))
+        .sum();
+    let entry_width = key_width + ENTRY_OVERHEAD;
+    let entries = table.rows;
+
+    let trees = match def.scope {
+        IndexScope::Global => 1u32,
+        IndexScope::Local => table.partitions,
+    };
+    // LOCAL trees stay better packed: inserts spread over many small trees
+    // split less and fragment less than one global tree on a partitioned
+    // table ("'local' … takes much less space", §III).
+    let fill = match def.scope {
+        IndexScope::Global => INDEX_FILL,
+        IndexScope::Local => 0.97,
+    };
+    let entries_per_tree = (entries as f64 / trees as f64).max(1.0);
+    let entries_per_page = ((PAGE_SIZE as f64 * fill) / entry_width as f64).max(2.0);
+    let leaf_pages_per_tree = (entries_per_tree / entries_per_page).ceil().max(1.0);
+
+    // height = levels needed for internal fan-out to reach the leaves.
+    let mut height = 0u32;
+    let mut level_pages = leaf_pages_per_tree;
+    while level_pages > 1.0 {
+        level_pages = (level_pages / INTERNAL_FANOUT).ceil();
+        height += 1;
+    }
+
+    // Internal pages ≈ leaf/fanout + leaf/fanout² + ...
+    let mut internal_pages = 0.0;
+    let mut lp = leaf_pages_per_tree;
+    while lp > 1.0 {
+        lp = (lp / INTERNAL_FANOUT).ceil();
+        internal_pages += lp;
+    }
+    let pages_per_tree = leaf_pages_per_tree + internal_pages + 1.0; // +1 meta page
+    let bytes = (pages_per_tree * trees as f64) as u64 * PAGE_SIZE;
+
+    Ok(IndexGeometry {
+        entries,
+        entry_width,
+        leaf_pages: leaf_pages_per_tree as u64,
+        height,
+        trees,
+        bytes,
+    })
+}
+
+/// The §V-A index-maintenance cost of writing `n_rows` rows into an index
+/// with geometry `geo`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceCost {
+    /// `C^io = |pages| * seq_page_cost`.
+    pub io: f64,
+    /// `C^cpu = t_start + t_running`.
+    pub cpu: f64,
+}
+
+impl MaintenanceCost {
+    /// Zero maintenance (deletes: "whose index update cost is 0", §V).
+    pub const ZERO: MaintenanceCost = MaintenanceCost { io: 0.0, cpu: 0.0 };
+
+    /// Total cost units.
+    pub fn total(&self) -> f64 {
+        self.io + self.cpu
+    }
+}
+
+/// Compute the maintenance cost of inserting (or re-inserting, for updates
+/// of indexed columns) `n_rows` index tuples.
+///
+/// Pages touched per inserted tuple: the descent path (`H`), the leaf page,
+/// and amortised page splits — a leaf splits roughly once every
+/// `entries_per_page` inserts, costing one extra page write plus a parent
+/// update ("the effects of splitting index pages", §V).
+pub fn maintenance_cost(
+    geo: &IndexGeometry,
+    n_rows: u64,
+    params: &CostParams,
+) -> MaintenanceCost {
+    if n_rows == 0 {
+        return MaintenanceCost::ZERO;
+    }
+    let n = geo.entries.max(1) as f64;
+    let h = geo.height as f64;
+    let n_rows_f = n_rows as f64;
+
+    // §V-A: t_start = {ceil(log N) + (H+1)*50} * cpu_operator_cost.
+    let t_start = (n.ln().ceil().max(0.0) + (h + 1.0) * 50.0) * params.cpu_operator_cost;
+    // §V-A: t_running = N_insert * cpu_index_tuple_cost.
+    let t_running = n_rows_f * params.cpu_index_tuple_cost;
+    let cpu = t_start * n_rows_f + t_running;
+
+    // IO: descent is usually cached; charge the leaf write plus amortised
+    // splits per inserted tuple.
+    let entries_per_page = (n / geo.leaf_pages.max(1) as f64).max(1.0);
+    let split_rate = 1.0 / entries_per_page;
+    let pages = n_rows_f * (1.0 + split_rate * 2.0);
+    let io = pages * params.seq_page_cost;
+
+    MaintenanceCost { io, cpu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, TableBuilder};
+
+    fn table(rows: u64) -> Table {
+        TableBuilder::new("t", rows)
+            .column(Column::int("a", rows))
+            .column(Column::int("b", 100))
+            .column(Column::text("c", 1000, 32))
+            .partitioned(8, "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn key_and_display() {
+        let d = IndexDef::new("t", &["a", "b"]);
+        assert_eq!(d.key(), "t(a,b)");
+        assert_eq!(d.to_string(), "t(a,b)");
+        let l = d.clone().with_scope(IndexScope::Local);
+        assert_eq!(l.to_string(), "t(a,b) LOCAL");
+    }
+
+    #[test]
+    fn covers_is_leftmost_prefix() {
+        let ab = IndexDef::new("t", &["a", "b"]);
+        let a = IndexDef::new("t", &["a"]);
+        let b = IndexDef::new("t", &["b"]);
+        let ba = IndexDef::new("t", &["b", "a"]);
+        assert!(ab.covers(&a));
+        assert!(ab.covers(&ab));
+        assert!(!ab.covers(&b));
+        assert!(!ab.covers(&ba));
+        assert!(!a.covers(&ab));
+        // Different table never covers.
+        let other = IndexDef::new("u", &["a"]);
+        assert!(!ab.covers(&other));
+    }
+
+    #[test]
+    fn validate_checks_columns() {
+        let t = table(1000);
+        assert!(IndexDef::new("t", &["a"]).validate(&t).is_ok());
+        assert!(IndexDef::new("t", &["zz"]).validate(&t).is_err());
+        assert!(IndexDef::new("t", &[]).validate(&t).is_err());
+    }
+
+    #[test]
+    fn geometry_scales_with_rows() {
+        let small = geometry(&IndexDef::new("t", &["a"]), &table(1_000)).unwrap();
+        let large = geometry(&IndexDef::new("t", &["a"]), &table(10_000_000)).unwrap();
+        assert!(large.leaf_pages > small.leaf_pages * 1000);
+        assert!(large.bytes > small.bytes);
+        assert!(large.height >= small.height);
+        assert!(large.height >= 2);
+    }
+
+    #[test]
+    fn geometry_wider_keys_bigger_index() {
+        let t = table(1_000_000);
+        let narrow = geometry(&IndexDef::new("t", &["a"]), &t).unwrap();
+        let wide = geometry(&IndexDef::new("t", &["a", "c"]), &t).unwrap();
+        assert!(wide.bytes > narrow.bytes);
+        assert!(wide.entry_width > narrow.entry_width);
+    }
+
+    #[test]
+    fn local_index_has_many_small_trees_and_less_total_height() {
+        let t = table(1_000_000);
+        let global = geometry(&IndexDef::new("t", &["a"]), &t).unwrap();
+        let local = geometry(
+            &IndexDef::new("t", &["a"]).with_scope(IndexScope::Local),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(global.trees, 1);
+        assert_eq!(local.trees, 8);
+        assert!(local.height <= global.height);
+    }
+
+    #[test]
+    fn maintenance_zero_for_zero_rows() {
+        let t = table(100_000);
+        let geo = geometry(&IndexDef::new("t", &["a"]), &t).unwrap();
+        let m = maintenance_cost(&geo, 0, &CostParams::default());
+        assert_eq!(m, MaintenanceCost::ZERO);
+        assert_eq!(m.total(), 0.0);
+    }
+
+    #[test]
+    fn maintenance_grows_with_rows_and_height() {
+        let params = CostParams::default();
+        let small_geo = geometry(&IndexDef::new("t", &["a"]), &table(10_000)).unwrap();
+        let big_geo = geometry(&IndexDef::new("t", &["a"]), &table(100_000_000)).unwrap();
+        let m1 = maintenance_cost(&small_geo, 10, &params);
+        let m10 = maintenance_cost(&small_geo, 100, &params);
+        assert!(m10.total() > m1.total());
+        let mb = maintenance_cost(&big_geo, 10, &params);
+        assert!(
+            mb.total() > m1.total(),
+            "taller tree must cost more per insert"
+        );
+    }
+
+    #[test]
+    fn scope_affects_key_identity() {
+        let g = IndexDef::new("t", &["a"]);
+        let l = IndexDef::new("t", &["a"]).with_scope(IndexScope::Local);
+        // Same key string (columns), different definitions.
+        assert_eq!(g.key(), l.key());
+        assert_ne!(g, l);
+        assert_ne!(g.to_string(), l.to_string());
+    }
+
+    #[test]
+    fn maintenance_update_cost_is_symmetric_in_geometry() {
+        // Two geometries differing only in trees (global vs local) cost
+        // similarly per inserted row — maintenance is per tree touched.
+        let t = table(1_000_000);
+        let params = CostParams::default();
+        let g = geometry(&IndexDef::new("t", &["a"]), &t).unwrap();
+        let l = geometry(
+            &IndexDef::new("t", &["a"]).with_scope(IndexScope::Local),
+            &t,
+        )
+        .unwrap();
+        let mg = maintenance_cost(&g, 100, &params);
+        let ml = maintenance_cost(&l, 100, &params);
+        // Local trees are shallower, so maintenance is no more expensive.
+        assert!(ml.total() <= mg.total() * 1.05);
+    }
+
+    #[test]
+    fn unpartitioned_local_scope_degenerates_to_one_tree() {
+        let t = TableBuilder::new("u", 50_000)
+            .column(Column::int("a", 50_000))
+            .build()
+            .unwrap();
+        let geo = geometry(
+            &IndexDef::new("u", &["a"]).with_scope(IndexScope::Local),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(geo.trees, 1);
+    }
+
+    #[test]
+    fn maintenance_formula_matches_paper() {
+        // Hand-check t_start/t_running for one insert.
+        let params = CostParams::default();
+        let geo = IndexGeometry {
+            entries: 1000,
+            entry_width: 22,
+            leaf_pages: 4,
+            height: 1,
+            trees: 1,
+            bytes: 5 * PAGE_SIZE,
+        };
+        let m = maintenance_cost(&geo, 1, &params);
+        let t_start =
+            ((1000.0f64).ln().ceil() + 2.0 * 50.0) * params.cpu_operator_cost;
+        let t_running = params.cpu_index_tuple_cost;
+        assert!((m.cpu - (t_start + t_running)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1279 @@
+//! What-if planner and cost model.
+//!
+//! Given a [`QueryShape`] and an index configuration, the planner chooses
+//! access paths (sequential vs. index scan, with leftmost-prefix matching),
+//! join strategies (hash vs. index nested-loop) and sort avoidance, then
+//! reports a [`CostFeatures`] breakdown in optimizer cost units:
+//!
+//! * `c_data` — data processing cost: everything the *native* estimator can
+//!   see (scan IO+CPU, join CPU, sort CPU, heap write cost),
+//! * `c_io` / `c_cpu` — the §V-A *index maintenance* costs, which the
+//!   native estimator ignores ("current database cannot estimate the index
+//!   maintenance costs") but the learned estimator weighs in.
+//!
+//! The relative magnitudes follow PostgreSQL's model: `seq_page_cost = 1`,
+//! `random_page_cost = 4`, per-tuple CPU costs in the 1e-2…1e-3 range. That
+//! is what fixes the seq-vs-index crossover, the hash-vs-NL crossover, and
+//! therefore the *shape* of every experiment.
+
+use crate::catalog::Catalog;
+use crate::index::{geometry, maintenance_cost, IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost};
+use crate::shape::{QueryShape, TableAtoms, WriteKind};
+use crate::selectivity::conjunct_selectivity;
+use autoindex_sql::predicate::AtomicPredicate;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer cost parameters (PostgreSQL/openGauss defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    pub seq_page_cost: f64,
+    pub random_page_cost: f64,
+    pub cpu_tuple_cost: f64,
+    pub cpu_index_tuple_cost: f64,
+    pub cpu_operator_cost: f64,
+    /// Fraction of index descent IO assumed cached (upper levels are hot).
+    pub descent_cache_factor: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            descent_cache_factor: 0.25,
+        }
+    }
+}
+
+/// The §V cost-feature vector of one statement under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostFeatures {
+    /// Data processing cost (read side + heap writes): `C^data`.
+    pub c_data: f64,
+    /// Index maintenance IO: `C^io`.
+    pub c_io: f64,
+    /// Index maintenance CPU: `C^cpu`.
+    pub c_cpu: f64,
+}
+
+impl CostFeatures {
+    /// The native-estimator view: data cost only (maintenance invisible).
+    pub fn native_cost(&self) -> f64 {
+        self.c_data
+    }
+
+    /// The physically-grounded total used by simulated execution.
+    pub fn true_cost(&self, w: &TrueCostWeights) -> f64 {
+        w.data * self.c_data + w.io_maint * self.c_io + w.cpu_maint * self.c_cpu
+    }
+
+    /// Feature vector for the learned regression, in §V order
+    /// `(C^data, C^io, C^cpu)`.
+    pub fn as_vec(&self) -> [f64; 3] {
+        [self.c_data, self.c_io, self.c_cpu]
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &CostFeatures) {
+        self.c_data += other.c_data;
+        self.c_io += other.c_io;
+        self.c_cpu += other.c_cpu;
+    }
+}
+
+/// Ground-truth weights the simulator applies when "executing" a plan. The
+/// native estimator implicitly uses `(1, 0, 0)`; the learned estimator has
+/// to recover something close to these from historical data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrueCostWeights {
+    pub data: f64,
+    pub io_maint: f64,
+    pub cpu_maint: f64,
+}
+
+impl Default for TrueCostWeights {
+    fn default() -> Self {
+        TrueCostWeights {
+            data: 1.0,
+            io_maint: 1.3,
+            cpu_maint: 1.15,
+        }
+    }
+}
+
+/// How one table is accessed in the chosen plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPath {
+    pub table: String,
+    /// Index used, or `None` for a sequential scan.
+    pub index: Option<IndexId>,
+    /// Additional indexes combined in a BitmapOr path (one per OR arm
+    /// beyond the first; empty for plain scans).
+    pub bitmap_indexes: Vec<IndexId>,
+    /// Selectivity of the index-matched prefix (1.0 for seq scans).
+    pub matched_sel: f64,
+    /// Estimated output rows after all filters.
+    pub rows_out: f64,
+    /// Access cost in optimizer units.
+    pub cost: f64,
+    /// Whether this path provides the statement's required sort order.
+    pub provides_order: bool,
+}
+
+/// A join step in the chosen plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinStrategy {
+    Hash,
+    /// Index nested-loop using the given inner index.
+    IndexNestedLoop(IndexId),
+    /// Plain nested loop (no usable index, no hashable edge).
+    NestedLoop,
+}
+
+/// The full plan summary for one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSummary {
+    pub paths: Vec<AccessPath>,
+    pub join_strategies: Vec<JoinStrategy>,
+    /// Sort cost actually paid (0 when an index provides the order).
+    pub sort_cost: f64,
+    /// Per-index maintenance charged on the write side.
+    pub maintenance: Vec<(IndexId, MaintenanceCost)>,
+    /// Indexes that served reads in this plan (for usage tracking).
+    pub indexes_used: Vec<IndexId>,
+    pub features: CostFeatures,
+}
+
+impl PlanSummary {
+    /// Total native-estimator cost.
+    pub fn native_cost(&self) -> f64 {
+        self.features.native_cost()
+    }
+
+    /// Render an `EXPLAIN`-style description of the plan. `index_name`
+    /// resolves index ids to display names (pass the owning database's
+    /// definitions; unknown ids print as `idx#n`).
+    pub fn explain(&self, index_name: &dyn Fn(IndexId) -> Option<String>) -> String {
+        use std::fmt::Write;
+        let name = |id: IndexId| index_name(id).unwrap_or_else(|| id.to_string());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Plan  (data={:.1}, maint_io={:.2}, maint_cpu={:.2})",
+            self.features.c_data, self.features.c_io, self.features.c_cpu
+        );
+        for p in &self.paths {
+            match p.index {
+                Some(id) => {
+                    let _ = writeln!(
+                        out,
+                        "  -> Index Scan on {} using {}  (sel={:.4}, rows={:.0}, cost={:.1}{})",
+                        p.table,
+                        name(id),
+                        p.matched_sel,
+                        p.rows_out,
+                        p.cost,
+                        if p.provides_order { ", provides order" } else { "" }
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  -> Seq Scan on {}  (rows={:.0}, cost={:.1})",
+                        p.table, p.rows_out, p.cost
+                    );
+                }
+            }
+        }
+        for s in &self.join_strategies {
+            let _ = match s {
+                JoinStrategy::Hash => writeln!(out, "  -> Hash Join"),
+                JoinStrategy::IndexNestedLoop(id) => {
+                    writeln!(out, "  -> Index Nested Loop using {}", name(*id))
+                }
+                JoinStrategy::NestedLoop => writeln!(out, "  -> Nested Loop (no edge)"),
+            };
+        }
+        if self.sort_cost > 0.0 {
+            let _ = writeln!(out, "  -> Sort  (cost={:.1})", self.sort_cost);
+        }
+        for (id, m) in &self.maintenance {
+            let _ = writeln!(
+                out,
+                "  -> Index Maintenance on {}  (io={:.2}, cpu={:.2})",
+                name(*id),
+                m.io,
+                m.cpu
+            );
+        }
+        out
+    }
+}
+
+/// An index made visible to the planner (real or hypothetical).
+#[derive(Debug, Clone)]
+pub struct VisibleIndex {
+    pub id: IndexId,
+    pub def: IndexDef,
+    pub geo: IndexGeometry,
+}
+
+/// The planner: stateless over a catalog + parameters.
+pub struct Planner<'a> {
+    pub catalog: &'a Catalog,
+    pub params: &'a CostParams,
+}
+
+/// Result of matching conjuncts against an index prefix.
+struct PrefixMatch {
+    /// Number of leading index columns matched.
+    matched_cols: usize,
+    /// Combined selectivity of the matched atoms.
+    sel: f64,
+    /// Whether the last matched atom was an equality (the prefix continues
+    /// providing order on the following column).
+    all_equality: bool,
+    /// Whether the partition key was matched by an equality (local-index
+    /// partition pruning).
+    partition_pruned: bool,
+}
+
+impl<'a> Planner<'a> {
+    /// Create a planner over `catalog` with `params`.
+    pub fn new(catalog: &'a Catalog, params: &'a CostParams) -> Self {
+        Planner { catalog, params }
+    }
+
+    /// Plan `shape` under the given visible indexes and return the summary.
+    pub fn plan(&self, shape: &QueryShape, indexes: &[VisibleIndex]) -> PlanSummary {
+        let mut features = CostFeatures::default();
+        let mut paths = Vec::with_capacity(shape.tables.len());
+        let mut used = Vec::new();
+
+        // ---- access paths ------------------------------------------------
+        for t in &shape.tables {
+            // A pure INSERT touches its target table without reading it.
+            if let Some(w) = &shape.write {
+                if w.kind == WriteKind::Insert && w.table == t.table && t.all_atoms.is_empty() {
+                    paths.push(AccessPath {
+                        table: t.table.clone(),
+                        index: None,
+                        bitmap_indexes: Vec::new(),
+                        matched_sel: 0.0,
+                        rows_out: 0.0,
+                        cost: 0.0,
+                        provides_order: false,
+                    });
+                    continue;
+                }
+            }
+            let path = self.best_access_path(t, indexes, shape);
+            if let Some(id) = path.index {
+                used.push(id);
+            }
+            used.extend(path.bitmap_indexes.iter().copied());
+            features.c_data += path.cost;
+            paths.push(path);
+        }
+
+        // ---- joins --------------------------------------------------------
+        let (join_cost, join_strategies, join_used) = self.plan_joins(shape, &paths, indexes);
+        features.c_data += join_cost;
+        used.extend(join_used.iter().copied());
+
+        // ---- sort ----------------------------------------------------------
+        let sort_cost = self.sort_cost(shape, &paths);
+        features.c_data += sort_cost;
+
+        // ---- write side ----------------------------------------------------
+        let mut maintenance = Vec::new();
+        if let Some(w) = &shape.write {
+            let heap = self.heap_write_cost(shape, w);
+            features.c_data += heap;
+
+            let affected = self.affected_rows(shape, w);
+            for vi in indexes.iter().filter(|vi| vi.def.table == w.table) {
+                let m = match w.kind {
+                    // §V Remark: deletes update the index after the query;
+                    // their index update cost is 0.
+                    WriteKind::Delete => MaintenanceCost::ZERO,
+                    WriteKind::Insert => maintenance_cost(&vi.geo, affected, self.params),
+                    WriteKind::Update => {
+                        let touches_key = vi
+                            .def
+                            .columns
+                            .iter()
+                            .any(|c| w.set_columns.contains(c));
+                        if touches_key {
+                            // Delete + insert of the index entry.
+                            let m = maintenance_cost(&vi.geo, affected, self.params);
+                            MaintenanceCost {
+                                io: m.io * 2.0,
+                                cpu: m.cpu * 2.0,
+                            }
+                        } else {
+                            // Mostly HOT/in-place ("the index update cost is
+                            // greatly reduced", §V Remark) — small residual.
+                            let m = maintenance_cost(&vi.geo, affected, self.params);
+                            MaintenanceCost {
+                                io: m.io * 0.1,
+                                cpu: m.cpu * 0.1,
+                            }
+                        }
+                    }
+                };
+                if m.total() > 0.0 {
+                    features.c_io += m.io;
+                    features.c_cpu += m.cpu;
+                    maintenance.push((vi.id, m));
+                }
+            }
+        }
+
+        PlanSummary {
+            paths,
+            join_strategies,
+            sort_cost,
+            maintenance,
+            indexes_used: used,
+            features,
+        }
+    }
+
+    /// Rows affected by a write (inserted rows, or WHERE-matched rows).
+    fn affected_rows(&self, shape: &QueryShape, w: &crate::shape::WriteShape) -> u64 {
+        match w.kind {
+            WriteKind::Insert => w.inserted_rows,
+            _ => {
+                let rows = self
+                    .catalog
+                    .table(&w.table)
+                    .map(|t| t.rows)
+                    .unwrap_or(1_000);
+                let sel = shape
+                    .table(&w.table)
+                    .map(|t| t.filter_sel)
+                    .unwrap_or(1.0);
+                ((rows as f64 * sel).ceil() as u64).max(1)
+            }
+        }
+    }
+
+    fn heap_write_cost(&self, shape: &QueryShape, w: &crate::shape::WriteShape) -> f64 {
+        let affected = self.affected_rows(shape, w) as f64;
+        // One dirtied heap page per ~4 affected rows plus per-tuple CPU.
+        affected * self.params.cpu_tuple_cost * 2.0
+            + (affected / 4.0).ceil() * self.params.seq_page_cost
+    }
+
+    /// Choose the cheapest access path for one table.
+    fn best_access_path(
+        &self,
+        t: &TableAtoms,
+        indexes: &[VisibleIndex],
+        shape: &QueryShape,
+    ) -> AccessPath {
+        let Some(table) = self.catalog.table(&t.table) else {
+            // Unknown table: tiny constant cost, seq scan.
+            return AccessPath {
+                table: t.table.clone(),
+                index: None,
+                bitmap_indexes: Vec::new(),
+                matched_sel: 1.0,
+                rows_out: 1.0,
+                cost: self.params.seq_page_cost,
+                provides_order: false,
+            };
+        };
+        let rows = table.rows.max(1) as f64;
+        let pages = table.pages().max(1) as f64;
+        let rows_out = (rows * t.filter_sel).max(0.0);
+        let order_cols = self.required_order(t);
+
+        // Sequential scan baseline.
+        let n_atoms = t.all_atoms.len().max(1) as f64;
+        let seq_cost = pages * self.params.seq_page_cost
+            + rows * self.params.cpu_tuple_cost
+            + rows * n_atoms * self.params.cpu_operator_cost;
+        let mut best = AccessPath {
+            table: t.table.clone(),
+            index: None,
+            bitmap_indexes: Vec::new(),
+            matched_sel: 1.0,
+            rows_out,
+            cost: seq_cost,
+            provides_order: false,
+        };
+        // If a LIMIT is present with no joins, a seq scan can stop early —
+        // but only without ORDER BY.
+        if shape.limit.is_some() && order_cols.is_empty() && shape.joins.is_empty() {
+            best.cost *= 0.5;
+        }
+
+        for vi in indexes.iter().filter(|vi| vi.def.table == t.table) {
+            let m = self.match_prefix(&vi.def, &vi.geo, &t.conjuncts, table);
+            let provides_order =
+                !order_cols.is_empty() && self.index_provides_order(&vi.def, &m, &order_cols);
+            if m.matched_cols == 0 && !provides_order {
+                continue;
+            }
+            let cost = self.index_scan_cost(table, vi, &m, t, shape, provides_order);
+            let candidate = AccessPath {
+                table: t.table.clone(),
+                index: Some(vi.id),
+                bitmap_indexes: Vec::new(),
+                matched_sel: m.sel,
+                rows_out,
+                cost,
+                provides_order,
+            };
+            // Compare including the sort the path would save.
+            let sort_bonus = if provides_order {
+                self.sort_cost_for(rows_out)
+            } else {
+                0.0
+            };
+            let best_sort_bonus = if best.provides_order {
+                self.sort_cost_for(rows_out)
+            } else {
+                0.0
+            };
+            if candidate.cost - sort_bonus < best.cost - best_sort_bonus {
+                best = candidate;
+            }
+        }
+
+        // BitmapOr: a disjunctive filter whose every DNF arm is separately
+        // indexable can union the per-arm TID bitmaps and fetch the heap
+        // once — the plan shape that makes the §IV-A per-OR-arm candidates
+        // actually pay off.
+        if t.conjuncts.is_empty() && t.conjunct_groups.len() > 1 {
+            if let Some((cost, first, rest)) = self.bitmap_or_path(t, indexes, table) {
+                if cost < best.cost {
+                    best = AccessPath {
+                        table: t.table.clone(),
+                        index: Some(first),
+                        bitmap_indexes: rest,
+                        matched_sel: t.filter_sel,
+                        rows_out,
+                        cost,
+                        provides_order: false,
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Cost a BitmapOr over the table's DNF arms. Returns
+    /// `(cost, first index, remaining indexes)` or `None` when some arm has
+    /// no usable index (the scan would be needed anyway).
+    fn bitmap_or_path(
+        &self,
+        t: &TableAtoms,
+        indexes: &[VisibleIndex],
+        table: &crate::catalog::Table,
+    ) -> Option<(f64, IndexId, Vec<IndexId>)> {
+        let p = self.params;
+        let rows = table.rows.max(1) as f64;
+        let mut ids = Vec::with_capacity(t.conjunct_groups.len());
+        let mut probe_cost = 0.0;
+        for group in &t.conjunct_groups {
+            // Cheapest index probe serving this arm.
+            let best_arm = indexes
+                .iter()
+                .filter(|vi| vi.def.table == t.table)
+                .filter_map(|vi| {
+                    let m = self.match_prefix(&vi.def, &vi.geo, group, table);
+                    if m.matched_cols == 0 {
+                        return None;
+                    }
+                    let descent = (vi.geo.height as f64 + 1.0)
+                        * p.random_page_cost
+                        * p.descent_cache_factor;
+                    let leaf =
+                        (m.sel * vi.geo.leaf_pages as f64).ceil().max(1.0) * p.seq_page_cost;
+                    let tids = rows * m.sel * p.cpu_index_tuple_cost;
+                    Some((vi.id, descent + leaf + tids))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are never NaN"));
+            let (id, c) = best_arm?;
+            probe_cost += c;
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        // One heap pass over the unioned bitmap: fetches come out in page
+        // order, so they are cheaper than per-tuple random IO.
+        let fetched = rows * t.filter_sel;
+        let heap = fetched * p.random_page_cost * 0.5;
+        let cpu = fetched * (p.cpu_tuple_cost + t.all_atoms.len() as f64 * p.cpu_operator_cost);
+        let first = *ids.first()?;
+        let rest = ids[1..].to_vec();
+        Some((probe_cost + heap + cpu, first, rest))
+    }
+
+    /// Order requirement on this table: ORDER BY columns, else GROUP BY
+    /// columns (grouping by a sorted stream avoids the hash/sort).
+    fn required_order(&self, t: &TableAtoms) -> Vec<String> {
+        if !t.order_columns.is_empty() {
+            t.order_columns.clone()
+        } else {
+            t.group_columns.clone()
+        }
+    }
+
+    fn index_provides_order(
+        &self,
+        def: &IndexDef,
+        m: &PrefixMatch,
+        order_cols: &[String],
+    ) -> bool {
+        if !m.all_equality {
+            // The prefix ends in a range atom. Order is still provided when
+            // that range column *is* the first order column (a range scan
+            // over `temperature` emits rows in `temperature` order) and the
+            // remaining order columns follow it in the index.
+            let last = m.matched_cols.saturating_sub(1);
+            return m.matched_cols >= 1
+                && def.columns.get(last) == order_cols.first()
+                && order_cols.len() <= def.columns.len() - last
+                && order_cols
+                    .iter()
+                    .zip(&def.columns[last..])
+                    .all(|(a, b)| a == b);
+        }
+        // Equality-matched prefix: the order columns must follow it...
+        let tail = &def.columns[m.matched_cols.min(def.columns.len())..];
+        order_cols.len() <= tail.len()
+            && order_cols.iter().zip(tail).all(|(a, b)| a == b)
+            // ...or be a leftmost prefix of the index outright.
+            || (order_cols.len() <= def.columns.len()
+                && order_cols
+                    .iter()
+                    .zip(&def.columns)
+                    .all(|(a, b)| a == b))
+    }
+
+    /// Leftmost-prefix matching of sargable conjuncts against an index.
+    fn match_prefix(
+        &self,
+        def: &IndexDef,
+        _geo: &IndexGeometry,
+        conjuncts: &[AtomicPredicate],
+        table: &crate::catalog::Table,
+    ) -> PrefixMatch {
+        let mut matched: Vec<&AtomicPredicate> = Vec::new();
+        let mut all_equality = true;
+        let mut partition_pruned = false;
+        for col in &def.columns {
+            let atom = conjuncts.iter().find(|a| {
+                a.is_sargable()
+                    && a.restricted_column()
+                        .is_some_and(|c| c.column == *col)
+            });
+            let Some(atom) = atom else { break };
+            matched.push(atom);
+            if table.partition_key.as_deref() == Some(col.as_str()) && atom.is_equality() {
+                partition_pruned = true;
+            }
+            if !atom.is_equality() {
+                all_equality = false;
+                break; // Range atom consumes the prefix.
+            }
+        }
+        let sel = if matched.is_empty() {
+            1.0
+        } else {
+            conjunct_selectivity(&matched, table)
+        };
+        PrefixMatch {
+            matched_cols: matched.len(),
+            sel,
+            all_equality,
+            partition_pruned,
+        }
+    }
+
+    fn index_scan_cost(
+        &self,
+        table: &crate::catalog::Table,
+        vi: &VisibleIndex,
+        m: &PrefixMatch,
+        t: &TableAtoms,
+        shape: &QueryShape,
+        provides_order: bool,
+    ) -> f64 {
+        let p = self.params;
+        let mut rows = table.rows.max(1) as f64;
+        // Top-k: an order-providing index scan stops after LIMIT matching
+        // rows — the classic reason ORDER BY ... LIMIT queries want an
+        // index on the order columns.
+        if provides_order && shape.joins.is_empty() {
+            if let Some(k) = shape.limit {
+                let residual = (t.filter_sel / m.sel).clamp(1e-6, 1.0);
+                rows = rows.min((k as f64 / residual) / m.sel.max(1e-9));
+            }
+        }
+        let geo = &vi.geo;
+
+        // Local indexes without partition pruning probe every tree.
+        let trees_probed = match vi.def.scope {
+            IndexScope::Global => 1.0,
+            IndexScope::Local if m.partition_pruned => 1.0,
+            IndexScope::Local => geo.trees as f64,
+        };
+
+        let descent = trees_probed
+            * (geo.height as f64 + 1.0)
+            * p.random_page_cost
+            * p.descent_cache_factor;
+        let leaf_io = (m.sel * geo.leaf_pages as f64).ceil().max(1.0) * p.seq_page_cost
+            * trees_probed.min(2.0);
+        let fetched = rows * m.sel;
+        // Heap fetches are random, discounted by physical correlation of
+        // the leading key column — and almost entirely skipped for an
+        // index-only scan (a covering index answers from the leaves, with
+        // only occasional visibility checks).
+        let covering = !t.whole_row
+            && !t.referenced_columns.is_empty()
+            && t.referenced_columns
+                .iter()
+                .all(|c| vi.def.columns.contains(c));
+        let corr = vi
+            .def
+            .columns
+            .first()
+            .and_then(|c| table.column(c))
+            .map(|c| c.stats.correlation.abs())
+            .unwrap_or(0.0);
+        // Visibility checks hit the heap per *page* (via the visibility
+        // map), not per tuple — two orders of magnitude cheaper.
+        let heap_factor = if covering { 0.01 } else { 1.0 };
+        let heap_io = fetched * p.random_page_cost * (1.0 - 0.8 * corr) * heap_factor;
+        let cpu = fetched * p.cpu_index_tuple_cost
+            + fetched * (t.all_atoms.len() as f64) * p.cpu_operator_cost
+            + fetched * p.cpu_tuple_cost;
+        descent + leaf_io + heap_io + cpu
+    }
+
+    fn sort_cost_for(&self, rows: f64) -> f64 {
+        if rows <= 1.0 {
+            return 0.0;
+        }
+        2.0 * rows * rows.log2().max(1.0) * self.params.cpu_operator_cost
+    }
+
+    /// Total sort cost: paid once on the final stream if any table requires
+    /// an order no chosen path provides.
+    fn sort_cost(&self, shape: &QueryShape, paths: &[AccessPath]) -> f64 {
+        let mut cost = 0.0;
+        for (t, p) in shape.tables.iter().zip(paths) {
+            let needs_order = !t.order_columns.is_empty() || !t.group_columns.is_empty();
+            if needs_order && !p.provides_order {
+                cost += self.sort_cost_for(p.rows_out);
+            }
+        }
+        cost
+    }
+
+    /// Plan all joins left-deep in table order; returns (cost, strategies,
+    /// inner indexes used).
+    fn plan_joins(
+        &self,
+        shape: &QueryShape,
+        paths: &[AccessPath],
+        indexes: &[VisibleIndex],
+    ) -> (f64, Vec<JoinStrategy>, Vec<IndexId>) {
+        let p = self.params;
+        if shape.tables.len() < 2 {
+            return (0.0, Vec::new(), Vec::new());
+        }
+        let mut cost = 0.0;
+        let mut strategies = Vec::new();
+        let mut used = Vec::new();
+
+        // Greedy join ordering: start from the smallest filtered relation,
+        // then repeatedly pick the connected relation with the fewest
+        // estimated output rows (falling back to the smallest disconnected
+        // one). This is the standard heuristic real optimizers approximate
+        // and is what lets a tiny filtered dimension drive a nested loop
+        // into a big fact table.
+        let n = shape.tables.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        remaining.sort_by(|&a, &b| {
+            paths[a]
+                .rows_out
+                .partial_cmp(&paths[b].rows_out)
+                .expect("rows_out is never NaN")
+        });
+        // Start from the most selective *filtered* relation: an unfiltered
+        // tiny dimension (e.g. a 5-row warehouse table) must not hijack the
+        // driving position from a sharply filtered one, or the filter never
+        // gets to seed the nested-loop chain.
+        let first_pos = remaining
+            .iter()
+            .position(|&i| {
+                let t = &shape.tables[i];
+                t.filter_sel < 0.99 || !t.conjuncts.is_empty()
+            })
+            .unwrap_or(0);
+        let first = remaining.remove(first_pos);
+        let mut acc_rows = paths[first].rows_out.max(1.0);
+        let mut joined: Vec<&str> = vec![&shape.tables[first].table];
+
+        while !remaining.is_empty() {
+            // Prefer a connected relation (an edge into the joined set).
+            let pick_pos = remaining
+                .iter()
+                .position(|&i| {
+                    let name = &shape.tables[i].table;
+                    shape.joins.iter().any(|e| {
+                        (e.left_table == *name && joined.contains(&e.right_table.as_str()))
+                            || (e.right_table == *name
+                                && joined.contains(&e.left_table.as_str()))
+                    })
+                })
+                .unwrap_or(0);
+            let i = remaining.remove(pick_pos);
+            let t = &shape.tables[i];
+            let path = &paths[i];
+            let table = self.catalog.table(&t.table);
+            let inner_rows_out = path.rows_out.max(1.0);
+
+            let edge = shape.joins.iter().find_map(|e| {
+                if e.right_table == t.table && joined.contains(&e.left_table.as_str()) {
+                    Some(&e.right_column)
+                } else if e.left_table == t.table && joined.contains(&e.right_table.as_str()) {
+                    Some(&e.left_column)
+                } else {
+                    None
+                }
+            });
+
+            match edge {
+                Some(inner_col) => {
+                    let inner_ndv = table
+                        .and_then(|tb| tb.column(inner_col))
+                        .map(|c| c.stats.ndv.max(1.0))
+                        .unwrap_or(100.0);
+                    let inner_total_rows =
+                        table.map(|tb| tb.rows.max(1) as f64).unwrap_or(1000.0);
+                    let rows_per_lookup = (inner_total_rows / inner_ndv).max(1.0);
+
+                    // Hash join: build the (already filtered) inner once.
+                    let hash_cost = path.cost
+                        + inner_rows_out * p.cpu_operator_cost * 2.0
+                        + acc_rows * p.cpu_operator_cost * 1.5
+                        + acc_rows * p.cpu_tuple_cost;
+
+                    // Index nested loop: per outer row, seek the inner index.
+                    // The per-lookup row count shrinks when the index's
+                    // later columns match equality filters on the inner, and
+                    // heap fetches are discounted by the join column's
+                    // physical correlation (fact tables loaded in date order
+                    // make date-driven lookups nearly sequential).
+                    let corr = table
+                        .and_then(|tb| tb.column(inner_col))
+                        .map(|c| c.stats.correlation.abs())
+                        .unwrap_or(0.0);
+                    let nl =
+                        self.best_lookup_index(t, inner_col, indexes, table, rows_per_lookup);
+                    let nl_cost = nl.as_ref().map(|(_, per_lookup, rows_fetched)| {
+                        acc_rows
+                            * (per_lookup
+                                + rows_fetched * p.cpu_index_tuple_cost
+                                + rows_fetched
+                                    * p.random_page_cost
+                                    * 0.5
+                                    * (1.0 - 0.8 * corr))
+                    });
+
+                    match nl_cost {
+                        Some(c) if c < hash_cost => {
+                            let (id, _, _) = nl.expect("nl_cost implies nl");
+                            // The inner's standalone scan is replaced by
+                            // lookups; refund its path cost.
+                            cost += c - path.cost;
+                            strategies.push(JoinStrategy::IndexNestedLoop(id));
+                            used.push(id);
+                        }
+                        _ => {
+                            cost += hash_cost - path.cost;
+                            strategies.push(JoinStrategy::Hash);
+                        }
+                    }
+                    let join_sel_rows = (acc_rows * inner_rows_out / inner_ndv).max(1.0);
+                    acc_rows = join_sel_rows.min(acc_rows * inner_rows_out);
+                }
+                None => {
+                    // No edge: pessimistic nested loop over filtered inputs.
+                    cost += acc_rows * inner_rows_out * p.cpu_operator_cost;
+                    strategies.push(JoinStrategy::NestedLoop);
+                    acc_rows = (acc_rows * inner_rows_out).min(1e12);
+                }
+            }
+            joined.push(&t.table);
+        }
+        (cost, strategies, used)
+    }
+
+    /// Cheapest per-lookup index seek on the inner table whose first column
+    /// is the join column `col`. Later index columns that match equality
+    /// filter conjuncts on the inner table further cut the rows fetched per
+    /// lookup. Returns (index id, per-lookup seek cost, rows fetched per
+    /// lookup).
+    fn best_lookup_index(
+        &self,
+        t: &TableAtoms,
+        col: &str,
+        indexes: &[VisibleIndex],
+        table: Option<&crate::catalog::Table>,
+        rows_per_lookup: f64,
+    ) -> Option<(IndexId, f64, f64)> {
+        let p = self.params;
+        indexes
+            .iter()
+            .filter(|vi| {
+                vi.def.table == t.table && vi.def.columns.first().map(String::as_str) == Some(col)
+            })
+            .map(|vi| {
+                let trees = match vi.def.scope {
+                    IndexScope::Global => 1.0,
+                    IndexScope::Local => {
+                        if table.and_then(|tb| tb.partition_key.as_deref()) == Some(col) {
+                            1.0
+                        } else {
+                            vi.geo.trees as f64
+                        }
+                    }
+                };
+                let per_lookup = trees
+                    * (vi.geo.height as f64 + 1.0)
+                    * p.random_page_cost
+                    * p.descent_cache_factor
+                    + p.random_page_cost; // one heap fetch minimum
+                // Tail columns matching equality conjuncts narrow the range.
+                let mut fetched = rows_per_lookup;
+                if let Some(tb) = table {
+                    for c in &vi.def.columns[1..] {
+                        let atom = t.conjuncts.iter().find(|a| {
+                            a.is_sargable()
+                                && a.is_equality()
+                                && a.restricted_column().is_some_and(|cr| cr.column == *c)
+                        });
+                        let Some(atom) = atom else { break };
+                        fetched *=
+                            crate::selectivity::atom_selectivity(atom, tb).max(1e-9);
+                    }
+                }
+                (vi.id, per_lookup, fetched.max(1.0))
+            })
+            .min_by(|a, b| {
+                (a.1 + a.2)
+                    .partial_cmp(&(b.1 + b.2))
+                    .expect("costs are never NaN")
+            })
+    }
+
+    /// Convenience: geometry-resolved visible index list from defs.
+    pub fn resolve_indexes(
+        &self,
+        defs: &[(IndexId, IndexDef)],
+    ) -> Vec<VisibleIndex> {
+        defs.iter()
+            .filter_map(|(id, def)| {
+                let table = self.catalog.table(&def.table)?;
+                let geo = geometry(def, table).ok()?;
+                Some(VisibleIndex {
+                    id: *id,
+                    def: def.clone(),
+                    geo,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, TableBuilder};
+    use crate::shape::QueryShape;
+    use autoindex_sql::parse_statement;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("orders", 1_000_000)
+                .column(Column::int("o_id", 1_000_000))
+                .column(Column::int("o_c_id", 30_000))
+                .column(Column::int("o_w_id", 100))
+                .column(Column::int("o_d_id", 10))
+                .column(Column::float("o_amount", 100_000, 0.0, 10_000.0))
+                .primary_key(&["o_id"])
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("customer", 30_000)
+                .column(Column::int("c_id", 30_000))
+                .column(Column::text("c_last", 1_000, 16))
+                .column(Column::int("c_w_id", 100))
+                .primary_key(&["c_id"])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    fn vis(catalog: &Catalog, params: &CostParams, defs: &[IndexDef]) -> Vec<VisibleIndex> {
+        let pl = Planner::new(catalog, params);
+        pl.resolve_indexes(
+            &defs
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (IndexId(i as u32), d.clone()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn plan(sql: &str, defs: &[IndexDef]) -> PlanSummary {
+        let catalog = catalog();
+        let params = CostParams::default();
+        let stmt = parse_statement(sql).unwrap();
+        let shape = QueryShape::extract(&stmt, &catalog);
+        let indexes = vis(&catalog, &params, defs);
+        Planner::new(&catalog, &params).plan(&shape, &indexes)
+    }
+
+    #[test]
+    fn index_beats_seq_scan_on_selective_filter() {
+        let no_index = plan("SELECT * FROM orders WHERE o_c_id = 42", &[]);
+        let with_index = plan(
+            "SELECT * FROM orders WHERE o_c_id = 42",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        assert!(with_index.native_cost() < no_index.native_cost() / 5.0);
+        assert!(with_index.paths[0].index.is_some());
+        assert_eq!(with_index.indexes_used.len(), 1);
+    }
+
+    #[test]
+    fn bitmap_or_uses_per_arm_indexes() {
+        // Both OR arms are selective; without BitmapOr the only option was
+        // a full scan.
+        let sql = "SELECT * FROM orders WHERE o_c_id = 42 OR o_id = 7";
+        let without = plan(sql, &[]);
+        let with = plan(
+            sql,
+            &[
+                IndexDef::new("orders", &["o_c_id"]),
+                IndexDef::new("orders", &["o_id"]),
+            ],
+        );
+        assert!(with.native_cost() < without.native_cost() / 3.0,
+            "{} vs {}", with.native_cost(), without.native_cost());
+        let p = &with.paths[0];
+        assert!(p.index.is_some());
+        assert_eq!(p.bitmap_indexes.len(), 1, "second arm tracked");
+        assert_eq!(with.indexes_used.len(), 2);
+    }
+
+    #[test]
+    fn bitmap_or_requires_every_arm_indexed() {
+        // One unindexable arm forces the scan anyway — no bitmap path.
+        let sql = "SELECT * FROM orders WHERE o_c_id = 42 OR o_amount > 1";
+        let p = plan(sql, &[IndexDef::new("orders", &["o_c_id"])]);
+        assert!(p.paths[0].index.is_none(), "seq scan expected");
+        assert!(p.paths[0].bitmap_indexes.is_empty());
+    }
+
+    #[test]
+    fn seq_scan_wins_on_unselective_filter() {
+        // o_d_id has ndv 10 → sel 0.1 over 1M rows → 100k random fetches.
+        let p = plan(
+            "SELECT * FROM orders WHERE o_d_id = 3",
+            &[IndexDef::new("orders", &["o_d_id"])],
+        );
+        assert!(p.paths[0].index.is_none(), "seq scan should win");
+    }
+
+    #[test]
+    fn multicolumn_prefix_beats_single_column() {
+        let single = plan(
+            "SELECT * FROM orders WHERE o_c_id = 42 AND o_w_id = 7 AND o_d_id = 3",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        let multi = plan(
+            "SELECT * FROM orders WHERE o_c_id = 42 AND o_w_id = 7 AND o_d_id = 3",
+            &[IndexDef::new("orders", &["o_c_id", "o_w_id", "o_d_id"])],
+        );
+        assert!(multi.native_cost() < single.native_cost());
+    }
+
+    #[test]
+    fn range_atom_stops_prefix_matching() {
+        // (o_amount range, o_c_id eq): index (o_amount, o_c_id) matches only
+        // the range column; (o_c_id, o_amount) matches both.
+        let bad = plan(
+            "SELECT * FROM orders WHERE o_amount > 9900 AND o_c_id = 42",
+            &[IndexDef::new("orders", &["o_amount", "o_c_id"])],
+        );
+        let good = plan(
+            "SELECT * FROM orders WHERE o_amount > 9900 AND o_c_id = 42",
+            &[IndexDef::new("orders", &["o_c_id", "o_amount"])],
+        );
+        assert!(good.native_cost() <= bad.native_cost());
+    }
+
+    #[test]
+    fn index_nested_loop_chosen_for_selective_outer() {
+        let p = plan(
+            "SELECT * FROM customer c, orders o WHERE c.c_id = 77 AND o.o_c_id = c.c_id",
+            &[
+                IndexDef::new("customer", &["c_id"]),
+                IndexDef::new("orders", &["o_c_id"]),
+            ],
+        );
+        assert!(matches!(
+            p.join_strategies[0],
+            JoinStrategy::IndexNestedLoop(_)
+        ));
+    }
+
+    #[test]
+    fn hash_join_without_inner_index() {
+        let p = plan(
+            "SELECT * FROM customer c, orders o WHERE c.c_id = 77 AND o.o_c_id = c.c_id",
+            &[IndexDef::new("customer", &["c_id"])],
+        );
+        assert!(matches!(p.join_strategies[0], JoinStrategy::Hash));
+    }
+
+    #[test]
+    fn order_by_limit_index_avoids_sort() {
+        let without = plan("SELECT * FROM customer ORDER BY c_last LIMIT 10", &[]);
+        let with = plan(
+            "SELECT * FROM customer ORDER BY c_last LIMIT 10",
+            &[IndexDef::new("customer", &["c_last"])],
+        );
+        assert!(without.sort_cost > 0.0);
+        assert_eq!(with.sort_cost, 0.0);
+        assert!(with.paths[0].provides_order);
+        assert!(with.native_cost() < without.native_cost());
+    }
+
+    #[test]
+    fn full_scan_order_by_pays_sort_even_with_index() {
+        // Without LIMIT, fetching the whole heap through the index is more
+        // expensive than scanning + sorting; the planner must know that.
+        let p = plan(
+            "SELECT * FROM customer ORDER BY c_last",
+            &[IndexDef::new("customer", &["c_last"])],
+        );
+        assert!(p.sort_cost > 0.0);
+        assert!(p.paths[0].index.is_none());
+    }
+
+    #[test]
+    fn insert_charges_maintenance_per_index() {
+        let none = plan("INSERT INTO orders (o_id, o_c_id) VALUES (1, 2)", &[]);
+        let one = plan(
+            "INSERT INTO orders (o_id, o_c_id) VALUES (1, 2)",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        let two = plan(
+            "INSERT INTO orders (o_id, o_c_id) VALUES (1, 2)",
+            &[
+                IndexDef::new("orders", &["o_c_id"]),
+                IndexDef::new("orders", &["o_amount", "o_w_id"]),
+            ],
+        );
+        assert_eq!(none.features.c_io, 0.0);
+        assert!(one.features.c_io > 0.0);
+        assert!(two.features.c_io > one.features.c_io);
+        assert!(two.features.c_cpu > one.features.c_cpu);
+        assert_eq!(none.maintenance.len(), 0);
+        assert_eq!(two.maintenance.len(), 2);
+    }
+
+    #[test]
+    fn delete_has_zero_maintenance() {
+        let p = plan(
+            "DELETE FROM orders WHERE o_c_id = 42",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        assert_eq!(p.features.c_io, 0.0);
+        assert_eq!(p.features.c_cpu, 0.0);
+        // But the read side still benefits from the index.
+        assert!(p.paths[0].index.is_some());
+    }
+
+    #[test]
+    fn update_of_indexed_column_costs_more_than_nonindexed() {
+        let hot = plan(
+            "UPDATE orders SET o_amount = 5 WHERE o_id = 3",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        let cold = plan(
+            "UPDATE orders SET o_c_id = 5 WHERE o_id = 3",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        assert!(cold.features.c_io > hot.features.c_io * 5.0);
+    }
+
+    #[test]
+    fn native_cost_ignores_maintenance() {
+        let p = plan(
+            "INSERT INTO orders (o_id) VALUES (1)",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        assert!(p.features.c_io > 0.0);
+        let native = p.native_cost();
+        let truec = p.features.true_cost(&TrueCostWeights::default());
+        assert!(truec > native, "true cost must include maintenance");
+    }
+
+    #[test]
+    fn local_index_without_pruning_costs_more() {
+        let mut c = catalog();
+        let t = TableBuilder::new("part_t", 1_000_000)
+            .column(Column::int("pk", 1_000_000))
+            .column(Column::int("region", 16))
+            .column(Column::int("val", 500_000))
+            .partitioned(16, "region")
+            .build()
+            .unwrap();
+        c.add_table(t);
+        let params = CostParams::default();
+        let planner = Planner::new(&c, &params);
+
+        let mk = |scope: IndexScope| {
+            let def = IndexDef::new("part_t", &["val"]).with_scope(scope);
+            let stmt = parse_statement("SELECT * FROM part_t WHERE val = 9").unwrap();
+            let shape = QueryShape::extract(&stmt, &c);
+            let indexes = planner.resolve_indexes(&[(IndexId(0), def)]);
+            planner.plan(&shape, &indexes).native_cost()
+        };
+        let global_cost = mk(IndexScope::Global);
+        let local_cost = mk(IndexScope::Local);
+        assert!(local_cost > global_cost, "unpruned local probes all trees");
+    }
+
+    #[test]
+    fn index_only_scan_beats_heap_fetching_index() {
+        // Projection + predicate both covered by (o_d_id, o_c_id): an
+        // index-only scan makes the unselective o_d_id lookup viable.
+        let covered = plan(
+            "SELECT o_c_id FROM orders WHERE o_d_id = 3",
+            &[IndexDef::new("orders", &["o_d_id", "o_c_id"])],
+        );
+        let uncovered = plan(
+            "SELECT o_amount FROM orders WHERE o_d_id = 3",
+            &[IndexDef::new("orders", &["o_d_id", "o_c_id"])],
+        );
+        assert!(covered.native_cost() < uncovered.native_cost() / 2.0);
+        assert!(covered.paths[0].index.is_some(), "index-only scan chosen");
+    }
+
+    #[test]
+    fn select_star_never_index_only() {
+        let p = plan(
+            "SELECT * FROM orders WHERE o_d_id = 3",
+            &[IndexDef::new("orders", &["o_d_id", "o_c_id"])],
+        );
+        // Whole-row output: heap fetches dominate, seq scan wins again.
+        assert!(p.paths[0].index.is_none());
+    }
+
+    #[test]
+    fn explain_renders_all_plan_parts() {
+        let p = plan(
+            "SELECT o_id FROM customer c, orders o \
+             WHERE c.c_id = 77 AND o.o_c_id = c.c_id ORDER BY o_amount",
+            &[
+                IndexDef::new("customer", &["c_id"]),
+                IndexDef::new("orders", &["o_c_id"]),
+            ],
+        );
+        let text = p.explain(&|id| Some(format!("named_{}", id.0)));
+        assert!(text.contains("Plan"), "{text}");
+        assert!(text.contains("Index Scan") || text.contains("Seq Scan"), "{text}");
+        assert!(text.contains("Index Nested Loop") || text.contains("Hash Join"), "{text}");
+        assert!(text.contains("Sort"), "{text}");
+        // Name resolver applies.
+        assert!(text.contains("named_"), "{text}");
+        // Unknown ids fall back to idx#n.
+        let fallback = p.explain(&|_| None);
+        assert!(fallback.contains("idx#"), "{fallback}");
+    }
+
+    #[test]
+    fn explain_shows_maintenance_for_writes() {
+        let p = plan(
+            "INSERT INTO orders (o_id, o_c_id) VALUES (1, 2)",
+            &[IndexDef::new("orders", &["o_c_id"])],
+        );
+        let text = p.explain(&|_| None);
+        assert!(text.contains("Index Maintenance"), "{text}");
+    }
+
+    #[test]
+    fn local_lookup_join_prunes_on_partition_key() {
+        // Join column IS the partition key: a LOCAL index on it probes one
+        // tree per lookup and matches the GLOBAL plan cost closely.
+        let mut c = catalog();
+        c.add_table(
+            TableBuilder::new("events_p", 4_000_000)
+                .column(Column::int("region", 16))
+                .column(Column::int("val", 2_000_000))
+                .partitioned(16, "region")
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("regions", 16)
+                .column(Column::int("region", 16))
+                .column(Column::int("tier", 4))
+                .build()
+                .unwrap(),
+        );
+        let params = CostParams::default();
+        let planner = Planner::new(&c, &params);
+        let stmt = parse_statement(
+            "SELECT COUNT(*) FROM regions, events_p \
+             WHERE regions.tier = 1 AND regions.region = events_p.region",
+        )
+        .unwrap();
+        let shape = QueryShape::extract(&stmt, &c);
+        let cost_with = |scope: IndexScope| {
+            let def = IndexDef::new("events_p", &["region"]).with_scope(scope);
+            let vis = planner.resolve_indexes(&[(IndexId(0), def)]);
+            planner.plan(&shape, &vis).native_cost()
+        };
+        let local = cost_with(IndexScope::Local);
+        let global = cost_with(IndexScope::Global);
+        // Pruned local lookups must not be dramatically worse than global.
+        assert!(local <= global * 1.5, "local {local} vs global {global}");
+    }
+
+    #[test]
+    fn features_accumulate() {
+        let mut f = CostFeatures::default();
+        f.add(&CostFeatures {
+            c_data: 1.0,
+            c_io: 2.0,
+            c_cpu: 3.0,
+        });
+        f.add(&CostFeatures {
+            c_data: 0.5,
+            c_io: 0.5,
+            c_cpu: 0.5,
+        });
+        assert_eq!(f.as_vec(), [1.5, 2.5, 3.5]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the storage substrate.
+
+use autoindex_sql::parse_statement;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::{geometry, maintenance_cost, IndexDef};
+use autoindex_storage::planner::{CostParams, Planner, TrueCostWeights};
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::{SimDb, SimDbConfig};
+use proptest::prelude::*;
+
+fn catalog(rows: u64) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("t", rows)
+            .column(Column::int("a", rows.max(1)))
+            .column(Column::int("b", 64))
+            .column(Column::float("x", 1000, 0.0, 1000.0))
+            .column(Column::text("s", 500, 20))
+            .primary_key(&["a"])
+            .build()
+            .unwrap(),
+    );
+    c
+}
+
+proptest! {
+    /// Index geometry is monotone in row count: more rows never shrink the
+    /// index or lower the tree.
+    #[test]
+    fn geometry_monotone_in_rows(r1 in 1u64..10_000_000, r2 in 1u64..10_000_000) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let c_lo = catalog(lo);
+        let c_hi = catalog(hi);
+        let def = IndexDef::new("t", &["a", "b"]);
+        let g_lo = geometry(&def, c_lo.table("t").unwrap()).unwrap();
+        let g_hi = geometry(&def, c_hi.table("t").unwrap()).unwrap();
+        prop_assert!(g_hi.bytes >= g_lo.bytes);
+        prop_assert!(g_hi.leaf_pages >= g_lo.leaf_pages);
+        prop_assert!(g_hi.height >= g_lo.height);
+    }
+
+    /// Maintenance cost is monotone in inserted rows and never negative.
+    #[test]
+    fn maintenance_monotone(rows in 1u64..1_000_000, n1 in 0u64..1000, n2 in 0u64..1000) {
+        let c = catalog(rows);
+        let geo = geometry(&IndexDef::new("t", &["a"]), c.table("t").unwrap()).unwrap();
+        let p = CostParams::default();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let m_lo = maintenance_cost(&geo, lo, &p);
+        let m_hi = maintenance_cost(&geo, hi, &p);
+        prop_assert!(m_lo.io >= 0.0 && m_lo.cpu >= 0.0);
+        prop_assert!(m_hi.total() >= m_lo.total());
+    }
+
+    /// Plan cost is monotone in table size for a fixed query and config.
+    #[test]
+    fn seq_cost_monotone_in_rows(r1 in 100u64..5_000_000, r2 in 100u64..5_000_000) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let stmt = parse_statement("SELECT * FROM t WHERE b = 3").unwrap();
+        let params = CostParams::default();
+        let cost = |rows: u64| {
+            let c = catalog(rows);
+            let shape = QueryShape::extract(&stmt, &c);
+            Planner::new(&c, &params).plan(&shape, &[]).native_cost()
+        };
+        prop_assert!(cost(hi) >= cost(lo));
+    }
+
+    /// Adding an index never increases the *read* cost of a select: the
+    /// planner only picks it when it is cheaper.
+    #[test]
+    fn extra_index_never_hurts_reads(rows in 1000u64..2_000_000, ndv_sel in 0u8..3) {
+        let c = catalog(rows);
+        let db = SimDb::new(c, SimDbConfig::default());
+        let col = ["a", "b", "x"][ndv_sel as usize];
+        let sql = format!("SELECT * FROM t WHERE {col} = 5");
+        let stmt = parse_statement(&sql).unwrap();
+        let shape = QueryShape::extract(&stmt, db.catalog());
+        let without = db.whatif_native_cost(&shape, &[]);
+        let with = db.whatif_native_cost(&shape, &[IndexDef::new("t", &[col])]);
+        prop_assert!(with <= without + 1e-9);
+    }
+
+    /// Adding an index never decreases the maintenance cost of an insert.
+    #[test]
+    fn extra_index_never_helps_insert_maintenance(rows in 1000u64..2_000_000) {
+        let c = catalog(rows);
+        let db = SimDb::new(c, SimDbConfig::default());
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap();
+        let shape = QueryShape::extract(&stmt, db.catalog());
+        let f0 = db.whatif_features(&shape, &[]);
+        let f1 = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
+        let f2 = db.whatif_features(
+            &shape,
+            &[IndexDef::new("t", &["a"]), IndexDef::new("t", &["b", "s"])],
+        );
+        prop_assert!(f0.c_io <= f1.c_io && f1.c_io <= f2.c_io);
+        prop_assert!(f0.c_cpu <= f1.c_cpu && f1.c_cpu <= f2.c_cpu);
+    }
+
+    /// True cost is at least the native cost under default weights (the
+    /// native estimator is an *underestimate* on writes, never an over-).
+    #[test]
+    fn true_cost_dominates_native(rows in 1000u64..1_000_000, is_write: bool) {
+        let c = catalog(rows);
+        let db = SimDb::new(c, SimDbConfig::default());
+        let sql = if is_write {
+            "INSERT INTO t (a, b) VALUES (1, 2)"
+        } else {
+            "SELECT * FROM t WHERE a = 1"
+        };
+        let stmt = parse_statement(sql).unwrap();
+        let shape = QueryShape::extract(&stmt, db.catalog());
+        let f = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
+        prop_assert!(f.true_cost(&TrueCostWeights::default()) >= f.native_cost());
+    }
+
+    /// Filter selectivities extracted by shape stay in (0, 1].
+    #[test]
+    fn shape_selectivity_in_unit_interval(v in -100i64..2000) {
+        let c = catalog(100_000);
+        let sql = format!("SELECT * FROM t WHERE x > {v} AND b = 3 OR s LIKE 'q%'");
+        let stmt = parse_statement(&sql).unwrap();
+        let shape = QueryShape::extract(&stmt, &c);
+        for t in &shape.tables {
+            prop_assert!(t.filter_sel > 0.0 && t.filter_sel <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's Figure 2 motivating example: an epidemic-tracking table
+//! whose workload shifts through three phases with *opposite* index
+//! requirements.
+//!
+//! * **W1** (outbreak start) — read-only probes on `temperature` and
+//!   `community`: both single-column indexes pay off.
+//! * **W2** (rapid spread) — heavy inserts of newly-tracked people plus
+//!   temperature reads: the maintenance cost of `idx_community` now exceeds
+//!   its (vanished) read benefit, so it should be *removed*, while
+//!   `idx_temperature` stays.
+//! * **W3** (under control) — rare inserts, many `UPDATE ... WHERE name =
+//!   ? AND community = ?`: a multi-column index on `(name, community)`
+//!   accelerates the update lookups, and `idx_temperature` is retained
+//!   because its read benefit (Q2/Q4) exceeds its update maintenance.
+
+use crate::Scenario;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload phases of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    W1,
+    W2,
+    W3,
+}
+
+/// Build the `person` table catalog.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("person", 500_000)
+            .column(Column::int("id", 500_000))
+            .column(Column::text("name", 450_000, 16))
+            .column(Column::text("community", 200, 12))
+            .column(Column::float("temperature", 300, 35.0, 42.0))
+            .column(Column::int("last_update", 500_000))
+            .primary_key(&["id"])
+            .build()
+            .expect("static schema"),
+    );
+    c
+}
+
+/// Default baseline: primary key only.
+pub fn default_indexes() -> Vec<IndexDef> {
+    vec![IndexDef::new("person", &["id"])]
+}
+
+/// The scenario wrapper.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "Epidemic".to_string(),
+        catalog: catalog(),
+        default_indexes: default_indexes(),
+    }
+}
+
+/// Deterministic phase-workload generator.
+pub struct EpidemicGenerator {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl EpidemicGenerator {
+    /// New generator.
+    pub fn new(seed: u64) -> Self {
+        EpidemicGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 500_001,
+        }
+    }
+
+    fn community(&mut self) -> String {
+        format!("community_{:03}", self.rng.random_range(0..200))
+    }
+
+    fn name(&mut self) -> String {
+        format!("person_{:06}", self.rng.random_range(0..450_000))
+    }
+
+    fn temp(&mut self) -> f64 {
+        35.0 + self.rng.random_range(0..70) as f64 / 10.0
+    }
+
+    /// Generate `n` statements of phase `phase`.
+    pub fn generate(&mut self, phase: Phase, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.statement(phase)).collect()
+    }
+
+    fn statement(&mut self, phase: Phase) -> String {
+        match phase {
+            Phase::W1 => match self.rng.random_range(0..2u32) {
+                // Q1: who in this community?
+                0 => format!(
+                    "SELECT id, name, temperature FROM person WHERE community = '{}'",
+                    self.community()
+                ),
+                // Q2: hottest fevers first, to prioritise calls — top-k.
+                _ => format!(
+                    "SELECT id, name, community FROM person WHERE temperature > {:.1} \
+                     ORDER BY temperature DESC LIMIT 100",
+                    37.3 + self.rng.random_range(0..30) as f64 / 10.0
+                ),
+            },
+            Phase::W2 => {
+                if self.rng.random_bool(0.7) {
+                    // Q3-adjacent: record a new potentially-infected person.
+                    self.next_id += 1;
+                    let id = self.next_id;
+                    let name = self.name();
+                    let community = self.community();
+                    let temp = self.temp();
+                    let ts = self.rng.random_range(1..1_000_000u64);
+                    format!(
+                        "INSERT INTO person (id, name, community, temperature, last_update) \
+                         VALUES ({id}, '{name}', '{community}', {temp:.1}, {ts})"
+                    )
+                } else {
+                    format!(
+                        "SELECT id, name FROM person WHERE temperature > {:.1} \
+                         ORDER BY temperature DESC LIMIT 100",
+                        38.0 + self.rng.random_range(0..20) as f64 / 10.0
+                    )
+                }
+            }
+            Phase::W3 => match self.rng.random_range(0..4u32) {
+                // Q1: refresh a person's temperature (name+community lookup).
+                0 | 1 => {
+                    let temp = self.temp();
+                    let ts = self.rng.random_range(1..1_000_000u64);
+                    let name = self.name();
+                    let community = self.community();
+                    format!(
+                        "UPDATE person SET temperature = {temp:.1}, last_update = {ts} \
+                         WHERE name = '{name}' AND community = '{community}'"
+                    )
+                }
+                // Q2/Q4: fever monitoring continues.
+                2 => format!(
+                    "SELECT id, name FROM person WHERE temperature > {:.1} \
+                     ORDER BY temperature DESC LIMIT 100",
+                    37.3 + self.rng.random_range(0..20) as f64 / 10.0
+                ),
+                _ => format!(
+                    "SELECT COUNT(*) FROM person WHERE temperature BETWEEN {:.1} AND {:.1}",
+                    37.3,
+                    39.0 + self.rng.random_range(0..20) as f64 / 10.0
+                ),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+
+    #[test]
+    fn all_phases_parse() {
+        let mut g = EpidemicGenerator::new(1);
+        for phase in [Phase::W1, Phase::W2, Phase::W3] {
+            for s in g.generate(phase, 200) {
+                parse_statement(&s).unwrap_or_else(|e| panic!("bad SQL {s:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn w1_is_read_only() {
+        let mut g = EpidemicGenerator::new(2);
+        assert!(g
+            .generate(Phase::W1, 300)
+            .iter()
+            .all(|s| s.starts_with("SELECT")));
+    }
+
+    #[test]
+    fn w2_is_insert_heavy() {
+        let mut g = EpidemicGenerator::new(3);
+        let qs = g.generate(Phase::W2, 1000);
+        let ins = qs.iter().filter(|s| s.starts_with("INSERT")).count();
+        assert!(ins > 550 && ins < 850, "inserts {ins}");
+    }
+
+    #[test]
+    fn w3_mixes_updates_and_reads() {
+        let mut g = EpidemicGenerator::new(4);
+        let qs = g.generate(Phase::W3, 1000);
+        let upd = qs.iter().filter(|s| s.starts_with("UPDATE")).count();
+        assert!(upd > 350 && upd < 650, "updates {upd}");
+        assert!(qs.iter().any(|s| s.contains("name = ") && s.contains("community = ")));
+    }
+
+    #[test]
+    fn catalog_and_defaults_valid() {
+        let c = catalog();
+        assert_eq!(c.len(), 1);
+        for d in default_indexes() {
+            d.validate(c.table(&d.table).expect("table exists"))
+                .expect("columns valid");
+        }
+    }
+}

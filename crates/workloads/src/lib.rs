@@ -1,0 +1,53 @@
+//! Workload generators for the AutoIndex evaluation (§VI-A).
+//!
+//! * [`tpcc`] — the TPC-C OLTP benchmark: 9-table schema at scale factors
+//!   1x/10x/100x and the standard 5-transaction mix. Used by Figures 5, 8,
+//!   9 and 10 and Table I.
+//! * [`tpcds`] — a TPC-DS-like OLAP star schema (25 tables) with 99
+//!   analytic query shapes, including the Q32-style "two indexes only pay
+//!   off together" pattern. Used by Figures 6 and 7.
+//! * [`banking`] — the synthetic stand-in for the paper's proprietary
+//!   banking scenario: 144 tables, a summarization (OLAP) and a withdrawal
+//!   (OLTP) service, and a bloated hand-crafted DBA index set with
+//!   redundant/unused/negative indexes. Used by Figure 1 and Tables II–III.
+//! * [`epidemic`] — the Figure 2 motivating example: three workload phases
+//!   with opposite index requirements.
+//! * [`partitioned`] — a hash-partitioned metering table exercising the
+//!   §III GLOBAL-vs-LOCAL index type selection.
+//!
+//! Every generator is deterministic given its seed, so experiments are
+//! reproducible run to run.
+
+pub mod banking;
+pub mod partitioned;
+pub mod epidemic;
+pub mod tpcc;
+pub mod tpcds;
+
+use autoindex_storage::catalog::Catalog;
+use autoindex_storage::index::IndexDef;
+
+/// A fully-specified experimental scenario: schema, the `Default` baseline
+/// index configuration, and a query generator.
+pub struct Scenario {
+    /// Human-readable scenario name (e.g. `"TPC-C 10x"`).
+    pub name: String,
+    /// The schema with statistics.
+    pub catalog: Catalog,
+    /// The `Default` baseline configuration (§VI-A: "indexes on the primary
+    /// columns for the testing datasets and manually-crafted indexes for
+    /// the real datasets").
+    pub default_indexes: Vec<IndexDef>,
+}
+
+/// Convenience: parse a batch of generated SQL, panicking on generator bugs
+/// (generated SQL must always parse — that is itself asserted in tests).
+pub fn parse_all(queries: &[String]) -> Vec<autoindex_sql::Statement> {
+    queries
+        .iter()
+        .map(|q| {
+            autoindex_sql::parse_statement(q)
+                .unwrap_or_else(|e| panic!("generated SQL failed to parse: {e}\n  {q}"))
+        })
+        .collect()
+}

@@ -1,0 +1,173 @@
+//! Partitioned-table scenario for index *type* selection (§III).
+//!
+//! "We can support index type selection for the data partitioning
+//! scenarios … 'global' index has high lookup speed, but takes much
+//! storage space; and 'local' index is less efficient but takes much less
+//! space."
+//!
+//! The scenario is a metering platform: a `meter_reading` fact table
+//! hash-partitioned by `region` into 64 partitions. Two workload modes
+//! stress the global/local trade-off in opposite directions:
+//!
+//! * **pruned** — every lookup carries `region = ?`, so a LOCAL index
+//!   probes exactly one small per-partition tree: near-global performance
+//!   at a fraction of the storage (and cheaper maintenance).
+//! * **unpruned** — lookups by `meter_id` only; a LOCAL index must probe
+//!   all 64 trees, and GLOBAL wins decisively.
+
+use crate::Scenario;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of hash partitions.
+pub const PARTITIONS: u32 = 64;
+
+/// Build the partitioned metering catalog.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("meter_reading", 20_000_000)
+            .column(Column::int("reading_id", 20_000_000))
+            .column(Column::int("meter_id", 500_000))
+            .column(Column::int("region", PARTITIONS as u64))
+            .column(Column::float("kwh", 1_000_000, 0.0, 500.0))
+            .column(Column::int("ts", 20_000_000).with_correlation(0.95))
+            .column(Column::int("quality_flag", 5))
+            .partitioned(PARTITIONS, "region")
+            .primary_key(&["reading_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("meter", 500_000)
+            .column(Column::int("meter_id", 500_000))
+            .column(Column::int("region", PARTITIONS as u64))
+            .column(Column::int("customer_ref", 450_000))
+            .primary_key(&["meter_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c
+}
+
+/// Default baseline: primary keys only.
+pub fn default_indexes() -> Vec<IndexDef> {
+    vec![
+        IndexDef::new("meter_reading", &["reading_id"]),
+        IndexDef::new("meter", &["meter_id"]),
+    ]
+}
+
+/// The scenario wrapper.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "Partitioned metering".to_string(),
+        catalog: catalog(),
+        default_indexes: default_indexes(),
+    }
+}
+
+/// Which access mode the workload exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// All lookups carry `region = ?` (partition-prunable).
+    Pruned,
+    /// Lookups by `meter_id` only (no pruning possible).
+    Unpruned,
+}
+
+/// Deterministic workload generator.
+pub struct PartitionedGenerator {
+    rng: StdRng,
+}
+
+impl PartitionedGenerator {
+    /// New generator.
+    pub fn new(seed: u64) -> Self {
+        PartitionedGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate `n` statements in the given mode (85% reads, 15% inserts —
+    /// meter data continuously arrives, so index maintenance matters).
+    pub fn generate(&mut self, mode: Mode, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.statement(mode)).collect()
+    }
+
+    fn statement(&mut self, mode: Mode) -> String {
+        let meter = self.rng.random_range(1..=500_000u64);
+        let region = self.rng.random_range(0..PARTITIONS as u64);
+        if self.rng.random_bool(0.15) {
+            return format!(
+                "INSERT INTO meter_reading (reading_id, meter_id, region, kwh, ts, quality_flag) \
+                 VALUES ({}, {meter}, {region}, {:.1}, {}, 1)",
+                self.rng.random_range(20_000_000..1_000_000_000u64),
+                self.rng.random_range(0..5_000u64) as f64 / 10.0,
+                self.rng.random_range(1..20_000_000u64)
+            );
+        }
+        match mode {
+            Mode::Pruned => format!(
+                "SELECT kwh, ts FROM meter_reading \
+                 WHERE region = {region} AND meter_id = {meter} \
+                 ORDER BY ts DESC LIMIT 24"
+            ),
+            Mode::Unpruned => format!(
+                "SELECT kwh, ts FROM meter_reading WHERE meter_id = {meter} \
+                 ORDER BY ts DESC LIMIT 24"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+    use autoindex_storage::index::{geometry, IndexScope};
+
+    #[test]
+    fn catalog_is_partitioned() {
+        let c = catalog();
+        let t = c.table("meter_reading").unwrap();
+        assert_eq!(t.partitions, PARTITIONS);
+        assert_eq!(t.partition_key.as_deref(), Some("region"));
+    }
+
+    #[test]
+    fn all_sql_parses() {
+        let mut g = PartitionedGenerator::new(1);
+        for mode in [Mode::Pruned, Mode::Unpruned] {
+            for q in g.generate(mode, 300) {
+                parse_statement(&q).unwrap_or_else(|e| panic!("bad SQL {q:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn local_index_is_smaller_than_global() {
+        let c = catalog();
+        let t = c.table("meter_reading").unwrap();
+        let global = geometry(&IndexDef::new("meter_reading", &["meter_id"]), t).unwrap();
+        let local = geometry(
+            &IndexDef::new("meter_reading", &["meter_id"]).with_scope(IndexScope::Local),
+            t,
+        )
+        .unwrap();
+        // Same entries, no-taller trees; modestly smaller on disk.
+        assert!(local.bytes < global.bytes);
+        assert!(local.height <= global.height);
+        assert_eq!(local.trees, PARTITIONS);
+    }
+
+    #[test]
+    fn mix_is_insert_bearing() {
+        let mut g = PartitionedGenerator::new(2);
+        let qs = g.generate(Mode::Pruned, 2_000);
+        let ins = qs.iter().filter(|q| q.starts_with("INSERT")).count();
+        assert!((200..400).contains(&ins), "inserts {ins}");
+    }
+}

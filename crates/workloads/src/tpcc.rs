@@ -1,0 +1,545 @@
+//! TPC-C workload generator.
+//!
+//! Standard 9-table schema with scale-factor-dependent cardinalities and
+//! the standard transaction mix (NewOrder 45%, Payment 43%, OrderStatus 4%,
+//! Delivery 4%, StockLevel 4%). Statements are emitted as SQL text, so the
+//! full AutoIndex pipeline (lexing → templating → candidate generation) is
+//! exercised exactly as it would be against a live server's query log.
+//!
+//! The mix deliberately contains the access patterns behind Table I of the
+//! paper:
+//! * OrderStatus looks orders up by `(o_c_id, o_w_id, o_d_id)` — not a
+//!   primary-key prefix, hence the headline recommended index;
+//! * StockLevel restricts `s_quantity` — the paper's "s_quality" (sic) index;
+//! * heavy NewOrder/Payment writes make over-indexing expensive, which is
+//!   what the maintenance-aware estimator must catch.
+
+use crate::Scenario;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale factor: number of warehouses (TPC-C 1x ⇒ 1, 10x ⇒ 10, 100x ⇒ 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpccScale(pub u32);
+
+impl TpccScale {
+    pub const X1: TpccScale = TpccScale(1);
+    pub const X10: TpccScale = TpccScale(10);
+    pub const X100: TpccScale = TpccScale(100);
+
+    fn w(self) -> u64 {
+        self.0.max(1) as u64
+    }
+}
+
+/// Build the TPC-C catalog at the given scale.
+pub fn catalog(scale: TpccScale) -> Catalog {
+    let w = scale.w();
+    let mut c = Catalog::new();
+
+    c.add_table(
+        TableBuilder::new("warehouse", w)
+            .column(Column::int("w_id", w))
+            .column(Column::text("w_name", w, 10))
+            .column(Column::float("w_tax", 100, 0.0, 0.2))
+            .column(Column::float("w_ytd", 100_000, 0.0, 1e7))
+            .primary_key(&["w_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("district", 10 * w)
+            .column(Column::int("d_w_id", w))
+            .column(Column::int("d_id", 10))
+            .column(Column::float("d_tax", 100, 0.0, 0.2))
+            .column(Column::float("d_ytd", 100_000, 0.0, 1e6))
+            .column(Column::int("d_next_o_id", 3_000))
+            .primary_key(&["d_w_id", "d_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("customer", 30_000 * w)
+            .column(Column::int("c_w_id", w))
+            .column(Column::int("c_d_id", 10))
+            .column(Column::int("c_id", 3_000))
+            .column(Column::text("c_last", 1_000, 16))
+            .column(Column::text("c_first", 10_000, 16))
+            .column(Column::float("c_balance", 100_000, -1e4, 1e5))
+            .column(Column::float("c_discount", 100, 0.0, 0.5))
+            .column(Column::text("c_credit", 2, 2))
+            .primary_key(&["c_w_id", "c_d_id", "c_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("history", 30_000 * w)
+            .column(Column::int("h_c_w_id", w))
+            .column(Column::int("h_c_d_id", 10))
+            .column(Column::int("h_c_id", 3_000))
+            .column(Column::float("h_amount", 10_000, 0.0, 5_000.0))
+            .column(Column::int("h_date", 1_000_000))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("new_order", 9_000 * w)
+            .column(Column::int("no_w_id", w))
+            .column(Column::int("no_d_id", 10))
+            .column(Column::int("no_o_id", 3_000))
+            .primary_key(&["no_w_id", "no_d_id", "no_o_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("orders", 30_000 * w)
+            .column(Column::int("o_w_id", w))
+            .column(Column::int("o_d_id", 10))
+            .column(Column::int("o_id", 3_000))
+            .column(Column::int("o_c_id", 3_000))
+            .column(Column::int("o_carrier_id", 10).with_null_frac(0.3))
+            .column(Column::int("o_entry_d", 1_000_000))
+            .column(Column::int("o_ol_cnt", 11))
+            .primary_key(&["o_w_id", "o_d_id", "o_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("order_line", 300_000 * w)
+            .column(Column::int("ol_w_id", w))
+            .column(Column::int("ol_d_id", 10))
+            .column(Column::int("ol_o_id", 3_000))
+            .column(Column::int("ol_number", 15))
+            .column(Column::int("ol_i_id", 100_000))
+            .column(Column::float("ol_amount", 100_000, 0.0, 10_000.0))
+            .column(Column::int("ol_delivery_d", 1_000_000).with_null_frac(0.3))
+            .column(Column::int("ol_quantity", 10))
+            .primary_key(&["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("item", 100_000)
+            .column(Column::int("i_id", 100_000))
+            .column(Column::text("i_name", 90_000, 24))
+            .column(Column::float("i_price", 10_000, 1.0, 100.0))
+            .column(Column::text("i_data", 90_000, 50))
+            .primary_key(&["i_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("stock", 100_000 * w)
+            .column(Column::int("s_w_id", w))
+            .column(Column::int("s_i_id", 100_000))
+            .column(Column::int("s_quantity", 100))
+            .column(Column::float("s_ytd", 100_000, 0.0, 1e6))
+            .column(Column::int("s_order_cnt", 1_000))
+            .column(Column::text("s_data", 90_000, 50))
+            .primary_key(&["s_w_id", "s_i_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c
+}
+
+/// The `Default` baseline: a B+Tree index per primary key.
+pub fn default_indexes() -> Vec<IndexDef> {
+    vec![
+        IndexDef::new("warehouse", &["w_id"]),
+        IndexDef::new("district", &["d_w_id", "d_id"]),
+        IndexDef::new("customer", &["c_w_id", "c_d_id", "c_id"]),
+        IndexDef::new("new_order", &["no_w_id", "no_d_id", "no_o_id"]),
+        IndexDef::new("orders", &["o_w_id", "o_d_id", "o_id"]),
+        IndexDef::new("order_line", &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"]),
+        IndexDef::new("item", &["i_id"]),
+        IndexDef::new("stock", &["s_w_id", "s_i_id"]),
+    ]
+}
+
+/// A complete scenario at the given scale.
+pub fn scenario(scale: TpccScale) -> Scenario {
+    Scenario {
+        name: format!("TPC-C {}x", scale.0),
+        catalog: catalog(scale),
+        default_indexes: default_indexes(),
+    }
+}
+
+/// Transaction types and their standard mix weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+const MIX: [(TxnKind, u32); 5] = [
+    (TxnKind::NewOrder, 45),
+    (TxnKind::Payment, 43),
+    (TxnKind::OrderStatus, 4),
+    (TxnKind::Delivery, 4),
+    (TxnKind::StockLevel, 4),
+];
+
+/// Deterministic TPC-C statement generator.
+pub struct TpccGenerator {
+    scale: TpccScale,
+    rng: StdRng,
+}
+
+impl TpccGenerator {
+    /// Create a generator for `scale`, seeded for reproducibility.
+    pub fn new(scale: TpccScale, seed: u64) -> Self {
+        TpccGenerator {
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn wid(&mut self) -> u64 {
+        self.rng.random_range(1..=self.scale.w())
+    }
+
+    fn did(&mut self) -> u64 {
+        self.rng.random_range(1..=10)
+    }
+
+    fn cid(&mut self) -> u64 {
+        // NURand-ish skew: favour a hot range.
+        if self.rng.random_bool(0.3) {
+            self.rng.random_range(1..=300)
+        } else {
+            self.rng.random_range(1..=3000)
+        }
+    }
+
+    fn iid(&mut self) -> u64 {
+        self.rng.random_range(1..=100_000)
+    }
+
+    fn oid(&mut self) -> u64 {
+        self.rng.random_range(1..=3000)
+    }
+
+    fn last_name(&mut self) -> String {
+        const SYL: [&str; 10] = [
+            "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+        ];
+        let a = self.rng.random_range(0..10);
+        let b = self.rng.random_range(0..10);
+        let c = self.rng.random_range(0..10);
+        format!("{}{}{}", SYL[a], SYL[b], SYL[c])
+    }
+
+    /// Draw the next transaction kind from the standard mix.
+    pub fn next_kind(&mut self) -> TxnKind {
+        let total: u32 = MIX.iter().map(|(_, w)| w).sum();
+        let mut x = self.rng.random_range(0..total);
+        for (kind, w) in MIX {
+            if x < w {
+                return kind;
+            }
+            x -= w;
+        }
+        TxnKind::NewOrder
+    }
+
+    /// Emit the statements of one transaction of kind `kind`.
+    pub fn transaction(&mut self, kind: TxnKind) -> Vec<String> {
+        match kind {
+            TxnKind::NewOrder => self.new_order(),
+            TxnKind::Payment => self.payment(),
+            TxnKind::OrderStatus => self.order_status(),
+            TxnKind::Delivery => self.delivery(),
+            TxnKind::StockLevel => self.stock_level(),
+        }
+    }
+
+    /// Generate `n_txns` transactions, returning all statements flattened.
+    pub fn generate(&mut self, n_txns: usize) -> Vec<String> {
+        let mut out = Vec::with_capacity(n_txns * 12);
+        for _ in 0..n_txns {
+            let kind = self.next_kind();
+            out.extend(self.transaction(kind));
+        }
+        out
+    }
+
+    fn new_order(&mut self) -> Vec<String> {
+        let (w, d, c) = (self.wid(), self.did(), self.cid());
+        let o = self.oid();
+        let mut q = vec![
+            format!(
+                "SELECT c_discount, c_last, c_credit FROM customer \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+            format!("SELECT w_tax FROM warehouse WHERE w_id = {w}"),
+            format!(
+                "SELECT d_next_o_id, d_tax FROM district \
+                 WHERE d_w_id = {w} AND d_id = {d} FOR UPDATE"
+            ),
+            format!(
+                "UPDATE district SET d_next_o_id = {} WHERE d_w_id = {w} AND d_id = {d}",
+                o + 1
+            ),
+            format!(
+                "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_ol_cnt) \
+                 VALUES ({o}, {d}, {w}, {c}, {}, {})",
+                self.rng.random_range(1..1_000_000u64),
+                self.rng.random_range(5..=15u64)
+            ),
+            format!(
+                "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES ({o}, {d}, {w})"
+            ),
+        ];
+        let lines = self.rng.random_range(5..=15);
+        for ln in 1..=lines {
+            let i = self.iid();
+            let qty = self.rng.random_range(1..=10);
+            q.push(format!("SELECT i_price, i_name, i_data FROM item WHERE i_id = {i}"));
+            q.push(format!(
+                "SELECT s_quantity, s_data FROM stock \
+                 WHERE s_i_id = {i} AND s_w_id = {w} FOR UPDATE"
+            ));
+            q.push(format!(
+                "UPDATE stock SET s_quantity = s_quantity - {qty}, s_order_cnt = s_order_cnt + 1 \
+                 WHERE s_i_id = {i} AND s_w_id = {w}"
+            ));
+            q.push(format!(
+                "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, \
+                 ol_quantity, ol_amount) VALUES ({o}, {d}, {w}, {ln}, {i}, {qty}, {})",
+                self.rng.random_range(1..10_000u64)
+            ));
+        }
+        q
+    }
+
+    fn payment(&mut self) -> Vec<String> {
+        let (w, d) = (self.wid(), self.did());
+        let amount = self.rng.random_range(1..5000u64);
+        let mut q = vec![
+            format!("UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {w}"),
+            format!(
+                "UPDATE district SET d_ytd = d_ytd + {amount} \
+                 WHERE d_w_id = {w} AND d_id = {d}"
+            ),
+        ];
+        // 60% of payments select the customer by last name.
+        if self.rng.random_bool(0.6) {
+            let last = self.last_name();
+            q.push(format!(
+                "SELECT c_id, c_first, c_balance FROM customer \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_last = '{last}' \
+                 ORDER BY c_first"
+            ));
+        }
+        let c = self.cid();
+        q.push(format!(
+            "UPDATE customer SET c_balance = c_balance - {amount} \
+             WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+        ));
+        q.push(format!(
+            "INSERT INTO history (h_c_w_id, h_c_d_id, h_c_id, h_amount, h_date) \
+             VALUES ({w}, {d}, {c}, {amount}, {})",
+            self.rng.random_range(1..1_000_000u64)
+        ));
+        q
+    }
+
+    fn order_status(&mut self) -> Vec<String> {
+        let (w, d, c) = (self.wid(), self.did(), self.cid());
+        let mut q = Vec::with_capacity(3);
+        if self.rng.random_bool(0.6) {
+            let last = self.last_name();
+            q.push(format!(
+                "SELECT c_id, c_balance, c_first FROM customer \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_last = '{last}' \
+                 ORDER BY c_first"
+            ));
+        } else {
+            q.push(format!(
+                "SELECT c_balance, c_first, c_last FROM customer \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ));
+        }
+        // The Table I pattern: orders by (o_c_id, o_w_id, o_d_id) — not a
+        // primary-key prefix.
+        q.push(format!(
+            "SELECT o_id, o_carrier_id, o_entry_d FROM orders \
+             WHERE o_c_id = {c} AND o_w_id = {w} AND o_d_id = {d} \
+             ORDER BY o_id DESC LIMIT 1"
+        ));
+        let o = self.oid();
+        q.push(format!(
+            "SELECT ol_i_id, ol_quantity, ol_amount, ol_delivery_d FROM order_line \
+             WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o}"
+        ));
+        q
+    }
+
+    fn delivery(&mut self) -> Vec<String> {
+        let w = self.wid();
+        let mut q = Vec::with_capacity(22);
+        for d in 1..=3u64 {
+            // One district per statement batch keeps the workload bounded.
+            let o = self.oid();
+            q.push(format!(
+                "SELECT no_o_id FROM new_order \
+                 WHERE no_w_id = {w} AND no_d_id = {d} ORDER BY no_o_id LIMIT 1"
+            ));
+            q.push(format!(
+                "DELETE FROM new_order WHERE no_w_id = {w} AND no_d_id = {d} AND no_o_id = {o}"
+            ));
+            q.push(format!(
+                "SELECT o_c_id FROM orders WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {o}"
+            ));
+            q.push(format!(
+                "UPDATE orders SET o_carrier_id = {} \
+                 WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {o}",
+                self.rng.random_range(1..=10u64)
+            ));
+            q.push(format!(
+                "UPDATE order_line SET ol_delivery_d = {} \
+                 WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o}",
+                self.rng.random_range(1..1_000_000u64)
+            ));
+            q.push(format!(
+                "SELECT SUM(ol_amount) FROM order_line \
+                 WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o}"
+            ));
+            let c = self.cid();
+            q.push(format!(
+                "UPDATE customer SET c_balance = c_balance + {} \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}",
+                self.rng.random_range(1..1000u64)
+            ));
+        }
+        q
+    }
+
+    fn stock_level(&mut self) -> Vec<String> {
+        let (w, d) = (self.wid(), self.did());
+        let threshold = self.rng.random_range(10..=20u64);
+        let o = self.oid().max(20);
+        vec![
+            format!(
+                "SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"
+            ),
+            // The s_quantity restriction that motivates Table I's
+            // `s_quality` index pick.
+            format!(
+                "SELECT COUNT(*) FROM order_line, stock \
+                 WHERE ol_w_id = {w} AND ol_d_id = {d} \
+                 AND ol_o_id BETWEEN {} AND {o} \
+                 AND stock.s_i_id = order_line.ol_i_id AND s_w_id = {w} \
+                 AND s_quantity < {threshold}",
+                o - 19
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+
+    #[test]
+    fn catalog_scales_with_warehouses() {
+        let c1 = catalog(TpccScale::X1);
+        let c100 = catalog(TpccScale::X100);
+        assert_eq!(c1.len(), 9);
+        assert_eq!(
+            c1.table("order_line").unwrap().rows * 100,
+            c100.table("order_line").unwrap().rows
+        );
+        // item is fixed-size.
+        assert_eq!(
+            c1.table("item").unwrap().rows,
+            c100.table("item").unwrap().rows
+        );
+    }
+
+    #[test]
+    fn default_indexes_validate_against_catalog() {
+        let c = catalog(TpccScale::X1);
+        for d in default_indexes() {
+            let t = c.table(&d.table).expect("index table exists");
+            d.validate(t).expect("index columns exist");
+        }
+    }
+
+    #[test]
+    fn all_generated_sql_parses() {
+        let mut g = TpccGenerator::new(TpccScale::X1, 7);
+        let qs = g.generate(200);
+        assert!(qs.len() > 1000);
+        for q in &qs {
+            parse_statement(q).unwrap_or_else(|e| panic!("bad SQL {q:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpccGenerator::new(TpccScale::X10, 3).generate(50);
+        let b = TpccGenerator::new(TpccScale::X10, 3).generate(50);
+        assert_eq!(a, b);
+        let c = TpccGenerator::new(TpccScale::X10, 4).generate(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_roughly_matches_weights() {
+        let mut g = TpccGenerator::new(TpccScale::X1, 11);
+        let mut counts = [0u32; 5];
+        for _ in 0..10_000 {
+            let k = g.next_kind();
+            let i = match k {
+                TxnKind::NewOrder => 0,
+                TxnKind::Payment => 1,
+                TxnKind::OrderStatus => 2,
+                TxnKind::Delivery => 3,
+                TxnKind::StockLevel => 4,
+            };
+            counts[i] += 1;
+        }
+        assert!((4000..5000).contains(&counts[0]), "NewOrder {counts:?}");
+        assert!((3800..4800).contains(&counts[1]), "Payment {counts:?}");
+        for &c in &counts[2..] {
+            assert!((250..600).contains(&c), "minor txns {counts:?}");
+        }
+    }
+
+    #[test]
+    fn order_status_contains_table1_pattern() {
+        let mut g = TpccGenerator::new(TpccScale::X1, 5);
+        let qs = g.transaction(TxnKind::OrderStatus).join("\n");
+        assert!(qs.contains("o_c_id ="), "Table I access pattern present");
+    }
+
+    #[test]
+    fn stock_level_restricts_s_quantity() {
+        let mut g = TpccGenerator::new(TpccScale::X1, 5);
+        let qs = g.transaction(TxnKind::StockLevel).join("\n");
+        assert!(qs.contains("s_quantity <"));
+    }
+
+    #[test]
+    fn workload_is_write_heavy() {
+        let mut g = TpccGenerator::new(TpccScale::X1, 9);
+        let qs = g.generate(300);
+        let writes = qs
+            .iter()
+            .filter(|q| {
+                q.starts_with("INSERT") || q.starts_with("UPDATE") || q.starts_with("DELETE")
+            })
+            .count();
+        let ratio = writes as f64 / qs.len() as f64;
+        assert!(ratio > 0.3 && ratio < 0.7, "write ratio {ratio}");
+    }
+}

@@ -1,0 +1,570 @@
+//! TPC-DS-like OLAP workload.
+//!
+//! A 25-table star schema (7 fact + 18 dimension tables, mirroring TPC-DS
+//! at ~1 GB) and 99 analytic query shapes built from twelve families:
+//! multi-way fact–dimension joins, correlated subqueries, grouped
+//! aggregates, top-k orderings and range restrictions. Family 1 is the
+//! paper's §III motivating case (TPC-DS Q32): the manufacturer-restricted
+//! discount query only accelerates when the item filter index and the
+//! fact-side join index work together.
+
+use crate::Scenario;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build the 25-table catalog (~1 GB of data, as in §VI-A).
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    // ---- fact tables ----------------------------------------------------
+    c.add_table(
+        TableBuilder::new("store_sales", 2_880_000)
+            .column(Column::int("ss_sold_date_sk", 1_800).with_correlation(0.95))
+            .column(Column::int("ss_sold_time_sk", 40_000))
+            .column(Column::int("ss_item_sk", 18_000))
+            .column(Column::int("ss_customer_sk", 100_000))
+            .column(Column::int("ss_cdemo_sk", 50_000))
+            .column(Column::int("ss_hdemo_sk", 7_200))
+            .column(Column::int("ss_addr_sk", 50_000))
+            .column(Column::int("ss_store_sk", 12))
+            .column(Column::int("ss_promo_sk", 300))
+            .column(Column::float("ss_quantity", 100, 1.0, 100.0))
+            .column(Column::float("ss_ext_sales_price", 100_000, 0.0, 20_000.0))
+            .column(Column::float("ss_net_profit", 100_000, -5_000.0, 10_000.0))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("catalog_sales", 1_440_000)
+            .column(Column::int("cs_sold_date_sk", 1_800).with_correlation(0.95))
+            .column(Column::int("cs_item_sk", 18_000))
+            .column(Column::int("cs_bill_customer_sk", 100_000))
+            .column(Column::int("cs_call_center_sk", 6))
+            .column(Column::int("cs_catalog_page_sk", 11_000))
+            .column(Column::int("cs_ship_mode_sk", 20))
+            .column(Column::float("cs_quantity", 100, 1.0, 100.0))
+            .column(Column::float("cs_ext_discount_amt", 100_000, 0.0, 29_000.0))
+            .column(Column::float("cs_ext_sales_price", 100_000, 0.0, 29_000.0))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("web_sales", 720_000)
+            .column(Column::int("ws_sold_date_sk", 1_800).with_correlation(0.95))
+            .column(Column::int("ws_item_sk", 18_000))
+            .column(Column::int("ws_bill_customer_sk", 100_000))
+            .column(Column::int("ws_web_site_sk", 30))
+            .column(Column::int("ws_web_page_sk", 60))
+            .column(Column::float("ws_quantity", 100, 1.0, 100.0))
+            .column(Column::float("ws_ext_sales_price", 100_000, 0.0, 29_000.0))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("store_returns", 288_000)
+            .column(Column::int("sr_returned_date_sk", 1_800).with_correlation(0.95))
+            .column(Column::int("sr_item_sk", 18_000))
+            .column(Column::int("sr_customer_sk", 100_000))
+            .column(Column::int("sr_store_sk", 12))
+            .column(Column::int("sr_reason_sk", 35))
+            .column(Column::float("sr_return_amt", 50_000, 0.0, 18_000.0))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("catalog_returns", 144_000)
+            .column(Column::int("cr_returned_date_sk", 1_800).with_correlation(0.95))
+            .column(Column::int("cr_item_sk", 18_000))
+            .column(Column::int("cr_returning_customer_sk", 100_000))
+            .column(Column::float("cr_return_amount", 50_000, 0.0, 28_000.0))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("web_returns", 72_000)
+            .column(Column::int("wr_returned_date_sk", 1_800).with_correlation(0.95))
+            .column(Column::int("wr_item_sk", 18_000))
+            .column(Column::int("wr_refunded_customer_sk", 100_000))
+            .column(Column::float("wr_return_amt", 40_000, 0.0, 28_000.0))
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("inventory", 11_745_000)
+            .column(Column::int("inv_date_sk", 261).with_correlation(0.95))
+            .column(Column::int("inv_item_sk", 18_000))
+            .column(Column::int("inv_warehouse_sk", 5))
+            .column(Column::int("inv_quantity_on_hand", 1_000))
+            .build()
+            .expect("static schema"),
+    );
+    // ---- dimension tables -----------------------------------------------
+    c.add_table(
+        TableBuilder::new("date_dim", 73_049)
+            .column(Column::int("d_date_sk", 73_049))
+            .column(Column::int("d_date", 73_049).with_correlation(1.0))
+            .column(Column::int("d_year", 200))
+            .column(Column::int("d_moy", 12))
+            .column(Column::int("d_dom", 31))
+            .column(Column::int("d_qoy", 4))
+            .primary_key(&["d_date_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("time_dim", 86_400)
+            .column(Column::int("t_time_sk", 86_400))
+            .column(Column::int("t_hour", 24))
+            .column(Column::int("t_minute", 60))
+            .primary_key(&["t_time_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("item", 18_000)
+            .column(Column::int("i_item_sk", 18_000))
+            .column(Column::text("i_item_id", 18_000, 16))
+            .column(Column::int("i_manufact_id", 1_000))
+            .column(Column::int("i_brand_id", 950))
+            .column(Column::text("i_category", 10, 12))
+            .column(Column::text("i_class", 100, 12))
+            .column(Column::text("i_color", 90, 10))
+            .column(Column::float("i_current_price", 1_000, 0.1, 100.0))
+            .primary_key(&["i_item_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("customer", 100_000)
+            .column(Column::int("c_customer_sk", 100_000))
+            .column(Column::text("c_customer_id", 100_000, 16))
+            .column(Column::int("c_current_addr_sk", 50_000))
+            .column(Column::int("c_current_cdemo_sk", 50_000))
+            .column(Column::int("c_birth_year", 90))
+            .column(Column::text("c_last_name", 5_000, 16))
+            .primary_key(&["c_customer_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("customer_address", 50_000)
+            .column(Column::int("ca_address_sk", 50_000))
+            .column(Column::text("ca_state", 51, 2))
+            .column(Column::text("ca_city", 700, 16))
+            .column(Column::text("ca_zip", 8_000, 5))
+            .column(Column::int("ca_gmt_offset", 6))
+            .primary_key(&["ca_address_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("customer_demographics", 50_000)
+            .column(Column::int("cd_demo_sk", 50_000))
+            .column(Column::text("cd_gender", 2, 1))
+            .column(Column::text("cd_marital_status", 5, 1))
+            .column(Column::text("cd_education_status", 7, 16))
+            .primary_key(&["cd_demo_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("household_demographics", 7_200)
+            .column(Column::int("hd_demo_sk", 7_200))
+            .column(Column::int("hd_income_band_sk", 20))
+            .column(Column::int("hd_dep_count", 10))
+            .column(Column::int("hd_vehicle_count", 5))
+            .primary_key(&["hd_demo_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("income_band", 20)
+            .column(Column::int("ib_income_band_sk", 20))
+            .column(Column::int("ib_lower_bound", 20))
+            .column(Column::int("ib_upper_bound", 20))
+            .primary_key(&["ib_income_band_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("store", 12)
+            .column(Column::int("s_store_sk", 12))
+            .column(Column::text("s_store_name", 12, 16))
+            .column(Column::text("s_state", 6, 2))
+            .column(Column::int("s_number_employees", 12))
+            .primary_key(&["s_store_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("call_center", 6)
+            .column(Column::int("cc_call_center_sk", 6))
+            .column(Column::text("cc_name", 6, 16))
+            .primary_key(&["cc_call_center_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("catalog_page", 11_000)
+            .column(Column::int("cp_catalog_page_sk", 11_000))
+            .column(Column::int("cp_catalog_number", 110))
+            .primary_key(&["cp_catalog_page_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("web_site", 30)
+            .column(Column::int("web_site_sk", 30))
+            .column(Column::text("web_name", 30, 16))
+            .primary_key(&["web_site_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("web_page", 60)
+            .column(Column::int("wp_web_page_sk", 60))
+            .column(Column::int("wp_char_count", 50))
+            .primary_key(&["wp_web_page_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("warehouse", 5)
+            .column(Column::int("w_warehouse_sk", 5))
+            .column(Column::text("w_warehouse_name", 5, 16))
+            .primary_key(&["w_warehouse_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("promotion", 300)
+            .column(Column::int("p_promo_sk", 300))
+            .column(Column::text("p_channel_email", 2, 1))
+            .column(Column::text("p_channel_tv", 2, 1))
+            .primary_key(&["p_promo_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("reason", 35)
+            .column(Column::int("r_reason_sk", 35))
+            .column(Column::text("r_reason_desc", 35, 24))
+            .primary_key(&["r_reason_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("ship_mode", 20)
+            .column(Column::int("sm_ship_mode_sk", 20))
+            .column(Column::text("sm_type", 6, 12))
+            .primary_key(&["sm_ship_mode_sk"])
+            .build()
+            .expect("static schema"),
+    );
+    // TPC-DS ships a 25th metadata table.
+    c.add_table(
+        TableBuilder::new("dbgen_version", 1)
+            .column(Column::text("dv_version", 1, 16))
+            .column(Column::int("dv_create_date", 1))
+            .build()
+            .expect("static schema"),
+    );
+    debug_assert_eq!(c.len(), 25);
+    c
+}
+
+/// The `Default` configuration: primary-key indexes on the dimensions.
+pub fn default_indexes() -> Vec<IndexDef> {
+    [
+        ("date_dim", "d_date_sk"),
+        ("time_dim", "t_time_sk"),
+        ("item", "i_item_sk"),
+        ("customer", "c_customer_sk"),
+        ("customer_address", "ca_address_sk"),
+        ("customer_demographics", "cd_demo_sk"),
+        ("household_demographics", "hd_demo_sk"),
+        ("income_band", "ib_income_band_sk"),
+        ("store", "s_store_sk"),
+        ("call_center", "cc_call_center_sk"),
+        ("catalog_page", "cp_catalog_page_sk"),
+        ("web_site", "web_site_sk"),
+        ("web_page", "wp_web_page_sk"),
+        ("warehouse", "w_warehouse_sk"),
+        ("promotion", "p_promo_sk"),
+        ("reason", "r_reason_sk"),
+        ("ship_mode", "sm_ship_mode_sk"),
+    ]
+    .iter()
+    .map(|(t, c)| IndexDef::new(*t, &[c]))
+    .collect()
+}
+
+/// The complete TPC-DS scenario.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "TPC-DS".to_string(),
+        catalog: catalog(),
+        default_indexes: default_indexes(),
+    }
+}
+
+/// Generate the 99 named queries (`q1`..`q99`), deterministically per seed.
+pub fn queries(seed: u64) -> Vec<(String, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..=99)
+        .map(|i| (format!("q{i}"), query(i, &mut rng)))
+        .collect()
+}
+
+const CATEGORIES: [&str; 10] = [
+    "Books", "Music", "Home", "Sports", "Shoes", "Jewelry", "Men", "Women", "Children",
+    "Electronics",
+];
+const STATES: [&str; 8] = ["CA", "TX", "NY", "WA", "GA", "IL", "OH", "MI"];
+
+fn query(i: u32, rng: &mut StdRng) -> String {
+    let year = rng.random_range(1998..=2002);
+    let moy = rng.random_range(1..=12);
+    let cat = CATEGORIES[rng.random_range(0..CATEGORIES.len())];
+    let state = STATES[rng.random_range(0..STATES.len())];
+    let manufact = rng.random_range(1..=1000);
+    let d1 = rng.random_range(2_450_000..2_452_000);
+    let d2 = d1 + rng.random_range(30..90);
+    match i % 12 {
+        // Family 0: item-category sales by year.
+        0 => format!(
+            "SELECT i_item_id, SUM(ss_ext_sales_price) FROM store_sales, item, date_dim \
+             WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk \
+             AND d_year = {year} AND i_category = '{cat}' \
+             GROUP BY i_item_id ORDER BY i_item_id LIMIT 100"
+        ),
+        // Family 1: the Q32 pattern — correlated discount subquery. Needs
+        // i_manufact_id AND the date join index together.
+        1 => format!(
+            "SELECT SUM(cs_ext_discount_amt) FROM catalog_sales, item, date_dim \
+             WHERE i_manufact_id = {manufact} AND i_item_sk = cs_item_sk \
+             AND d_date BETWEEN {d1} AND {d2} AND d_date_sk = cs_sold_date_sk \
+             AND cs_ext_discount_amt > {}",
+            rng.random_range(100..2000)
+        ),
+        // Family 2: demographics slice of one month of store sales.
+        2 => format!(
+            "SELECT COUNT(*) FROM store_sales, customer_demographics, date_dim \
+             WHERE ss_cdemo_sk = cd_demo_sk AND ss_sold_date_sk = d_date_sk \
+             AND cd_gender = '{}' AND cd_marital_status = '{}' \
+             AND cd_education_status = '{}' AND d_year = {year} AND d_moy = {moy}",
+            ["M", "F"][rng.random_range(0..2)],
+            ["S", "M", "D", "W", "U"][rng.random_range(0..5)],
+            ["College", "Primary", "Secondary", "Advanced", "Unknown", "2yrdeg", "4yrdeg"]
+                [rng.random_range(0..7)]
+        ),
+        // Family 3: promotion effectiveness.
+        3 => format!(
+            "SELECT p_promo_sk, SUM(ss_ext_sales_price) FROM store_sales, promotion, item \
+             WHERE ss_promo_sk = p_promo_sk AND ss_item_sk = i_item_sk \
+             AND p_channel_email = 'Y' AND i_category = '{cat}' \
+             GROUP BY p_promo_sk ORDER BY p_promo_sk"
+        ),
+        // Family 4: inventory position for a narrow price band of items.
+        4 => {
+            let p = rng.random_range(10..90);
+            format!(
+                "SELECT w_warehouse_name, AVG(inv_quantity_on_hand) FROM inventory, warehouse, item \
+                 WHERE inv_warehouse_sk = w_warehouse_sk AND inv_item_sk = i_item_sk \
+                 AND i_current_price BETWEEN {p} AND {q} \
+                 AND inv_quantity_on_hand BETWEEN 100 AND 500 \
+                 GROUP BY w_warehouse_name",
+                q = p as f64 + 0.5
+            )
+        }
+        // Family 5: returns by reason.
+        5 => format!(
+            "SELECT r_reason_desc, COUNT(*), SUM(sr_return_amt) \
+             FROM store_returns, reason, store \
+             WHERE sr_reason_sk = r_reason_sk AND sr_store_sk = s_store_sk \
+             AND s_state = '{}' AND sr_return_amt > {} \
+             GROUP BY r_reason_desc ORDER BY r_reason_desc",
+            ["CA", "TX", "NY"][rng.random_range(0..3)],
+            rng.random_range(1000..5000)
+        ),
+        // Family 6: web channel by site.
+        6 => format!(
+            "SELECT web_name, SUM(ws_ext_sales_price) FROM web_sales, web_site, date_dim \
+             WHERE ws_web_site_sk = web_site_sk AND ws_sold_date_sk = d_date_sk \
+             AND d_year = {year} AND d_moy = {moy} \
+             GROUP BY web_name ORDER BY web_name"
+        ),
+        // Family 7: monthly customer spend for one birth cohort.
+        7 => {
+            let b1 = 1930 + rng.random_range(0..60);
+            format!(
+                "SELECT c_customer_id, SUM(ss_ext_sales_price) FROM customer, store_sales, date_dim \
+                 WHERE ss_customer_sk = c_customer_sk AND ss_sold_date_sk = d_date_sk \
+                 AND d_year = {year} AND d_moy = {moy} AND c_birth_year BETWEEN {b1} AND {b2} \
+                 GROUP BY c_customer_id ORDER BY c_customer_id LIMIT 100",
+                b2 = b1 + 2
+            )
+        }
+        // Family 8: geography slice through customer_address (single city).
+        8 => format!(
+            "SELECT c_last_name, COUNT(*) FROM store_sales, customer, customer_address \
+             WHERE ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk \
+             AND ca_state = '{state}' AND ca_city = 'city_{:03}' AND ss_net_profit > {} \
+             GROUP BY c_last_name ORDER BY c_last_name LIMIT 50",
+            rng.random_range(0..700),
+            rng.random_range(0..5000)
+        ),
+        // Family 9: household/time-of-day analysis.
+        9 => format!(
+            "SELECT t_hour, COUNT(*) FROM store_sales, household_demographics, time_dim \
+             WHERE ss_hdemo_sk = hd_demo_sk AND ss_sold_time_sk = t_time_sk \
+             AND hd_dep_count = {} AND t_hour BETWEEN {h} AND {h2} \
+             GROUP BY t_hour ORDER BY t_hour",
+            rng.random_range(0..10),
+            h = rng.random_range(8..12),
+            h2 = rng.random_range(14..20)
+        ),
+        // Family 10: catalog channel with IN-subquery on hot items.
+        10 => format!(
+            "SELECT SUM(cs_ext_sales_price) FROM catalog_sales, date_dim \
+             WHERE cs_sold_date_sk = d_date_sk AND d_year = {year} AND d_qoy = {} \
+             AND cs_item_sk IN (SELECT i_item_sk FROM item WHERE i_manufact_id = {manufact})",
+            rng.random_range(1..=4)
+        ),
+        // Family 11: single-dimension probes (cheap queries).
+        _ => format!(
+            "SELECT i_item_id, i_current_price FROM item \
+             WHERE i_category = '{cat}' AND i_current_price BETWEEN {p} AND {q} \
+             ORDER BY i_current_price LIMIT 20",
+            p = rng.random_range(1..30),
+            q = rng.random_range(40..99)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+    use autoindex_storage::shape::QueryShape;
+
+    #[test]
+    fn catalog_has_25_tables() {
+        assert_eq!(catalog().len(), 25);
+    }
+
+    #[test]
+    fn default_indexes_validate() {
+        let c = catalog();
+        for d in default_indexes() {
+            d.validate(c.table(&d.table).expect("table exists"))
+                .expect("columns exist");
+        }
+    }
+
+    #[test]
+    fn all_99_queries_parse() {
+        let qs = queries(1);
+        assert_eq!(qs.len(), 99);
+        for (name, sql) in &qs {
+            parse_statement(sql).unwrap_or_else(|e| panic!("{name} failed: {e}\n{sql}"));
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic_per_seed() {
+        assert_eq!(queries(5), queries(5));
+        assert_ne!(queries(5), queries(6));
+    }
+
+    #[test]
+    fn q32_family_touches_both_interaction_columns() {
+        let qs = queries(2);
+        // q1 has i%12==1 → family 1 (Q32 pattern) is at q1, q13, ...
+        let (_, sql) = &qs[0];
+        assert!(sql.contains("i_manufact_id"));
+        assert!(sql.contains("d_date BETWEEN"));
+    }
+
+    #[test]
+    fn shapes_extract_joins() {
+        let c = catalog();
+        for (name, sql) in queries(3).iter().take(24) {
+            let stmt = parse_statement(sql).unwrap();
+            let shape = QueryShape::extract(&stmt, &c);
+            if shape.tables.len() >= 2 {
+                assert!(!shape.joins.is_empty(), "{name} should have join edges");
+            }
+        }
+    }
+
+    #[test]
+    fn fact_date_columns_are_clustered() {
+        // TPC-DS data is generated chronologically; the catalog must model
+        // that (the NL-lookup correlation discount depends on it).
+        let c = catalog();
+        for (t, col) in [
+            ("store_sales", "ss_sold_date_sk"),
+            ("catalog_sales", "cs_sold_date_sk"),
+            ("web_sales", "ws_sold_date_sk"),
+            ("inventory", "inv_date_sk"),
+        ] {
+            let corr = c.table(t).unwrap().column(col).unwrap().stats.correlation;
+            assert!(corr > 0.9, "{t}.{col} correlation {corr}");
+        }
+    }
+
+    #[test]
+    fn month_sliced_families_are_selective() {
+        // Families 2/6/7 restrict year+month; their date_dim filter must be
+        // sharp enough for an index-driven plan to exist at all.
+        let c = catalog();
+        for (name, sql) in queries(5) {
+            if !sql.contains("d_moy") {
+                continue;
+            }
+            let stmt = parse_statement(&sql).unwrap();
+            let shape = QueryShape::extract(&stmt, &c);
+            let dd = shape.table("date_dim").expect("date_dim joined");
+            assert!(
+                dd.filter_sel < 0.01,
+                "{name}: date filter too loose ({})",
+                dd.filter_sel
+            );
+        }
+    }
+
+    #[test]
+    fn in_subquery_families_have_semijoin_edges() {
+        let c = catalog();
+        for (name, sql) in queries(5) {
+            if !sql.contains("IN (SELECT") {
+                continue;
+            }
+            let stmt = parse_statement(&sql).unwrap();
+            let shape = QueryShape::extract(&stmt, &c);
+            assert!(
+                shape
+                    .joins
+                    .iter()
+                    .any(|e| e.left_table == "catalog_sales" || e.right_table == "catalog_sales"),
+                "{name}: semi-join edge missing"
+            );
+        }
+    }
+
+    #[test]
+    fn families_cover_all_fact_tables() {
+        let all: String = queries(4).into_iter().map(|(_, s)| s).collect();
+        for t in [
+            "store_sales",
+            "catalog_sales",
+            "web_sales",
+            "store_returns",
+            "inventory",
+        ] {
+            assert!(all.contains(t), "{t} never queried");
+        }
+    }
+}

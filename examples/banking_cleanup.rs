@@ -1,0 +1,84 @@
+//! The Figure 1 story: a production banking service with 263 hand-crafted
+//! DBA indexes, most of them redundant, unused or harmful. Diagnosis fires
+//! and AutoIndex removes the dead weight — *improving* throughput while
+//! reclaiming most of the index storage.
+//!
+//! ```bash
+//! cargo run --release --example banking_cleanup
+//! ```
+
+use autoindex::prelude::*;
+use autoindex::workloads::banking::{self, BankingGenerator};
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+fn main() {
+    // Buffer pool smaller than data+indexes so footprint matters.
+    let cfg = SimDbConfig {
+        memory_bytes: 4 * (1 << 30),
+        ..SimDbConfig::default()
+    };
+    let mut db = SimDb::new(banking::catalog(), cfg);
+
+    for d in banking::dba_indexes() {
+        db.create_index(d).expect("DBA index");
+    }
+    let idx_before = db.index_count();
+    let bytes_before = db.total_index_bytes();
+    println!("DBA configuration: {idx_before} indexes, {:.2} GiB", gib(bytes_before));
+
+    // The withdraw business stream (Figure 1 uses ~2.2M queries; a slice
+    // is plenty for the demo — the bench harness runs the full volume).
+    let mut gen = BankingGenerator::new(7);
+    let queries = gen.generate_withdrawal(30_000);
+    let stmts: Vec<Statement> = queries
+        .iter()
+        .take(4_000)
+        .map(|q| parse_statement(q).expect("generated SQL parses"))
+        .collect();
+
+    let before = db.run_workload(&stmts);
+    println!(
+        "before cleanup: {:.1} ms total, throughput {:.0} tps (50 streams)",
+        before.total_latency_ms,
+        before.throughput(50)
+    );
+
+    // AutoIndex observes the stream; diagnosis flags the index problems.
+    let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+    ai.observe_batch(queries.iter().map(String::as_str), &db);
+    let diag = ai.diagnose(&db);
+    println!(
+        "diagnosis: {} rarely used, {} negative, problem ratio {:.0}% -> tune? {}",
+        diag.rarely_used.len(),
+        diag.negative.len(),
+        diag.problem_ratio * 100.0,
+        diag.should_tune
+    );
+    assert!(diag.should_tune, "the bloated DBA set must trip diagnosis");
+
+    let report = ai.tune(&mut db);
+    let removed = report.dropped.len();
+    let added = report.created.len();
+    let idx_after = db.index_count();
+    let bytes_after = db.total_index_bytes();
+
+    println!(
+        "cleanup: removed {removed}, added {added} -> {idx_after} indexes, {:.2} GiB \
+         ({:.0}% of indexes removed, {:.0}% of space saved)",
+        gib(bytes_after),
+        100.0 * removed as f64 / idx_before as f64,
+        100.0 * (1.0 - bytes_after as f64 / bytes_before as f64),
+    );
+
+    let after = db.run_workload(&stmts);
+    println!(
+        "after cleanup:  {:.1} ms total, throughput {:.0} tps (50 streams)",
+        after.total_latency_ms,
+        after.throughput(50)
+    );
+    let delta = after.throughput(50) / before.throughput(50) - 1.0;
+    println!("throughput change: {:+.1}%", delta * 100.0);
+}

@@ -1,0 +1,16 @@
+-- Sample workload for the advisor CLI file mode:
+--   cargo run --release --bin advisor -- \
+--     --schema examples/data/sample_schema.json \
+--     --queries examples/data/sample_workload.sql \
+--     --indexes examples/data/sample_indexes.txt --apply
+SELECT * FROM orders WHERE customer_id = 1071
+SELECT * FROM orders WHERE customer_id = 44210
+SELECT * FROM orders WHERE customer_id = 88812
+SELECT order_id, total FROM orders WHERE status = 3 AND total > 8500
+SELECT order_id, total FROM orders WHERE status = 5 AND total > 8900
+SELECT * FROM orders WHERE customer_id = 555 ORDER BY created_at DESC LIMIT 20
+SELECT email FROM customers WHERE segment = 2 AND customer_id = 777
+SELECT COUNT(*) FROM customers c, orders o WHERE c.customer_id = o.customer_id AND c.segment = 4
+INSERT INTO orders (order_id, customer_id, status, total, created_at) VALUES (2000001, 17, 1, 95.5, 1500001)
+INSERT INTO orders (order_id, customer_id, status, total, created_at) VALUES (2000002, 18, 1, 12.0, 1500002)
+UPDATE orders SET status = 4 WHERE order_id = 192811

@@ -1,0 +1,89 @@
+//! Index *type* selection on a partitioned table (§III): the same metering
+//! workload in two access modes makes AutoIndex choose a LOCAL index when
+//! every lookup prunes to one partition, and a GLOBAL one when it cannot.
+//!
+//! ```bash
+//! cargo run --release --example partitioned_indexes
+//! ```
+
+use autoindex::prelude::*;
+use autoindex::workloads::partitioned::{self, Mode, PartitionedGenerator};
+
+fn run_mode(mode: Mode) {
+    let label = match mode {
+        Mode::Pruned => "pruned (every lookup has region = ?)",
+        Mode::Unpruned => "unpruned (lookup by meter_id only)",
+    };
+    println!("\n=== {label} ===");
+
+    // Memory sized so index footprint matters: the global/local storage
+    // difference is part of the decision, not just lookup speed.
+    let cfg = SimDbConfig {
+        memory_bytes: 2 * (1 << 30),
+        ..SimDbConfig::default()
+    };
+    let mut db = SimDb::new(partitioned::catalog(), cfg);
+    for d in partitioned::default_indexes() {
+        db.create_index(d).expect("default index");
+    }
+
+    let mut generator = PartitionedGenerator::new(11);
+    let queries = generator.generate(mode, 6_000);
+    let stmts: Vec<Statement> = queries
+        .iter()
+        .take(1_500)
+        .map(|q| parse_statement(q).expect("generated SQL parses"))
+        .collect();
+    let before = db.run_workload(&stmts);
+
+    let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+    ai.observe_batch(queries.iter().map(String::as_str), &db);
+    let report = ai.tune(&mut db);
+    for d in &report.recommendation.add {
+        let size = db
+            .index_size_bytes(d)
+            .expect("recommended index sizes resolve");
+        println!("  + CREATE INDEX ON {d}   ({:.1} MiB)", size as f64 / (1 << 20) as f64);
+    }
+    for d in &report.recommendation.remove {
+        println!("  - DROP INDEX ON {d}");
+    }
+
+    let after = db.run_workload(&stmts);
+    println!(
+        "  latency: {:.0} ms -> {:.0} ms ({:+.1}%)",
+        before.total_latency_ms,
+        after.total_latency_ms,
+        100.0 * (after.total_latency_ms / before.total_latency_ms - 1.0)
+    );
+
+    // The headline check: which scope won?
+    let chose_local = report
+        .recommendation
+        .add
+        .iter()
+        .any(|d| d.scope == IndexScope::Local && d.columns.contains(&"meter_id".to_string()));
+    let chose_global = report
+        .recommendation
+        .add
+        .iter()
+        .any(|d| d.scope == IndexScope::Global && d.columns.contains(&"meter_id".to_string()));
+    match (mode, chose_local, chose_global) {
+        (Mode::Pruned, true, _) => println!("  -> LOCAL index chosen (partition-pruned lookups)"),
+        (Mode::Unpruned, _, true) => println!("  -> GLOBAL index chosen (no pruning possible)"),
+        _ => println!(
+            "  -> chose {:?}",
+            report
+                .recommendation
+                .add
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+        ),
+    }
+}
+
+fn main() {
+    run_mode(Mode::Pruned);
+    run_mode(Mode::Unpruned);
+}

@@ -1,0 +1,96 @@
+//! Quickstart: build a small database, stream a workload through
+//! AutoIndex, tune, and compare measured performance before and after.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use autoindex::prelude::*;
+
+fn main() {
+    // 1. A simulated database: one orders table with realistic statistics.
+    let mut catalog = Catalog::new();
+    catalog.add_table(
+        TableBuilder::new("orders", 2_000_000)
+            .column(Column::int("o_id", 2_000_000))
+            .column(Column::int("o_customer", 120_000))
+            .column(Column::int("o_status", 6))
+            .column(Column::float("o_total", 500_000, 0.0, 10_000.0))
+            .column(Column::int("o_created", 2_000_000))
+            .primary_key(&["o_id"])
+            .build()
+            .expect("static schema"),
+    );
+    let mut db = SimDb::new(catalog, SimDbConfig::default());
+    db.create_index(IndexDef::new("orders", &["o_id"]))
+        .expect("primary key index");
+
+    // 2. A workload: customer lookups, status dashboards, new orders.
+    let workload: Vec<String> = (0..3_000)
+        .flat_map(|i| {
+            vec![
+                format!("SELECT * FROM orders WHERE o_customer = {}", i % 120_000),
+                format!(
+                    "SELECT COUNT(*) FROM orders WHERE o_status = {} AND o_total > {}",
+                    i % 6,
+                    9_000 + i % 800
+                ),
+                format!(
+                    "INSERT INTO orders (o_id, o_customer, o_status, o_total, o_created) \
+                     VALUES ({}, {}, 1, {}, {i})",
+                    2_000_000 + i,
+                    i % 120_000,
+                    i % 500
+                ),
+            ]
+        })
+        .collect();
+
+    // 3. Measure with the default (PK-only) configuration.
+    let stmts: Vec<Statement> = workload
+        .iter()
+        .map(|q| parse_statement(q).expect("generated SQL parses"))
+        .collect();
+    let before = db.run_workload(&stmts[..3_000]);
+    println!(
+        "before tuning: total latency {:8.1} ms over {} statements  ({} indexes)",
+        before.total_latency_ms,
+        before.statements,
+        db.index_count()
+    );
+
+    // 4. AutoIndex observes the stream and tunes.
+    let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+    let failures = ai.observe_batch(workload.iter().map(String::as_str), &db);
+    assert_eq!(failures, 0);
+    println!(
+        "observed {} queries -> {} templates",
+        workload.len(),
+        ai.template_count()
+    );
+
+    let report = ai.tune(&mut db);
+    println!(
+        "tuning took {:?}; estimated improvement {:.1}%",
+        report.tuning_time,
+        report.recommendation.improvement() * 100.0
+    );
+    for d in &report.recommendation.add {
+        println!("  + CREATE INDEX ON {d}");
+    }
+    for d in &report.recommendation.remove {
+        println!("  - DROP INDEX ON {d}");
+    }
+
+    // 5. Measure again with the tuned configuration.
+    let after = db.run_workload(&stmts[..3_000]);
+    println!(
+        "after tuning:  total latency {:8.1} ms over {} statements  ({} indexes)",
+        after.total_latency_ms,
+        after.statements,
+        db.index_count()
+    );
+    let speedup = before.total_latency_ms / after.total_latency_ms.max(1e-9);
+    println!("speedup: {speedup:.2}x");
+    assert!(speedup > 1.0, "tuning must help this workload");
+}

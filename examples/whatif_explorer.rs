@@ -1,0 +1,127 @@
+//! Drive the substrate directly: hypothetical (what-if) index costing,
+//! and the gap between the native estimator and a learned one on
+//! write-heavy statements — the paper's §V motivation in miniature.
+//!
+//! ```bash
+//! cargo run --release --example whatif_explorer
+//! ```
+
+use autoindex::prelude::*;
+use autoindex::storage::shape::QueryShape;
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.add_table(
+        TableBuilder::new("events", 5_000_000)
+            .column(Column::int("event_id", 5_000_000))
+            .column(Column::int("user_id", 300_000))
+            .column(Column::int("kind", 40))
+            .column(Column::int("ts", 5_000_000).with_correlation(0.95))
+            .column(Column::text("payload", 1_000_000, 120))
+            .primary_key(&["event_id"])
+            .build()
+            .expect("static schema"),
+    );
+    let mut db = SimDb::new(catalog, SimDbConfig::default());
+
+    // --- 1. What-if costing of a read -----------------------------------
+    let read = parse_statement(
+        "SELECT * FROM events WHERE user_id = 42 AND kind = 3 ORDER BY ts DESC LIMIT 20",
+    )
+    .expect("valid SQL");
+    let shape = QueryShape::extract(&read, db.catalog());
+
+    println!("EXPLAIN under the best configuration:");
+    println!(
+        "{}",
+        db.whatif_explain(
+            &shape,
+            &[IndexDef::new("events", &["user_id", "kind", "ts"])]
+        )
+    );
+
+    println!("read query under hypothetical configurations:");
+    for (label, config) in [
+        ("no index", vec![]),
+        ("events(user_id)", vec![IndexDef::new("events", &["user_id"])]),
+        (
+            "events(user_id, kind)",
+            vec![IndexDef::new("events", &["user_id", "kind"])],
+        ),
+        (
+            "events(user_id, kind, ts)",
+            vec![IndexDef::new("events", &["user_id", "kind", "ts"])],
+        ),
+    ] {
+        let cost = db.whatif_native_cost(&shape, &config);
+        let size: u64 = config
+            .iter()
+            .map(|d| db.index_size_bytes(d).expect("valid index"))
+            .sum();
+        println!("  {label:28} cost {cost:12.1}   size {:6.1} MiB", size as f64 / (1 << 20) as f64);
+    }
+
+    // --- 2. The write-side blind spot ------------------------------------
+    let insert = parse_statement(
+        "INSERT INTO events (event_id, user_id, kind, ts, payload) VALUES (1, 2, 3, 4, 'x')",
+    )
+    .expect("valid SQL");
+    let ins_shape = QueryShape::extract(&insert, db.catalog());
+    let heavy: Vec<IndexDef> = vec![
+        IndexDef::new("events", &["user_id"]),
+        IndexDef::new("events", &["kind", "ts"]),
+        IndexDef::new("events", &["ts"]),
+        IndexDef::new("events", &["payload"]),
+    ];
+    let f_none = db.whatif_features(&ins_shape, &[]);
+    let f_heavy = db.whatif_features(&ins_shape, &heavy);
+    println!("\ninsert under 0 vs 4 indexes (native estimator view):");
+    println!(
+        "  native cost:   {:10.3} vs {:10.3}   <- identical: maintenance is invisible",
+        f_none.native_cost(),
+        f_heavy.native_cost()
+    );
+    println!(
+        "  §V features:   io {:.2} -> {:.2}, cpu {:.2} -> {:.2}",
+        f_none.c_io, f_heavy.c_io, f_none.c_cpu, f_heavy.c_cpu
+    );
+
+    // --- 3. Train the learned estimator on historical executions ---------
+    let mut history = Vec::new();
+    for i in 0..800 {
+        history.push(
+            parse_statement(&format!("SELECT * FROM events WHERE user_id = {i}"))
+                .expect("valid SQL"),
+        );
+        history.push(
+            parse_statement(&format!(
+                "INSERT INTO events (event_id, user_id, kind, ts, payload) \
+                 VALUES ({i}, {i}, 1, {i}, 'p')"
+            ))
+            .expect("valid SQL"),
+        );
+    }
+    let pool = heavy.clone();
+    let set = TrainingSet::collect(&mut db, &history, &pool, &CollectConfig::default());
+    println!("\ncollected {} historical samples; 9-fold cross-validation:", set.len());
+    let folds = kfold_cross_validate(&set, 9, &TrainConfig::default()).expect("enough samples");
+    for f in &folds {
+        println!(
+            "  fold {}: mean rel err {:.3}, median q-error {:.2}",
+            f.fold, f.mean_relative_error, f.median_q_error
+        );
+    }
+    let model = set.train(&TrainConfig::default()).expect("training data");
+    let learned = LearnedCostEstimator::new(model);
+
+    let w = [(ins_shape.clone(), 1u64)];
+    let p_none = learned.workload_cost(&db, &w, &[]);
+    let p_heavy = learned.workload_cost(&db, &w, &heavy);
+    println!(
+        "\nlearned estimator prices the same insert: {:.4} ms (0 idx) vs {:.4} ms (4 idx)  [{:+.0}%]",
+        p_none,
+        p_heavy,
+        (p_heavy / p_none - 1.0) * 100.0
+    );
+    assert!(p_heavy > p_none, "the learned model must price maintenance");
+}

@@ -1,0 +1,246 @@
+//! `advisor` — command-line index advisor over the simulated substrate.
+//!
+//! Two modes:
+//!
+//! * **file mode** — bring your own schema (JSON-serialised `Catalog`) and
+//!   a SQL workload file (one statement per line; `--` comments and blank
+//!   lines ignored):
+//!
+//!   ```bash
+//!   advisor --schema schema.json --queries workload.sql \
+//!           [--budget 100M] [--indexes existing.txt] [--apply]
+//!   ```
+//!
+//!   `existing.txt` lists one index per line as `table(col1,col2)` with an
+//!   optional ` LOCAL` suffix.
+//!
+//! * **demo mode** — run against a built-in scenario:
+//!
+//!   ```bash
+//!   advisor --demo tpcc|tpcds|banking|epidemic [--budget 100M]
+//!   ```
+//!
+//! Prints the recommended additions/removals with sizes and the estimated
+//! workload improvement; `--apply` also executes them and re-measures.
+
+use autoindex::cli_support::{parse_budget, parse_index_spec};
+use autoindex::prelude::*;
+use autoindex::workloads::{banking, epidemic, tpcc, tpcds};
+use std::process::exit;
+
+struct Args {
+    schema: Option<String>,
+    queries: Option<String>,
+    indexes: Option<String>,
+    demo: Option<String>,
+    budget: Option<u64>,
+    apply: bool,
+    explain: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: advisor --schema <catalog.json> --queries <workload.sql> \
+         [--indexes <existing.txt>] [--budget <bytes|K|M|G>] [--apply] [--explain]\n\
+         \u{20}      advisor --demo <tpcc|tpcds|banking|epidemic> [--budget ...]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        schema: None,
+        queries: None,
+        indexes: None,
+        demo: None,
+        budget: None,
+        apply: false,
+        explain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--schema" => args.schema = it.next(),
+            "--queries" => args.queries = it.next(),
+            "--indexes" => args.indexes = it.next(),
+            "--demo" => args.demo = it.next(),
+            "--budget" => {
+                let Some(b) = it.next().as_deref().and_then(parse_budget) else {
+                    eprintln!("bad --budget value");
+                    usage()
+                };
+                args.budget = Some(b);
+            }
+            "--apply" => args.apply = true,
+            "--explain" => args.explain = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn load_file_mode(args: &Args) -> (SimDb, Vec<String>) {
+    let schema_path = args.schema.as_deref().unwrap_or_else(|| usage());
+    let queries_path = args.queries.as_deref().unwrap_or_else(|| usage());
+    let schema = std::fs::read_to_string(schema_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {schema_path}: {e}");
+        exit(1)
+    });
+    let catalog: Catalog = serde_json::from_str(&schema).unwrap_or_else(|e| {
+        eprintln!("{schema_path} is not a serialised Catalog: {e}");
+        exit(1)
+    });
+    let mut db = SimDb::new(catalog, SimDbConfig::default());
+    if let Some(p) = &args.indexes {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            exit(1)
+        });
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("--") {
+                continue;
+            }
+            match parse_index_spec(line) {
+                Some(def) => {
+                    if let Err(e) = db.create_index(def) {
+                        eprintln!("warning: skipping existing index {line:?}: {e}");
+                    }
+                }
+                None => eprintln!("warning: unparseable index spec {line:?}"),
+            }
+        }
+    }
+    let sql = std::fs::read_to_string(queries_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {queries_path}: {e}");
+        exit(1)
+    });
+    let queries: Vec<String> = sql
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("--"))
+        .map(|l| l.trim_end_matches(';').to_string())
+        .collect();
+    (db, queries)
+}
+
+fn load_demo(name: &str) -> (SimDb, Vec<String>) {
+    let (scenario, queries) = match name {
+        "tpcc" => {
+            let s = tpcc::scenario(tpcc::TpccScale::X1);
+            let q = tpcc::TpccGenerator::new(tpcc::TpccScale::X1, 42).generate(300);
+            (s, q)
+        }
+        "tpcds" => {
+            let s = tpcds::scenario();
+            let q = tpcds::queries(42).into_iter().map(|(_, q)| q).collect();
+            (s, q)
+        }
+        "banking" => {
+            let s = banking::scenario();
+            let q = banking::BankingGenerator::new(42).generate_withdrawal(20_000);
+            (s, q)
+        }
+        "epidemic" => {
+            let s = epidemic::scenario();
+            let mut g = epidemic::EpidemicGenerator::new(42);
+            let q = g.generate(epidemic::Phase::W1, 3_000);
+            (s, q)
+        }
+        other => {
+            eprintln!("unknown demo {other:?} (tpcc|tpcds|banking|epidemic)");
+            exit(2)
+        }
+    };
+    let mut db = SimDb::new(scenario.catalog, SimDbConfig::default());
+    for d in scenario.default_indexes {
+        db.create_index(d).expect("scenario default index");
+    }
+    (db, queries)
+}
+
+fn main() {
+    let args = parse_args();
+    let (mut db, queries) = match &args.demo {
+        Some(name) => load_demo(name),
+        None => load_file_mode(&args),
+    };
+
+    println!(
+        "database: {} tables, {} existing indexes ({:.1} MiB)",
+        db.catalog().len(),
+        db.index_count(),
+        db.total_index_bytes() as f64 / (1 << 20) as f64
+    );
+
+    let mut ai = AutoIndex::new(
+        AutoIndexConfig {
+            storage_budget: args.budget,
+            ..AutoIndexConfig::default()
+        },
+        NativeCostEstimator,
+    );
+    let failures = ai.observe_batch(queries.iter().map(String::as_str), &db);
+    println!(
+        "workload: {} statements -> {} templates ({failures} unparseable)",
+        queries.len(),
+        ai.template_count()
+    );
+    if ai.template_count() == 0 {
+        eprintln!("nothing analysable in the workload");
+        exit(1);
+    }
+
+    let rec = ai.recommend(&db);
+    if rec.is_noop() {
+        println!("recommendation: configuration already (near-)optimal, no change");
+        return;
+    }
+    println!(
+        "recommendation (estimated improvement {:.1}%):",
+        rec.improvement() * 100.0
+    );
+    for d in &rec.add {
+        let bytes = db.index_size_bytes(d).unwrap_or(0);
+        println!(
+            "  CREATE INDEX ON {d}   -- {:.1} MiB",
+            bytes as f64 / (1 << 20) as f64
+        );
+    }
+    for d in &rec.remove {
+        println!("  DROP INDEX ON {d}");
+    }
+
+    if args.explain {
+        // EXPLAIN the hottest templates before and after the change.
+        let mut config: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
+        config.retain(|d| !rec.remove.contains(d));
+        config.extend(rec.add.iter().cloned());
+        println!("\nper-template plans (top 5 templates, tuned configuration):");
+        for (shape, count) in ai.workload().into_iter().take(5) {
+            println!("-- x{count}");
+            print!("{}", db.whatif_explain(&shape, &config));
+        }
+    }
+
+    if args.apply {
+        let stmts: Vec<Statement> = queries
+            .iter()
+            .filter_map(|q| parse_statement(q).ok())
+            .collect();
+        let before = db.run_workload(&stmts);
+        let report = ai.apply_recommendation(&mut db, rec);
+        let after = db.run_workload(&stmts);
+        println!(
+            "applied: +{} / -{} indexes; measured latency {:.1} ms -> {:.1} ms",
+            report.created.len(),
+            report.dropped.len(),
+            before.total_latency_ms,
+            after.total_latency_ms
+        );
+    }
+}
