@@ -1,16 +1,15 @@
-//! Criterion bench for the estimator: training-data collection and the
-//! closed-form fit (§V-B, §VI-A).
+//! Bench for the estimator: training-data collection and the closed-form
+//! fit (§V-B, §VI-A).
 
 use autoindex_bench::experiments::estimator_validation;
 use autoindex_estimator::{OneLayerRegression, TrainConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("estimator");
-    g.sample_size(10);
-    g.bench_function("collect_and_9fold_cv", |b| {
-        b.iter(|| black_box(estimator_validation(black_box(60))))
+fn main() {
+    let mut b = Bench::new("estimator").samples(10).warmup(1);
+    b.bench_function("collect_and_9fold_cv", || {
+        black_box(estimator_validation(black_box(60)))
     });
 
     // Pure model fit on synthetic data.
@@ -22,15 +21,8 @@ fn bench(c: &mut Criterion) {
             ([a, io, cpu], a + 1.3 * io + 1.15 * cpu)
         })
         .collect();
-    g.bench_function("fit_2000_samples", |b| {
-        b.iter(|| {
-            black_box(
-                OneLayerRegression::train(black_box(&data), &TrainConfig::default()).unwrap(),
-            )
-        })
+    b.bench_function("fit_2000_samples", || {
+        black_box(OneLayerRegression::train(black_box(&data), &TrainConfig::default()).unwrap())
     });
-    g.finish();
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,18 +1,11 @@
-//! Criterion bench for Figure 10: tuning TPC-C 100x under four storage
-//! budgets.
+//! Bench for Figure 10: tuning TPC-C 100x under four storage budgets.
 
 use autoindex_bench::experiments::fig10_storage;
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_storage");
-    g.sample_size(10);
-    g.bench_function("four_budgets", |b| {
-        b.iter(|| black_box(fig10_storage(black_box(30))))
-    });
-    g.finish();
+fn main() {
+    let mut b = Bench::new("fig10_storage").samples(10).warmup(1);
+    b.bench_function("four_budgets", || black_box(fig10_storage(black_box(30))));
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,18 +1,14 @@
-//! Criterion bench for Figure 1: the banking index-removal pipeline on a
-//! slice of the withdraw stream.
+//! Bench for Figure 1: the banking index-removal pipeline on a slice of
+//! the withdraw stream.
 
 use autoindex_bench::experiments::fig1_banking_removal;
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_banking");
-    g.sample_size(10);
-    g.bench_function("removal_20k_queries", |b| {
-        b.iter(|| black_box(fig1_banking_removal(black_box(20_000))))
+fn main() {
+    let mut b = Bench::new("fig1_banking").samples(10).warmup(1);
+    b.bench_function("removal_20k_queries", || {
+        black_box(fig1_banking_removal(black_box(20_000)))
     });
-    g.finish();
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

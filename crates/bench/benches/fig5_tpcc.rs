@@ -1,18 +1,12 @@
-//! Criterion bench for the Figure 5 pipeline: a full TPC-C tuning round
+//! Bench for the Figure 5 pipeline: a full TPC-C tuning round
 //! (observe → candidates → MCTS → apply → measure) per method at 1x.
 
 use autoindex_bench::experiments::fig5_tpcc;
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_tpcc");
-    g.sample_size(10);
-    g.bench_function("three_methods_small", |b| {
-        b.iter(|| black_box(fig5_tpcc(black_box(30))))
-    });
-    g.finish();
+fn main() {
+    let mut b = Bench::new("fig5_tpcc").samples(10).warmup(1);
+    b.bench_function("three_methods_small", || black_box(fig5_tpcc(black_box(30))));
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

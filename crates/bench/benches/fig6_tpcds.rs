@@ -1,18 +1,12 @@
-//! Criterion bench for the Figures 6/7 pipeline: tuning TPC-DS's 99
-//! analytic query shapes with Greedy and AutoIndex.
+//! Bench for the Figures 6/7 pipeline: tuning TPC-DS's 99 analytic query
+//! shapes with Greedy and AutoIndex.
 
 use autoindex_bench::experiments::fig6_fig7_tpcds;
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_tpcds");
-    g.sample_size(10);
-    g.bench_function("tune_and_score_99_queries", |b| {
-        b.iter(|| black_box(fig6_fig7_tpcds()))
-    });
-    g.finish();
+fn main() {
+    let mut b = Bench::new("fig6_tpcds").samples(10).warmup(1);
+    b.bench_function("tune_and_score_99_queries", || black_box(fig6_fig7_tpcds()));
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

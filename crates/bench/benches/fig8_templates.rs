@@ -1,18 +1,14 @@
-//! Criterion bench for Figure 8: template-level vs query-level tuning
-//! overhead on the same TPC-C stream.
+//! Bench for Figure 8: template-level vs query-level tuning overhead on
+//! the same TPC-C stream.
 
 use autoindex_bench::experiments::fig8_templates;
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_templates");
-    g.sample_size(10);
-    g.bench_function("template_vs_query_level", |b| {
-        b.iter(|| black_box(fig8_templates(black_box(60))))
+fn main() {
+    let mut b = Bench::new("fig8_templates").samples(10).warmup(1);
+    b.bench_function("template_vs_query_level", || {
+        black_box(fig8_templates(black_box(60)))
     });
-    g.finish();
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,18 +1,14 @@
-//! Criterion bench for Figure 9: rounds of dynamic TPC-C tuning with data
-//! growth between rounds.
+//! Bench for Figure 9: rounds of dynamic TPC-C tuning with data growth
+//! between rounds.
 
 use autoindex_bench::experiments::fig9_dynamic;
-use criterion::{criterion_group, criterion_main, Criterion};
+use autoindex_support::bench::Bench;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_dynamic");
-    g.sample_size(10);
-    g.bench_function("three_rounds", |b| {
-        b.iter(|| black_box(fig9_dynamic(black_box(3), black_box(40))))
+fn main() {
+    let mut b = Bench::new("fig9_dynamic").samples(10).warmup(1);
+    b.bench_function("three_rounds", || {
+        black_box(fig9_dynamic(black_box(3), black_box(40)))
     });
-    g.finish();
+    b.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

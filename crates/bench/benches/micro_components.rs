@@ -2,41 +2,36 @@
 //! viability — SQL2Template observation throughput, candidate generation,
 //! what-if planning, and one MCTS search round.
 
+use autoindex_core::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
 use autoindex_core::templates::{TemplateStore, TemplateStoreConfig};
 use autoindex_core::{CandidateConfig, CandidateGenerator};
 use autoindex_estimator::NativeCostEstimator;
-use autoindex_core::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
+use autoindex_sql::{fingerprint, parse_statement};
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{SimDb, SimDbConfig};
-use autoindex_sql::{fingerprint, parse_statement};
+use autoindex_support::bench::Bench;
 use autoindex_workloads::tpcc::{self, TpccGenerator, TpccScale};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let catalog = tpcc::catalog(TpccScale::X1);
     let queries = TpccGenerator::new(TpccScale::X1, 5).generate(200);
 
     // --- SQL2Template ----------------------------------------------------
-    let mut g = c.benchmark_group("sql2template");
-    g.throughput(Throughput::Elements(queries.len() as u64));
-    g.bench_function("observe_stream", |b| {
-        b.iter(|| {
-            let mut store = TemplateStore::new(TemplateStoreConfig::default());
-            for q in &queries {
-                let _ = store.observe(black_box(q), &catalog);
-            }
-            black_box(store.len())
-        })
+    let mut g = Bench::new("sql2template").throughput_elements(queries.len() as u64);
+    g.bench_function("observe_stream", || {
+        let mut store = TemplateStore::new(TemplateStoreConfig::default());
+        for q in &queries {
+            let _ = store.observe(black_box(q), &catalog);
+        }
+        black_box(store.len())
     });
-    g.bench_function("fingerprint_only", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(fingerprint(black_box(q)).unwrap());
-            }
-        })
+    g.bench_function("fingerprint_only", || {
+        for q in &queries {
+            black_box(fingerprint(black_box(q)).unwrap());
+        }
     });
-    g.finish();
+    g.emit_json();
 
     // --- candidate generation --------------------------------------------
     let shapes: Vec<(QueryShape, u64)> = queries
@@ -49,35 +44,28 @@ fn bench(c: &mut Criterion) {
             )
         })
         .collect();
-    let mut g = c.benchmark_group("candgen");
-    g.bench_function("generate_500_shapes", |b| {
-        b.iter(|| {
-            black_box(
-                CandidateGenerator::new(CandidateConfig::default()).generate(
-                    black_box(&shapes),
-                    &catalog,
-                    &[],
-                ),
-            )
-        })
+    let mut g = Bench::new("candgen");
+    g.bench_function("generate_500_shapes", || {
+        black_box(CandidateGenerator::new(CandidateConfig::default()).generate(
+            black_box(&shapes),
+            &catalog,
+            &[],
+        ))
     });
-    g.finish();
+    g.emit_json();
 
     // --- what-if planning -------------------------------------------------
     let db = SimDb::new(catalog.clone(), SimDbConfig::default());
     let defaults = tpcc::default_indexes();
-    let mut g = c.benchmark_group("whatif");
-    g.throughput(Throughput::Elements(shapes.len() as u64));
-    g.bench_function("plan_500_shapes", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for (s, _) in &shapes {
-                total += db.whatif_native_cost(black_box(s), &defaults);
-            }
-            black_box(total)
-        })
+    let mut g = Bench::new("whatif").throughput_elements(shapes.len() as u64);
+    g.bench_function("plan_500_shapes", || {
+        let mut total = 0.0;
+        for (s, _) in &shapes {
+            total += db.whatif_native_cost(black_box(s), &defaults);
+        }
+        black_box(total)
     });
-    g.finish();
+    g.emit_json();
 
     // --- MCTS search -------------------------------------------------------
     let mut universe = Universe::new();
@@ -90,36 +78,27 @@ fn bench(c: &mut Criterion) {
         universe.intern(d);
     }
     universe.refresh_sizes(&db);
-    let existing: ConfigSet = defaults
-        .iter()
-        .filter_map(|d| universe.slot(d))
-        .collect();
+    let existing: ConfigSet = defaults.iter().filter_map(|d| universe.slot(d)).collect();
     let est = NativeCostEstimator;
-    let mut g = c.benchmark_group("mcts");
-    g.sample_size(10);
-    g.bench_function("search_200_iterations", |b| {
-        b.iter(|| {
-            let mut tree = PolicyTree::new();
-            tree.begin_round(0.5);
-            let search = MctsSearch {
-                universe: &universe,
-                estimator: &est,
-                db: &db,
-                workload: &shapes,
-                config: MctsConfig {
-                    iterations: 200,
-                    ..MctsConfig::default()
-                },
-                budget: None,
-                existing: existing.clone(),
-                protected: ConfigSet::default(),
-                start: existing.clone(),
-            };
-            black_box(search.run(&mut tree))
-        })
+    let mut g = Bench::new("mcts").samples(10);
+    g.bench_function("search_200_iterations", || {
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &universe,
+            estimator: &est,
+            db: &db,
+            workload: &shapes,
+            config: MctsConfig {
+                iterations: 200,
+                ..MctsConfig::default()
+            },
+            budget: None,
+            existing: existing.clone(),
+            protected: ConfigSet::default(),
+            start: existing.clone(),
+        };
+        black_box(search.run(&mut tree))
     });
-    g.finish();
+    g.emit_json();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

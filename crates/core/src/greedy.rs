@@ -106,11 +106,11 @@ pub fn rank_candidates_parallel<E: CostEstimator + Sync>(
     }
     let base_cost = estimator.workload_cost(db, workload, existing);
     let chunk = candidates.len().div_ceil(threads);
-    let mut scored: Vec<ScoredCandidate> = crossbeam::thread::scope(|s| {
+    let mut scored: Vec<ScoredCandidate> = std::thread::scope(|s| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
             .map(|part| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     part.iter()
                         .map(|c| score_one(db, estimator, workload, existing, base_cost, c))
                         .collect::<Vec<_>>()
@@ -121,8 +121,7 @@ pub fn rank_candidates_parallel<E: CostEstimator + Sync>(
             .into_iter()
             .flat_map(|h| h.join().expect("scoring thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     sort_scored(&mut scored);
     scored
 }

@@ -19,7 +19,7 @@
 use autoindex_sql::{fingerprint, parse_statement, SqlError, Statement};
 use autoindex_storage::catalog::Catalog;
 use autoindex_storage::shape::QueryShape;
-use serde::{Deserialize, Serialize};
+use autoindex_support::json::{obj, Json, JsonError};
 use std::collections::HashMap;
 
 /// Configuration of the template store.
@@ -50,7 +50,7 @@ impl Default for TemplateStoreConfig {
 }
 
 /// One template: the canonical statement plus bookkeeping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TemplateEntry {
     /// Canonical template text (fingerprint text).
     pub text: String,
@@ -215,29 +215,106 @@ impl TemplateStore {
 
     /// Serialise the store's state (templates + counters) to JSON, so a
     /// management process can persist its knowledge across restarts.
+    ///
+    /// Each entry records its statement as **canonical SQL** (the parser's
+    /// `Display` output, which round-trips through `parse_statement`);
+    /// [`TemplateStore::from_json`] re-parses it and re-extracts the shape
+    /// against the caller's catalog, so snapshots stay valid across schema
+    /// statistics changes and the snapshot format stays independent of the
+    /// AST's in-memory layout. Template hashes are 64-bit and JSON numbers
+    /// are doubles, so hashes are stored as decimal strings.
+    ///
+    /// Entries are sorted by hash: identical state ⇒ byte-identical JSON.
     pub fn to_json(&self) -> String {
-        let snap = StoreSnapshot {
-            entries: self.by_hash.iter().map(|(h, e)| (*h, e.clone())).collect(),
-            clock: self.clock,
-            shifts_detected: self.shifts_detected,
-        };
-        serde_json::to_string(&snap).expect("store state is always serialisable")
+        let mut entries: Vec<(&u64, &TemplateEntry)> = self.by_hash.iter().collect();
+        entries.sort_by_key(|(h, _)| **h);
+        let entries: Vec<Json> = entries
+            .into_iter()
+            .map(|(h, e)| {
+                obj([
+                    ("hash", Json::from(h.to_string())),
+                    ("text", Json::from(e.text.as_str())),
+                    ("sql", Json::from(e.statement.to_string())),
+                    ("frequency", Json::from(e.frequency)),
+                    ("last_seen", Json::from(e.last_seen)),
+                ])
+            })
+            .collect();
+        obj([
+            ("entries", Json::Array(entries)),
+            ("clock", Json::from(self.clock)),
+            ("shifts_detected", Json::from(self.shifts_detected)),
+        ])
+        .to_string()
     }
 
     /// Restore a store from [`TemplateStore::to_json`] output with fresh
-    /// config. Shift-window counters restart (they are transient).
+    /// config, re-analysing every template against `catalog`. Shift-window
+    /// counters restart (they are transient).
     pub fn from_json(
         json: &str,
         config: TemplateStoreConfig,
-    ) -> Result<TemplateStore, serde_json::Error> {
-        let snap: StoreSnapshot = serde_json::from_str(json)?;
+        catalog: &Catalog,
+    ) -> Result<TemplateStore, JsonError> {
+        let bad = |message: String| JsonError { offset: 0, message };
+        let v = Json::parse(json)?;
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("snapshot: missing 'entries' array".into()))?;
+        let mut by_hash = HashMap::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let hash: u64 = e
+                .get("hash")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(format!("snapshot entry {i}: bad 'hash'")))?;
+            let text = e
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(format!("snapshot entry {i}: bad 'text'")))?
+                .to_string();
+            let sql = e
+                .get("sql")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(format!("snapshot entry {i}: bad 'sql'")))?;
+            let statement = parse_statement(sql)
+                .map_err(|err| bad(format!("snapshot entry {i}: unparsable sql: {err}")))?;
+            let shape = QueryShape::extract(&statement, catalog);
+            let frequency = e
+                .get("frequency")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("snapshot entry {i}: bad 'frequency'")))?;
+            let last_seen = e
+                .get("last_seen")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("snapshot entry {i}: bad 'last_seen'")))?;
+            by_hash.insert(
+                hash,
+                TemplateEntry {
+                    text,
+                    statement,
+                    shape,
+                    frequency,
+                    last_seen,
+                },
+            );
+        }
+        let clock = v
+            .get("clock")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("snapshot: missing 'clock'".into()))?;
+        let shifts_detected = v
+            .get("shifts_detected")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("snapshot: missing 'shifts_detected'".into()))?;
         Ok(TemplateStore {
             config,
-            by_hash: snap.entries.into_iter().collect(),
-            clock: snap.clock,
+            by_hash,
+            clock,
             window_queries: 0,
             window_new_templates: 0,
-            shifts_detected: snap.shifts_detected,
+            shifts_detected,
         })
     }
 
@@ -276,14 +353,6 @@ impl TemplateStore {
 fn score(e: &TemplateEntry, clock: u64) -> f64 {
     let age = (clock - e.last_seen) as f64;
     e.frequency / (1.0 + age / 1_000.0)
-}
-
-/// On-disk snapshot of the store.
-#[derive(Serialize, Deserialize)]
-struct StoreSnapshot {
-    entries: Vec<(u64, TemplateEntry)>,
-    clock: u64,
-    shifts_detected: u64,
 }
 
 #[cfg(test)]
@@ -452,16 +521,25 @@ mod tests {
         }
         let json = s.to_json();
         let restored =
-            TemplateStore::from_json(&json, TemplateStoreConfig::default()).unwrap();
+            TemplateStore::from_json(&json, TemplateStoreConfig::default(), &c).unwrap();
         assert_eq!(restored.len(), s.len());
         assert_eq!(restored.observed(), s.observed());
         // The restored workload matches, including shapes and counts.
         assert_eq!(restored.workload(), s.workload());
+        // Determinism: serialising the restored store reproduces the bytes.
+        assert_eq!(restored.to_json(), json);
     }
 
     #[test]
     fn from_json_rejects_garbage() {
-        assert!(TemplateStore::from_json("not json", TemplateStoreConfig::default()).is_err());
+        let c = catalog();
+        assert!(
+            TemplateStore::from_json("not json", TemplateStoreConfig::default(), &c).is_err()
+        );
+        assert!(
+            TemplateStore::from_json(r#"{"entries": [{}]}"#, TemplateStoreConfig::default(), &c)
+                .is_err()
+        );
     }
 
     #[test]

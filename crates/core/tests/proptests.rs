@@ -1,17 +1,25 @@
-//! Property-based tests for the AutoIndex core.
+//! Property-based tests for the AutoIndex core (autoindex-support harness).
 
 use autoindex_core::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
 use autoindex_core::templates::{TemplateStore, TemplateStoreConfig};
 use autoindex_core::{CandidateConfig, CandidateGenerator};
 use autoindex_estimator::NativeCostEstimator;
+use autoindex_sql::parse_statement;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::index::IndexDef;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{SimDb, SimDbConfig};
-use autoindex_sql::parse_statement;
-use proptest::prelude::*;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::rng::StdRng;
+use autoindex_support::{prop_assert, prop_assert_eq};
 
 const COLS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// Profile matching the previous suite's 64 cases — each case builds a
+/// catalog and runs real search machinery.
+fn cfg() -> PropConfig {
+    PropConfig::default().cases(64)
+}
 
 fn catalog() -> Catalog {
     let mut cat = Catalog::new();
@@ -24,31 +32,35 @@ fn catalog() -> Catalog {
 }
 
 /// Random simple SELECT over table t.
-fn arb_query() -> impl Strategy<Value = String> {
-    (
-        prop::collection::vec((0usize..COLS.len(), 0i64..1000), 1..4),
-        any::<bool>(),
-    )
-        .prop_map(|(preds, use_or)| {
-            let parts: Vec<String> = preds
-                .iter()
-                .map(|(c, v)| format!("{} = {v}", COLS[*c]))
-                .collect();
-            let joiner = if use_or { " OR " } else { " AND " };
-            format!("SELECT * FROM t WHERE {}", parts.join(joiner))
+fn gen_query(rng: &mut StdRng) -> String {
+    let n = rng.random_range(1usize..4);
+    let use_or = rng.random_bool(0.5);
+    let parts: Vec<String> = (0..n)
+        .map(|_| {
+            let c = rng.random_range(0usize..COLS.len());
+            let v = rng.random_range(0i64..1000);
+            format!("{} = {v}", COLS[c])
         })
+        .collect();
+    let joiner = if use_or { " OR " } else { " AND " };
+    format!("SELECT * FROM t WHERE {}", parts.join(joiner))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_queries(rng: &mut StdRng, lo: usize, hi: usize, size: usize) -> Vec<String> {
+    // Scale the upper bound with the harness size hint so shrinking finds
+    // small workloads.
+    let hi = (lo + 1).max(hi.min(lo + 1 + size * (hi - lo) / 100));
+    let n = rng.random_range(lo..hi.max(lo + 1));
+    (0..n).map(|_| gen_query(rng)).collect()
+}
 
-    /// The template store never exceeds its capacity and never loses the
-    /// query count.
-    #[test]
-    fn template_store_respects_capacity(
-        queries in prop::collection::vec(arb_query(), 1..200),
-        cap in 1usize..16,
-    ) {
+/// The template store never exceeds its capacity and never loses the
+/// query count.
+#[test]
+fn template_store_respects_capacity() {
+    property("template_store_respects_capacity", cfg(), |rng, size| {
+        let queries = gen_queries(rng, 1, 200, size);
+        let cap = rng.random_range(1usize..16);
         let cat = catalog();
         let mut store = TemplateStore::new(TemplateStoreConfig {
             max_templates: cap,
@@ -57,14 +69,18 @@ proptest! {
         for q in &queries {
             store.observe(q, &cat).unwrap();
         }
-        prop_assert!(store.len() <= cap);
+        prop_assert!(store.len() <= cap, "cap={cap} len={}", store.len());
         prop_assert_eq!(store.observed(), queries.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    /// Candidate generation is deterministic and never proposes an index
-    /// covered by an existing one or referencing unknown columns.
-    #[test]
-    fn candgen_sound(queries in prop::collection::vec(arb_query(), 1..40)) {
+/// Candidate generation is deterministic and never proposes an index
+/// covered by an existing one or referencing unknown columns.
+#[test]
+fn candgen_sound() {
+    property("candgen_sound", cfg(), |rng, size| {
+        let queries = gen_queries(rng, 1, 40, size);
         let cat = catalog();
         let shapes: Vec<(QueryShape, u64)> = queries
             .iter()
@@ -89,24 +105,34 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// MCTS always returns a configuration within budget that never costs
-    /// more than the baseline (under the same estimator).
-    #[test]
-    fn mcts_never_regresses_and_respects_budget(
-        queries in prop::collection::vec(arb_query(), 1..12),
-        budget_mb in 0u64..64,
-        seed in 0u64..1000,
-    ) {
+/// MCTS always returns a configuration within budget that never costs
+/// more than the baseline (under the same estimator).
+#[test]
+fn mcts_never_regresses_and_respects_budget() {
+    property("mcts_never_regresses_and_respects_budget", cfg(), |rng, size| {
+        let queries = gen_queries(rng, 1, 12, size);
+        let budget_mb = rng.random_range(0u64..64);
+        let seed = rng.random_range(0u64..1000);
         let cat = catalog();
         let db = SimDb::new(cat, SimDbConfig::default());
         let shapes: Vec<(QueryShape, u64)> = queries
             .iter()
-            .map(|q| (QueryShape::extract(&parse_statement(q).unwrap(), db.catalog()), 1))
+            .map(|q| {
+                (
+                    QueryShape::extract(&parse_statement(q).unwrap(), db.catalog()),
+                    1,
+                )
+            })
             .collect();
-        let cands = CandidateGenerator::new(CandidateConfig::default())
-            .generate(&shapes, db.catalog(), &[]);
+        let cands = CandidateGenerator::new(CandidateConfig::default()).generate(
+            &shapes,
+            db.catalog(),
+            &[],
+        );
         let mut universe = Universe::new();
         for c in &cands {
             universe.intern(c);
@@ -133,17 +159,27 @@ proptest! {
             start: ConfigSet::default(),
         };
         let out = search.run(&mut tree);
-        prop_assert!(out.best_cost <= out.baseline_cost + 1e-9);
+        prop_assert!(
+            out.best_cost <= out.baseline_cost + 1e-9,
+            "best {} vs baseline {}",
+            out.best_cost,
+            out.baseline_cost
+        );
         prop_assert!(universe.config_size(&out.best_config) <= budget_bytes);
-    }
+        Ok(())
+    });
+}
 
-    /// ConfigSet behaves like a set of usizes.
-    #[test]
-    fn config_set_models_a_set(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..100)) {
+/// ConfigSet behaves like a set of usizes.
+#[test]
+fn config_set_models_a_set() {
+    property("config_set_models_a_set", cfg(), |rng, size| {
+        let n = rng.random_range(0usize..=size.max(1));
         let mut reference = std::collections::BTreeSet::new();
         let mut cs = ConfigSet::default();
-        for (i, add) in ops {
-            if add {
+        for _ in 0..n {
+            let i = rng.random_range(0usize..200);
+            if rng.random_bool(0.5) {
                 reference.insert(i);
                 cs.insert(i);
             } else {
@@ -152,9 +188,13 @@ proptest! {
             }
         }
         prop_assert_eq!(cs.len(), reference.len());
-        prop_assert_eq!(cs.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(
+            cs.iter().collect::<Vec<_>>(),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
         // Equality is structural over contents.
         let rebuilt: ConfigSet = reference.iter().copied().collect();
         prop_assert_eq!(cs, rebuilt);
-    }
+        Ok(())
+    });
 }

@@ -7,7 +7,8 @@
 //! immediately. The fit is closed-form: ridge least squares in logit
 //! space with an active-set non-negativity pass (see [`TrainConfig`]).
 
-use serde::{Deserialize, Serialize};
+
+use autoindex_support::json::{obj, Json, JsonError};
 
 /// Number of input features: `(C^data, C^io, C^cpu)` per §V.
 pub const N_FEATURES: usize = 3;
@@ -43,7 +44,7 @@ impl std::error::Error for ModelError {}
 /// one feature spans seven orders of magnitude. Negative weights are
 /// eliminated with an active-set pass (a cost feature can never *reduce*
 /// execution cost).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Ridge (L2) regularisation strength on the weights.
     pub ridge: f64,
@@ -72,7 +73,7 @@ impl Default for TrainConfig {
 /// feature can only ever increase execution cost, and encoding that
 /// monotonicity is exactly the kind of "practical experience" §V bakes
 /// into the features.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OneLayerRegression {
     /// Per-feature scale (max over the training set, ≥ epsilon).
     pub feat_scale: [f64; N_FEATURES],
@@ -216,14 +217,56 @@ impl OneLayerRegression {
         qs[qs.len() / 2]
     }
 
-    /// Serialise to JSON.
+    /// Serialise to JSON (compact, deterministic key order).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model is always serialisable")
+        obj([
+            (
+                "feat_scale",
+                Json::Array(self.feat_scale.iter().map(|v| Json::Number(*v)).collect()),
+            ),
+            (
+                "weights",
+                Json::Array(self.weights.iter().map(|v| Json::Number(*v)).collect()),
+            ),
+            ("bias", Json::Number(self.bias)),
+            ("scale", Json::Number(self.scale)),
+        ])
+        .to_string()
     }
 
-    /// Deserialise from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserialise from JSON produced by [`OneLayerRegression::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(s)?;
+        let arr3 = |key: &str| -> Result<[f64; N_FEATURES], JsonError> {
+            let a = v
+                .get(key)
+                .and_then(Json::as_array)
+                .filter(|a| a.len() == N_FEATURES)
+                .ok_or_else(|| JsonError {
+                    offset: 0,
+                    message: format!("model JSON: missing or malformed '{key}'"),
+                })?;
+            let mut out = [0.0; N_FEATURES];
+            for (i, item) in a.iter().enumerate() {
+                out[i] = item.as_f64().ok_or_else(|| JsonError {
+                    offset: 0,
+                    message: format!("model JSON: '{key}[{i}]' is not a number"),
+                })?;
+            }
+            Ok(out)
+        };
+        let num = |key: &str| -> Result<f64, JsonError> {
+            v.get(key).and_then(Json::as_f64).ok_or_else(|| JsonError {
+                offset: 0,
+                message: format!("model JSON: missing or malformed '{key}'"),
+            })
+        };
+        Ok(OneLayerRegression {
+            feat_scale: arr3("feat_scale")?,
+            weights: arr3("weights")?,
+            bias: num("bias")?,
+            scale: num("scale")?,
+        })
     }
 }
 

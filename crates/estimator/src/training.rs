@@ -14,8 +14,7 @@ use autoindex_storage::index::IndexDef;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::SimDb;
 use autoindex_sql::Statement;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 
 /// Collection parameters.
 #[derive(Debug, Clone)]

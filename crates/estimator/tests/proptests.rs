@@ -1,7 +1,14 @@
-//! Property-based tests for the estimator.
+//! Property-based tests for the estimator (autoindex-support harness).
 
 use autoindex_estimator::{OneLayerRegression, TrainConfig};
-use proptest::prelude::*;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::prop_assert;
+
+/// Lighter profile matching the previous suite's 32 cases — training runs a
+/// dense-matrix solve per case.
+fn cfg() -> PropConfig {
+    PropConfig::default().cases(32)
+}
 
 /// Synthetic linear cost process with decade-spanning features.
 fn synthetic(seed: u64, n: usize) -> Vec<([f64; 3], f64)> {
@@ -22,14 +29,14 @@ fn synthetic(seed: u64, n: usize) -> Vec<([f64; 3], f64)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Predictions are monotone non-decreasing in every feature — the
-    /// non-negative-weight constraint guarantees it, and every consumer
-    /// (MCTS, Greedy, prune pass) relies on it.
-    #[test]
-    fn predictions_monotone_in_each_feature(seed in 1u64..10_000, scale in 1.0f64..100.0) {
+/// Predictions are monotone non-decreasing in every feature — the
+/// non-negative-weight constraint guarantees it, and every consumer
+/// (MCTS, Greedy, prune pass) relies on it.
+#[test]
+fn predictions_monotone_in_each_feature() {
+    property("predictions_monotone_in_each_feature", cfg(), |rng, _size| {
+        let seed = rng.random_range(1u64..10_000);
+        let scale = rng.random_range(1.0f64..100.0);
         let data = synthetic(seed, 300);
         let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
         let base = [50.0 * scale, 10.0 * scale, 5.0 * scale];
@@ -40,23 +47,33 @@ proptest! {
             let p1 = model.predict(&bumped);
             prop_assert!(p1 + 1e-12 >= p0, "feature {i}: {p0} -> {p1}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Predictions are always finite, non-negative and bounded by scale.
-    #[test]
-    fn predictions_bounded(seed in 1u64..10_000,
-                           d in 0.0f64..1e9, io in 0.0f64..1e9, cpu in 0.0f64..1e9) {
+/// Predictions are always finite, non-negative and bounded by scale.
+#[test]
+fn predictions_bounded() {
+    property("predictions_bounded", cfg(), |rng, _size| {
+        let seed = rng.random_range(1u64..10_000);
+        let d = rng.random_range(0.0f64..1e9);
+        let io = rng.random_range(0.0f64..1e9);
+        let cpu = rng.random_range(0.0f64..1e9);
         let data = synthetic(seed, 200);
         let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
         let p = model.predict(&[d, io, cpu]);
         prop_assert!(p.is_finite());
         prop_assert!(p >= 0.0);
         prop_assert!(p <= model.scale);
-    }
+        Ok(())
+    });
+}
 
-    /// Training is insensitive to sample order (closed-form fit).
-    #[test]
-    fn training_is_order_invariant(seed in 1u64..10_000) {
+/// Training is insensitive to sample order (closed-form fit).
+#[test]
+fn training_is_order_invariant() {
+    property("training_is_order_invariant", cfg(), |rng, _size| {
+        let seed = rng.random_range(1u64..10_000);
         let data = synthetic(seed, 200);
         let mut reversed = data.clone();
         reversed.reverse();
@@ -64,20 +81,25 @@ proptest! {
         let m2 = OneLayerRegression::train(&reversed, &TrainConfig::default()).unwrap();
         for (x, _) in data.iter().take(20) {
             let (a, b) = (m1.predict(x), m2.predict(x));
-            prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+            prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The fit recovers a usable model: median q-error below 2 on its own
-    /// training distribution.
-    #[test]
-    fn fit_quality_holds_across_seeds(seed in 1u64..10_000) {
+/// The fit recovers a usable model: median q-error below 2 on its own
+/// training distribution.
+#[test]
+fn fit_quality_holds_across_seeds() {
+    property("fit_quality_holds_across_seeds", cfg(), |rng, _size| {
+        let seed = rng.random_range(1u64..10_000);
         let data = synthetic(seed, 400);
         let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
-        prop_assert!(model.median_q_error(&data) < 2.0);
+        prop_assert!(model.median_q_error(&data) < 2.0, "seed={seed}");
         // Weights are non-negative by construction.
         for w in model.weights {
             prop_assert!(w >= 0.0);
         }
-    }
+        Ok(())
+    });
 }

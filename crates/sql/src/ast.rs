@@ -5,11 +5,10 @@
 //! write targets. Every node implements [`std::fmt::Display`], rendering
 //! canonical SQL (used by the fingerprinter and in tests for round-trips).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A literal (or bound) value appearing in a predicate or write statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Int(i64),
     Float(f64),
@@ -50,7 +49,7 @@ impl fmt::Display for Value {
 }
 
 /// A (possibly table-qualified) column reference.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
     /// Table name or alias, if qualified.
     pub table: Option<String>,
@@ -86,7 +85,7 @@ impl fmt::Display for ColumnRef {
 }
 
 /// Comparison operators in atomic predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -130,7 +129,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A boolean predicate tree (the `WHERE`/`HAVING`/`ON` expression shape).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// Conjunction of two or more predicates.
     And(Vec<Predicate>),
@@ -340,7 +339,7 @@ impl fmt::Display for Predicate {
 }
 
 /// A projected item in a `SELECT` list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     /// `*`
     Star,
@@ -364,7 +363,7 @@ impl fmt::Display for SelectItem {
 }
 
 /// A relation in the `FROM` clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TableRef {
     /// A base table, optionally aliased.
     Table { name: String, alias: Option<String> },
@@ -409,7 +408,7 @@ impl fmt::Display for TableRef {
 }
 
 /// Join kind for explicit `JOIN` clauses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
     Inner,
     Left,
@@ -430,7 +429,7 @@ impl fmt::Display for JoinKind {
 }
 
 /// An explicit `JOIN ... ON ...` clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Join {
     pub kind: JoinKind,
     pub relation: TableRef,
@@ -448,7 +447,7 @@ impl fmt::Display for Join {
 }
 
 /// An `ORDER BY` item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderItem {
     pub column: ColumnRef,
     pub descending: bool,
@@ -465,7 +464,7 @@ impl fmt::Display for OrderItem {
 }
 
 /// A `SELECT` statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectStatement {
     pub distinct: bool,
     pub projection: Vec<SelectItem>,
@@ -560,7 +559,7 @@ impl fmt::Display for SelectStatement {
 }
 
 /// An `INSERT INTO t (cols) VALUES (...)` statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InsertStatement {
     pub table: String,
     pub columns: Vec<String>,
@@ -593,7 +592,7 @@ impl fmt::Display for InsertStatement {
 }
 
 /// One `col = value` assignment in an `UPDATE ... SET`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetClause {
     pub column: String,
     pub value: Value,
@@ -606,7 +605,7 @@ impl fmt::Display for SetClause {
 }
 
 /// An `UPDATE t SET ... WHERE ...` statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateStatement {
     pub table: String,
     pub sets: Vec<SetClause>,
@@ -630,7 +629,7 @@ impl fmt::Display for UpdateStatement {
 }
 
 /// A `DELETE FROM t WHERE ...` statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeleteStatement {
     pub table: String,
     pub where_clause: Option<Predicate>,
@@ -647,7 +646,7 @@ impl fmt::Display for DeleteStatement {
 }
 
 /// A parsed SQL statement of any supported kind.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(SelectStatement),
     Insert(InsertStatement),

@@ -13,11 +13,10 @@
 //! treating each atom independently.
 
 use crate::ast::{CmpOp, ColumnRef, Predicate, Value};
-use serde::{Deserialize, Serialize};
 
 /// An atomic (non-boolean-composite) predicate, the unit of candidate index
 /// generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AtomicPredicate {
     /// `col op value`.
     Cmp {

@@ -1,4 +1,4 @@
-//! Property-based tests for the SQL front-end.
+//! Property-based tests for the SQL front-end (autoindex-support harness).
 //!
 //! * DNF conversion preserves boolean semantics on random predicate trees.
 //! * `Display` → `parse` round-trips on randomly generated statements.
@@ -9,20 +9,22 @@ use autoindex_sql::{
     fingerprint, parse_statement, CmpOp, ColumnRef, Predicate, SelectItem, SelectStatement,
     Statement, TableRef, Value,
 };
-use proptest::prelude::*;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::rng::StdRng;
+use autoindex_support::{prop_assert, prop_assert_eq};
 
 const COLUMNS: [&str; 4] = ["a", "b", "c", "d"];
 
-fn arb_column() -> impl Strategy<Value = ColumnRef> {
-    prop::sample::select(&COLUMNS[..]).prop_map(ColumnRef::bare)
+fn gen_column(rng: &mut StdRng) -> ColumnRef {
+    ColumnRef::bare(*rng.choose(&COLUMNS).unwrap())
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    (0i64..5).prop_map(Value::Int)
+fn gen_value(rng: &mut StdRng) -> Value {
+    Value::Int(rng.random_range(0i64..5))
 }
 
-fn arb_op() -> impl Strategy<Value = CmpOp> {
-    prop::sample::select(vec![
+fn gen_op(rng: &mut StdRng) -> CmpOp {
+    *rng.choose(&[
         CmpOp::Eq,
         CmpOp::Ne,
         CmpOp::Lt,
@@ -30,78 +32,109 @@ fn arb_op() -> impl Strategy<Value = CmpOp> {
         CmpOp::Gt,
         CmpOp::Ge,
     ])
+    .unwrap()
 }
 
-fn arb_atom() -> impl Strategy<Value = Predicate> {
-    prop_oneof![
-        (arb_column(), arb_op(), arb_value()).prop_map(|(column, op, value)| Predicate::Cmp {
-            column,
-            op,
-            value
-        }),
-        (arb_column(), prop::collection::vec(arb_value(), 1..3), any::<bool>()).prop_map(
-            |(column, values, negated)| Predicate::InList {
-                column,
-                values,
-                negated
+fn gen_atom(rng: &mut StdRng) -> Predicate {
+    match rng.random_range(0u32..3) {
+        0 => Predicate::Cmp {
+            column: gen_column(rng),
+            op: gen_op(rng),
+            value: gen_value(rng),
+        },
+        1 => {
+            let n = rng.random_range(1usize..3);
+            Predicate::InList {
+                column: gen_column(rng),
+                values: (0..n).map(|_| gen_value(rng)).collect(),
+                negated: rng.random_bool(0.5),
             }
-        ),
-        (arb_column(), 0i64..3, 2i64..5, any::<bool>()).prop_map(
-            |(column, lo, hi, negated)| Predicate::Between {
-                column,
-                low: Value::Int(lo),
-                high: Value::Int(hi),
-                negated
-            }
-        ),
-    ]
+        }
+        _ => Predicate::Between {
+            column: gen_column(rng),
+            low: Value::Int(rng.random_range(0i64..3)),
+            high: Value::Int(rng.random_range(2i64..5)),
+            negated: rng.random_bool(0.5),
+        },
+    }
 }
 
-fn arb_predicate() -> impl Strategy<Value = Predicate> {
-    arb_atom().prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Predicate::And),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Predicate::Or),
-            inner.prop_map(|p| Predicate::Not(Box::new(p))),
-        ]
-    })
+/// Random predicate tree; `depth` bounds nesting (0 = atom), matching the
+/// previous suite's recursion depth of 4.
+fn gen_predicate(rng: &mut StdRng, depth: usize) -> Predicate {
+    if depth == 0 || rng.random_bool(0.3) {
+        return gen_atom(rng);
+    }
+    match rng.random_range(0u32..3) {
+        0 => {
+            let n = rng.random_range(2usize..4);
+            Predicate::And((0..n).map(|_| gen_predicate(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.random_range(2usize..4);
+            Predicate::Or((0..n).map(|_| gen_predicate(rng, depth - 1)).collect())
+        }
+        _ => Predicate::Not(Box::new(gen_predicate(rng, depth - 1))),
+    }
 }
 
-proptest! {
-    /// DNF must agree with direct evaluation on every assignment of small
-    /// integers to the four columns (two-valued rows, no NULLs).
-    #[test]
-    fn dnf_preserves_semantics(p in arb_predicate(), row in prop::collection::vec(0i64..5, 4)) {
+/// Size hint → tree depth in 0..=4.
+fn depth_for(size: usize) -> usize {
+    (size / 25).min(4)
+}
+
+/// DNF must agree with direct evaluation on every assignment of small
+/// integers to the four columns (two-valued rows, no NULLs).
+#[test]
+fn dnf_preserves_semantics() {
+    property("dnf_preserves_semantics", PropConfig::default(), |rng, size| {
+        let p = gen_predicate(rng, depth_for(size));
+        let row: Vec<i64> = (0..4).map(|_| rng.random_range(0i64..5)).collect();
         let Ok(dnf) = to_dnf_capped(&p, 4096) else {
             // Cap exceeded is an accepted outcome; callers fall back.
             return Ok(());
         };
         let lookup = |c: &ColumnRef| -> Option<Value> {
-            COLUMNS.iter().position(|n| *n == c.column).map(|i| Value::Int(row[i]))
+            COLUMNS
+                .iter()
+                .position(|n| *n == c.column)
+                .map(|i| Value::Int(row[i]))
         };
         let oracle = |_: &str| false;
         prop_assert_eq!(
             evaluate(&p, &lookup, &oracle),
-            evaluate_dnf(&dnf, &lookup, &oracle)
+            evaluate_dnf(&dnf, &lookup, &oracle),
+            "predicate: {p}"
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Every atom collected from a tree keeps a resolvable column.
-    #[test]
-    fn collected_atoms_have_columns(p in arb_predicate()) {
+/// Every atom collected from a tree keeps a resolvable column.
+#[test]
+fn collected_atoms_have_columns() {
+    property("collected_atoms_have_columns", PropConfig::default(), |rng, size| {
+        let p = gen_predicate(rng, depth_for(size));
         for atom in collect_atoms(&p) {
             prop_assert!(atom.restricted_column().is_some() || atom.join_edge().is_some());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Rendering a SELECT built around a random predicate and re-parsing it
-    /// yields the same AST.
-    #[test]
-    fn select_display_roundtrips(p in arb_predicate()) {
+/// Rendering a SELECT built around a random predicate and re-parsing it
+/// yields the same AST.
+#[test]
+fn select_display_roundtrips() {
+    property("select_display_roundtrips", PropConfig::default(), |rng, size| {
+        let p = gen_predicate(rng, depth_for(size));
         let stmt = Statement::Select(SelectStatement {
             distinct: false,
             projection: vec![SelectItem::Star],
-            from: vec![TableRef::Table { name: "t".into(), alias: None }],
+            from: vec![TableRef::Table {
+                name: "t".into(),
+                alias: None,
+            }],
             joins: vec![],
             where_clause: Some(p),
             group_by: vec![],
@@ -114,31 +147,46 @@ proptest! {
         let reparsed = parse_statement(&rendered);
         prop_assert!(reparsed.is_ok(), "failed to reparse {}", rendered);
         prop_assert_eq!(reparsed.unwrap(), stmt);
-    }
+        Ok(())
+    });
+}
 
-    /// Fingerprinting is idempotent: fp(fp(q).text) == fp(q).
-    #[test]
-    fn fingerprint_idempotent(p in arb_predicate()) {
+/// Fingerprinting is idempotent: fp(fp(q).text) == fp(q).
+#[test]
+fn fingerprint_idempotent() {
+    property("fingerprint_idempotent", PropConfig::default(), |rng, size| {
+        let p = gen_predicate(rng, depth_for(size));
         let sql = format!("SELECT * FROM t WHERE {p}");
         let f1 = fingerprint(&sql).unwrap();
         let f2 = fingerprint(&f1.text).unwrap();
         prop_assert_eq!(f1, f2);
-    }
+        Ok(())
+    });
+}
 
-    /// Fingerprints are invariant under changing every literal.
-    #[test]
-    fn fingerprint_literal_invariant(col in prop::sample::select(&COLUMNS[..]),
-                                     v1 in 0i64..1000, v2 in 0i64..1000) {
+/// Fingerprints are invariant under changing every literal.
+#[test]
+fn fingerprint_literal_invariant() {
+    property("fingerprint_literal_invariant", PropConfig::default(), |rng, _size| {
+        let col = *rng.choose(&COLUMNS).unwrap();
+        let v1 = rng.random_range(0i64..1000);
+        let v2 = rng.random_range(0i64..1000);
         let f1 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v1}")).unwrap();
         let f2 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v2}")).unwrap();
         prop_assert_eq!(f1, f2);
-    }
+        Ok(())
+    });
+}
 
-    /// The DNF conjunct count never exceeds the cap when Ok.
-    #[test]
-    fn dnf_respects_cap(p in arb_predicate(), cap in 1usize..64) {
+/// The DNF conjunct count never exceeds the cap when Ok.
+#[test]
+fn dnf_respects_cap() {
+    property("dnf_respects_cap", PropConfig::default(), |rng, size| {
+        let p = gen_predicate(rng, depth_for(size));
+        let cap = rng.random_range(1usize..64);
         if let Ok(dnf) = to_dnf_capped(&p, cap) {
             prop_assert!(dnf.conjuncts.len() <= cap);
         }
-    }
+        Ok(())
+    });
 }

@@ -6,7 +6,7 @@
 //! estimation and the §V-A cost features.
 
 use crate::StorageError;
-use serde::{Deserialize, Serialize};
+use autoindex_support::json::{obj, Json, JsonError};
 use std::collections::HashMap;
 
 /// Logical page size in bytes, matching openGauss/PostgreSQL's 8 KiB.
@@ -16,7 +16,7 @@ pub const PAGE_SIZE: u64 = 8192;
 pub const HEAP_FILL: f64 = 0.9;
 
 /// The SQL type class of a column (only what selectivity needs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnType {
     Int,
     Float,
@@ -29,10 +29,31 @@ impl ColumnType {
     pub fn is_numeric(self) -> bool {
         matches!(self, ColumnType::Int | ColumnType::Float | ColumnType::Timestamp)
     }
+
+    /// The JSON name of the variant (matches the former serde derive).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ColumnType::Int => "Int",
+            ColumnType::Float => "Float",
+            ColumnType::Text => "Text",
+            ColumnType::Timestamp => "Timestamp",
+        }
+    }
+
+    /// Parse a variant name written by [`ColumnType::as_str`].
+    pub fn parse(s: &str) -> Option<ColumnType> {
+        match s {
+            "Int" => Some(ColumnType::Int),
+            "Float" => Some(ColumnType::Float),
+            "Text" => Some(ColumnType::Text),
+            "Timestamp" => Some(ColumnType::Timestamp),
+            _ => None,
+        }
+    }
 }
 
 /// Per-column statistics (the `pg_statistic` subset the model needs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     /// Number of distinct values.
     pub ndv: f64,
@@ -64,7 +85,7 @@ impl Default for ColumnStats {
 }
 
 /// A column definition: name, type, byte width and statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     pub name: String,
     pub ty: ColumnType,
@@ -144,7 +165,7 @@ impl Column {
 }
 
 /// A table: columns, cardinality and derived physical geometry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     pub name: String,
     pub columns: Vec<Column>,
@@ -291,7 +312,7 @@ impl TableBuilder {
 }
 
 /// The catalog: all tables by name.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
 }
@@ -364,6 +385,184 @@ impl Catalog {
         }
         Ok(())
     }
+
+    /// Serialise to compact JSON (deterministic key order).
+    ///
+    /// The format matches what the previous serde derive produced for the
+    /// shipped schema files (`examples/data/sample_schema.json`): enum
+    /// variants as strings, `Option::None` as `null`, maps as objects.
+    /// The internal column index is *not* written; [`Catalog::from_json`]
+    /// rebuilds it (and ignores a `column_index` key in legacy files).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Serialise to pretty-printed JSON (for schema files meant for human
+    /// editing).
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json_value().pretty()
+    }
+
+    fn to_json_value(&self) -> Json {
+        let tables: std::collections::BTreeMap<String, Json> = self
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), table_to_json(t)))
+            .collect();
+        obj([("tables", Json::Object(tables))])
+    }
+
+    /// Load a catalog from JSON written by [`Catalog::to_json`] (or by the
+    /// previous serde-based serializer). Column indexes are rebuilt and the
+    /// table invariants re-validated through [`TableBuilder`].
+    pub fn from_json(s: &str) -> Result<Catalog, JsonError> {
+        let bad = |message: String| JsonError { offset: 0, message };
+        let v = Json::parse(s)?;
+        let tables = v
+            .get("tables")
+            .and_then(Json::as_object)
+            .ok_or_else(|| bad("catalog JSON: missing 'tables' object".into()))?;
+        let mut catalog = Catalog::new();
+        for (name, tv) in tables {
+            let table = table_from_json(name, tv).map_err(|e| bad(e))?;
+            catalog.add_table(table);
+        }
+        Ok(catalog)
+    }
+}
+
+fn table_to_json(t: &Table) -> Json {
+    obj([
+        ("name", Json::from(t.name.as_str())),
+        (
+            "columns",
+            Json::Array(t.columns.iter().map(column_to_json).collect()),
+        ),
+        ("rows", Json::from(t.rows)),
+        ("partitions", Json::from(t.partitions as u64)),
+        (
+            "partition_key",
+            Json::from(t.partition_key.as_deref()),
+        ),
+        (
+            "primary_key",
+            Json::Array(t.primary_key.iter().map(|c| Json::from(c.as_str())).collect()),
+        ),
+    ])
+}
+
+fn column_to_json(c: &Column) -> Json {
+    let hist = match &c.stats.histogram {
+        Some(h) => obj([(
+            "bounds",
+            Json::Array(h.bounds().iter().map(|b| Json::Number(*b)).collect()),
+        )]),
+        None => Json::Null,
+    };
+    obj([
+        ("name", Json::from(c.name.as_str())),
+        ("ty", Json::from(c.ty.as_str())),
+        ("width", Json::from(c.width as u64)),
+        (
+            "stats",
+            obj([
+                ("ndv", Json::Number(c.stats.ndv)),
+                ("min", Json::Number(c.stats.min)),
+                ("max", Json::Number(c.stats.max)),
+                ("null_frac", Json::Number(c.stats.null_frac)),
+                ("correlation", Json::Number(c.stats.correlation)),
+                ("histogram", hist),
+            ]),
+        ),
+    ])
+}
+
+fn table_from_json(name: &str, v: &Json) -> Result<Table, String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("table {name:?}: missing 'rows'"))?;
+    let columns = v
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("table {name:?}: missing 'columns'"))?;
+    let mut b = TableBuilder::new(
+        v.get("name").and_then(Json::as_str).unwrap_or(name),
+        rows,
+    );
+    for cv in columns {
+        b = b.column(column_from_json(name, cv)?);
+    }
+    if let Some(pk) = v.get("primary_key").and_then(Json::as_array) {
+        let names: Vec<&str> = pk.iter().filter_map(Json::as_str).collect();
+        b = b.primary_key(&names);
+    }
+    let partitions = v
+        .get("partitions")
+        .and_then(Json::as_u64)
+        .unwrap_or(1)
+        .max(1) as u32;
+    if let Some(key) = v
+        .get("partition_key")
+        .and_then(Json::as_str)
+        .filter(|_| partitions > 1)
+    {
+        b = b.partitioned(partitions, key);
+    }
+    b.build().map_err(|e| format!("table {name:?}: {e}"))
+}
+
+fn column_from_json(table: &str, v: &Json) -> Result<Column, String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("table {table:?}: column missing 'name'"))?;
+    let ty = v
+        .get("ty")
+        .and_then(Json::as_str)
+        .and_then(ColumnType::parse)
+        .ok_or_else(|| format!("table {table:?} column {name:?}: bad 'ty'"))?;
+    let width = v
+        .get("width")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("table {table:?} column {name:?}: bad 'width'"))?
+        as u32;
+    let sv = v
+        .get("stats")
+        .ok_or_else(|| format!("table {table:?} column {name:?}: missing 'stats'"))?;
+    let stat = |key: &str| -> Result<f64, String> {
+        sv.get(key).and_then(Json::as_f64).ok_or_else(|| {
+            format!("table {table:?} column {name:?}: bad stats field '{key}'")
+        })
+    };
+    let histogram = match sv.get("histogram") {
+        None | Some(Json::Null) => None,
+        Some(h) => {
+            let bounds: Vec<f64> = h
+                .get("bounds")
+                .and_then(Json::as_array)
+                .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            Some(
+                crate::histogram::Histogram::from_bounds(bounds).ok_or_else(|| {
+                    format!("table {table:?} column {name:?}: invalid histogram bounds")
+                })?,
+            )
+        }
+    };
+    Ok(Column {
+        name: name.to_string(),
+        ty,
+        width,
+        stats: ColumnStats {
+            ndv: stat("ndv")?,
+            min: stat("min")?,
+            max: stat("max")?,
+            null_frac: stat("null_frac")?,
+            correlation: stat("correlation")?,
+            histogram,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -471,6 +670,64 @@ mod tests {
     fn grow_unknown_table_errors() {
         let mut c = Catalog::new();
         assert!(c.grow_table("ghost", 5).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_catalog() {
+        let mut c = Catalog::new();
+        c.add_table(person());
+        c.add_table(
+            TableBuilder::new("orders", 5_000)
+                .column(Column::int("id", 5_000).with_correlation(0.9))
+                .column(
+                    Column::float("amount", 1_000, 0.0, 1e6)
+                        .with_null_frac(0.05)
+                        .with_histogram((0..500).map(f64::from).collect(), 16),
+                )
+                .partitioned(4, "id")
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        let json = c.to_json();
+        let c2 = Catalog::from_json(&json).unwrap();
+        assert_eq!(c, c2);
+        // Column lookup works on the restored catalog (index was rebuilt).
+        assert!(c2.table("orders").unwrap().column("amount").is_some());
+        // Serialisation is deterministic.
+        assert_eq!(c2.to_json(), json);
+        // Pretty output parses back to the same catalog.
+        assert_eq!(Catalog::from_json(&c.to_json_pretty()).unwrap(), c);
+    }
+
+    #[test]
+    fn from_json_accepts_legacy_serde_files_with_column_index() {
+        // The seed's schema files carried the (redundant) column_index map;
+        // it must be ignored, not required.
+        let legacy = r#"{"tables":{"t":{"name":"t","columns":[
+            {"name":"a","ty":"Int","width":8,
+             "stats":{"ndv":10.0,"min":0.0,"max":10.0,"null_frac":0.0,
+                      "correlation":0.0,"histogram":null}}],
+            "rows":100,"partitions":1,"partition_key":null,
+            "primary_key":["a"],"column_index":{"a":0}}}}"#;
+        let c = Catalog::from_json(legacy).unwrap();
+        let t = c.table("t").unwrap();
+        assert_eq!(t.rows, 100);
+        assert!(t.is_primary_prefix(&["a".to_string()]));
+        assert_eq!(t.column("a").unwrap().ty, ColumnType::Int);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_input() {
+        assert!(Catalog::from_json("not json").is_err());
+        assert!(Catalog::from_json("{}").is_err());
+        assert!(Catalog::from_json(r#"{"tables":{"t":{"rows":1}}}"#).is_err());
+        // Duplicate columns are re-validated on load.
+        let dup = r#"{"tables":{"t":{"name":"t","columns":[
+            {"name":"a","ty":"Int","width":8,"stats":{"ndv":1,"min":0,"max":1,"null_frac":0,"correlation":0,"histogram":null}},
+            {"name":"a","ty":"Int","width":8,"stats":{"ndv":1,"min":0,"max":1,"null_frac":0,"correlation":0,"histogram":null}}],
+            "rows":1,"partitions":1,"partition_key":null,"primary_key":[]}}}"#;
+        assert!(Catalog::from_json(dup).is_err());
     }
 
     #[test]

@@ -22,8 +22,7 @@ use crate::shape::QueryShape;
 use crate::usage::UsageTracker;
 use crate::StorageError;
 use autoindex_sql::Statement;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 use std::collections::BTreeMap;
 
 /// Configuration of the simulated database.

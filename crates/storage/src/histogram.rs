@@ -11,11 +11,10 @@
 //! carries `Option<Histogram>`); when absent, selectivity falls back to
 //! the min/max interpolation.
 
-use serde::{Deserialize, Serialize};
 
 /// An equi-depth histogram: `bounds[0] = min`, `bounds[n] = max`, each
 /// bucket `[bounds[i], bounds[i+1])` holds the same row fraction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
 }
@@ -39,6 +38,26 @@ impl Histogram {
             bounds.push(samples[pos]);
         }
         Some(Histogram { bounds })
+    }
+
+    /// Rebuild a histogram from previously serialised bucket bounds.
+    /// Returns `None` unless the bounds are finite, sorted and span a
+    /// non-empty range — the invariants [`Histogram::from_samples`]
+    /// guarantees.
+    pub fn from_bounds(bounds: Vec<f64>) -> Option<Histogram> {
+        if bounds.len() < 2
+            || bounds.iter().any(|v| !v.is_finite())
+            || bounds.windows(2).any(|w| w[0] > w[1])
+            || bounds.first() == bounds.last()
+        {
+            return None;
+        }
+        Some(Histogram { bounds })
+    }
+
+    /// The bucket boundaries (`buckets() + 1` values, ascending).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
     }
 
     /// Number of buckets.

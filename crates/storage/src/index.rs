@@ -15,10 +15,9 @@
 use crate::catalog::{Table, PAGE_SIZE};
 use crate::planner::CostParams;
 use crate::StorageError;
-use serde::{Deserialize, Serialize};
 
 /// Stable identifier of an index within a [`crate::db::SimDb`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IndexId(pub u32);
 
 impl std::fmt::Display for IndexId {
@@ -31,7 +30,7 @@ impl std::fmt::Display for IndexId {
 /// one tree over all partitions — fast lookups, more space; a local index
 /// is one small tree per partition — less space, but a lookup that cannot
 /// prune partitions must probe every tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IndexScope {
     #[default]
     Global,
@@ -39,7 +38,7 @@ pub enum IndexScope {
 }
 
 /// An index definition: target table and ordered key columns.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IndexDef {
     pub table: String,
     pub columns: Vec<String>,
@@ -111,7 +110,7 @@ impl std::fmt::Display for IndexDef {
 }
 
 /// Derived physical geometry of a (possibly hypothetical) B+Tree index.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexGeometry {
     /// Index entries (= table rows, NULLs included).
     pub entries: u64,
@@ -190,7 +189,7 @@ pub fn geometry(def: &IndexDef, table: &Table) -> Result<IndexGeometry, StorageE
 
 /// The §V-A index-maintenance cost of writing `n_rows` rows into an index
 /// with geometry `geo`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaintenanceCost {
     /// `C^io = |pages| * seq_page_cost`.
     pub io: f64,

@@ -21,10 +21,9 @@ use crate::index::{geometry, maintenance_cost, IndexDef, IndexGeometry, IndexId,
 use crate::shape::{QueryShape, TableAtoms, WriteKind};
 use crate::selectivity::conjunct_selectivity;
 use autoindex_sql::predicate::AtomicPredicate;
-use serde::{Deserialize, Serialize};
 
 /// Optimizer cost parameters (PostgreSQL/openGauss defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostParams {
     pub seq_page_cost: f64,
     pub random_page_cost: f64,
@@ -49,7 +48,7 @@ impl Default for CostParams {
 }
 
 /// The §V cost-feature vector of one statement under one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostFeatures {
     /// Data processing cost (read side + heap writes): `C^data`.
     pub c_data: f64,
@@ -87,7 +86,7 @@ impl CostFeatures {
 /// Ground-truth weights the simulator applies when "executing" a plan. The
 /// native estimator implicitly uses `(1, 0, 0)`; the learned estimator has
 /// to recover something close to these from historical data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrueCostWeights {
     pub data: f64,
     pub io_maint: f64,

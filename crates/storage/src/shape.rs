@@ -14,11 +14,10 @@ use crate::catalog::{Catalog, Table};
 use crate::selectivity::{atom_selectivity, conjunct_selectivity};
 use autoindex_sql::predicate::{collect_atoms, AtomicPredicate};
 use autoindex_sql::{ColumnRef, Predicate, SelectStatement, Statement, TableRef};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The kind of write a statement performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteKind {
     Insert,
     Update,
@@ -26,7 +25,7 @@ pub enum WriteKind {
 }
 
 /// Write target summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WriteShape {
     pub kind: WriteKind,
     pub table: String,
@@ -38,7 +37,7 @@ pub struct WriteShape {
 }
 
 /// An equi-join edge between two resolved base-table columns.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JoinEdge {
     pub left_table: String,
     pub left_column: String,
@@ -47,7 +46,7 @@ pub struct JoinEdge {
 }
 
 /// Per-base-table filter information.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableAtoms {
     pub table: String,
     /// Atoms in top-level conjunctive position — the ones an index prefix
@@ -76,7 +75,7 @@ pub struct TableAtoms {
 }
 
 /// The complete shape of one statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryShape {
     /// One entry per distinct base table touched (top level + subqueries),
     /// in first-touch order.

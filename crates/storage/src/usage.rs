@@ -7,11 +7,10 @@
 //! simulator's equivalent, fed by every executed plan.
 
 use crate::index::IndexId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counters for one index.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IndexUsage {
     /// Number of plans that used this index on the read side.
     pub scans: u64,
@@ -31,7 +30,7 @@ impl IndexUsage {
 }
 
 /// Usage counters for all indexes in a database.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct UsageTracker {
     by_index: HashMap<IndexId, IndexUsage>,
     /// Total statements executed since the last reset.

@@ -1,4 +1,5 @@
-//! Property-based tests for the storage substrate.
+//! Property-based tests for the storage substrate (autoindex-support
+//! harness).
 
 use autoindex_sql::parse_statement;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
@@ -6,7 +7,8 @@ use autoindex_storage::index::{geometry, maintenance_cost, IndexDef};
 use autoindex_storage::planner::{CostParams, Planner, TrueCostWeights};
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{SimDb, SimDbConfig};
-use proptest::prelude::*;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::prop_assert;
 
 fn catalog(rows: u64) -> Catalog {
     let mut c = Catalog::new();
@@ -23,25 +25,33 @@ fn catalog(rows: u64) -> Catalog {
     c
 }
 
-proptest! {
-    /// Index geometry is monotone in row count: more rows never shrink the
-    /// index or lower the tree.
-    #[test]
-    fn geometry_monotone_in_rows(r1 in 1u64..10_000_000, r2 in 1u64..10_000_000) {
+/// Index geometry is monotone in row count: more rows never shrink the
+/// index or lower the tree.
+#[test]
+fn geometry_monotone_in_rows() {
+    property("geometry_monotone_in_rows", PropConfig::default(), |rng, _size| {
+        let r1 = rng.random_range(1u64..10_000_000);
+        let r2 = rng.random_range(1u64..10_000_000);
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let c_lo = catalog(lo);
         let c_hi = catalog(hi);
         let def = IndexDef::new("t", &["a", "b"]);
         let g_lo = geometry(&def, c_lo.table("t").unwrap()).unwrap();
         let g_hi = geometry(&def, c_hi.table("t").unwrap()).unwrap();
-        prop_assert!(g_hi.bytes >= g_lo.bytes);
-        prop_assert!(g_hi.leaf_pages >= g_lo.leaf_pages);
-        prop_assert!(g_hi.height >= g_lo.height);
-    }
+        prop_assert!(g_hi.bytes >= g_lo.bytes, "rows {lo} vs {hi}");
+        prop_assert!(g_hi.leaf_pages >= g_lo.leaf_pages, "rows {lo} vs {hi}");
+        prop_assert!(g_hi.height >= g_lo.height, "rows {lo} vs {hi}");
+        Ok(())
+    });
+}
 
-    /// Maintenance cost is monotone in inserted rows and never negative.
-    #[test]
-    fn maintenance_monotone(rows in 1u64..1_000_000, n1 in 0u64..1000, n2 in 0u64..1000) {
+/// Maintenance cost is monotone in inserted rows and never negative.
+#[test]
+fn maintenance_monotone() {
+    property("maintenance_monotone", PropConfig::default(), |rng, _size| {
+        let rows = rng.random_range(1u64..1_000_000);
+        let n1 = rng.random_range(0u64..1000);
+        let n2 = rng.random_range(0u64..1000);
         let c = catalog(rows);
         let geo = geometry(&IndexDef::new("t", &["a"]), c.table("t").unwrap()).unwrap();
         let p = CostParams::default();
@@ -49,12 +59,17 @@ proptest! {
         let m_lo = maintenance_cost(&geo, lo, &p);
         let m_hi = maintenance_cost(&geo, hi, &p);
         prop_assert!(m_lo.io >= 0.0 && m_lo.cpu >= 0.0);
-        prop_assert!(m_hi.total() >= m_lo.total());
-    }
+        prop_assert!(m_hi.total() >= m_lo.total(), "rows={rows} lo={lo} hi={hi}");
+        Ok(())
+    });
+}
 
-    /// Plan cost is monotone in table size for a fixed query and config.
-    #[test]
-    fn seq_cost_monotone_in_rows(r1 in 100u64..5_000_000, r2 in 100u64..5_000_000) {
+/// Plan cost is monotone in table size for a fixed query and config.
+#[test]
+fn seq_cost_monotone_in_rows() {
+    property("seq_cost_monotone_in_rows", PropConfig::default(), |rng, _size| {
+        let r1 = rng.random_range(100u64..5_000_000);
+        let r2 = rng.random_range(100u64..5_000_000);
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let stmt = parse_statement("SELECT * FROM t WHERE b = 3").unwrap();
         let params = CostParams::default();
@@ -63,45 +78,62 @@ proptest! {
             let shape = QueryShape::extract(&stmt, &c);
             Planner::new(&c, &params).plan(&shape, &[]).native_cost()
         };
-        prop_assert!(cost(hi) >= cost(lo));
-    }
+        prop_assert!(cost(hi) >= cost(lo), "rows {lo} vs {hi}");
+        Ok(())
+    });
+}
 
-    /// Adding an index never increases the *read* cost of a select: the
-    /// planner only picks it when it is cheaper.
-    #[test]
-    fn extra_index_never_hurts_reads(rows in 1000u64..2_000_000, ndv_sel in 0u8..3) {
+/// Adding an index never increases the *read* cost of a select: the
+/// planner only picks it when it is cheaper.
+#[test]
+fn extra_index_never_hurts_reads() {
+    property("extra_index_never_hurts_reads", PropConfig::default(), |rng, _size| {
+        let rows = rng.random_range(1000u64..2_000_000);
+        let col = *rng.choose(&["a", "b", "x"]).unwrap();
         let c = catalog(rows);
         let db = SimDb::new(c, SimDbConfig::default());
-        let col = ["a", "b", "x"][ndv_sel as usize];
         let sql = format!("SELECT * FROM t WHERE {col} = 5");
         let stmt = parse_statement(&sql).unwrap();
         let shape = QueryShape::extract(&stmt, db.catalog());
         let without = db.whatif_native_cost(&shape, &[]);
         let with = db.whatif_native_cost(&shape, &[IndexDef::new("t", &[col])]);
-        prop_assert!(with <= without + 1e-9);
-    }
+        prop_assert!(with <= without + 1e-9, "col={col} rows={rows}");
+        Ok(())
+    });
+}
 
-    /// Adding an index never decreases the maintenance cost of an insert.
-    #[test]
-    fn extra_index_never_helps_insert_maintenance(rows in 1000u64..2_000_000) {
-        let c = catalog(rows);
-        let db = SimDb::new(c, SimDbConfig::default());
-        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap();
-        let shape = QueryShape::extract(&stmt, db.catalog());
-        let f0 = db.whatif_features(&shape, &[]);
-        let f1 = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
-        let f2 = db.whatif_features(
-            &shape,
-            &[IndexDef::new("t", &["a"]), IndexDef::new("t", &["b", "s"])],
-        );
-        prop_assert!(f0.c_io <= f1.c_io && f1.c_io <= f2.c_io);
-        prop_assert!(f0.c_cpu <= f1.c_cpu && f1.c_cpu <= f2.c_cpu);
-    }
+/// Adding an index never decreases the maintenance cost of an insert.
+#[test]
+fn extra_index_never_helps_insert_maintenance() {
+    property(
+        "extra_index_never_helps_insert_maintenance",
+        PropConfig::default(),
+        |rng, _size| {
+            let rows = rng.random_range(1000u64..2_000_000);
+            let c = catalog(rows);
+            let db = SimDb::new(c, SimDbConfig::default());
+            let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap();
+            let shape = QueryShape::extract(&stmt, db.catalog());
+            let f0 = db.whatif_features(&shape, &[]);
+            let f1 = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
+            let f2 = db.whatif_features(
+                &shape,
+                &[IndexDef::new("t", &["a"]), IndexDef::new("t", &["b", "s"])],
+            );
+            prop_assert!(f0.c_io <= f1.c_io && f1.c_io <= f2.c_io, "rows={rows}");
+            prop_assert!(f0.c_cpu <= f1.c_cpu && f1.c_cpu <= f2.c_cpu, "rows={rows}");
+            Ok(())
+        },
+    );
+}
 
-    /// True cost is at least the native cost under default weights (the
-    /// native estimator is an *underestimate* on writes, never an over-).
-    #[test]
-    fn true_cost_dominates_native(rows in 1000u64..1_000_000, is_write: bool) {
+/// True cost is at least the native cost under default weights (the
+/// native estimator is an *underestimate* on writes, never an over-).
+#[test]
+fn true_cost_dominates_native() {
+    property("true_cost_dominates_native", PropConfig::default(), |rng, _size| {
+        let rows = rng.random_range(1000u64..1_000_000);
+        let is_write = rng.random_bool(0.5);
         let c = catalog(rows);
         let db = SimDb::new(c, SimDbConfig::default());
         let sql = if is_write {
@@ -112,18 +144,30 @@ proptest! {
         let stmt = parse_statement(sql).unwrap();
         let shape = QueryShape::extract(&stmt, db.catalog());
         let f = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
-        prop_assert!(f.true_cost(&TrueCostWeights::default()) >= f.native_cost());
-    }
+        prop_assert!(
+            f.true_cost(&TrueCostWeights::default()) >= f.native_cost(),
+            "rows={rows} write={is_write}"
+        );
+        Ok(())
+    });
+}
 
-    /// Filter selectivities extracted by shape stay in (0, 1].
-    #[test]
-    fn shape_selectivity_in_unit_interval(v in -100i64..2000) {
-        let c = catalog(100_000);
-        let sql = format!("SELECT * FROM t WHERE x > {v} AND b = 3 OR s LIKE 'q%'");
-        let stmt = parse_statement(&sql).unwrap();
-        let shape = QueryShape::extract(&stmt, &c);
-        for t in &shape.tables {
-            prop_assert!(t.filter_sel > 0.0 && t.filter_sel <= 1.0);
-        }
-    }
+/// Filter selectivities extracted by shape stay in (0, 1].
+#[test]
+fn shape_selectivity_in_unit_interval() {
+    property(
+        "shape_selectivity_in_unit_interval",
+        PropConfig::default(),
+        |rng, _size| {
+            let v = rng.random_range(-100i64..2000);
+            let c = catalog(100_000);
+            let sql = format!("SELECT * FROM t WHERE x > {v} AND b = 3 OR s LIKE 'q%'");
+            let stmt = parse_statement(&sql).unwrap();
+            let shape = QueryShape::extract(&stmt, &c);
+            for t in &shape.tables {
+                prop_assert!(t.filter_sel > 0.0 && t.filter_sel <= 1.0, "v={v}");
+            }
+            Ok(())
+        },
+    );
 }

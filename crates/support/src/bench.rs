@@ -1,0 +1,261 @@
+//! Micro-benchmark harness — the in-repo `criterion` replacement.
+//!
+//! Each benchmark function is run for a few warmup iterations (to populate
+//! caches and JIT the branch predictors), then timed for N samples; the
+//! harness reports the **median** (robust to scheduler noise), min, max and
+//! mean, and can emit the whole run as one JSON document for downstream
+//! tooling. Bench targets keep `harness = false` in `Cargo.toml` and drive
+//! this from an explicit `fn main()`.
+//!
+//! ```
+//! use autoindex_support::bench::Bench;
+//!
+//! let mut b = Bench::new("example").samples(7).warmup(2).quiet(true);
+//! b.bench_function("sum_1k", || (0..1_000u64).sum::<u64>());
+//! let json = b.report_json();
+//! assert_eq!(json.get("suite").and_then(|v| v.as_str()), Some("example"));
+//! assert_eq!(json.get("benchmarks").unwrap().as_array().unwrap().len(), 1);
+//! ```
+//!
+//! Timings use [`std::time::Instant`] (monotonic). The measured closure's
+//! return value is passed through [`std::hint::black_box`] so the optimiser
+//! cannot delete the work.
+
+use crate::json::{obj, Json};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Statistics for one benchmark function.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark id (unique within the suite).
+    pub name: String,
+    /// Median of the timed samples.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Optional throughput denominator (elements processed per iteration).
+    pub elements: Option<u64>,
+}
+
+impl Sample {
+    /// Elements per second at the median, when a throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        let n = self.elements? as f64;
+        let secs = self.median.as_secs_f64();
+        if secs > 0.0 {
+            Some(n / secs)
+        } else {
+            None
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", Json::from(self.name.as_str())),
+            ("median_ns", Json::from(self.median.as_nanos() as u64)),
+            ("min_ns", Json::from(self.min.as_nanos() as u64)),
+            ("max_ns", Json::from(self.max.as_nanos() as u64)),
+            ("mean_ns", Json::from(self.mean.as_nanos() as u64)),
+            ("samples", Json::from(self.samples)),
+        ];
+        if let Some(n) = self.elements {
+            fields.push(("elements", Json::from(n)));
+            if let Some(eps) = self.elements_per_sec() {
+                fields.push(("elements_per_sec", Json::from(eps)));
+            }
+        }
+        obj(fields)
+    }
+}
+
+/// A named suite of benchmarks sharing warmup/sample settings.
+#[derive(Debug)]
+pub struct Bench {
+    suite: String,
+    samples: usize,
+    warmup: usize,
+    elements: Option<u64>,
+    quiet: bool,
+    results: Vec<Sample>,
+}
+
+impl Bench {
+    /// Create a suite. Defaults: 10 samples, 3 warmup iterations, progress
+    /// lines printed to stdout.
+    pub fn new(suite: &str) -> Bench {
+        Bench {
+            suite: suite.to_string(),
+            samples: 10,
+            warmup: 3,
+            elements: None,
+            quiet: false,
+            results: Vec::new(),
+        }
+    }
+
+    /// Set the number of timed samples per benchmark (min 1).
+    pub fn samples(mut self, n: usize) -> Bench {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Set the number of untimed warmup iterations.
+    pub fn warmup(mut self, n: usize) -> Bench {
+        self.warmup = n;
+        self
+    }
+
+    /// Declare a throughput denominator for subsequent benchmarks
+    /// (criterion's `Throughput::Elements`).
+    pub fn throughput_elements(mut self, n: u64) -> Bench {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Suppress per-benchmark progress lines.
+    pub fn quiet(mut self, quiet: bool) -> Bench {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Run and record one benchmark. The closure's return value is
+    /// black-boxed; it runs `warmup + samples` times total.
+    pub fn bench_function<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> &Sample {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = *times.last().unwrap();
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let sample = Sample {
+            name: name.to_string(),
+            median,
+            min,
+            max,
+            mean,
+            samples: times.len(),
+            elements: self.elements,
+        };
+        if !self.quiet {
+            match sample.elements_per_sec() {
+                Some(eps) => println!(
+                    "{:<40} median {:>12?}  (min {:?}, max {:?}, {:.0} elem/s)",
+                    format!("{}/{}", self.suite, name),
+                    median,
+                    min,
+                    max,
+                    eps
+                ),
+                None => println!(
+                    "{:<40} median {:>12?}  (min {:?}, max {:?})",
+                    format!("{}/{}", self.suite, name),
+                    median,
+                    min,
+                    max
+                ),
+            }
+        }
+        self.results.push(sample);
+        self.results.last().unwrap()
+    }
+
+    /// All recorded samples.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// The whole run as a JSON document:
+    /// `{"suite": …, "benchmarks": [{name, median_ns, …}, …]}`.
+    pub fn report_json(&self) -> Json {
+        obj([
+            ("suite", Json::from(self.suite.as_str())),
+            (
+                "benchmarks",
+                Json::Array(self.results.iter().map(Sample::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Print the JSON report to stdout (one compact line), for capture by
+    /// scripts. Call at the end of a bench target's `fn main()`.
+    pub fn emit_json(&self) {
+        println!("{}", self.report_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut b = Bench::new("t").samples(5).warmup(1).quiet(true);
+        let s = b.bench_function("noop", || 1 + 1);
+        assert_eq!(s.samples, 5);
+        assert!(s.min <= s.median && s.median <= s.max);
+        let json = b.report_json();
+        assert_eq!(json.get("suite").and_then(Json::as_str), Some("t"));
+        let benches = json.get("benchmarks").unwrap().as_array().unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("name").and_then(Json::as_str), Some("noop"));
+        assert!(benches[0].get("median_ns").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn closure_runs_warmup_plus_samples_times() {
+        let mut count = 0u32;
+        let mut b = Bench::new("t").samples(4).warmup(2).quiet(true);
+        b.bench_function("count", || count += 1);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn throughput_reported() {
+        let mut b = Bench::new("t")
+            .samples(3)
+            .warmup(0)
+            .quiet(true)
+            .throughput_elements(1000);
+        b.bench_function("spin", || {
+            // Do enough work that elapsed > 0 even at coarse clocks.
+            (0..10_000u64).map(black_box).sum::<u64>()
+        });
+        let s = &b.results()[0];
+        assert_eq!(s.elements, Some(1000));
+        assert!(s.elements_per_sec().unwrap() > 0.0);
+        let json = b.report_json();
+        assert!(json.to_string().contains("elements_per_sec"));
+    }
+
+    #[test]
+    fn timed_work_is_ordered() {
+        let mut b = Bench::new("t").samples(3).warmup(0).quiet(true);
+        let slow = b
+            .bench_function("slow", || {
+                let mut acc = 0u64;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+            .median;
+        let fast = b.bench_function("fast", || black_box(1u64)).median;
+        assert!(slow >= fast);
+    }
+}

@@ -20,8 +20,7 @@
 use crate::Scenario;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::index::IndexDef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 
 /// Number of archival filler tables (144 total − 12 core).
 pub const FILLER_TABLES: usize = 132;

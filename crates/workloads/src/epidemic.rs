@@ -16,8 +16,7 @@
 use crate::Scenario;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::index::IndexDef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 
 /// Workload phases of Figure 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

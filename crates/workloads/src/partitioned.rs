@@ -18,8 +18,7 @@
 use crate::Scenario;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::index::IndexDef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 
 /// Number of hash partitions.
 pub const PARTITIONS: u32 = 64;

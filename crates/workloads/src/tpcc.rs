@@ -17,8 +17,7 @@
 use crate::Scenario;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::index::IndexDef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 
 /// Scale factor: number of warehouses (TPC-C 1x ⇒ 1, 10x ⇒ 10, 100x ⇒ 100).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,8 +11,7 @@
 use crate::Scenario;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::index::IndexDef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoindex_support::rng::StdRng;
 
 /// Build the 25-table catalog (~1 GB of data, as in §VI-A).
 pub fn catalog() -> Catalog {

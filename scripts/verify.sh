@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate for autoindex-rs.
+#
+# The workspace is hermetic (zero external crates — see docs/BUILDING.md),
+# so everything runs with --offline: a clean checkout must build, test and
+# document without network access. Run from the repo root:
+#
+#   scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo doc --no-deps --offline --workspace (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "==> external dependency check (cargo tree must be all autoindex-*)"
+EXTERNAL=$(cargo tree --offline --workspace --prefix none -e normal,dev,build \
+    | awk '{print $1}' | grep -v '^autoindex' | sort -u || true)
+if [ -n "$EXTERNAL" ]; then
+    echo "ERROR: external crates found in dependency tree:" >&2
+    echo "$EXTERNAL" >&2
+    exit 1
+fi
+
+echo "OK: build + tests + docs green, dependency tree is hermetic."

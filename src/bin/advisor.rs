@@ -90,7 +90,7 @@ fn load_file_mode(args: &Args) -> (SimDb, Vec<String>) {
         eprintln!("cannot read {schema_path}: {e}");
         exit(1)
     });
-    let catalog: Catalog = serde_json::from_str(&schema).unwrap_or_else(|e| {
+    let catalog = Catalog::from_json(&schema).unwrap_or_else(|e| {
         eprintln!("{schema_path} is not a serialised Catalog: {e}");
         exit(1)
     });
