@@ -6,51 +6,167 @@
 //! ```
 //!
 //! Targets: fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 table3
-//! estimator all
+//! estimator ablations smoke all
+//!
+//! Every target runs against a freshly reset global [`MetricsRegistry`] and
+//! prints the resulting snapshot (see `docs/OBSERVABILITY.md`), so each
+//! experiment's printed numbers come with the raw counters that produced
+//! them. The `smoke` target is a self-checking round used by
+//! `scripts/verify.sh`: it re-parses its own snapshot with the in-repo JSON
+//! parser and exits non-zero if any core counter is missing or zero.
 
 use autoindex_bench::experiments as ex;
 use autoindex_bench::{fmt_bytes, Method};
+use autoindex_support::json::Json;
+use autoindex_support::obs::MetricsRegistry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let target = args.first().map(String::as_str).unwrap_or("all");
     match target {
-        "fig1" => fig1(),
-        "fig5" => fig5(),
-        "fig6" => fig6_7(true),
-        "fig7" => fig6_7(false),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "fig10" => fig10(),
-        "table1" => table1(),
-        "table2" | "table3" => table2_3(),
-        "estimator" => estimator(),
-        "ablations" => ablations(),
+        "fig1" => run("fig1", fig1),
+        "fig5" => run("fig5", fig5),
+        "fig6" => run("fig6", || fig6_7(true)),
+        "fig7" => run("fig7", || fig6_7(false)),
+        "fig8" => run("fig8", fig8),
+        "fig9" => run("fig9", fig9),
+        "fig10" => run("fig10", fig10),
+        "table1" => run("table1", table1),
+        "table2" | "table3" => run("table2_3", table2_3),
+        "estimator" => run("estimator", estimator),
+        "ablations" => run("ablations", ablations),
+        "smoke" => smoke(),
         "all" => {
-            fig1();
-            fig5();
-            table1();
-            fig6_7(true);
-            fig8();
-            fig9();
-            fig10();
-            table2_3();
-            estimator();
-            ablations();
+            run("fig1", fig1);
+            run("fig5", fig5);
+            run("table1", table1);
+            run("fig6_7", || fig6_7(true));
+            run("fig8", fig8);
+            run("fig9", fig9);
+            run("fig10", fig10);
+            run("table2_3", table2_3);
+            run("estimator", estimator);
+            run("ablations", ablations);
         }
         other => {
             eprintln!("unknown target {other:?}");
             eprintln!(
-                "targets: fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 table3 estimator ablations all"
+                "targets: fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 table3 estimator ablations smoke all"
             );
             std::process::exit(2);
         }
     }
 }
 
+/// Run one experiment against a clean global metrics registry and print the
+/// snapshot it leaves behind. Databases created with `SimDb::new` report
+/// into the global registry, so the snapshot reflects exactly this target's
+/// work (plus nothing carried over from a previous one).
+fn run(name: &str, f: impl FnOnce()) {
+    let metrics = MetricsRegistry::global();
+    metrics.reset();
+    f();
+    println!("\n--- metrics snapshot [{name}] ---");
+    println!("{}", metrics.snapshot().pretty());
+}
+
 fn header(title: &str, paper: &str) {
     println!("\n=== {title} ===");
     println!("    paper: {paper}");
+}
+
+/// Self-checking tuning round for `scripts/verify.sh`: tiny universe, one
+/// `AutoIndex::tune` call, then the snapshot must re-parse with the in-repo
+/// JSON parser and carry non-zero core counters. The universe is kept small
+/// (one table, a handful of candidates) so the default search budget
+/// exhausts the root's untried actions and genuinely revisits
+/// configurations — that is what makes `mcts.eval_cache.hits` non-zero.
+fn smoke() {
+    use autoindex_core::{AutoIndex, AutoIndexConfig};
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::{SimDb, SimDbConfig};
+
+    header(
+        "Smoke: metrics snapshot self-check",
+        "every tuning round leaves a parseable snapshot with non-zero core counters",
+    );
+    let metrics = MetricsRegistry::global();
+    metrics.reset();
+
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableBuilder::new("t", 800_000)
+            .column(Column::int("id", 800_000))
+            .column(Column::int("a", 400_000))
+            .column(Column::int("b", 4_000))
+            .column(Column::int("c", 40))
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    );
+    let mut db = SimDb::new(cat, SimDbConfig::default());
+    let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+    for i in 0..400 {
+        let q = format!("SELECT * FROM t WHERE a = {i} AND b = {}", i % 7);
+        ai.observe(&q, &db).unwrap();
+        let _ = db.execute(&autoindex_sql::parse_statement(&q).unwrap());
+    }
+    let report = ai.tune(&mut db);
+
+    let snap = metrics.snapshot();
+    let text = snap.to_string();
+    let parsed = match Json::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("smoke FAILED: snapshot does not re-parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    if parsed != snap {
+        eprintln!("smoke FAILED: snapshot does not round-trip through Json::parse");
+        std::process::exit(1);
+    }
+    let counter = |name: &str| -> f64 {
+        parsed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let mut failed = false;
+    for name in [
+        "mcts.iterations",
+        "mcts.eval_cache.hits",
+        "mcts.eval_cache.misses",
+        "db.whatif_calls",
+        "db.executions",
+        "estimator.inference_calls",
+        "system.candidates_generated",
+    ] {
+        let v = counter(name);
+        let ok = v > 0.0;
+        println!("  {name:<28} {v:>12}  {}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failed = true;
+        }
+    }
+    println!(
+        "  tuning report: evaluations={} search={} cache_hits={} hit_rate={:.2}",
+        report.evaluations,
+        report.search_evaluations,
+        report.eval_cache_hits,
+        report.eval_cache_hit_rate()
+    );
+    if report.evaluations == 0 {
+        eprintln!("smoke FAILED: TuningReport.evaluations == 0");
+        failed = true;
+    }
+    if failed {
+        eprintln!("smoke FAILED: see FAIL rows above");
+        std::process::exit(1);
+    }
+    println!("smoke OK: snapshot parseable, all core counters non-zero");
 }
 
 fn fig5() {

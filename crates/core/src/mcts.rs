@@ -35,10 +35,16 @@ pub struct ConfigSet {
 }
 
 impl ConfigSet {
-    /// Empty set sized for `n` slots.
+    /// Empty set with backing storage pre-reserved for `n` slots.
+    ///
+    /// The returned set is *canonical* (no words stored, only capacity):
+    /// an earlier version materialised `n/64` zero words here, which made
+    /// `with_capacity(100) != ConfigSet::default()` under `Eq`/`Hash` even
+    /// though both are empty — silently defeating `PolicyTree::by_config`
+    /// deduplication and the MCTS eval cache.
     pub fn with_capacity(n: usize) -> Self {
         ConfigSet {
-            words: vec![0; n.div_ceil(64)],
+            words: Vec::with_capacity(n.div_ceil(64)),
         }
     }
 
@@ -49,6 +55,12 @@ impl ConfigSet {
             self.words.resize(w + 1, 0);
         }
         self.words[w] |= 1 << (i % 64);
+        // Canonicalize: inserting a low slot into a set whose vector is
+        // longer than its highest member must not leave a zero suffix.
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+        self.assert_canonical();
     }
 
     /// Remove slot `i`.
@@ -61,6 +73,20 @@ impl ConfigSet {
         while self.words.last() == Some(&0) {
             self.words.pop();
         }
+        self.assert_canonical();
+    }
+
+    /// Debug-check the canonical-representation invariant: the backing
+    /// vector never ends in a zero word (the empty set is `[]`, not
+    /// `[0, 0]`). `Eq`/`Hash` — and therefore node deduplication and the
+    /// eval cache — are only sound while this holds.
+    #[inline]
+    pub fn assert_canonical(&self) {
+        debug_assert!(
+            self.words.last() != Some(&0),
+            "ConfigSet representation is non-canonical: trailing zero word in {:?}",
+            self.words
+        );
     }
 
     /// Membership test.
@@ -324,6 +350,10 @@ pub struct SearchOutcome {
     pub iterations: usize,
     /// Estimator evaluations performed (cache misses).
     pub evaluations: usize,
+    /// Eval-cache hits (configurations re-costed for free).
+    pub cache_hits: usize,
+    /// Wall-clock time the search round took.
+    pub elapsed: std::time::Duration,
 }
 
 impl SearchOutcome {
@@ -362,14 +392,27 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
     /// Run the search on `tree`, starting from the current existing
     /// configuration.
     pub fn run(&self, tree: &mut PolicyTree) -> SearchOutcome {
+        let started = std::time::Instant::now();
+        let metrics = self.db.metrics();
+        let m_iterations = metrics.counter("mcts.iterations");
+        let m_expansions = metrics.counter("mcts.expansions");
+        let m_rollouts = metrics.counter("mcts.rollouts");
+        let m_cache_hits = metrics.counter("mcts.eval_cache.hits");
+        let m_cache_misses = metrics.counter("mcts.eval_cache.misses");
+        let m_round_time = metrics.timer("mcts.round_time");
+
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ tree.round());
         let mut eval_cache: HashMap<ConfigSet, f64> = HashMap::new();
         let mut evaluations = 0usize;
+        let mut cache_hits = 0usize;
 
-        let mut eval = |config: &ConfigSet, evals: &mut usize| -> f64 {
+        let mut eval = |config: &ConfigSet, evals: &mut usize, hits: &mut usize| -> f64 {
             if let Some(&c) = eval_cache.get(config) {
+                *hits += 1;
+                m_cache_hits.incr();
                 return c;
             }
+            m_cache_misses.incr();
             let defs = self.universe.config_defs(config);
             // Estimated workload cost, inflated by the buffer-pressure the
             // configuration's footprint would cause. This is what makes
@@ -384,10 +427,10 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
             cost
         };
 
-        let baseline_cost = eval(&self.existing, &mut evaluations);
+        let baseline_cost = eval(&self.existing, &mut evaluations, &mut cache_hits);
         let root_config = self.start.clone();
         let root = tree.node_for(root_config.clone());
-        let root_cost = eval(&root_config, &mut evaluations);
+        let root_cost = eval(&root_config, &mut evaluations, &mut cache_hits);
 
         // Ties favour the start configuration: the caller's prune pass may
         // have removed cost-neutral redundant indexes, and that reduction
@@ -403,6 +446,7 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
 
         for _ in 0..self.config.iterations {
             iterations += 1;
+            m_iterations.incr();
             // ---- selection ------------------------------------------------
             let mut path = vec![root];
             let mut current = root;
@@ -414,6 +458,7 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
                 }
                 // Expand one untried action if any remain.
                 if !tree.nodes[current].untried.is_empty() {
+                    m_expansions.incr();
                     let k = rng.random_range(0..tree.nodes[current].untried.len());
                     let action = tree.nodes[current].untried.swap_remove(k);
                     let child_config = self.apply(&tree.nodes[current].config, action);
@@ -456,11 +501,12 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
             }
 
             // ---- evaluation + rollouts (§IV-B step 2) ---------------------
-            let node_cost = eval(&tree.nodes[current].config, &mut evaluations);
+            let node_cost = eval(&tree.nodes[current].config, &mut evaluations, &mut cache_hits);
             let mut best_local = node_cost;
             for _ in 0..self.config.rollouts {
+                m_rollouts.incr();
                 let cfg = self.random_descendant(&tree.nodes[current].config, &mut rng);
-                let c = eval(&cfg, &mut evaluations);
+                let c = eval(&cfg, &mut evaluations, &mut cache_hits);
                 if c < best_local {
                     best_local = c;
                 }
@@ -496,12 +542,16 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
             }
         }
 
+        let elapsed = started.elapsed();
+        m_round_time.record(elapsed);
         SearchOutcome {
             best_config,
             baseline_cost,
             best_cost,
             iterations,
             evaluations,
+            cache_hits,
+            elapsed,
         }
     }
 
@@ -597,6 +647,41 @@ mod tests {
         assert_eq!(s, t);
         let cap = ConfigSet::with_capacity(100);
         assert!(cap.is_empty());
+    }
+
+    #[test]
+    fn config_set_canonical_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |s: &ConfigSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        // `with_capacity` must be the *same value* as the empty set: the
+        // old `vec![0; n/64]` representation broke Eq/Hash and thereby the
+        // policy-tree dedup map and the MCTS eval cache.
+        let cap = ConfigSet::with_capacity(1000);
+        cap.assert_canonical();
+        assert_eq!(cap, ConfigSet::default());
+        assert_eq!(hash(&cap), hash(&ConfigSet::default()));
+        // Inserting a low slot into a high-capacity set yields the same
+        // value as building the set directly.
+        let mut a = ConfigSet::with_capacity(1000);
+        a.insert(3);
+        a.assert_canonical();
+        let b: ConfigSet = [3usize].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(hash(&a), hash(&b));
+        // Insert-high / remove-high round trip stays canonical and equal.
+        let mut c = ConfigSet::default();
+        c.insert(200);
+        c.insert(5);
+        c.remove(200);
+        c.assert_canonical();
+        let d: ConfigSet = [5usize].into_iter().collect();
+        assert_eq!(c, d);
+        assert_eq!(hash(&c), hash(&d));
     }
 
     #[test]
@@ -885,6 +970,8 @@ mod tests {
             best_cost: 75.0,
             iterations: 10,
             evaluations: 20,
+            cache_hits: 5,
+            elapsed: std::time::Duration::ZERO,
         };
         assert!((o.improvement() - 0.25).abs() < 1e-12);
         let regressed = SearchOutcome {

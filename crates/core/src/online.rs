@@ -23,6 +23,11 @@ use autoindex_storage::{ExecOutcome, SimDb};
 #[derive(Debug, Clone)]
 pub struct OnlineConfig {
     /// Run diagnosis every this many executed statements.
+    ///
+    /// A value of `0` is treated as `1` (diagnose after every statement):
+    /// the cadence check is `executed % interval == 0`, and `% 0` would
+    /// otherwise make the condition *never* true, silently disabling
+    /// diagnosis forever. [`OnlineAutoIndex::new`] clamps accordingly.
     pub diagnosis_interval: u64,
     /// Minimum statements between two tuning rounds (cool-down, so a round
     /// has time to show its effect in the usage counters).
@@ -69,7 +74,12 @@ pub struct OnlineAutoIndex<E: CostEstimator> {
 
 impl<E: CostEstimator> OnlineAutoIndex<E> {
     /// Wrap a database and an advisor into the online loop.
-    pub fn new(db: SimDb, advisor: AutoIndex<E>, config: OnlineConfig) -> Self {
+    ///
+    /// `diagnosis_interval == 0` is clamped to `1` — see
+    /// [`OnlineConfig::diagnosis_interval`] for why `0` would otherwise
+    /// silently disable diagnosis.
+    pub fn new(db: SimDb, advisor: AutoIndex<E>, mut config: OnlineConfig) -> Self {
+        config.diagnosis_interval = config.diagnosis_interval.max(1);
         OnlineAutoIndex {
             db,
             advisor,
@@ -112,14 +122,24 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
         }
         if let Some(t) = self.last_tuning_at {
             if self.executed - t < self.config.tuning_cooldown {
+                self.db
+                    .metrics()
+                    .counter("online.cooldown_suppressions")
+                    .incr();
                 return (Some(outcome), OnlineEvent::Executed);
             }
         }
         let diagnosis = self.advisor.diagnose(&self.db);
+        self.db.metrics().counter("online.diagnoses_run").incr();
         if !diagnosis.should_tune {
             return (Some(outcome), OnlineEvent::DiagnosedHealthy(diagnosis));
         }
-        let report = self.advisor.tune(&mut self.db);
+        self.db.metrics().counter("online.diagnoses_fired").incr();
+        let report = {
+            let _round = self.db.metrics().scoped("online.tuning_round_time");
+            self.advisor.tune(&mut self.db)
+        };
+        self.db.metrics().counter("online.tuning_rounds").incr();
         self.last_tuning_at = Some(self.executed);
         // Count only rounds that actually changed the configuration; a
         // no-op round still resets the cooldown clock.
@@ -256,6 +276,36 @@ mod tests {
                 .map(String::as_str),
         );
         assert!(o.tuning_rounds <= 1);
+    }
+
+    #[test]
+    fn zero_diagnosis_interval_is_clamped_and_still_diagnoses() {
+        // Regression: `executed % 0 == 0` is never true, so interval 0 used
+        // to disable diagnosis forever. It now means "after every statement".
+        let mut o = OnlineAutoIndex::new(
+            db(),
+            AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
+            OnlineConfig {
+                diagnosis_interval: 0,
+                tuning_cooldown: 0,
+                reset_usage_after_tuning: true,
+            },
+        );
+        let mut diagnosed = 0usize;
+        for i in 0..300 {
+            let (_, event) = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+            if !matches!(event, OnlineEvent::Executed) {
+                diagnosed += 1;
+            }
+        }
+        assert!(
+            diagnosed > 0,
+            "interval 0 must clamp to 1, not silently disable diagnosis"
+        );
+        assert!(
+            o.db().indexes().any(|(_, d)| d.key() == "t(a)"),
+            "with diagnosis running, the missing index gets built"
+        );
     }
 
     #[test]

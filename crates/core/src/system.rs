@@ -106,8 +106,44 @@ pub struct TuningReport {
     pub tuning_time: Duration,
     /// Policy-tree size after the round.
     pub tree_nodes: usize,
-    /// Estimator evaluations performed.
+    /// Total estimator evaluations performed this round: MCTS eval-cache
+    /// misses plus the prune/refinement probes around the search.
     pub evaluations: usize,
+    /// Estimator evaluations inside the MCTS search (its cache misses).
+    pub search_evaluations: usize,
+    /// MCTS eval-cache hits (configurations re-costed for free).
+    pub eval_cache_hits: usize,
+    /// Wall time of the MCTS search phase.
+    pub search_time: Duration,
+    /// Wall time of candidate generation.
+    pub candgen_time: Duration,
+}
+
+impl TuningReport {
+    /// Hit rate of the MCTS eval cache during the search phase
+    /// (`hits / (hits + misses)`; 0 when the search never evaluated).
+    pub fn eval_cache_hit_rate(&self) -> f64 {
+        let total = self.eval_cache_hits + self.search_evaluations;
+        if total == 0 {
+            return 0.0;
+        }
+        self.eval_cache_hits as f64 / total as f64
+    }
+}
+
+/// Statistics captured while the most recent recommendation was computed,
+/// consumed by [`AutoIndex::apply`]-style wrappers so [`TuningReport`]
+/// carries real numbers instead of placeholders.
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundStats {
+    candidates_generated: usize,
+    /// Search cache misses + prune/refinement probes.
+    evaluations: usize,
+    /// Search cache misses only.
+    search_evaluations: usize,
+    cache_hits: usize,
+    search_time: Duration,
+    candgen_time: Duration,
 }
 
 /// The incremental index management system.
@@ -117,6 +153,8 @@ pub struct AutoIndex<E: CostEstimator> {
     templates: TemplateStore,
     universe: Universe,
     tree: PolicyTree,
+    /// Telemetry from the most recent `recommend_for` run.
+    last_round: RoundStats,
 }
 
 impl<E: CostEstimator> AutoIndex<E> {
@@ -129,6 +167,7 @@ impl<E: CostEstimator> AutoIndex<E> {
             templates,
             universe: Universe::new(),
             tree: PolicyTree::new(),
+            last_round: RoundStats::default(),
         }
     }
 
@@ -206,16 +245,23 @@ impl<E: CostEstimator> AutoIndex<E> {
         let existing_list: Vec<IndexDef> =
             existing_defs.iter().map(|(_, d)| d.clone()).collect();
 
+        self.last_round = RoundStats::default();
         if workload.is_empty() {
             return Recommendation::noop(0.0);
         }
 
         // Candidate generation (§IV-A).
+        let candgen_started = Instant::now();
         let candidates = CandidateGenerator::new(self.config.candidates.clone()).generate(
             workload,
             db.catalog(),
             &existing_list,
         );
+        let candgen_time = candgen_started.elapsed();
+        db.metrics().timer("system.candgen_time").record(candgen_time);
+        db.metrics()
+            .counter("system.candidates_generated")
+            .add(candidates.len() as u64);
 
         // Universe bookkeeping.
         let mut existing_set = ConfigSet::default();
@@ -238,7 +284,9 @@ impl<E: CostEstimator> AutoIndex<E> {
         // within epsilon. Sequential re-evaluation makes the pass safe for
         // mutually-redundant pairs: once one copy is gone, the survivor is
         // no longer removable for free.
+        let extra_evals = std::cell::Cell::new(0usize);
         let priced = |cfg: &ConfigSet| {
+            extra_evals.set(extra_evals.get() + 1);
             let defs = self.universe.config_defs(cfg);
             let pressure = db.pressure_for_index_bytes(self.universe.config_size(cfg));
             self.estimator.workload_cost(db, workload, &defs) * pressure
@@ -344,6 +392,20 @@ impl<E: CostEstimator> AutoIndex<E> {
         }
 
         let baseline_cost = priced(&existing_set);
+
+        // Truthful round telemetry: real candidate count, real estimator
+        // evaluation counts (search cache misses + every `priced` probe the
+        // prune/refinement passes made), real phase timings. `apply` folds
+        // these into the `TuningReport` instead of hardcoded zeros.
+        self.last_round = RoundStats {
+            candidates_generated: candidates.len(),
+            evaluations: outcome.evaluations + extra_evals.get(),
+            search_evaluations: outcome.evaluations,
+            cache_hits: outcome.cache_hits,
+            search_time: outcome.elapsed,
+            candgen_time,
+        };
+
         let improvement = if baseline_cost > 0.0 {
             ((baseline_cost - best_cost) / baseline_cost).max(0.0)
         } else {
@@ -388,22 +450,25 @@ impl<E: CostEstimator> AutoIndex<E> {
     /// Apply a previously computed recommendation verbatim (drops first,
     /// then creates). Useful when the caller showed the recommendation to
     /// an operator and must execute exactly what was approved.
+    ///
+    /// The report's evaluation/timing statistics describe the most recent
+    /// `recommend`/`recommend_for` run (which is what computed `rec` in the
+    /// intended flow).
     pub fn apply_recommendation(
         &mut self,
         db: &mut SimDb,
         rec: Recommendation,
     ) -> TuningReport {
         let start = Instant::now();
-        self.apply(db, rec, start, 0)
+        self.apply(db, rec, start)
     }
 
     /// One full tuning round: recommend and apply.
     pub fn tune(&mut self, db: &mut SimDb) -> TuningReport {
         let start = Instant::now();
         let w = self.workload();
-        let candidates_before = w.len();
         let rec = self.recommend_for(db, &w);
-        self.apply(db, rec, start, candidates_before)
+        self.apply(db, rec, start)
     }
 
     /// One tuning round over an explicit workload (query-level mode).
@@ -414,16 +479,10 @@ impl<E: CostEstimator> AutoIndex<E> {
     ) -> TuningReport {
         let start = Instant::now();
         let rec = self.recommend_for(db, workload);
-        self.apply(db, rec, start, workload.len())
+        self.apply(db, rec, start)
     }
 
-    fn apply(
-        &mut self,
-        db: &mut SimDb,
-        rec: Recommendation,
-        start: Instant,
-        candidates_generated: usize,
-    ) -> TuningReport {
+    fn apply(&mut self, db: &mut SimDb, rec: Recommendation, start: Instant) -> TuningReport {
         let mut created = Vec::new();
         let mut dropped = Vec::new();
         for d in &rec.remove {
@@ -438,14 +497,19 @@ impl<E: CostEstimator> AutoIndex<E> {
                 created.push(id);
             }
         }
+        let stats = self.last_round;
         TuningReport {
             recommendation: rec,
             created,
             dropped,
-            candidates_generated,
+            candidates_generated: stats.candidates_generated,
             tuning_time: start.elapsed(),
             tree_nodes: self.tree.len(),
-            evaluations: 0,
+            evaluations: stats.evaluations,
+            search_evaluations: stats.search_evaluations,
+            eval_cache_hits: stats.cache_hits,
+            search_time: stats.search_time,
+            candgen_time: stats.candgen_time,
         }
     }
 }
@@ -498,6 +562,32 @@ mod tests {
         assert!(keys.contains(&"t(a)".to_string()), "{keys:?}");
         assert!(report.recommendation.improvement() > 0.5);
         assert!(report.tree_nodes > 0);
+    }
+
+    #[test]
+    fn tuning_report_carries_real_evaluation_telemetry() {
+        // Regression: `apply` used to hardcode `evaluations: 0` even though
+        // the search tracked the count.
+        let mut db = db();
+        let mut ai = system();
+        for i in 0..400 {
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 1"), &db)
+                .unwrap();
+        }
+        let report = ai.tune(&mut db);
+        assert!(report.evaluations > 0, "evaluations must be the real count");
+        assert!(
+            report.search_evaluations > 0 && report.search_evaluations <= report.evaluations,
+            "search misses are a subset of all evaluations"
+        );
+        assert!(
+            report.candidates_generated > 0,
+            "candidate count must be the generator's output, not the template count"
+        );
+        assert!(report.search_time > Duration::ZERO);
+        let rate = report.eval_cache_hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
     }
 
     #[test]

@@ -170,6 +170,62 @@ fn mcts_never_regresses_and_respects_budget() {
     });
 }
 
+/// Canonical representation: any insert/remove sequence — regardless of the
+/// constructor used and the order operations arrive in — produces sets that
+/// are `Eq`-consistent and hash-identical whenever their contents match.
+/// This is the invariant `PolicyTree::by_config` dedup and the MCTS eval
+/// cache rely on (regression: `with_capacity` used to materialise zero
+/// words, so "equal" sets compared unequal).
+#[test]
+fn config_set_eq_hash_consistent_under_any_op_sequence() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    fn hash_of(s: &ConfigSet) -> u64 {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+    property(
+        "config_set_eq_hash_consistent_under_any_op_sequence",
+        cfg(),
+        |rng, size| {
+            let n = rng.random_range(0usize..=(size.max(1) * 2));
+            // Three sets fed the same logical operations, but constructed
+            // differently: default, small capacity, huge capacity.
+            let mut a = ConfigSet::default();
+            let mut b = ConfigSet::with_capacity(rng.random_range(0usize..64));
+            let mut c = ConfigSet::with_capacity(1024);
+            let mut reference = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                let i = rng.random_range(0usize..300);
+                if rng.random_bool(0.6) {
+                    reference.insert(i);
+                    a.insert(i);
+                    b.insert(i);
+                    c.insert(i);
+                } else {
+                    reference.remove(&i);
+                    a.remove(i);
+                    b.remove(i);
+                    c.remove(i);
+                }
+                a.assert_canonical();
+                b.assert_canonical();
+                c.assert_canonical();
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&a, &c);
+                prop_assert_eq!(hash_of(&a), hash_of(&b));
+                prop_assert_eq!(hash_of(&a), hash_of(&c));
+            }
+            // And all match a set rebuilt from sorted contents.
+            let rebuilt: ConfigSet = reference.iter().copied().collect();
+            prop_assert_eq!(&a, &rebuilt);
+            prop_assert_eq!(hash_of(&a), hash_of(&rebuilt));
+            Ok(())
+        },
+    );
+}
+
 /// ConfigSet behaves like a set of usizes.
 #[test]
 fn config_set_models_a_set() {

@@ -56,6 +56,7 @@ pub struct NativeCostEstimator;
 
 impl CostEstimator for NativeCostEstimator {
     fn workload_cost(&self, db: &SimDb, workload: &TemplateWorkload, config: &[IndexDef]) -> f64 {
+        db.metrics().counter("estimator.inference_calls").incr();
         workload
             .iter()
             .map(|(shape, n)| db.whatif_native_cost(shape, config) * *n as f64)
@@ -83,6 +84,7 @@ impl LearnedCostEstimator {
 
 impl CostEstimator for LearnedCostEstimator {
     fn workload_cost(&self, db: &SimDb, workload: &TemplateWorkload, config: &[IndexDef]) -> f64 {
+        db.metrics().counter("estimator.inference_calls").incr();
         workload
             .iter()
             .map(|(shape, n)| {

@@ -166,8 +166,15 @@ impl OneLayerRegression {
         // Active-set non-negative ridge regression: solve the 4×4 normal
         // equations, clamp any negative weight to zero (drop its column),
         // and re-solve until all active weights are non-negative.
+        //
+        // Training telemetry goes to the process-wide registry: `train` has
+        // no database handle, and fits are rare enough that interning the
+        // counters per call is free.
+        let metrics = autoindex_support::obs::MetricsRegistry::global();
+        let solver_passes = metrics.counter("estimator.train.solver_passes");
         let mut active = [true; N_FEATURES];
         loop {
+            solver_passes.incr();
             let (w, b) = solve_ridge(&rows, &active, cfg.ridge);
             let mut clamped = false;
             for i in 0..N_FEATURES {
@@ -182,6 +189,10 @@ impl OneLayerRegression {
                 break;
             }
         }
+        metrics.counter("estimator.train.sessions").incr();
+        metrics
+            .counter("estimator.train.samples")
+            .add(samples.len() as u64);
         Ok(model)
     }
 

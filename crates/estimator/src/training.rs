@@ -89,6 +89,9 @@ impl TrainingSet {
                 let _ = db.drop_index(id);
             }
         }
+        db.metrics()
+            .counter("estimator.train.collected_samples")
+            .add(set.samples.len() as u64);
         set
     }
 

@@ -22,6 +22,7 @@ use crate::shape::QueryShape;
 use crate::usage::UsageTracker;
 use crate::StorageError;
 use autoindex_sql::Statement;
+use autoindex_support::obs::{Counter, Gauge, MetricsRegistry};
 use autoindex_support::rng::StdRng;
 use std::collections::BTreeMap;
 
@@ -112,6 +113,71 @@ impl WorkloadMeasurement {
     }
 }
 
+/// Cached metric handles for the database hot paths (interned once per
+/// registry; updates are lock-free atomic ops).
+#[derive(Debug, Clone)]
+struct DbMetricHandles {
+    /// `db.executions` — statements run against the real index set.
+    executions: Counter,
+    /// `db.whatif_calls` — hypothetical plans costed (the `hypopg` rate).
+    whatif_calls: Counter,
+    /// `db.whatif_cost_total` — accumulated native cost of those plans.
+    whatif_cost_total: Gauge,
+    /// `planner.path.seq_scan` / `planner.path.index_scan` /
+    /// `planner.path.bitmap_or` — access-path choices.
+    plan_seq_scan: Counter,
+    plan_index_scan: Counter,
+    plan_bitmap_or: Counter,
+    /// `planner.join.hash` / `planner.join.index_nl` /
+    /// `planner.join.nested_loop` — join-device choices.
+    join_hash: Counter,
+    join_index_nl: Counter,
+    join_nested_loop: Counter,
+    /// `db.index_creates` / `db.index_drops` — real DDL activity.
+    index_creates: Counter,
+    index_drops: Counter,
+}
+
+impl DbMetricHandles {
+    fn bind(m: &MetricsRegistry) -> Self {
+        DbMetricHandles {
+            executions: m.counter("db.executions"),
+            whatif_calls: m.counter("db.whatif_calls"),
+            whatif_cost_total: m.gauge("db.whatif_cost_total"),
+            plan_seq_scan: m.counter("planner.path.seq_scan"),
+            plan_index_scan: m.counter("planner.path.index_scan"),
+            plan_bitmap_or: m.counter("planner.path.bitmap_or"),
+            join_hash: m.counter("planner.join.hash"),
+            join_index_nl: m.counter("planner.join.index_nl"),
+            join_nested_loop: m.counter("planner.join.nested_loop"),
+            index_creates: m.counter("db.index_creates"),
+            index_drops: m.counter("db.index_drops"),
+        }
+    }
+
+    /// Tally the plan-choice counters for one planned statement.
+    fn tally_plan(&self, plan: &PlanSummary) {
+        for p in &plan.paths {
+            match p.index {
+                Some(_) => {
+                    self.plan_index_scan.incr();
+                    if !p.bitmap_indexes.is_empty() {
+                        self.plan_bitmap_or.incr();
+                    }
+                }
+                None => self.plan_seq_scan.incr(),
+            }
+        }
+        for j in &plan.join_strategies {
+            match j {
+                crate::planner::JoinStrategy::Hash => self.join_hash.incr(),
+                crate::planner::JoinStrategy::IndexNestedLoop(_) => self.join_index_nl.incr(),
+                crate::planner::JoinStrategy::NestedLoop => self.join_nested_loop.incr(),
+            }
+        }
+    }
+}
+
 /// The simulated database.
 pub struct SimDb {
     catalog: Catalog,
@@ -120,12 +186,23 @@ pub struct SimDb {
     next_id: u32,
     usage: UsageTracker,
     rng: StdRng,
+    metrics: MetricsRegistry,
+    obs: DbMetricHandles,
 }
 
 impl SimDb {
-    /// Create a database over `catalog`.
+    /// Create a database over `catalog`, recording metrics into the
+    /// process-wide [`MetricsRegistry::global`] registry. Use
+    /// [`SimDb::set_metrics`] (or [`SimDb::with_metrics`]) to install a
+    /// private registry when a test needs isolated, exact counts.
     pub fn new(catalog: Catalog, config: SimDbConfig) -> Self {
+        Self::with_metrics(catalog, config, MetricsRegistry::global().clone())
+    }
+
+    /// Create a database recording into an explicit metrics registry.
+    pub fn with_metrics(catalog: Catalog, config: SimDbConfig, metrics: MetricsRegistry) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let obs = DbMetricHandles::bind(&metrics);
         SimDb {
             catalog,
             config,
@@ -133,7 +210,21 @@ impl SimDb {
             next_id: 0,
             usage: UsageTracker::new(),
             rng,
+            metrics,
+            obs,
         }
+    }
+
+    /// The metrics registry this database (and everything observing it —
+    /// estimators, searches, the online loop) records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Swap in a different metrics registry (rebinding all cached handles).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.obs = DbMetricHandles::bind(&metrics);
+        self.metrics = metrics;
     }
 
     /// The catalog (read-only).
@@ -173,6 +264,7 @@ impl SimDb {
         let id = IndexId(self.next_id);
         self.next_id += 1;
         self.indexes.insert(id, def);
+        self.obs.index_creates.incr();
         Ok(id)
     }
 
@@ -183,6 +275,7 @@ impl SimDb {
             .remove(&id)
             .ok_or(StorageError::UnknownIndex(id))?;
         self.usage.forget(id);
+        self.obs.index_drops.incr();
         Ok(def)
     }
 
@@ -250,7 +343,11 @@ impl SimDb {
             .map(|(i, d)| (IndexId(u32::MAX - i as u32), d.clone()))
             .collect();
         let visible = planner.resolve_indexes(&defs);
-        planner.plan(shape, &visible)
+        let plan = planner.plan(shape, &visible);
+        self.obs.whatif_calls.incr();
+        self.obs.whatif_cost_total.add(plan.features.native_cost());
+        self.obs.tally_plan(&plan);
+        plan
     }
 
     /// Native what-if cost (maintenance-blind, like the DB's own advisor).
@@ -318,6 +415,8 @@ impl SimDb {
         let planner = Planner::new(&self.catalog, &self.config.cost_params);
         let visible = self.visible_real_indexes();
         let plan = planner.plan(shape, &visible);
+        self.obs.executions.incr();
+        self.obs.tally_plan(&plan);
 
         // Usage accounting: credit each read-side index with the saving
         // versus the no-index plan (computed lazily and cheaply: the seq

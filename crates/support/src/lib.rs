@@ -13,6 +13,7 @@
 //! | [`json`]  | `serde_json` | a JSON value type, recursive-descent parser and serializer, format-compatible with the files `serde_json` wrote |
 //! | [`prop`]  | `proptest`   | a seeded property-testing harness with size ramping, shrinking-lite and failure-seed replay |
 //! | [`mod@bench`] | `criterion`  | a micro-benchmark harness: warmup, median-of-N timing, JSON emit |
+//! | [`obs`]   | `metrics`/`prometheus` | named counters, gauges and timers behind a [`obs::MetricsRegistry`] with a deterministic JSON snapshot |
 //!
 //! Everything here is deterministic given a seed — the precondition for the
 //! replayable experiments the benches record.
@@ -79,6 +80,24 @@
 //! });
 //! ```
 //!
+//! ## Observability
+//!
+//! [`obs::MetricsRegistry`] is the tuning-telemetry substrate: every
+//! subsystem (simulated DB, planner, estimator, MCTS, the online loop)
+//! records named counters/gauges/timers into a shared registry, and
+//! `MetricsRegistry::snapshot()` exports them through the in-repo JSON
+//! writer. See `docs/OBSERVABILITY.md` for the metric-name catalogue:
+//!
+//! ```
+//! use autoindex_support::obs::MetricsRegistry;
+//!
+//! let m = MetricsRegistry::new();
+//! m.counter("mcts.iterations").add(400);
+//! let _span = m.scoped("tuning.round"); // records wall time on drop
+//! let snapshot = m.snapshot();
+//! assert!(snapshot.to_string().contains("\"mcts.iterations\":400"));
+//! ```
+//!
 //! ## Micro-benchmarks
 //!
 //! [`bench::Bench`] is the `criterion` stand-in used by
@@ -97,5 +116,6 @@
 
 pub mod bench;
 pub mod json;
+pub mod obs;
 pub mod prop;
 pub mod rng;

@@ -19,6 +19,9 @@ cargo test -q --offline --workspace
 echo "==> cargo doc --no-deps --offline --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+echo "==> metrics smoke-check (repro smoke: snapshot must re-parse, core counters non-zero)"
+cargo run --release --offline -p autoindex-bench --bin repro -- smoke
+
 echo "==> external dependency check (cargo tree must be all autoindex-*)"
 EXTERNAL=$(cargo tree --offline --workspace --prefix none -e normal,dev,build \
     | awk '{print $1}' | grep -v '^autoindex' | sort -u || true)

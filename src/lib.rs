@@ -7,6 +7,8 @@
 //!
 //! See the individual crates for deep documentation:
 //!
+//! * [`autoindex_support`] — hermetic substrate: PRNG, JSON,
+//!   property/bench harnesses and the `obs` metrics registry.
 //! * [`autoindex_sql`] — parsing, predicate normalisation, fingerprinting.
 //! * [`autoindex_storage`] — catalog, index model, what-if planner,
 //!   simulated execution ("MiniGauss").
@@ -19,6 +21,7 @@ pub use autoindex_core as core;
 pub use autoindex_estimator as estimator;
 pub use autoindex_sql as sql;
 pub use autoindex_storage as storage;
+pub use autoindex_support as support;
 pub use autoindex_workloads as workloads;
 
 /// Helpers shared by the `advisor` CLI binary (kept in the library so they
@@ -107,6 +110,8 @@ pub mod prelude {
         Catalog, Column, ColumnStats, ColumnType, IndexDef, IndexScope, QueryShape, SimDb,
         SimDbConfig, Table, TableBuilder,
     };
+    pub use autoindex_support::json::Json;
+    pub use autoindex_support::obs::MetricsRegistry;
 }
 
 #[cfg(test)]

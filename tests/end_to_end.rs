@@ -116,6 +116,86 @@ fn banking_diagnosis_and_removal_round_trip() {
 }
 
 #[test]
+fn banking_tuning_round_produces_truthful_telemetry() {
+    // Acceptance: a tuning round on the banking workload yields (a) a
+    // TuningReport with a real (non-zero) evaluation count, and (b) a
+    // metrics snapshot — serialized through the in-repo JSON writer — with
+    // non-zero mcts.iterations, db.whatif_calls and eval-cache statistics.
+    //
+    // A private registry keeps the counts exact even when other tests run
+    // concurrently against the process-global registry.
+    let metrics = MetricsRegistry::new();
+    let mut db = SimDb::with_metrics(
+        banking::catalog(),
+        SimDbConfig {
+            memory_bytes: 4 * (1 << 30),
+            ..SimDbConfig::default()
+        },
+        metrics.clone(),
+    );
+    for d in banking::dba_indexes() {
+        db.create_index(d).unwrap();
+    }
+    let mut generator = banking::BankingGenerator::new(7);
+    let queries = generator.generate_withdrawal(2_000);
+
+    // The banking universe is large (263 DBA indexes + candidates), so give
+    // the search enough budget to exhaust the root's untried actions and
+    // genuinely revisit configurations — that is what exercises the eval
+    // cache (and, before the ConfigSet canonicalization fix, what failed
+    // to hit it).
+    let mut ai = AutoIndex::new(
+        AutoIndexConfig {
+            mcts: MctsConfig {
+                iterations: 1_200,
+                patience: 1_200,
+                ..MctsConfig::default()
+            },
+            ..AutoIndexConfig::default()
+        },
+        NativeCostEstimator,
+    );
+    ai.observe_batch(queries.iter().map(String::as_str), &db);
+    for q in queries.iter().take(500) {
+        db.execute(&parse_statement(q).unwrap());
+    }
+    let report = ai.tune(&mut db);
+
+    // (a) The report carries the real evaluation count (was hardcoded 0).
+    assert!(report.evaluations > 0, "report must count evaluations");
+    assert!(report.candidates_generated > 0);
+    let rate = report.eval_cache_hit_rate();
+    assert!((0.0..=1.0).contains(&rate));
+
+    // (b) The snapshot round-trips through the in-repo JSON writer and
+    // carries non-zero core counters.
+    let snapshot = metrics.snapshot();
+    let text = snapshot.to_string();
+    let parsed = Json::parse(&text).expect("snapshot is valid JSON");
+    assert_eq!(parsed, snapshot, "snapshot round-trips");
+    let counter = |name: &str| -> f64 {
+        parsed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("counter {name:?} missing from snapshot"))
+    };
+    assert!(counter("mcts.iterations") > 0.0);
+    assert!(counter("db.whatif_calls") > 0.0);
+    assert!(counter("mcts.eval_cache.misses") > 0.0);
+    assert!(counter("mcts.eval_cache.hits") > 0.0);
+    assert!(counter("estimator.inference_calls") > 0.0);
+    assert!(counter("db.executions") >= 500.0);
+    // Cross-check: the report's search-phase miss count matches the
+    // registry (private registry ⇒ exact).
+    assert_eq!(
+        counter("mcts.eval_cache.misses") as usize,
+        report.search_evaluations
+    );
+    assert_eq!(counter("mcts.eval_cache.hits") as usize, report.eval_cache_hits);
+}
+
+#[test]
 fn epidemic_three_phase_story() {
     let mut db = SimDb::new(epidemic::catalog(), SimDbConfig::default());
     for d in epidemic::default_indexes() {
