@@ -97,8 +97,166 @@ fn main() {
             existing: existing.clone(),
             protected: ConfigSet::default(),
             start: existing.clone(),
+            cost_cache: None,
         };
         black_box(search.run(&mut tree))
     });
     g.emit_json();
+
+    banking_cached_vs_uncached();
+}
+
+/// Cached-vs-uncached MCTS search on the banking workload (PR 3 tentpole
+/// evidence). Three arms share one universe, workload and seed:
+///
+/// * `uncached_serial`  — `decomposed_eval: false`: the legacy whole-workload
+///   re-plan per evaluated configuration.
+/// * `cached_serial`    — decomposed delta-cost evaluation, one eval thread.
+/// * `cached_parallel`  — same, `eval_threads: 0` (auto parallelism).
+///
+/// The three arms must produce byte-identical recommendations; the run
+/// aborts otherwise. Results (wall-clock + `db.whatif_calls` +
+/// `estimator.cost_cache.{hits,misses}`) are written to `BENCH_PR3.json`
+/// at the repo root. Protocol: `EXPERIMENTS.md` §"PR 3 micro-benchmark".
+fn banking_cached_vs_uncached() {
+    use autoindex_core::mcts::SearchOutcome;
+    use autoindex_support::json::{obj, Json};
+    use autoindex_support::obs::MetricsRegistry;
+    use autoindex_workloads::banking::{self, BankingGenerator};
+
+    let catalog = banking::catalog();
+    let mut gen = BankingGenerator::new(7);
+    let queries: Vec<String> = gen
+        .generate_hybrid(160, 0.5)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    let shapes: Vec<(QueryShape, u64)> = queries
+        .iter()
+        .map(|q| {
+            (
+                QueryShape::extract(&parse_statement(q).unwrap(), &catalog),
+                1u64,
+            )
+        })
+        .collect();
+    let defaults = banking::dba_indexes();
+
+    // Shared universe (slot numbering identical across arms).
+    let sizing_db = SimDb::new(catalog.clone(), SimDbConfig::default());
+    let cands = CandidateGenerator::new(CandidateConfig::default()).generate(
+        &shapes,
+        sizing_db.catalog(),
+        &defaults,
+    );
+    let mut universe = Universe::new();
+    for d in defaults.iter().chain(cands.iter()) {
+        universe.intern(d);
+    }
+    universe.refresh_sizes(&sizing_db);
+    let existing: ConfigSet = defaults.iter().filter_map(|d| universe.slot(d)).collect();
+    let est = NativeCostEstimator;
+
+    let arm = |decomposed: bool, threads: usize| MctsConfig {
+        iterations: 200,
+        seed: 42,
+        decomposed_eval: decomposed,
+        eval_threads: threads,
+        ..MctsConfig::default()
+    };
+    let arms: [(&str, MctsConfig); 3] = [
+        ("uncached_serial", arm(false, 1)),
+        ("cached_serial", arm(true, 1)),
+        ("cached_parallel", arm(true, 0)),
+    ];
+
+    let run_once = |cfg: &MctsConfig, db: &SimDb| -> SearchOutcome {
+        let mut tree = PolicyTree::new();
+        tree.begin_round(0.5);
+        let search = MctsSearch {
+            universe: &universe,
+            estimator: &est,
+            db,
+            workload: &shapes,
+            config: cfg.clone(),
+            budget: None,
+            existing: existing.clone(),
+            protected: ConfigSet::default(),
+            start: existing.clone(),
+            cost_cache: None,
+        };
+        search.run(&mut tree)
+    };
+
+    let mut g = Bench::new("mcts_banking_cached_vs_uncached").samples(5).warmup(1);
+    let mut reports: Vec<Json> = Vec::new();
+    let mut outcomes: Vec<SearchOutcome> = Vec::new();
+    for (name, cfg) in &arms {
+        // Timed samples (counters polluted by warmup — reset below).
+        let db = SimDb::with_metrics(
+            catalog.clone(),
+            SimDbConfig::default(),
+            MetricsRegistry::new(),
+        );
+        g.bench_function(name, || black_box(run_once(cfg, &db)));
+        // One instrumented run on fresh counters for exact call counts.
+        db.metrics().reset();
+        let outcome = run_once(cfg, &db);
+        let m = db.metrics();
+        let sample = g.results().last().unwrap();
+        reports.push(obj([
+            ("arm", Json::from(*name)),
+            ("median_ns", Json::from(sample.median.as_nanos() as u64)),
+            ("mean_ns", Json::from(sample.mean.as_nanos() as u64)),
+            ("whatif_calls", Json::from(m.counter_value("db.whatif_calls"))),
+            (
+                "inference_calls",
+                Json::from(m.counter_value("estimator.inference_calls")),
+            ),
+            (
+                "cost_cache_hits",
+                Json::from(m.counter_value("estimator.cost_cache.hits")),
+            ),
+            (
+                "cost_cache_misses",
+                Json::from(m.counter_value("estimator.cost_cache.misses")),
+            ),
+            ("evaluations", Json::from(outcome.evaluations)),
+            ("best_cost", Json::from(outcome.best_cost)),
+        ]));
+        outcomes.push(outcome);
+    }
+    g.emit_json();
+
+    // Regression gate: all arms must agree byte-for-byte.
+    for o in &outcomes[1..] {
+        assert_eq!(
+            o.best_config, outcomes[0].best_config,
+            "cached arms must recommend the identical configuration"
+        );
+        assert_eq!(
+            o.best_cost.to_bits(),
+            outcomes[0].best_cost.to_bits(),
+            "cached arms must price the winner bit-identically"
+        );
+        assert_eq!(o.evaluations, outcomes[0].evaluations);
+    }
+    let whatif_uncached = reports[0].get("whatif_calls").and_then(Json::as_u64).unwrap();
+    let whatif_cached = reports[1].get("whatif_calls").and_then(Json::as_u64).unwrap();
+    let med = |i: usize| g.results()[i].median.as_nanos() as f64;
+    let doc = obj([
+        ("bench", Json::from("mcts_banking_cached_vs_uncached")),
+        ("workload", Json::from("banking hybrid, 160 queries, seed 7")),
+        ("mcts", Json::from("200 iterations, seed 42, no budget")),
+        ("arms", Json::Array(reports)),
+        (
+            "whatif_reduction",
+            Json::from(whatif_uncached as f64 / whatif_cached.max(1) as f64),
+        ),
+        ("speedup_cached_serial", Json::from(med(0) / med(1))),
+        ("speedup_cached_parallel", Json::from(med(0) / med(2))),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    std::fs::write(path, format!("{}\n", doc.pretty())).expect("write BENCH_PR3.json");
+    eprintln!("wrote {path}");
 }

@@ -142,6 +142,8 @@ fn smoke() {
         "db.whatif_calls",
         "db.executions",
         "estimator.inference_calls",
+        "estimator.cost_cache.hits",
+        "estimator.cost_cache.misses",
         "system.candidates_generated",
     ] {
         let v = counter(name);

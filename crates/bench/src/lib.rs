@@ -214,13 +214,13 @@ pub fn run_method<E: CostEstimator>(
 pub struct BorrowedEstimator<'a, E: CostEstimator>(pub &'a E);
 
 impl<'a, E: CostEstimator> CostEstimator for BorrowedEstimator<'a, E> {
-    fn workload_cost(
+    fn shape_cost(
         &self,
         db: &SimDb,
-        workload: &autoindex_estimator::TemplateWorkload,
+        shape: &autoindex_storage::shape::QueryShape,
         config: &[IndexDef],
     ) -> f64 {
-        self.0.workload_cost(db, workload, config)
+        self.0.shape_cost(db, shape, config)
     }
 }
 

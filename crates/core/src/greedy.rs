@@ -93,6 +93,11 @@ pub fn rank_candidates<E: CostEstimator>(
 /// Parallel [`rank_candidates`]: standalone evaluations are independent, so
 /// they fan out over scoped threads. Worthwhile from a few dozen
 /// candidates; identical output ordering to the serial version.
+///
+/// `threads == 0` means "use the machine": it resolves to
+/// [`std::thread::available_parallelism`] (previously it silently clamped
+/// to 1, turning the parallel entry point into the serial one on exactly
+/// the callers that wanted auto-detection).
 pub fn rank_candidates_parallel<E: CostEstimator + Sync>(
     db: &SimDb,
     estimator: &E,
@@ -101,7 +106,7 @@ pub fn rank_candidates_parallel<E: CostEstimator + Sync>(
     existing: &[IndexDef],
     threads: usize,
 ) -> Vec<ScoredCandidate> {
-    let threads = threads.max(1);
+    let threads = resolve_threads(threads);
     if threads == 1 || candidates.len() < 2 * threads {
         return rank_candidates(db, estimator, workload, candidates, existing);
     }
@@ -129,6 +134,19 @@ pub fn rank_candidates_parallel<E: CostEstimator + Sync>(
     });
     sort_scored(&mut scored);
     scored
+}
+
+/// Resolve a caller-facing thread count: `0` = auto-detect via
+/// [`std::thread::available_parallelism`] (1 if detection fails), anything
+/// else is taken literally.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
 }
 
 fn score_one<E: CostEstimator>(
@@ -402,6 +420,67 @@ mod tests {
         assert!(metrics.counter_value("greedy.rank.threads_spawned") >= 2 + 4);
         // threads=1 (and the initial ranking) went through the serial path.
         assert!(metrics.counter_value("greedy.rank.serial") >= 2);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        use autoindex_support::obs::MetricsRegistry;
+        // `threads = 0` must auto-detect instead of clamping to 1.
+        let auto = resolve_threads(0);
+        let detected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(auto, detected);
+        assert!(auto >= 1);
+        assert_eq!(resolve_threads(3), 3, "explicit counts are literal");
+
+        // End to end: `threads = 0` produces bitwise the serial ranking.
+        let metrics = MetricsRegistry::new();
+        let db = SimDb::with_metrics(
+            {
+                let mut c = Catalog::new();
+                c.add_table(
+                    TableBuilder::new("t", 1_000_000)
+                        .column(Column::int("a", 1_000_000))
+                        .column(Column::int("b", 5_000))
+                        .column(Column::int("c", 100))
+                        .build()
+                        .unwrap(),
+                );
+                c
+            },
+            SimDbConfig::default(),
+            metrics.clone(),
+        );
+        let w = workload(
+            &db,
+            &[
+                ("SELECT * FROM t WHERE a = 5", 100),
+                ("SELECT * FROM t WHERE b = 7 AND c = 1", 60),
+            ],
+        );
+        let cands: Vec<IndexDef> = vec![
+            IndexDef::new("t", &["a"]),
+            IndexDef::new("t", &["b"]),
+            IndexDef::new("t", &["c"]),
+            IndexDef::new("t", &["b", "c"]),
+            IndexDef::new("t", &["a", "b"]),
+            IndexDef::new("t", &["a", "c"]),
+        ];
+        let serial = rank_candidates(&db, &NativeCostEstimator, &w, &cands, &[]);
+        let auto_ranked =
+            rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], 0);
+        assert_eq!(serial.len(), auto_ranked.len());
+        for (s, p) in serial.iter().zip(&auto_ranked) {
+            assert_eq!(s.def, p.def);
+            assert_eq!(s.benefit.to_bits(), p.benefit.to_bits());
+        }
+        // Whichever path the core count selected, a ranking ran.
+        assert!(
+            metrics.counter_value("greedy.rank.serial")
+                + metrics.counter_value("greedy.rank.parallel")
+                >= 2
+        );
     }
 
     #[test]

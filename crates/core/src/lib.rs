@@ -10,6 +10,10 @@
 //! * [`mcts`] — the policy tree and MCTS-based index update (§IV-B):
 //!   UCB-guided exploration over add/remove actions under a storage
 //!   budget, with random-descendant rollouts and incremental tree reuse.
+//! * [`delta`] — the decomposed delta-cost evaluation engine: splits
+//!   workload cost into per-template terms memoized by (template,
+//!   projected configuration) so sibling configurations in the policy
+//!   tree share almost all what-if work (see `docs/PERFORMANCE.md`).
 //! * [`greedy`] — the Greedy baseline of §VI-A: per-candidate standalone
 //!   benefit ranking, top-k until the budget is exhausted, no removal.
 //! * [`diagnosis`] — the Index Diagnosis module (§III): classifies indexes
@@ -22,6 +26,7 @@
 //!   so that executing the query stream automatically diagnoses and tunes.
 
 pub mod candgen;
+pub mod delta;
 pub mod diagnosis;
 pub mod greedy;
 pub mod mcts;
@@ -30,6 +35,7 @@ pub mod system;
 pub mod templates;
 
 pub use candgen::{CandidateConfig, CandidateGenerator};
+pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 pub use greedy::{greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate};
 pub use mcts::{MctsConfig, MctsSearch, PolicyTree, SearchOutcome};

@@ -21,12 +21,16 @@
 //! calls "the advantage of the policy tree" — is retained, so knowledge
 //! about good regions of the configuration space carries over.
 
+use autoindex_estimator::cost_cache::{CacheKey, CostCache, CostCacheStats};
 use autoindex_estimator::CostEstimator;
 use autoindex_storage::index::IndexDef;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::SimDb;
+use autoindex_support::obs::Counter;
 use autoindex_support::rng::StdRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+use crate::delta::DeltaWorkload;
 
 /// A set of universe slots, packed into 64-bit words.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -103,6 +107,35 @@ impl ConfigSet {
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Set intersection (word-wise AND), canonical.
+    ///
+    /// This is the *projection* primitive of the delta-cost engine: with
+    /// `other` = the mask of universe slots whose index lives on a table a
+    /// template touches, `self.intersect(other)` is the part of the
+    /// configuration that can influence that template's plan.
+    pub fn intersect(&self, other: &ConfigSet) -> ConfigSet {
+        let n = self.words.len().min(other.words.len());
+        let mut words: Vec<u64> = (0..n).map(|i| self.words[i] & other.words[i]).collect();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        let out = ConfigSet { words };
+        out.assert_canonical();
+        out
+    }
+
+    /// 64-bit fingerprint of the member set. Canonical representation
+    /// guarantees equal sets hash equally; used as the projected-config
+    /// component of delta-cost cache keys (slot domain).
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        0x0c0f_f1e5_u64.hash(&mut h);
+        self.words.hash(&mut h);
+        h.finish()
     }
 
     /// Iterate member slots in ascending order.
@@ -228,6 +261,20 @@ pub struct MctsConfig {
     pub round_decay: f64,
     /// Early-stop: quit after this many iterations without improvement.
     pub patience: usize,
+    /// Use the decomposed delta-cost evaluator: split workload cost into
+    /// per-template terms memoized by `(template, projected config)` in a
+    /// [`CostCache`], so configurations differing by one index only
+    /// re-plan the templates on that index's table. Search results are
+    /// byte-identical to the legacy whole-config evaluator (`false`),
+    /// which is retained for A/B benchmarking.
+    pub decomposed_eval: bool,
+    /// Worker threads for evaluating the per-iteration leaf batch (the
+    /// selected node plus its K rollout descendants) in decomposed mode.
+    /// `0` = auto-detect via `std::thread::available_parallelism`; `1` =
+    /// serial. Results and all counters are byte-identical across thread
+    /// counts: term misses are planned serially and only the planner work
+    /// fans out.
+    pub eval_threads: usize,
 }
 
 impl Default for MctsConfig {
@@ -240,6 +287,8 @@ impl Default for MctsConfig {
             seed: 17,
             round_decay: 0.5,
             patience: 120,
+            decomposed_eval: true,
+            eval_threads: 0,
         }
     }
 }
@@ -386,6 +435,32 @@ pub struct MctsSearch<'a, E: CostEstimator> {
     /// or negative indexes based on the index benefit estimation results",
     /// §III). Baseline cost is always measured at `existing`.
     pub start: ConfigSet,
+    /// Shared per-template term cache for the decomposed evaluator
+    /// (`config.decomposed_eval`). `None` gives the run a private,
+    /// run-local cache; the system passes its round-persistent cache so
+    /// prune probes, search and refinement share terms. Ignored when
+    /// `decomposed_eval` is off.
+    pub cost_cache: Option<&'a CostCache>,
+}
+
+/// Mutable evaluation state threaded through [`MctsSearch::run`]'s batch
+/// evaluator: the whole-configuration (L1) memo and its economics.
+struct EvalState {
+    /// L1: exact whole-`ConfigSet` → pressure-inclusive workload cost.
+    l1: HashMap<ConfigSet, f64>,
+    /// L1 misses (= real configuration evaluations).
+    evaluations: usize,
+    /// L1 hits (configurations re-costed for free).
+    cache_hits: usize,
+}
+
+/// Decomposed-evaluation context: the per-template decomposition, the
+/// shared term cache (L2), its counters and the worker-thread budget.
+struct DeltaCtx<'c, 'w> {
+    delta: DeltaWorkload<'w>,
+    cache: &'c CostCache,
+    stats: CostCacheStats,
+    threads: usize,
 }
 
 impl<'a, E: CostEstimator> MctsSearch<'a, E> {
@@ -402,35 +477,46 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
         let m_round_time = metrics.timer("mcts.round_time");
 
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ tree.round());
-        let mut eval_cache: HashMap<ConfigSet, f64> = HashMap::new();
-        let mut evaluations = 0usize;
-        let mut cache_hits = 0usize;
 
-        let mut eval = |config: &ConfigSet, evals: &mut usize, hits: &mut usize| -> f64 {
-            if let Some(&c) = eval_cache.get(config) {
-                *hits += 1;
-                m_cache_hits.incr();
-                return c;
-            }
-            m_cache_misses.incr();
-            let defs = self.universe.config_defs(config);
-            // Estimated workload cost, inflated by the buffer-pressure the
-            // configuration's footprint would cause. This is what makes
-            // dropping *unused* indexes worthwhile (Figure 1): they have
-            // zero maintenance, but they evict hot pages.
-            let pressure = self
-                .db
-                .pressure_for_index_bytes(self.universe.config_size(config));
-            let cost = self.estimator.workload_cost(self.db, self.workload, &defs) * pressure;
-            *evals += 1;
-            eval_cache.insert(config.clone(), cost);
-            cost
+        // Term-level (L2) cache for the decomposed evaluator: shared when
+        // the caller passed one (the system's round-persistent cache),
+        // otherwise private to this run.
+        let local_cache;
+        let delta_ctx: Option<DeltaCtx<'_, '_>> = if self.config.decomposed_eval {
+            let cache = match self.cost_cache {
+                Some(c) => c,
+                None => {
+                    local_cache = CostCache::new();
+                    &local_cache
+                }
+            };
+            Some(DeltaCtx {
+                delta: DeltaWorkload::new(self.universe, self.workload),
+                cache,
+                stats: CostCacheStats::bind(metrics),
+                threads: crate::greedy::resolve_threads(self.config.eval_threads),
+            })
+        } else {
+            None
+        };
+        let delta_ctx = delta_ctx.as_ref();
+
+        let mut st = EvalState {
+            l1: HashMap::new(),
+            evaluations: 0,
+            cache_hits: 0,
         };
 
-        let baseline_cost = eval(&self.existing, &mut evaluations, &mut cache_hits);
+        let base = self.eval_batch(
+            &[self.existing.clone(), self.start.clone()],
+            &mut st,
+            &m_cache_hits,
+            &m_cache_misses,
+            delta_ctx,
+        );
+        let (baseline_cost, root_cost) = (base[0], base[1]);
         let root_config = self.start.clone();
         let root = tree.node_for(root_config.clone());
-        let root_cost = eval(&root_config, &mut evaluations, &mut cache_hits);
 
         // Ties favour the start configuration: the caller's prune pass may
         // have removed cost-neutral redundant indexes, and that reduction
@@ -501,18 +587,35 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
             }
 
             // ---- evaluation + rollouts (§IV-B step 2) ---------------------
-            let node_cost = eval(&tree.nodes[current].config, &mut evaluations, &mut cache_hits);
-            let mut best_local = node_cost;
+            // The selected node and its K rollout descendants form one
+            // evaluation batch. Descendants are generated first, in serial
+            // RNG order (evaluation consumes no randomness), then the
+            // batch is priced — in decomposed mode the missing per-template
+            // terms can fan out over `eval_threads` workers. Best-cost
+            // updates replay in the exact order the serial evaluator used:
+            // rollouts first, then the node.
+            let mut batch: Vec<ConfigSet> = Vec::with_capacity(1 + self.config.rollouts);
+            batch.push(tree.nodes[current].config.clone());
             for _ in 0..self.config.rollouts {
                 m_rollouts.incr();
-                let cfg = self.random_descendant(&tree.nodes[current].config, &mut rng);
-                let c = eval(&cfg, &mut evaluations, &mut cache_hits);
+                batch.push(self.random_descendant(&tree.nodes[current].config, &mut rng));
+            }
+            let costs = self.eval_batch(
+                &batch,
+                &mut st,
+                &m_cache_hits,
+                &m_cache_misses,
+                delta_ctx,
+            );
+            let node_cost = costs[0];
+            let mut best_local = node_cost;
+            for (cfg, &c) in batch[1..].iter().zip(&costs[1..]) {
                 if c < best_local {
                     best_local = c;
                 }
                 if c < best_cost {
                     best_cost = c;
-                    best_config = cfg;
+                    best_config = cfg.clone();
                     since_improvement = 0;
                 }
             }
@@ -549,10 +652,177 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
             baseline_cost,
             best_cost,
             iterations,
-            evaluations,
-            cache_hits,
+            evaluations: st.evaluations,
+            cache_hits: st.cache_hits,
             elapsed,
         }
+    }
+
+    /// Price a batch of configurations, returning their costs in order.
+    ///
+    /// L1 bookkeeping is serial and mirrors sequential evaluation exactly:
+    /// the first occurrence of an uncached configuration is a miss,
+    /// repeats (within the batch or already in L1) are hits. In legacy
+    /// mode every L1 miss replans the whole workload; in decomposed mode
+    /// only the *missing per-template terms* are planned — serially or on
+    /// scoped worker threads — and the per-configuration sums are
+    /// reassembled serially in term order, so costs, counters, RNG and
+    /// recommendations are byte-identical across modes and thread counts
+    /// (regression- and property-tested).
+    fn eval_batch(
+        &self,
+        batch: &[ConfigSet],
+        st: &mut EvalState,
+        m_hits: &Counter,
+        m_misses: &Counter,
+        delta: Option<&DeltaCtx<'_, '_>>,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0f64; batch.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; batch.len()];
+        let mut first: HashMap<&ConfigSet, usize> = HashMap::new();
+        for (i, cfg) in batch.iter().enumerate() {
+            if let Some(&c) = st.l1.get(cfg) {
+                st.cache_hits += 1;
+                m_hits.incr();
+                out[i] = c;
+            } else if let Some(&j) = first.get(cfg) {
+                st.cache_hits += 1;
+                m_hits.incr();
+                dup_of[i] = Some(j);
+            } else {
+                st.evaluations += 1;
+                m_misses.incr();
+                first.insert(cfg, i);
+                pending.push(i);
+            }
+        }
+
+        match delta {
+            None => {
+                // Legacy whole-configuration evaluation (the A/B reference
+                // arm): every L1 miss replans the entire workload.
+                for &i in &pending {
+                    let cfg = &batch[i];
+                    let defs = self.universe.config_defs(cfg);
+                    // Estimated workload cost, inflated by the
+                    // buffer-pressure the configuration's footprint would
+                    // cause. This is what makes dropping *unused* indexes
+                    // worthwhile (Figure 1): they have zero maintenance,
+                    // but they evict hot pages.
+                    let pressure = self
+                        .db
+                        .pressure_for_index_bytes(self.universe.config_size(cfg));
+                    let cost =
+                        self.estimator.workload_cost(self.db, self.workload, &defs) * pressure;
+                    st.l1.insert(cfg.clone(), cost);
+                    out[i] = cost;
+                }
+            }
+            Some(ctx) => {
+                // Phase A (serial): plan term lookups. The first
+                // occurrence of a missing `(template, projection)` term is
+                // a miss and gets scheduled; repeats — within the batch or
+                // already cached — are hits. Totals equal what sequential
+                // `DeltaWorkload::cost` calls would have produced.
+                struct Job<'w> {
+                    key: CacheKey,
+                    proj: ConfigSet,
+                    shape: &'w QueryShape,
+                }
+                let mut jobs: Vec<Job<'_>> = Vec::new();
+                let mut scheduled: HashSet<CacheKey> = HashSet::new();
+                let mut term_plan: Vec<Vec<(CacheKey, f64)>> = Vec::with_capacity(pending.len());
+                for &i in &pending {
+                    let cfg = &batch[i];
+                    let mut plan = Vec::with_capacity(ctx.delta.terms().len());
+                    for t in ctx.delta.terms() {
+                        let (proj, key) = DeltaWorkload::term_key(t, cfg);
+                        if ctx.cache.get(&key).is_some() || scheduled.contains(&key) {
+                            ctx.stats.hits.incr();
+                        } else {
+                            ctx.stats.misses.incr();
+                            scheduled.insert(key);
+                            jobs.push(Job {
+                                key,
+                                proj,
+                                shape: t.shape,
+                            });
+                        }
+                        plan.push((key, t.weight));
+                    }
+                    term_plan.push(plan);
+                }
+
+                // Phase B: evaluate the missing terms — the only planner
+                // work — serially or fanned out over scoped threads (the
+                // `rank_candidates_parallel` pattern). The estimator is
+                // deterministic, so values are identical either way.
+                let values: Vec<f64> = if ctx.threads > 1 && jobs.len() > 1 {
+                    let chunk = jobs.len().div_ceil(ctx.threads);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = jobs
+                            .chunks(chunk)
+                            .map(|part| {
+                                s.spawn(move || {
+                                    part.iter()
+                                        .map(|j| {
+                                            self.estimator.shape_cost(
+                                                self.db,
+                                                j.shape,
+                                                &self.universe.config_defs(&j.proj),
+                                            )
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("eval worker panicked"))
+                            .collect()
+                    })
+                } else {
+                    jobs.iter()
+                        .map(|j| {
+                            self.estimator.shape_cost(
+                                self.db,
+                                j.shape,
+                                &self.universe.config_defs(&j.proj),
+                            )
+                        })
+                        .collect()
+                };
+                for (j, v) in jobs.iter().zip(values) {
+                    ctx.cache.insert(j.key, v);
+                }
+
+                // Phase C (serial): reassemble per-configuration sums in
+                // term order and apply the buffer-pressure multiplier to
+                // the sum — the same FP operations in the same order as
+                // the naive evaluator, hence bitwise-equal costs.
+                for (&i, plan) in pending.iter().zip(&term_plan) {
+                    let cfg = &batch[i];
+                    let sum: f64 = plan
+                        .iter()
+                        .map(|(key, w)| ctx.cache.get(key).expect("term computed above") * *w)
+                        .sum();
+                    let pressure = self
+                        .db
+                        .pressure_for_index_bytes(self.universe.config_size(cfg));
+                    let cost = sum * pressure;
+                    st.l1.insert(cfg.clone(), cost);
+                    out[i] = cost;
+                }
+            }
+        }
+
+        for i in 0..batch.len() {
+            if let Some(j) = dup_of[i] {
+                out[i] = out[j];
+            }
+        }
+        out
     }
 
     /// Node utility `U(v) = B(v)/baseline + γ·sqrt(ln F(v0)/F(v))`.
@@ -729,19 +999,9 @@ mod tests {
     /// A maintenance-aware estimator for tests that need write costs.
     struct MaintAware;
     impl CostEstimator for MaintAware {
-        fn workload_cost(
-            &self,
-            db: &SimDb,
-            workload: &autoindex_estimator::TemplateWorkload,
-            config: &[IndexDef],
-        ) -> f64 {
-            workload
-                .iter()
-                .map(|(s, n)| {
-                    let f = db.whatif_features(s, config);
-                    (f.c_data + 1.3 * f.c_io + 1.15 * f.c_cpu) * *n as f64
-                })
-                .sum()
+        fn shape_cost(&self, db: &SimDb, shape: &QueryShape, config: &[IndexDef]) -> f64 {
+            let f = db.whatif_features(shape, config);
+            f.c_data + 1.3 * f.c_io + 1.15 * f.c_cpu
         }
     }
 
@@ -771,6 +1031,7 @@ mod tests {
             existing: ConfigSet::default(),
             protected: ConfigSet::default(),
             start: ConfigSet::default(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         assert!(out.best_config.contains(slots[0]), "must pick t(a)");
@@ -809,6 +1070,7 @@ mod tests {
             existing: ConfigSet::default(),
             protected: ConfigSet::default(),
             start: ConfigSet::default(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         assert!(u.config_size(&out.best_config) <= one + one / 2);
@@ -838,6 +1100,7 @@ mod tests {
             existing: existing.clone(),
             protected: ConfigSet::default(),
             start: existing.clone(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         assert!(
@@ -868,6 +1131,7 @@ mod tests {
             existing: existing.clone(),
             protected: existing.clone(),
             start: existing.clone(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         assert!(out.best_config.contains(slots[0]));
@@ -894,6 +1158,7 @@ mod tests {
             existing: ConfigSet::default(),
             protected: ConfigSet::default(),
             start: ConfigSet::default(),
+            cost_cache: None,
         };
         let o1 = s1.run(&mut tree);
         let nodes_after_1 = tree.len();
@@ -928,6 +1193,7 @@ mod tests {
             existing: ConfigSet::default(),
             protected: ConfigSet::default(),
             start: ConfigSet::default(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         assert!(out.best_config.is_empty());
@@ -956,6 +1222,7 @@ mod tests {
             existing: ConfigSet::default(),
             protected: ConfigSet::default(),
             start: ConfigSet::default(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         assert_eq!(out.baseline_cost, 0.0);
@@ -1040,6 +1307,7 @@ mod tests {
                 existing: ConfigSet::default(),
                 protected: ConfigSet::default(),
                 start: ConfigSet::default(),
+                cost_cache: None,
             }
             .run(&mut tree)
         };

@@ -9,9 +9,11 @@
 //! *incremental*: each round starts from what previous rounds learned.
 
 use crate::candgen::{CandidateConfig, CandidateGenerator};
+use crate::delta::DeltaWorkload;
 use crate::diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 use crate::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
 use crate::templates::{TemplateStore, TemplateStoreConfig};
+use autoindex_estimator::cost_cache::{CostCache, CostCacheStats};
 use autoindex_estimator::{CostEstimator, TemplateWorkload};
 use autoindex_storage::index::{IndexDef, IndexId};
 use autoindex_storage::SimDb;
@@ -153,6 +155,15 @@ pub struct AutoIndex<E: CostEstimator> {
     templates: TemplateStore,
     universe: Universe,
     tree: PolicyTree,
+    /// Round-persistent per-template term cache of the delta-cost engine:
+    /// prune probes, the MCTS search, refinement passes and *subsequent
+    /// rounds over unchanged statistics* all share it.
+    cost_cache: CostCache,
+    /// Catalog version the cache contents were computed against.
+    cache_catalog_version: Option<u64>,
+    /// Set by template refresh/decay: the cache is invalidated at the next
+    /// pricing opportunity (invalidation needs the db's metrics registry).
+    cache_dirty: bool,
     /// Telemetry from the most recent `recommend_for` run.
     last_round: RoundStats,
 }
@@ -167,8 +178,16 @@ impl<E: CostEstimator> AutoIndex<E> {
             templates,
             universe: Universe::new(),
             tree: PolicyTree::new(),
+            cost_cache: CostCache::new(),
+            cache_catalog_version: None,
+            cache_dirty: false,
             last_round: RoundStats::default(),
         }
+    }
+
+    /// The delta-cost term cache (read access for tests/telemetry).
+    pub fn cost_cache(&self) -> &CostCache {
+        &self.cost_cache
     }
 
     /// Feed one query from the stream (the `SQL2Template` hot path).
@@ -219,16 +238,23 @@ impl<E: CostEstimator> AutoIndex<E> {
     }
 
     /// Recompute template shapes against current statistics (call after
-    /// significant data growth).
+    /// significant data growth). Invalidates the delta-cost term cache:
+    /// re-extracted shapes may carry new selectivities, and the catalog
+    /// they were priced against has typically moved too.
     pub fn refresh_statistics(&mut self, db: &SimDb) {
         self.templates.refresh_shapes(db.catalog());
+        self.cache_dirty = true;
     }
 
     /// Force one template-frequency decay (§IV-C). Online, the workload
     /// shift detector does this automatically; exposing it lets callers
-    /// mark a known phase boundary explicitly.
+    /// mark a known phase boundary explicitly. Marks the delta-cost term
+    /// cache for invalidation (conservative hygiene: decay changes only
+    /// weights, which live outside the cached terms, but a phase boundary
+    /// is the natural point to bound cache memory).
     pub fn force_template_decay(&mut self) {
         self.templates.decay();
+        self.cache_dirty = true;
     }
 
     /// Compute a recommendation from the observed templates.
@@ -278,18 +304,54 @@ impl<E: CostEstimator> AutoIndex<E> {
         }
         self.universe.refresh_sizes(db);
 
+        // Delta-cost engine upkeep: drop memoized terms when the catalog
+        // (statistics) moved since they were computed, or when a template
+        // refresh/decay requested it. Terms are otherwise valid across
+        // rounds — that is the "incremental" in incremental management.
+        let catalog_version = db.catalog().version();
+        if self.cache_dirty || self.cache_catalog_version.is_some_and(|v| v != catalog_version) {
+            self.cost_cache.invalidate(db.metrics());
+            self.cache_dirty = false;
+        }
+        self.cache_catalog_version = Some(catalog_version);
+
         // Estimator-driven redundant-index prune pass (§III): sequentially
         // try removing existing indexes — least-scanned first — keeping
         // each removal whose (pressure-adjusted) estimated cost increase is
         // within epsilon. Sequential re-evaluation makes the pass safe for
         // mutually-redundant pairs: once one copy is gone, the survivor is
         // no longer removable for free.
+        //
+        // `priced` goes through the same per-template term cache as the
+        // search (when the decomposed evaluator is enabled), so the prune
+        // probes, the MCTS leaves and the refinement hill-climb all share
+        // what-if work — bitwise-identically to the naive evaluator.
         let extra_evals = std::cell::Cell::new(0usize);
+        let delta = self
+            .config
+            .mcts
+            .decomposed_eval
+            .then(|| DeltaWorkload::new(&self.universe, workload));
+        let cache_stats = CostCacheStats::bind(db.metrics());
         let priced = |cfg: &ConfigSet| {
             extra_evals.set(extra_evals.get() + 1);
-            let defs = self.universe.config_defs(cfg);
             let pressure = db.pressure_for_index_bytes(self.universe.config_size(cfg));
-            self.estimator.workload_cost(db, workload, &defs) * pressure
+            match &delta {
+                Some(dw) => {
+                    dw.cost(
+                        db,
+                        &self.estimator,
+                        &self.universe,
+                        cfg,
+                        &self.cost_cache,
+                        &cache_stats,
+                    ) * pressure
+                }
+                None => {
+                    let defs = self.universe.config_defs(cfg);
+                    self.estimator.workload_cost(db, workload, &defs) * pressure
+                }
+            }
         };
         let mut start_set = existing_set.clone();
         if let Some(eps) = self.config.prune_epsilon {
@@ -329,6 +391,7 @@ impl<E: CostEstimator> AutoIndex<E> {
             existing: existing_set.clone(),
             protected,
             start: start_set,
+            cost_cache: Some(&self.cost_cache),
         };
         let outcome = search.run(&mut self.tree);
 

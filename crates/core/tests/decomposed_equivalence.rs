@@ -1,0 +1,147 @@
+//! PR 3 regression gate: the decomposed delta-cost evaluation engine must
+//! be a pure performance optimisation — recommendations byte-identical to
+//! the legacy uncached serial path, with a large reduction in what-if
+//! planner calls (the acceptance bar is ≥ 3×; the banking workload
+//! typically shows two orders of magnitude, see `BENCH_PR3.json`).
+
+use autoindex_core::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, SearchOutcome, Universe};
+use autoindex_core::{AutoIndex, AutoIndexConfig, CandidateConfig, CandidateGenerator};
+use autoindex_estimator::NativeCostEstimator;
+use autoindex_sql::parse_statement;
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::{SimDb, SimDbConfig};
+use autoindex_support::obs::MetricsRegistry;
+use autoindex_workloads::banking::{self, BankingGenerator};
+
+fn banking_fixture() -> (SimDb, Vec<(QueryShape, u64)>, Vec<String>) {
+    let catalog = banking::catalog();
+    let queries: Vec<String> = BankingGenerator::new(11)
+        .generate_hybrid(40, 0.5)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    let db = SimDb::with_metrics(catalog, SimDbConfig::default(), MetricsRegistry::new());
+    let shapes = queries
+        .iter()
+        .map(|q| {
+            (
+                QueryShape::extract(&parse_statement(q).unwrap(), db.catalog()),
+                1u64,
+            )
+        })
+        .collect();
+    (db, shapes, queries)
+}
+
+/// Run one MCTS search over the banking universe under `cfg`, on a db with
+/// private counters, returning the outcome and the `db.whatif_calls` total.
+fn run_search(
+    db: &SimDb,
+    shapes: &[(QueryShape, u64)],
+    decomposed: bool,
+    threads: usize,
+) -> (SearchOutcome, u64) {
+    let defaults = banking::dba_indexes();
+    let cands =
+        CandidateGenerator::new(CandidateConfig::default()).generate(shapes, db.catalog(), &defaults);
+    let mut universe = Universe::new();
+    for d in defaults.iter().chain(cands.iter()) {
+        universe.intern(d);
+    }
+    universe.refresh_sizes(db);
+    let existing: ConfigSet = defaults.iter().filter_map(|d| universe.slot(d)).collect();
+    let est = NativeCostEstimator;
+    db.metrics().reset();
+    let mut tree = PolicyTree::new();
+    tree.begin_round(0.5);
+    let search = MctsSearch {
+        universe: &universe,
+        estimator: &est,
+        db,
+        workload: shapes,
+        config: MctsConfig {
+            iterations: 40,
+            seed: 9,
+            decomposed_eval: decomposed,
+            eval_threads: threads,
+            ..MctsConfig::default()
+        },
+        budget: None,
+        existing: existing.clone(),
+        protected: ConfigSet::default(),
+        start: existing,
+        cost_cache: None,
+    };
+    let out = search.run(&mut tree);
+    (out, db.metrics().counter_value("db.whatif_calls"))
+}
+
+#[test]
+fn decomposed_search_is_byte_identical_and_saves_whatif_calls() {
+    let (db, shapes, _) = banking_fixture();
+    let (legacy, whatif_legacy) = run_search(&db, &shapes, false, 1);
+    let (serial, whatif_serial) = run_search(&db, &shapes, true, 1);
+    let (parallel, whatif_parallel) = run_search(&db, &shapes, true, 0);
+
+    for (name, out) in [("cached_serial", &serial), ("cached_parallel", &parallel)] {
+        assert_eq!(
+            out.best_config, legacy.best_config,
+            "{name}: recommendation diverged from uncached serial"
+        );
+        assert_eq!(
+            out.best_cost.to_bits(),
+            legacy.best_cost.to_bits(),
+            "{name}: best cost not bit-identical"
+        );
+        assert_eq!(
+            out.baseline_cost.to_bits(),
+            legacy.baseline_cost.to_bits(),
+            "{name}: baseline cost not bit-identical"
+        );
+        assert_eq!(out.evaluations, legacy.evaluations, "{name}: L1 miss count");
+        assert_eq!(out.cache_hits, legacy.cache_hits, "{name}: L1 hit count");
+    }
+    // Acceptance bar: >= 3x fewer planner invocations. In practice the
+    // banking workload's per-table locality yields far more than that.
+    assert!(
+        whatif_legacy >= 3 * whatif_serial.max(1),
+        "expected >=3x what-if reduction, got {whatif_legacy} vs {whatif_serial}"
+    );
+    assert_eq!(
+        whatif_serial, whatif_parallel,
+        "parallel evaluation must not change planner call volume"
+    );
+}
+
+#[test]
+fn system_recommendations_identical_across_eval_modes() {
+    let (_, _, queries) = banking_fixture();
+    let mut recs = Vec::new();
+    for decomposed in [false, true] {
+        let db = SimDb::with_metrics(
+            banking::catalog(),
+            SimDbConfig::default(),
+            MetricsRegistry::new(),
+        );
+        let mut cfg = AutoIndexConfig::default();
+        cfg.mcts.iterations = 30;
+        cfg.mcts.seed = 5;
+        cfg.mcts.decomposed_eval = decomposed;
+        let mut ai = AutoIndex::new(cfg, NativeCostEstimator);
+        for q in &queries {
+            ai.observe(q, &db).unwrap();
+        }
+        recs.push(ai.recommend(&db));
+    }
+    let (legacy, fast) = (&recs[0], &recs[1]);
+    assert_eq!(legacy.add, fast.add, "add lists diverged across eval modes");
+    assert_eq!(legacy.remove, fast.remove, "remove lists diverged");
+    assert_eq!(
+        legacy.est_cost_before.to_bits(),
+        fast.est_cost_before.to_bits()
+    );
+    assert_eq!(
+        legacy.est_cost_after.to_bits(),
+        fast.est_cost_after.to_bits()
+    );
+}

@@ -157,6 +157,7 @@ fn mcts_never_regresses_and_respects_budget() {
             existing: ConfigSet::default(),
             protected: ConfigSet::default(),
             start: ConfigSet::default(),
+            cost_cache: None,
         };
         let out = search.run(&mut tree);
         prop_assert!(
@@ -221,6 +222,118 @@ fn config_set_eq_hash_consistent_under_any_op_sequence() {
             let rebuilt: ConfigSet = reference.iter().copied().collect();
             prop_assert_eq!(&a, &rebuilt);
             prop_assert_eq!(hash_of(&a), hash_of(&rebuilt));
+            Ok(())
+        },
+    );
+}
+
+/// The decomposed delta-cost engine (PR 3 tentpole) is *bitwise* exact:
+/// for random catalogs, workloads (reads and writes) and add/remove
+/// configuration walks, `DeltaWorkload::cost` through a shared
+/// [`autoindex_estimator::CostCache`] equals the naive whole-workload
+/// evaluation bit for bit — and still does after an epoch invalidation
+/// (the decay / statistics-refresh analogue) rebuilds the cache from
+/// scratch. The def-domain [`CachedCostEstimator`] is held to the same
+/// standard on the same walk.
+#[test]
+fn delta_cost_bitwise_equals_naive_across_random_configs() {
+    use autoindex_core::DeltaWorkload;
+    use autoindex_estimator::{CachedCostEstimator, CostCache, CostCacheStats, CostEstimator};
+    use autoindex_support::obs::MetricsRegistry;
+
+    property(
+        "delta_cost_bitwise_equals_naive_across_random_configs",
+        cfg(),
+        |rng, size| {
+            // Random catalog: 1..=3 tables with random widths and NDVs.
+            let ntab = rng.random_range(1usize..4);
+            let mut cat = Catalog::new();
+            let mut tables: Vec<(String, usize)> = Vec::new();
+            for ti in 0..ntab {
+                let name = format!("t{ti}");
+                let rows = rng.random_range(10_000u64..1_000_000);
+                let ncols = rng.random_range(2usize..=COLS.len());
+                let mut tb = TableBuilder::new(&name, rows);
+                for c in COLS.iter().take(ncols) {
+                    tb = tb.column(Column::int(*c, rng.random_range(10u64..rows)));
+                }
+                cat.add_table(tb.build().unwrap());
+                tables.push((name, ncols));
+            }
+            let db = SimDb::with_metrics(cat, SimDbConfig::default(), MetricsRegistry::new());
+
+            // Random workload: point/OR selects plus inserts (maintenance
+            // costs must decompose too), with random repetition weights.
+            let nq = rng.random_range(1usize..(2 + size.max(1) / 8).max(2));
+            let shapes: Vec<(QueryShape, u64)> = (0..nq)
+                .map(|_| {
+                    let (name, ncols) = &tables[rng.random_range(0usize..tables.len())];
+                    let sql = if rng.random_bool(0.25) {
+                        format!("INSERT INTO {name} ({}, {}) VALUES (1, 2)", COLS[0], COLS[1])
+                    } else {
+                        let c1 = COLS[rng.random_range(0usize..*ncols)];
+                        let c2 = COLS[rng.random_range(0usize..*ncols)];
+                        let joiner = if rng.random_bool(0.5) { "AND" } else { "OR" };
+                        format!("SELECT * FROM {name} WHERE {c1} = 1 {joiner} {c2} = 5")
+                    };
+                    let shape = QueryShape::extract(&parse_statement(&sql).unwrap(), db.catalog());
+                    (shape, rng.random_range(1u64..20))
+                })
+                .collect();
+
+            // Random universe of one/two-column candidates across tables.
+            let mut universe = Universe::new();
+            for _ in 0..rng.random_range(1usize..8) {
+                let (name, ncols) = &tables[rng.random_range(0usize..tables.len())];
+                let c1 = COLS[rng.random_range(0usize..*ncols)];
+                let c2 = COLS[rng.random_range(0usize..*ncols)];
+                let def = if rng.random_bool(0.5) || c1 == c2 {
+                    IndexDef::new(name, &[c1])
+                } else {
+                    IndexDef::new(name, &[c1, c2])
+                };
+                universe.intern(&def);
+            }
+            universe.refresh_sizes(&db);
+
+            let est = NativeCostEstimator;
+            let cache = CostCache::new();
+            let stats = CostCacheStats::bind(db.metrics());
+            let dw = DeltaWorkload::new(&universe, &shapes);
+            let def_cache = CostCache::new();
+            let cached_est = CachedCostEstimator::new(&est, &def_cache, db.metrics());
+
+            // Random add/remove walk over universe slots; every visited
+            // configuration must price identically on all three paths.
+            let mut config = ConfigSet::default();
+            for _ in 0..rng.random_range(1usize..20) {
+                let slot = rng.random_range(0usize..universe.len());
+                if config.contains(slot) {
+                    config.remove(slot);
+                } else {
+                    config.insert(slot);
+                }
+                let defs = universe.config_defs(&config);
+                let naive = est.workload_cost(&db, &shapes, &defs);
+                let fast = dw.cost(&db, &est, &universe, &config, &cache, &stats);
+                prop_assert_eq!(naive.to_bits(), fast.to_bits());
+                let via_defs = cached_est.workload_cost(&db, &shapes, &defs);
+                prop_assert_eq!(naive.to_bits(), via_defs.to_bits());
+            }
+
+            // Invalidation (decay / refresh analogue): epoch advances, the
+            // memo empties, and the rebuilt cache still agrees bitwise.
+            let epoch0 = cache.epoch();
+            cache.invalidate(db.metrics());
+            prop_assert!(cache.epoch() > epoch0);
+            prop_assert!(cache.is_empty());
+            prop_assert_eq!(
+                db.metrics().counter_value("estimator.cost_cache.invalidations"),
+                1
+            );
+            let naive = est.workload_cost(&db, &shapes, &universe.config_defs(&config));
+            let fast = dw.cost(&db, &est, &universe, &config, &cache, &stats);
+            prop_assert_eq!(naive.to_bits(), fast.to_bits());
             Ok(())
         },
     );

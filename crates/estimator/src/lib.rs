@@ -22,9 +22,11 @@
 //!   the Greedy baseline both use this in §VI ("To ensure the fairness,
 //!   Greedy and AutoIndex utilized the same cost estimation method").
 
+pub mod cost_cache;
 pub mod model;
 pub mod training;
 
+pub use cost_cache::{CacheKey, CachedCostEstimator, CostCache, CostCacheStats};
 pub use model::{ModelError, OneLayerRegression, TrainConfig};
 pub use training::{kfold_cross_validate, CollectConfig, FoldReport, TrainingSet};
 
@@ -37,16 +39,30 @@ use autoindex_storage::SimDb;
 pub type TemplateWorkload = [(QueryShape, u64)];
 
 /// Anything that can price a workload under a hypothetical index set.
-pub trait CostEstimator {
-    /// Estimated total cost of running `workload` with `config` as the
+///
+/// `shape_cost` is the *primitive*: one template shape, weight 1, borrowed —
+/// no allocation on the hot path. `workload_cost` is the provided
+/// weighted sum over it, and the [`cost_cache`] layer memoizes exactly the
+/// per-shape terms this decomposition exposes.
+///
+/// `Sync` is a supertrait: estimators are shared by reference across
+/// scoped worker threads (parallel greedy ranking, parallel MCTS leaf
+/// evaluation), so implementations must be immutable or internally
+/// synchronized during evaluation.
+pub trait CostEstimator: Sync {
+    /// Estimated cost of a single shape (weight 1) with `config` as the
     /// complete index configuration. Units are milliseconds for learned
     /// estimators and optimizer cost units for native ones; only *ratios
     /// and differences under the same estimator* are meaningful.
-    fn workload_cost(&self, db: &SimDb, workload: &TemplateWorkload, config: &[IndexDef]) -> f64;
+    fn shape_cost(&self, db: &SimDb, shape: &QueryShape, config: &[IndexDef]) -> f64;
 
-    /// Estimated cost of a single shape (weight 1).
-    fn shape_cost(&self, db: &SimDb, shape: &QueryShape, config: &[IndexDef]) -> f64 {
-        self.workload_cost(db, &[(shape.clone(), 1)], config)
+    /// Estimated total cost of running `workload` with `config`: the
+    /// weighted sum of per-shape costs, in workload order.
+    fn workload_cost(&self, db: &SimDb, workload: &TemplateWorkload, config: &[IndexDef]) -> f64 {
+        workload
+            .iter()
+            .map(|(shape, n)| self.shape_cost(db, shape, config) * *n as f64)
+            .sum()
     }
 }
 
@@ -55,12 +71,9 @@ pub trait CostEstimator {
 pub struct NativeCostEstimator;
 
 impl CostEstimator for NativeCostEstimator {
-    fn workload_cost(&self, db: &SimDb, workload: &TemplateWorkload, config: &[IndexDef]) -> f64 {
+    fn shape_cost(&self, db: &SimDb, shape: &QueryShape, config: &[IndexDef]) -> f64 {
         db.metrics().counter("estimator.inference_calls").incr();
-        workload
-            .iter()
-            .map(|(shape, n)| db.whatif_native_cost(shape, config) * *n as f64)
-            .sum()
+        db.whatif_native_cost(shape, config)
     }
 }
 
@@ -83,15 +96,10 @@ impl LearnedCostEstimator {
 }
 
 impl CostEstimator for LearnedCostEstimator {
-    fn workload_cost(&self, db: &SimDb, workload: &TemplateWorkload, config: &[IndexDef]) -> f64 {
+    fn shape_cost(&self, db: &SimDb, shape: &QueryShape, config: &[IndexDef]) -> f64 {
         db.metrics().counter("estimator.inference_calls").incr();
-        workload
-            .iter()
-            .map(|(shape, n)| {
-                let f = db.whatif_features(shape, config);
-                self.model.predict(&f.as_vec()) * *n as f64
-            })
-            .sum()
+        let f = db.whatif_features(shape, config);
+        self.model.predict(&f.as_vec())
     }
 }
 

@@ -312,9 +312,26 @@ impl TableBuilder {
 }
 
 /// The catalog: all tables by name.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Carries a monotone [`Catalog::version`] that bumps on every mutation
+/// (table registration, statistics edits via [`Catalog::table_mut`], data
+/// growth). Consumers that memoize anything derived from table statistics
+/// — the estimator's cost cache in particular — compare versions to detect
+/// staleness without diffing tables.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
+    /// Mutation counter; not part of equality or serialization.
+    version: u64,
+}
+
+/// Equality compares the *contents* (tables) only: a catalog that
+/// round-trips through JSON or is rebuilt table-by-table is equal to the
+/// original even though its mutation counter differs.
+impl PartialEq for Catalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables
+    }
 }
 
 impl Catalog {
@@ -323,8 +340,17 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Mutation counter: bumps on [`Catalog::add_table`],
+    /// [`Catalog::table_mut`] and [`Catalog::grow_table`]. Two reads
+    /// returning the same version are guaranteed to have observed
+    /// identical statistics.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register a table; replaces any previous definition with the name.
     pub fn add_table(&mut self, table: Table) {
+        self.version += 1;
         self.tables.insert(table.name.clone(), table);
     }
 
@@ -339,8 +365,10 @@ impl Catalog {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable table lookup.
+    /// Mutable table lookup. Conservatively counts as a mutation (bumps
+    /// [`Catalog::version`]) even if the caller ends up not writing.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.version += 1;
         self.tables.get_mut(name)
     }
 
@@ -367,6 +395,7 @@ impl Catalog {
             .tables
             .get_mut(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        self.version += 1;
         if t.rows == 0 {
             t.rows = delta;
             return Ok(());
@@ -625,6 +654,32 @@ mod tests {
     #[test]
     fn builder_rejects_empty_table() {
         assert!(TableBuilder::new("t", 10).build().is_err());
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation_but_not_reads() {
+        let mut c = Catalog::new();
+        assert_eq!(c.version(), 0);
+        c.add_table(person());
+        let v1 = c.version();
+        assert!(v1 > 0);
+        let _ = c.table("person");
+        let _ = c.require_table("person");
+        let _ = c.tables().count();
+        assert_eq!(c.version(), v1, "reads must not bump the version");
+        let _ = c.table_mut("person");
+        let v2 = c.version();
+        assert!(v2 > v1);
+        c.grow_table("person", 10).unwrap();
+        assert!(c.version() > v2);
+        // Equality ignores the version: same contents, different history.
+        let mut c2 = Catalog::new();
+        c2.add_table(person());
+        c2.grow_table("person", 10).unwrap();
+        let _ = c2.table_mut("person");
+        let _ = c2.table_mut("person");
+        assert_ne!(c.version(), c2.version());
+        assert_eq!(c, c2);
     }
 
     #[test]

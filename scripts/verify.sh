@@ -20,7 +20,14 @@ echo "==> cargo doc --no-deps --offline --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 echo "==> metrics smoke-check (repro smoke: snapshot must re-parse, core counters non-zero)"
-cargo run --release --offline -p autoindex-bench --bin repro -- smoke
+SMOKE_OUT=$(cargo run --release --offline -p autoindex-bench --bin repro -- smoke)
+printf '%s\n' "$SMOKE_OUT"
+
+echo "==> perf smoke-check (decomposed delta-cost engine must actually share terms)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'estimator\.cost_cache\.hits' | grep -q 'ok'; then
+    echo "ERROR: estimator.cost_cache.hits is zero — the delta-cost cache is not engaged" >&2
+    exit 1
+fi
 
 echo "==> external dependency check (cargo tree must be all autoindex-*)"
 EXTERNAL=$(cargo tree --offline --workspace --prefix none -e normal,dev,build \
