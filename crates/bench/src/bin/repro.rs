@@ -112,7 +112,7 @@ fn smoke() {
         ai.observe(&q, &db).unwrap();
         let _ = db.execute(&autoindex_sql::parse_statement(&q).unwrap());
     }
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
 
     let snap = metrics.snapshot();
     let text = snap.to_string();
@@ -168,7 +168,122 @@ fn smoke() {
         eprintln!("smoke FAILED: see FAIL rows above");
         std::process::exit(1);
     }
+    smoke_guard_faults();
     println!("smoke OK: snapshot parseable, all core counters non-zero");
+}
+
+/// Fault-injection stage of the smoke target (`scripts/verify.sh` greps
+/// the two `ok` lines): with faults disabled a guarded apply must never
+/// roll back; at a 20% build-failure rate (zero retries) rollbacks must
+/// occur, and every run — either way — must leave the catalog exactly at
+/// the pre-apply snapshot or the fully applied recommendation.
+fn smoke_guard_faults() {
+    use autoindex_core::{ApplyVerdict, Guard, GuardConfig, Recommendation};
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::fault::{FaultPlan, FaultPlanConfig};
+    use autoindex_storage::index::IndexDef;
+    use autoindex_storage::{SimDb, SimDbConfig};
+    use autoindex_support::rng::derive_seed;
+    use std::collections::BTreeSet;
+
+    println!("\n--- guard fault-injection smoke ---");
+    let rec = Recommendation {
+        add: vec![IndexDef::new("s", &["a"]), IndexDef::new("s", &["a", "b"])],
+        remove: vec![IndexDef::new("s", &["b"])],
+        est_cost_before: 100.0,
+        est_cost_after: 40.0,
+    };
+    let fresh_db = || {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("s", 500_000)
+                .column(Column::int("id", 500_000))
+                .column(Column::int("a", 250_000))
+                .column(Column::int("b", 2_000))
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::with_metrics(
+            c,
+            SimDbConfig::default(),
+            autoindex_support::obs::MetricsRegistry::new(),
+        );
+        db.create_index(IndexDef::new("s", &["id"])).unwrap();
+        db.create_index(IndexDef::new("s", &["b"])).unwrap();
+        db
+    };
+    let keys = |db: &SimDb| -> BTreeSet<String> { db.indexes().map(|(_, d)| d.key()).collect() };
+
+    // One guarded apply per (rate, run) on a private registry; the guard is
+    // configured with zero build retries so a single injected build failure
+    // forces a rollback.
+    let run_matrix = |rate: f64, runs: u64| -> u64 {
+        let mut rollbacks = 0u64;
+        for run in 0..runs {
+            let mut db = fresh_db();
+            let pre = keys(&db);
+            let mut expected = pre.clone();
+            for d in &rec.remove {
+                expected.remove(&d.key());
+            }
+            for d in &rec.add {
+                expected.insert(d.key());
+            }
+            if rate > 0.0 {
+                db.set_fault_plan(Some(FaultPlan::new(FaultPlanConfig {
+                    seed: derive_seed(0x5A0_0E, run),
+                    build_failure: rate,
+                    transient_error: rate,
+                    ..FaultPlanConfig::default()
+                })));
+            }
+            let mut guard = Guard::new(
+                GuardConfig::builder().build_retries(0).build().unwrap(),
+                db.metrics(),
+            );
+            let (_, _, verdict) = guard.apply(&mut db, &rec, 0);
+            let post = keys(&db);
+            let mut rolled_back = 0u64;
+            let consistent = match verdict {
+                ApplyVerdict::Applied => post == expected,
+                ApplyVerdict::RolledBack { .. } => {
+                    rolled_back = 1;
+                    post == pre
+                }
+                ApplyVerdict::ShadowRejected { .. } => false,
+            };
+            if !consistent {
+                eprintln!("smoke FAILED: inconsistent catalog after guarded apply (rate {rate}, run {run}): {post:?}");
+                std::process::exit(1);
+            }
+            // Each run uses a private registry, so the counter must agree
+            // with this run's verdict exactly.
+            if rolled_back != db.metrics().counter_value("guard.rollbacks") {
+                eprintln!("smoke FAILED: guard.rollbacks counter out of sync");
+                std::process::exit(1);
+            }
+            rollbacks += rolled_back;
+        }
+        rollbacks
+    };
+
+    let quiet = run_matrix(0.0, 8);
+    let ok0 = quiet == 0;
+    println!(
+        "  guard.rollbacks (fault 0%)  {quiet:>12}  {}",
+        if ok0 { "ok" } else { "FAIL" }
+    );
+    let faulty = run_matrix(0.20, 24);
+    let ok20 = faulty >= 1;
+    println!(
+        "  guard.rollbacks (fault 20%) {faulty:>12}  {}",
+        if ok20 { "ok" } else { "FAIL" }
+    );
+    if !(ok0 && ok20) {
+        eprintln!("smoke FAILED: guard fault-injection stage");
+        std::process::exit(1);
+    }
 }
 
 fn fig5() {

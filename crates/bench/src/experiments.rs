@@ -296,7 +296,7 @@ pub fn fig8_templates(txns: usize) -> Fig8Outcome {
     let t0 = Instant::now();
     ai.observe_batch(queries.iter().map(String::as_str), &db_t);
     let templates = ai.template_count();
-    let _ = ai.tune(&mut db_t);
+    let _ = ai.session(&mut db_t).run().unwrap();
     let template_tuning = t0.elapsed();
     let template_latency_ms = db_t.run_workload(&stmts).total_latency_ms;
 
@@ -318,7 +318,7 @@ pub fn fig8_templates(txns: usize) -> Fig8Outcome {
         .iter()
         .map(|s| (QueryShape::extract(s, db_q.catalog()), 1))
         .collect();
-    let _ = ai_q.tune_with_workload(&mut db_q, &shapes);
+    let _ = ai_q.session(&mut db_q).workload(&shapes).run().unwrap();
     let query_tuning = t1.elapsed();
     let query_latency_ms = db_q.run_workload(&stmts).total_latency_ms;
 
@@ -409,7 +409,7 @@ pub fn fig9_dynamic(rounds: usize, txns_per_round: usize) -> Vec<Fig9Round> {
                     let t0 = Instant::now();
                     auto.observe_batch(queries.iter().map(String::as_str), db);
                     auto.refresh_statistics(db);
-                    let _ = auto.tune(db);
+                    let _ = auto.session(db).run().unwrap();
                     tuning_time = t0.elapsed();
                 }
             }
@@ -518,7 +518,7 @@ pub fn fig1_banking_removal(n_queries: usize) -> Fig1Outcome {
     let t0 = Instant::now();
     let mut ai = AutoIndex::new(AutoIndexConfig::default(), est);
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    let _ = ai.tune(&mut db);
+    let _ = ai.session(&mut db).run().unwrap();
     let management_time = t0.elapsed();
 
     let after_m = db.run_workload(&eval_stmts);
@@ -601,7 +601,7 @@ pub fn table2_table3_banking(n_queries: usize) -> (Table2Outcome, Vec<Table3Row>
         est,
     );
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
 
     let w_after = db.run_workload(&w_eval).throughput(50);
     let s_after = db.run_workload(&s_eval).throughput(16);
@@ -783,7 +783,7 @@ fn run_autoindex_with(
     let mut db = fresh_db(scenario, tpcc_db_config(TpccScale::X1));
     let mut ai = AutoIndex::new(config, crate::BorrowedEstimator(est));
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     let m = db.run_workload(stmts);
     (
         report.recommendation.improvement(),
@@ -866,7 +866,7 @@ pub fn ablation_prune(n_queries: usize) -> Vec<AblationRow> {
                 est,
             );
             ai.observe_batch(queries.iter().map(String::as_str), &db);
-            let report = ai.tune(&mut db);
+            let report = ai.session(&mut db).run().unwrap().report;
             let eval = parse_workload(&queries[..queries.len().min(2_000)]);
             let m = db.run_workload(&eval);
             AblationRow {
@@ -929,7 +929,7 @@ pub fn ablation_estimator(_txns: usize) -> Vec<AblationRow> {
             crate::BorrowedEstimator(&learned),
         );
         ai.observe_batch(w2.iter().map(String::as_str), &db);
-        let report = ai.tune(&mut db);
+        let report = ai.session(&mut db).run().unwrap().report;
         let m = db.run_workload(&eval);
         rows.push(AblationRow {
             setting: "estimator=learned".into(),
@@ -946,7 +946,7 @@ pub fn ablation_estimator(_txns: usize) -> Vec<AblationRow> {
             autoindex_estimator::NativeCostEstimator,
         );
         ai.observe_batch(w2.iter().map(String::as_str), &db);
-        let report = ai.tune(&mut db);
+        let report = ai.session(&mut db).run().unwrap().report;
         let m = db.run_workload(&eval);
         rows.push(AblationRow {
             setting: "estimator=native".into(),
@@ -975,7 +975,7 @@ pub fn ablation_template_capacity(txns: usize) -> Vec<AblationRow> {
             let mut ai = AutoIndex::new(cfg, crate::BorrowedEstimator(&est));
             ai.observe_batch(queries.iter().map(String::as_str), &db);
             let templates = ai.template_count();
-            let report = ai.tune(&mut db);
+            let report = ai.session(&mut db).run().unwrap().report;
             let m = db.run_workload(&stmts);
             AblationRow {
                 setting: format!("max_templates={cap}"),

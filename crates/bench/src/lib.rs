@@ -180,7 +180,7 @@ pub fn run_method<E: CostEstimator>(
                 BorrowedEstimator(estimator),
             );
             ai.observe_batch(observe.iter().map(String::as_str), &db);
-            let _ = ai.tune(&mut db);
+            let _ = ai.session(&mut db).run().unwrap();
             tuning_time = t0.elapsed();
         }
     }

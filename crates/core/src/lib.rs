@@ -24,21 +24,37 @@
 //!   apply DDL, incrementally, round after round.
 //! * [`online`] — the §III control loop: wraps a database and an advisor
 //!   so that executing the query stream automatically diagnoses and tunes.
+//! * [`guard`] — the guarded-apply pipeline (`docs/ROBUSTNESS.md`): shadow
+//!   admission of recommendations, pre-apply snapshots, fault-safe DDL
+//!   with retries, probation over measured latency, automatic rollback,
+//!   exponential cooldown and observe-only degradation.
+//! * [`session`] — the unified [`session::TuningSession`] builder that
+//!   replaces the historical `tune`/`recommend`/`apply_recommendation`
+//!   entry points.
+//! * [`error`] — [`error::AutoIndexError`], the crate-wide error type.
 
 pub mod candgen;
 pub mod delta;
 pub mod diagnosis;
+pub mod error;
 pub mod greedy;
+pub mod guard;
 pub mod mcts;
 pub mod online;
+pub mod session;
 pub mod system;
 pub mod templates;
 
 pub use candgen::{CandidateConfig, CandidateGenerator};
 pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
+pub use error::AutoIndexError;
 pub use greedy::{greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate};
-pub use mcts::{MctsConfig, MctsSearch, PolicyTree, SearchOutcome};
-pub use online::{OnlineAutoIndex, OnlineConfig, OnlineEvent};
-pub use system::{AutoIndex, AutoIndexConfig, Recommendation, TuningReport};
+pub use guard::{ApplyVerdict, Guard, GuardConfig, GuardConfigBuilder, GuardEvent, GuardPhase, IndexSnapshot};
+pub use mcts::{MctsConfig, MctsConfigBuilder, MctsSearch, PolicyTree, SearchOutcome};
+pub use online::{
+    FeedOutcome, OnlineAutoIndex, OnlineConfig, OnlineConfigBuilder, OnlineEvent, RollbackReason,
+};
+pub use session::{SessionReport, TuningSession};
+pub use system::{AutoIndex, AutoIndexConfig, AutoIndexConfigBuilder, Recommendation, TuningReport};
 pub use templates::{TemplateEntry, TemplateStore, TemplateStoreConfig};

@@ -293,6 +293,89 @@ impl Default for MctsConfig {
     }
 }
 
+impl MctsConfig {
+    /// Validated builder (preferred over struct-literal construction).
+    pub fn builder() -> MctsConfigBuilder {
+        MctsConfigBuilder {
+            cfg: MctsConfig::default(),
+        }
+    }
+
+    /// Builder pre-loaded with an existing configuration; used by
+    /// [`AutoIndexConfig::builder`](crate::AutoIndexConfig::builder) to
+    /// validate its nested search config.
+    pub fn builder_from(cfg: MctsConfig) -> MctsConfigBuilder {
+        MctsConfigBuilder { cfg }
+    }
+}
+
+/// Builder for [`MctsConfig`]; `build()` validates every field.
+#[derive(Debug, Clone)]
+pub struct MctsConfigBuilder {
+    cfg: MctsConfig,
+}
+
+impl MctsConfigBuilder {
+    pub fn iterations(mut self, v: usize) -> Self {
+        self.cfg.iterations = v;
+        self
+    }
+    pub fn gamma(mut self, v: f64) -> Self {
+        self.cfg.gamma = v;
+        self
+    }
+    pub fn rollouts(mut self, v: usize) -> Self {
+        self.cfg.rollouts = v;
+        self
+    }
+    pub fn rollout_depth(mut self, v: usize) -> Self {
+        self.cfg.rollout_depth = v;
+        self
+    }
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+    pub fn round_decay(mut self, v: f64) -> Self {
+        self.cfg.round_decay = v;
+        self
+    }
+    pub fn patience(mut self, v: usize) -> Self {
+        self.cfg.patience = v;
+        self
+    }
+    pub fn decomposed_eval(mut self, v: bool) -> Self {
+        self.cfg.decomposed_eval = v;
+        self
+    }
+    pub fn eval_threads(mut self, v: usize) -> Self {
+        self.cfg.eval_threads = v;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<MctsConfig, crate::error::AutoIndexError> {
+        use crate::error::invalid;
+        let c = self.cfg;
+        if c.iterations == 0 {
+            return Err(invalid("mcts.iterations", "must be >= 1"));
+        }
+        if !c.gamma.is_finite() || c.gamma < 0.0 {
+            return Err(invalid("mcts.gamma", "must be finite and >= 0"));
+        }
+        if c.rollout_depth == 0 {
+            return Err(invalid("mcts.rollout_depth", "must be >= 1"));
+        }
+        if !c.round_decay.is_finite() || !(0.0..=1.0).contains(&c.round_decay) {
+            return Err(invalid("mcts.round_decay", "must be in [0, 1]"));
+        }
+        if c.patience == 0 {
+            return Err(invalid("mcts.patience", "must be >= 1"));
+        }
+        Ok(c)
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     config: ConfigSet,

@@ -1,4 +1,4 @@
-//! The online management loop (§III Workflow).
+//! The online management loop (§III Workflow) with guarded apply.
 //!
 //! "For any new workload being executed in the database, we first diagnose
 //! the index problems when performance regression occurs. If any index
@@ -10,14 +10,20 @@
 //! that loop: every statement fed to it is executed *and* observed; at a
 //! configurable cadence the diagnosis module runs against live usage
 //! counters, and a firing diagnosis triggers a tuning round — no manual
-//! `tune()` calls. This is the deployment shape the paper describes: a
-//! management process sitting next to the database, consuming its query
-//! log.
+//! tuning calls. With [`OnlineConfig::guard`] set, tuning rounds go
+//! through the [`Guard`] pipeline: shadow admission, snapshotted fault-safe
+//! apply, measured-latency probation and automatic rollback with
+//! exponential backoff (see `docs/ROBUSTNESS.md`). This is the deployment
+//! shape the paper describes — a management process sitting next to the
+//! database, consuming its query log — made safe to leave unattended.
 
 use crate::diagnosis::DiagnosisReport;
+use crate::error::{invalid, AutoIndexError};
+use crate::guard::{ApplyVerdict, Guard, GuardConfig, GuardEvent, GuardPhase};
 use crate::system::{AutoIndex, TuningReport};
 use autoindex_estimator::CostEstimator;
 use autoindex_storage::{ExecOutcome, SimDb};
+use std::time::Instant;
 
 /// Cadence and guard rails for the online loop.
 #[derive(Debug, Clone)]
@@ -27,7 +33,8 @@ pub struct OnlineConfig {
     /// A value of `0` is treated as `1` (diagnose after every statement):
     /// the cadence check is `executed % interval == 0`, and `% 0` would
     /// otherwise make the condition *never* true, silently disabling
-    /// diagnosis forever. [`OnlineAutoIndex::new`] clamps accordingly.
+    /// diagnosis forever. [`OnlineAutoIndex::new`] clamps accordingly;
+    /// [`OnlineConfig::builder`] rejects `0` outright.
     pub diagnosis_interval: u64,
     /// Minimum statements between two tuning rounds (cool-down, so a round
     /// has time to show its effect in the usage counters).
@@ -35,6 +42,10 @@ pub struct OnlineConfig {
     /// Reset usage counters after each tuning round (a fresh measurement
     /// window for the new configuration).
     pub reset_usage_after_tuning: bool,
+    /// Run every tuning round through the guard pipeline (shadow
+    /// admission, probation, automatic rollback). `None` applies
+    /// recommendations unconditionally, as before PR 4.
+    pub guard: Option<GuardConfig>,
 }
 
 impl Default for OnlineConfig {
@@ -43,8 +54,76 @@ impl Default for OnlineConfig {
             diagnosis_interval: 1_000,
             tuning_cooldown: 2_000,
             reset_usage_after_tuning: true,
+            guard: None,
         }
     }
+}
+
+impl OnlineConfig {
+    /// Validated builder (preferred over struct-literal construction).
+    pub fn builder() -> OnlineConfigBuilder {
+        OnlineConfigBuilder {
+            cfg: OnlineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`OnlineConfig`]; `build()` validates every field.
+#[derive(Debug, Clone)]
+pub struct OnlineConfigBuilder {
+    cfg: OnlineConfig,
+}
+
+impl OnlineConfigBuilder {
+    pub fn diagnosis_interval(mut self, v: u64) -> Self {
+        self.cfg.diagnosis_interval = v;
+        self
+    }
+    pub fn tuning_cooldown(mut self, v: u64) -> Self {
+        self.cfg.tuning_cooldown = v;
+        self
+    }
+    pub fn reset_usage_after_tuning(mut self, v: bool) -> Self {
+        self.cfg.reset_usage_after_tuning = v;
+        self
+    }
+    pub fn guard(mut self, v: impl Into<Option<GuardConfig>>) -> Self {
+        self.cfg.guard = v.into();
+        self
+    }
+
+    /// Validate and build. Unlike the legacy clamp, a zero
+    /// `diagnosis_interval` is an error here — silent correction hides
+    /// misconfiguration.
+    pub fn build(self) -> Result<OnlineConfig, AutoIndexError> {
+        let c = self.cfg;
+        if c.diagnosis_interval == 0 {
+            return Err(invalid(
+                "online.diagnosis_interval",
+                "must be >= 1 (diagnosis would otherwise never run)",
+            ));
+        }
+        Ok(c)
+    }
+}
+
+/// Why a guarded configuration change was undone.
+#[derive(Debug, Clone)]
+pub enum RollbackReason {
+    /// DDL kept faulting during apply; the pre-apply snapshot was
+    /// restored before anything became visible.
+    ApplyFaults {
+        build_faults: u32,
+        restored_fingerprint: u64,
+    },
+    /// Measured latency regressed beyond `max_regression` during
+    /// probation.
+    ProbationRegression {
+        baseline_ms: f64,
+        probation_ms: f64,
+        regression: f64,
+        restored_fingerprint: u64,
+    },
 }
 
 /// What happened as a side effect of feeding one statement.
@@ -54,11 +133,57 @@ pub enum OnlineEvent {
     Executed,
     /// Diagnosis ran and did not fire.
     DiagnosedHealthy(DiagnosisReport),
-    /// Diagnosis fired and a tuning round ran.
+    /// Diagnosis fired and an *unguarded* tuning round ran (also used for
+    /// guarded rounds whose recommendation was a no-op).
     Tuned {
         diagnosis: DiagnosisReport,
         report: TuningReport,
     },
+    /// Diagnosis fired and a guarded round applied a change; probation is
+    /// armed until the given statement count.
+    GuardApplied {
+        diagnosis: DiagnosisReport,
+        report: TuningReport,
+        probation_until: u64,
+    },
+    /// The guard's shadow check rejected the recommendation; no DDL ran.
+    ShadowRejected {
+        diagnosis: DiagnosisReport,
+        improvement: f64,
+        required: f64,
+    },
+    /// A guarded change was undone (apply fault or probation regression).
+    RolledBack(RollbackReason),
+    /// Probation ended without a regression; the change is permanent.
+    ProbationPassed {
+        baseline_ms: f64,
+        probation_ms: f64,
+    },
+    /// A failure cooldown expired; tuning is possible again.
+    CooldownEnded,
+    /// Repeated failures drove the guard into observe-only mode; tuning is
+    /// suspended until [`OnlineAutoIndex::reset_guard`].
+    ObserveOnlyEntered,
+}
+
+/// Everything [`OnlineAutoIndex::feed`] has to say about one statement.
+///
+/// Replaces the old `(Option<ExecOutcome>, OnlineEvent)` tuple, whose
+/// `None` conflated "statement did not parse" with "template matching
+/// failed" — and silently discarded the latter's [`ExecOutcome`]. Now the
+/// outcome is present whenever the statement executed, and any
+/// template/parse failure rides alongside in `error`.
+#[derive(Debug, Clone)]
+pub struct FeedOutcome {
+    /// The execution measurement; `None` only when the statement could not
+    /// be parsed (and therefore never executed).
+    pub outcome: Option<ExecOutcome>,
+    /// The control-loop event this statement triggered.
+    pub event: OnlineEvent,
+    /// Parse or template-matching failure, if any. A `Some` here with
+    /// `outcome: Some(..)` means the statement *executed* but the advisor
+    /// could not learn from it.
+    pub error: Option<AutoIndexError>,
 }
 
 /// The self-driving wrapper: database + advisor + the §III control loop.
@@ -66,6 +191,7 @@ pub struct OnlineAutoIndex<E: CostEstimator> {
     db: SimDb,
     advisor: AutoIndex<E>,
     config: OnlineConfig,
+    guard: Option<Guard>,
     executed: u64,
     last_tuning_at: Option<u64>,
     /// Number of tuning rounds triggered so far.
@@ -77,13 +203,19 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
     ///
     /// `diagnosis_interval == 0` is clamped to `1` — see
     /// [`OnlineConfig::diagnosis_interval`] for why `0` would otherwise
-    /// silently disable diagnosis.
+    /// silently disable diagnosis. Use [`OnlineConfig::builder`] to get an
+    /// error instead of the clamp.
     pub fn new(db: SimDb, advisor: AutoIndex<E>, mut config: OnlineConfig) -> Self {
         config.diagnosis_interval = config.diagnosis_interval.max(1);
+        let guard = config
+            .guard
+            .clone()
+            .map(|g| Guard::new(g, db.metrics()));
         OnlineAutoIndex {
             db,
             advisor,
             config,
+            guard,
             executed: 0,
             last_tuning_at: None,
             tuning_rounds: 0,
@@ -95,9 +227,28 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
         &self.db
     }
 
+    /// Mutable access to the wrapped database (fault-plan installation,
+    /// catalog adjustments).
+    pub fn db_mut(&mut self) -> &mut SimDb {
+        &mut self.db
+    }
+
     /// The wrapped advisor.
     pub fn advisor(&self) -> &AutoIndex<E> {
         &self.advisor
+    }
+
+    /// The guard state machine, when configured.
+    pub fn guard(&self) -> Option<&Guard> {
+        self.guard.as_ref()
+    }
+
+    /// Operator override: return an observe-only (or cooling-down) guard
+    /// to idle. No-op without a guard.
+    pub fn reset_guard(&mut self) {
+        if let Some(g) = &mut self.guard {
+            g.reset();
+        }
     }
 
     /// Statements executed so far.
@@ -107,18 +258,71 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
 
     /// Execute one statement from the stream, observe it, and run the
     /// control loop. Unparseable statements are executed… nowhere — the
-    /// simulator needs an AST — so they are skipped with `Executed` (a real
-    /// deployment would pass them straight to the server).
-    pub fn feed(&mut self, sql: &str) -> (Option<ExecOutcome>, OnlineEvent) {
-        let Ok(stmt) = autoindex_sql::parse_statement(sql) else {
-            return (None, OnlineEvent::Executed);
+    /// simulator needs an AST — so they surface as `outcome: None` with
+    /// the parse error attached (a real deployment would pass them
+    /// straight to the server).
+    pub fn feed(&mut self, sql: &str) -> FeedOutcome {
+        let stmt = match autoindex_sql::parse_statement(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                return FeedOutcome {
+                    outcome: None,
+                    event: OnlineEvent::Executed,
+                    error: Some(e.into()),
+                }
+            }
         };
         let outcome = self.db.execute(&stmt);
-        let _ = self.advisor.observe(sql, &self.db);
+        // The statement executed; a template-matching failure must not
+        // discard the measurement (the old `(None, event)` ambiguity).
+        let error = self
+            .advisor
+            .observe(sql, &self.db)
+            .err()
+            .map(AutoIndexError::from);
         self.executed += 1;
 
+        // Guard lifecycle first: probation verdicts and cooldown expiry
+        // take precedence over starting new work.
+        if let Some(g) = &mut self.guard {
+            g.record_latency(outcome.latency_ms);
+            if let Some(ev) = g.poll(self.executed, &mut self.db) {
+                let event = match ev {
+                    GuardEvent::ProbationPassed {
+                        baseline_ms,
+                        probation_ms,
+                    } => OnlineEvent::ProbationPassed {
+                        baseline_ms,
+                        probation_ms,
+                    },
+                    GuardEvent::RolledBack {
+                        baseline_ms,
+                        probation_ms,
+                        regression,
+                        restored_fingerprint,
+                    } => OnlineEvent::RolledBack(RollbackReason::ProbationRegression {
+                        baseline_ms,
+                        probation_ms,
+                        regression,
+                        restored_fingerprint,
+                    }),
+                    GuardEvent::CooldownEnded => OnlineEvent::CooldownEnded,
+                    GuardEvent::EnteredObserveOnly => OnlineEvent::ObserveOnlyEntered,
+                };
+                return FeedOutcome {
+                    outcome: Some(outcome),
+                    event,
+                    error,
+                };
+            }
+        }
+
         if !self.executed.is_multiple_of(self.config.diagnosis_interval) {
-            return (Some(outcome), OnlineEvent::Executed);
+            return FeedOutcome {
+                outcome: Some(outcome),
+                event: OnlineEvent::Executed,
+                error,
+            };
         }
         if let Some(t) = self.last_tuning_at {
             if self.executed - t < self.config.tuning_cooldown {
@@ -126,44 +330,126 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
                     .metrics()
                     .counter("online.cooldown_suppressions")
                     .incr();
-                return (Some(outcome), OnlineEvent::Executed);
+                return FeedOutcome {
+                    outcome: Some(outcome),
+                    event: OnlineEvent::Executed,
+                    error,
+                };
+            }
+        }
+        // The guard gates tuning while in probation/cooldown/observe-only.
+        if let Some(g) = &self.guard {
+            if !g.can_tune() {
+                self.db
+                    .metrics()
+                    .counter("online.guard_suppressions")
+                    .incr();
+                return FeedOutcome {
+                    outcome: Some(outcome),
+                    event: OnlineEvent::Executed,
+                    error,
+                };
             }
         }
         let diagnosis = self.advisor.diagnose(&self.db);
         self.db.metrics().counter("online.diagnoses_run").incr();
         if !diagnosis.should_tune {
-            return (Some(outcome), OnlineEvent::DiagnosedHealthy(diagnosis));
+            return FeedOutcome {
+                outcome: Some(outcome),
+                event: OnlineEvent::DiagnosedHealthy(diagnosis),
+                error,
+            };
         }
         self.db.metrics().counter("online.diagnoses_fired").incr();
-        let report = {
+        let event = {
             let _round = self.db.metrics().scoped("online.tuning_round_time");
-            self.advisor.tune(&mut self.db)
+            self.tuning_round(diagnosis)
         };
+        FeedOutcome {
+            outcome: Some(outcome),
+            event,
+            error,
+        }
+    }
+
+    /// One tuning round (guarded or not) after a fired diagnosis.
+    fn tuning_round(&mut self, diagnosis: DiagnosisReport) -> OnlineEvent {
+        let start = Instant::now();
         self.db.metrics().counter("online.tuning_rounds").incr();
         self.last_tuning_at = Some(self.executed);
-        // Count only rounds that actually changed the configuration; a
-        // no-op round still resets the cooldown clock.
-        if !report.recommendation.is_noop() {
-            self.tuning_rounds += 1;
-        }
+
+        let w = self.advisor.workload();
+        let rec = self.advisor.compute_recommendation(&self.db, &w);
+
+        let event = match &mut self.guard {
+            None => {
+                let report = self.advisor.apply_unguarded(&mut self.db, rec, start);
+                if !report.recommendation.is_noop() {
+                    self.tuning_rounds += 1;
+                }
+                OnlineEvent::Tuned { diagnosis, report }
+            }
+            Some(g) => {
+                let noop = rec.is_noop();
+                let (created, dropped, verdict) = g.apply(&mut self.db, &rec, self.executed);
+                match verdict {
+                    ApplyVerdict::Applied => {
+                        let report =
+                            self.advisor.report_from_parts(rec, created, dropped, start);
+                        if noop {
+                            // Nothing changed; no probation was armed.
+                            OnlineEvent::Tuned { diagnosis, report }
+                        } else {
+                            self.tuning_rounds += 1;
+                            let probation_until = match g.phase() {
+                                GuardPhase::Probation { until } => *until,
+                                _ => self.executed,
+                            };
+                            OnlineEvent::GuardApplied {
+                                diagnosis,
+                                report,
+                                probation_until,
+                            }
+                        }
+                    }
+                    ApplyVerdict::ShadowRejected {
+                        improvement,
+                        required,
+                    } => OnlineEvent::ShadowRejected {
+                        diagnosis,
+                        improvement,
+                        required,
+                    },
+                    ApplyVerdict::RolledBack {
+                        build_faults,
+                        restored_fingerprint,
+                    } => OnlineEvent::RolledBack(RollbackReason::ApplyFaults {
+                        build_faults,
+                        restored_fingerprint,
+                    }),
+                }
+            }
+        };
         if self.config.reset_usage_after_tuning {
             self.db.reset_usage();
         }
-        (
-            Some(outcome),
-            OnlineEvent::Tuned { diagnosis, report },
-        )
+        event
     }
 
-    /// Feed a whole stream; returns the tuning events that occurred.
+    /// Feed a whole stream; returns the tuning events that performed DDL
+    /// (unguarded rounds and guarded applies).
     pub fn feed_all<'q>(
         &mut self,
         sqls: impl IntoIterator<Item = &'q str>,
     ) -> Vec<(u64, TuningReport)> {
         let mut out = Vec::new();
         for q in sqls {
-            if let (_, OnlineEvent::Tuned { report, .. }) = self.feed(q) {
-                out.push((self.executed, report));
+            match self.feed(q).event {
+                OnlineEvent::Tuned { report, .. }
+                | OnlineEvent::GuardApplied { report, .. } => {
+                    out.push((self.executed, report));
+                }
+                _ => {}
             }
         }
         out
@@ -181,8 +467,10 @@ mod tests {
     use crate::system::AutoIndexConfig;
     use autoindex_estimator::NativeCostEstimator;
     use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::fault::{FaultPlan, FaultPlanConfig};
     use autoindex_storage::index::IndexDef;
     use autoindex_storage::SimDbConfig;
+    use autoindex_support::obs::MetricsRegistry;
 
     fn db() -> SimDb {
         let mut c = Catalog::new();
@@ -195,7 +483,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let mut db = SimDb::new(c, SimDbConfig::default());
+        let mut db = SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new());
         db.create_index(IndexDef::new("t", &["id"])).unwrap();
         db
     }
@@ -208,7 +496,21 @@ mod tests {
                 diagnosis_interval: 200,
                 tuning_cooldown: 400,
                 reset_usage_after_tuning: true,
+                guard: None,
             },
+        )
+    }
+
+    fn guarded(guard: GuardConfig) -> OnlineAutoIndex<NativeCostEstimator> {
+        OnlineAutoIndex::new(
+            db(),
+            AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
+            OnlineConfig::builder()
+                .diagnosis_interval(200)
+                .tuning_cooldown(400)
+                .guard(Some(guard))
+                .build()
+                .unwrap(),
         )
     }
 
@@ -266,6 +568,7 @@ mod tests {
                 diagnosis_interval: 100,
                 tuning_cooldown: 10_000, // effectively once
                 reset_usage_after_tuning: true,
+                guard: None,
             },
         );
         o.feed_all(
@@ -279,9 +582,14 @@ mod tests {
     }
 
     #[test]
-    fn zero_diagnosis_interval_is_clamped_and_still_diagnoses() {
+    fn zero_diagnosis_interval_is_clamped_by_new_and_rejected_by_builder() {
         // Regression: `executed % 0 == 0` is never true, so interval 0 used
-        // to disable diagnosis forever. It now means "after every statement".
+        // to disable diagnosis forever. `new` clamps to 1; the builder
+        // makes it a hard error.
+        assert!(matches!(
+            OnlineConfig::builder().diagnosis_interval(0).build(),
+            Err(AutoIndexError::InvalidConfig { field, .. }) if field == "online.diagnosis_interval"
+        ));
         let mut o = OnlineAutoIndex::new(
             db(),
             AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
@@ -289,12 +597,13 @@ mod tests {
                 diagnosis_interval: 0,
                 tuning_cooldown: 0,
                 reset_usage_after_tuning: true,
+                guard: None,
             },
         );
         let mut diagnosed = 0usize;
         for i in 0..300 {
-            let (_, event) = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
-            if !matches!(event, OnlineEvent::Executed) {
+            let fed = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+            if !matches!(fed.event, OnlineEvent::Executed) {
                 diagnosed += 1;
             }
         }
@@ -309,12 +618,21 @@ mod tests {
     }
 
     #[test]
-    fn unparseable_statements_are_skipped() {
+    fn unparseable_statements_surface_the_parse_error() {
         let mut o = online();
-        let (outcome, event) = o.feed("THIS IS NOT SQL");
-        assert!(outcome.is_none());
-        assert!(matches!(event, OnlineEvent::Executed));
+        let fed = o.feed("THIS IS NOT SQL");
+        assert!(fed.outcome.is_none());
+        assert!(matches!(fed.event, OnlineEvent::Executed));
+        assert!(
+            matches!(fed.error, Some(AutoIndexError::Sql(_))),
+            "parse failures are structured errors now: {:?}",
+            fed.error
+        );
         assert_eq!(o.executed(), 0);
+        // Parseable statements carry no error and a real outcome.
+        let ok = o.feed("SELECT * FROM t WHERE a = 1");
+        assert!(ok.outcome.is_some());
+        assert!(ok.error.is_none());
     }
 
     #[test]
@@ -324,5 +642,170 @@ mod tests {
         let (db, advisor) = o.into_parts();
         assert_eq!(db.usage().statements, 1);
         assert_eq!(advisor.template_count(), 1);
+    }
+
+    // ---------------------------------------------------------- guard path
+
+    #[test]
+    fn guarded_loop_without_faults_matches_unguarded_index_set() {
+        let queries: Vec<String> = (0..900)
+            .map(|i| format!("SELECT * FROM t WHERE a = {i}"))
+            .collect();
+        let run = |guard: Option<GuardConfig>| {
+            let mut o = OnlineAutoIndex::new(
+                db(),
+                AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
+                OnlineConfig {
+                    diagnosis_interval: 200,
+                    tuning_cooldown: 400,
+                    reset_usage_after_tuning: true,
+                    guard,
+                },
+            );
+            o.feed_all(queries.iter().map(String::as_str));
+            let mut keys: Vec<String> = o.db().indexes().map(|(_, d)| d.key()).collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(run(None), run(Some(GuardConfig::default())));
+    }
+
+    #[test]
+    fn guarded_apply_enters_probation_then_passes_on_improvement() {
+        let mut o = guarded(GuardConfig {
+            probation_statements: 100,
+            min_probation_samples: 10,
+            ..GuardConfig::default()
+        });
+        let mut applied = false;
+        let mut passed = false;
+        for i in 0..1_200 {
+            let fed = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+            match fed.event {
+                OnlineEvent::GuardApplied { .. } => applied = true,
+                OnlineEvent::ProbationPassed {
+                    baseline_ms,
+                    probation_ms,
+                } => {
+                    passed = true;
+                    assert!(
+                        probation_ms < baseline_ms,
+                        "the index makes point lookups faster: {probation_ms} vs {baseline_ms}"
+                    );
+                }
+                OnlineEvent::RolledBack(r) => panic!("unexpected rollback: {r:?}"),
+                _ => {}
+            }
+        }
+        assert!(applied, "guarded apply must have fired");
+        assert!(passed, "probation must have delivered a verdict");
+        assert!(o.db().indexes().any(|(_, d)| d.key() == "t(a)"));
+        assert_eq!(o.db().metrics().counter_value("guard.probation_passes"), 1);
+    }
+
+    #[test]
+    fn harmful_recommendation_is_rolled_back_in_probation() {
+        // The native estimator is maintenance-blind: a rare SELECT template
+        // makes it recommend an index even when the measured workload is
+        // dominated by writes that pay that index's maintenance. The guard
+        // must catch the measured regression and roll back.
+        let mut o = guarded(GuardConfig {
+            probation_statements: 150,
+            min_probation_samples: 20,
+            baseline_window: 150,
+            max_regression: 0.02,
+            cooldown_initial: 10_000,
+            ..GuardConfig::default()
+        });
+        // Register the SELECT template early (and keep its weight alive),
+        // then switch to pure insert traffic before the diagnosis boundary
+        // so both baseline and probation windows measure inserts only.
+        for i in 0..40 {
+            o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+        }
+        let mut rolled_back = false;
+        let mut applied = false;
+        for i in 0..2_000 {
+            let fed = o.feed(&format!(
+                "INSERT INTO t (id, a, b) VALUES ({i}, {i}, {})",
+                i % 7
+            ));
+            match fed.event {
+                OnlineEvent::GuardApplied { .. } => applied = true,
+                OnlineEvent::RolledBack(RollbackReason::ProbationRegression {
+                    regression,
+                    ..
+                }) => {
+                    rolled_back = true;
+                    assert!(regression > 0.02);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(applied, "the maintenance-blind estimator must recommend the index");
+        assert!(rolled_back, "probation must measure the regression and roll back");
+        assert!(
+            !o.db().indexes().any(|(_, d)| d.key().starts_with("t(a")),
+            "the harmful index is gone after rollback"
+        );
+        assert!(o.db().metrics().counter_value("guard.rollbacks") >= 1);
+        assert!(matches!(o.guard().unwrap().phase(), GuardPhase::Cooldown { .. }));
+    }
+
+    #[test]
+    fn persistent_build_faults_degrade_to_observe_only() {
+        let mut o = guarded(GuardConfig {
+            observe_only_after: 2,
+            cooldown_initial: 100,
+            cooldown_factor: 2.0,
+            cooldown_max: 200,
+            ..GuardConfig::default()
+        });
+        o.db_mut().set_fault_plan(Some(FaultPlan::new(FaultPlanConfig {
+            build_failure: 1.0,
+            ..FaultPlanConfig::default()
+        })));
+        let mut rollbacks = 0;
+        let mut observe_only = false;
+        for i in 0..3_000 {
+            let fed = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+            match fed.event {
+                OnlineEvent::RolledBack(RollbackReason::ApplyFaults { .. }) => rollbacks += 1,
+                OnlineEvent::ObserveOnlyEntered => {
+                    observe_only = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        // Depending on where the second failure lands, the observe-only
+        // entry may arrive from apply (no event loop pass) — check state.
+        let phase_observe =
+            matches!(o.guard().unwrap().phase(), GuardPhase::ObserveOnly);
+        assert!(rollbacks >= 1, "at least one apply rollback");
+        assert!(
+            observe_only || phase_observe,
+            "repeated failures must suspend tuning"
+        );
+        assert_eq!(o.db().index_count(), 1, "only the PK index survives");
+        assert!(
+            o.db().metrics().counter_value("guard.observe_only_entries") >= 1
+        );
+        // Operator reset re-arms tuning.
+        o.reset_guard();
+        assert!(o.guard().unwrap().can_tune());
+    }
+
+    #[test]
+    fn observe_error_keeps_the_outcome() {
+        // Parseable by the statement parser but rejected by template
+        // extraction is hard to fabricate; instead verify the contract
+        // directly: outcome and error are independent fields, and a
+        // successful observe leaves error None while executed advances.
+        let mut o = online();
+        let fed = o.feed("SELECT * FROM t WHERE a = 1");
+        assert!(fed.outcome.is_some() && fed.error.is_none());
+        assert_eq!(o.executed(), 1);
     }
 }

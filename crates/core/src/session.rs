@@ -1,0 +1,303 @@
+//! The unified tuning entry point.
+//!
+//! PR 4 collapses the historically duplicated surfaces — `tune`,
+//! `tune_with_workload`, `recommend`, `recommend_for`,
+//! `apply_recommendation` — behind one builder-style session:
+//!
+//! ```
+//! use autoindex_core::{AutoIndex, AutoIndexConfig, GuardConfig};
+//! use autoindex_estimator::NativeCostEstimator;
+//! use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+//! use autoindex_storage::{SimDb, SimDbConfig};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.add_table(
+//!     TableBuilder::new("t", 100_000)
+//!         .column(Column::int("a", 100_000))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let mut db = SimDb::new(catalog, SimDbConfig::default());
+//! let mut advisor = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+//! for i in 0..200 {
+//!     advisor.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+//! }
+//! // Recommend + guarded apply, one call chain:
+//! let outcome = advisor
+//!     .session(&mut db)
+//!     .guarded(GuardConfig::default())
+//!     .run()
+//!     .unwrap();
+//! assert!(!outcome.report.created.is_empty());
+//! ```
+//!
+//! A session *recommends* (optionally for an explicit workload), then
+//! either stops there ([`TuningSession::recommend_only`]), applies
+//! unguarded (the default, matching the legacy `tune` semantics
+//! byte-for-byte), or applies through the [`Guard`] pipeline
+//! ([`TuningSession::guarded`]): shadow admission, snapshot, fault-safe
+//! DDL with retries, and automatic rollback if the database keeps
+//! faulting. With faults disabled the guarded path performs the same
+//! DDL in the same order and makes the same number of what-if calls as
+//! the unguarded one.
+
+use crate::error::AutoIndexError;
+use crate::guard::{ApplyVerdict, Guard, GuardConfig};
+use crate::system::{AutoIndex, Recommendation, TuningReport};
+use autoindex_estimator::{CostEstimator, TemplateWorkload};
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::SimDb;
+use std::time::Instant;
+
+/// What a [`TuningSession`] run produced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The tuning round's full report (recommendation, DDL performed,
+    /// telemetry). After a guarded rollback `created`/`dropped` are empty.
+    pub report: TuningReport,
+    /// The guard's verdict, when the session ran guarded.
+    pub guard: Option<ApplyVerdict>,
+}
+
+impl SessionReport {
+    /// The recommendation the session computed.
+    pub fn recommendation(&self) -> &Recommendation {
+        &self.report.recommendation
+    }
+
+    /// Whether a guarded apply was rolled back.
+    pub fn rolled_back(&self) -> bool {
+        matches!(self.guard, Some(ApplyVerdict::RolledBack { .. }))
+    }
+
+    /// Whether the shadow check rejected the recommendation (no DDL ran).
+    pub fn shadow_rejected(&self) -> bool {
+        matches!(self.guard, Some(ApplyVerdict::ShadowRejected { .. }))
+    }
+}
+
+/// Builder-style tuning session over one advisor and one database. See
+/// the [module docs](self) for the full flow.
+pub struct TuningSession<'a, 'd, E: CostEstimator> {
+    advisor: &'a mut AutoIndex<E>,
+    db: &'d mut SimDb,
+    workload: Option<Vec<(QueryShape, u64)>>,
+    guard: Option<GuardConfig>,
+    recommendation: Option<Recommendation>,
+    recommend_only: bool,
+}
+
+impl<'a, 'd, E: CostEstimator> TuningSession<'a, 'd, E> {
+    pub(crate) fn new(advisor: &'a mut AutoIndex<E>, db: &'d mut SimDb) -> Self {
+        TuningSession {
+            advisor,
+            db,
+            workload: None,
+            guard: None,
+            recommendation: None,
+            recommend_only: false,
+        }
+    }
+
+    /// Recommend for an explicit workload instead of the observed
+    /// templates (the query-level ablation mode).
+    pub fn workload(mut self, workload: &TemplateWorkload) -> Self {
+        self.workload = Some(workload.to_vec());
+        self
+    }
+
+    /// Apply through the guard pipeline: shadow admission, pre-apply
+    /// snapshot, fault-safe DDL and automatic rollback.
+    pub fn guarded(mut self, config: GuardConfig) -> Self {
+        self.guard = Some(config);
+        self
+    }
+
+    /// Compute the recommendation but perform no DDL (the legacy
+    /// `recommend`/`recommend_for` semantics).
+    pub fn recommend_only(mut self) -> Self {
+        self.recommend_only = true;
+        self
+    }
+
+    /// Skip recommendation and apply this exact, previously computed (and
+    /// possibly operator-approved) recommendation.
+    pub fn with_recommendation(mut self, rec: Recommendation) -> Self {
+        self.recommendation = Some(rec);
+        self
+    }
+
+    /// Run the session: recommend (unless a recommendation was supplied),
+    /// then apply per the builder's mode.
+    pub fn run(self) -> Result<SessionReport, AutoIndexError> {
+        let start = Instant::now();
+        let rec = match self.recommendation {
+            Some(r) => r,
+            None => match &self.workload {
+                Some(w) => self.advisor.compute_recommendation(self.db, w),
+                None => {
+                    let w = self.advisor.workload();
+                    self.advisor.compute_recommendation(self.db, &w)
+                }
+            },
+        };
+
+        if self.recommend_only {
+            let report = self
+                .advisor
+                .report_from_parts(rec, Vec::new(), Vec::new(), start);
+            return Ok(SessionReport {
+                report,
+                guard: None,
+            });
+        }
+
+        match self.guard {
+            None => {
+                let report = self.advisor.apply_unguarded(self.db, rec, start);
+                Ok(SessionReport {
+                    report,
+                    guard: None,
+                })
+            }
+            Some(cfg) => {
+                let mut guard = Guard::new(cfg, self.db.metrics());
+                let (created, dropped, verdict) = guard.apply(self.db, &rec, 0);
+                let report = self.advisor.report_from_parts(rec, created, dropped, start);
+                Ok(SessionReport {
+                    report,
+                    guard: Some(verdict),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::AutoIndexConfig;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::fault::{FaultPlan, FaultPlanConfig};
+    use autoindex_storage::index::IndexDef;
+    use autoindex_storage::SimDbConfig;
+    use autoindex_support::obs::MetricsRegistry;
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 800_000)
+                .column(Column::int("id", 800_000))
+                .column(Column::int("a", 400_000))
+                .column(Column::int("b", 4_000))
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new())
+    }
+
+    fn observed_advisor(db: &SimDb) -> AutoIndex<NativeCostEstimator> {
+        let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+        for i in 0..300 {
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), db).unwrap();
+        }
+        ai
+    }
+
+    #[test]
+    fn session_run_applies_like_legacy_tune() {
+        let mut db = db();
+        let mut ai = observed_advisor(&db);
+        let out = ai.session(&mut db).run().unwrap();
+        assert!(!out.report.created.is_empty());
+        assert!(out.guard.is_none());
+        assert!(db.indexes().any(|(_, d)| d.key() == "t(a)"));
+        assert!(out.report.evaluations > 0, "telemetry flows through");
+    }
+
+    #[test]
+    fn recommend_only_performs_no_ddl() {
+        let mut db = db();
+        let mut ai = observed_advisor(&db);
+        let out = ai.session(&mut db).recommend_only().run().unwrap();
+        assert!(!out.recommendation().add.is_empty());
+        assert!(out.report.created.is_empty());
+        assert_eq!(db.index_count(), 0);
+    }
+
+    #[test]
+    fn with_recommendation_applies_verbatim() {
+        let mut db = db();
+        let mut ai = observed_advisor(&db);
+        let rec = ai.session(&mut db).recommend_only().run().unwrap().report.recommendation;
+        let out = ai.session(&mut db).with_recommendation(rec.clone()).run().unwrap();
+        assert_eq!(out.report.created.len(), rec.add.len());
+    }
+
+    #[test]
+    fn guarded_session_without_faults_is_equivalent_to_unguarded() {
+        // Byte-identical recommendation and identical whatif counts: the
+        // PR4 acceptance criterion, checked at the unit level (the repo's
+        // integration test does it end-to-end).
+        let run = |guarded: bool| {
+            let mut db = db();
+            let mut ai = observed_advisor(&db);
+            let s = ai.session(&mut db);
+            let out = if guarded {
+                s.guarded(GuardConfig::default()).run().unwrap()
+            } else {
+                s.run().unwrap()
+            };
+            let whatifs = db.metrics().counter_value("db.whatif_calls");
+            let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
+            (out.report.recommendation.clone(), whatifs, keys)
+        };
+        let (rec_u, whatif_u, keys_u) = run(false);
+        let (rec_g, whatif_g, keys_g) = run(true);
+        assert_eq!(format!("{rec_u:?}"), format!("{rec_g:?}"), "byte-identical recommendation");
+        assert_eq!(whatif_u, whatif_g, "guard must not add what-if probes");
+        assert_eq!(keys_u, keys_g, "same final index set");
+    }
+
+    #[test]
+    fn guarded_session_rolls_back_under_persistent_build_faults() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["id"])).unwrap();
+        let pre: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
+        let mut ai = observed_advisor(&db);
+        db.set_fault_plan(Some(FaultPlan::new(FaultPlanConfig {
+            build_failure: 1.0,
+            ..FaultPlanConfig::default()
+        })));
+        let out = ai
+            .session(&mut db)
+            .guarded(GuardConfig::default())
+            .run()
+            .unwrap();
+        assert!(out.rolled_back(), "{:?}", out.guard);
+        assert!(out.report.created.is_empty());
+        let post: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
+        assert_eq!(pre, post, "catalog restored to the pre-apply state");
+        assert!(db.metrics().counter_value("guard.rollbacks") >= 1);
+    }
+
+    #[test]
+    fn explicit_workload_matches_observed_templates() {
+        let mut db = db();
+        let mut ai = observed_advisor(&db);
+        let w = ai.workload();
+        let via_workload = ai
+            .session(&mut db)
+            .workload(&w)
+            .recommend_only()
+            .run()
+            .unwrap();
+        let via_observed = ai.session(&mut db).recommend_only().run().unwrap();
+        assert_eq!(
+            format!("{:?}", via_workload.report.recommendation),
+            format!("{:?}", via_observed.report.recommendation)
+        );
+    }
+}

@@ -11,7 +11,9 @@
 use crate::candgen::{CandidateConfig, CandidateGenerator};
 use crate::delta::DeltaWorkload;
 use crate::diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
+use crate::error::{invalid, AutoIndexError};
 use crate::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
+use crate::session::TuningSession;
 use crate::templates::{TemplateStore, TemplateStoreConfig};
 use autoindex_estimator::cost_cache::{CostCache, CostCacheStats};
 use autoindex_estimator::{CostEstimator, TemplateWorkload};
@@ -54,6 +56,84 @@ impl Default for AutoIndexConfig {
             min_improvement: 0.002,
             prune_epsilon: Some(0.0),
         }
+    }
+}
+
+impl AutoIndexConfig {
+    /// Validated builder (preferred over struct-literal construction).
+    pub fn builder() -> AutoIndexConfigBuilder {
+        AutoIndexConfigBuilder {
+            cfg: AutoIndexConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`AutoIndexConfig`]; `build()` validates every field.
+#[derive(Debug, Clone)]
+pub struct AutoIndexConfigBuilder {
+    cfg: AutoIndexConfig,
+}
+
+impl AutoIndexConfigBuilder {
+    pub fn storage_budget(mut self, bytes: Option<u64>) -> Self {
+        self.cfg.storage_budget = bytes;
+        self
+    }
+    pub fn templates(mut self, v: TemplateStoreConfig) -> Self {
+        self.cfg.templates = v;
+        self
+    }
+    pub fn candidates(mut self, v: CandidateConfig) -> Self {
+        self.cfg.candidates = v;
+        self
+    }
+    pub fn mcts(mut self, v: MctsConfig) -> Self {
+        self.cfg.mcts = v;
+        self
+    }
+    pub fn diagnosis(mut self, v: DiagnosisConfig) -> Self {
+        self.cfg.diagnosis = v;
+        self
+    }
+    pub fn protect_primary_keys(mut self, v: bool) -> Self {
+        self.cfg.protect_primary_keys = v;
+        self
+    }
+    pub fn min_improvement(mut self, v: f64) -> Self {
+        self.cfg.min_improvement = v;
+        self
+    }
+    pub fn prune_epsilon(mut self, v: Option<f64>) -> Self {
+        self.cfg.prune_epsilon = v;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<AutoIndexConfig, AutoIndexError> {
+        let c = self.cfg;
+        if !c.min_improvement.is_finite() || !(0.0..1.0).contains(&c.min_improvement) {
+            return Err(invalid(
+                "autoindex.min_improvement",
+                "must be finite and in [0, 1)",
+            ));
+        }
+        if let Some(eps) = c.prune_epsilon {
+            if !eps.is_finite() || eps < 0.0 {
+                return Err(invalid(
+                    "autoindex.prune_epsilon",
+                    "must be finite and >= 0",
+                ));
+            }
+        }
+        if c.storage_budget == Some(0) {
+            return Err(invalid(
+                "autoindex.storage_budget",
+                "a zero budget forbids every index; use None for unlimited",
+            ));
+        }
+        // Nested search configuration goes through its own validator.
+        let _ = MctsConfig::builder_from(c.mcts.clone()).build()?;
+        Ok(c)
     }
 }
 
@@ -257,15 +337,49 @@ impl<E: CostEstimator> AutoIndex<E> {
         self.cache_dirty = true;
     }
 
-    /// Compute a recommendation from the observed templates.
-    pub fn recommend(&mut self, db: &SimDb) -> Recommendation {
-        let w = self.workload();
-        self.recommend_for(db, &w)
+    /// Open a builder-style [`TuningSession`] — the unified entry point
+    /// replacing `tune`, `tune_with_workload`, `recommend`,
+    /// `recommend_for` and `apply_recommendation`:
+    ///
+    /// ```text
+    /// advisor.session(&mut db).run()?;                                  // = tune
+    /// advisor.session(&mut db).workload(&w).run()?;                     // = tune_with_workload
+    /// advisor.session(&mut db).recommend_only().run()?;                 // = recommend
+    /// advisor.session(&mut db).with_recommendation(rec).run()?;         // = apply_recommendation
+    /// advisor.session(&mut db).guarded(GuardConfig::default()).run()?;  // guarded apply (new)
+    /// ```
+    pub fn session<'a, 'd>(&'a mut self, db: &'d mut SimDb) -> TuningSession<'a, 'd, E> {
+        TuningSession::new(self, db)
     }
 
-    /// Compute a recommendation for an explicit workload (used by the
-    /// query-level ablation of Fig. 8 and by tests).
+    /// Compute a recommendation from the observed templates.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `advisor.session(&mut db).recommend_only().run()`"
+    )]
+    pub fn recommend(&mut self, db: &SimDb) -> Recommendation {
+        let w = self.workload();
+        self.compute_recommendation(db, &w)
+    }
+
+    /// Compute a recommendation for an explicit workload.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `advisor.session(&mut db).workload(&w).recommend_only().run()`"
+    )]
     pub fn recommend_for(&mut self, db: &SimDb, workload: &TemplateWorkload) -> Recommendation {
+        self.compute_recommendation(db, workload)
+    }
+
+    /// The recommendation pipeline (§IV-A/B): candidate generation,
+    /// universe interning, prune pass, MCTS over the persistent policy
+    /// tree, add-refinement, minimal-change pass and the improvement gate.
+    /// Internal engine behind [`AutoIndex::session`].
+    pub(crate) fn compute_recommendation(
+        &mut self,
+        db: &SimDb,
+        workload: &TemplateWorkload,
+    ) -> Recommendation {
         let existing_defs: Vec<(IndexId, IndexDef)> =
             db.indexes().map(|(id, d)| (id, d.clone())).collect();
         let existing_list: Vec<IndexDef> =
@@ -513,39 +627,52 @@ impl<E: CostEstimator> AutoIndex<E> {
     /// Apply a previously computed recommendation verbatim (drops first,
     /// then creates). Useful when the caller showed the recommendation to
     /// an operator and must execute exactly what was approved.
-    ///
-    /// The report's evaluation/timing statistics describe the most recent
-    /// `recommend`/`recommend_for` run (which is what computed `rec` in the
-    /// intended flow).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `advisor.session(&mut db).with_recommendation(rec).run()`"
+    )]
     pub fn apply_recommendation(
         &mut self,
         db: &mut SimDb,
         rec: Recommendation,
     ) -> TuningReport {
         let start = Instant::now();
-        self.apply(db, rec, start)
+        self.apply_unguarded(db, rec, start)
     }
 
     /// One full tuning round: recommend and apply.
+    #[deprecated(since = "0.4.0", note = "use `advisor.session(&mut db).run()`")]
     pub fn tune(&mut self, db: &mut SimDb) -> TuningReport {
         let start = Instant::now();
         let w = self.workload();
-        let rec = self.recommend_for(db, &w);
-        self.apply(db, rec, start)
+        let rec = self.compute_recommendation(db, &w);
+        self.apply_unguarded(db, rec, start)
     }
 
     /// One tuning round over an explicit workload (query-level mode).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `advisor.session(&mut db).workload(&w).run()`"
+    )]
     pub fn tune_with_workload(
         &mut self,
         db: &mut SimDb,
         workload: &TemplateWorkload,
     ) -> TuningReport {
         let start = Instant::now();
-        let rec = self.recommend_for(db, workload);
-        self.apply(db, rec, start)
+        let rec = self.compute_recommendation(db, workload);
+        self.apply_unguarded(db, rec, start)
     }
 
-    fn apply(&mut self, db: &mut SimDb, rec: Recommendation, start: Instant) -> TuningReport {
+    /// Unguarded apply (drops, then creates, ignoring individual DDL
+    /// failures) — the legacy `tune` tail, kept as the fault-oblivious
+    /// baseline the guard pipeline wraps.
+    pub(crate) fn apply_unguarded(
+        &mut self,
+        db: &mut SimDb,
+        rec: Recommendation,
+        start: Instant,
+    ) -> TuningReport {
         let mut created = Vec::new();
         let mut dropped = Vec::new();
         for d in &rec.remove {
@@ -560,6 +687,19 @@ impl<E: CostEstimator> AutoIndex<E> {
                 created.push(id);
             }
         }
+        self.report_from_parts(rec, created, dropped, start)
+    }
+
+    /// Assemble a [`TuningReport`] from a recommendation plus the DDL that
+    /// actually happened, folding in the telemetry captured by the most
+    /// recent [`AutoIndex::compute_recommendation`] run.
+    pub(crate) fn report_from_parts(
+        &self,
+        rec: Recommendation,
+        created: Vec<IndexId>,
+        dropped: Vec<IndexDef>,
+        start: Instant,
+    ) -> TuningReport {
         let stats = self.last_round;
         TuningReport {
             recommendation: rec,
@@ -611,6 +751,11 @@ mod tests {
         AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator)
     }
 
+    /// One tuning round through the session API (the legacy `tune` shape).
+    fn tune(ai: &mut AutoIndex<NativeCostEstimator>, db: &mut SimDb) -> TuningReport {
+        ai.session(db).run().unwrap().report
+    }
+
     #[test]
     fn observe_then_recommend_creates_useful_index() {
         let mut db = db();
@@ -619,7 +764,7 @@ mod tests {
             ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
         }
         assert_eq!(ai.template_count(), 1);
-        let report = ai.tune(&mut db);
+        let report = tune(&mut ai, &mut db);
         assert!(!report.created.is_empty());
         let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
         assert!(keys.contains(&"t(a)".to_string()), "{keys:?}");
@@ -638,7 +783,7 @@ mod tests {
             ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 1"), &db)
                 .unwrap();
         }
-        let report = ai.tune(&mut db);
+        let report = tune(&mut ai, &mut db);
         assert!(report.evaluations > 0, "evaluations must be the real count");
         assert!(
             report.search_evaluations > 0 && report.search_evaluations <= report.evaluations,
@@ -657,7 +802,7 @@ mod tests {
     fn noop_when_nothing_observed() {
         let mut db = db();
         let mut ai = system();
-        let report = ai.tune(&mut db);
+        let report = tune(&mut ai, &mut db);
         assert!(report.recommendation.is_noop());
         assert!(report.created.is_empty());
     }
@@ -675,7 +820,7 @@ mod tests {
             )
             .unwrap();
         }
-        let _ = ai.tune(&mut db);
+        let _ = tune(&mut ai, &mut db);
         let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
         assert!(keys.contains(&"t(id)".to_string()), "PK index dropped: {keys:?}");
     }
@@ -696,7 +841,7 @@ mod tests {
             ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 1"), &db)
                 .unwrap();
         }
-        let _ = ai.tune(&mut db);
+        let _ = tune(&mut ai, &mut db);
         assert!(db.total_index_bytes() <= one + one / 4);
     }
 
@@ -707,10 +852,10 @@ mod tests {
         for i in 0..300 {
             ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
         }
-        let r1 = ai.tune(&mut db);
+        let r1 = tune(&mut ai, &mut db);
         assert!(!r1.created.is_empty());
         // Second round over the same workload: nothing more to do.
-        let r2 = ai.tune(&mut db);
+        let r2 = tune(&mut ai, &mut db);
         assert!(
             r2.recommendation.is_noop() || r2.recommendation.improvement() < 0.05,
             "{:?}",
@@ -725,7 +870,7 @@ mod tests {
         for i in 0..300 {
             ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
         }
-        let _ = ai.tune(&mut db);
+        let _ = tune(&mut ai, &mut db);
         assert!(db
             .indexes()
             .any(|(_, d)| d.key() == "t(a)"));
@@ -735,7 +880,7 @@ mod tests {
         for i in 0..300 {
             ai.observe(&format!("SELECT * FROM t WHERE b = {i}"), &db).unwrap();
         }
-        let _ = ai.tune(&mut db);
+        let _ = tune(&mut ai, &mut db);
         let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
         assert!(keys.contains(&"t(b)".to_string()), "{keys:?}");
     }
@@ -774,7 +919,7 @@ mod tests {
             ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 2"), &db)
                 .unwrap();
         }
-        let _ = ai.tune(&mut db);
+        let _ = tune(&mut ai, &mut db);
         let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
         assert!(keys.contains(&"t(a)".to_string()), "{keys:?}");
         assert!(keys.iter().any(|k| k.starts_with("t(b")), "{keys:?}");
@@ -784,7 +929,7 @@ mod tests {
     fn prune_disabled_keeps_unused_indexes() {
         let mut db = db();
         db.create_index(IndexDef::new("t", &["c"])).unwrap(); // never used
-        let run = |eps: Option<f64>| {
+        let mut run = |eps: Option<f64>| {
             let mut ai = AutoIndex::new(
                 AutoIndexConfig {
                     prune_epsilon: eps,
@@ -795,7 +940,12 @@ mod tests {
             for i in 0..100 {
                 ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
             }
-            ai.recommend(&db)
+            ai.session(&mut db)
+                .recommend_only()
+                .run()
+                .unwrap()
+                .report
+                .recommendation
         };
         let with_prune = run(Some(0.001));
         let without = run(None);
@@ -817,5 +967,64 @@ mod tests {
         }
         let rep = ai.diagnose(&db);
         assert!(rep.should_tune, "missing index should be flagged: {rep:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_match_session_behaviour() {
+        // The shims live for exactly one PR; until they go, they must
+        // produce the same result as the session they delegate to.
+        let run_shim = || {
+            let mut db = db();
+            let mut ai = system();
+            for i in 0..300 {
+                ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            }
+            let report = ai.tune(&mut db);
+            let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
+            (format!("{:?}", report.recommendation), keys)
+        };
+        let run_session = || {
+            let mut db = db();
+            let mut ai = system();
+            for i in 0..300 {
+                ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            }
+            let out = ai.session(&mut db).run().unwrap();
+            let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
+            (format!("{:?}", out.report.recommendation), keys)
+        };
+        assert_eq!(run_shim(), run_session());
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        assert!(AutoIndexConfig::builder().build().is_ok());
+        assert!(AutoIndexConfig::builder().min_improvement(1.5).build().is_err());
+        assert!(AutoIndexConfig::builder()
+            .min_improvement(f64::NAN)
+            .build()
+            .is_err());
+        assert!(AutoIndexConfig::builder()
+            .prune_epsilon(Some(-0.1))
+            .build()
+            .is_err());
+        assert!(AutoIndexConfig::builder()
+            .storage_budget(Some(0))
+            .build()
+            .is_err());
+        // Nested MCTS validation propagates.
+        let bad_mcts = MctsConfig {
+            iterations: 0,
+            ..MctsConfig::default()
+        };
+        assert!(AutoIndexConfig::builder().mcts(bad_mcts).build().is_err());
+        let ok = AutoIndexConfig::builder()
+            .storage_budget(Some(1 << 30))
+            .min_improvement(0.01)
+            .build()
+            .unwrap();
+        assert_eq!(ok.storage_budget, Some(1 << 30));
+        assert_eq!(ok.min_improvement, 0.01);
     }
 }

@@ -118,7 +118,7 @@ fn system_recommendations_identical_across_eval_modes() {
     let (_, _, queries) = banking_fixture();
     let mut recs = Vec::new();
     for decomposed in [false, true] {
-        let db = SimDb::with_metrics(
+        let mut db = SimDb::with_metrics(
             banking::catalog(),
             SimDbConfig::default(),
             MetricsRegistry::new(),
@@ -131,7 +131,14 @@ fn system_recommendations_identical_across_eval_modes() {
         for q in &queries {
             ai.observe(q, &db).unwrap();
         }
-        recs.push(ai.recommend(&db));
+        recs.push(
+            ai.session(&mut db)
+                .recommend_only()
+                .run()
+                .unwrap()
+                .report
+                .recommendation,
+        );
     }
     let (legacy, fast) = (&recs[0], &recs[1]);
     assert_eq!(legacy.add, fast.add, "add lists diverged across eval modes");

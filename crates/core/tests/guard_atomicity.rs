@@ -1,0 +1,212 @@
+//! PR 4 regression gates for the guarded-apply pipeline.
+//!
+//! 1. **Atomicity property.** For *any* seeded fault plan — arbitrary
+//!    build-failure / transient / latency-spike / stale-statistics rates —
+//!    a guarded apply leaves the catalog in exactly one of two states:
+//!    byte-identical to the pre-apply snapshot (rollback) or the fully
+//!    applied recommendation (success). Never anything in between.
+//! 2. **Fingerprint regression.** After a rollback the configuration's
+//!    [`ConfigSet`] fingerprint, computed over a shared [`Universe`]
+//!    interning, is bit-identical to the pre-apply fingerprint.
+//! 3. **Fault-free equivalence.** With faults disabled, the guarded
+//!    [`TuningSession`](autoindex_core::TuningSession) is a transparent
+//!    wrapper around the PR 3 recommendation path: byte-identical
+//!    recommendation, identical what-if call volume, same final index set
+//!    — checked end-to-end on the banking workload.
+
+use autoindex_core::mcts::{ConfigSet, Universe};
+use autoindex_core::{ApplyVerdict, AutoIndex, AutoIndexConfig, Guard, GuardConfig, IndexSnapshot, Recommendation};
+use autoindex_estimator::NativeCostEstimator;
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::fault::{FaultPlan, FaultPlanConfig};
+use autoindex_storage::index::IndexDef;
+use autoindex_storage::{SimDb, SimDbConfig};
+use autoindex_support::obs::MetricsRegistry;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::prop_assert;
+use autoindex_workloads::banking::{self, BankingGenerator};
+use std::collections::BTreeSet;
+
+fn small_db() -> SimDb {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("t", 500_000)
+            .column(Column::int("id", 500_000))
+            .column(Column::int("a", 250_000))
+            .column(Column::int("b", 2_000))
+            .column(Column::int("c", 50))
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    );
+    SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new())
+}
+
+fn keys(db: &SimDb) -> BTreeSet<String> {
+    db.indexes().map(|(_, d)| d.key()).collect()
+}
+
+/// A mixed add/drop recommendation over the small fixture.
+fn synthetic_rec() -> Recommendation {
+    Recommendation {
+        add: vec![IndexDef::new("t", &["a"]), IndexDef::new("t", &["a", "b"])],
+        remove: vec![IndexDef::new("t", &["b"])],
+        est_cost_before: 100.0,
+        est_cost_after: 40.0,
+    }
+}
+
+#[test]
+fn guarded_apply_is_atomic_under_arbitrary_fault_plans() {
+    property(
+        "guarded_apply_atomicity",
+        PropConfig::quick(),
+        |rng, _size| {
+            let mut db = small_db();
+            db.create_index(IndexDef::new("t", &["id"])).unwrap();
+            db.create_index(IndexDef::new("t", &["b"])).unwrap();
+            let pre = keys(&db);
+
+            let rec = synthetic_rec();
+            let mut expected_applied = pre.clone();
+            for d in &rec.remove {
+                expected_applied.remove(&d.key());
+            }
+            for d in &rec.add {
+                expected_applied.insert(d.key());
+            }
+
+            // Arbitrary fault plan: every rate independently drawn, the
+            // build-failure rate biased high so both outcomes are exercised.
+            let plan = FaultPlan::new(FaultPlanConfig {
+                seed: rng.next_u64(),
+                build_failure: rng.random_f64(),
+                slow_build: rng.random_f64(),
+                transient_error: rng.random_f64() * 0.5,
+                latency_spike: rng.random_f64(),
+                stale_stats: rng.random_f64(),
+                ..FaultPlanConfig::default()
+            });
+            db.set_fault_plan(Some(plan));
+
+            let mut guard = Guard::new(
+                GuardConfig::builder().build_retries(2).build().unwrap(),
+                db.metrics(),
+            );
+            let (created, dropped, verdict) = guard.apply(&mut db, &rec, 0);
+            let post = keys(&db);
+            match verdict {
+                ApplyVerdict::Applied => {
+                    prop_assert!(
+                        post == expected_applied,
+                        "applied verdict but catalog is partial: {post:?} vs {expected_applied:?}"
+                    );
+                    prop_assert!(created.len() == rec.add.len(), "created {created:?}");
+                    prop_assert!(dropped.len() == rec.remove.len(), "dropped {dropped:?}");
+                }
+                ApplyVerdict::RolledBack { build_faults, .. } => {
+                    prop_assert!(
+                        post == pre,
+                        "rollback left a partial catalog: {post:?} vs {pre:?}"
+                    );
+                    prop_assert!(created.is_empty() && dropped.is_empty());
+                    prop_assert!(build_faults > 0, "rollback without any build fault");
+                }
+                ApplyVerdict::ShadowRejected { .. } => {
+                    prop_assert!(false, "shadow must admit a 60% improvement");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rollback_restores_bit_identical_config_fingerprint() {
+    let mut db = small_db();
+    db.create_index(IndexDef::new("t", &["id"])).unwrap();
+    db.create_index(IndexDef::new("t", &["b"])).unwrap();
+    let rec = synthetic_rec();
+
+    // Shared interning: pre-state and recommendation defs live in one
+    // Universe so slot numbering (and hence fingerprints) are comparable.
+    let mut universe = Universe::new();
+    let pre_defs: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
+    for d in pre_defs.iter().chain(rec.add.iter()).chain(rec.remove.iter()) {
+        universe.intern(d);
+    }
+    let config_of = |db: &SimDb, universe: &Universe| -> ConfigSet {
+        db.indexes()
+            .filter_map(|(_, d)| universe.slot(d))
+            .collect()
+    };
+    let fp_before = config_of(&db, &universe).fingerprint();
+    let snap_before = IndexSnapshot::capture(&db).fingerprint();
+
+    // Every build fails: the guard must retry, give up and roll back.
+    db.set_fault_plan(Some(FaultPlan::new(FaultPlanConfig {
+        build_failure: 1.0,
+        ..FaultPlanConfig::default()
+    })));
+    let mut guard = Guard::new(GuardConfig::default(), db.metrics());
+    let (_, _, verdict) = guard.apply(&mut db, &rec, 0);
+    let ApplyVerdict::RolledBack {
+        restored_fingerprint,
+        ..
+    } = verdict
+    else {
+        panic!("expected rollback, got {verdict:?}");
+    };
+
+    let fp_after = config_of(&db, &universe).fingerprint();
+    assert_eq!(fp_before, fp_after, "ConfigSet fingerprint must round-trip");
+    assert_eq!(
+        snap_before,
+        IndexSnapshot::capture(&db).fingerprint(),
+        "snapshot fingerprint must round-trip"
+    );
+    assert_eq!(restored_fingerprint, snap_before, "verdict reports the restored state");
+    assert!(db.metrics().counter_value("guard.rollbacks") >= 1);
+}
+
+#[test]
+fn faultless_guarded_session_is_byte_identical_to_unguarded_end_to_end() {
+    let queries: Vec<String> = BankingGenerator::new(7)
+        .generate_hybrid(30, 0.5)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    let run = |guarded: bool| {
+        let mut db = SimDb::with_metrics(
+            banking::catalog(),
+            SimDbConfig::default(),
+            MetricsRegistry::new(),
+        );
+        for d in banking::dba_indexes() {
+            db.create_index(d).unwrap();
+        }
+        let mut cfg = AutoIndexConfig::default();
+        cfg.mcts.iterations = 30;
+        cfg.mcts.seed = 5;
+        let mut ai = AutoIndex::new(cfg, NativeCostEstimator);
+        for q in &queries {
+            let _ = ai.observe(q, &db);
+        }
+        let session = ai.session(&mut db);
+        let out = if guarded {
+            session.guarded(GuardConfig::default()).run().unwrap()
+        } else {
+            session.run().unwrap()
+        };
+        (
+            format!("{:?}", out.report.recommendation),
+            db.metrics().counter_value("db.whatif_calls"),
+            keys(&db),
+        )
+    };
+    let (rec_u, whatif_u, keys_u) = run(false);
+    let (rec_g, whatif_g, keys_g) = run(true);
+    assert_eq!(rec_u, rec_g, "recommendation must be byte-identical");
+    assert_eq!(whatif_u, whatif_g, "guard must not add what-if probes");
+    assert_eq!(keys_u, keys_g, "same final index set");
+}

@@ -16,6 +16,7 @@
 //!   dropping redundant indexes *improves* throughput by freeing cache.
 
 use crate::catalog::Catalog;
+use crate::fault::{BuildRoll, ExecRoll, FaultKind, FaultPlan, WhatifRoll};
 use crate::index::{geometry, IndexDef, IndexGeometry, IndexId};
 use crate::planner::{CostFeatures, CostParams, PlanSummary, Planner, TrueCostWeights, VisibleIndex};
 use crate::shape::QueryShape;
@@ -42,6 +43,8 @@ pub struct SimDbConfig {
     pub memory_pressure_factor: f64,
     /// Milliseconds per optimizer cost unit (calibration constant).
     pub ms_per_cost_unit: f64,
+    /// Per-entry index build cost, ms (see [`IndexGeometry::build_ms`]).
+    pub build_ms_per_entry: f64,
 }
 
 impl Default for SimDbConfig {
@@ -54,6 +57,7 @@ impl Default for SimDbConfig {
             memory_bytes: 16 * 1024 * 1024 * 1024, // 16 GB, the paper's server
             memory_pressure_factor: 0.12,
             ms_per_cost_unit: 0.01,
+            build_ms_per_entry: 2e-5,
         }
     }
 }
@@ -136,6 +140,20 @@ struct DbMetricHandles {
     /// `db.index_creates` / `db.index_drops` — real DDL activity.
     index_creates: Counter,
     index_drops: Counter,
+    /// `db.index_restores` — privileged snapshot restores (guard
+    /// rollbacks); metadata-only, never fault.
+    index_restores: Counter,
+    /// `db.index_build_ms` — accumulated simulated index build time.
+    index_build_ms: Gauge,
+    /// `db.fault.*` — injected-fault activity (see `docs/ROBUSTNESS.md`).
+    fault_build_failures: Counter,
+    fault_slow_builds: Counter,
+    fault_latency_spikes: Counter,
+    fault_transients: Counter,
+    fault_stale_whatifs: Counter,
+    /// `db.fault.absorbed_retries` — transient faults swallowed by the
+    /// infallible wrappers (`execute*`), each paid as a retry.
+    fault_absorbed_retries: Counter,
 }
 
 impl DbMetricHandles {
@@ -152,6 +170,14 @@ impl DbMetricHandles {
             join_nested_loop: m.counter("planner.join.nested_loop"),
             index_creates: m.counter("db.index_creates"),
             index_drops: m.counter("db.index_drops"),
+            index_restores: m.counter("db.index_restores"),
+            index_build_ms: m.gauge("db.index_build_ms"),
+            fault_build_failures: m.counter("db.fault.build_failures"),
+            fault_slow_builds: m.counter("db.fault.slow_builds"),
+            fault_latency_spikes: m.counter("db.fault.latency_spikes"),
+            fault_transients: m.counter("db.fault.transient_errors"),
+            fault_stale_whatifs: m.counter("db.fault.stale_whatifs"),
+            fault_absorbed_retries: m.counter("db.fault.absorbed_retries"),
         }
     }
 
@@ -188,6 +214,10 @@ pub struct SimDb {
     rng: StdRng,
     metrics: MetricsRegistry,
     obs: DbMetricHandles,
+    /// Optional fault schedule (see [`crate::fault`]). `None` — and any
+    /// quiet plan — is byte-identical to the pre-fault database: the
+    /// measurement-noise RNG stream is never touched by fault rolls.
+    faults: Option<FaultPlan>,
 }
 
 impl SimDb {
@@ -212,7 +242,20 @@ impl SimDb {
             rng,
             metrics,
             obs,
+            faults: None,
         }
+    }
+
+    /// Install (or clear) a fault plan. Passing `None`, or a plan whose
+    /// rates are all zero, leaves every measurement byte-identical to a
+    /// database without fault injection.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The metrics registry this database (and everything observing it —
@@ -254,17 +297,57 @@ impl SimDb {
 
     // ---------------------------------------------------------------- DDL
 
-    /// Create a real index. Errors if an identical key already exists.
+    /// Create a real index. Errors if an identical key already exists, or
+    /// — under an installed [`FaultPlan`] — when the simulated build fails
+    /// ([`StorageError::FaultInjected`]`(`[`FaultKind::FailedBuild`]`)`; a
+    /// retry re-rolls). Successful builds charge simulated build time to
+    /// the `db.index_build_ms` gauge; slow-build faults multiply it.
     pub fn create_index(&mut self, def: IndexDef) -> Result<IndexId, StorageError> {
         let table = self.catalog.require_table(&def.table)?;
         def.validate(table)?;
+        let geo = geometry(&def, table)?;
         if self.indexes.values().any(|d| *d == def) {
             return Err(StorageError::DuplicateIndex(def.key()));
         }
+        let roll = match &mut self.faults {
+            Some(f) => f.roll_build(),
+            None => BuildRoll {
+                failed: false,
+                build_factor: 1.0,
+            },
+        };
+        if roll.failed {
+            self.obs.fault_build_failures.incr();
+            return Err(StorageError::FaultInjected(FaultKind::FailedBuild));
+        }
+        if roll.build_factor > 1.0 {
+            self.obs.fault_slow_builds.incr();
+        }
+        self.obs
+            .index_build_ms
+            .add(geo.build_ms(self.config.build_ms_per_entry) * roll.build_factor);
         let id = IndexId(self.next_id);
         self.next_id += 1;
         self.indexes.insert(id, def);
         self.obs.index_creates.incr();
+        Ok(id)
+    }
+
+    /// Privileged, metadata-only re-creation of an index from a snapshot
+    /// (guard rollbacks). Never consults the fault plan and charges no
+    /// build time — rolling back must always succeed, atomically.
+    /// Idempotent: restoring a definition that already exists returns the
+    /// live id.
+    pub fn restore_index(&mut self, def: IndexDef) -> Result<IndexId, StorageError> {
+        let table = self.catalog.require_table(&def.table)?;
+        def.validate(table)?;
+        if let Some(id) = self.find_index(&def) {
+            return Ok(id);
+        }
+        let id = IndexId(self.next_id);
+        self.next_id += 1;
+        self.indexes.insert(id, def);
+        self.obs.index_restores.incr();
         Ok(id)
     }
 
@@ -334,8 +417,43 @@ impl SimDb {
         self.whatif_plan(shape, config).features
     }
 
-    /// Full plan summary under a hypothetical configuration.
+    /// Fallible [`SimDb::whatif_features`]: surfaces injected transient
+    /// probe failures instead of absorbing them.
+    pub fn try_whatif_features(
+        &self,
+        shape: &QueryShape,
+        config: &[IndexDef],
+    ) -> Result<CostFeatures, StorageError> {
+        Ok(self.try_whatif_plan(shape, config)?.features)
+    }
+
+    /// Full plan summary under a hypothetical configuration. Under a
+    /// stale-statistics fault window the reported cost features are
+    /// multiplicatively distorted (the plan *choice* is unaffected);
+    /// injected transient probe failures are absorbed — use
+    /// [`SimDb::try_whatif_plan`] to observe them.
     pub fn whatif_plan(&self, shape: &QueryShape, config: &[IndexDef]) -> PlanSummary {
+        let roll = self.roll_whatif();
+        self.finish_whatif(self.plan_whatif_raw(shape, config), &roll)
+    }
+
+    /// Fallible [`SimDb::whatif_plan`]: a transient fault fails the probe
+    /// with [`StorageError::FaultInjected`]; retrying re-rolls.
+    pub fn try_whatif_plan(
+        &self,
+        shape: &QueryShape,
+        config: &[IndexDef],
+    ) -> Result<PlanSummary, StorageError> {
+        let roll = self.roll_whatif();
+        if roll.transient {
+            self.obs.fault_transients.incr();
+            return Err(StorageError::FaultInjected(FaultKind::TransientError));
+        }
+        Ok(self.finish_whatif(self.plan_whatif_raw(shape, config), &roll))
+    }
+
+    /// Pure hypothetical planning, no fault rolls or metrics.
+    fn plan_whatif_raw(&self, shape: &QueryShape, config: &[IndexDef]) -> PlanSummary {
         let planner = Planner::new(&self.catalog, &self.config.cost_params);
         let defs: Vec<(IndexId, IndexDef)> = config
             .iter()
@@ -343,7 +461,27 @@ impl SimDb {
             .map(|(i, d)| (IndexId(u32::MAX - i as u32), d.clone()))
             .collect();
         let visible = planner.resolve_indexes(&defs);
-        let plan = planner.plan(shape, &visible);
+        planner.plan(shape, &visible)
+    }
+
+    /// Roll the shared what-if fault stream (neutral when no plan is
+    /// installed). Lock-free — this path is shared across search threads.
+    fn roll_whatif(&self) -> WhatifRoll {
+        match &self.faults {
+            Some(f) => f.roll_whatif(),
+            None => WhatifRoll {
+                transient: false,
+                distortion: 1.0,
+            },
+        }
+    }
+
+    /// Apply a roll's stale-statistics distortion and record metrics.
+    fn finish_whatif(&self, mut plan: PlanSummary, roll: &WhatifRoll) -> PlanSummary {
+        if roll.distortion != 1.0 {
+            self.obs.fault_stale_whatifs.incr();
+            plan.features = plan.features.scaled(roll.distortion);
+        }
         self.obs.whatif_calls.incr();
         self.obs.whatif_cost_total.add(plan.features.native_cost());
         self.obs.tally_plan(&plan);
@@ -404,14 +542,64 @@ impl SimDb {
         1.0 + self.config.memory_pressure_factor * over.max(0.0)
     }
 
-    /// Execute one parsed statement against the real index set.
+    /// Maximum transient-fault retries the infallible `execute*` wrappers
+    /// absorb before executing fault-suppressed.
+    const EXEC_RETRY_BUDGET: u32 = 8;
+
+    /// Execute one parsed statement against the real index set. Injected
+    /// transient faults are absorbed as counted retries
+    /// (`db.fault.absorbed_retries`); use [`SimDb::try_execute`] to
+    /// observe them.
     pub fn execute(&mut self, stmt: &Statement) -> ExecOutcome {
         let shape = QueryShape::extract(stmt, &self.catalog);
         self.execute_shape(&shape)
     }
 
-    /// Execute a pre-extracted shape (hot path for template workloads).
+    /// Fallible [`SimDb::execute`]: injected transient faults surface as
+    /// [`StorageError::FaultInjected`]`(`[`FaultKind::TransientError`]`)`.
+    pub fn try_execute(&mut self, stmt: &Statement) -> Result<ExecOutcome, StorageError> {
+        let shape = QueryShape::extract(stmt, &self.catalog);
+        self.try_execute_shape(&shape)
+    }
+
+    /// Execute a pre-extracted shape, absorbing transient faults (hot path
+    /// for template workloads).
     pub fn execute_shape(&mut self, shape: &QueryShape) -> ExecOutcome {
+        for _ in 0..Self::EXEC_RETRY_BUDGET {
+            match self.try_execute_shape(shape) {
+                Ok(o) => return o,
+                Err(_) => self.obs.fault_absorbed_retries.incr(),
+            }
+        }
+        // The plan keeps faulting; run once fault-suppressed so the
+        // infallible contract holds even at a 100% transient rate.
+        self.execute_shape_inner(shape, 1.0)
+    }
+
+    /// Fallible [`SimDb::execute_shape`]: a transient roll fails the
+    /// statement *before* any side effect (no usage credit, no table
+    /// growth); a latency-spike roll multiplies the measured latency.
+    pub fn try_execute_shape(&mut self, shape: &QueryShape) -> Result<ExecOutcome, StorageError> {
+        let roll = match &mut self.faults {
+            Some(f) => f.roll_execute(),
+            None => ExecRoll {
+                transient: false,
+                latency_factor: 1.0,
+            },
+        };
+        if roll.transient {
+            self.obs.fault_transients.incr();
+            return Err(StorageError::FaultInjected(FaultKind::TransientError));
+        }
+        if roll.latency_factor > 1.0 {
+            self.obs.fault_latency_spikes.incr();
+        }
+        Ok(self.execute_shape_inner(shape, roll.latency_factor))
+    }
+
+    /// The fault-free execution core; `latency_factor` scales the measured
+    /// latency (1.0 = healthy).
+    fn execute_shape_inner(&mut self, shape: &QueryShape, latency_factor: f64) -> ExecOutcome {
         let planner = Planner::new(&self.catalog, &self.config.cost_params);
         let visible = self.visible_real_indexes();
         let plan = planner.plan(shape, &visible);
@@ -448,7 +636,7 @@ impl SimDb {
         let noisy = true_cost
             * pressure
             * lognormal(&mut self.rng, self.config.noise);
-        let latency_ms = noisy * self.config.ms_per_cost_unit;
+        let latency_ms = noisy * self.config.ms_per_cost_unit * latency_factor;
 
         ExecOutcome {
             latency_ms,
@@ -760,5 +948,205 @@ mod tests {
         let a = db.execute(&stmt("SELECT * FROM t WHERE a = 1")).latency_ms;
         let b = db.execute(&stmt("SELECT * FROM t WHERE a = 1")).latency_ms;
         assert_eq!(a, b);
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    use crate::fault::{FaultPlan, FaultPlanConfig};
+    use autoindex_support::obs::MetricsRegistry;
+
+    fn db_with_plan(cfg: FaultPlanConfig) -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 500_000)
+                .column(Column::int("a", 500_000))
+                .column(Column::int("b", 50))
+                .column(Column::text("c", 10_000, 24))
+                .primary_key(&["a"])
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new());
+        db.set_fault_plan(Some(FaultPlan::new(cfg)));
+        db
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_byte_identical_to_none() {
+        let q = stmt("SELECT * FROM t WHERE b = 3");
+        let mut clean = db();
+        let mut quiet = db_with_plan(FaultPlanConfig::default());
+        for _ in 0..20 {
+            assert_eq!(
+                clean.execute(&q).latency_ms,
+                quiet.execute(&q).latency_ms,
+                "quiet plan must not perturb the measurement stream"
+            );
+        }
+        let shape = QueryShape::extract(&q, clean.catalog());
+        let a = clean.whatif_features(&shape, &[IndexDef::new("t", &["b"])]);
+        let b = quiet.whatif_features(&shape, &[IndexDef::new("t", &["b"])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failed_builds_surface_and_rerolls_can_succeed() {
+        let mut db = db_with_plan(FaultPlanConfig {
+            seed: 7,
+            build_failure: 0.5,
+            ..FaultPlanConfig::default()
+        });
+        let def = IndexDef::new("t", &["b"]);
+        let mut failures = 0;
+        loop {
+            match db.create_index(def.clone()) {
+                Ok(_) => break,
+                Err(StorageError::FaultInjected(FaultKind::FailedBuild)) => failures += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(failures < 100, "50% failure rate cannot fail forever");
+        }
+        assert_eq!(db.index_count(), 1);
+        assert_eq!(
+            db.metrics().counter_value("db.fault.build_failures"),
+            failures
+        );
+    }
+
+    #[test]
+    fn certain_build_failure_never_creates_and_restore_bypasses_it() {
+        let mut db = db_with_plan(FaultPlanConfig {
+            build_failure: 1.0,
+            ..FaultPlanConfig::default()
+        });
+        for _ in 0..10 {
+            assert!(matches!(
+                db.create_index(IndexDef::new("t", &["b"])),
+                Err(StorageError::FaultInjected(FaultKind::FailedBuild))
+            ));
+        }
+        assert_eq!(db.index_count(), 0);
+        // The privileged restore path never faults — rollback must succeed.
+        let id = db.restore_index(IndexDef::new("t", &["b"])).unwrap();
+        assert_eq!(db.index_count(), 1);
+        // Idempotent: restoring again returns the live id.
+        assert_eq!(db.restore_index(IndexDef::new("t", &["b"])).unwrap(), id);
+        assert_eq!(db.metrics().counter_value("db.index_restores"), 1);
+    }
+
+    #[test]
+    fn transient_faults_surface_on_try_and_are_absorbed_by_execute() {
+        let mut db = db_with_plan(FaultPlanConfig {
+            transient_error: 1.0,
+            ..FaultPlanConfig::default()
+        });
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE a = 1"), db.catalog());
+        assert!(matches!(
+            db.try_execute_shape(&shape),
+            Err(StorageError::FaultInjected(FaultKind::TransientError))
+        ));
+        // The infallible wrapper still returns an outcome, paying retries.
+        let o = db.execute_shape(&shape);
+        assert!(o.latency_ms > 0.0);
+        assert_eq!(
+            db.metrics().counter_value("db.fault.absorbed_retries"),
+            SimDb::EXEC_RETRY_BUDGET as u64
+        );
+        // A transient failure has no side effects.
+        let w = QueryShape::extract(&stmt("INSERT INTO t (a) VALUES (1)"), db.catalog());
+        let rows = db.catalog().table("t").unwrap().rows;
+        assert!(db.try_execute_shape(&w).is_err());
+        assert_eq!(db.catalog().table("t").unwrap().rows, rows);
+    }
+
+    #[test]
+    fn latency_spikes_multiply_measured_latency() {
+        let q = stmt("SELECT * FROM t WHERE b = 3");
+        let mut clean = db();
+        let mut spiky = db_with_plan(FaultPlanConfig {
+            latency_spike: 1.0,
+            latency_spike_factor: 12.0,
+            ..FaultPlanConfig::default()
+        });
+        // Fault rolls use a separate RNG stream, so the underlying noisy
+        // latency matches exactly and the spike is a clean 12x.
+        let base = clean.execute(&q).latency_ms;
+        let spiked = spiky.execute(&q).latency_ms;
+        assert!((spiked / base - 12.0).abs() < 1e-9, "base={base} spiked={spiked}");
+        assert_eq!(spiky.metrics().counter_value("db.fault.latency_spikes"), 1);
+    }
+
+    #[test]
+    fn stale_statistics_distort_whatif_costs() {
+        let db = db_with_plan(FaultPlanConfig {
+            stale_stats: 1.0,
+            stale_distortion: 0.8,
+            ..FaultPlanConfig::default()
+        });
+        let clean = {
+            let mut c = Catalog::new();
+            c.add_table(
+                TableBuilder::new("t", 500_000)
+                    .column(Column::int("a", 500_000))
+                    .column(Column::int("b", 50))
+                    .column(Column::text("c", 10_000, 24))
+                    .primary_key(&["a"])
+                    .build()
+                    .unwrap(),
+            );
+            SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new())
+        };
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE b = 3"), db.catalog());
+        let truth = clean.whatif_native_cost(&shape, &[]);
+        let mut distorted = 0;
+        for _ in 0..32 {
+            if (db.whatif_native_cost(&shape, &[]) - truth).abs() > truth * 1e-6 {
+                distorted += 1;
+            }
+        }
+        assert!(distorted >= 30, "all-stale plan must distort probes: {distorted}/32");
+        assert!(db.metrics().counter_value("db.fault.stale_whatifs") >= 30);
+    }
+
+    #[test]
+    fn try_whatif_surfaces_transients() {
+        let db = db_with_plan(FaultPlanConfig {
+            transient_error: 1.0,
+            ..FaultPlanConfig::default()
+        });
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE a = 1"), db.catalog());
+        assert!(matches!(
+            db.try_whatif_plan(&shape, &[]),
+            Err(StorageError::FaultInjected(FaultKind::TransientError))
+        ));
+        assert!(db.try_whatif_features(&shape, &[]).is_err());
+        // The infallible probe absorbs the transient and still answers.
+        assert!(db.whatif_native_cost(&shape, &[]) > 0.0);
+    }
+
+    #[test]
+    fn healthy_builds_charge_build_time_and_slow_builds_charge_more() {
+        let mut db = db_with_plan(FaultPlanConfig::default());
+        db.create_index(IndexDef::new("t", &["b"])).unwrap();
+        let healthy = {
+            let s = db.metrics().snapshot();
+            let g = s.get("gauges").and_then(|g| g.get("db.index_build_ms"));
+            g.and_then(|v| v.as_f64()).unwrap_or(0.0)
+        };
+        assert!(healthy > 0.0, "healthy builds still take time");
+
+        let mut slow = db_with_plan(FaultPlanConfig {
+            slow_build: 1.0,
+            slow_build_factor: 8.0,
+            ..FaultPlanConfig::default()
+        });
+        slow.create_index(IndexDef::new("t", &["b"])).unwrap();
+        let charged = {
+            let s = slow.metrics().snapshot();
+            let g = s.get("gauges").and_then(|g| g.get("db.index_build_ms"));
+            g.and_then(|v| v.as_f64()).unwrap_or(0.0)
+        };
+        assert!((charged / healthy - 8.0).abs() < 1e-6, "healthy={healthy} charged={charged}");
+        assert_eq!(slow.metrics().counter_value("db.fault.slow_builds"), 1);
     }
 }

@@ -126,6 +126,24 @@ pub struct IndexGeometry {
     pub bytes: u64,
 }
 
+impl IndexGeometry {
+    /// Estimated wall time of building this index from scratch, in
+    /// milliseconds: a sort-dominated scan over every entry plus a fixed
+    /// per-tree setup cost. `ms_per_entry` is the calibration constant
+    /// ([`SimDbConfig::build_ms_per_entry`]); the guarded-apply pipeline
+    /// charges this (times any injected slow-build factor) as the DDL
+    /// latency of a tuning round.
+    ///
+    /// [`SimDbConfig::build_ms_per_entry`]: crate::db::SimDbConfig::build_ms_per_entry
+    pub fn build_ms(&self, ms_per_entry: f64) -> f64 {
+        let entries = self.entries.max(1) as f64;
+        // n·log2(n) sort term, normalised so ms_per_entry is the per-entry
+        // cost at 1M entries (log2(1M) ≈ 20).
+        let sort = entries * entries.log2().max(1.0) / 20.0;
+        sort * ms_per_entry + self.trees as f64 * 0.5
+    }
+}
+
 /// Leaf fill factor for B+Tree pages.
 const INDEX_FILL: f64 = 0.9;
 /// Per-entry overhead: 6-byte TID + 8-byte item header/alignment.

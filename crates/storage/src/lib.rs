@@ -35,6 +35,7 @@
 
 pub mod catalog;
 pub mod db;
+pub mod fault;
 pub mod histogram;
 pub mod index;
 pub mod planner;
@@ -44,6 +45,7 @@ pub mod usage;
 
 pub use catalog::{Catalog, Column, ColumnStats, ColumnType, Table, TableBuilder};
 pub use db::{ExecOutcome, SimDb, SimDbConfig, WorkloadMeasurement};
+pub use fault::{FaultKind, FaultPlan, FaultPlanConfig};
 pub use histogram::Histogram;
 pub use index::{IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost};
 pub use planner::{AccessPath, CostFeatures, CostParams, PlanSummary, Planner};
@@ -64,6 +66,10 @@ pub enum StorageError {
     UnknownIndex(IndexId),
     /// Invalid argument (empty column list, zero rows, ...).
     Invalid(String),
+    /// A [`fault::FaultPlan`] injected a failure on this call. Retryable
+    /// for [`FaultKind::TransientError`]; a [`FaultKind::FailedBuild`]
+    /// means this DDL attempt is gone (a new attempt re-rolls).
+    FaultInjected(FaultKind),
 }
 
 impl std::fmt::Display for StorageError {
@@ -76,6 +82,7 @@ impl std::fmt::Display for StorageError {
             StorageError::DuplicateIndex(k) => write!(f, "duplicate index {k}"),
             StorageError::UnknownIndex(id) => write!(f, "unknown index id {id:?}"),
             StorageError::Invalid(m) => write!(f, "invalid argument: {m}"),
+            StorageError::FaultInjected(k) => write!(f, "injected fault: {k}"),
         }
     }
 }

@@ -81,6 +81,16 @@ impl CostFeatures {
         self.c_io += other.c_io;
         self.c_cpu += other.c_cpu;
     }
+
+    /// Uniformly scaled copy. The fault layer's stale-statistics windows
+    /// distort every what-if feature by a per-window factor.
+    pub fn scaled(&self, k: f64) -> CostFeatures {
+        CostFeatures {
+            c_data: self.c_data * k,
+            c_io: self.c_io * k,
+            c_cpu: self.c_cpu * k,
+        }
+    }
 }
 
 /// Ground-truth weights the simulator applies when "executing" a plan. The

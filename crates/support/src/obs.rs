@@ -320,6 +320,20 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
+    /// All counters whose name starts with `prefix`, sorted by name.
+    /// Lets callers lift a whole namespace (`"guard."`, `"db.fault."`)
+    /// into a report without enumerating every metric by hand.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
     /// Zero every counter, gauge and timer **in place**: handles cached by
     /// components remain attached to the same cells and keep working.
     pub fn reset(&self) {
@@ -394,6 +408,23 @@ mod tests {
         assert_eq!(m.counter("x").get(), 5);
         assert_eq!(m.counter_value("x"), 5);
         assert_eq!(m.counter_value("never-touched"), 0);
+    }
+
+    #[test]
+    fn counters_with_prefix_lifts_a_namespace() {
+        let m = MetricsRegistry::new();
+        m.counter("guard.rollbacks").add(2);
+        m.counter("guard.applies").add(7);
+        m.counter("db.whatif_calls").incr();
+        let guard = m.counters_with_prefix("guard.");
+        assert_eq!(
+            guard,
+            vec![
+                ("guard.applies".to_string(), 7),
+                ("guard.rollbacks".to_string(), 2)
+            ]
+        );
+        assert!(m.counters_with_prefix("nope.").is_empty());
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn main() {
     );
     assert!(diag.should_tune, "the bloated DBA set must trip diagnosis");
 
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     let removed = report.dropped.len();
     let added = report.created.len();
     let idx_after = db.index_count();

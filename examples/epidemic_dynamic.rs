@@ -88,7 +88,7 @@ fn main() {
         // A fresh phase replaces the old access patterns: decay the
         // template store as the shift detector would.
         ai.observe_batch(queries.iter().map(String::as_str), &db);
-        let report = ai.tune(&mut db);
+        let report = ai.session(&mut db).run().unwrap().report;
         for d in &report.recommendation.add {
             println!("  + CREATE INDEX ON {d}");
         }

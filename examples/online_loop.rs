@@ -1,6 +1,8 @@
 //! The §III control loop, self-driving: feed a drifting query stream into
 //! [`OnlineAutoIndex`] and watch diagnosis trigger tuning rounds on its
-//! own — no manual `tune()` calls anywhere.
+//! own — no manual session calls anywhere. The loop runs *guarded*: every
+//! apply is shadow-verified, snapshotted and put on probation, so a bad
+//! recommendation would be rolled back automatically (`docs/ROBUSTNESS.md`).
 //!
 //! ```bash
 //! cargo run --release --example online_loop
@@ -27,15 +29,13 @@ fn main() {
         .expect("primary key index");
 
     let advisor = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
-    let mut online = OnlineAutoIndex::new(
-        db,
-        advisor,
-        OnlineConfig {
-            diagnosis_interval: 500,
-            tuning_cooldown: 1_000,
-            reset_usage_after_tuning: true,
-        },
-    );
+    let config = OnlineConfig::builder()
+        .diagnosis_interval(500)
+        .tuning_cooldown(1_000)
+        .guard(GuardConfig::default())
+        .build()
+        .expect("static config");
+    let mut online = OnlineAutoIndex::new(db, advisor, config);
 
     // Phase 1: agents look tickets up by user.
     // Phase 2: the workload drifts to queue dashboards.
@@ -57,10 +57,13 @@ fn main() {
         println!("\n--- phase {phase} ---");
         let mut healthy_checks = 0u32;
         for q in stream {
-            match online.feed(q).1 {
+            match online.feed(q).event {
                 OnlineEvent::Executed => {}
                 OnlineEvent::DiagnosedHealthy(_) => healthy_checks += 1,
-                OnlineEvent::Tuned { diagnosis, report } => {
+                OnlineEvent::Tuned { diagnosis, report }
+                | OnlineEvent::GuardApplied {
+                    diagnosis, report, ..
+                } => {
                     println!(
                         "  [stmt {}] diagnosis fired (problem ratio {:.0}%, missing benefit {:.0}%)",
                         online.executed(),
@@ -74,6 +77,31 @@ fn main() {
                         println!("      - DROP INDEX ON {d}");
                     }
                 }
+                OnlineEvent::ShadowRejected {
+                    improvement,
+                    required,
+                    ..
+                } => println!(
+                    "  [stmt {}] shadow check rejected a recommendation ({:.2}% < {:.2}%)",
+                    online.executed(),
+                    improvement * 100.0,
+                    required * 100.0
+                ),
+                OnlineEvent::ProbationPassed {
+                    baseline_ms,
+                    probation_ms,
+                } => println!(
+                    "  [stmt {}] probation passed ({baseline_ms:.3} ms -> {probation_ms:.3} ms/stmt)",
+                    online.executed()
+                ),
+                OnlineEvent::RolledBack(reason) => {
+                    println!("  [stmt {}] ROLLED BACK: {reason:?}", online.executed())
+                }
+                OnlineEvent::CooldownEnded => {}
+                OnlineEvent::ObserveOnlyEntered => println!(
+                    "  [stmt {}] guard degraded to observe-only",
+                    online.executed()
+                ),
             }
         }
         println!(

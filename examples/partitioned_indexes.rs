@@ -38,7 +38,7 @@ fn run_mode(mode: Mode) {
 
     let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     for d in &report.recommendation.add {
         let size = db
             .index_size_bytes(d)

@@ -69,7 +69,7 @@ fn main() {
         ai.template_count()
     );
 
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     println!(
         "tuning took {:?}; estimated improvement {:.1}%",
         report.tuning_time,

@@ -29,6 +29,26 @@ if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'estimator\.cost_cache\.hits' | grep -
     exit 1
 fi
 
+echo "==> fault-injection smoke-check (guarded apply: clean at 0% faults, rollbacks at 20%)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'guard\.rollbacks \(fault 0%\)' | grep -q 'ok'; then
+    echo "ERROR: guarded apply rolled back without faults (must be zero rollbacks at 0%)" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'guard\.rollbacks \(fault 20%\)' | grep -q 'ok'; then
+    echo "ERROR: no guard rollback observed at a 20% fault rate" >&2
+    exit 1
+fi
+
+echo "==> deprecated entry-point check (workspace must use the TuningSession API)"
+DEPRECATED=$(grep -rn -E '\.(tune|tune_with_workload|apply_recommendation|recommend|recommend_for)\(' \
+    --include='*.rs' src crates examples tests \
+    | grep -v 'crates/core/src/system\.rs' || true)
+if [ -n "$DEPRECATED" ]; then
+    echo "ERROR: deprecated tuning entry points still in use (migrate to advisor.session(...)):" >&2
+    echo "$DEPRECATED" >&2
+    exit 1
+fi
+
 echo "==> external dependency check (cargo tree must be all autoindex-*)"
 EXTERNAL=$(cargo tree --offline --workspace --prefix none -e normal,dev,build \
     | awk '{print $1}' | grep -v '^autoindex' | sort -u || true)

@@ -195,7 +195,13 @@ fn main() {
         exit(1);
     }
 
-    let rec = ai.recommend(&db);
+    let rec = ai
+        .session(&mut db)
+        .recommend_only()
+        .run()
+        .expect("recommendation")
+        .report
+        .recommendation;
     if rec.is_noop() {
         println!("recommendation: configuration already (near-)optimal, no change");
         return;
@@ -233,7 +239,12 @@ fn main() {
             .filter_map(|q| parse_statement(q).ok())
             .collect();
         let before = db.run_workload(&stmts);
-        let report = ai.apply_recommendation(&mut db, rec);
+        let report = ai
+            .session(&mut db)
+            .with_recommendation(rec)
+            .run()
+            .expect("apply recommendation")
+            .report;
         let after = db.run_workload(&stmts);
         println!(
             "applied: +{} / -{} indexes; measured latency {:.1} ms -> {:.1} ms",

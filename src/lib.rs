@@ -97,9 +97,10 @@ pub mod cli_support {
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use autoindex_core::{
-        AutoIndex, AutoIndexConfig, CandidateConfig, CandidateGenerator, DiagnosisConfig,
-        GreedyConfig, IndexDiagnosis, MctsConfig, Recommendation, TemplateStore,
-        TemplateStoreConfig, TuningReport,
+        ApplyVerdict, AutoIndex, AutoIndexConfig, AutoIndexError, CandidateConfig,
+        CandidateGenerator, DiagnosisConfig, GreedyConfig, Guard, GuardConfig, GuardEvent,
+        GuardPhase, IndexDiagnosis, MctsConfig, Recommendation, SessionReport, TemplateStore,
+        TemplateStoreConfig, TuningReport, TuningSession,
     };
     pub use autoindex_estimator::{
         kfold_cross_validate, CollectConfig, CostEstimator, LearnedCostEstimator,
@@ -107,8 +108,8 @@ pub mod prelude {
     };
     pub use autoindex_sql::{parse_statement, Statement};
     pub use autoindex_storage::{
-        Catalog, Column, ColumnStats, ColumnType, IndexDef, IndexScope, QueryShape, SimDb,
-        SimDbConfig, Table, TableBuilder,
+        Catalog, Column, ColumnStats, ColumnType, FaultPlan, FaultPlanConfig, IndexDef,
+        IndexScope, QueryShape, SimDb, SimDbConfig, Table, TableBuilder,
     };
     pub use autoindex_support::json::Json;
     pub use autoindex_support::obs::MetricsRegistry;

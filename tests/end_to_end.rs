@@ -35,7 +35,7 @@ fn tpcc_pipeline_improves_measured_latency() {
     let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
     assert_eq!(ai.observe_batch(queries.iter().map(String::as_str), &db), 0);
     assert!(ai.template_count() > 5 && ai.template_count() < 100);
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     assert!(
         !report.created.is_empty(),
         "TPC-C default config must be improvable"
@@ -59,7 +59,7 @@ fn tpcds_pipeline_covers_more_queries_than_greedy_leaves_at_zero() {
     let queries: Vec<String> = named.iter().map(|(_, q)| q.clone()).collect();
     let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     assert!(
         report.created.len() >= 4,
         "TPC-DS should motivate several indexes, got {:?}",
@@ -101,7 +101,7 @@ fn banking_diagnosis_and_removal_round_trip() {
     assert!(diag.should_tune, "bloated DBA config must trip diagnosis");
 
     let before_count = db.index_count();
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     assert!(
         report.dropped.len() > before_count / 2,
         "most of the 263 DBA indexes are dead weight; dropped only {}",
@@ -159,7 +159,7 @@ fn banking_tuning_round_produces_truthful_telemetry() {
     for q in queries.iter().take(500) {
         db.execute(&parse_statement(q).unwrap());
     }
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
 
     // (a) The report carries the real evaluation count (was hardcoded 0).
     assert!(report.evaluations > 0, "report must count evaluations");
@@ -219,7 +219,7 @@ fn epidemic_three_phase_story() {
     // W1: both read indexes appear.
     let w1 = generator.generate(epidemic::Phase::W1, 2_000);
     ai.observe_batch(w1.iter().map(String::as_str), &db);
-    ai.tune(&mut db);
+    ai.session(&mut db).run().unwrap();
     let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
     assert!(keys.contains(&"person(temperature)".to_string()), "{keys:?}");
     assert!(keys.contains(&"person(community)".to_string()), "{keys:?}");
@@ -232,7 +232,7 @@ fn epidemic_three_phase_story() {
     // W2: the community index should fall to insert maintenance.
     let w2 = generator.generate(epidemic::Phase::W2, 3_000);
     ai.observe_batch(w2.iter().map(String::as_str), &db);
-    ai.tune(&mut db);
+    ai.session(&mut db).run().unwrap();
     let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
     assert!(
         !keys.contains(&"person(community)".to_string()),
@@ -277,7 +277,7 @@ fn greedy_and_autoindex_share_estimator_but_differ_on_removal() {
     let mut db_a = mk_db();
     let mut ai = AutoIndex::new(AutoIndexConfig::default(), est);
     ai.observe_batch(queries.iter().map(String::as_str), &db_a);
-    let rep = ai.tune(&mut db_a);
+    let rep = ai.session(&mut db_a).run().unwrap().report;
     assert!(
         rep.dropped.iter().any(|d| d.key() == "t(hot)"),
         "AutoIndex must remove the write-hot index: {:?}",
@@ -316,7 +316,7 @@ fn disjunctive_workload_gets_per_arm_indexes() {
 
     let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    let report = ai.tune(&mut db);
+    let report = ai.session(&mut db).run().unwrap().report;
     let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
     assert!(keys.contains(&"t(a)".to_string()), "{keys:?}");
     assert!(keys.contains(&"t(b)".to_string()), "{keys:?}");
@@ -345,7 +345,7 @@ fn budgets_flow_through_the_whole_stack() {
         NativeCostEstimator,
     );
     ai.observe_batch(queries.iter().map(String::as_str), &db);
-    ai.tune(&mut db);
+    ai.session(&mut db).run().unwrap();
     assert!(
         db.total_index_bytes() <= budget,
         "budget violated: {} > {budget}",
