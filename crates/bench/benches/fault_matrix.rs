@@ -203,7 +203,10 @@ fn apply_arm(rate: f64, idx: u64) -> ApplyArm {
         for d in &rec.add {
             expected.insert(d.key());
         }
-        db.set_fault_plan(plan_for(rate, derive_seed(0xAB_11, idx * 1000 + run as u64)));
+        db.set_fault_plan(plan_for(
+            rate,
+            derive_seed(0xAB_11, idx * 1000 + run as u64),
+        ));
 
         let mut guard = Guard::new(
             GuardConfig::builder().build_retries(0).build().unwrap(),
@@ -216,7 +219,9 @@ fn apply_arm(rate: f64, idx: u64) -> ApplyArm {
                 assert_eq!(post, expected, "fault rate {rate}: partial apply");
                 applied += 1;
             }
-            ApplyVerdict::RolledBack { build_faults: f, .. } => {
+            ApplyVerdict::RolledBack {
+                build_faults: f, ..
+            } => {
                 assert_eq!(post, pre, "fault rate {rate}: partial rollback");
                 rollbacks += 1;
                 build_faults += f as u64;

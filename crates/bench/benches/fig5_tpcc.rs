@@ -7,6 +7,8 @@ use std::hint::black_box;
 
 fn main() {
     let mut b = Bench::new("fig5_tpcc").samples(10).warmup(1);
-    b.bench_function("three_methods_small", || black_box(fig5_tpcc(black_box(30))));
+    b.bench_function("three_methods_small", || {
+        black_box(fig5_tpcc(black_box(30)))
+    });
     b.emit_json();
 }

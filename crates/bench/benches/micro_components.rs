@@ -46,11 +46,13 @@ fn main() {
         .collect();
     let mut g = Bench::new("candgen");
     g.bench_function("generate_500_shapes", || {
-        black_box(CandidateGenerator::new(CandidateConfig::default()).generate(
-            black_box(&shapes),
-            &catalog,
-            &[],
-        ))
+        black_box(
+            CandidateGenerator::new(CandidateConfig::default()).generate(
+                black_box(&shapes),
+                &catalog,
+                &[],
+            ),
+        )
     });
     g.emit_json();
 
@@ -188,7 +190,9 @@ fn banking_cached_vs_uncached() {
         search.run(&mut tree)
     };
 
-    let mut g = Bench::new("mcts_banking_cached_vs_uncached").samples(5).warmup(1);
+    let mut g = Bench::new("mcts_banking_cached_vs_uncached")
+        .samples(5)
+        .warmup(1);
     let mut reports: Vec<Json> = Vec::new();
     let mut outcomes: Vec<SearchOutcome> = Vec::new();
     for (name, cfg) in &arms {
@@ -208,7 +212,10 @@ fn banking_cached_vs_uncached() {
             ("arm", Json::from(*name)),
             ("median_ns", Json::from(sample.median.as_nanos() as u64)),
             ("mean_ns", Json::from(sample.mean.as_nanos() as u64)),
-            ("whatif_calls", Json::from(m.counter_value("db.whatif_calls"))),
+            (
+                "whatif_calls",
+                Json::from(m.counter_value("db.whatif_calls")),
+            ),
             (
                 "inference_calls",
                 Json::from(m.counter_value("estimator.inference_calls")),
@@ -241,12 +248,21 @@ fn banking_cached_vs_uncached() {
         );
         assert_eq!(o.evaluations, outcomes[0].evaluations);
     }
-    let whatif_uncached = reports[0].get("whatif_calls").and_then(Json::as_u64).unwrap();
-    let whatif_cached = reports[1].get("whatif_calls").and_then(Json::as_u64).unwrap();
+    let whatif_uncached = reports[0]
+        .get("whatif_calls")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let whatif_cached = reports[1]
+        .get("whatif_calls")
+        .and_then(Json::as_u64)
+        .unwrap();
     let med = |i: usize| g.results()[i].median.as_nanos() as f64;
     let doc = obj([
         ("bench", Json::from("mcts_banking_cached_vs_uncached")),
-        ("workload", Json::from("banking hybrid, 160 queries, seed 7")),
+        (
+            "workload",
+            Json::from("banking hybrid, 160 queries, seed 7"),
+        ),
         ("mcts", Json::from("200 iterations, seed 42, no budget")),
         ("arms", Json::Array(reports)),
         (

@@ -1,0 +1,194 @@
+//! PR 5 serving throughput: the concurrent pipeline's worker sweep.
+//! Writes `BENCH_PR5.json` at the repo root (protocol: `docs/SERVING.md`
+//! §"Throughput bench").
+//!
+//! The banking hybrid stream (fixed seed) is served in deterministic mode
+//! at 1, 2, 4 and 8 executor workers. The reported metric is
+//! **simulated qps** — executed statements per second of simulated fleet
+//! makespan (`ServeReport::simulated_qps`), i.e. the time the executor
+//! fleet would take if each worker really slept its statements' simulated
+//! latencies, under the canonical deterministic shard → slot (LPT)
+//! schedule. This lives in the simulation's time domain, like every other
+//! number in this repo (`WorkloadMeasurement::throughput` uses the same
+//! convention), and is therefore *host independent and byte-stable*: CI
+//! machines with one core produce the same sweep as a 32-core
+//! workstation, run after run.
+//!
+//! Regression gates (the run aborts otherwise):
+//!
+//! 1. every worker count accounts for the full stream,
+//! 2. every transcript is byte-identical to the 1-worker transcript
+//!    (determinism contract),
+//! 3. 4 workers reach >= 2x the 1-worker simulated qps.
+//!
+//! `scripts/check_bench.sh` diffs the written file against the committed
+//! baseline `scripts/bench_baseline_pr5.json` with a tolerance band.
+
+use autoindex_core::{serve, AutoIndex, AutoIndexConfig, ServeConfig};
+use autoindex_estimator::NativeCostEstimator;
+use autoindex_storage::{SimDb, SimDbConfig};
+use autoindex_support::json::{obj, Json};
+use autoindex_support::obs::MetricsRegistry;
+use autoindex_workloads::banking::{self, BankingGenerator};
+use std::time::Instant;
+
+const STATEMENTS: usize = 4_000;
+const EPOCH_INTERVAL: u64 = 1_000;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const REQUIRED_SPEEDUP_AT_4: f64 = 2.0;
+
+struct Row {
+    workers: usize,
+    executed: u64,
+    parse_failures: u64,
+    tuning_rounds: u64,
+    epochs: usize,
+    total_sim_ms: f64,
+    makespan_ms: f64,
+    simulated_qps: f64,
+    speedup_vs_1: f64,
+    deterministic_match: bool,
+    wall_ms: u64,
+}
+
+fn fresh_db() -> SimDb {
+    let mut db = SimDb::with_metrics(
+        banking::catalog(),
+        SimDbConfig::default(),
+        MetricsRegistry::new(),
+    );
+    for d in banking::dba_indexes().into_iter().take(40) {
+        let _ = db.create_index(d);
+    }
+    db
+}
+
+fn main() {
+    let mut generator = BankingGenerator::new(17);
+    let queries: Vec<String> = generator
+        .generate_hybrid(STATEMENTS, 0.6)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut baseline_transcript = String::new();
+    let mut baseline_qps = 0.0;
+    for &workers in &WORKER_SWEEP {
+        let cfg = ServeConfig::builder()
+            .workers(workers)
+            .epoch_interval(EPOCH_INTERVAL)
+            .deterministic(true)
+            .seed(61)
+            .build()
+            .expect("static serve config");
+        let advisor = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+        let start = Instant::now();
+        let out = serve(fresh_db(), advisor, &queries, cfg).expect("serve run");
+        let wall_ms = start.elapsed().as_millis() as u64;
+        let r = out.report;
+
+        assert_eq!(
+            r.executed + r.parse_failures,
+            STATEMENTS as u64,
+            "workers={workers}: stream not fully accounted"
+        );
+        let transcript = r.transcript();
+        if workers == 1 {
+            baseline_transcript = transcript.clone();
+            baseline_qps = r.simulated_qps();
+        }
+        let deterministic_match = transcript == baseline_transcript;
+        assert!(
+            deterministic_match,
+            "workers={workers}: transcript diverged from the 1-worker run"
+        );
+
+        let qps = r.simulated_qps();
+        let speedup = if baseline_qps > 0.0 {
+            qps / baseline_qps
+        } else {
+            0.0
+        };
+        eprintln!(
+            "workers {workers}: executed {} | makespan {:.1} sim-ms | {:.0} sim-qps | {:.2}x | {} ms wall",
+            r.executed,
+            r.makespan_ms(),
+            qps,
+            speedup,
+            wall_ms
+        );
+        rows.push(Row {
+            workers,
+            executed: r.executed,
+            parse_failures: r.parse_failures,
+            tuning_rounds: r.tuning_rounds,
+            epochs: r.epochs.len(),
+            total_sim_ms: r.total_sim_latency_ms,
+            makespan_ms: r.makespan_ms(),
+            simulated_qps: qps,
+            speedup_vs_1: speedup,
+            deterministic_match,
+            wall_ms,
+        });
+    }
+
+    let at4 = rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker row")
+        .speedup_vs_1;
+    assert!(
+        at4 >= REQUIRED_SPEEDUP_AT_4,
+        "4 workers reached only {at4:.2}x simulated throughput (need >= {REQUIRED_SPEEDUP_AT_4}x)"
+    );
+
+    let doc = obj([
+        ("bench", Json::from("throughput")),
+        (
+            "workload",
+            Json::from(format!(
+                "banking hybrid, {STATEMENTS} statements, deterministic serve, epoch {EPOCH_INTERVAL}"
+            )),
+        ),
+        (
+            "metric",
+            Json::from(
+                "simulated_qps = executed * 1000 / makespan_ms (simulated time domain; \
+                 host independent — see docs/SERVING.md)",
+            ),
+        ),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        obj([
+                            ("workers", Json::from(r.workers as u64)),
+                            ("executed", Json::from(r.executed)),
+                            ("parse_failures", Json::from(r.parse_failures)),
+                            ("tuning_rounds", Json::from(r.tuning_rounds)),
+                            ("epochs", Json::from(r.epochs as u64)),
+                            ("total_sim_ms", Json::from(r.total_sim_ms)),
+                            ("makespan_ms", Json::from(r.makespan_ms)),
+                            ("simulated_qps", Json::from(r.simulated_qps)),
+                            ("speedup_vs_1", Json::from(r.speedup_vs_1)),
+                            ("deterministic_match", Json::from(r.deterministic_match)),
+                            ("wall_ms", Json::from(r.wall_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gate",
+            obj([
+                ("required_speedup_at_4", Json::from(REQUIRED_SPEEDUP_AT_4)),
+                ("achieved_speedup_at_4", Json::from(at4)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    std::fs::write(path, format!("{}\n", doc.pretty())).expect("write BENCH_PR5.json");
+    eprintln!("wrote {path}");
+}

@@ -12,10 +12,10 @@ use autoindex_core::{
 use autoindex_estimator::{
     kfold_cross_validate, CollectConfig, FoldReport, TrainConfig, TrainingSet,
 };
+use autoindex_sql::Statement;
 use autoindex_storage::index::IndexDef;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::SimDbConfig;
-use autoindex_sql::Statement;
 use autoindex_workloads::banking::{self, BankingGenerator, Service};
 use autoindex_workloads::tpcc::{self, TpccGenerator, TpccScale};
 use autoindex_workloads::tpcds;
@@ -289,10 +289,7 @@ pub fn fig8_templates(txns: usize) -> Fig8Outcome {
 
     // Template mode: the normal pipeline.
     let mut db_t = fresh_db(&scenario, tpcc_db_config(scale));
-    let mut ai = AutoIndex::new(
-        AutoIndexConfig::default(),
-        crate::BorrowedEstimator(&est),
-    );
+    let mut ai = AutoIndex::new(AutoIndexConfig::default(), crate::BorrowedEstimator(&est));
     let t0 = Instant::now();
     ai.observe_batch(queries.iter().map(String::as_str), &db_t);
     let templates = ai.template_count();
@@ -360,10 +357,7 @@ pub fn fig9_dynamic(rounds: usize, txns_per_round: usize) -> Vec<Fig9Round> {
         fresh_db(&scenario, tpcc_db_config(scale)),
         fresh_db(&scenario, tpcc_db_config(scale)),
     ];
-    let mut auto = AutoIndex::new(
-        AutoIndexConfig::default(),
-        crate::BorrowedEstimator(&est),
-    );
+    let mut auto = AutoIndex::new(AutoIndexConfig::default(), crate::BorrowedEstimator(&est));
 
     for round in 0..rounds {
         // Rounds shift the mix: later rounds skew toward OrderStatus reads
@@ -385,8 +379,7 @@ pub fn fig9_dynamic(rounds: usize, txns_per_round: usize) -> Vec<Fig9Round> {
                         .iter()
                         .map(|s| (QueryShape::extract(s, db.catalog()), 1))
                         .collect();
-                    let existing: Vec<IndexDef> =
-                        db.indexes().map(|(_, d)| d.clone()).collect();
+                    let existing: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
                     let cands = CandidateGenerator::new(CandidateConfig::default()).generate(
                         &shapes,
                         db.catalog(),
@@ -725,7 +718,7 @@ mod tests {
     fn fig9_rounds_shape() {
         let rows = fig9_dynamic(2, 30);
         assert_eq!(rows.len(), 6); // 2 rounds x 3 methods
-        // Default never tunes.
+                                   // Default never tunes.
         for r in rows.iter().filter(|r| r.method == Method::Default) {
             assert_eq!(r.tuning_time, Duration::ZERO);
         }
@@ -886,10 +879,7 @@ pub fn ablation_prune(n_queries: usize) -> Vec<AblationRow> {
 pub fn ablation_estimator(_txns: usize) -> Vec<AblationRow> {
     use autoindex_workloads::epidemic::{self, EpidemicGenerator, Phase};
     let make_db = || {
-        let mut db = autoindex_storage::SimDb::new(
-            epidemic::catalog(),
-            SimDbConfig::default(),
-        );
+        let mut db = autoindex_storage::SimDb::new(epidemic::catalog(), SimDbConfig::default());
         for d in epidemic::default_indexes() {
             db.create_index(d).expect("default index");
         }

@@ -20,10 +20,10 @@ use autoindex_core::{CandidateConfig, CandidateGenerator};
 use autoindex_estimator::{
     CollectConfig, CostEstimator, LearnedCostEstimator, TrainConfig, TrainingSet,
 };
+use autoindex_sql::{parse_statement, Statement};
 use autoindex_storage::index::IndexDef;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{SimDb, SimDbConfig, WorkloadMeasurement};
-use autoindex_sql::{parse_statement, Statement};
 use autoindex_workloads::Scenario;
 use std::time::{Duration, Instant};
 

@@ -304,17 +304,17 @@ impl CandidateGenerator {
         if self.config.partitioned_variants {
             let locals: Vec<IndexDef> = out
                 .iter()
-                .filter(|d| {
-                    catalog
-                        .table(&d.table)
-                        .is_some_and(|t| t.partitions > 1)
-                })
+                .filter(|d| catalog.table(&d.table).is_some_and(|t| t.partitions > 1))
                 .map(|d| d.clone().with_scope(IndexScope::Local))
                 .filter(|l| !existing.contains(l))
                 .collect();
             out.extend(locals);
         }
-        out.sort_by(|a, b| a.key().cmp(&b.key()).then(a.scope_key().cmp(&b.scope_key())));
+        out.sort_by(|a, b| {
+            a.key()
+                .cmp(&b.key())
+                .then(a.scope_key().cmp(&b.scope_key()))
+        });
         out
     }
 }
@@ -339,11 +339,7 @@ fn serves_conjunct(
         return false;
     }
     // Fixed prefix: position-sensitive.
-    if !index_cols
-        .iter()
-        .zip(fixed_prefix)
-        .all(|(a, b)| a == b)
-    {
+    if !index_cols.iter().zip(fixed_prefix).all(|(a, b)| a == b) {
         return false;
     }
     let mut remaining: Vec<&String> = eq_cols.iter().collect();
@@ -383,9 +379,9 @@ impl ScopeKey for IndexDef {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autoindex_sql::parse_statement;
     use autoindex_storage::catalog::{Column, TableBuilder};
     use autoindex_storage::shape::QueryShape;
-    use autoindex_sql::parse_statement;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -423,12 +419,7 @@ mod tests {
         let c = catalog();
         let workload: Vec<(QueryShape, u64)> = sqls
             .iter()
-            .map(|s| {
-                (
-                    QueryShape::extract(&parse_statement(s).unwrap(), &c),
-                    1u64,
-                )
-            })
+            .map(|s| (QueryShape::extract(&parse_statement(s).unwrap(), &c), 1u64))
             .collect();
         CandidateGenerator::new(CandidateConfig::default()).generate(&workload, &c, existing)
     }
@@ -439,10 +430,17 @@ mod tests {
 
     #[test]
     fn composite_from_and_conjunct() {
-        let c = gen(&["SELECT * FROM orders WHERE o_c_id = 5 AND o_w_id = 2"], &[]);
+        let c = gen(
+            &["SELECT * FROM orders WHERE o_c_id = 5 AND o_w_id = 2"],
+            &[],
+        );
         // Equality atoms ordered most-selective-first: o_c_id (1/30000)
         // before o_w_id (1/100).
-        assert!(keys(&c).contains(&"orders(o_c_id,o_w_id)".to_string()), "{:?}", keys(&c));
+        assert!(
+            keys(&c).contains(&"orders(o_c_id,o_w_id)".to_string()),
+            "{:?}",
+            keys(&c)
+        );
     }
 
     #[test]
@@ -451,7 +449,11 @@ mod tests {
             &["SELECT * FROM orders WHERE o_amount > 9000 AND o_c_id = 5"],
             &[],
         );
-        assert!(keys(&c).contains(&"orders(o_c_id,o_amount)".to_string()), "{:?}", keys(&c));
+        assert!(
+            keys(&c).contains(&"orders(o_c_id,o_amount)".to_string()),
+            "{:?}",
+            keys(&c)
+        );
     }
 
     #[test]
@@ -518,7 +520,11 @@ mod tests {
     fn trivially_distinct_group_skipped() {
         // Grouping by a unique column takes no effect.
         let c = gen(&["SELECT c_id, COUNT(*) FROM customer GROUP BY c_id"], &[]);
-        assert!(!keys(&c).contains(&"customer(c_id)".to_string()), "{:?}", keys(&c));
+        assert!(
+            !keys(&c).contains(&"customer(c_id)".to_string()),
+            "{:?}",
+            keys(&c)
+        );
     }
 
     #[test]
@@ -532,7 +538,10 @@ mod tests {
         );
         let k = keys(&c);
         assert!(k.contains(&"orders(o_c_id,o_w_id)".to_string()));
-        assert!(!k.contains(&"orders(o_c_id)".to_string()), "prefix must merge: {k:?}");
+        assert!(
+            !k.contains(&"orders(o_c_id)".to_string()),
+            "prefix must merge: {k:?}"
+        );
     }
 
     #[test]
@@ -571,16 +580,46 @@ mod tests {
     fn serves_conjunct_rules() {
         let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
         // Permuted equality prefix.
-        assert!(serves_conjunct(&s(&["a", "b", "c"]), &[], &s(&["b", "a"]), None));
+        assert!(serves_conjunct(
+            &s(&["a", "b", "c"]),
+            &[],
+            &s(&["b", "a"]),
+            None
+        ));
         // Range must follow the consumed equalities.
         let r = "r".to_string();
-        assert!(serves_conjunct(&s(&["a", "b", "r"]), &[], &s(&["b", "a"]), Some(&r)));
-        assert!(!serves_conjunct(&s(&["a", "r", "b"]), &[], &s(&["b", "a"]), Some(&r)));
+        assert!(serves_conjunct(
+            &s(&["a", "b", "r"]),
+            &[],
+            &s(&["b", "a"]),
+            Some(&r)
+        ));
+        assert!(!serves_conjunct(
+            &s(&["a", "r", "b"]),
+            &[],
+            &s(&["b", "a"]),
+            Some(&r)
+        ));
         // Foreign column interrupting the prefix defeats it.
-        assert!(!serves_conjunct(&s(&["a", "x", "b"]), &[], &s(&["a", "b"]), None));
+        assert!(!serves_conjunct(
+            &s(&["a", "x", "b"]),
+            &[],
+            &s(&["a", "b"]),
+            None
+        ));
         // Fixed prefix is position-sensitive.
-        assert!(serves_conjunct(&s(&["j", "a"]), &s(&["j"]), &s(&["a"]), None));
-        assert!(!serves_conjunct(&s(&["a", "j"]), &s(&["j"]), &s(&["a"]), None));
+        assert!(serves_conjunct(
+            &s(&["j", "a"]),
+            &s(&["j"]),
+            &s(&["a"]),
+            None
+        ));
+        assert!(!serves_conjunct(
+            &s(&["a", "j"]),
+            &s(&["j"]),
+            &s(&["a"]),
+            None
+        ));
         // Too short.
         assert!(!serves_conjunct(&s(&["a"]), &[], &s(&["a", "b"]), None));
     }

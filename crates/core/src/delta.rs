@@ -127,11 +127,11 @@ impl<'w> DeltaWorkload<'w> {
 mod tests {
     use super::*;
     use autoindex_estimator::NativeCostEstimator;
+    use autoindex_sql::parse_statement;
     use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
     use autoindex_storage::index::IndexDef;
     use autoindex_storage::SimDbConfig;
     use autoindex_support::obs::MetricsRegistry;
-    use autoindex_sql::parse_statement;
 
     fn db() -> SimDb {
         let mut c = Catalog::new();

@@ -87,9 +87,7 @@ impl IndexDiagnosis {
                 && db
                     .index_def(id)
                     .and_then(|d| db.catalog().table(&d.table).map(|t| (d, t)))
-                    .is_some_and(|(d, t)| {
-                        !t.primary_key.is_empty() && d.columns == t.primary_key
-                    })
+                    .is_some_and(|(d, t)| !t.primary_key.is_empty() && d.columns == t.primary_key)
         };
         let (rarely_used, negative) = if usage.statements >= self.config.min_statements {
             (
@@ -162,10 +160,10 @@ impl IndexDiagnosis {
 mod tests {
     use super::*;
     use autoindex_estimator::NativeCostEstimator;
+    use autoindex_sql::parse_statement;
     use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
     use autoindex_storage::shape::QueryShape;
     use autoindex_storage::SimDbConfig;
-    use autoindex_sql::parse_statement;
 
     fn db() -> SimDb {
         let mut c = Catalog::new();
@@ -201,11 +199,8 @@ mod tests {
             db.execute(&q);
         }
         let w = shapes(&db, &[("SELECT * FROM t WHERE a = 1", 100)]);
-        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
-            &db,
-            &w,
-            &NativeCostEstimator,
-        );
+        let rep =
+            IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(&db, &w, &NativeCostEstimator);
         assert!(!rep.should_tune, "{rep:?}");
         assert!(rep.rarely_used.is_empty());
     }
@@ -218,11 +213,8 @@ mod tests {
             db.execute(&q);
         }
         let w = shapes(&db, &[("SELECT * FROM t WHERE a = 1", 100)]);
-        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
-            &db,
-            &w,
-            &NativeCostEstimator,
-        );
+        let rep =
+            IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(&db, &w, &NativeCostEstimator);
         assert!(rep.missing_benefit > 0.5);
         assert!(rep.should_tune);
     }
@@ -239,11 +231,8 @@ mod tests {
             db.execute(&q);
         }
         let w = shapes(&db, &[("SELECT COUNT(*) FROM t", 100)]);
-        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
-            &db,
-            &w,
-            &NativeCostEstimator,
-        );
+        let rep =
+            IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(&db, &w, &NativeCostEstimator);
         assert!(rep.problem_ratio > 0.9);
         assert!(rep.should_tune);
     }
@@ -257,11 +246,8 @@ mod tests {
             db.execute(&ins);
         }
         let w = shapes(&db, &[("INSERT INTO t (a, b, c) VALUES (1, 2, 3)", 100)]);
-        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
-            &db,
-            &w,
-            &NativeCostEstimator,
-        );
+        let rep =
+            IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(&db, &w, &NativeCostEstimator);
         assert!(rep.negative.contains(&id), "{rep:?}");
         assert!(rep.should_tune);
     }
@@ -285,15 +271,9 @@ mod tests {
         for _ in 0..600 {
             db.execute(&q);
         }
-        let w = vec![(
-            QueryShape::extract(&q, db.catalog()),
-            100u64,
-        )];
-        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
-            &db,
-            &w,
-            &NativeCostEstimator,
-        );
+        let w = vec![(QueryShape::extract(&q, db.catalog()), 100u64)];
+        let rep =
+            IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(&db, &w, &NativeCostEstimator);
         // The unused PK index must not count as a problem.
         assert!(rep.rarely_used.is_empty(), "{rep:?}");
         assert!(!rep.should_tune, "{rep:?}");
@@ -317,11 +297,8 @@ mod tests {
             db.execute(&q);
         }
         let w = shapes(&db, &[("SELECT COUNT(*) FROM t", 10)]);
-        let rep = IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(
-            &db,
-            &w,
-            &NativeCostEstimator,
-        );
+        let rep =
+            IndexDiagnosis::new(DiagnosisConfig::default()).diagnose(&db, &w, &NativeCostEstimator);
         assert!(rep.rarely_used.is_empty());
         assert_eq!(rep.problem_ratio, 0.0);
     }

@@ -78,7 +78,9 @@ mod tests {
             reason: "must be >= 1".into(),
         };
         assert!(e.to_string().contains("mcts.iterations"));
-        assert!(AutoIndexError::ObserveOnly.to_string().contains("observe-only"));
+        assert!(AutoIndexError::ObserveOnly
+            .to_string()
+            .contains("observe-only"));
         let s: AutoIndexError = StorageError::UnknownTable("t".into()).into();
         assert!(s.to_string().contains("unknown table"));
     }

@@ -48,26 +48,23 @@ pub fn greedy_select<E: CostEstimator>(
     rank_candidates(db, estimator, workload, candidates, existing)
         .into_iter()
         .filter(|c| c.benefit > 0.0)
-        .scan(
-            (existing_size(db, existing), 0usize),
-            |(used, count), c| {
-                if let Some(max) = config.max_indexes {
-                    if *count >= max {
-                        return None;
-                    }
+        .scan((existing_size(db, existing), 0usize), |(used, count), c| {
+            if let Some(max) = config.max_indexes {
+                if *count >= max {
+                    return None;
                 }
-                if let Some(b) = config.budget {
-                    if *used + c.size > b {
-                        // Skip candidates that no longer fit; keep trying
-                        // smaller ones (standard top-k with knapsack skip).
-                        return Some(None);
-                    }
+            }
+            if let Some(b) = config.budget {
+                if *used + c.size > b {
+                    // Skip candidates that no longer fit; keep trying
+                    // smaller ones (standard top-k with knapsack skip).
+                    return Some(None);
                 }
-                *used += c.size;
-                *count += 1;
-                Some(Some(c.def))
-            },
-        )
+            }
+            *used += c.size;
+            *count += 1;
+            Some(Some(c.def))
+        })
         .flatten()
         .collect()
 }
@@ -187,10 +184,10 @@ fn existing_size(db: &SimDb, existing: &[IndexDef]) -> u64 {
 mod tests {
     use super::*;
     use autoindex_estimator::NativeCostEstimator;
+    use autoindex_sql::parse_statement;
     use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
     use autoindex_storage::shape::QueryShape;
     use autoindex_storage::SimDbConfig;
-    use autoindex_sql::parse_statement;
 
     fn db() -> SimDb {
         let mut c = Catalog::new();
@@ -343,8 +340,7 @@ mod tests {
             IndexDef::new("t", &["c", "a"]),
         ];
         let serial = rank_candidates(&db, &NativeCostEstimator, &w, &cands, &[]);
-        let parallel =
-            rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], 4);
+        let parallel = rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], 4);
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.def, p.def);
@@ -400,8 +396,7 @@ mod tests {
         ];
         let serial = rank_candidates(&db, &NativeCostEstimator, &w, &cands, &[]);
         for threads in [1usize, 2, 4] {
-            let par =
-                rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], threads);
+            let par = rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], threads);
             assert_eq!(serial.len(), par.len());
             for (s, p) in serial.iter().zip(&par) {
                 // Byte-identical ordering AND scores: same FP operations in
@@ -468,8 +463,7 @@ mod tests {
             IndexDef::new("t", &["a", "c"]),
         ];
         let serial = rank_candidates(&db, &NativeCostEstimator, &w, &cands, &[]);
-        let auto_ranked =
-            rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], 0);
+        let auto_ranked = rank_candidates_parallel(&db, &NativeCostEstimator, &w, &cands, &[], 0);
         assert_eq!(serial.len(), auto_ranked.len());
         for (s, p) in serial.iter().zip(&auto_ranked) {
             assert_eq!(s.def, p.def);

@@ -102,9 +102,10 @@ impl GuardConfig {
         if failures == 0 {
             return 0;
         }
-        let scaled =
-            self.cooldown_initial as f64 * self.cooldown_factor.powi(failures as i32 - 1);
-        (scaled as u64).min(self.cooldown_max).max(self.cooldown_initial.min(self.cooldown_max))
+        let scaled = self.cooldown_initial as f64 * self.cooldown_factor.powi(failures as i32 - 1);
+        (scaled as u64)
+            .min(self.cooldown_max)
+            .max(self.cooldown_initial.min(self.cooldown_max))
     }
 }
 
@@ -114,14 +115,8 @@ pub struct GuardConfigBuilder {
     cfg: GuardConfigInner,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct GuardConfigInner(GuardConfig);
-
-impl Default for GuardConfigInner {
-    fn default() -> Self {
-        GuardConfigInner(GuardConfig::default())
-    }
-}
 
 impl GuardConfigBuilder {
     pub fn probation_statements(mut self, v: u64) -> Self {
@@ -207,7 +202,7 @@ impl IndexSnapshot {
     /// Capture the database's current real index set.
     pub fn capture(db: &SimDb) -> Self {
         let mut defs: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
-        defs.sort_by(|a, b| a.key().cmp(&b.key()));
+        defs.sort_by_key(|d| d.key());
         IndexSnapshot { defs }
     }
 
@@ -277,10 +272,7 @@ pub enum GuardPhase {
 #[derive(Debug, Clone, PartialEq)]
 pub enum GuardEvent {
     /// Probation ended without a regression; the change is accepted.
-    ProbationPassed {
-        baseline_ms: f64,
-        probation_ms: f64,
-    },
+    ProbationPassed { baseline_ms: f64, probation_ms: f64 },
     /// Probation measured a regression beyond `max_regression`; the
     /// pre-apply snapshot was restored.
     RolledBack {
@@ -698,7 +690,10 @@ mod tests {
             g.record_latency(1.0);
         }
         let ev = g.poll(10, &mut db);
-        assert!(matches!(ev, Some(GuardEvent::ProbationPassed { .. })), "{ev:?}");
+        assert!(
+            matches!(ev, Some(GuardEvent::ProbationPassed { .. })),
+            "{ev:?}"
+        );
         assert!(g.can_tune());
         assert_eq!(db.metrics().counter_value("guard.probation_passes"), 1);
         assert_eq!(g.consecutive_failures(), 0);
@@ -812,7 +807,10 @@ mod tests {
         assert!(matches!(v1, ApplyVerdict::RolledBack { .. }));
         assert!(matches!(g.phase(), GuardPhase::Cooldown { .. }));
         executed += 10;
-        assert!(matches!(g.poll(executed, &mut db), Some(GuardEvent::CooldownEnded)));
+        assert!(matches!(
+            g.poll(executed, &mut db),
+            Some(GuardEvent::CooldownEnded)
+        ));
         let (_, _, v2) = g.apply(&mut db, &r, executed);
         assert!(matches!(v2, ApplyVerdict::RolledBack { .. }));
         assert!(matches!(g.phase(), GuardPhase::ObserveOnly));
@@ -846,7 +844,10 @@ mod tests {
     #[test]
     fn builder_validates() {
         assert!(GuardConfig::builder().build().is_ok());
-        assert!(GuardConfig::builder().probation_statements(0).build().is_err());
+        assert!(GuardConfig::builder()
+            .probation_statements(0)
+            .build()
+            .is_err());
         assert!(GuardConfig::builder().cooldown_factor(0.5).build().is_err());
         assert!(GuardConfig::builder().max_regression(-1.0).build().is_err());
         assert!(GuardConfig::builder()
@@ -854,7 +855,10 @@ mod tests {
             .cooldown_max(10)
             .build()
             .is_err());
-        assert!(GuardConfig::builder().observe_only_after(0).build().is_err());
+        assert!(GuardConfig::builder()
+            .observe_only_after(0)
+            .build()
+            .is_err());
         let c = GuardConfig::builder()
             .max_regression(0.5)
             .probation_statements(42)

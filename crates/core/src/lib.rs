@@ -31,6 +31,12 @@
 //! * [`session`] — the unified [`session::TuningSession`] builder that
 //!   replaces the historical `tune`/`recommend`/`apply_recommendation`
 //!   entry points.
+//! * [`mod@serve`] — the concurrent online serving pipeline
+//!   (`docs/SERVING.md`): sharded executor threads drain the query stream
+//!   against epoch-versioned database snapshots while a single background
+//!   tuner thread merges their observations, runs diagnosis/tuning and
+//!   publishes configuration swaps at epoch boundaries; a deterministic
+//!   mode makes the whole pipeline worker-count invariant.
 //! * [`error`] — [`error::AutoIndexError`], the crate-wide error type.
 
 pub mod candgen;
@@ -41,6 +47,7 @@ pub mod greedy;
 pub mod guard;
 pub mod mcts;
 pub mod online;
+pub mod serve;
 pub mod session;
 pub mod system;
 pub mod templates;
@@ -49,12 +56,22 @@ pub use candgen::{CandidateConfig, CandidateGenerator};
 pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 pub use error::AutoIndexError;
-pub use greedy::{greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate};
-pub use guard::{ApplyVerdict, Guard, GuardConfig, GuardConfigBuilder, GuardEvent, GuardPhase, IndexSnapshot};
+pub use greedy::{
+    greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate,
+};
+pub use guard::{
+    ApplyVerdict, Guard, GuardConfig, GuardConfigBuilder, GuardEvent, GuardPhase, IndexSnapshot,
+};
 pub use mcts::{MctsConfig, MctsConfigBuilder, MctsSearch, PolicyTree, SearchOutcome};
 pub use online::{
     FeedOutcome, OnlineAutoIndex, OnlineConfig, OnlineConfigBuilder, OnlineEvent, RollbackReason,
 };
+pub use serve::{
+    logical_merge, serve, EpochRecord, Observation, ObservationPayload, ServeConfig,
+    ServeConfigBuilder, ServeOutcome, ServeReport,
+};
 pub use session::{SessionReport, TuningSession};
-pub use system::{AutoIndex, AutoIndexConfig, AutoIndexConfigBuilder, Recommendation, TuningReport};
+pub use system::{
+    AutoIndex, AutoIndexConfig, AutoIndexConfigBuilder, Recommendation, TuningReport,
+};
 pub use templates::{TemplateEntry, TemplateStore, TemplateStoreConfig};

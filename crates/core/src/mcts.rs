@@ -683,13 +683,7 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
                 m_rollouts.incr();
                 batch.push(self.random_descendant(&tree.nodes[current].config, &mut rng));
             }
-            let costs = self.eval_batch(
-                &batch,
-                &mut st,
-                &m_cache_hits,
-                &m_cache_misses,
-                delta_ctx,
-            );
+            let costs = self.eval_batch(&batch, &mut st, &m_cache_hits, &m_cache_misses, delta_ctx);
             let node_cost = costs[0];
             let mut best_local = node_cost;
             for (cfg, &c) in batch[1..].iter().zip(&costs[1..]) {
@@ -979,9 +973,9 @@ impl<'a, E: CostEstimator> MctsSearch<'a, E> {
 mod tests {
     use super::*;
     use autoindex_estimator::NativeCostEstimator;
+    use autoindex_sql::parse_statement;
     use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
     use autoindex_storage::SimDbConfig;
-    use autoindex_sql::parse_statement;
 
     #[test]
     fn config_set_basics() {

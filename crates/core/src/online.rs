@@ -16,6 +16,11 @@
 //! exponential backoff (see `docs/ROBUSTNESS.md`). This is the deployment
 //! shape the paper describes — a management process sitting next to the
 //! database, consuming its query log — made safe to leave unattended.
+//!
+//! `OnlineAutoIndex` is single-threaded: execution and tuning interleave
+//! on one thread. For the concurrent deployment shape — sharded executor
+//! threads plus a background tuner publishing configuration swaps at
+//! epoch boundaries — see [`mod@crate::serve`] and `docs/SERVING.md`.
 
 use crate::diagnosis::DiagnosisReport;
 use crate::error::{invalid, AutoIndexError};
@@ -155,10 +160,7 @@ pub enum OnlineEvent {
     /// A guarded change was undone (apply fault or probation regression).
     RolledBack(RollbackReason),
     /// Probation ended without a regression; the change is permanent.
-    ProbationPassed {
-        baseline_ms: f64,
-        probation_ms: f64,
-    },
+    ProbationPassed { baseline_ms: f64, probation_ms: f64 },
     /// A failure cooldown expired; tuning is possible again.
     CooldownEnded,
     /// Repeated failures drove the guard into observe-only mode; tuning is
@@ -207,10 +209,7 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
     /// error instead of the clamp.
     pub fn new(db: SimDb, advisor: AutoIndex<E>, mut config: OnlineConfig) -> Self {
         config.diagnosis_interval = config.diagnosis_interval.max(1);
-        let guard = config
-            .guard
-            .clone()
-            .map(|g| Guard::new(g, db.metrics()));
+        let guard = config.guard.clone().map(|g| Guard::new(g, db.metrics()));
         OnlineAutoIndex {
             db,
             advisor,
@@ -394,8 +393,7 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
                 let (created, dropped, verdict) = g.apply(&mut self.db, &rec, self.executed);
                 match verdict {
                     ApplyVerdict::Applied => {
-                        let report =
-                            self.advisor.report_from_parts(rec, created, dropped, start);
+                        let report = self.advisor.report_from_parts(rec, created, dropped, start);
                         if noop {
                             // Nothing changed; no probation was armed.
                             OnlineEvent::Tuned { diagnosis, report }
@@ -445,8 +443,7 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
         let mut out = Vec::new();
         for q in sqls {
             match self.feed(q).event {
-                OnlineEvent::Tuned { report, .. }
-                | OnlineEvent::GuardApplied { report, .. } => {
+                OnlineEvent::Tuned { report, .. } | OnlineEvent::GuardApplied { report, .. } => {
                     out.push((self.executed, report));
                 }
                 _ => {}
@@ -525,10 +522,10 @@ mod tests {
                 .map(String::as_str),
         );
         assert!(!events.is_empty(), "diagnosis must fire and tune");
-        assert!(o
-            .db()
-            .indexes()
-            .any(|(_, d)| d.key() == "t(a)"), "the missing index gets built");
+        assert!(
+            o.db().indexes().any(|(_, d)| d.key() == "t(a)"),
+            "the missing index gets built"
+        );
         assert!(o.tuning_rounds >= 1);
     }
 
@@ -733,8 +730,7 @@ mod tests {
             match fed.event {
                 OnlineEvent::GuardApplied { .. } => applied = true,
                 OnlineEvent::RolledBack(RollbackReason::ProbationRegression {
-                    regression,
-                    ..
+                    regression, ..
                 }) => {
                     rolled_back = true;
                     assert!(regression > 0.02);
@@ -743,14 +739,23 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(applied, "the maintenance-blind estimator must recommend the index");
-        assert!(rolled_back, "probation must measure the regression and roll back");
+        assert!(
+            applied,
+            "the maintenance-blind estimator must recommend the index"
+        );
+        assert!(
+            rolled_back,
+            "probation must measure the regression and roll back"
+        );
         assert!(
             !o.db().indexes().any(|(_, d)| d.key().starts_with("t(a")),
             "the harmful index is gone after rollback"
         );
         assert!(o.db().metrics().counter_value("guard.rollbacks") >= 1);
-        assert!(matches!(o.guard().unwrap().phase(), GuardPhase::Cooldown { .. }));
+        assert!(matches!(
+            o.guard().unwrap().phase(),
+            GuardPhase::Cooldown { .. }
+        ));
     }
 
     #[test]
@@ -762,10 +767,11 @@ mod tests {
             cooldown_max: 200,
             ..GuardConfig::default()
         });
-        o.db_mut().set_fault_plan(Some(FaultPlan::new(FaultPlanConfig {
-            build_failure: 1.0,
-            ..FaultPlanConfig::default()
-        })));
+        o.db_mut()
+            .set_fault_plan(Some(FaultPlan::new(FaultPlanConfig {
+                build_failure: 1.0,
+                ..FaultPlanConfig::default()
+            })));
         let mut rollbacks = 0;
         let mut observe_only = false;
         for i in 0..3_000 {
@@ -781,17 +787,14 @@ mod tests {
         }
         // Depending on where the second failure lands, the observe-only
         // entry may arrive from apply (no event loop pass) — check state.
-        let phase_observe =
-            matches!(o.guard().unwrap().phase(), GuardPhase::ObserveOnly);
+        let phase_observe = matches!(o.guard().unwrap().phase(), GuardPhase::ObserveOnly);
         assert!(rollbacks >= 1, "at least one apply rollback");
         assert!(
             observe_only || phase_observe,
             "repeated failures must suspend tuning"
         );
         assert_eq!(o.db().index_count(), 1, "only the PK index survives");
-        assert!(
-            o.db().metrics().counter_value("guard.observe_only_entries") >= 1
-        );
+        assert!(o.db().metrics().counter_value("guard.observe_only_entries") >= 1);
         // Operator reset re-arms tuning.
         o.reset_guard();
         assert!(o.guard().unwrap().can_tune());

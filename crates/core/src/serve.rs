@@ -1,0 +1,1347 @@
+//! Concurrent online serving: sharded executors + a background tuner.
+//!
+//! The paper's online loop ([`crate::online`]) observes queries, diagnoses
+//! drift and retunes *while the workload keeps running* — but our
+//! single-threaded [`OnlineAutoIndex`](crate::online::OnlineAutoIndex)
+//! interleaves execution and tuning on one thread, which caps the
+//! "heavy traffic" deployment shape. [`serve`] is the multi-worker
+//! front-end:
+//!
+//! ```text
+//!            shard 0..S  ┌──────────┐  bounded mpsc
+//!  queries ──────────────► executor ├───────────────┐
+//!  (seq-numbered         ├──────────┤               ▼
+//!   logical clock)       │ executor │        ┌─────────────┐   epoch
+//!            ...         ├──────────┤  ───►  │ tuner thread│──swaps──┐
+//!                        │ executor │        │ absorb/obs/ │         │
+//!                        └────▲─────┘        │ diagnose/   │         │
+//!                             │              │ TuningSession│        │
+//!                             └── Arc<DbSnapshot> ◄─(EpochGate)──────┘
+//! ```
+//!
+//! * **Executors** drain deterministically sharded slices of the query
+//!   stream against a shared, immutable [`DbSnapshot`]: the snapshot is
+//!   epoch-versioned behind an `RwLock`, and workers clone the `Arc` once
+//!   per epoch — the per-statement read path takes no lock at all.
+//! * **Observations** (execution outcome + detached usage delta, stamped
+//!   with the statement's global sequence number) flow over a bounded
+//!   [`std::sync::mpsc::sync_channel`] into a single background tuner.
+//! * **The tuner** owns the live [`SimDb`] and the advisor. It merges
+//!   observations on the logical clock ([`logical_merge`]), absorbs their
+//!   side effects in sequence order, diagnoses at every epoch boundary and
+//!   runs the existing [`TuningSession`](crate::session::TuningSession)
+//!   (optionally [`Guard`](crate::guard::Guard)ed) pipeline — then
+//!   publishes the new configuration as the next epoch's snapshot.
+//!   Config swaps are **only** visible at epoch boundaries.
+//!
+//! # Determinism contract
+//!
+//! With [`ServeConfig::deterministic`] set (the default), a run is
+//! *byte-identical in its decisions* regardless of worker count:
+//! diagnoses, tuning decisions and the per-epoch `ConfigSet` fingerprints
+//! in [`ServeReport::transcript`] are equal for 1 and N workers. Three
+//! mechanisms make this hold (see `docs/SERVING.md`):
+//!
+//! 1. statement → shard assignment is a pure function of `(seed, seq)`,
+//! 2. measurement noise is derived per-`seq` (never from a shared RNG
+//!    stream), so an outcome does not depend on which thread computed it,
+//! 3. epochs are bulk-synchronous: workers wait for epoch *e*'s snapshot
+//!    before executing epoch-*e* statements, and the tuner merges each
+//!    epoch's observations in `seq` order before absorbing them.
+//!
+//! Worker count then only changes *which thread* computes each outcome —
+//! never the outcome itself. This is what makes the pipeline CI-testable:
+//! `scripts/verify.sh` compares the 1-worker and 4-worker transcripts
+//! byte-for-byte.
+//!
+//! # Crash safety
+//!
+//! Every statement executes inside `catch_unwind`; a panicking executor
+//! increments `serve.worker_panics`, emits a `Panicked` observation for
+//! its sequence slot (keeping epoch accounting exact) and — beyond
+//! [`ServeConfig::max_worker_panics`] — retires after pushing the
+//! unfinished remainder of its task back onto the queue. Workers never
+//! hold the epoch lock across user code, so a panic cannot poison it for
+//! the tuner; and waiting for an epoch is *bounded* — a worker whose
+//! target epoch is not yet published requeues its task (epoch-ordered)
+//! and re-pops, so a retired worker's remainder can never be stranded
+//! behind a parked peer. The surviving workers (or, in the limit, the
+//! coordinating thread itself) finish the stream.
+
+use crate::error::{invalid, AutoIndexError};
+use crate::guard::GuardConfig;
+use crate::mcts::{ConfigSet, Universe};
+use crate::system::AutoIndex;
+use autoindex_estimator::CostEstimator;
+use autoindex_sql::parse_statement;
+use autoindex_storage::shape::QueryShape;
+use autoindex_storage::{DbSnapshot, ExecOutcome, SimDb, UsageDelta};
+use autoindex_support::obs::{Counter, Gauge, MetricsRegistry};
+use autoindex_support::rng::derive_seed;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// Domain-separation salt for the statement → shard assignment stream.
+const SHARD_SALT: u64 = 0x51a4_d000_0b5e_55ed;
+
+// --------------------------------------------------------------- config
+
+/// Configuration of the serving pipeline. Prefer
+/// [`ServeConfig::builder`], which validates every field.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Executor threads. `0` means "one per available core"
+    /// (`std::thread::available_parallelism`), mirroring the greedy
+    /// ranker's convention.
+    pub workers: usize,
+    /// Logical shards the stream is split into. More shards than workers
+    /// gives the scheduler slack to balance uneven statement costs.
+    pub shards: u64,
+    /// Statements per epoch: the cadence of observation merging,
+    /// diagnosis and (potential) config swaps.
+    pub epoch_interval: u64,
+    /// Bound of the observation channel (backpressure on executors).
+    pub channel_capacity: usize,
+    /// Enforce the determinism contract (bulk-synchronous epochs +
+    /// logical-clock merge). See the [module docs](self).
+    pub deterministic: bool,
+    /// Seed of the shard-assignment stream.
+    pub seed: u64,
+    /// Minimum epochs between two tuning rounds.
+    pub tuning_cooldown_epochs: u64,
+    /// Reset usage counters after each tuning round (fresh measurement
+    /// window for the new configuration), like the online loop.
+    pub reset_usage_after_tuning: bool,
+    /// Run tuning rounds through the guard pipeline (shadow admission,
+    /// snapshot, fault-safe DDL, automatic rollback).
+    pub guard: Option<GuardConfig>,
+    /// Panics a worker absorbs before retiring (graceful degradation).
+    /// `0` retires a worker on its first panic.
+    pub max_worker_panics: u64,
+    /// Test knob: sequence numbers at which the executing worker panics
+    /// (inside its `catch_unwind` fence). Seq-keyed, so injected crashes
+    /// reproduce identically at any worker count.
+    pub panic_on: Vec<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            shards: 16,
+            epoch_interval: 1_000,
+            channel_capacity: 1_024,
+            deterministic: true,
+            seed: 42,
+            tuning_cooldown_epochs: 1,
+            reset_usage_after_tuning: true,
+            guard: None,
+            max_worker_panics: 0,
+            panic_on: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validated builder (preferred over struct-literal construction).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// Resolve `workers == 0` to the available parallelism.
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]; `build()` validates every field.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    pub fn workers(mut self, v: usize) -> Self {
+        self.cfg.workers = v;
+        self
+    }
+    pub fn shards(mut self, v: u64) -> Self {
+        self.cfg.shards = v;
+        self
+    }
+    pub fn epoch_interval(mut self, v: u64) -> Self {
+        self.cfg.epoch_interval = v;
+        self
+    }
+    pub fn channel_capacity(mut self, v: usize) -> Self {
+        self.cfg.channel_capacity = v;
+        self
+    }
+    pub fn deterministic(mut self, v: bool) -> Self {
+        self.cfg.deterministic = v;
+        self
+    }
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+    pub fn tuning_cooldown_epochs(mut self, v: u64) -> Self {
+        self.cfg.tuning_cooldown_epochs = v;
+        self
+    }
+    pub fn reset_usage_after_tuning(mut self, v: bool) -> Self {
+        self.cfg.reset_usage_after_tuning = v;
+        self
+    }
+    pub fn guard(mut self, v: impl Into<Option<GuardConfig>>) -> Self {
+        self.cfg.guard = v.into();
+        self
+    }
+    pub fn max_worker_panics(mut self, v: u64) -> Self {
+        self.cfg.max_worker_panics = v;
+        self
+    }
+    pub fn panic_on(mut self, v: Vec<u64>) -> Self {
+        self.cfg.panic_on = v;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<ServeConfig, AutoIndexError> {
+        let c = self.cfg;
+        if c.shards == 0 {
+            return Err(invalid("serve.shards", "must be >= 1"));
+        }
+        if c.epoch_interval == 0 {
+            return Err(invalid(
+                "serve.epoch_interval",
+                "must be >= 1 (a zero-length epoch never completes)",
+            ));
+        }
+        if c.channel_capacity == 0 {
+            return Err(invalid(
+                "serve.channel_capacity",
+                "must be >= 1 (a zero-capacity channel deadlocks rendezvous-style)",
+            ));
+        }
+        Ok(c)
+    }
+}
+
+// --------------------------------------------------------- observations
+
+/// Why a sequence slot produced no [`ExecOutcome`].
+#[derive(Debug, Clone)]
+pub enum ObservationPayload {
+    /// The statement executed against the epoch snapshot.
+    Executed {
+        outcome: ExecOutcome,
+        delta: UsageDelta,
+    },
+    /// The statement did not parse; the slot is accounted but empty.
+    ParseFailed,
+    /// The executing worker panicked on this statement (the panic was
+    /// caught; the slot is accounted but empty).
+    Panicked,
+}
+
+/// One statement's result, stamped with its logical-clock position.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Global sequence number of the statement in the input stream — the
+    /// logical clock the tuner merges on.
+    pub seq: u64,
+    /// Epoch the statement was executed under.
+    pub epoch: u64,
+    pub payload: ObservationPayload,
+}
+
+/// Restore logical-clock order over a batch of observations.
+///
+/// This is the serving pipeline's merge operator: whatever arrival order
+/// N workers produce, sorting on `seq` yields the same sequence a single
+/// worker would have produced — the permutation-invariance the
+/// determinism contract rests on (property-tested in
+/// `crates/core/tests/serving.rs`).
+pub fn logical_merge(batch: &mut [Observation]) {
+    batch.sort_unstable_by_key(|o| o.seq);
+}
+
+/// Statement → shard assignment: a pure function of `(seed, seq)`, so the
+/// partition of the stream is identical at any worker count.
+fn shard_of(seed: u64, seq: u64, shards: u64) -> u64 {
+    derive_seed(seed ^ SHARD_SALT, seq) % shards
+}
+
+// ------------------------------------------------------------ epoch gate
+
+/// The epoch-versioned snapshot publication point.
+///
+/// The tuner [`publish`](EpochGate::publish)es a fresh [`DbSnapshot`] at
+/// each epoch boundary; workers [`wait_for`](EpochGate::wait_for) the
+/// epoch they are about to execute (deterministic mode) or grab
+/// [`latest`](EpochGate::latest) (free-running mode). The snapshot sits
+/// behind an `RwLock<Arc<..>>` that is only touched on epoch transitions;
+/// the per-statement read path works off the cloned `Arc` and takes no
+/// lock. All lock acquisitions recover from poisoning
+/// (`PoisonError::into_inner`), and workers never hold the lock across
+/// statement execution, so a worker panic cannot wedge the tuner.
+struct EpochGate {
+    epoch: AtomicU64,
+    snap: RwLock<Arc<DbSnapshot>>,
+    aborted: AtomicBool,
+    wait_lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl EpochGate {
+    fn new(initial: Arc<DbSnapshot>) -> Self {
+        let epoch = initial.epoch;
+        EpochGate {
+            epoch: AtomicU64::new(epoch),
+            snap: RwLock::new(initial),
+            aborted: AtomicBool::new(false),
+            wait_lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The latest published snapshot (brief read lock, then lock-free).
+    fn latest(&self) -> Arc<DbSnapshot> {
+        self.snap
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publish `snap` as the current epoch and wake every waiter.
+    fn publish(&self, snap: Arc<DbSnapshot>) {
+        let epoch = snap.epoch;
+        *self.snap.write().unwrap_or_else(PoisonError::into_inner) = snap;
+        self.epoch.store(epoch, Ordering::Release);
+        let _g = self
+            .wait_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.cv.notify_all();
+    }
+
+    /// Bounded wait for epoch `target`. Returns [`EpochWait::Ready`] with
+    /// the snapshot once `target` (or later) is published,
+    /// [`EpochWait::Aborted`] when the pipeline aborted, and
+    /// [`EpochWait::TimedOut`] after one condvar timeout slice.
+    ///
+    /// The wait is deliberately *not* unbounded: a worker that parks here
+    /// is holding a task, and if every surviving worker parked on epoch
+    /// `e+1` while a retired worker's requeued epoch-`e` remainder sat in
+    /// the queue, nobody would ever finish epoch `e` and the pipeline
+    /// would deadlock. Timing out lets the caller put its task back and
+    /// re-pop the (epoch-ordered) queue, so stranded earlier-epoch work
+    /// is always picked up by the next woken worker.
+    fn wait_for(&self, target: u64) -> EpochWait {
+        if self.aborted.load(Ordering::Acquire) {
+            return EpochWait::Aborted;
+        }
+        if self.epoch.load(Ordering::Acquire) >= target {
+            return EpochWait::Ready(self.latest());
+        }
+        let g = self
+            .wait_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the lock (publish notifies while holding it),
+        // then sleep one timeout slice.
+        if self.epoch.load(Ordering::Acquire) < target && !self.aborted.load(Ordering::Acquire) {
+            let _ = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(20))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if self.aborted.load(Ordering::Acquire) {
+            EpochWait::Aborted
+        } else if self.epoch.load(Ordering::Acquire) >= target {
+            EpochWait::Ready(self.latest())
+        } else {
+            EpochWait::TimedOut
+        }
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        let _g = self
+            .wait_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.cv.notify_all();
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+}
+
+/// Outcome of one bounded [`EpochGate::wait_for`] slice.
+enum EpochWait {
+    /// The target epoch is published; here is its snapshot.
+    Ready(Arc<DbSnapshot>),
+    /// The pipeline aborted; the worker should exit.
+    Aborted,
+    /// The timeout slice elapsed without the epoch appearing; the worker
+    /// should requeue its task and re-pop so earlier-epoch work (e.g. a
+    /// retired worker's remainder) is never stranded behind it.
+    TimedOut,
+}
+
+// ------------------------------------------------------------ task queue
+
+/// One unit of executor work: the statements of `epoch` that map to
+/// `shard`, starting at `resume_at` (mid-task restart after a panic).
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    epoch: u64,
+    shard: u64,
+    resume_at: u64,
+}
+
+/// Shared work queue, epoch-major so bulk-synchronous runs make progress
+/// front-to-back. Poison-recovering like the gate.
+struct TaskQueue(Mutex<VecDeque<Task>>);
+
+impl TaskQueue {
+    fn pop(&self) -> Option<Task> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Put a task back preserving the epoch-major invariant (insert
+    /// before the first strictly-later epoch). Because the queue stays
+    /// sorted by epoch, `pop` always yields the earliest outstanding
+    /// epoch — whose snapshot is by construction already published — so a
+    /// requeued remainder can never hide behind unexecutable work.
+    fn requeue(&self, t: Task) {
+        let mut q = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        let pos = q.iter().position(|x| x.epoch > t.epoch).unwrap_or(q.len());
+        q.insert(pos, t);
+    }
+}
+
+// --------------------------------------------------------------- metrics
+
+/// Cached `serve.*` metric handles (all atomic, cross-thread safe).
+#[derive(Clone)]
+struct ServeMetrics {
+    executed: Counter,
+    parse_failures: Counter,
+    worker_panics: Counter,
+    workers_retired: Counter,
+    tuning_rounds: Counter,
+    epochs: Counter,
+    workers: Gauge,
+    busy_ms_max: Gauge,
+}
+
+impl ServeMetrics {
+    fn bind(m: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            executed: m.counter("serve.executed"),
+            parse_failures: m.counter("serve.parse_failures"),
+            worker_panics: m.counter("serve.worker_panics"),
+            workers_retired: m.counter("serve.workers_retired"),
+            tuning_rounds: m.counter("serve.tuning_rounds"),
+            epochs: m.counter("serve.epochs"),
+            workers: m.gauge("serve.workers"),
+            busy_ms_max: m.gauge("serve.worker_busy_ms_max"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- report
+
+/// What one epoch boundary decided. The formatted fields of this record
+/// are the determinism contract's observable surface.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    pub epoch: u64,
+    /// Sequence slots accounted in this epoch (executed + failed + panicked).
+    pub statements: u64,
+    /// Statements that actually executed.
+    pub executed: u64,
+    pub parse_failures: u64,
+    pub panics: u64,
+    /// Whether diagnosis fired at this boundary.
+    pub diagnosis_fired: bool,
+    /// The diagnosis problem ratio.
+    pub problem_ratio: f64,
+    /// Canonical rendering of the tuning decision (`none`, `cooldown`,
+    /// `noop`, `applied(+a,-d)`, `rolled_back`, `shadow_rejected`).
+    pub decision: String,
+    /// `ConfigSet` fingerprint of the real index set *after* the boundary.
+    pub config_fingerprint: u64,
+    /// Real indexes after the boundary.
+    pub index_count: usize,
+    /// Summed simulated latency of the epoch's executed statements, ms
+    /// (accumulated in `seq` order — deterministic).
+    pub sim_latency_ms: f64,
+}
+
+impl EpochRecord {
+    /// One transcript line. Everything here is decision-relevant and
+    /// deterministic; wall-clock never appears.
+    fn line(&self) -> String {
+        format!(
+            "epoch {}: stmts={} exec={} parse_err={} panics={} diag={} ratio={:.6} \
+             decision={} indexes={} fp={:016x} sim_ms={:.6}",
+            self.epoch,
+            self.statements,
+            self.executed,
+            self.parse_failures,
+            self.panics,
+            if self.diagnosis_fired {
+                "fired"
+            } else {
+                "quiet"
+            },
+            self.problem_ratio,
+            self.decision,
+            self.index_count,
+            self.config_fingerprint,
+            self.sim_latency_ms,
+        )
+    }
+}
+
+/// Aggregate result of a [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Statements that executed against a snapshot.
+    pub executed: u64,
+    pub parse_failures: u64,
+    /// Caught worker panics (injected or real).
+    pub panics: u64,
+    /// Executor threads the run started with.
+    pub workers: usize,
+    /// Executors that retired after exhausting their panic budget.
+    pub workers_retired: usize,
+    /// Tuning rounds the tuner ran (including no-op recommendations).
+    pub tuning_rounds: u64,
+    /// Per-epoch boundary records, in epoch order.
+    pub epochs: Vec<EpochRecord>,
+    /// Sum of all executed statements' simulated latencies, ms.
+    pub total_sim_latency_ms: f64,
+    /// Deterministic simulated fleet makespan, ms: per epoch, the
+    /// per-shard simulated-latency totals are packed onto the worker
+    /// slots with a greedy longest-processing-time schedule, and the
+    /// busiest slot's load is summed over epochs (the epoch barrier is a
+    /// synchronisation point). A pure function of
+    /// `(stream, seed, shards, workers)` — byte-stable across runs,
+    /// unlike the racy *actual* task pickup below.
+    pub sim_makespan_ms: f64,
+    /// *Measured* simulated busy time per executor slot, ms (the
+    /// coordinating thread's fallback drain, if any, is appended as an
+    /// extra slot). Which thread grabs which task is scheduler-dependent,
+    /// so this is observability data, not a benchmark surface — gate on
+    /// [`ServeReport::makespan_ms`] instead.
+    pub worker_busy_ms: Vec<f64>,
+    /// Real wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl ServeReport {
+    /// Simulated fleet makespan (see [`ServeReport::sim_makespan_ms`]):
+    /// the time the executor fleet would take if every worker really
+    /// slept its statements' simulated latencies, under the canonical
+    /// deterministic shard → slot schedule. With perfect sharding this is
+    /// `total_sim_latency_ms / workers`; skew shows up as a longer
+    /// makespan.
+    pub fn makespan_ms(&self) -> f64 {
+        self.sim_makespan_ms
+    }
+
+    /// Serving throughput in the simulation's time domain:
+    /// executed statements per simulated second of makespan. This is the
+    /// metric `BENCH_PR5.json` sweeps over worker counts (see
+    /// `docs/SERVING.md` for why wall-clock on the build host is not it).
+    pub fn simulated_qps(&self) -> f64 {
+        let mk = self.makespan_ms();
+        if mk <= 0.0 {
+            0.0
+        } else {
+            self.executed as f64 * 1000.0 / mk
+        }
+    }
+
+    /// The determinism contract's byte-comparable surface: stream totals,
+    /// every epoch boundary's diagnosis + decision + `ConfigSet`
+    /// fingerprint, and the final configuration. Contains no wall-clock
+    /// and no per-worker data, so any two runs that made the same
+    /// decisions render identically — `verify.sh` diffs the 1-worker and
+    /// 4-worker transcripts byte-for-byte.
+    pub fn transcript(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve: executed={} parse_failures={} panics={} tuning_rounds={} epochs={} \
+             total_sim_ms={:.6}\n",
+            self.executed,
+            self.parse_failures,
+            self.panics,
+            self.tuning_rounds,
+            self.epochs.len(),
+            self.total_sim_latency_ms,
+        ));
+        for e in &self.epochs {
+            out.push_str(&e.line());
+            out.push('\n');
+        }
+        if let Some(last) = self.epochs.last() {
+            out.push_str(&format!(
+                "final: indexes={} fp={:016x}\n",
+                last.index_count, last.config_fingerprint
+            ));
+        }
+        out
+    }
+}
+
+/// Everything [`serve`] hands back: the evolved database and advisor
+/// (tuned state, templates, policy tree) plus the run report.
+pub struct ServeOutcome<E: CostEstimator> {
+    pub db: SimDb,
+    pub advisor: AutoIndex<E>,
+    pub report: ServeReport,
+}
+
+// --------------------------------------------------------------- workers
+
+struct WorkerStats {
+    busy_ms: f64,
+    panics: u64,
+    retired: bool,
+}
+
+/// Shared, immutable context for executor threads.
+struct WorkerCtx<'a> {
+    queries: &'a [String],
+    cfg: &'a ServeConfig,
+    gate: &'a EpochGate,
+    queue: &'a TaskQueue,
+    metrics: &'a ServeMetrics,
+    /// Total statements in the stream.
+    n: u64,
+}
+
+impl WorkerCtx<'_> {
+    fn epoch_range(&self, epoch: u64) -> (u64, u64) {
+        let start = epoch * self.cfg.epoch_interval;
+        let end = (start + self.cfg.epoch_interval).min(self.n);
+        (start, end)
+    }
+}
+
+/// Execute one statement inside a panic fence. Pure: reads only the
+/// snapshot and the query text.
+fn execute_one(snap: &DbSnapshot, ctx: &WorkerCtx, seq: u64) -> ObservationPayload {
+    if ctx.cfg.panic_on.contains(&seq) {
+        panic!("injected worker panic at seq {seq}");
+    }
+    let sql = &ctx.queries[seq as usize];
+    let stmt = match parse_statement(sql) {
+        Ok(s) => s,
+        Err(_) => return ObservationPayload::ParseFailed,
+    };
+    let shape = QueryShape::extract(&stmt, snap.catalog());
+    let (outcome, delta) = snap.execute_shape_at(&shape, seq);
+    ObservationPayload::Executed { outcome, delta }
+}
+
+/// The executor loop: pop a task, pin the task's epoch snapshot, run the
+/// task's shard slice statement by statement, ship observations. Returns
+/// when the queue drains, the pipeline aborts, the tuner goes away, or
+/// the panic budget is exhausted (after requeueing the task remainder).
+fn worker_loop(ctx: &WorkerCtx, tx: &SyncSender<Observation>, max_panics: u64) -> WorkerStats {
+    let mut stats = WorkerStats {
+        busy_ms: 0.0,
+        panics: 0,
+        retired: false,
+    };
+    'tasks: while let Some(task) = ctx.queue.pop() {
+        if ctx.gate.is_aborted() {
+            break;
+        }
+        // Deterministic mode is bulk-synchronous: epoch-e statements only
+        // ever run against the epoch-e snapshot. Free-running mode uses
+        // whatever is newest.
+        let snap = if ctx.cfg.deterministic {
+            match ctx.gate.wait_for(task.epoch) {
+                EpochWait::Ready(s) => s,
+                EpochWait::Aborted => break,
+                EpochWait::TimedOut => {
+                    // Not published yet — don't hold the task hostage.
+                    // Put it back (epoch-ordered) and re-pop so an
+                    // earlier epoch's requeued remainder, which may be
+                    // the very thing blocking this epoch, gets drained.
+                    ctx.queue.requeue(task);
+                    continue 'tasks;
+                }
+            }
+        } else {
+            ctx.gate.latest()
+        };
+        let (start, end) = ctx.epoch_range(task.epoch);
+        for seq in task.resume_at.max(start)..end {
+            if shard_of(ctx.cfg.seed, seq, ctx.cfg.shards) != task.shard {
+                continue;
+            }
+            let payload = match catch_unwind(AssertUnwindSafe(|| execute_one(&snap, ctx, seq))) {
+                Ok(p) => p,
+                Err(_) => {
+                    ctx.metrics.worker_panics.incr();
+                    stats.panics += 1;
+                    ObservationPayload::Panicked
+                }
+            };
+            let panicked = matches!(payload, ObservationPayload::Panicked);
+            if let ObservationPayload::Executed { outcome, .. } = &payload {
+                stats.busy_ms += outcome.latency_ms;
+            }
+            if tx
+                .send(Observation {
+                    seq,
+                    epoch: task.epoch,
+                    payload,
+                })
+                .is_err()
+            {
+                break 'tasks; // tuner is gone
+            }
+            if panicked && stats.panics > max_panics {
+                // Graceful degradation: hand the rest of this task back
+                // and retire; surviving workers (or the coordinator's
+                // fallback drain) pick it up.
+                if seq + 1 < end {
+                    ctx.queue.requeue(Task {
+                        epoch: task.epoch,
+                        shard: task.shard,
+                        resume_at: seq + 1,
+                    });
+                }
+                ctx.metrics.workers_retired.incr();
+                stats.retired = true;
+                break 'tasks;
+            }
+        }
+    }
+    ctx.metrics.busy_ms_max.set_max(stats.busy_ms);
+    stats
+}
+
+// ----------------------------------------------------------------- tuner
+
+struct TunerOutput<E: CostEstimator> {
+    db: SimDb,
+    advisor: AutoIndex<E>,
+    epochs: Vec<EpochRecord>,
+    executed: u64,
+    parse_failures: u64,
+    panics: u64,
+    tuning_rounds: u64,
+    total_sim_latency_ms: f64,
+    sim_makespan_ms: f64,
+}
+
+struct TunerCtx<'a> {
+    queries: &'a [String],
+    cfg: &'a ServeConfig,
+    gate: &'a EpochGate,
+    metrics: &'a ServeMetrics,
+    n: u64,
+    /// Resolved executor count — the slot count of the canonical
+    /// makespan schedule (see [`lpt_makespan`]).
+    workers: usize,
+}
+
+/// Deterministic epoch makespan: pack per-shard simulated-latency totals
+/// onto `workers` slots, longest first, each onto the least-loaded slot
+/// (greedy LPT). Returns the busiest slot's load.
+///
+/// This models the fleet's parallel execution time in the *simulated*
+/// time domain as a pure function of the shard totals, instead of
+/// measuring which thread happened to win the race for which task —
+/// which is scheduler-dependent and would make the throughput bench
+/// (`BENCH_PR5.json` / `scripts/check_bench.sh`) flaky.
+fn lpt_makespan(mut shard_ms: Vec<f64>, workers: usize) -> f64 {
+    if workers <= 1 {
+        return shard_ms.iter().sum();
+    }
+    // Descending; ties keep the deterministic shard order (stable sort).
+    shard_ms.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut slots = vec![0.0f64; workers];
+    for ms in shard_ms {
+        let i = slots
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        slots[i] += ms;
+    }
+    slots.iter().cloned().fold(0.0, f64::max)
+}
+
+impl TunerCtx<'_> {
+    fn epoch_size(&self, epoch: u64) -> u64 {
+        let start = epoch * self.cfg.epoch_interval;
+        (start + self.cfg.epoch_interval).min(self.n) - start.min(self.n)
+    }
+
+    fn epoch_count(&self) -> u64 {
+        self.n.div_ceil(self.cfg.epoch_interval)
+    }
+}
+
+/// Mutable tuner state threaded through epoch boundaries.
+struct TunerState<E: CostEstimator> {
+    db: SimDb,
+    advisor: AutoIndex<E>,
+    universe: Universe,
+    epochs: Vec<EpochRecord>,
+    executed: u64,
+    parse_failures: u64,
+    panics: u64,
+    tuning_rounds: u64,
+    total_sim_latency_ms: f64,
+    sim_makespan_ms: f64,
+    last_tuned_epoch: Option<u64>,
+}
+
+impl<E: CostEstimator> TunerState<E> {
+    /// `ConfigSet` fingerprint of the database's current real index set,
+    /// interned (sorted by key, so slot assignment is deterministic) into
+    /// the run-persistent universe.
+    fn config_fingerprint(&mut self) -> u64 {
+        let mut defs: Vec<_> = self.db.indexes().map(|(_, d)| d.clone()).collect();
+        defs.sort_by_key(|d| d.key());
+        let mut set = ConfigSet::default();
+        for d in &defs {
+            set.insert(self.universe.intern(d));
+        }
+        set.fingerprint()
+    }
+
+    /// Absorb one epoch's merged observations, then run the boundary:
+    /// diagnose → (maybe) tune → record → publish the next snapshot.
+    fn boundary(&mut self, ctx: &TunerCtx, epoch: u64, batch: Vec<Observation>) {
+        let mut rec = EpochRecord {
+            epoch,
+            statements: batch.len() as u64,
+            executed: 0,
+            parse_failures: 0,
+            panics: 0,
+            diagnosis_fired: false,
+            problem_ratio: 0.0,
+            decision: String::new(),
+            config_fingerprint: 0,
+            index_count: 0,
+            sim_latency_ms: 0.0,
+        };
+        let mut shard_ms = vec![0.0f64; ctx.cfg.shards as usize];
+        for obs in &batch {
+            match &obs.payload {
+                ObservationPayload::Executed { outcome, delta } => {
+                    self.db.absorb(delta);
+                    let _ = self
+                        .advisor
+                        .observe(&ctx.queries[obs.seq as usize], &self.db);
+                    rec.executed += 1;
+                    rec.sim_latency_ms += outcome.latency_ms;
+                    shard_ms[shard_of(ctx.cfg.seed, obs.seq, ctx.cfg.shards) as usize] +=
+                        outcome.latency_ms;
+                    ctx.metrics.executed.incr();
+                }
+                ObservationPayload::ParseFailed => {
+                    rec.parse_failures += 1;
+                    ctx.metrics.parse_failures.incr();
+                }
+                ObservationPayload::Panicked => rec.panics += 1,
+            }
+        }
+        // Epoch boundaries are synchronisation points, so the canonical
+        // fleet makespan sums per-epoch LPT makespans.
+        self.sim_makespan_ms += lpt_makespan(shard_ms, ctx.workers);
+
+        let diagnosis = self.advisor.diagnose(&self.db);
+        rec.diagnosis_fired = diagnosis.should_tune;
+        rec.problem_ratio = diagnosis.problem_ratio;
+        rec.decision = if !diagnosis.should_tune {
+            "none".to_string()
+        } else if !self.cooldown_over(epoch, ctx.cfg.tuning_cooldown_epochs) {
+            "cooldown".to_string()
+        } else {
+            self.tune(ctx, epoch)
+        };
+
+        rec.config_fingerprint = self.config_fingerprint();
+        rec.index_count = self.db.index_count();
+        self.executed += rec.executed;
+        self.parse_failures += rec.parse_failures;
+        self.panics += rec.panics;
+        self.total_sim_latency_ms += rec.sim_latency_ms;
+        self.epochs.push(rec);
+        ctx.metrics.epochs.incr();
+
+        // Publish the (possibly re-tuned) configuration for the next
+        // epoch — the only point a config swap becomes visible.
+        ctx.gate.publish(Arc::new(self.db.snapshot(epoch + 1)));
+    }
+
+    fn cooldown_over(&self, epoch: u64, cooldown: u64) -> bool {
+        match self.last_tuned_epoch {
+            None => true,
+            Some(t) => epoch.saturating_sub(t) > cooldown,
+        }
+    }
+
+    /// Run one tuning round through the session pipeline and render its
+    /// decision canonically.
+    fn tune(&mut self, ctx: &TunerCtx, epoch: u64) -> String {
+        self.tuning_rounds += 1;
+        ctx.metrics.tuning_rounds.incr();
+        self.last_tuned_epoch = Some(epoch);
+        let session = self.advisor.session(&mut self.db);
+        let run = match ctx.cfg.guard.clone() {
+            Some(g) => session.guarded(g).run(),
+            None => session.run(),
+        };
+        let decision = match run {
+            Err(e) => format!("error({e})"),
+            Ok(out) => {
+                if out.shadow_rejected() {
+                    "shadow_rejected".to_string()
+                } else if out.rolled_back() {
+                    "rolled_back".to_string()
+                } else if out.report.recommendation.is_noop() {
+                    "noop".to_string()
+                } else {
+                    format!(
+                        "applied(+{},-{})",
+                        out.report.created.len(),
+                        out.report.dropped.len()
+                    )
+                }
+            }
+        };
+        if ctx.cfg.reset_usage_after_tuning {
+            self.db.reset_usage();
+        }
+        decision
+    }
+}
+
+/// The tuner thread body: drain the observation channel, merge on the
+/// logical clock, absorb + diagnose + tune at epoch boundaries.
+fn tuner_thread<E: CostEstimator>(
+    db: SimDb,
+    advisor: AutoIndex<E>,
+    rx: Receiver<Observation>,
+    ctx: &TunerCtx,
+) -> TunerOutput<E> {
+    let mut st = TunerState {
+        db,
+        advisor,
+        universe: Universe::new(),
+        epochs: Vec::new(),
+        executed: 0,
+        parse_failures: 0,
+        panics: 0,
+        tuning_rounds: 0,
+        total_sim_latency_ms: 0.0,
+        sim_makespan_ms: 0.0,
+        last_tuned_epoch: None,
+    };
+
+    if ctx.cfg.deterministic {
+        // Buffer per epoch; an epoch is processed exactly when all of its
+        // sequence slots are accounted for (every slot produces exactly
+        // one observation — executed, parse-failed or panicked).
+        let mut buffers: BTreeMap<u64, Vec<Observation>> = BTreeMap::new();
+        let mut next = 0u64;
+        let total = ctx.epoch_count();
+        while let Ok(obs) = rx.recv() {
+            buffers.entry(obs.epoch).or_default().push(obs);
+            while next < total {
+                let complete = buffers
+                    .get(&next)
+                    .is_some_and(|b| b.len() as u64 >= ctx.epoch_size(next));
+                if !complete {
+                    break;
+                }
+                let mut batch = buffers.remove(&next).unwrap_or_default();
+                logical_merge(&mut batch);
+                st.boundary(ctx, next, batch);
+                next += 1;
+            }
+        }
+        // Channel closed: process whatever arrived for the remaining
+        // epochs (only partial after an abort) in epoch order.
+        for (epoch, mut batch) in std::mem::take(&mut buffers) {
+            logical_merge(&mut batch);
+            st.boundary(ctx, epoch, batch);
+        }
+    } else {
+        // Free-running: absorb in arrival order, boundary every
+        // `epoch_interval` accounted slots.
+        let mut pending: Vec<Observation> = Vec::new();
+        let mut epoch = 0u64;
+        while let Ok(obs) = rx.recv() {
+            pending.push(obs);
+            if pending.len() as u64 >= ctx.cfg.epoch_interval {
+                st.boundary(ctx, epoch, std::mem::take(&mut pending));
+                epoch += 1;
+            }
+        }
+        if !pending.is_empty() {
+            st.boundary(ctx, epoch, pending);
+        }
+    }
+
+    TunerOutput {
+        db: st.db,
+        advisor: st.advisor,
+        epochs: st.epochs,
+        executed: st.executed,
+        parse_failures: st.parse_failures,
+        panics: st.panics,
+        tuning_rounds: st.tuning_rounds,
+        total_sim_latency_ms: st.total_sim_latency_ms,
+        sim_makespan_ms: st.sim_makespan_ms,
+    }
+}
+
+// ----------------------------------------------------------------- serve
+
+/// Run the concurrent serving pipeline over `queries`: N executor threads
+/// drain the sharded stream against epoch snapshots of `db` while a
+/// background tuner absorbs their observations and re-tunes the live
+/// database, publishing config swaps at epoch boundaries. See the
+/// [module docs](self) for the architecture, determinism contract and
+/// crash-safety story.
+///
+/// Consumes and returns `db` and `advisor`: during the run they are owned
+/// by the tuner thread; afterwards they carry the tuned state.
+pub fn serve<E: CostEstimator + Send>(
+    db: SimDb,
+    advisor: AutoIndex<E>,
+    queries: &[String],
+    config: ServeConfig,
+) -> Result<ServeOutcome<E>, AutoIndexError> {
+    // Re-validate (serve is callable with a struct-literal config).
+    let config = ServeConfigBuilder { cfg: config }.build()?;
+    let workers = config.resolved_workers();
+    let n = queries.len() as u64;
+
+    let metrics = ServeMetrics::bind(db.metrics());
+    metrics.workers.set(workers as f64);
+
+    // Epoch 0 snapshot and the epoch-major task queue.
+    let gate = EpochGate::new(Arc::new(db.snapshot(0)));
+    let mut tasks = VecDeque::new();
+    for epoch in 0..n.div_ceil(config.epoch_interval) {
+        for shard in 0..config.shards {
+            tasks.push_back(Task {
+                epoch,
+                shard,
+                resume_at: epoch * config.epoch_interval,
+            });
+        }
+    }
+    let queue = TaskQueue(Mutex::new(tasks));
+    let (tx, rx) = mpsc::sync_channel::<Observation>(config.channel_capacity);
+
+    let worker_ctx = WorkerCtx {
+        queries,
+        cfg: &config,
+        gate: &gate,
+        queue: &queue,
+        metrics: &metrics,
+        n,
+    };
+    let tuner_ctx = TunerCtx {
+        queries,
+        cfg: &config,
+        gate: &gate,
+        metrics: &metrics,
+        n,
+        workers,
+    };
+
+    let started = Instant::now();
+    let (stats, tuner_result) = std::thread::scope(|s| {
+        let tuner = s.spawn(|| {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                tuner_thread(db, advisor, rx, &tuner_ctx)
+            }));
+            if out.is_err() {
+                // The receiver died with the panic (unblocking senders);
+                // wake any epoch waiters so workers can exit.
+                gate.abort();
+            }
+            out
+        });
+
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                let ctx = &worker_ctx;
+                let max = config.max_worker_panics;
+                s.spawn(move || worker_loop(ctx, &tx, max))
+            })
+            .collect();
+
+        let mut stats: Vec<WorkerStats> = Vec::with_capacity(workers + 1);
+        for h in handles {
+            match h.join() {
+                Ok(st) => stats.push(st),
+                // A panic outside the per-statement fence (a bug, not a
+                // workload crash): count the slot as retired and move on —
+                // the fallback drain below still completes the stream.
+                Err(_) => {
+                    metrics.workers_retired.incr();
+                    stats.push(WorkerStats {
+                        busy_ms: 0.0,
+                        panics: 0,
+                        retired: true,
+                    });
+                }
+            }
+        }
+
+        // Fallback drain: if every worker retired with tasks still
+        // queued, the coordinating thread finishes the stream itself with
+        // an unlimited panic budget (each seq panics at most once).
+        let fallback = worker_loop(&worker_ctx, &tx, u64::MAX);
+        drop(tx);
+
+        let mut all = stats;
+        if fallback.busy_ms > 0.0 || fallback.panics > 0 {
+            all.push(fallback);
+        }
+        (all, tuner.join())
+    });
+
+    let tuner_out = match tuner_result {
+        Ok(Ok(out)) => out,
+        _ => {
+            return Err(invalid(
+                "serve.tuner",
+                "the background tuner thread panicked; the pipeline was aborted",
+            ))
+        }
+    };
+
+    let report = ServeReport {
+        executed: tuner_out.executed,
+        parse_failures: tuner_out.parse_failures,
+        panics: tuner_out.panics,
+        workers,
+        workers_retired: stats.iter().filter(|s| s.retired).count(),
+        tuning_rounds: tuner_out.tuning_rounds,
+        epochs: tuner_out.epochs,
+        total_sim_latency_ms: tuner_out.total_sim_latency_ms,
+        sim_makespan_ms: tuner_out.sim_makespan_ms,
+        worker_busy_ms: stats.iter().map(|s| s.busy_ms).collect(),
+        wall: started.elapsed(),
+    };
+    Ok(ServeOutcome {
+        db: tuner_out.db,
+        advisor: tuner_out.advisor,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::AutoIndexConfig;
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+    use autoindex_storage::SimDbConfig;
+
+    fn db() -> SimDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 800_000)
+                .column(Column::int("id", 800_000))
+                .column(Column::int("a", 400_000))
+                .column(Column::int("b", 4_000))
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new())
+    }
+
+    fn advisor() -> AutoIndex<NativeCostEstimator> {
+        AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator)
+    }
+
+    fn point_lookups(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("SELECT * FROM t WHERE a = {i}"))
+            .collect()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(ServeConfig::builder().build().is_ok());
+        assert!(ServeConfig::builder().shards(0).build().is_err());
+        assert!(ServeConfig::builder().epoch_interval(0).build().is_err());
+        assert!(ServeConfig::builder().channel_capacity(0).build().is_err());
+        let c = ServeConfig::builder().workers(3).seed(7).build().unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let out = serve(db(), advisor(), &[], ServeConfig::default()).unwrap();
+        assert_eq!(out.report.executed, 0);
+        assert!(out.report.epochs.is_empty());
+        assert_eq!(out.report.simulated_qps(), 0.0);
+        assert!(out.report.transcript().starts_with("serve: executed=0"));
+    }
+
+    #[test]
+    fn logical_merge_restores_seq_order() {
+        let mk = |seq| Observation {
+            seq,
+            epoch: 0,
+            payload: ObservationPayload::ParseFailed,
+        };
+        let mut batch = vec![mk(3), mk(0), mk(2), mk(1)];
+        logical_merge(&mut batch);
+        let seqs: Vec<u64> = batch.iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shard_assignment_covers_all_shards_and_is_stable() {
+        let shards = 8;
+        let mut seen = vec![0u64; shards as usize];
+        for seq in 0..1_000 {
+            let s = shard_of(42, seq, shards);
+            assert_eq!(s, shard_of(42, seq, shards), "pure function");
+            seen[s as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 50), "balanced-ish: {seen:?}");
+    }
+
+    #[test]
+    fn lpt_makespan_is_deterministic_and_bounded() {
+        let loads = vec![5.0, 3.0, 3.0, 2.0, 2.0, 1.0];
+        let total: f64 = loads.iter().sum();
+        // One slot: the makespan is the serial total.
+        assert!((lpt_makespan(loads.clone(), 1) - total).abs() < 1e-12);
+        for workers in 2..=4 {
+            let mk = lpt_makespan(loads.clone(), workers);
+            // Same inputs, same schedule — byte-stable.
+            assert_eq!(mk.to_bits(), lpt_makespan(loads.clone(), workers).to_bits());
+            // Classic packing bounds: no better than a perfect split, no
+            // worse than serial, and at least the single longest shard.
+            assert!(mk >= total / workers as f64 - 1e-12);
+            assert!(mk <= total + 1e-12);
+            assert!(mk >= 5.0 - 1e-12);
+        }
+        // Perfectly splittable case packs perfectly.
+        assert!((lpt_makespan(vec![2.0, 2.0, 2.0, 2.0], 2) - 4.0).abs() < 1e-12);
+        assert_eq!(lpt_makespan(Vec::new(), 3), 0.0);
+    }
+
+    #[test]
+    fn serving_executes_everything_and_tunes() {
+        let queries = point_lookups(600);
+        let cfg = ServeConfig::builder()
+            .workers(2)
+            .epoch_interval(200)
+            .build()
+            .unwrap();
+        let out = serve(db(), advisor(), &queries, cfg).unwrap();
+        assert_eq!(out.report.executed, 600);
+        assert_eq!(out.report.epochs.len(), 3);
+        assert!(out.report.tuning_rounds >= 1, "{}", out.report.transcript());
+        assert!(
+            out.db.indexes().any(|(_, d)| d.key() == "t(a)"),
+            "tuner should have built t(a)"
+        );
+        assert!(out.db.metrics().counter_value("serve.executed") == 600);
+        assert!(out.report.makespan_ms() > 0.0);
+        assert!(out.report.simulated_qps() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_mode_is_worker_count_invariant() {
+        let queries = point_lookups(450);
+        let run = |workers: usize| {
+            let cfg = ServeConfig::builder()
+                .workers(workers)
+                .epoch_interval(150)
+                .build()
+                .unwrap();
+            serve(db(), advisor(), &queries, cfg)
+                .unwrap()
+                .report
+                .transcript()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2), "1-worker vs 2-worker transcript");
+        assert_eq!(one, run(3), "1-worker vs 3-worker transcript");
+    }
+
+    #[test]
+    fn unparseable_statements_are_counted_not_fatal() {
+        let mut queries = point_lookups(100);
+        queries[13] = "garbage ~ sql".to_string();
+        queries[77] = "also not sql".to_string();
+        let cfg = ServeConfig::builder().epoch_interval(50).build().unwrap();
+        let out = serve(db(), advisor(), &queries, cfg).unwrap();
+        assert_eq!(out.report.executed, 98);
+        assert_eq!(out.report.parse_failures, 2);
+    }
+
+    #[test]
+    fn total_sim_latency_matches_epoch_sum() {
+        let queries = point_lookups(200);
+        let cfg = ServeConfig::builder().epoch_interval(64).build().unwrap();
+        let out = serve(db(), advisor(), &queries, cfg).unwrap();
+        let sum: f64 = out.report.epochs.iter().map(|e| e.sim_latency_ms).sum();
+        assert!((sum - out.report.total_sim_latency_ms).abs() < 1e-9);
+        let stmts: u64 = out.report.epochs.iter().map(|e| e.statements).sum();
+        assert_eq!(stmts, 200);
+    }
+
+    #[test]
+    fn free_running_mode_still_executes_everything() {
+        let queries = point_lookups(300);
+        let cfg = ServeConfig::builder()
+            .workers(3)
+            .deterministic(false)
+            .epoch_interval(100)
+            .build()
+            .unwrap();
+        let out = serve(db(), advisor(), &queries, cfg).unwrap();
+        assert_eq!(out.report.executed, 300);
+        assert!(out.report.epochs.len() >= 3);
+    }
+}

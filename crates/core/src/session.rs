@@ -201,7 +201,8 @@ mod tests {
     fn observed_advisor(db: &SimDb) -> AutoIndex<NativeCostEstimator> {
         let mut ai = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
         for i in 0..300 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), db)
+                .unwrap();
         }
         ai
     }
@@ -231,8 +232,18 @@ mod tests {
     fn with_recommendation_applies_verbatim() {
         let mut db = db();
         let mut ai = observed_advisor(&db);
-        let rec = ai.session(&mut db).recommend_only().run().unwrap().report.recommendation;
-        let out = ai.session(&mut db).with_recommendation(rec.clone()).run().unwrap();
+        let rec = ai
+            .session(&mut db)
+            .recommend_only()
+            .run()
+            .unwrap()
+            .report
+            .recommendation;
+        let out = ai
+            .session(&mut db)
+            .with_recommendation(rec.clone())
+            .run()
+            .unwrap();
         assert_eq!(out.report.created.len(), rec.add.len());
     }
 
@@ -256,7 +267,11 @@ mod tests {
         };
         let (rec_u, whatif_u, keys_u) = run(false);
         let (rec_g, whatif_g, keys_g) = run(true);
-        assert_eq!(format!("{rec_u:?}"), format!("{rec_g:?}"), "byte-identical recommendation");
+        assert_eq!(
+            format!("{rec_u:?}"),
+            format!("{rec_g:?}"),
+            "byte-identical recommendation"
+        );
         assert_eq!(whatif_u, whatif_g, "guard must not add what-if probes");
         assert_eq!(keys_u, keys_g, "same final index set");
     }

@@ -17,9 +17,9 @@ use crate::session::TuningSession;
 use crate::templates::{TemplateStore, TemplateStoreConfig};
 use autoindex_estimator::cost_cache::{CostCache, CostCacheStats};
 use autoindex_estimator::{CostEstimator, TemplateWorkload};
+use autoindex_sql::SqlError;
 use autoindex_storage::index::{IndexDef, IndexId};
 use autoindex_storage::SimDb;
-use autoindex_sql::SqlError;
 use std::time::{Duration, Instant};
 
 /// Top-level AutoIndex configuration.
@@ -244,7 +244,7 @@ pub struct AutoIndex<E: CostEstimator> {
     /// Set by template refresh/decay: the cache is invalidated at the next
     /// pricing opportunity (invalidation needs the db's metrics registry).
     cache_dirty: bool,
-    /// Telemetry from the most recent `recommend_for` run.
+    /// Telemetry from the most recent recommendation run.
     last_round: RoundStats,
 }
 
@@ -352,25 +352,6 @@ impl<E: CostEstimator> AutoIndex<E> {
         TuningSession::new(self, db)
     }
 
-    /// Compute a recommendation from the observed templates.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `advisor.session(&mut db).recommend_only().run()`"
-    )]
-    pub fn recommend(&mut self, db: &SimDb) -> Recommendation {
-        let w = self.workload();
-        self.compute_recommendation(db, &w)
-    }
-
-    /// Compute a recommendation for an explicit workload.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `advisor.session(&mut db).workload(&w).recommend_only().run()`"
-    )]
-    pub fn recommend_for(&mut self, db: &SimDb, workload: &TemplateWorkload) -> Recommendation {
-        self.compute_recommendation(db, workload)
-    }
-
     /// The recommendation pipeline (§IV-A/B): candidate generation,
     /// universe interning, prune pass, MCTS over the persistent policy
     /// tree, add-refinement, minimal-change pass and the improvement gate.
@@ -382,8 +363,7 @@ impl<E: CostEstimator> AutoIndex<E> {
     ) -> Recommendation {
         let existing_defs: Vec<(IndexId, IndexDef)> =
             db.indexes().map(|(id, d)| (id, d.clone())).collect();
-        let existing_list: Vec<IndexDef> =
-            existing_defs.iter().map(|(_, d)| d.clone()).collect();
+        let existing_list: Vec<IndexDef> = existing_defs.iter().map(|(_, d)| d.clone()).collect();
 
         self.last_round = RoundStats::default();
         if workload.is_empty() {
@@ -398,7 +378,9 @@ impl<E: CostEstimator> AutoIndex<E> {
             &existing_list,
         );
         let candgen_time = candgen_started.elapsed();
-        db.metrics().timer("system.candgen_time").record(candgen_time);
+        db.metrics()
+            .timer("system.candgen_time")
+            .record(candgen_time);
         db.metrics()
             .counter("system.candidates_generated")
             .add(candidates.len() as u64);
@@ -423,7 +405,11 @@ impl<E: CostEstimator> AutoIndex<E> {
         // refresh/decay requested it. Terms are otherwise valid across
         // rounds — that is the "incremental" in incremental management.
         let catalog_version = db.catalog().version();
-        if self.cache_dirty || self.cache_catalog_version.is_some_and(|v| v != catalog_version) {
+        if self.cache_dirty
+            || self
+                .cache_catalog_version
+                .is_some_and(|v| v != catalog_version)
+        {
             self.cost_cache.invalidate(db.metrics());
             self.cache_dirty = false;
         }
@@ -594,9 +580,7 @@ impl<E: CostEstimator> AutoIndex<E> {
             // it reclaims storage and write headroom for free, and leaving
             // it pending makes diagnosis re-fire every window (§III removes
             // redundant indexes, not only slow ones).
-            let pruned_something = best_config
-                .iter()
-                .all(|s| existing_set.contains(s))
+            let pruned_something = best_config.iter().all(|s| existing_set.contains(s))
                 && best_config.len() < existing_set.len();
             if !pruned_something {
                 return Recommendation::noop(baseline_cost);
@@ -622,46 +606,6 @@ impl<E: CostEstimator> AutoIndex<E> {
             est_cost_before: baseline_cost,
             est_cost_after: best_cost,
         }
-    }
-
-    /// Apply a previously computed recommendation verbatim (drops first,
-    /// then creates). Useful when the caller showed the recommendation to
-    /// an operator and must execute exactly what was approved.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `advisor.session(&mut db).with_recommendation(rec).run()`"
-    )]
-    pub fn apply_recommendation(
-        &mut self,
-        db: &mut SimDb,
-        rec: Recommendation,
-    ) -> TuningReport {
-        let start = Instant::now();
-        self.apply_unguarded(db, rec, start)
-    }
-
-    /// One full tuning round: recommend and apply.
-    #[deprecated(since = "0.4.0", note = "use `advisor.session(&mut db).run()`")]
-    pub fn tune(&mut self, db: &mut SimDb) -> TuningReport {
-        let start = Instant::now();
-        let w = self.workload();
-        let rec = self.compute_recommendation(db, &w);
-        self.apply_unguarded(db, rec, start)
-    }
-
-    /// One tuning round over an explicit workload (query-level mode).
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `advisor.session(&mut db).workload(&w).run()`"
-    )]
-    pub fn tune_with_workload(
-        &mut self,
-        db: &mut SimDb,
-        workload: &TemplateWorkload,
-    ) -> TuningReport {
-        let start = Instant::now();
-        let rec = self.compute_recommendation(db, workload);
-        self.apply_unguarded(db, rec, start)
     }
 
     /// Unguarded apply (drops, then creates, ignoring individual DDL
@@ -761,7 +705,8 @@ mod tests {
         let mut db = db();
         let mut ai = system();
         for i in 0..500 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
         }
         assert_eq!(ai.template_count(), 1);
         let report = tune(&mut ai, &mut db);
@@ -779,7 +724,8 @@ mod tests {
         let mut db = db();
         let mut ai = system();
         for i in 0..400 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
             ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 1"), &db)
                 .unwrap();
         }
@@ -822,7 +768,10 @@ mod tests {
         }
         let _ = tune(&mut ai, &mut db);
         let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
-        assert!(keys.contains(&"t(id)".to_string()), "PK index dropped: {keys:?}");
+        assert!(
+            keys.contains(&"t(id)".to_string()),
+            "PK index dropped: {keys:?}"
+        );
     }
 
     #[test]
@@ -837,7 +786,8 @@ mod tests {
             NativeCostEstimator,
         );
         for i in 0..200 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
             ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 1"), &db)
                 .unwrap();
         }
@@ -850,7 +800,8 @@ mod tests {
         let mut db = db();
         let mut ai = system();
         for i in 0..300 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
         }
         let r1 = tune(&mut ai, &mut db);
         assert!(!r1.created.is_empty());
@@ -868,17 +819,17 @@ mod tests {
         let mut db = db();
         let mut ai = system();
         for i in 0..300 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
         }
         let _ = tune(&mut ai, &mut db);
-        assert!(db
-            .indexes()
-            .any(|(_, d)| d.key() == "t(a)"));
+        assert!(db.indexes().any(|(_, d)| d.key() == "t(a)"));
         // The workload pivots to column b (and a disappears).
         ai.templates.decay();
         ai.templates.decay(); // kill the old template
         for i in 0..300 {
-            ai.observe(&format!("SELECT * FROM t WHERE b = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE b = {i}"), &db)
+                .unwrap();
         }
         let _ = tune(&mut ai, &mut db);
         let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
@@ -889,10 +840,7 @@ mod tests {
     fn unparseable_queries_are_counted_not_fatal() {
         let db = db();
         let mut ai = system();
-        let failures = ai.observe_batch(
-            ["SELECT * FROM t WHERE a = 1", "garbage ~ sql"],
-            &db,
-        );
+        let failures = ai.observe_batch(["SELECT * FROM t WHERE a = 1", "garbage ~ sql"], &db);
         assert_eq!(failures, 1);
         assert_eq!(ai.template_count(), 1);
     }
@@ -915,7 +863,8 @@ mod tests {
             NativeCostEstimator,
         );
         for i in 0..100 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
             ai.observe(&format!("SELECT * FROM t WHERE b = {i} AND c = 2"), &db)
                 .unwrap();
         }
@@ -938,7 +887,8 @@ mod tests {
                 NativeCostEstimator,
             );
             for i in 0..100 {
-                ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+                ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                    .unwrap();
             }
             ai.session(&mut db)
                 .recommend_only()
@@ -952,7 +902,12 @@ mod tests {
         // Memory is ample here, so even the prune pass has no reason to
         // drop the unused index (removal must be cost-justified) — but the
         // disabled path must certainly not remove anything.
-        assert!(without.remove.is_empty(), "unexpected removals: {:?} adds {:?}", without.remove, without.add);
+        assert!(
+            without.remove.is_empty(),
+            "unexpected removals: {:?} adds {:?}",
+            without.remove,
+            without.add
+        );
         let _ = with_prune;
     }
 
@@ -962,7 +917,8 @@ mod tests {
         let mut ai = system();
         let q = autoindex_sql::parse_statement("SELECT * FROM t WHERE a = 1").unwrap();
         for i in 0..600 {
-            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
+            ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db)
+                .unwrap();
             db.execute(&q);
         }
         let rep = ai.diagnose(&db);
@@ -970,37 +926,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_match_session_behaviour() {
-        // The shims live for exactly one PR; until they go, they must
-        // produce the same result as the session they delegate to.
-        let run_shim = || {
-            let mut db = db();
-            let mut ai = system();
-            for i in 0..300 {
-                ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
-            }
-            let report = ai.tune(&mut db);
-            let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
-            (format!("{:?}", report.recommendation), keys)
-        };
-        let run_session = || {
-            let mut db = db();
-            let mut ai = system();
-            for i in 0..300 {
-                ai.observe(&format!("SELECT * FROM t WHERE a = {i}"), &db).unwrap();
-            }
-            let out = ai.session(&mut db).run().unwrap();
-            let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
-            (format!("{:?}", out.report.recommendation), keys)
-        };
-        assert_eq!(run_shim(), run_session());
-    }
-
-    #[test]
     fn config_builder_validates() {
         assert!(AutoIndexConfig::builder().build().is_ok());
-        assert!(AutoIndexConfig::builder().min_improvement(1.5).build().is_err());
+        assert!(AutoIndexConfig::builder()
+            .min_improvement(1.5)
+            .build()
+            .is_err());
         assert!(AutoIndexConfig::builder()
             .min_improvement(f64::NAN)
             .build()

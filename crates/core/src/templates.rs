@@ -130,15 +130,11 @@ impl TemplateStore {
     /// Evict the template with the lowest LFU/LRU score.
     fn evict_one(&mut self) {
         let clock = self.clock;
-        if let Some((&h, _)) = self
-            .by_hash
-            .iter()
-            .min_by(|(_, a), (_, b)| {
-                score(a, clock)
-                    .partial_cmp(&score(b, clock))
-                    .expect("scores are finite")
-            })
-        {
+        if let Some((&h, _)) = self.by_hash.iter().min_by(|(_, a), (_, b)| {
+            score(a, clock)
+                .partial_cmp(&score(b, clock))
+                .expect("scores are finite")
+        }) {
             self.by_hash.remove(&h);
         }
     }
@@ -384,7 +380,8 @@ mod tests {
         let c = catalog();
         let mut s = small_store(100);
         for i in 0..50 {
-            s.observe(&format!("SELECT * FROM t WHERE a = {i}"), &c).unwrap();
+            s.observe(&format!("SELECT * FROM t WHERE a = {i}"), &c)
+                .unwrap();
         }
         assert_eq!(s.len(), 1);
         assert_eq!(s.observed(), 50);
@@ -399,7 +396,8 @@ mod tests {
         let mut s = small_store(100);
         s.observe("SELECT * FROM t WHERE a = 1", &c).unwrap();
         s.observe("SELECT * FROM t WHERE b = 1", &c).unwrap();
-        s.observe("SELECT * FROM t WHERE a = 1 AND b = 2", &c).unwrap();
+        s.observe("SELECT * FROM t WHERE a = 1 AND b = 2", &c)
+            .unwrap();
         assert_eq!(s.len(), 3);
     }
 
@@ -416,8 +414,12 @@ mod tests {
         s.observe("SELECT a FROM t WHERE b = 2", &c).unwrap();
         assert_eq!(s.len(), 2);
         let texts: Vec<&str> = s.iter().map(|e| e.text.as_str()).collect();
-        assert!(texts.iter().any(|t| t.contains("a = $") || t.contains("a = $".trim())),
-            "hot template evicted: {texts:?}");
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("a = $") || t.contains("a = $".trim())),
+            "hot template evicted: {texts:?}"
+        );
     }
 
     #[test]
@@ -459,14 +461,19 @@ mod tests {
         });
         // Phase 1: one hot template — no shift.
         for i in 0..200 {
-            s.observe(&format!("SELECT * FROM t WHERE a = {i}"), &c).unwrap();
+            s.observe(&format!("SELECT * FROM t WHERE a = {i}"), &c)
+                .unwrap();
         }
         assert_eq!(s.shifts_detected, 0);
         // Phase 2: every query is structurally new (distinct column lists
         // simulated by varying the projection shape).
         for i in 0..200 {
-            let cols = (0..(i % 97) + 1).map(|_| "a").collect::<Vec<_>>().join(", b, ");
-            s.observe(&format!("SELECT {cols} FROM t WHERE b = 1"), &c).unwrap();
+            let cols = (0..(i % 97) + 1)
+                .map(|_| "a")
+                .collect::<Vec<_>>()
+                .join(", b, ");
+            s.observe(&format!("SELECT {cols} FROM t WHERE b = 1"), &c)
+                .unwrap();
         }
         assert!(s.shifts_detected >= 1);
     }
@@ -515,13 +522,13 @@ mod tests {
         let c = catalog();
         let mut s = small_store(50);
         for i in 0..30 {
-            s.observe(&format!("SELECT * FROM t WHERE a = {i}"), &c).unwrap();
+            s.observe(&format!("SELECT * FROM t WHERE a = {i}"), &c)
+                .unwrap();
             s.observe(&format!("SELECT * FROM t WHERE b = {i} AND a = 2"), &c)
                 .unwrap();
         }
         let json = s.to_json();
-        let restored =
-            TemplateStore::from_json(&json, TemplateStoreConfig::default(), &c).unwrap();
+        let restored = TemplateStore::from_json(&json, TemplateStoreConfig::default(), &c).unwrap();
         assert_eq!(restored.len(), s.len());
         assert_eq!(restored.observed(), s.observed());
         // The restored workload matches, including shapes and counts.
@@ -533,13 +540,13 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage() {
         let c = catalog();
-        assert!(
-            TemplateStore::from_json("not json", TemplateStoreConfig::default(), &c).is_err()
-        );
-        assert!(
-            TemplateStore::from_json(r#"{"entries": [{}]}"#, TemplateStoreConfig::default(), &c)
-                .is_err()
-        );
+        assert!(TemplateStore::from_json("not json", TemplateStoreConfig::default(), &c).is_err());
+        assert!(TemplateStore::from_json(
+            r#"{"entries": [{}]}"#,
+            TemplateStoreConfig::default(),
+            &c
+        )
+        .is_err());
     }
 
     #[test]

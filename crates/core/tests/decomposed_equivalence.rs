@@ -4,7 +4,9 @@
 //! planner calls (the acceptance bar is ≥ 3×; the banking workload
 //! typically shows two orders of magnitude, see `BENCH_PR3.json`).
 
-use autoindex_core::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, SearchOutcome, Universe};
+use autoindex_core::mcts::{
+    ConfigSet, MctsConfig, MctsSearch, PolicyTree, SearchOutcome, Universe,
+};
 use autoindex_core::{AutoIndex, AutoIndexConfig, CandidateConfig, CandidateGenerator};
 use autoindex_estimator::NativeCostEstimator;
 use autoindex_sql::parse_statement;
@@ -42,8 +44,11 @@ fn run_search(
     threads: usize,
 ) -> (SearchOutcome, u64) {
     let defaults = banking::dba_indexes();
-    let cands =
-        CandidateGenerator::new(CandidateConfig::default()).generate(shapes, db.catalog(), &defaults);
+    let cands = CandidateGenerator::new(CandidateConfig::default()).generate(
+        shapes,
+        db.catalog(),
+        &defaults,
+    );
     let mut universe = Universe::new();
     for d in defaults.iter().chain(cands.iter()) {
         universe.intern(d);

@@ -15,7 +15,9 @@
 //!    — checked end-to-end on the banking workload.
 
 use autoindex_core::mcts::{ConfigSet, Universe};
-use autoindex_core::{ApplyVerdict, AutoIndex, AutoIndexConfig, Guard, GuardConfig, IndexSnapshot, Recommendation};
+use autoindex_core::{
+    ApplyVerdict, AutoIndex, AutoIndexConfig, Guard, GuardConfig, IndexSnapshot, Recommendation,
+};
 use autoindex_estimator::NativeCostEstimator;
 use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
 use autoindex_storage::fault::{FaultPlan, FaultPlanConfig};
@@ -132,13 +134,15 @@ fn rollback_restores_bit_identical_config_fingerprint() {
     // Universe so slot numbering (and hence fingerprints) are comparable.
     let mut universe = Universe::new();
     let pre_defs: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
-    for d in pre_defs.iter().chain(rec.add.iter()).chain(rec.remove.iter()) {
+    for d in pre_defs
+        .iter()
+        .chain(rec.add.iter())
+        .chain(rec.remove.iter())
+    {
         universe.intern(d);
     }
     let config_of = |db: &SimDb, universe: &Universe| -> ConfigSet {
-        db.indexes()
-            .filter_map(|(_, d)| universe.slot(d))
-            .collect()
+        db.indexes().filter_map(|(_, d)| universe.slot(d)).collect()
     };
     let fp_before = config_of(&db, &universe).fingerprint();
     let snap_before = IndexSnapshot::capture(&db).fingerprint();
@@ -165,7 +169,10 @@ fn rollback_restores_bit_identical_config_fingerprint() {
         IndexSnapshot::capture(&db).fingerprint(),
         "snapshot fingerprint must round-trip"
     );
-    assert_eq!(restored_fingerprint, snap_before, "verdict reports the restored state");
+    assert_eq!(
+        restored_fingerprint, snap_before,
+        "verdict reports the restored state"
+    );
     assert!(db.metrics().counter_value("guard.rollbacks") >= 1);
 }
 

@@ -113,62 +113,66 @@ fn candgen_sound() {
 /// more than the baseline (under the same estimator).
 #[test]
 fn mcts_never_regresses_and_respects_budget() {
-    property("mcts_never_regresses_and_respects_budget", cfg(), |rng, size| {
-        let queries = gen_queries(rng, 1, 12, size);
-        let budget_mb = rng.random_range(0u64..64);
-        let seed = rng.random_range(0u64..1000);
-        let cat = catalog();
-        let db = SimDb::new(cat, SimDbConfig::default());
-        let shapes: Vec<(QueryShape, u64)> = queries
-            .iter()
-            .map(|q| {
-                (
-                    QueryShape::extract(&parse_statement(q).unwrap(), db.catalog()),
-                    1,
-                )
-            })
-            .collect();
-        let cands = CandidateGenerator::new(CandidateConfig::default()).generate(
-            &shapes,
-            db.catalog(),
-            &[],
-        );
-        let mut universe = Universe::new();
-        for c in &cands {
-            universe.intern(c);
-        }
-        universe.refresh_sizes(&db);
-        let budget_bytes = budget_mb * (1 << 20);
-        let budget = Some(budget_bytes);
-        let est = NativeCostEstimator;
-        let mut tree = PolicyTree::new();
-        tree.begin_round(0.5);
-        let search = MctsSearch {
-            universe: &universe,
-            estimator: &est,
-            db: &db,
-            workload: &shapes,
-            config: MctsConfig {
-                iterations: 60,
-                seed,
-                ..MctsConfig::default()
-            },
-            budget,
-            existing: ConfigSet::default(),
-            protected: ConfigSet::default(),
-            start: ConfigSet::default(),
-            cost_cache: None,
-        };
-        let out = search.run(&mut tree);
-        prop_assert!(
-            out.best_cost <= out.baseline_cost + 1e-9,
-            "best {} vs baseline {}",
-            out.best_cost,
-            out.baseline_cost
-        );
-        prop_assert!(universe.config_size(&out.best_config) <= budget_bytes);
-        Ok(())
-    });
+    property(
+        "mcts_never_regresses_and_respects_budget",
+        cfg(),
+        |rng, size| {
+            let queries = gen_queries(rng, 1, 12, size);
+            let budget_mb = rng.random_range(0u64..64);
+            let seed = rng.random_range(0u64..1000);
+            let cat = catalog();
+            let db = SimDb::new(cat, SimDbConfig::default());
+            let shapes: Vec<(QueryShape, u64)> = queries
+                .iter()
+                .map(|q| {
+                    (
+                        QueryShape::extract(&parse_statement(q).unwrap(), db.catalog()),
+                        1,
+                    )
+                })
+                .collect();
+            let cands = CandidateGenerator::new(CandidateConfig::default()).generate(
+                &shapes,
+                db.catalog(),
+                &[],
+            );
+            let mut universe = Universe::new();
+            for c in &cands {
+                universe.intern(c);
+            }
+            universe.refresh_sizes(&db);
+            let budget_bytes = budget_mb * (1 << 20);
+            let budget = Some(budget_bytes);
+            let est = NativeCostEstimator;
+            let mut tree = PolicyTree::new();
+            tree.begin_round(0.5);
+            let search = MctsSearch {
+                universe: &universe,
+                estimator: &est,
+                db: &db,
+                workload: &shapes,
+                config: MctsConfig {
+                    iterations: 60,
+                    seed,
+                    ..MctsConfig::default()
+                },
+                budget,
+                existing: ConfigSet::default(),
+                protected: ConfigSet::default(),
+                start: ConfigSet::default(),
+                cost_cache: None,
+            };
+            let out = search.run(&mut tree);
+            prop_assert!(
+                out.best_cost <= out.baseline_cost + 1e-9,
+                "best {} vs baseline {}",
+                out.best_cost,
+                out.baseline_cost
+            );
+            prop_assert!(universe.config_size(&out.best_config) <= budget_bytes);
+            Ok(())
+        },
+    );
 }
 
 /// Canonical representation: any insert/remove sequence — regardless of the
@@ -269,7 +273,10 @@ fn delta_cost_bitwise_equals_naive_across_random_configs() {
                 .map(|_| {
                     let (name, ncols) = &tables[rng.random_range(0usize..tables.len())];
                     let sql = if rng.random_bool(0.25) {
-                        format!("INSERT INTO {name} ({}, {}) VALUES (1, 2)", COLS[0], COLS[1])
+                        format!(
+                            "INSERT INTO {name} ({}, {}) VALUES (1, 2)",
+                            COLS[0], COLS[1]
+                        )
                     } else {
                         let c1 = COLS[rng.random_range(0usize..*ncols)];
                         let c2 = COLS[rng.random_range(0usize..*ncols)];
@@ -328,7 +335,8 @@ fn delta_cost_bitwise_equals_naive_across_random_configs() {
             prop_assert!(cache.epoch() > epoch0);
             prop_assert!(cache.is_empty());
             prop_assert_eq!(
-                db.metrics().counter_value("estimator.cost_cache.invalidations"),
+                db.metrics()
+                    .counter_value("estimator.cost_cache.invalidations"),
                 1
             );
             let naive = est.workload_cost(&db, &shapes, &universe.config_defs(&config));

@@ -1,0 +1,311 @@
+//! End-to-end tests for the concurrent serving pipeline (`docs/SERVING.md`):
+//!
+//! 1. **Permutation invariance** (property) — merging worker observations
+//!    on the logical clock erases arrival order: any shuffle of a batch,
+//!    run through [`logical_merge`] and absorbed into a [`UsageTracker`],
+//!    yields byte-identical counters to the sequential order. This is the
+//!    algebraic core of the determinism contract.
+//! 2. **Worker-count invariance** (integration) — the same banking stream
+//!    served deterministically with 1, 2 and 4 workers produces identical
+//!    transcripts: same diagnosis firings, same tuning decisions, same
+//!    `ConfigSet` fingerprints, same simulated latencies.
+//! 3. **Crash safety** — injected worker panics are caught at the
+//!    statement fence: the epoch lock is never poisoned, the tuner keeps
+//!    publishing epochs, every sequence slot stays accounted, the
+//!    `serve.worker_panics` counter is truthful, and the surviving
+//!    transcript is *still* worker-count invariant.
+
+use autoindex_core::{
+    logical_merge, serve, AutoIndex, AutoIndexConfig, Observation, ObservationPayload, ServeConfig,
+};
+use autoindex_estimator::NativeCostEstimator;
+use autoindex_storage::{IndexId, SimDb, SimDbConfig, UsageDelta, UsageTracker};
+use autoindex_support::obs::MetricsRegistry;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::prop_assert_eq;
+use autoindex_support::rng::StdRng;
+use autoindex_workloads::banking::{self, BankingGenerator};
+
+// ------------------------------------------------------------ fixtures
+
+fn banking_queries(n: usize, seed: u64) -> Vec<String> {
+    let mut generator = BankingGenerator::new(seed);
+    generator
+        .generate_hybrid(n, 0.6)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect()
+}
+
+fn banking_db() -> SimDb {
+    let mut db = SimDb::with_metrics(
+        banking::catalog(),
+        SimDbConfig::default(),
+        MetricsRegistry::new(),
+    );
+    // Start from the DBA's over-indexed configuration so the tuner has
+    // something real to diagnose (rarely-used / negative indexes).
+    for d in banking::dba_indexes().into_iter().take(40) {
+        let _ = db.create_index(d);
+    }
+    db
+}
+
+fn advisor() -> AutoIndex<NativeCostEstimator> {
+    AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator)
+}
+
+// ------------------------------------------- 1. permutation invariance
+
+/// Generate a random batch of observations with distinct `seq` stamps and
+/// random usage deltas, in sequential order.
+fn gen_batch(rng: &mut StdRng, size: usize) -> Vec<Observation> {
+    let n = rng.random_range(1usize..(2 + size.min(60)));
+    (0..n as u64)
+        .map(|seq| {
+            let payload = match rng.random_range(0u32..10) {
+                0 => ObservationPayload::ParseFailed,
+                1 => ObservationPayload::Panicked,
+                _ => {
+                    let scans = (0..rng.random_range(0usize..3))
+                        .map(|_| {
+                            (
+                                IndexId(rng.random_range(0u32..6)),
+                                rng.random_range(0.0..50.0),
+                            )
+                        })
+                        .collect();
+                    let maintenance = (0..rng.random_range(0usize..2))
+                        .map(|_| {
+                            (
+                                IndexId(rng.random_range(0u32..6)),
+                                rng.random_range(0.0..20.0),
+                            )
+                        })
+                        .collect();
+                    ObservationPayload::Executed {
+                        outcome: autoindex_storage::ExecOutcome {
+                            latency_ms: rng.random_range(0.01..5.0),
+                            features: autoindex_storage::CostFeatures::default(),
+                            indexes_used: Vec::new(),
+                        },
+                        delta: UsageDelta {
+                            scans,
+                            maintenance,
+                            growth: None,
+                        },
+                    }
+                }
+            };
+            Observation {
+                seq,
+                epoch: 0,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// Absorb a batch (assumed seq-ordered) into a fresh tracker and render
+/// the counters canonically.
+fn absorb(batch: &[Observation]) -> String {
+    let mut t = UsageTracker::new();
+    for o in batch {
+        if let ObservationPayload::Executed { delta, .. } = &o.payload {
+            t.apply_delta(delta);
+        }
+    }
+    let mut rows: Vec<String> = t
+        .iter()
+        .map(|(id, u)| {
+            format!(
+                "{}:{}:{}:{:.9}:{:.9}",
+                id.0, u.scans, u.maintenance_events, u.benefit, u.maintenance_cost
+            )
+        })
+        .collect();
+    rows.sort();
+    format!("stmts={} {}", t.statements, rows.join(" "))
+}
+
+#[test]
+fn merge_is_permutation_invariant() {
+    property(
+        "serve.merge_permutation_invariant",
+        PropConfig::default().cases(128),
+        |rng, size| {
+            let sequential = gen_batch(rng, size);
+            let baseline = absorb(&sequential);
+
+            // Random shuffle (Fisher–Yates) — an arbitrary arrival order
+            // N racing workers could have produced.
+            let mut shuffled = sequential.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.random_range(0usize..(i + 1));
+                shuffled.swap(i, j);
+            }
+            logical_merge(&mut shuffled);
+
+            let merged_seqs: Vec<u64> = shuffled.iter().map(|o| o.seq).collect();
+            let expected_seqs: Vec<u64> = sequential.iter().map(|o| o.seq).collect();
+            prop_assert_eq!(merged_seqs, expected_seqs);
+            prop_assert_eq!(absorb(&shuffled), baseline.clone());
+
+            // Reversal is the adversarial permutation (maximally out of
+            // order); it must merge back too.
+            let mut reversed: Vec<Observation> = sequential.iter().rev().cloned().collect();
+            logical_merge(&mut reversed);
+            prop_assert_eq!(absorb(&reversed), baseline);
+            Ok(())
+        },
+    );
+}
+
+// ------------------------------------------- 2. worker-count invariance
+
+#[test]
+fn deterministic_serve_is_worker_count_invariant_on_banking() {
+    let queries = banking_queries(1_500, 11);
+    let run = |workers: usize| {
+        let cfg = ServeConfig::builder()
+            .workers(workers)
+            .epoch_interval(500)
+            .deterministic(true)
+            .seed(97)
+            .build()
+            .unwrap();
+        let out = serve(banking_db(), advisor(), &queries, cfg).unwrap();
+        assert_eq!(out.report.executed + out.report.parse_failures, 1_500);
+        assert_eq!(out.report.epochs.len(), 3);
+        out.report.transcript()
+    };
+    let t1 = run(1);
+    let t2 = run(2);
+    let t4 = run(4);
+    assert_eq!(t1, t2, "1-worker vs 2-worker transcripts differ");
+    assert_eq!(t1, t4, "1-worker vs 4-worker transcripts differ");
+    // The transcript is not vacuous: it must contain every epoch line and
+    // a final fingerprint.
+    assert!(t1.contains("epoch 0:") && t1.contains("epoch 2:") && t1.contains("final: indexes="));
+}
+
+#[test]
+fn deterministic_serve_with_guard_is_worker_count_invariant() {
+    use autoindex_core::GuardConfig;
+    let queries = banking_queries(1_000, 23);
+    let run = |workers: usize| {
+        let cfg = ServeConfig::builder()
+            .workers(workers)
+            .epoch_interval(250)
+            .deterministic(true)
+            .guard(GuardConfig::default())
+            .build()
+            .unwrap();
+        serve(banking_db(), advisor(), &queries, cfg)
+            .unwrap()
+            .report
+            .transcript()
+    };
+    assert_eq!(run(1), run(4), "guarded transcripts differ across workers");
+}
+
+// ----------------------------------------------------- 3. crash safety
+
+#[test]
+fn worker_panics_never_poison_the_pipeline() {
+    let queries = banking_queries(1_200, 5);
+    let panic_seqs = vec![17, 433, 801, 1_102];
+    let run = |workers: usize| {
+        let cfg = ServeConfig::builder()
+            .workers(workers)
+            .epoch_interval(300)
+            .deterministic(true)
+            .max_worker_panics(0) // first caught panic retires the worker
+            .panic_on(panic_seqs.clone())
+            .build()
+            .unwrap();
+        serve(banking_db(), advisor(), &queries, cfg).unwrap()
+    };
+
+    let out = run(4);
+    // Every injected panic was caught and accounted; no slot was lost.
+    assert_eq!(out.report.panics, panic_seqs.len() as u64);
+    assert_eq!(
+        out.report.executed + out.report.parse_failures + out.report.panics,
+        1_200
+    );
+    // The tuner survived: all four epoch boundaries were published even
+    // though executors kept dying (the epoch lock was never poisoned).
+    assert_eq!(out.report.epochs.len(), 4);
+    let accounted: u64 = out.report.epochs.iter().map(|e| e.statements).sum();
+    assert_eq!(accounted, 1_200);
+    // Telemetry is truthful and the database stays usable afterwards.
+    assert_eq!(
+        out.db.metrics().counter_value("serve.worker_panics"),
+        panic_seqs.len() as u64
+    );
+    assert!(out.report.workers_retired >= 1);
+    assert!(
+        out.db.metrics().counter_value("serve.workers_retired") >= 1,
+        "retirements must be counted"
+    );
+    let mut db = out.db;
+    let q =
+        autoindex_sql::parse_statement("SELECT balance FROM account WHERE acct_id = 7").unwrap();
+    let after = db.execute(&q);
+    assert!(after.latency_ms >= 0.0);
+
+    // Graceful degradation is still deterministic: the panic set is keyed
+    // on `seq`, so 1 and 4 workers agree on the surviving transcript.
+    assert_eq!(
+        out.report.transcript(),
+        run(1).report.transcript(),
+        "panic-surviving transcript differs across worker counts"
+    );
+}
+
+#[test]
+fn panic_budget_keeps_workers_alive() {
+    let queries = banking_queries(600, 31);
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .epoch_interval(200)
+        .deterministic(true)
+        .max_worker_panics(8) // generous budget: nobody retires
+        .panic_on(vec![10, 20, 30])
+        .build()
+        .unwrap();
+    let out = serve(banking_db(), advisor(), &queries, cfg).unwrap();
+    assert_eq!(out.report.panics, 3);
+    assert_eq!(out.report.workers_retired, 0);
+    assert_eq!(
+        out.report.executed + out.report.parse_failures + out.report.panics,
+        600
+    );
+}
+
+// --------------------------------------------------- free-running sanity
+
+#[test]
+fn free_running_mode_accounts_every_statement() {
+    let queries = banking_queries(900, 47);
+    let cfg = ServeConfig::builder()
+        .workers(3)
+        .epoch_interval(300)
+        .deterministic(false)
+        .build()
+        .unwrap();
+    let out = serve(banking_db(), advisor(), &queries, cfg).unwrap();
+    assert_eq!(out.report.executed + out.report.parse_failures, 900);
+    let accounted: u64 = out.report.epochs.iter().map(|e| e.statements).sum();
+    assert_eq!(accounted, 900);
+    prop_assert_sanity(&out.report.transcript());
+}
+
+/// The transcript renderer must stay parseable-ish: header plus one line
+/// per epoch plus the final fingerprint.
+fn prop_assert_sanity(t: &str) {
+    let lines: Vec<&str> = t.lines().collect();
+    assert!(lines[0].starts_with("serve: executed="));
+    assert!(lines.last().unwrap().starts_with("final: indexes="));
+}

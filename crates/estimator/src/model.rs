@@ -7,7 +7,6 @@
 //! immediately. The fit is closed-form: ridge least squares in logit
 //! space with an active-set non-negativity pass (see [`TrainConfig`]).
 
-
 use autoindex_support::json::{obj, Json, JsonError};
 
 /// Number of input features: `(C^data, C^io, C^cpu)` per §V.

@@ -10,10 +10,10 @@
 //! vectors the what-if planner reports for the executed configuration.
 
 use crate::model::{ModelError, OneLayerRegression, TrainConfig, N_FEATURES};
+use autoindex_sql::Statement;
 use autoindex_storage::index::IndexDef;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::SimDb;
-use autoindex_sql::Statement;
 use autoindex_support::rng::StdRng;
 
 /// Collection parameters.
@@ -159,9 +159,9 @@ pub fn kfold_cross_validate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autoindex_sql::parse_statement;
     use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
     use autoindex_storage::SimDbConfig;
-    use autoindex_sql::parse_statement;
 
     fn db() -> SimDb {
         let mut c = Catalog::new();
@@ -244,7 +244,12 @@ mod tests {
             assert!(r.test_samples > 0);
             assert!(r.mean_relative_error.is_finite());
             // A one-layer model on simulator data should fit decently.
-            assert!(r.median_q_error < 5.0, "fold {} q={}", r.fold, r.median_q_error);
+            assert!(
+                r.median_q_error < 5.0,
+                "fold {} q={}",
+                r.fold,
+                r.median_q_error
+            );
         }
     }
 

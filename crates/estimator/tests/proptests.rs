@@ -34,21 +34,25 @@ fn synthetic(seed: u64, n: usize) -> Vec<([f64; 3], f64)> {
 /// (MCTS, Greedy, prune pass) relies on it.
 #[test]
 fn predictions_monotone_in_each_feature() {
-    property("predictions_monotone_in_each_feature", cfg(), |rng, _size| {
-        let seed = rng.random_range(1u64..10_000);
-        let scale = rng.random_range(1.0f64..100.0);
-        let data = synthetic(seed, 300);
-        let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
-        let base = [50.0 * scale, 10.0 * scale, 5.0 * scale];
-        let p0 = model.predict(&base);
-        for i in 0..3 {
-            let mut bumped = base;
-            bumped[i] *= 2.0;
-            let p1 = model.predict(&bumped);
-            prop_assert!(p1 + 1e-12 >= p0, "feature {i}: {p0} -> {p1}");
-        }
-        Ok(())
-    });
+    property(
+        "predictions_monotone_in_each_feature",
+        cfg(),
+        |rng, _size| {
+            let seed = rng.random_range(1u64..10_000);
+            let scale = rng.random_range(1.0f64..100.0);
+            let data = synthetic(seed, 300);
+            let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
+            let base = [50.0 * scale, 10.0 * scale, 5.0 * scale];
+            let p0 = model.predict(&base);
+            for i in 0..3 {
+                let mut bumped = base;
+                bumped[i] *= 2.0;
+                let p1 = model.predict(&bumped);
+                prop_assert!(p1 + 1e-12 >= p0, "feature {i}: {p0} -> {p1}");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Predictions are always finite, non-negative and bounded by scale.

@@ -346,7 +346,10 @@ pub enum SelectItem {
     /// A plain column reference, optionally aliased.
     Column(ColumnRef),
     /// `agg(col)` or `agg(*)` — aggregate over an optional column.
-    Aggregate { func: String, arg: Option<ColumnRef> },
+    Aggregate {
+        func: String,
+        arg: Option<ColumnRef>,
+    },
 }
 
 impl fmt::Display for SelectItem {
@@ -710,7 +713,14 @@ mod tests {
 
     #[test]
     fn cmp_op_negation_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -812,10 +822,7 @@ mod tests {
             Some(std::cmp::Ordering::Less)
         );
         // Strings never compare with numbers.
-        assert_eq!(
-            Value::Str("1".into()).partial_cmp_sql(&Value::Int(1)),
-            None
-        );
+        assert_eq!(Value::Str("1".into()).partial_cmp_sql(&Value::Int(1)), None);
         assert_eq!(
             Value::Placeholder.partial_cmp_sql(&Value::Placeholder),
             None

@@ -75,7 +75,9 @@ pub fn fingerprint(sql: &str) -> Result<Fingerprint, SqlError> {
                     "'$%'"
                 }
             }
-            TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_)
+            TokenKind::Int(_)
+            | TokenKind::Float(_)
+            | TokenKind::Str(_)
             | TokenKind::Placeholder => "$",
             TokenKind::Ident(s) => s,
             TokenKind::Keyword(k) => k,

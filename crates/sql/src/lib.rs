@@ -41,7 +41,7 @@ pub mod parser;
 pub mod predicate;
 
 pub use ast::{
-    ColumnRef, CmpOp, DeleteStatement, InsertStatement, Join, JoinKind, OrderItem, Predicate,
+    CmpOp, ColumnRef, DeleteStatement, InsertStatement, Join, JoinKind, OrderItem, Predicate,
     SelectItem, SelectStatement, SetClause, Statement, TableRef, UpdateStatement, Value,
 };
 pub use fingerprint::{fingerprint, fingerprint_statement, Fingerprint};

@@ -66,7 +66,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -145,18 +147,10 @@ impl Parser {
     /// Parse one statement.
     pub fn parse_statement(&mut self) -> Result<Statement, ParseError> {
         match self.peek() {
-            TokenKind::Keyword(k) if k == "SELECT" => {
-                Ok(Statement::Select(self.parse_select()?))
-            }
-            TokenKind::Keyword(k) if k == "INSERT" => {
-                Ok(Statement::Insert(self.parse_insert()?))
-            }
-            TokenKind::Keyword(k) if k == "UPDATE" => {
-                Ok(Statement::Update(self.parse_update()?))
-            }
-            TokenKind::Keyword(k) if k == "DELETE" => {
-                Ok(Statement::Delete(self.parse_delete()?))
-            }
+            TokenKind::Keyword(k) if k == "SELECT" => Ok(Statement::Select(self.parse_select()?)),
+            TokenKind::Keyword(k) if k == "INSERT" => Ok(Statement::Insert(self.parse_insert()?)),
+            TokenKind::Keyword(k) if k == "UPDATE" => Ok(Statement::Update(self.parse_update()?)),
+            TokenKind::Keyword(k) if k == "DELETE" => Ok(Statement::Delete(self.parse_delete()?)),
             other => self.err(format!("expected a statement keyword, found {other:?}")),
         }
     }
@@ -627,10 +621,7 @@ mod tests {
         assert_eq!(s.joins.len(), 2);
         assert_eq!(s.joins[0].kind, JoinKind::Inner);
         assert_eq!(s.joins[1].kind, JoinKind::Left);
-        assert!(matches!(
-            s.joins[0].on,
-            Some(Predicate::JoinEq { .. })
-        ));
+        assert!(matches!(s.joins[0].on, Some(Predicate::JoinEq { .. })));
     }
 
     #[test]
@@ -679,10 +670,8 @@ mod tests {
 
     #[test]
     fn parses_in_between_like_isnull() {
-        let s = sel(
-            "SELECT * FROM t WHERE a IN (1,2,3) AND b BETWEEN 1 AND 9 \
-             AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (4)",
-        );
+        let s = sel("SELECT * FROM t WHERE a IN (1,2,3) AND b BETWEEN 1 AND 9 \
+             AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (4)");
         let Predicate::And(parts) = s.where_clause.unwrap() else {
             panic!("expected AND");
         };
@@ -714,21 +703,16 @@ mod tests {
     #[test]
     fn parses_insert_multi_row() {
         let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
-        let Statement::Insert(i) = stmt else {
-            panic!()
-        };
+        let Statement::Insert(i) = stmt else { panic!() };
         assert_eq!(i.columns, vec!["a", "b"]);
         assert_eq!(i.rows.len(), 2);
     }
 
     #[test]
     fn parses_update_with_arithmetic() {
-        let stmt =
-            parse_statement("UPDATE stock SET s_quantity = s_quantity - 5 WHERE s_i_id = 3")
-                .unwrap();
-        let Statement::Update(u) = stmt else {
-            panic!()
-        };
+        let stmt = parse_statement("UPDATE stock SET s_quantity = s_quantity - 5 WHERE s_i_id = 3")
+            .unwrap();
+        let Statement::Update(u) = stmt else { panic!() };
         assert_eq!(u.sets.len(), 1);
         assert_eq!(u.sets[0].value, Value::Placeholder);
         assert!(u.where_clause.is_some());
@@ -748,9 +732,18 @@ mod tests {
         };
         assert!(matches!(
             parts[0],
-            Predicate::Cmp { value: Value::Placeholder, .. }
+            Predicate::Cmp {
+                value: Value::Placeholder,
+                ..
+            }
         ));
-        assert!(matches!(parts[2], Predicate::Cmp { value: Value::Int(-3), .. }));
+        assert!(matches!(
+            parts[2],
+            Predicate::Cmp {
+                value: Value::Int(-3),
+                ..
+            }
+        ));
         assert!(matches!(
             parts[3],
             Predicate::Cmp { value: Value::Float(v), .. } if v == -2.5
@@ -850,10 +843,8 @@ mod tests {
 
     #[test]
     fn deeply_nested_subqueries_parse() {
-        let s = sel(
-            "SELECT * FROM t WHERE a IN (SELECT b FROM u WHERE b IN \
-             (SELECT c FROM v WHERE c = 1))",
-        );
+        let s = sel("SELECT * FROM t WHERE a IN (SELECT b FROM u WHERE b IN \
+             (SELECT c FROM v WHERE c = 1))");
         let w = s.where_clause.unwrap();
         assert_eq!(w.subqueries().len(), 2, "both nesting levels collected");
     }

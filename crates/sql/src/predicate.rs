@@ -411,12 +411,10 @@ fn evaluate_atom(
                 CmpOp::Ge => ord != std::cmp::Ordering::Less,
             }
         }
-        AtomicPredicate::JoinEq { left, right } => {
-            match (row(left), row(right)) {
-                (Some(a), Some(b)) => a.partial_cmp_sql(&b) == Some(std::cmp::Ordering::Equal),
-                _ => false,
-            }
-        }
+        AtomicPredicate::JoinEq { left, right } => match (row(left), row(right)) {
+            (Some(a), Some(b)) => a.partial_cmp_sql(&b) == Some(std::cmp::Ordering::Equal),
+            _ => false,
+        },
         AtomicPredicate::InList {
             column,
             values,
@@ -556,9 +554,7 @@ mod tests {
     #[test]
     fn dnf_cap_is_enforced() {
         // (a1=1 OR b1=1) AND (a2=1 OR b2=1) AND ... expands exponentially.
-        let clauses: Vec<String> = (0..10)
-            .map(|i| format!("(a{i} = 1 OR b{i} = 1)"))
-            .collect();
+        let clauses: Vec<String> = (0..10).map(|i| format!("(a{i} = 1 OR b{i} = 1)")).collect();
         let sql = format!("SELECT * FROM t WHERE {}", clauses.join(" AND "));
         let p = where_of(&sql);
         assert!(matches!(

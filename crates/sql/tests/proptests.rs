@@ -87,95 +87,115 @@ fn depth_for(size: usize) -> usize {
 /// integers to the four columns (two-valued rows, no NULLs).
 #[test]
 fn dnf_preserves_semantics() {
-    property("dnf_preserves_semantics", PropConfig::default(), |rng, size| {
-        let p = gen_predicate(rng, depth_for(size));
-        let row: Vec<i64> = (0..4).map(|_| rng.random_range(0i64..5)).collect();
-        let Ok(dnf) = to_dnf_capped(&p, 4096) else {
-            // Cap exceeded is an accepted outcome; callers fall back.
-            return Ok(());
-        };
-        let lookup = |c: &ColumnRef| -> Option<Value> {
-            COLUMNS
-                .iter()
-                .position(|n| *n == c.column)
-                .map(|i| Value::Int(row[i]))
-        };
-        let oracle = |_: &str| false;
-        prop_assert_eq!(
-            evaluate(&p, &lookup, &oracle),
-            evaluate_dnf(&dnf, &lookup, &oracle),
-            "predicate: {p}"
-        );
-        Ok(())
-    });
+    property(
+        "dnf_preserves_semantics",
+        PropConfig::default(),
+        |rng, size| {
+            let p = gen_predicate(rng, depth_for(size));
+            let row: Vec<i64> = (0..4).map(|_| rng.random_range(0i64..5)).collect();
+            let Ok(dnf) = to_dnf_capped(&p, 4096) else {
+                // Cap exceeded is an accepted outcome; callers fall back.
+                return Ok(());
+            };
+            let lookup = |c: &ColumnRef| -> Option<Value> {
+                COLUMNS
+                    .iter()
+                    .position(|n| *n == c.column)
+                    .map(|i| Value::Int(row[i]))
+            };
+            let oracle = |_: &str| false;
+            prop_assert_eq!(
+                evaluate(&p, &lookup, &oracle),
+                evaluate_dnf(&dnf, &lookup, &oracle),
+                "predicate: {p}"
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Every atom collected from a tree keeps a resolvable column.
 #[test]
 fn collected_atoms_have_columns() {
-    property("collected_atoms_have_columns", PropConfig::default(), |rng, size| {
-        let p = gen_predicate(rng, depth_for(size));
-        for atom in collect_atoms(&p) {
-            prop_assert!(atom.restricted_column().is_some() || atom.join_edge().is_some());
-        }
-        Ok(())
-    });
+    property(
+        "collected_atoms_have_columns",
+        PropConfig::default(),
+        |rng, size| {
+            let p = gen_predicate(rng, depth_for(size));
+            for atom in collect_atoms(&p) {
+                prop_assert!(atom.restricted_column().is_some() || atom.join_edge().is_some());
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Rendering a SELECT built around a random predicate and re-parsing it
 /// yields the same AST.
 #[test]
 fn select_display_roundtrips() {
-    property("select_display_roundtrips", PropConfig::default(), |rng, size| {
-        let p = gen_predicate(rng, depth_for(size));
-        let stmt = Statement::Select(SelectStatement {
-            distinct: false,
-            projection: vec![SelectItem::Star],
-            from: vec![TableRef::Table {
-                name: "t".into(),
-                alias: None,
-            }],
-            joins: vec![],
-            where_clause: Some(p),
-            group_by: vec![],
-            having: None,
-            order_by: vec![],
-            limit: None,
-            for_update: false,
-        });
-        let rendered = stmt.to_string();
-        let reparsed = parse_statement(&rendered);
-        prop_assert!(reparsed.is_ok(), "failed to reparse {}", rendered);
-        prop_assert_eq!(reparsed.unwrap(), stmt);
-        Ok(())
-    });
+    property(
+        "select_display_roundtrips",
+        PropConfig::default(),
+        |rng, size| {
+            let p = gen_predicate(rng, depth_for(size));
+            let stmt = Statement::Select(SelectStatement {
+                distinct: false,
+                projection: vec![SelectItem::Star],
+                from: vec![TableRef::Table {
+                    name: "t".into(),
+                    alias: None,
+                }],
+                joins: vec![],
+                where_clause: Some(p),
+                group_by: vec![],
+                having: None,
+                order_by: vec![],
+                limit: None,
+                for_update: false,
+            });
+            let rendered = stmt.to_string();
+            let reparsed = parse_statement(&rendered);
+            prop_assert!(reparsed.is_ok(), "failed to reparse {}", rendered);
+            prop_assert_eq!(reparsed.unwrap(), stmt);
+            Ok(())
+        },
+    );
 }
 
 /// Fingerprinting is idempotent: fp(fp(q).text) == fp(q).
 #[test]
 fn fingerprint_idempotent() {
-    property("fingerprint_idempotent", PropConfig::default(), |rng, size| {
-        let p = gen_predicate(rng, depth_for(size));
-        let sql = format!("SELECT * FROM t WHERE {p}");
-        let f1 = fingerprint(&sql).unwrap();
-        let f2 = fingerprint(&f1.text).unwrap();
-        prop_assert_eq!(f1, f2);
-        Ok(())
-    });
+    property(
+        "fingerprint_idempotent",
+        PropConfig::default(),
+        |rng, size| {
+            let p = gen_predicate(rng, depth_for(size));
+            let sql = format!("SELECT * FROM t WHERE {p}");
+            let f1 = fingerprint(&sql).unwrap();
+            let f2 = fingerprint(&f1.text).unwrap();
+            prop_assert_eq!(f1, f2);
+            Ok(())
+        },
+    );
 }
 
 /// Fingerprints are invariant under changing every literal.
 #[test]
 fn fingerprint_literal_invariant() {
-    property("fingerprint_literal_invariant", PropConfig::default(), |rng, _size| {
-        let col = *rng.choose(&COLUMNS).unwrap();
-        let v1 = rng.random_range(0i64..1000);
-        let v2 = rng.random_range(0i64..1000);
-        let f1 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v1}")).unwrap();
-        let f2 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v2}")).unwrap();
-        prop_assert_eq!(f1, f2);
-        Ok(())
-    });
+    property(
+        "fingerprint_literal_invariant",
+        PropConfig::default(),
+        |rng, _size| {
+            let col = *rng.choose(&COLUMNS).unwrap();
+            let v1 = rng.random_range(0i64..1000);
+            let v2 = rng.random_range(0i64..1000);
+            let f1 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v1}")).unwrap();
+            let f2 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v2}")).unwrap();
+            prop_assert_eq!(f1, f2);
+            Ok(())
+        },
+    );
 }
 
 /// The DNF conjunct count never exceeds the cap when Ok.

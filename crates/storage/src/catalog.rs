@@ -27,7 +27,10 @@ pub enum ColumnType {
 impl ColumnType {
     /// Whether range selectivity can be interpolated from min/max.
     pub fn is_numeric(self) -> bool {
-        matches!(self, ColumnType::Int | ColumnType::Float | ColumnType::Timestamp)
+        matches!(
+            self,
+            ColumnType::Int | ColumnType::Float | ColumnType::Timestamp
+        )
     }
 
     /// The JSON name of the variant (matches the former serde derive).
@@ -216,10 +219,7 @@ impl Table {
     pub fn is_primary_prefix(&self, columns: &[String]) -> bool {
         !columns.is_empty()
             && columns.len() <= self.primary_key.len()
-            && columns
-                .iter()
-                .zip(&self.primary_key)
-                .all(|(a, b)| a == b)
+            && columns.iter().zip(&self.primary_key).all(|(a, b)| a == b)
     }
 }
 
@@ -453,7 +453,7 @@ impl Catalog {
             .ok_or_else(|| bad("catalog JSON: missing 'tables' object".into()))?;
         let mut catalog = Catalog::new();
         for (name, tv) in tables {
-            let table = table_from_json(name, tv).map_err(|e| bad(e))?;
+            let table = table_from_json(name, tv).map_err(bad)?;
             catalog.add_table(table);
         }
         Ok(catalog)
@@ -469,13 +469,15 @@ fn table_to_json(t: &Table) -> Json {
         ),
         ("rows", Json::from(t.rows)),
         ("partitions", Json::from(t.partitions as u64)),
-        (
-            "partition_key",
-            Json::from(t.partition_key.as_deref()),
-        ),
+        ("partition_key", Json::from(t.partition_key.as_deref())),
         (
             "primary_key",
-            Json::Array(t.primary_key.iter().map(|c| Json::from(c.as_str())).collect()),
+            Json::Array(
+                t.primary_key
+                    .iter()
+                    .map(|c| Json::from(c.as_str()))
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -515,10 +517,7 @@ fn table_from_json(name: &str, v: &Json) -> Result<Table, String> {
         .get("columns")
         .and_then(Json::as_array)
         .ok_or_else(|| format!("table {name:?}: missing 'columns'"))?;
-    let mut b = TableBuilder::new(
-        v.get("name").and_then(Json::as_str).unwrap_or(name),
-        rows,
-    );
+    let mut b = TableBuilder::new(v.get("name").and_then(Json::as_str).unwrap_or(name), rows);
     for cv in columns {
         b = b.column(column_from_json(name, cv)?);
     }
@@ -551,18 +550,17 @@ fn column_from_json(table: &str, v: &Json) -> Result<Column, String> {
         .and_then(Json::as_str)
         .and_then(ColumnType::parse)
         .ok_or_else(|| format!("table {table:?} column {name:?}: bad 'ty'"))?;
-    let width = v
-        .get("width")
-        .and_then(Json::as_u64)
-        .ok_or_else(|| format!("table {table:?} column {name:?}: bad 'width'"))?
-        as u32;
+    let width =
+        v.get("width")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("table {table:?} column {name:?}: bad 'width'"))? as u32;
     let sv = v
         .get("stats")
         .ok_or_else(|| format!("table {table:?} column {name:?}: missing 'stats'"))?;
     let stat = |key: &str| -> Result<f64, String> {
-        sv.get(key).and_then(Json::as_f64).ok_or_else(|| {
-            format!("table {table:?} column {name:?}: bad stats field '{key}'")
-        })
+        sv.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("table {table:?} column {name:?}: bad stats field '{key}'"))
     };
     let histogram = match sv.get("histogram") {
         None | Some(Json::Null) => None,

@@ -18,13 +18,15 @@
 use crate::catalog::Catalog;
 use crate::fault::{BuildRoll, ExecRoll, FaultKind, FaultPlan, WhatifRoll};
 use crate::index::{geometry, IndexDef, IndexGeometry, IndexId};
-use crate::planner::{CostFeatures, CostParams, PlanSummary, Planner, TrueCostWeights, VisibleIndex};
+use crate::planner::{
+    CostFeatures, CostParams, PlanSummary, Planner, TrueCostWeights, VisibleIndex,
+};
 use crate::shape::QueryShape;
-use crate::usage::UsageTracker;
+use crate::usage::{UsageDelta, UsageTracker};
 use crate::StorageError;
 use autoindex_sql::Statement;
 use autoindex_support::obs::{Counter, Gauge, MetricsRegistry};
-use autoindex_support::rng::StdRng;
+use autoindex_support::rng::{derive_seed, StdRng};
 use std::collections::BTreeMap;
 
 /// Configuration of the simulated database.
@@ -612,8 +614,7 @@ impl SimDb {
         self.usage.record_statement();
         if !plan.indexes_used.is_empty() {
             let baseline = planner.plan(shape, &[]);
-            let saving = (baseline.features.native_cost() - plan.features.native_cost())
-                .max(0.0)
+            let saving = (baseline.features.native_cost() - plan.features.native_cost()).max(0.0)
                 / plan.indexes_used.len() as f64;
             for id in &plan.indexes_used {
                 self.usage.record_scan(*id, saving);
@@ -633,15 +634,44 @@ impl SimDb {
         // "Measured" latency: true-cost weights + buffer pressure + noise.
         let pressure = self.memory_pressure();
         let true_cost = plan.features.true_cost(&self.config.true_weights);
-        let noisy = true_cost
-            * pressure
-            * lognormal(&mut self.rng, self.config.noise);
+        let noisy = true_cost * pressure * lognormal(&mut self.rng, self.config.noise);
         let latency_ms = noisy * self.config.ms_per_cost_unit * latency_factor;
 
         ExecOutcome {
             latency_ms,
             features: plan.features,
             indexes_used: plan.indexes_used,
+        }
+    }
+
+    // ---------------------------------------------------------- snapshots
+
+    /// Freeze an immutable, self-contained view of the database for
+    /// concurrent read-only execution (the serving pipeline's unit of
+    /// config publication). The snapshot owns a catalog copy, the resolved
+    /// real-index set and the current buffer-pressure multiplier, so
+    /// executor threads can plan and price statements without any lock on
+    /// the live database.
+    pub fn snapshot(&self, epoch: u64) -> DbSnapshot {
+        DbSnapshot {
+            epoch,
+            catalog: self.catalog.clone(),
+            config: self.config.clone(),
+            visible: self.visible_real_indexes(),
+            pressure: self.memory_pressure(),
+        }
+    }
+
+    /// Merge one statement's detached side effects (produced by
+    /// [`DbSnapshot::execute_shape_at`] on a worker thread) into the live
+    /// database: usage counters, statement count, catalog growth and the
+    /// `db.executions` metric. Applying deltas in logical-clock order
+    /// reproduces the sequential execution history exactly.
+    pub fn absorb(&mut self, delta: &UsageDelta) {
+        self.obs.executions.incr();
+        self.usage.apply_delta(delta);
+        if let Some((table, rows)) = &delta.growth {
+            let _ = self.catalog.grow_table(table, *rows);
         }
     }
 
@@ -672,6 +702,110 @@ impl SimDb {
         }
         m
     }
+}
+
+/// An immutable, self-contained view of a [`SimDb`] at one epoch.
+///
+/// Built by [`SimDb::snapshot`] and shared (behind an `Arc`) across
+/// executor threads in the serving pipeline. Execution against a snapshot
+/// is **pure**: it touches no usage counters, no catalog statistics and no
+/// shared RNG — every side effect is returned as a [`UsageDelta`] for the
+/// owner to [`SimDb::absorb`] later, and measurement noise is derived from
+/// the statement's logical sequence number, so the outcome of statement
+/// `seq` is byte-identical no matter which thread computes it or in what
+/// order. Snapshot execution is fault-free by design: fault rolls are
+/// stateful and stay on the owning database's DDL/execution paths.
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    /// The epoch this snapshot was published at.
+    pub epoch: u64,
+    catalog: Catalog,
+    config: SimDbConfig,
+    /// Real indexes resolved once at snapshot time (planning against the
+    /// banking catalog's hundreds of indexes would otherwise re-resolve
+    /// geometry per statement).
+    visible: Vec<VisibleIndex>,
+    /// Buffer-pressure multiplier frozen at snapshot time.
+    pressure: f64,
+}
+
+impl DbSnapshot {
+    /// The frozen catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of real indexes visible in this snapshot.
+    pub fn index_count(&self) -> usize {
+        self.visible.len()
+    }
+
+    /// The frozen buffer-pressure multiplier.
+    pub fn pressure(&self) -> f64 {
+        self.pressure
+    }
+
+    /// Execute one pre-extracted shape read-only at logical time `seq`.
+    ///
+    /// Returns the simulated measurement plus the statement's detached
+    /// side effects. The latency formula matches
+    /// [`SimDb::execute_shape`] (true-cost weights x buffer pressure x
+    /// log-normal noise x calibration), except the noise factor comes from
+    /// a per-`seq` derived RNG rather than the database's sequential
+    /// stream — the price of worker-count independence.
+    pub fn execute_shape_at(&self, shape: &QueryShape, seq: u64) -> (ExecOutcome, UsageDelta) {
+        let planner = Planner::new(&self.catalog, &self.config.cost_params);
+        let plan = planner.plan(shape, &self.visible);
+
+        let mut delta = UsageDelta::default();
+        if !plan.indexes_used.is_empty() {
+            let baseline = planner.plan(shape, &[]);
+            let saving = (baseline.features.native_cost() - plan.features.native_cost()).max(0.0)
+                / plan.indexes_used.len() as f64;
+            for id in &plan.indexes_used {
+                delta.scans.push((*id, saving));
+            }
+        }
+        for (id, m) in &plan.maintenance {
+            delta.maintenance.push((*id, m.total()));
+        }
+        if let Some(w) = &shape.write {
+            if w.kind == crate::shape::WriteKind::Insert {
+                delta.growth = Some((w.table.clone(), w.inserted_rows));
+            }
+        }
+
+        let true_cost = plan.features.true_cost(&self.config.true_weights);
+        let latency_ms = true_cost
+            * self.pressure
+            * lognormal_at(self.config.seed, seq, self.config.noise)
+            * self.config.ms_per_cost_unit;
+
+        (
+            ExecOutcome {
+                latency_ms,
+                features: plan.features,
+                indexes_used: plan.indexes_used,
+            },
+            delta,
+        )
+    }
+}
+
+/// Domain-separation salt for the per-sequence measurement-noise stream
+/// (keeps it disjoint from every other `derive_seed` consumer).
+const NOISE_STREAM_SALT: u64 = 0x5e11_1a7e_5e41_0123;
+
+/// Log-normal noise factor for logical time `seq`: a fresh RNG seeded from
+/// `(seed, seq)`, so the factor depends only on the statement's position
+/// in the global stream — never on which thread asks or how many
+/// statements other threads have executed.
+pub fn lognormal_at(seed: u64, seq: u64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ NOISE_STREAM_SALT, seq));
+    lognormal(&mut rng, sigma)
 }
 
 /// Multiplicative log-normal noise factor with σ = `sigma`.
@@ -846,7 +980,10 @@ mod tests {
         let p95 = m.percentile_ms(0.95);
         let p100 = m.percentile_ms(1.0);
         assert!(p50 <= p95 && p95 <= p100);
-        assert!(p95 > p50 * 10.0, "tail is full-scan heavy: p50={p50} p95={p95}");
+        assert!(
+            p95 > p50 * 10.0,
+            "tail is full-scan heavy: p50={p50} p95={p95}"
+        );
         assert_eq!(WorkloadMeasurement::default().percentile_ms(0.9), 0.0);
     }
 
@@ -865,9 +1002,15 @@ mod tests {
         let text = db.explain(&stmt("SELECT * FROM t WHERE a = 5"));
         assert!(text.contains("t(a)"), "{text}");
 
-        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE b = 3 AND c = 'x'"), db.catalog());
+        let shape = QueryShape::extract(
+            &stmt("SELECT * FROM t WHERE b = 3 AND c = 'x'"),
+            db.catalog(),
+        );
         let text = db.whatif_explain(&shape, &[IndexDef::new("t", &["b", "c"])]);
-        assert!(text.contains("t(b,c)") || text.contains("Seq Scan"), "{text}");
+        assert!(
+            text.contains("t(b,c)") || text.contains("Seq Scan"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -892,7 +1035,10 @@ mod tests {
         // One dimension row drives a nested-loop lookup into the fact.
         let q = stmt("SELECT SUM(v) FROM dim, fact WHERE dim.dk = 7 AND dim.dk = fact.fk");
         let o = db.execute(&q);
-        assert!(o.indexes_used.contains(&id), "NL lookup index must be tracked");
+        assert!(
+            o.indexes_used.contains(&id),
+            "NL lookup index must be tracked"
+        );
         assert!(db.usage().usage(id).scans >= 1);
     }
 
@@ -948,6 +1094,117 @@ mod tests {
         let a = db.execute(&stmt("SELECT * FROM t WHERE a = 1")).latency_ms;
         let b = db.execute(&stmt("SELECT * FROM t WHERE a = 1")).latency_ms;
         assert_eq!(a, b);
+    }
+
+    // ------------------------------------------------------ snapshot path
+
+    #[test]
+    fn snapshot_execution_matches_live_execution_without_noise() {
+        let cfg = SimDbConfig {
+            noise: 0.0,
+            ..SimDbConfig::default()
+        };
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("t", 500_000)
+                .column(Column::int("a", 500_000))
+                .column(Column::int("b", 50))
+                .build()
+                .unwrap(),
+        );
+        let mut db = SimDb::with_metrics(c, cfg, MetricsRegistry::new());
+        let id = db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE a = 5"), db.catalog());
+
+        let snap = db.snapshot(0);
+        let (o, delta) = snap.execute_shape_at(&shape, 17);
+        let live = db.execute_shape(&shape);
+        assert_eq!(o.latency_ms, live.latency_ms);
+        assert_eq!(o.indexes_used, vec![id]);
+        assert_eq!(delta.scans.len(), 1);
+        assert_eq!(delta.scans[0].0, id);
+    }
+
+    #[test]
+    fn snapshot_execution_is_pure_and_seq_deterministic() {
+        let mut db = db();
+        db.create_index(IndexDef::new("t", &["a"])).unwrap();
+        let shape = QueryShape::extract(&stmt("SELECT * FROM t WHERE a = 5"), db.catalog());
+        let snap = db.snapshot(3);
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.index_count(), 1);
+
+        // Same seq → identical outcome; different seq → different noise.
+        let (a1, _) = snap.execute_shape_at(&shape, 7);
+        let (a2, _) = snap.execute_shape_at(&shape, 7);
+        let (b, _) = snap.execute_shape_at(&shape, 8);
+        assert_eq!(a1.latency_ms, a2.latency_ms);
+        assert_ne!(a1.latency_ms, b.latency_ms);
+
+        // Purity: the live database saw nothing.
+        assert_eq!(db.usage().statements, 0);
+    }
+
+    #[test]
+    fn absorbing_deltas_replays_sequential_side_effects() {
+        let build = || {
+            let mut c = Catalog::new();
+            c.add_table(
+                TableBuilder::new("t", 500_000)
+                    .column(Column::int("a", 500_000))
+                    .column(Column::int("b", 50))
+                    .column(Column::text("c", 10_000, 24))
+                    .primary_key(&["a"])
+                    .build()
+                    .unwrap(),
+            );
+            let mut db = SimDb::with_metrics(c, SimDbConfig::default(), MetricsRegistry::new());
+            db.create_index(IndexDef::new("t", &["b"])).unwrap();
+            db
+        };
+        let shapes: Vec<QueryShape> = [
+            "SELECT * FROM t WHERE b = 3",
+            "INSERT INTO t (a, b, c) VALUES (1, 2, 'x')",
+            "SELECT * FROM t WHERE b = 9",
+        ]
+        .iter()
+        .map(|s| QueryShape::extract(&stmt(s), build().catalog()))
+        .collect();
+
+        // Sequential reference.
+        let mut seq_db = build();
+        for s in &shapes {
+            seq_db.execute_shape(s);
+        }
+
+        // Snapshot + absorb path.
+        let mut par_db = build();
+        let snap = par_db.snapshot(0);
+        let deltas: Vec<UsageDelta> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| snap.execute_shape_at(s, i as u64).1)
+            .collect();
+        for d in &deltas {
+            par_db.absorb(d);
+        }
+
+        assert_eq!(par_db.usage().statements, seq_db.usage().statements);
+        assert_eq!(
+            par_db.catalog().table("t").unwrap().rows,
+            seq_db.catalog().table("t").unwrap().rows
+        );
+        let id = par_db.find_index(&IndexDef::new("t", &["b"])).unwrap();
+        assert_eq!(par_db.usage().usage(id), seq_db.usage().usage(id));
+        assert_eq!(par_db.metrics().counter_value("db.executions"), 3);
+    }
+
+    #[test]
+    fn lognormal_at_is_stable_and_neutral_at_zero_sigma() {
+        assert_eq!(lognormal_at(42, 7, 0.0), 1.0);
+        assert_eq!(lognormal_at(42, 7, 0.1), lognormal_at(42, 7, 0.1));
+        assert_ne!(lognormal_at(42, 7, 0.1), lognormal_at(42, 8, 0.1));
+        assert_ne!(lognormal_at(42, 7, 0.1), lognormal_at(43, 7, 0.1));
     }
 
     // ------------------------------------------------------ fault injection
@@ -1072,7 +1329,10 @@ mod tests {
         // latency matches exactly and the spike is a clean 12x.
         let base = clean.execute(&q).latency_ms;
         let spiked = spiky.execute(&q).latency_ms;
-        assert!((spiked / base - 12.0).abs() < 1e-9, "base={base} spiked={spiked}");
+        assert!(
+            (spiked / base - 12.0).abs() < 1e-9,
+            "base={base} spiked={spiked}"
+        );
         assert_eq!(spiky.metrics().counter_value("db.fault.latency_spikes"), 1);
     }
 
@@ -1104,7 +1364,10 @@ mod tests {
                 distorted += 1;
             }
         }
-        assert!(distorted >= 30, "all-stale plan must distort probes: {distorted}/32");
+        assert!(
+            distorted >= 30,
+            "all-stale plan must distort probes: {distorted}/32"
+        );
         assert!(db.metrics().counter_value("db.fault.stale_whatifs") >= 30);
     }
 
@@ -1146,7 +1409,10 @@ mod tests {
             let g = s.get("gauges").and_then(|g| g.get("db.index_build_ms"));
             g.and_then(|v| v.as_f64()).unwrap_or(0.0)
         };
-        assert!((charged / healthy - 8.0).abs() < 1e-6, "healthy={healthy} charged={charged}");
+        assert!(
+            (charged / healthy - 8.0).abs() < 1e-6,
+            "healthy={healthy} charged={charged}"
+        );
         assert_eq!(slow.metrics().counter_value("db.fault.slow_builds"), 1);
     }
 }

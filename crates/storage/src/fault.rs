@@ -214,8 +214,8 @@ impl FaultPlan {
                 latency_factor: 1.0,
             };
         }
-        let transient = self.config.transient_error > 0.0
-            && self.rng.random_bool(self.config.transient_error);
+        let transient =
+            self.config.transient_error > 0.0 && self.rng.random_bool(self.config.transient_error);
         let latency_factor = if !transient
             && self.config.latency_spike > 0.0
             && self.rng.random_bool(self.config.latency_spike)
@@ -265,14 +265,12 @@ impl FaultPlan {
             };
         }
         let transient = self.config.transient_error > 0.0
-            && unit(derive_seed(self.config.seed, op ^ 0x7A0B_5EED))
-                < self.config.transient_error;
+            && unit(derive_seed(self.config.seed, op ^ 0x7A0B_5EED)) < self.config.transient_error;
         // Stale statistics are decided once per window of ops, then every
         // call in the window is distorted by its own hashed factor.
         let window = op / self.config.stale_window.max(1);
         let stale = self.config.stale_stats > 0.0
-            && unit(derive_seed(self.config.seed ^ 0x57A1_E57A, window))
-                < self.config.stale_stats;
+            && unit(derive_seed(self.config.seed ^ 0x57A1_E57A, window)) < self.config.stale_stats;
         let distortion = if stale {
             let u = 2.0 * unit(derive_seed(self.config.seed ^ 0xD157_0127, op)) - 1.0;
             (u * self.config.stale_distortion).exp()

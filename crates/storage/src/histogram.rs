@@ -11,7 +11,6 @@
 //! carries `Option<Histogram>`); when absent, selectivity falls back to
 //! the min/max interpolation.
 
-
 /// An equi-depth histogram: `bounds[0] = min`, `bounds[n] = max`, each
 /// bucket `[bounds[i], bounds[i+1])` holds the same row fraction.
 #[derive(Debug, Clone, PartialEq)]

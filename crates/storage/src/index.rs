@@ -72,11 +72,7 @@ impl IndexDef {
     pub fn covers(&self, other: &IndexDef) -> bool {
         self.table == other.table
             && other.columns.len() <= self.columns.len()
-            && other
-                .columns
-                .iter()
-                .zip(&self.columns)
-                .all(|(a, b)| a == b)
+            && other.columns.iter().zip(&self.columns).all(|(a, b)| a == b)
     }
 
     /// Validate against the catalog table (columns exist, non-empty).
@@ -232,11 +228,7 @@ impl MaintenanceCost {
 /// and amortised page splits — a leaf splits roughly once every
 /// `entries_per_page` inserts, costing one extra page write plus a parent
 /// update ("the effects of splitting index pages", §V).
-pub fn maintenance_cost(
-    geo: &IndexGeometry,
-    n_rows: u64,
-    params: &CostParams,
-) -> MaintenanceCost {
+pub fn maintenance_cost(geo: &IndexGeometry, n_rows: u64, params: &CostParams) -> MaintenanceCost {
     if n_rows == 0 {
         return MaintenanceCost::ZERO;
     }
@@ -420,8 +412,7 @@ mod tests {
             bytes: 5 * PAGE_SIZE,
         };
         let m = maintenance_cost(&geo, 1, &params);
-        let t_start =
-            ((1000.0f64).ln().ceil() + 2.0 * 50.0) * params.cpu_operator_cost;
+        let t_start = ((1000.0f64).ln().ceil() + 2.0 * 50.0) * params.cpu_operator_cost;
         let t_running = params.cpu_index_tuple_cost;
         assert!((m.cpu - (t_start + t_running)).abs() < 1e-9);
     }

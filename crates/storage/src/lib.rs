@@ -44,14 +44,14 @@ pub mod shape;
 pub mod usage;
 
 pub use catalog::{Catalog, Column, ColumnStats, ColumnType, Table, TableBuilder};
-pub use db::{ExecOutcome, SimDb, SimDbConfig, WorkloadMeasurement};
+pub use db::{DbSnapshot, ExecOutcome, SimDb, SimDbConfig, WorkloadMeasurement};
 pub use fault::{FaultKind, FaultPlan, FaultPlanConfig};
 pub use histogram::Histogram;
 pub use index::{IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost};
 pub use planner::{AccessPath, CostFeatures, CostParams, PlanSummary, Planner};
 pub use selectivity::{atom_selectivity, conjunct_selectivity, DEFAULT_EQ_SEL, DEFAULT_RANGE_SEL};
 pub use shape::{QueryShape, TableAtoms, WriteKind, WriteShape};
-pub use usage::{IndexUsage, UsageTracker};
+pub use usage::{IndexUsage, UsageDelta, UsageTracker};
 
 /// Errors surfaced by the storage substrate.
 #[derive(Debug, Clone, PartialEq)]

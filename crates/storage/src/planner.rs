@@ -17,9 +17,11 @@
 //! therefore the *shape* of every experiment.
 
 use crate::catalog::Catalog;
-use crate::index::{geometry, maintenance_cost, IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost};
-use crate::shape::{QueryShape, TableAtoms, WriteKind};
+use crate::index::{
+    geometry, maintenance_cost, IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost,
+};
 use crate::selectivity::conjunct_selectivity;
+use crate::shape::{QueryShape, TableAtoms, WriteKind};
 use autoindex_sql::predicate::AtomicPredicate;
 
 /// Optimizer cost parameters (PostgreSQL/openGauss defaults).
@@ -185,7 +187,11 @@ impl PlanSummary {
                         p.matched_sel,
                         p.rows_out,
                         p.cost,
-                        if p.provides_order { ", provides order" } else { "" }
+                        if p.provides_order {
+                            ", provides order"
+                        } else {
+                            ""
+                        }
                     );
                 }
                 None => {
@@ -311,11 +317,7 @@ impl<'a> Planner<'a> {
                     WriteKind::Delete => MaintenanceCost::ZERO,
                     WriteKind::Insert => maintenance_cost(&vi.geo, affected, self.params),
                     WriteKind::Update => {
-                        let touches_key = vi
-                            .def
-                            .columns
-                            .iter()
-                            .any(|c| w.set_columns.contains(c));
+                        let touches_key = vi.def.columns.iter().any(|c| w.set_columns.contains(c));
                         if touches_key {
                             // Delete + insert of the index entry.
                             let m = maintenance_cost(&vi.geo, affected, self.params);
@@ -362,10 +364,7 @@ impl<'a> Planner<'a> {
                     .table(&w.table)
                     .map(|t| t.rows)
                     .unwrap_or(1_000);
-                let sel = shape
-                    .table(&w.table)
-                    .map(|t| t.filter_sel)
-                    .unwrap_or(1.0);
+                let sel = shape.table(&w.table).map(|t| t.filter_sel).unwrap_or(1.0);
                 ((rows as f64 * sel).ceil() as u64).max(1)
             }
         }
@@ -500,11 +499,9 @@ impl<'a> Planner<'a> {
                     if m.matched_cols == 0 {
                         return None;
                     }
-                    let descent = (vi.geo.height as f64 + 1.0)
-                        * p.random_page_cost
-                        * p.descent_cache_factor;
-                    let leaf =
-                        (m.sel * vi.geo.leaf_pages as f64).ceil().max(1.0) * p.seq_page_cost;
+                    let descent =
+                        (vi.geo.height as f64 + 1.0) * p.random_page_cost * p.descent_cache_factor;
+                    let leaf = (m.sel * vi.geo.leaf_pages as f64).ceil().max(1.0) * p.seq_page_cost;
                     let tids = rows * m.sel * p.cpu_index_tuple_cost;
                     Some((vi.id, descent + leaf + tids))
                 })
@@ -535,12 +532,7 @@ impl<'a> Planner<'a> {
         }
     }
 
-    fn index_provides_order(
-        &self,
-        def: &IndexDef,
-        m: &PrefixMatch,
-        order_cols: &[String],
-    ) -> bool {
+    fn index_provides_order(&self, def: &IndexDef, m: &PrefixMatch, order_cols: &[String]) -> bool {
         if !m.all_equality {
             // The prefix ends in a range atom. Order is still provided when
             // that range column *is* the first order column (a range scan
@@ -580,9 +572,7 @@ impl<'a> Planner<'a> {
         let mut partition_pruned = false;
         for col in &def.columns {
             let atom = conjuncts.iter().find(|a| {
-                a.is_sargable()
-                    && a.restricted_column()
-                        .is_some_and(|c| c.column == *col)
+                a.is_sargable() && a.restricted_column().is_some_and(|c| c.column == *col)
             });
             let Some(atom) = atom else { break };
             matched.push(atom);
@@ -636,11 +626,10 @@ impl<'a> Planner<'a> {
             IndexScope::Local => geo.trees as f64,
         };
 
-        let descent = trees_probed
-            * (geo.height as f64 + 1.0)
-            * p.random_page_cost
-            * p.descent_cache_factor;
-        let leaf_io = (m.sel * geo.leaf_pages as f64).ceil().max(1.0) * p.seq_page_cost
+        let descent =
+            trees_probed * (geo.height as f64 + 1.0) * p.random_page_cost * p.descent_cache_factor;
+        let leaf_io = (m.sel * geo.leaf_pages as f64).ceil().max(1.0)
+            * p.seq_page_cost
             * trees_probed.min(2.0);
         let fetched = rows * m.sel;
         // Heap fetches are random, discounted by physical correlation of
@@ -742,8 +731,7 @@ impl<'a> Planner<'a> {
                     let name = &shape.tables[i].table;
                     shape.joins.iter().any(|e| {
                         (e.left_table == *name && joined.contains(&e.right_table.as_str()))
-                            || (e.right_table == *name
-                                && joined.contains(&e.left_table.as_str()))
+                            || (e.right_table == *name && joined.contains(&e.left_table.as_str()))
                     })
                 })
                 .unwrap_or(0);
@@ -769,8 +757,7 @@ impl<'a> Planner<'a> {
                         .and_then(|tb| tb.column(inner_col))
                         .map(|c| c.stats.ndv.max(1.0))
                         .unwrap_or(100.0);
-                    let inner_total_rows =
-                        table.map(|tb| tb.rows.max(1) as f64).unwrap_or(1000.0);
+                    let inner_total_rows = table.map(|tb| tb.rows.max(1) as f64).unwrap_or(1000.0);
                     let rows_per_lookup = (inner_total_rows / inner_ndv).max(1.0);
 
                     // Hash join: build the (already filtered) inner once.
@@ -789,16 +776,12 @@ impl<'a> Planner<'a> {
                         .and_then(|tb| tb.column(inner_col))
                         .map(|c| c.stats.correlation.abs())
                         .unwrap_or(0.0);
-                    let nl =
-                        self.best_lookup_index(t, inner_col, indexes, table, rows_per_lookup);
+                    let nl = self.best_lookup_index(t, inner_col, indexes, table, rows_per_lookup);
                     let nl_cost = nl.as_ref().map(|(_, per_lookup, rows_fetched)| {
                         acc_rows
                             * (per_lookup
                                 + rows_fetched * p.cpu_index_tuple_cost
-                                + rows_fetched
-                                    * p.random_page_cost
-                                    * 0.5
-                                    * (1.0 - 0.8 * corr))
+                                + rows_fetched * p.random_page_cost * 0.5 * (1.0 - 0.8 * corr))
                     });
 
                     match nl_cost {
@@ -865,7 +848,7 @@ impl<'a> Planner<'a> {
                     * p.random_page_cost
                     * p.descent_cache_factor
                     + p.random_page_cost; // one heap fetch minimum
-                // Tail columns matching equality conjuncts narrow the range.
+                                          // Tail columns matching equality conjuncts narrow the range.
                 let mut fetched = rows_per_lookup;
                 if let Some(tb) = table {
                     for c in &vi.def.columns[1..] {
@@ -875,8 +858,7 @@ impl<'a> Planner<'a> {
                                 && a.restricted_column().is_some_and(|cr| cr.column == *c)
                         });
                         let Some(atom) = atom else { break };
-                        fetched *=
-                            crate::selectivity::atom_selectivity(atom, tb).max(1e-9);
+                        fetched *= crate::selectivity::atom_selectivity(atom, tb).max(1e-9);
                     }
                 }
                 (vi.id, per_lookup, fetched.max(1.0))
@@ -889,10 +871,7 @@ impl<'a> Planner<'a> {
     }
 
     /// Convenience: geometry-resolved visible index list from defs.
-    pub fn resolve_indexes(
-        &self,
-        defs: &[(IndexId, IndexDef)],
-    ) -> Vec<VisibleIndex> {
+    pub fn resolve_indexes(&self, defs: &[(IndexId, IndexDef)]) -> Vec<VisibleIndex> {
         defs.iter()
             .filter_map(|(id, def)| {
                 let table = self.catalog.table(&def.table)?;
@@ -984,8 +963,12 @@ mod tests {
                 IndexDef::new("orders", &["o_id"]),
             ],
         );
-        assert!(with.native_cost() < without.native_cost() / 3.0,
-            "{} vs {}", with.native_cost(), without.native_cost());
+        assert!(
+            with.native_cost() < without.native_cost() / 3.0,
+            "{} vs {}",
+            with.native_cost(),
+            without.native_cost()
+        );
         let p = &with.paths[0];
         assert!(p.index.is_some());
         assert_eq!(p.bitmap_indexes.len(), 1, "second arm tracked");
@@ -1211,8 +1194,14 @@ mod tests {
         );
         let text = p.explain(&|id| Some(format!("named_{}", id.0)));
         assert!(text.contains("Plan"), "{text}");
-        assert!(text.contains("Index Scan") || text.contains("Seq Scan"), "{text}");
-        assert!(text.contains("Index Nested Loop") || text.contains("Hash Join"), "{text}");
+        assert!(
+            text.contains("Index Scan") || text.contains("Seq Scan"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Index Nested Loop") || text.contains("Hash Join"),
+            "{text}"
+        );
         assert!(text.contains("Sort"), "{text}");
         // Name resolver applies.
         assert!(text.contains("named_"), "{text}");

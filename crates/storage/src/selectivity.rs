@@ -55,8 +55,7 @@ pub fn atom_selectivity(atom: &AtomicPredicate, table: &Table) -> f64 {
                             // interpolation otherwise.
                             let below = match &col.stats.histogram {
                                 Some(h) => h.fraction_below(v),
-                                None => ((v - col.stats.min)
-                                    / (col.stats.max - col.stats.min))
+                                None => ((v - col.stats.min) / (col.stats.max - col.stats.min))
                                     .clamp(0.0, 1.0),
                             };
                             match op {
@@ -90,9 +89,7 @@ pub fn atom_selectivity(atom: &AtomicPredicate, table: &Table) -> f64 {
             low, high, negated, ..
         } => {
             let sel = match (col, value_as_f64(low), value_as_f64(high)) {
-                (Some(c), Some(lo), Some(hi))
-                    if c.ty.is_numeric() && c.stats.max > c.stats.min =>
-                {
+                (Some(c), Some(lo), Some(hi)) if c.ty.is_numeric() && c.stats.max > c.stats.min => {
                     match &c.stats.histogram {
                         Some(h) => h.range_selectivity(lo, hi),
                         None => ((hi - lo) / (c.stats.max - c.stats.min)).clamp(0.0, 1.0),
@@ -208,7 +205,10 @@ mod tests {
     fn range_out_of_bounds_clamps() {
         let t = table();
         let s = atom_selectivity(&cmp("temp", CmpOp::Gt, Value::Float(99.0)), &t);
-        assert!((s - 1.0 / 10_000.0).abs() < 1e-9, "floor at 1/rows, got {s}");
+        assert!(
+            (s - 1.0 / 10_000.0).abs() < 1e-9,
+            "floor at 1/rows, got {s}"
+        );
         let s = atom_selectivity(&cmp("temp", CmpOp::Lt, Value::Float(99.0)), &t);
         assert!((s - 1.0).abs() < 1e-9);
     }
@@ -271,7 +271,12 @@ mod tests {
     fn selectivities_stay_in_unit_interval() {
         let t = table();
         for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
-            for v in [Value::Int(-100), Value::Int(50), Value::Float(1e9), Value::Placeholder] {
+            for v in [
+                Value::Int(-100),
+                Value::Int(50),
+                Value::Float(1e9),
+                Value::Placeholder,
+            ] {
                 let s = atom_selectivity(&cmp("temp", op, v.clone()), &t);
                 assert!((0.0..=1.0).contains(&s), "{op:?} {v:?} -> {s}");
             }

@@ -168,9 +168,7 @@ impl Bindings {
     fn single(table: &str) -> Self {
         let mut m = HashMap::new();
         m.insert(table.to_string(), table.to_string());
-        Bindings {
-            frames: vec![m],
-        }
+        Bindings { frames: vec![m] }
     }
 
     fn push_frame(&self, frame: HashMap<String, String>) -> Self {
@@ -189,7 +187,11 @@ impl Bindings {
 
     /// All visible base tables, innermost first.
     fn visible_tables(&self) -> impl Iterator<Item = &str> {
-        self.frames.iter().rev().flat_map(|f| f.values()).map(|s| s.as_str())
+        self.frames
+            .iter()
+            .rev()
+            .flat_map(|f| f.values())
+            .map(|s| s.as_str())
     }
 }
 
@@ -432,10 +434,13 @@ impl<'a> ShapeBuilder<'a> {
                 });
                 let Some(ic) = inner_col else { return };
                 let mut frame = HashMap::new();
-                for t in query.from.iter().chain(query.joins.iter().map(|j| &j.relation)) {
+                for t in query
+                    .from
+                    .iter()
+                    .chain(query.joins.iter().map(|j| &j.relation))
+                {
                     if let TableRef::Table { name, alias } = t {
-                        frame
-                            .insert(alias.clone().unwrap_or_else(|| name.clone()), name.clone());
+                        frame.insert(alias.clone().unwrap_or_else(|| name.clone()), name.clone());
                     }
                 }
                 let sub_bindings = bindings.push_frame(frame);
@@ -761,9 +766,8 @@ mod tests {
 
     #[test]
     fn group_and_order_columns_recorded() {
-        let s = shape(
-            "SELECT community, COUNT(*) FROM person GROUP BY community ORDER BY community",
-        );
+        let s =
+            shape("SELECT community, COUNT(*) FROM person GROUP BY community ORDER BY community");
         let t = s.table("person").unwrap();
         assert_eq!(t.group_columns, vec!["community"]);
         assert_eq!(t.order_columns, vec!["community"]);
@@ -771,7 +775,9 @@ mod tests {
 
     #[test]
     fn update_shape() {
-        let s = shape_stmt("UPDATE person SET temperature = 37.0 WHERE name = 'bo' AND community = 'x'");
+        let s = shape_stmt(
+            "UPDATE person SET temperature = 37.0 WHERE name = 'bo' AND community = 'x'",
+        );
         let w = s.write.as_ref().unwrap();
         assert_eq!(w.kind, WriteKind::Update);
         assert_eq!(w.set_columns, vec!["temperature"]);

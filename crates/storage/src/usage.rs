@@ -29,6 +29,35 @@ impl IndexUsage {
     }
 }
 
+/// The usage side effects of executing **one** statement, recorded as a
+/// detached value so it can be computed on a worker thread (against a
+/// read-only snapshot) and merged into the owning [`UsageTracker`] later,
+/// in a deterministic order.
+///
+/// This is the serving pipeline's unit of observation transport: workers
+/// never touch the tracker directly; they emit deltas and the single tuner
+/// thread applies them via [`UsageTracker::apply_delta`] after a
+/// logical-clock merge, so the merged counters are independent of worker
+/// count and scheduling.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageDelta {
+    /// `(index, saving)` read-side credits — one entry per index the plan
+    /// used.
+    pub scans: Vec<(IndexId, f64)>,
+    /// `(index, cost)` maintenance charges — one entry per maintained
+    /// index.
+    pub maintenance: Vec<(IndexId, f64)>,
+    /// `(table, rows)` catalog growth caused by an INSERT, if any.
+    pub growth: Option<(String, u64)>,
+}
+
+impl UsageDelta {
+    /// True when the statement had no index-visible side effects.
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty() && self.maintenance.is_empty() && self.growth.is_none()
+    }
+}
+
 /// Usage counters for all indexes in a database.
 #[derive(Debug, Clone, Default)]
 pub struct UsageTracker {
@@ -60,6 +89,20 @@ impl UsageTracker {
     /// Bump the statement counter.
     pub fn record_statement(&mut self) {
         self.statements += 1;
+    }
+
+    /// Merge one statement's detached side effects (see [`UsageDelta`]).
+    /// Counts the statement and applies its scan credits and maintenance
+    /// charges; catalog growth is the caller's responsibility (the tracker
+    /// has no catalog access).
+    pub fn apply_delta(&mut self, delta: &UsageDelta) {
+        self.record_statement();
+        for (id, saving) in &delta.scans {
+            self.record_scan(*id, *saving);
+        }
+        for (id, cost) in &delta.maintenance {
+            self.record_maintenance(*id, *cost);
+        }
     }
 
     /// Usage for one index (zeroes if never seen).
@@ -190,6 +233,30 @@ mod tests {
         let mut ids: Vec<u32> = t.iter().map(|(id, _)| id.0).collect();
         ids.sort();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn apply_delta_matches_direct_recording() {
+        let delta = UsageDelta {
+            scans: vec![(IndexId(1), 10.0), (IndexId(2), 3.0)],
+            maintenance: vec![(IndexId(3), 4.0)],
+            growth: Some(("t".into(), 5)),
+        };
+        let mut via_delta = UsageTracker::new();
+        via_delta.apply_delta(&delta);
+
+        let mut direct = UsageTracker::new();
+        direct.record_statement();
+        direct.record_scan(IndexId(1), 10.0);
+        direct.record_scan(IndexId(2), 3.0);
+        direct.record_maintenance(IndexId(3), 4.0);
+
+        assert_eq!(via_delta.statements, direct.statements);
+        for id in [1, 2, 3] {
+            assert_eq!(via_delta.usage(IndexId(id)), direct.usage(IndexId(id)));
+        }
+        assert!(!delta.is_empty());
+        assert!(UsageDelta::default().is_empty());
     }
 
     #[test]

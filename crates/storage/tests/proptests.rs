@@ -29,77 +29,93 @@ fn catalog(rows: u64) -> Catalog {
 /// index or lower the tree.
 #[test]
 fn geometry_monotone_in_rows() {
-    property("geometry_monotone_in_rows", PropConfig::default(), |rng, _size| {
-        let r1 = rng.random_range(1u64..10_000_000);
-        let r2 = rng.random_range(1u64..10_000_000);
-        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
-        let c_lo = catalog(lo);
-        let c_hi = catalog(hi);
-        let def = IndexDef::new("t", &["a", "b"]);
-        let g_lo = geometry(&def, c_lo.table("t").unwrap()).unwrap();
-        let g_hi = geometry(&def, c_hi.table("t").unwrap()).unwrap();
-        prop_assert!(g_hi.bytes >= g_lo.bytes, "rows {lo} vs {hi}");
-        prop_assert!(g_hi.leaf_pages >= g_lo.leaf_pages, "rows {lo} vs {hi}");
-        prop_assert!(g_hi.height >= g_lo.height, "rows {lo} vs {hi}");
-        Ok(())
-    });
+    property(
+        "geometry_monotone_in_rows",
+        PropConfig::default(),
+        |rng, _size| {
+            let r1 = rng.random_range(1u64..10_000_000);
+            let r2 = rng.random_range(1u64..10_000_000);
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let c_lo = catalog(lo);
+            let c_hi = catalog(hi);
+            let def = IndexDef::new("t", &["a", "b"]);
+            let g_lo = geometry(&def, c_lo.table("t").unwrap()).unwrap();
+            let g_hi = geometry(&def, c_hi.table("t").unwrap()).unwrap();
+            prop_assert!(g_hi.bytes >= g_lo.bytes, "rows {lo} vs {hi}");
+            prop_assert!(g_hi.leaf_pages >= g_lo.leaf_pages, "rows {lo} vs {hi}");
+            prop_assert!(g_hi.height >= g_lo.height, "rows {lo} vs {hi}");
+            Ok(())
+        },
+    );
 }
 
 /// Maintenance cost is monotone in inserted rows and never negative.
 #[test]
 fn maintenance_monotone() {
-    property("maintenance_monotone", PropConfig::default(), |rng, _size| {
-        let rows = rng.random_range(1u64..1_000_000);
-        let n1 = rng.random_range(0u64..1000);
-        let n2 = rng.random_range(0u64..1000);
-        let c = catalog(rows);
-        let geo = geometry(&IndexDef::new("t", &["a"]), c.table("t").unwrap()).unwrap();
-        let p = CostParams::default();
-        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        let m_lo = maintenance_cost(&geo, lo, &p);
-        let m_hi = maintenance_cost(&geo, hi, &p);
-        prop_assert!(m_lo.io >= 0.0 && m_lo.cpu >= 0.0);
-        prop_assert!(m_hi.total() >= m_lo.total(), "rows={rows} lo={lo} hi={hi}");
-        Ok(())
-    });
+    property(
+        "maintenance_monotone",
+        PropConfig::default(),
+        |rng, _size| {
+            let rows = rng.random_range(1u64..1_000_000);
+            let n1 = rng.random_range(0u64..1000);
+            let n2 = rng.random_range(0u64..1000);
+            let c = catalog(rows);
+            let geo = geometry(&IndexDef::new("t", &["a"]), c.table("t").unwrap()).unwrap();
+            let p = CostParams::default();
+            let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+            let m_lo = maintenance_cost(&geo, lo, &p);
+            let m_hi = maintenance_cost(&geo, hi, &p);
+            prop_assert!(m_lo.io >= 0.0 && m_lo.cpu >= 0.0);
+            prop_assert!(m_hi.total() >= m_lo.total(), "rows={rows} lo={lo} hi={hi}");
+            Ok(())
+        },
+    );
 }
 
 /// Plan cost is monotone in table size for a fixed query and config.
 #[test]
 fn seq_cost_monotone_in_rows() {
-    property("seq_cost_monotone_in_rows", PropConfig::default(), |rng, _size| {
-        let r1 = rng.random_range(100u64..5_000_000);
-        let r2 = rng.random_range(100u64..5_000_000);
-        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
-        let stmt = parse_statement("SELECT * FROM t WHERE b = 3").unwrap();
-        let params = CostParams::default();
-        let cost = |rows: u64| {
-            let c = catalog(rows);
-            let shape = QueryShape::extract(&stmt, &c);
-            Planner::new(&c, &params).plan(&shape, &[]).native_cost()
-        };
-        prop_assert!(cost(hi) >= cost(lo), "rows {lo} vs {hi}");
-        Ok(())
-    });
+    property(
+        "seq_cost_monotone_in_rows",
+        PropConfig::default(),
+        |rng, _size| {
+            let r1 = rng.random_range(100u64..5_000_000);
+            let r2 = rng.random_range(100u64..5_000_000);
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let stmt = parse_statement("SELECT * FROM t WHERE b = 3").unwrap();
+            let params = CostParams::default();
+            let cost = |rows: u64| {
+                let c = catalog(rows);
+                let shape = QueryShape::extract(&stmt, &c);
+                Planner::new(&c, &params).plan(&shape, &[]).native_cost()
+            };
+            prop_assert!(cost(hi) >= cost(lo), "rows {lo} vs {hi}");
+            Ok(())
+        },
+    );
 }
 
 /// Adding an index never increases the *read* cost of a select: the
 /// planner only picks it when it is cheaper.
 #[test]
 fn extra_index_never_hurts_reads() {
-    property("extra_index_never_hurts_reads", PropConfig::default(), |rng, _size| {
-        let rows = rng.random_range(1000u64..2_000_000);
-        let col = *rng.choose(&["a", "b", "x"]).unwrap();
-        let c = catalog(rows);
-        let db = SimDb::new(c, SimDbConfig::default());
-        let sql = format!("SELECT * FROM t WHERE {col} = 5");
-        let stmt = parse_statement(&sql).unwrap();
-        let shape = QueryShape::extract(&stmt, db.catalog());
-        let without = db.whatif_native_cost(&shape, &[]);
-        let with = db.whatif_native_cost(&shape, &[IndexDef::new("t", &[col])]);
-        prop_assert!(with <= without + 1e-9, "col={col} rows={rows}");
-        Ok(())
-    });
+    property(
+        "extra_index_never_hurts_reads",
+        PropConfig::default(),
+        |rng, _size| {
+            let rows = rng.random_range(1000u64..2_000_000);
+            let col = *rng.choose(&["a", "b", "x"]).unwrap();
+            let c = catalog(rows);
+            let db = SimDb::new(c, SimDbConfig::default());
+            let sql = format!("SELECT * FROM t WHERE {col} = 5");
+            let stmt = parse_statement(&sql).unwrap();
+            let shape = QueryShape::extract(&stmt, db.catalog());
+            let without = db.whatif_native_cost(&shape, &[]);
+            let with = db.whatif_native_cost(&shape, &[IndexDef::new("t", &[col])]);
+            prop_assert!(with <= without + 1e-9, "col={col} rows={rows}");
+            Ok(())
+        },
+    );
 }
 
 /// Adding an index never decreases the maintenance cost of an insert.
@@ -131,25 +147,29 @@ fn extra_index_never_helps_insert_maintenance() {
 /// native estimator is an *underestimate* on writes, never an over-).
 #[test]
 fn true_cost_dominates_native() {
-    property("true_cost_dominates_native", PropConfig::default(), |rng, _size| {
-        let rows = rng.random_range(1000u64..1_000_000);
-        let is_write = rng.random_bool(0.5);
-        let c = catalog(rows);
-        let db = SimDb::new(c, SimDbConfig::default());
-        let sql = if is_write {
-            "INSERT INTO t (a, b) VALUES (1, 2)"
-        } else {
-            "SELECT * FROM t WHERE a = 1"
-        };
-        let stmt = parse_statement(sql).unwrap();
-        let shape = QueryShape::extract(&stmt, db.catalog());
-        let f = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
-        prop_assert!(
-            f.true_cost(&TrueCostWeights::default()) >= f.native_cost(),
-            "rows={rows} write={is_write}"
-        );
-        Ok(())
-    });
+    property(
+        "true_cost_dominates_native",
+        PropConfig::default(),
+        |rng, _size| {
+            let rows = rng.random_range(1000u64..1_000_000);
+            let is_write = rng.random_bool(0.5);
+            let c = catalog(rows);
+            let db = SimDb::new(c, SimDbConfig::default());
+            let sql = if is_write {
+                "INSERT INTO t (a, b) VALUES (1, 2)"
+            } else {
+                "SELECT * FROM t WHERE a = 1"
+            };
+            let stmt = parse_statement(sql).unwrap();
+            let shape = QueryShape::extract(&stmt, db.catalog());
+            let f = db.whatif_features(&shape, &[IndexDef::new("t", &["a"])]);
+            prop_assert!(
+                f.true_cost(&TrueCostWeights::default()) >= f.native_cost(),
+                "rows={rows} write={is_write}"
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Filter selectivities extracted by shape stay in (0, 1].

@@ -498,8 +498,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let c =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(c)
                                 } else {
                                     return Err(self.err("lone high surrogate"));
@@ -595,9 +594,22 @@ mod tests {
     fn parses_nested_structures() {
         let v = Json::parse(r#"{"a": [1, {"b": null}], "c": {"d": [true, false]}}"#).unwrap();
         assert_eq!(v.get("a").unwrap().at(0).unwrap().as_f64(), Some(1.0));
-        assert!(v.get("a").unwrap().at(1).unwrap().get("b").unwrap().is_null());
+        assert!(v
+            .get("a")
+            .unwrap()
+            .at(1)
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .is_null());
         assert_eq!(
-            v.get("c").unwrap().get("d").unwrap().at(1).unwrap().as_bool(),
+            v.get("c")
+                .unwrap()
+                .get("d")
+                .unwrap()
+                .at(1)
+                .unwrap()
+                .as_bool(),
             Some(false)
         );
     }
@@ -612,15 +624,9 @@ mod tests {
 
     #[test]
     fn unicode_escapes_parse() {
-        assert_eq!(
-            Json::parse(r#""Aé""#).unwrap().as_str(),
-            Some("Aé")
-        );
+        assert_eq!(Json::parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
         // Surrogate pair: 🦀 is U+1F980.
-        assert_eq!(
-            Json::parse(r#""🦀""#).unwrap().as_str(),
-            Some("🦀")
-        );
+        assert_eq!(Json::parse(r#""🦀""#).unwrap().as_str(), Some("🦀"));
     }
 
     #[test]

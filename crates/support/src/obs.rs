@@ -120,6 +120,27 @@ impl Gauge {
         }
     }
 
+    /// Raise the value to `v` if it is currently lower (compare-and-swap
+    /// loop). High-water marks (queue depth, concurrent workers) under
+    /// multi-threaded writers.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -320,6 +341,17 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
+    /// Current value of gauge `name` (0.0 if never interned).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.inner
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .get(name)
+            .map(Gauge::get)
+            .unwrap_or(0.0)
+    }
+
     /// All counters whose name starts with `prefix`, sorted by name.
     /// Lets callers lift a whole namespace (`"guard."`, `"db.fault."`)
     /// into a report without enumerating every metric by hand.
@@ -436,6 +468,18 @@ mod tests {
         assert!((g.get() - 4.0).abs() < 1e-12);
         g.set(-1.0);
         assert_eq!(m.gauge("g").get(), -1.0);
+    }
+
+    #[test]
+    fn gauge_set_max_keeps_high_water_mark() {
+        let m = MetricsRegistry::new();
+        let g = m.gauge("hwm");
+        g.set_max(3.0);
+        g.set_max(1.0); // lower — ignored
+        assert_eq!(g.get(), 3.0);
+        g.set_max(7.5);
+        assert_eq!(m.gauge_value("hwm"), 7.5);
+        assert_eq!(m.gauge_value("never-interned"), 0.0);
     }
 
     #[test]

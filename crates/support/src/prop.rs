@@ -334,12 +334,16 @@ mod tests {
     #[test]
     fn passing_property_runs_all_cases() {
         let mut count = 0usize;
-        property("support_selftest_pass", PropConfig::ephemeral().cases(50), |rng, size| {
-            count += 1;
-            let v = rng.random_range(0..=size.max(1) as u64);
-            prop_assert!(v <= size.max(1) as u64);
-            Ok(())
-        });
+        property(
+            "support_selftest_pass",
+            PropConfig::ephemeral().cases(50),
+            |rng, size| {
+                count += 1;
+                let v = rng.random_range(0..=size.max(1) as u64);
+                prop_assert!(v <= size.max(1) as u64);
+                Ok(())
+            },
+        );
         assert_eq!(count, 50);
     }
 
@@ -460,7 +464,11 @@ mod tests {
         ));
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("x.propfail");
-        std::fs::write(&path, "# comment\n\ngarbage line\nseed=0xab size=7\nsize=3\n").unwrap();
+        std::fs::write(
+            &path,
+            "# comment\n\ngarbage line\nseed=0xab size=7\nsize=3\n",
+        )
+        .unwrap();
         assert_eq!(read_replay_file(&path), vec![(0xab, 7)]);
         let _ = std::fs::remove_dir_all(&dir);
     }

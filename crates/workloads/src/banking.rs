@@ -199,7 +199,10 @@ pub fn dba_indexes() -> Vec<IndexDef> {
     // (b) Redundant: single-column prefixes of the composites above, plus
     // overlapping composites.
     v.push(IndexDef::new("withdraw_flow", &["acct_id"]));
-    v.push(IndexDef::new("withdraw_flow", &["acct_id", "ts", "channel"]));
+    v.push(IndexDef::new(
+        "withdraw_flow",
+        &["acct_id", "ts", "channel"],
+    ));
     v.push(IndexDef::new("txn_journal", &["acct_id"]));
     v.push(IndexDef::new("summary_daily", &["branch_id"]));
     v.push(IndexDef::new("account", &["acct_id", "status"]));
@@ -291,9 +294,7 @@ impl BankingGenerator {
                 self.rng.random_range(1..=6),
                 self.rng.random_range(1..=6)
             ),
-            format!(
-                "UPDATE account SET balance = balance - {amount} WHERE acct_id = {acct}"
-            ),
+            format!("UPDATE account SET balance = balance - {amount} WHERE acct_id = {acct}"),
             format!(
                 "INSERT INTO withdraw_flow (flow_id, acct_id, card_id, amount, ts, channel, \
                  flow_status, teller_id, branch_id) VALUES ({}, {acct}, {card}, {amount}, {ts}, \
@@ -416,10 +417,9 @@ mod tests {
     fn dba_set_contains_redundant_prefixes() {
         let idx = dba_indexes();
         // withdraw_flow(acct_id) is covered by withdraw_flow(acct_id, ts).
-        let covered = idx.iter().any(|a| {
-            idx.iter()
-                .any(|b| b != a && b.covers(a))
-        });
+        let covered = idx
+            .iter()
+            .any(|a| idx.iter().any(|b| b != a && b.covers(a)));
         assert!(covered);
     }
 

@@ -191,7 +191,9 @@ mod tests {
         let qs = g.generate(Phase::W3, 1000);
         let upd = qs.iter().filter(|s| s.starts_with("UPDATE")).count();
         assert!(upd > 350 && upd < 650, "updates {upd}");
-        assert!(qs.iter().any(|s| s.contains("name = ") && s.contains("community = ")));
+        assert!(qs
+            .iter()
+            .any(|s| s.contains("name = ") && s.contains("community = ")));
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! reproducible run to run.
 
 pub mod banking;
-pub mod partitioned;
 pub mod epidemic;
+pub mod partitioned;
 pub mod tpcc;
 pub mod tpcds;
 

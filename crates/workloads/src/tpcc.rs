@@ -152,7 +152,10 @@ pub fn default_indexes() -> Vec<IndexDef> {
         IndexDef::new("customer", &["c_w_id", "c_d_id", "c_id"]),
         IndexDef::new("new_order", &["no_w_id", "no_d_id", "no_o_id"]),
         IndexDef::new("orders", &["o_w_id", "o_d_id", "o_id"]),
-        IndexDef::new("order_line", &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"]),
+        IndexDef::new(
+            "order_line",
+            &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+        ),
         IndexDef::new("item", &["i_id"]),
         IndexDef::new("stock", &["s_w_id", "s_i_id"]),
     ]
@@ -292,15 +295,15 @@ impl TpccGenerator {
                 self.rng.random_range(1..1_000_000u64),
                 self.rng.random_range(5..=15u64)
             ),
-            format!(
-                "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES ({o}, {d}, {w})"
-            ),
+            format!("INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES ({o}, {d}, {w})"),
         ];
         let lines = self.rng.random_range(5..=15);
         for ln in 1..=lines {
             let i = self.iid();
             let qty = self.rng.random_range(1..=10);
-            q.push(format!("SELECT i_price, i_name, i_data FROM item WHERE i_id = {i}"));
+            q.push(format!(
+                "SELECT i_price, i_name, i_data FROM item WHERE i_id = {i}"
+            ));
             q.push(format!(
                 "SELECT s_quantity, s_data FROM stock \
                  WHERE s_i_id = {i} AND s_w_id = {w} FOR UPDATE"
@@ -426,9 +429,7 @@ impl TpccGenerator {
         let threshold = self.rng.random_range(10..=20u64);
         let o = self.oid().max(20);
         vec![
-            format!(
-                "SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"
-            ),
+            format!("SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"),
             // The s_quantity restriction that motivates Table I's
             // `s_quality` index pick.
             format!(

@@ -317,7 +317,15 @@ pub fn queries(seed: u64) -> Vec<(String, String)> {
 }
 
 const CATEGORIES: [&str; 10] = [
-    "Books", "Music", "Home", "Sports", "Shoes", "Jewelry", "Men", "Women", "Children",
+    "Books",
+    "Music",
+    "Home",
+    "Sports",
+    "Shoes",
+    "Jewelry",
+    "Men",
+    "Women",
+    "Children",
     "Electronics",
 ];
 const STATES: [&str; 8] = ["CA", "TX", "NY", "WA", "GA", "IL", "OH", "MI"];
@@ -355,8 +363,15 @@ fn query(i: u32, rng: &mut StdRng) -> String {
              AND cd_education_status = '{}' AND d_year = {year} AND d_moy = {moy}",
             ["M", "F"][rng.random_range(0..2)],
             ["S", "M", "D", "W", "U"][rng.random_range(0..5)],
-            ["College", "Primary", "Secondary", "Advanced", "Unknown", "2yrdeg", "4yrdeg"]
-                [rng.random_range(0..7)]
+            [
+                "College",
+                "Primary",
+                "Secondary",
+                "Advanced",
+                "Unknown",
+                "2yrdeg",
+                "4yrdeg"
+            ][rng.random_range(0..7)]
         ),
         // Family 3: promotion effectiveness.
         3 => format!(

@@ -27,7 +27,10 @@ fn main() {
     }
     let idx_before = db.index_count();
     let bytes_before = db.total_index_bytes();
-    println!("DBA configuration: {idx_before} indexes, {:.2} GiB", gib(bytes_before));
+    println!(
+        "DBA configuration: {idx_before} indexes, {:.2} GiB",
+        gib(bytes_before)
+    );
 
     // The withdraw business stream (Figure 1 uses ~2.2M queries; a slice
     // is plenty for the demo — the bench harness runs the full volume).

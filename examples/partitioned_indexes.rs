@@ -43,7 +43,10 @@ fn run_mode(mode: Mode) {
         let size = db
             .index_size_bytes(d)
             .expect("recommended index sizes resolve");
-        println!("  + CREATE INDEX ON {d}   ({:.1} MiB)", size as f64 / (1 << 20) as f64);
+        println!(
+            "  + CREATE INDEX ON {d}   ({:.1} MiB)",
+            size as f64 / (1 << 20) as f64
+        );
     }
     for d in &report.recommendation.remove {
         println!("  - DROP INDEX ON {d}");

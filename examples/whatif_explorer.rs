@@ -43,7 +43,10 @@ fn main() {
     println!("read query under hypothetical configurations:");
     for (label, config) in [
         ("no index", vec![]),
-        ("events(user_id)", vec![IndexDef::new("events", &["user_id"])]),
+        (
+            "events(user_id)",
+            vec![IndexDef::new("events", &["user_id"])],
+        ),
         (
             "events(user_id, kind)",
             vec![IndexDef::new("events", &["user_id", "kind"])],
@@ -58,7 +61,10 @@ fn main() {
             .iter()
             .map(|d| db.index_size_bytes(d).expect("valid index"))
             .sum();
-        println!("  {label:28} cost {cost:12.1}   size {:6.1} MiB", size as f64 / (1 << 20) as f64);
+        println!(
+            "  {label:28} cost {cost:12.1}   size {:6.1} MiB",
+            size as f64 / (1 << 20) as f64
+        );
     }
 
     // --- 2. The write-side blind spot ------------------------------------
@@ -103,7 +109,10 @@ fn main() {
     }
     let pool = heavy.clone();
     let set = TrainingSet::collect(&mut db, &history, &pool, &CollectConfig::default());
-    println!("\ncollected {} historical samples; 9-fold cross-validation:", set.len());
+    println!(
+        "\ncollected {} historical samples; 9-fold cross-validation:",
+        set.len()
+    );
     let folds = kfold_cross_validate(&set, 9, &TrainConfig::default()).expect("enough samples");
     for f in &folds {
         println!(

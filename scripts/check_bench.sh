@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Serving-throughput regression check for autoindex-rs (PR 5).
+#
+# Compares the freshly written BENCH_PR5.json against the committed
+# baseline scripts/bench_baseline_pr5.json, row by row (one row per
+# worker count in the sweep). Only *simulated-domain* numbers are
+# compared — simulated_qps and speedup_vs_1 — never wall_ms, so the check
+# is host independent: the simulation is deterministic and any drift
+# means the pipeline's behaviour changed, not the machine.
+#
+# Knobs (environment):
+#   BENCH_TOLERANCE_PCT   allowed relative drift per compared value,
+#                         percent (default 5; the sweep is deterministic,
+#                         so real drift should be ~0 — the band only
+#                         absorbs float formatting)
+#   BENCH_CURRENT         path to the fresh results
+#                         (default BENCH_PR5.json at the repo root)
+#   BENCH_BASELINE        path to the committed baseline
+#                         (default scripts/bench_baseline_pr5.json)
+#
+# Exit status: 0 when every row is inside the band, 1 otherwise. CI runs
+# this as a separate, non-blocking job (continue-on-error) so a perf
+# regression is *reported* on every push without blocking the merge —
+# refresh the baseline deliberately when a change is intentional:
+#
+#   cargo bench --offline -p autoindex-bench --bench throughput
+#   cp BENCH_PR5.json scripts/bench_baseline_pr5.json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CURRENT="${BENCH_CURRENT:-BENCH_PR5.json}"
+BASELINE="${BENCH_BASELINE:-scripts/bench_baseline_pr5.json}"
+TOL="${BENCH_TOLERANCE_PCT:-5}"
+
+if [ ! -f "$CURRENT" ]; then
+    echo "ERROR: $CURRENT not found — run: cargo bench --offline -p autoindex-bench --bench throughput" >&2
+    exit 1
+fi
+if [ ! -f "$BASELINE" ]; then
+    echo "ERROR: baseline $BASELINE not found" >&2
+    exit 1
+fi
+
+# Extract "workers qps speedup det" rows from the pretty-printed JSON.
+# The in-repo Json printer emits one "key": value pair per line inside
+# each row object, keys sorted alphabetically, so a line-oriented awk
+# pass is reliable here.
+extract() {
+    awk '
+        /"deterministic_match":/ { gsub(/[",]/, ""); det = $2 }
+        /"simulated_qps":/       { gsub(/[",]/, ""); qps = $2 }
+        /"speedup_vs_1":/        { gsub(/[",]/, ""); spd = $2 }
+        /"workers":/             { gsub(/[",]/, ""); printf "%s %s %s %s\n", $2, qps, spd, det }
+    ' "$1"
+}
+
+extract "$CURRENT" >/tmp/bench_current.$$
+extract "$BASELINE" >/tmp/bench_baseline.$$
+trap 'rm -f /tmp/bench_current.$$ /tmp/bench_baseline.$$' EXIT
+
+FAILED=0
+echo "bench check: tolerance ±${TOL}% (simulated domain; wall-clock ignored)"
+echo "workers      qps(base)      qps(now)    drift%   speedup(now)  deterministic"
+while read -r W BQ BS BD; do
+    LINE=$(grep "^$W " /tmp/bench_current.$$ || true)
+    if [ -z "$LINE" ]; then
+        echo "  $W: MISSING from $CURRENT"
+        FAILED=1
+        continue
+    fi
+    CQ=$(printf '%s' "$LINE" | awk '{print $2}')
+    CS=$(printf '%s' "$LINE" | awk '{print $3}')
+    CD=$(printf '%s' "$LINE" | awk '{print $4}')
+    OK=$(awk -v a="$BQ" -v b="$CQ" -v t="$TOL" 'BEGIN {
+        d = (a > 0) ? (b - a) / a * 100 : 0;
+        printf "%.2f %d", d, (d <= t && d >= -t) ? 1 : 0
+    }')
+    DRIFT=${OK% *}
+    PASS=${OK#* }
+    STATUS="ok"
+    if [ "$PASS" != "1" ]; then STATUS="DRIFT"; FAILED=1; fi
+    if [ "$CD" != "true" ]; then STATUS="NONDET"; FAILED=1; fi
+    printf '%7s %13s %13s %9s %14s %14s  %s\n' \
+        "$W" "$BQ" "$CQ" "$DRIFT" "$CS" "$CD" "$STATUS"
+    : "$BS" "$BD"
+done </tmp/bench_baseline.$$
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "BENCH CHECK FAILED: throughput drifted outside ±${TOL}% (or determinism broke)." >&2
+    echo "If intentional: cp $CURRENT $BASELINE" >&2
+    exit 1
+fi
+echo "BENCH CHECK OK: all worker counts within ±${TOL}% of baseline."

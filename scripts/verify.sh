@@ -10,8 +10,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline --workspace"
-cargo build --release --offline --workspace
+echo "==> cargo build --release --offline --workspace --all-targets"
+cargo build --release --offline --workspace --all-targets
 
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
@@ -39,13 +39,9 @@ if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'guard\.rollbacks \(fault 20%\)' | gre
     exit 1
 fi
 
-echo "==> deprecated entry-point check (workspace must use the TuningSession API)"
-DEPRECATED=$(grep -rn -E '\.(tune|tune_with_workload|apply_recommendation|recommend|recommend_for)\(' \
-    --include='*.rs' src crates examples tests \
-    | grep -v 'crates/core/src/system\.rs' || true)
-if [ -n "$DEPRECATED" ]; then
-    echo "ERROR: deprecated tuning entry points still in use (migrate to advisor.session(...)):" >&2
-    echo "$DEPRECATED" >&2
+echo "==> serve determinism smoke-check (1-worker vs 4-worker transcripts byte-identical)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.determinism' | grep -q 'ok'; then
+    echo "ERROR: deterministic serve transcripts differ between 1 and 4 workers" >&2
     exit 1
 fi
 

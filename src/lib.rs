@@ -99,8 +99,9 @@ pub mod prelude {
     pub use autoindex_core::{
         ApplyVerdict, AutoIndex, AutoIndexConfig, AutoIndexError, CandidateConfig,
         CandidateGenerator, DiagnosisConfig, GreedyConfig, Guard, GuardConfig, GuardEvent,
-        GuardPhase, IndexDiagnosis, MctsConfig, Recommendation, SessionReport, TemplateStore,
-        TemplateStoreConfig, TuningReport, TuningSession,
+        GuardPhase, IndexDiagnosis, MctsConfig, Recommendation, ServeConfig, ServeOutcome,
+        ServeReport, SessionReport, TemplateStore, TemplateStoreConfig, TuningReport,
+        TuningSession,
     };
     pub use autoindex_estimator::{
         kfold_cross_validate, CollectConfig, CostEstimator, LearnedCostEstimator,
@@ -108,8 +109,8 @@ pub mod prelude {
     };
     pub use autoindex_sql::{parse_statement, Statement};
     pub use autoindex_storage::{
-        Catalog, Column, ColumnStats, ColumnType, FaultPlan, FaultPlanConfig, IndexDef,
-        IndexScope, QueryShape, SimDb, SimDbConfig, Table, TableBuilder,
+        Catalog, Column, ColumnStats, ColumnType, FaultPlan, FaultPlanConfig, IndexDef, IndexScope,
+        QueryShape, SimDb, SimDbConfig, Table, TableBuilder,
     };
     pub use autoindex_support::json::Json;
     pub use autoindex_support::obs::MetricsRegistry;

@@ -7,7 +7,11 @@ use autoindex::prelude::*;
 use autoindex::storage::shape::QueryShape;
 use autoindex::workloads::{banking, epidemic, tpcc, tpcds};
 
-fn learned_estimator(db: &mut SimDb, queries: &[String], pool: &[IndexDef]) -> LearnedCostEstimator {
+fn learned_estimator(
+    db: &mut SimDb,
+    queries: &[String],
+    pool: &[IndexDef],
+) -> LearnedCostEstimator {
     let stmts: Vec<Statement> = queries
         .iter()
         .take(1_500)
@@ -192,7 +196,10 @@ fn banking_tuning_round_produces_truthful_telemetry() {
         counter("mcts.eval_cache.misses") as usize,
         report.search_evaluations
     );
-    assert_eq!(counter("mcts.eval_cache.hits") as usize, report.eval_cache_hits);
+    assert_eq!(
+        counter("mcts.eval_cache.hits") as usize,
+        report.eval_cache_hits
+    );
 }
 
 #[test]
@@ -205,7 +212,11 @@ fn epidemic_three_phase_story() {
 
     // Calibrate a learned estimator across all phases.
     let mut history = Vec::new();
-    for phase in [epidemic::Phase::W1, epidemic::Phase::W2, epidemic::Phase::W3] {
+    for phase in [
+        epidemic::Phase::W1,
+        epidemic::Phase::W2,
+        epidemic::Phase::W3,
+    ] {
         history.extend(generator.generate(phase, 400));
     }
     let pool = vec![
@@ -221,7 +232,10 @@ fn epidemic_three_phase_story() {
     ai.observe_batch(w1.iter().map(String::as_str), &db);
     ai.session(&mut db).run().unwrap();
     let keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
-    assert!(keys.contains(&"person(temperature)".to_string()), "{keys:?}");
+    assert!(
+        keys.contains(&"person(temperature)".to_string()),
+        "{keys:?}"
+    );
     assert!(keys.contains(&"person(community)".to_string()), "{keys:?}");
 
     // Hard phase boundary.
@@ -265,7 +279,12 @@ fn greedy_and_autoindex_share_estimator_but_differ_on_removal() {
         db
     };
     let queries: Vec<String> = (0..2_000)
-        .map(|i| format!("INSERT INTO t (id, hot, warm) VALUES ({i}, {i}, {})", i % 2000))
+        .map(|i| {
+            format!(
+                "INSERT INTO t (id, hot, warm) VALUES ({i}, {i}, {})",
+                i % 2000
+            )
+        })
         .collect();
 
     let mut db = mk_db();
@@ -386,5 +405,8 @@ fn learned_estimator_ranks_write_configs_where_native_cannot() {
 
     let l0 = est.workload_cost(&db, &workload, &defaults);
     let l1 = est.workload_cost(&db, &workload, &heavy);
-    assert!(l1 > l0, "learned estimator prices maintenance: {l0} vs {l1}");
+    assert!(
+        l1 > l0,
+        "learned estimator prices maintenance: {l0} vs {l1}"
+    );
 }
