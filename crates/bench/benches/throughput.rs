@@ -1,6 +1,8 @@
-//! PR 5 serving throughput: the concurrent pipeline's worker sweep.
-//! Writes `BENCH_PR5.json` at the repo root (protocol: `docs/SERVING.md`
-//! §"Throughput bench").
+//! Serving throughput: the concurrent pipeline's worker sweep (PR 5) plus
+//! the query front-end comparison (PR 6). Writes `BENCH_PR5.json` and
+//! `BENCH_PR6.json` at the repo root (protocol: `docs/SERVING.md`
+//! §"Throughput bench" and `docs/PERFORMANCE.md` §"The zero-allocation
+//! query hot path").
 //!
 //! The banking hybrid stream (fixed seed) is served in deterministic mode
 //! at 1, 2, 4 and 8 executor workers. The reported metric is
@@ -21,15 +23,37 @@
 //!    (determinism contract),
 //! 3. 4 workers reach >= 2x the 1-worker simulated qps.
 //!
-//! `scripts/check_bench.sh` diffs the written file against the committed
-//! baseline `scripts/bench_baseline_pr5.json` with a tolerance band.
+//! `scripts/check_bench.sh` diffs the written files against the committed
+//! baselines `scripts/bench_baseline_pr5.json` /
+//! `scripts/bench_baseline_pr6.json` with a tolerance band.
+//!
+//! PR 6 additions (all in `BENCH_PR6.json`):
+//!
+//! * the same execution-domain sweep rows (they must stay byte-identical
+//!   to the PR 5 baseline — the fast path may not change *what* executes),
+//! * a measured **front-end** comparison: wall-clock qps of the PR 5-era
+//!   per-statement front end (`parse_statement` + `QueryShape::extract`)
+//!   vs the compiled-template fast path (`scan_fingerprint`, cache
+//!   lookup, `bind_into` on reused scratch) at steady state. This is the
+//!   one wall-clock number the repo gates on: the fast path must reach
+//!   at least 10x the full-parse front end (ratio of two wall-clock
+//!   rates on the same host, so the *gate* is host independent even
+//!   though the rates are not),
+//! * a fastpath-off serve run whose transcript must be byte-identical to
+//!   the fastpath-on sweep baseline (the execution-identity contract).
 
-use autoindex_core::{serve, AutoIndex, AutoIndexConfig, ServeConfig};
+use autoindex_core::templates::{TemplateStore, TemplateStoreConfig};
+use autoindex_core::{serve, AutoIndex, AutoIndexConfig, FastPathCache, ServeConfig};
 use autoindex_estimator::NativeCostEstimator;
+use autoindex_sql::fingerprint::{scan_fingerprint, LiteralBuf};
+use autoindex_sql::parse_statement;
+use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{SimDb, SimDbConfig};
 use autoindex_support::json::{obj, Json};
 use autoindex_support::obs::MetricsRegistry;
 use autoindex_workloads::banking::{self, BankingGenerator};
+use std::collections::HashMap;
+use std::hint::black_box;
 use std::time::Instant;
 
 const STATEMENTS: usize = 4_000;
@@ -74,6 +98,8 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut baseline_transcript = String::new();
     let mut baseline_qps = 0.0;
+    let mut baseline_hits = 0u64;
+    let mut baseline_misses = 0u64;
     for &workers in &WORKER_SWEEP {
         let cfg = ServeConfig::builder()
             .workers(workers)
@@ -97,11 +123,18 @@ fn main() {
         if workers == 1 {
             baseline_transcript = transcript.clone();
             baseline_qps = r.simulated_qps();
+            baseline_hits = r.fastpath_hits;
+            baseline_misses = r.fastpath_misses;
         }
         let deterministic_match = transcript == baseline_transcript;
         assert!(
             deterministic_match,
             "workers={workers}: transcript diverged from the 1-worker run"
+        );
+        assert_eq!(
+            (r.fastpath_hits, r.fastpath_misses),
+            (baseline_hits, baseline_misses),
+            "workers={workers}: fast-path hit/miss tallies must be worker-count invariant"
         );
 
         let qps = r.simulated_qps();
@@ -190,5 +223,274 @@ fn main() {
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
     std::fs::write(path, format!("{}\n", doc.pretty())).expect("write BENCH_PR5.json");
+    eprintln!("wrote {path}");
+
+    pr6(
+        &queries,
+        &rows,
+        &baseline_transcript,
+        baseline_hits,
+        baseline_misses,
+    );
+}
+
+const REQUIRED_FRONTEND_SPEEDUP: f64 = 10.0;
+
+struct Frontend {
+    statements: usize,
+    templates: usize,
+    compiled: usize,
+    qps_off: f64,
+    qps_on: f64,
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The PR 6 headline measurement: the statement front end in isolation,
+/// steady state, on the same banking stream the sweep serves.
+///
+/// * `fastpath_off` — what every worker did before PR 6:
+///   `parse_statement` (lexer + AST allocation) then `QueryShape::extract`
+///   per statement.
+/// * `fastpath_on` — the compiled-template path: `scan_fingerprint` into a
+///   reused [`LiteralBuf`], template-cache lookup, `bind_into` a reused
+///   skeleton clone. Statements that miss the cache or trip a bind guard
+///   fall back to the full parse, exactly like the serving loop.
+///
+/// The cache is built the way the tuner builds it at an epoch boundary:
+/// from a [`TemplateStore`] that has observed the whole stream.
+fn frontend_microbench(queries: &[String]) -> Frontend {
+    let catalog = banking::catalog();
+    let mut store = TemplateStore::new(TemplateStoreConfig::default());
+    for q in queries {
+        let _ = store.observe(q, &catalog);
+    }
+    let cache = FastPathCache::build(store.entries(), &catalog);
+
+    // --- fastpath off: the PR 5-era front end --------------------------
+    let full = |q: &String| {
+        if let Ok(stmt) = parse_statement(q) {
+            black_box(QueryShape::extract(&stmt, &catalog));
+        }
+    };
+    for q in queries.iter().take(256) {
+        full(q); // warmup
+    }
+    const REPS_OFF: usize = 3;
+    let t = Instant::now();
+    for _ in 0..REPS_OFF {
+        for q in queries {
+            full(q);
+        }
+    }
+    let qps_off = (queries.len() * REPS_OFF) as f64 / t.elapsed().as_secs_f64();
+
+    // --- fastpath on: scan + lookup + bind on reused scratch -----------
+    let mut lits = LiteralBuf::new();
+    let mut shapes: HashMap<u64, QueryShape> = HashMap::new();
+    let mut sels: Vec<f64> = Vec::new();
+    let mut stack: Vec<f64> = Vec::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let pass = |queries: &[String],
+                lits: &mut LiteralBuf,
+                shapes: &mut HashMap<u64, QueryShape>,
+                sels: &mut Vec<f64>,
+                stack: &mut Vec<f64>,
+                hits: &mut u64,
+                misses: &mut u64| {
+        for q in queries {
+            if let Some(h) = scan_fingerprint(q, lits) {
+                if let Some(c) = cache.get(h) {
+                    let shape = shapes.entry(h).or_insert_with(|| c.skeleton().clone());
+                    if c.bind_into(lits, cache.stats(), shape, sels, stack) {
+                        *hits += 1;
+                        black_box(&*shape);
+                        continue;
+                    }
+                }
+            }
+            *misses += 1;
+            full(q);
+        }
+    };
+    if std::env::var("FRONTEND_BREAKDOWN").is_ok() {
+        let t = Instant::now();
+        for _ in 0..30 {
+            for q in queries {
+                black_box(scan_fingerprint(q, &mut lits));
+            }
+        }
+        eprintln!(
+            "  scan only: {:.0} ns/stmt",
+            t.elapsed().as_nanos() as f64 / (30 * queries.len()) as f64
+        );
+        let t = Instant::now();
+        for _ in 0..30 {
+            for q in queries {
+                if let Some(h) = scan_fingerprint(q, &mut lits) {
+                    black_box(cache.get(h));
+                }
+            }
+        }
+        eprintln!(
+            "  scan+get:  {:.0} ns/stmt",
+            t.elapsed().as_nanos() as f64 / (30 * queries.len()) as f64
+        );
+    }
+    // Warmup pass populates the per-template skeleton clones and grows the
+    // scratch buffers to their steady-state capacity.
+    pass(
+        queries,
+        &mut lits,
+        &mut shapes,
+        &mut sels,
+        &mut stack,
+        &mut hits,
+        &mut misses,
+    );
+    (hits, misses) = (0, 0);
+    const REPS_ON: usize = 30;
+    let t = Instant::now();
+    for _ in 0..REPS_ON {
+        pass(
+            queries,
+            &mut lits,
+            &mut shapes,
+            &mut sels,
+            &mut stack,
+            &mut hits,
+            &mut misses,
+        );
+    }
+    let qps_on = (queries.len() * REPS_ON) as f64 / t.elapsed().as_secs_f64();
+
+    Frontend {
+        statements: queries.len(),
+        templates: store.len(),
+        compiled: cache.len(),
+        qps_off,
+        qps_on,
+        speedup: qps_on / qps_off,
+        hits,
+        misses,
+    }
+}
+
+/// PR 6 gates + `BENCH_PR6.json`: execution rows unchanged, fastpath-off
+/// transcript identical, front-end speedup over the floor.
+fn pr6(
+    queries: &[String],
+    rows: &[Row],
+    baseline_transcript: &str,
+    fastpath_hits: u64,
+    fastpath_misses: u64,
+) {
+    // Execution-identity contract: turning the fast path *off* must not
+    // change a byte of the transcript (the fast path only changes how the
+    // front end reaches the same shape, never what executes).
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .epoch_interval(EPOCH_INTERVAL)
+        .deterministic(true)
+        .seed(61)
+        .fastpath(false)
+        .build()
+        .expect("static serve config");
+    let advisor = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+    let out = serve(fresh_db(), advisor, queries, cfg).expect("fastpath-off serve run");
+    let off_identical = out.report.transcript() == baseline_transcript;
+    assert!(
+        off_identical,
+        "fastpath-off transcript diverged from the fastpath-on baseline"
+    );
+    assert_eq!(out.report.fastpath_hits, 0, "fastpath-off run counted hits");
+    assert!(
+        fastpath_hits > 0,
+        "fastpath-on sweep never hit the template cache"
+    );
+
+    let fe = frontend_microbench(queries);
+    eprintln!(
+        "frontend: off {:.0} qps | on {:.0} qps | {:.1}x | {} templates ({} compiled) | {} hits / {} misses",
+        fe.qps_off, fe.qps_on, fe.speedup, fe.templates, fe.compiled, fe.hits, fe.misses
+    );
+    assert!(
+        fe.hits > 0,
+        "front-end microbench never hit the template cache"
+    );
+    assert!(
+        fe.speedup >= REQUIRED_FRONTEND_SPEEDUP,
+        "front end reached only {:.2}x with the fast path (need >= {REQUIRED_FRONTEND_SPEEDUP}x)",
+        fe.speedup
+    );
+
+    let doc = obj([
+        ("bench", Json::from("throughput_pr6")),
+        (
+            "workload",
+            Json::from(format!(
+                "banking hybrid, {STATEMENTS} statements, deterministic serve, epoch {EPOCH_INTERVAL}"
+            )),
+        ),
+        (
+            "metric",
+            Json::from(
+                "execution rows: simulated time domain (must match the PR 5 baseline); \
+                 frontend: wall-clock qps of parse+extract vs scan+bind on this host — \
+                 only the ratio is gated (docs/PERFORMANCE.md)",
+            ),
+        ),
+        (
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        obj([
+                            ("workers", Json::from(r.workers as u64)),
+                            ("executed", Json::from(r.executed)),
+                            ("parse_failures", Json::from(r.parse_failures)),
+                            ("tuning_rounds", Json::from(r.tuning_rounds)),
+                            ("epochs", Json::from(r.epochs as u64)),
+                            ("total_sim_ms", Json::from(r.total_sim_ms)),
+                            ("makespan_ms", Json::from(r.makespan_ms)),
+                            ("simulated_qps", Json::from(r.simulated_qps)),
+                            ("speedup_vs_1", Json::from(r.speedup_vs_1)),
+                            ("deterministic_match", Json::from(r.deterministic_match)),
+                            ("wall_ms", Json::from(r.wall_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "serve_fastpath",
+            obj([
+                ("hits", Json::from(fastpath_hits)),
+                ("misses", Json::from(fastpath_misses)),
+                ("off_transcript_identical", Json::from(off_identical)),
+            ]),
+        ),
+        (
+            "frontend",
+            obj([
+                ("statements", Json::from(fe.statements as u64)),
+                ("templates", Json::from(fe.templates as u64)),
+                ("compiled_templates", Json::from(fe.compiled as u64)),
+                ("qps_fastpath_off", Json::from(fe.qps_off)),
+                ("qps_fastpath_on", Json::from(fe.qps_on)),
+                ("frontend_speedup", Json::from(fe.speedup)),
+                ("frontend_hits", Json::from(fe.hits)),
+                ("frontend_misses", Json::from(fe.misses)),
+                (
+                    "required_frontend_speedup",
+                    Json::from(REQUIRED_FRONTEND_SPEEDUP),
+                ),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    std::fs::write(path, format!("{}\n", doc.pretty())).expect("write BENCH_PR6.json");
     eprintln!("wrote {path}");
 }

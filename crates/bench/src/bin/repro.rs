@@ -174,11 +174,14 @@ fn smoke() {
 }
 
 /// Serving-pipeline determinism stage (`scripts/verify.sh` greps the
-/// `serve.determinism` row): the same query stream served in deterministic
-/// mode with 1 and with 4 executor workers must produce byte-identical
-/// transcripts — same per-epoch statement counts, same diagnosis firings,
-/// same tuning decisions and the same final `ConfigSet` fingerprint
-/// (see `docs/SERVING.md`).
+/// `serve.determinism` and `serve.fastpath.hits` rows): the same query
+/// stream served in deterministic mode with 1 and with 4 executor workers
+/// must produce byte-identical transcripts — same per-epoch statement
+/// counts, same diagnosis firings, same tuning decisions and the same
+/// final `ConfigSet` fingerprint (see `docs/SERVING.md`) — and the
+/// compiled-template fast path must actually engage: a non-zero,
+/// worker-count-invariant hit tally on the banking stream
+/// (see `docs/PERFORMANCE.md` §"The zero-allocation query hot path").
 fn smoke_serve_determinism() {
     use autoindex_core::{serve, AutoIndex, AutoIndexConfig, ServeConfig};
     use autoindex_estimator::NativeCostEstimator;
@@ -192,7 +195,7 @@ fn smoke_serve_determinism() {
         .into_iter()
         .map(|(_, q)| q)
         .collect();
-    let run = |workers: usize| -> String {
+    let run = |workers: usize| -> (String, u64, u64) {
         let db = SimDb::with_metrics(
             banking::catalog(),
             SimDbConfig::default(),
@@ -206,10 +209,14 @@ fn smoke_serve_determinism() {
             .build()
             .unwrap();
         let out = serve(db, advisor, &queries, cfg).unwrap();
-        out.report.transcript()
+        (
+            out.report.transcript(),
+            out.report.fastpath_hits,
+            out.report.fastpath_misses,
+        )
     };
-    let one = run(1);
-    let four = run(4);
+    let (one, hits1, misses1) = run(1);
+    let (four, hits4, misses4) = run(4);
     let ok = one == four;
     println!(
         "  serve.determinism (1 vs 4 workers) {:>6}  {}",
@@ -219,6 +226,18 @@ fn smoke_serve_determinism() {
     if !ok {
         eprintln!("smoke FAILED: deterministic serve transcript differs across worker counts");
         eprintln!("--- 1 worker ---\n{one}\n--- 4 workers ---\n{four}");
+        std::process::exit(1);
+    }
+    let fp_ok = hits1 > 0 && (hits1, misses1) == (hits4, misses4);
+    println!(
+        "  serve.fastpath.hits (banking stream) {hits1:>4}  {}",
+        if fp_ok { "ok" } else { "FAIL" }
+    );
+    if !fp_ok {
+        eprintln!(
+            "smoke FAILED: template fast path hits={hits1}/{hits4} misses={misses1}/{misses4} \
+             (need non-zero and worker-count invariant)"
+        );
         std::process::exit(1);
     }
 }

@@ -43,6 +43,7 @@ pub mod candgen;
 pub mod delta;
 pub mod diagnosis;
 pub mod error;
+pub mod fastpath;
 pub mod greedy;
 pub mod guard;
 pub mod mcts;
@@ -56,6 +57,7 @@ pub use candgen::{CandidateConfig, CandidateGenerator};
 pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 pub use error::AutoIndexError;
+pub use fastpath::{CompiledTemplate, FastPathCache};
 pub use greedy::{
     greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate,
 };

@@ -69,14 +69,17 @@
 //! coordinating thread itself) finish the stream.
 
 use crate::error::{invalid, AutoIndexError};
+use crate::fastpath::FastPathCache;
 use crate::guard::GuardConfig;
 use crate::mcts::{ConfigSet, Universe};
 use crate::system::AutoIndex;
 use autoindex_estimator::CostEstimator;
+use autoindex_sql::fingerprint::LiteralBuf;
 use autoindex_sql::parse_statement;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{DbSnapshot, ExecOutcome, SimDb, UsageDelta};
-use autoindex_support::obs::{Counter, Gauge, MetricsRegistry};
+use autoindex_support::hash::U64HashMap;
+use autoindex_support::obs::{Counter, Gauge, MetricsRegistry, ShardCell};
 use autoindex_support::rng::derive_seed;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -126,6 +129,11 @@ pub struct ServeConfig {
     /// (inside its `catch_unwind` fence). Seq-keyed, so injected crashes
     /// reproduce identically at any worker count.
     pub panic_on: Vec<u64>,
+    /// Use the compiled-template fast path ([`crate::fastpath`]): repeat
+    /// statements skip parsing + extraction entirely. Decisions and
+    /// transcripts are byte-identical either way (CI-checked); off is for
+    /// benchmarking the slow path and belt-and-braces debugging.
+    pub fastpath: bool,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +150,7 @@ impl Default for ServeConfig {
             guard: None,
             max_worker_panics: 0,
             panic_on: Vec::new(),
+            fastpath: true,
         }
     }
 }
@@ -217,6 +226,10 @@ impl ServeConfigBuilder {
         self.cfg.panic_on = v;
         self
     }
+    pub fn fastpath(mut self, v: bool) -> Self {
+        self.cfg.fastpath = v;
+        self
+    }
 
     /// Validate and build.
     pub fn build(self) -> Result<ServeConfig, AutoIndexError> {
@@ -249,6 +262,12 @@ pub enum ObservationPayload {
     Executed {
         outcome: ExecOutcome,
         delta: UsageDelta,
+        /// Fingerprint hash when the compiled-template fast path served
+        /// the statement; `None` on the full parse path. Never rendered
+        /// into the transcript (hit *routing* is an implementation
+        /// detail), but the tuner uses it to skip re-fingerprinting and
+        /// the report tallies it.
+        fp: Option<u64>,
     },
     /// The statement did not parse; the slot is accounted but empty.
     ParseFailed,
@@ -300,15 +319,25 @@ fn shard_of(seed: u64, seq: u64, shards: u64) -> u64 {
 /// statement execution, so a worker panic cannot wedge the tuner.
 struct EpochGate {
     epoch: AtomicU64,
-    snap: RwLock<Arc<DbSnapshot>>,
+    snap: RwLock<Publication>,
     aborted: AtomicBool,
     wait_lock: Mutex<()>,
     cv: Condvar,
 }
 
+/// What one epoch publishes: the immutable snapshot plus the epoch-frozen
+/// compiled-template cache built against that snapshot's catalog. Both are
+/// read-only for workers, so fast-path behaviour is a pure function of
+/// `(stream, publications)` — invariant under worker count.
+#[derive(Clone)]
+struct Publication {
+    snap: Arc<DbSnapshot>,
+    cache: Arc<FastPathCache>,
+}
+
 impl EpochGate {
-    fn new(initial: Arc<DbSnapshot>) -> Self {
-        let epoch = initial.epoch;
+    fn new(initial: Publication) -> Self {
+        let epoch = initial.snap.epoch;
         EpochGate {
             epoch: AtomicU64::new(epoch),
             snap: RwLock::new(initial),
@@ -318,18 +347,18 @@ impl EpochGate {
         }
     }
 
-    /// The latest published snapshot (brief read lock, then lock-free).
-    fn latest(&self) -> Arc<DbSnapshot> {
+    /// The latest publication (brief read lock, then lock-free).
+    fn latest(&self) -> Publication {
         self.snap
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
 
-    /// Publish `snap` as the current epoch and wake every waiter.
-    fn publish(&self, snap: Arc<DbSnapshot>) {
-        let epoch = snap.epoch;
-        *self.snap.write().unwrap_or_else(PoisonError::into_inner) = snap;
+    /// Publish as the current epoch and wake every waiter.
+    fn publish(&self, publication: Publication) {
+        let epoch = publication.snap.epoch;
+        *self.snap.write().unwrap_or_else(PoisonError::into_inner) = publication;
         self.epoch.store(epoch, Ordering::Release);
         let _g = self
             .wait_lock
@@ -394,8 +423,8 @@ impl EpochGate {
 
 /// Outcome of one bounded [`EpochGate::wait_for`] slice.
 enum EpochWait {
-    /// The target epoch is published; here is its snapshot.
-    Ready(Arc<DbSnapshot>),
+    /// The target epoch is published; here is its snapshot + cache.
+    Ready(Publication),
     /// The pipeline aborted; the worker should exit.
     Aborted,
     /// The timeout slice elapsed without the epoch appearing; the worker
@@ -441,7 +470,10 @@ impl TaskQueue {
 
 // --------------------------------------------------------------- metrics
 
-/// Cached `serve.*` metric handles (all atomic, cross-thread safe).
+/// Cached `serve.*` metric handles (all atomic, cross-thread safe). The
+/// `sql.fastpath.*` counters are sharded: every executor increments its
+/// own cache-line-padded cell ([`ShardCell`]) on the per-statement hot
+/// path; cells are summed at snapshot time.
 #[derive(Clone)]
 struct ServeMetrics {
     executed: Counter,
@@ -452,6 +484,9 @@ struct ServeMetrics {
     epochs: Counter,
     workers: Gauge,
     busy_ms_max: Gauge,
+    fastpath_hits: autoindex_support::obs::ShardedCounter,
+    fastpath_misses: autoindex_support::obs::ShardedCounter,
+    fastpath_fallbacks: autoindex_support::obs::ShardedCounter,
 }
 
 impl ServeMetrics {
@@ -465,6 +500,9 @@ impl ServeMetrics {
             epochs: m.counter("serve.epochs"),
             workers: m.gauge("serve.workers"),
             busy_ms_max: m.gauge("serve.worker_busy_ms_max"),
+            fastpath_hits: m.sharded_counter("sql.fastpath.hits"),
+            fastpath_misses: m.sharded_counter("sql.fastpath.misses"),
+            fastpath_fallbacks: m.sharded_counter("sql.fastpath.fallbacks"),
         }
     }
 }
@@ -556,6 +594,15 @@ pub struct ServeReport {
     /// so this is observability data, not a benchmark surface — gate on
     /// [`ServeReport::makespan_ms`] instead.
     pub worker_busy_ms: Vec<f64>,
+    /// Executed statements served by the compiled-template fast path.
+    /// Deliberately **not** part of [`ServeReport::transcript`] — routing
+    /// is an implementation detail — but worker-count invariant all the
+    /// same (caches are epoch-frozen; `verify.sh` smoke-checks a non-zero
+    /// hit rate).
+    pub fastpath_hits: u64,
+    /// Executed statements that took the full parse path (cache miss,
+    /// bind-guard fallback, or fast path disabled).
+    pub fastpath_misses: u64,
     /// Real wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -651,32 +698,132 @@ impl WorkerCtx<'_> {
     }
 }
 
-/// Execute one statement inside a panic fence. Pure: reads only the
-/// snapshot and the query text.
-fn execute_one(snap: &DbSnapshot, ctx: &WorkerCtx, seq: u64) -> ObservationPayload {
+/// Per-worker reusable fast-path state: the literal scratch buffer, one
+/// bindable skeleton clone per compiled template, and the selectivity-
+/// program evaluation scratch. Cloned skeletons are only valid against
+/// the cache they were cloned from, so the whole map is dropped whenever
+/// the pinned publication changes (epoch boundary). At steady state —
+/// same epoch, repeat templates — executing a statement through
+/// [`execute_one`] performs **zero heap allocations** (integer/float
+/// literals; string literals clone into reused `Value`s).
+struct WorkerScratch {
+    lits: LiteralBuf,
+    shapes: U64HashMap<QueryShape>,
+    sels: Vec<f64>,
+    stack: Vec<f64>,
+    /// Epoch of the publication `shapes` was built against.
+    cache_epoch: u64,
+    hits: ShardCell,
+    misses: ShardCell,
+    fallbacks: ShardCell,
+}
+
+impl WorkerScratch {
+    fn new(metrics: &ServeMetrics, worker: usize) -> Self {
+        WorkerScratch {
+            lits: LiteralBuf::default(),
+            shapes: U64HashMap::default(),
+            sels: Vec::new(),
+            stack: Vec::new(),
+            cache_epoch: u64::MAX,
+            hits: metrics.fastpath_hits.cell(worker),
+            misses: metrics.fastpath_misses.cell(worker),
+            fallbacks: metrics.fastpath_fallbacks.cell(worker),
+        }
+    }
+
+    /// Re-pin the scratch to `epoch`, invalidating cached skeleton clones
+    /// built against an older publication's cache.
+    fn pin_epoch(&mut self, epoch: u64) {
+        if self.cache_epoch != epoch {
+            self.shapes.clear();
+            self.cache_epoch = epoch;
+        }
+    }
+}
+
+/// Execute one statement inside a panic fence. Reads only the publication
+/// and the query text; mutates only the worker's own scratch.
+///
+/// Fast path: fingerprint-scan the statement (collecting its literals),
+/// look the hash up in the epoch's compiled-template cache, bind the
+/// literals into the worker's reusable skeleton clone, execute. Any miss
+/// or tripped bind guard falls back to the full parse + extract — which
+/// also reproduces parse failures exactly where the slow path reports
+/// them. A hit returns `fp: Some(hash)` so the tuner can skip
+/// re-fingerprinting.
+fn execute_one(
+    publication: &Publication,
+    ctx: &WorkerCtx,
+    seq: u64,
+    scratch: &mut WorkerScratch,
+) -> ObservationPayload {
     if ctx.cfg.panic_on.contains(&seq) {
         panic!("injected worker panic at seq {seq}");
     }
+    let snap = &publication.snap;
     let sql = &ctx.queries[seq as usize];
+
+    if ctx.cfg.fastpath {
+        if let Some(hash) = autoindex_sql::fingerprint::scan_fingerprint(sql, &mut scratch.lits) {
+            if let Some(compiled) = publication.cache.get(hash) {
+                let shape = scratch
+                    .shapes
+                    .entry(hash)
+                    .or_insert_with(|| compiled.skeleton().clone());
+                if compiled.bind_into(
+                    &scratch.lits,
+                    publication.cache.stats(),
+                    shape,
+                    &mut scratch.sels,
+                    &mut scratch.stack,
+                ) {
+                    scratch.hits.incr();
+                    let (outcome, delta) = snap.execute_shape_at(shape, seq);
+                    return ObservationPayload::Executed {
+                        outcome,
+                        delta,
+                        fp: Some(hash),
+                    };
+                }
+                // A bind guard tripped: the shape (or parseability) of
+                // this statement depends on its concrete values. Take the
+                // slow path; the stale partial bind stays reusable.
+                scratch.fallbacks.incr();
+            }
+        }
+        scratch.misses.incr();
+    }
+
     let stmt = match parse_statement(sql) {
         Ok(s) => s,
         Err(_) => return ObservationPayload::ParseFailed,
     };
     let shape = QueryShape::extract(&stmt, snap.catalog());
     let (outcome, delta) = snap.execute_shape_at(&shape, seq);
-    ObservationPayload::Executed { outcome, delta }
+    ObservationPayload::Executed {
+        outcome,
+        delta,
+        fp: None,
+    }
 }
 
 /// The executor loop: pop a task, pin the task's epoch snapshot, run the
 /// task's shard slice statement by statement, ship observations. Returns
 /// when the queue drains, the pipeline aborts, the tuner goes away, or
 /// the panic budget is exhausted (after requeueing the task remainder).
-fn worker_loop(ctx: &WorkerCtx, tx: &SyncSender<Observation>, max_panics: u64) -> WorkerStats {
+fn worker_loop(
+    ctx: &WorkerCtx,
+    tx: &SyncSender<Observation>,
+    max_panics: u64,
+    worker: usize,
+) -> WorkerStats {
     let mut stats = WorkerStats {
         busy_ms: 0.0,
         panics: 0,
         retired: false,
     };
+    let mut scratch = WorkerScratch::new(ctx.metrics, worker);
     'tasks: while let Some(task) = ctx.queue.pop() {
         if ctx.gate.is_aborted() {
             break;
@@ -684,9 +831,9 @@ fn worker_loop(ctx: &WorkerCtx, tx: &SyncSender<Observation>, max_panics: u64) -
         // Deterministic mode is bulk-synchronous: epoch-e statements only
         // ever run against the epoch-e snapshot. Free-running mode uses
         // whatever is newest.
-        let snap = if ctx.cfg.deterministic {
+        let publication = if ctx.cfg.deterministic {
             match ctx.gate.wait_for(task.epoch) {
-                EpochWait::Ready(s) => s,
+                EpochWait::Ready(p) => p,
                 EpochWait::Aborted => break,
                 EpochWait::TimedOut => {
                     // Not published yet — don't hold the task hostage.
@@ -700,12 +847,15 @@ fn worker_loop(ctx: &WorkerCtx, tx: &SyncSender<Observation>, max_panics: u64) -
         } else {
             ctx.gate.latest()
         };
+        scratch.pin_epoch(publication.snap.epoch);
         let (start, end) = ctx.epoch_range(task.epoch);
         for seq in task.resume_at.max(start)..end {
             if shard_of(ctx.cfg.seed, seq, ctx.cfg.shards) != task.shard {
                 continue;
             }
-            let payload = match catch_unwind(AssertUnwindSafe(|| execute_one(&snap, ctx, seq))) {
+            let payload = match catch_unwind(AssertUnwindSafe(|| {
+                execute_one(&publication, ctx, seq, &mut scratch)
+            })) {
                 Ok(p) => p,
                 Err(_) => {
                     ctx.metrics.worker_panics.incr();
@@ -760,6 +910,8 @@ struct TunerOutput<E: CostEstimator> {
     tuning_rounds: u64,
     total_sim_latency_ms: f64,
     sim_makespan_ms: f64,
+    fastpath_hits: u64,
+    fastpath_misses: u64,
 }
 
 struct TunerCtx<'a> {
@@ -824,6 +976,8 @@ struct TunerState<E: CostEstimator> {
     tuning_rounds: u64,
     total_sim_latency_ms: f64,
     sim_makespan_ms: f64,
+    fastpath_hits: u64,
+    fastpath_misses: u64,
     last_tuned_epoch: Option<u64>,
 }
 
@@ -860,11 +1014,23 @@ impl<E: CostEstimator> TunerState<E> {
         let mut shard_ms = vec![0.0f64; ctx.cfg.shards as usize];
         for obs in &batch {
             match &obs.payload {
-                ObservationPayload::Executed { outcome, delta } => {
+                ObservationPayload::Executed { outcome, delta, fp } => {
                     self.db.absorb(delta);
-                    let _ = self
-                        .advisor
-                        .observe(&ctx.queries[obs.seq as usize], &self.db);
+                    // Fast-path hits already carry the fingerprint hash —
+                    // the store's prehashed entry point skips the scan
+                    // and, on a store hit, the re-parse. Its bookkeeping
+                    // is mutation-for-mutation identical to `observe`
+                    // (tested in `templates.rs`), keeping fast-path-on
+                    // and -off tuner state byte-identical.
+                    let sql = &ctx.queries[obs.seq as usize];
+                    let _ = match fp {
+                        Some(h) => self.advisor.observe_prehashed(*h, sql, &self.db),
+                        None => self.advisor.observe(sql, &self.db),
+                    };
+                    match fp {
+                        Some(_) => self.fastpath_hits += 1,
+                        None => self.fastpath_misses += 1,
+                    }
                     rec.executed += 1;
                     rec.sim_latency_ms += outcome.latency_ms;
                     shard_ms[shard_of(ctx.cfg.seed, obs.seq, ctx.cfg.shards) as usize] +=
@@ -903,8 +1069,20 @@ impl<E: CostEstimator> TunerState<E> {
         ctx.metrics.epochs.incr();
 
         // Publish the (possibly re-tuned) configuration for the next
-        // epoch — the only point a config swap becomes visible.
-        ctx.gate.publish(Arc::new(self.db.snapshot(epoch + 1)));
+        // epoch — the only point a config swap becomes visible. The
+        // compiled-template cache is rebuilt against the new snapshot's
+        // catalog (statistics moved; a tuning round may have fired), so
+        // each epoch's fast-path behaviour is frozen at this boundary.
+        let snap = Arc::new(self.db.snapshot(epoch + 1));
+        let cache = if ctx.cfg.fastpath {
+            Arc::new(FastPathCache::build(
+                self.advisor.templates().entries(),
+                snap.catalog(),
+            ))
+        } else {
+            Arc::new(FastPathCache::empty())
+        };
+        ctx.gate.publish(Publication { snap, cache });
     }
 
     fn cooldown_over(&self, epoch: u64, cooldown: u64) -> bool {
@@ -969,6 +1147,8 @@ fn tuner_thread<E: CostEstimator>(
         tuning_rounds: 0,
         total_sim_latency_ms: 0.0,
         sim_makespan_ms: 0.0,
+        fastpath_hits: 0,
+        fastpath_misses: 0,
         last_tuned_epoch: None,
     };
 
@@ -1027,6 +1207,8 @@ fn tuner_thread<E: CostEstimator>(
         tuning_rounds: st.tuning_rounds,
         total_sim_latency_ms: st.total_sim_latency_ms,
         sim_makespan_ms: st.sim_makespan_ms,
+        fastpath_hits: st.fastpath_hits,
+        fastpath_misses: st.fastpath_misses,
     }
 }
 
@@ -1055,8 +1237,22 @@ pub fn serve<E: CostEstimator + Send>(
     let metrics = ServeMetrics::bind(db.metrics());
     metrics.workers.set(workers as f64);
 
-    // Epoch 0 snapshot and the epoch-major task queue.
-    let gate = EpochGate::new(Arc::new(db.snapshot(0)));
+    // Epoch 0 publication (snapshot + compiled-template cache over any
+    // pre-observed templates) and the epoch-major task queue. The cache
+    // is built here, before the advisor moves to the tuner thread.
+    let snap0 = Arc::new(db.snapshot(0));
+    let cache0 = if config.fastpath {
+        Arc::new(FastPathCache::build(
+            advisor.templates().entries(),
+            snap0.catalog(),
+        ))
+    } else {
+        Arc::new(FastPathCache::empty())
+    };
+    let gate = EpochGate::new(Publication {
+        snap: snap0,
+        cache: cache0,
+    });
     let mut tasks = VecDeque::new();
     for epoch in 0..n.div_ceil(config.epoch_interval) {
         for shard in 0..config.shards {
@@ -1102,11 +1298,11 @@ pub fn serve<E: CostEstimator + Send>(
         });
 
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let tx = tx.clone();
                 let ctx = &worker_ctx;
                 let max = config.max_worker_panics;
-                s.spawn(move || worker_loop(ctx, &tx, max))
+                s.spawn(move || worker_loop(ctx, &tx, max, w))
             })
             .collect();
 
@@ -1131,7 +1327,7 @@ pub fn serve<E: CostEstimator + Send>(
         // Fallback drain: if every worker retired with tasks still
         // queued, the coordinating thread finishes the stream itself with
         // an unlimited panic budget (each seq panics at most once).
-        let fallback = worker_loop(&worker_ctx, &tx, u64::MAX);
+        let fallback = worker_loop(&worker_ctx, &tx, u64::MAX, workers);
         drop(tx);
 
         let mut all = stats;
@@ -1162,6 +1358,8 @@ pub fn serve<E: CostEstimator + Send>(
         total_sim_latency_ms: tuner_out.total_sim_latency_ms,
         sim_makespan_ms: tuner_out.sim_makespan_ms,
         worker_busy_ms: stats.iter().map(|s| s.busy_ms).collect(),
+        fastpath_hits: tuner_out.fastpath_hits,
+        fastpath_misses: tuner_out.fastpath_misses,
         wall: started.elapsed(),
     };
     Ok(ServeOutcome {

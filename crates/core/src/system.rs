@@ -276,6 +276,15 @@ impl<E: CostEstimator> AutoIndex<E> {
         Ok(())
     }
 
+    /// Observe a statement whose fingerprint hash is already known (the
+    /// serving fast path computed it). Skips re-scanning; on a template-
+    /// store hit, skips re-parsing too. Bookkeeping is identical to
+    /// [`AutoIndex::observe`].
+    pub fn observe_prehashed(&mut self, hash: u64, sql: &str, db: &SimDb) -> Result<(), SqlError> {
+        self.templates.observe_prehashed(hash, sql, db.catalog())?;
+        Ok(())
+    }
+
     /// Feed a batch of queries; returns how many failed to parse.
     pub fn observe_batch<'q>(
         &mut self,

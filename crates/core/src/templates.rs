@@ -16,7 +16,7 @@
 //!   expensive analysis happens once per *template*, not once per query.
 //!   That is the entire source of the >98.5% overhead reduction in Fig. 8.
 
-use autoindex_sql::{fingerprint, parse_statement, SqlError, Statement};
+use autoindex_sql::{fingerprint, parse_statement, SqlError, Statement, TemplateId};
 use autoindex_storage::catalog::Catalog;
 use autoindex_storage::shape::QueryShape;
 use autoindex_support::json::{obj, Json, JsonError};
@@ -52,6 +52,10 @@ impl Default for TemplateStoreConfig {
 /// One template: the canonical statement plus bookkeeping.
 #[derive(Debug, Clone)]
 pub struct TemplateEntry {
+    /// Dense template id, assigned in first-seen order; never reused for
+    /// the life of the store (the fast-path cache keys compiled entries
+    /// on it).
+    pub id: TemplateId,
     /// Canonical template text (fingerprint text).
     pub text: String,
     /// Parsed template statement (placeholders for all literals).
@@ -73,6 +77,8 @@ pub struct TemplateStore {
     /// Window bookkeeping for shift detection.
     window_queries: u64,
     window_new_templates: u64,
+    /// Next template id to hand out (monotonic; never reused).
+    next_id: u32,
     /// Number of workload shifts detected so far.
     pub shifts_detected: u64,
 }
@@ -86,8 +92,15 @@ impl TemplateStore {
             clock: 0,
             window_queries: 0,
             window_new_templates: 0,
+            next_id: 0,
             shifts_detected: 0,
         }
+    }
+
+    fn alloc_id(&mut self) -> TemplateId {
+        let id = TemplateId(self.next_id);
+        self.next_id += 1;
+        id
     }
 
     /// Observe one query. Returns the template hash, or a parse error for
@@ -113,9 +126,56 @@ impl TemplateStore {
         if self.by_hash.len() >= self.config.max_templates {
             self.evict_one();
         }
+        let id = self.alloc_id();
         self.by_hash.insert(
             fp.hash,
             TemplateEntry {
+                id,
+                text: fp.text,
+                statement,
+                shape,
+                frequency: 1.0,
+                last_seen: self.clock,
+            },
+        );
+        self.maybe_handle_shift();
+        Ok(fp.hash)
+    }
+
+    /// Observe a query whose fingerprint hash is already known (computed by
+    /// the serving loop's zero-allocation scanner). The repeated-template
+    /// hot path skips the lexer pass entirely — one hash lookup. The
+    /// bookkeeping is step-for-step identical to [`TemplateStore::observe`],
+    /// which is what keeps fast-path-on and fast-path-off tuner decisions
+    /// byte-identical.
+    pub fn observe_prehashed(
+        &mut self,
+        hash: u64,
+        sql: &str,
+        catalog: &Catalog,
+    ) -> Result<u64, SqlError> {
+        self.clock += 1;
+        self.window_queries += 1;
+        if let Some(e) = self.by_hash.get_mut(&hash) {
+            e.frequency += 1.0;
+            e.last_seen = self.clock;
+            self.maybe_handle_shift();
+            return Ok(hash);
+        }
+        // Miss (e.g. the template was evicted since the cache was built):
+        // run the same slow path `observe` would, in the same order.
+        let fp = fingerprint(sql)?;
+        self.window_new_templates += 1;
+        let statement = parse_statement(sql)?;
+        let shape = QueryShape::extract(&statement, catalog);
+        if self.by_hash.len() >= self.config.max_templates {
+            self.evict_one();
+        }
+        let id = self.alloc_id();
+        self.by_hash.insert(
+            fp.hash,
+            TemplateEntry {
+                id,
                 text: fp.text,
                 statement,
                 shape,
@@ -183,9 +243,20 @@ impl TemplateStore {
         self.by_hash.get(&hash)
     }
 
+    /// The dense id of a template, by hash.
+    pub fn id_of(&self, hash: u64) -> Option<TemplateId> {
+        self.by_hash.get(&hash).map(|e| e.id)
+    }
+
     /// Iterate all templates.
     pub fn iter(&self) -> impl Iterator<Item = &TemplateEntry> {
         self.by_hash.values()
+    }
+
+    /// Iterate `(fingerprint hash, template)` pairs — the fast-path cache
+    /// builder needs the hash keys alongside the entries.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &TemplateEntry)> {
+        self.by_hash.iter().map(|(h, e)| (*h, e))
     }
 
     /// The template-level workload: `(shape, rounded frequency)` pairs,
@@ -259,6 +330,9 @@ impl TemplateStore {
             .and_then(Json::as_array)
             .ok_or_else(|| bad("snapshot: missing 'entries' array".into()))?;
         let mut by_hash = HashMap::with_capacity(entries.len());
+        // Snapshot entries are hash-sorted, so re-assigned ids are
+        // deterministic for a given snapshot.
+        let mut next_id = 0u32;
         for (i, e) in entries.iter().enumerate() {
             let hash: u64 = e
                 .get("hash")
@@ -285,9 +359,12 @@ impl TemplateStore {
                 .get("last_seen")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| bad(format!("snapshot entry {i}: bad 'last_seen'")))?;
+            let id = TemplateId(next_id);
+            next_id += 1;
             by_hash.insert(
                 hash,
                 TemplateEntry {
+                    id,
                     text,
                     statement,
                     shape,
@@ -310,6 +387,7 @@ impl TemplateStore {
             clock,
             window_queries: 0,
             window_new_templates: 0,
+            next_id,
             shifts_detected,
         })
     }
@@ -553,6 +631,54 @@ mod tests {
     fn trending_on_empty_store_is_empty() {
         let s = small_store(10);
         assert!(s.trending(100, 2.0).is_empty());
+    }
+
+    #[test]
+    fn template_ids_are_dense_and_first_seen_ordered() {
+        let c = catalog();
+        let mut s = small_store(10);
+        let h1 = s.observe("SELECT * FROM t WHERE a = 1", &c).unwrap();
+        let h2 = s.observe("SELECT * FROM t WHERE b = 1", &c).unwrap();
+        s.observe("SELECT * FROM t WHERE a = 99", &c).unwrap(); // repeat of h1
+        assert_eq!(s.id_of(h1), Some(TemplateId(0)));
+        assert_eq!(s.id_of(h2), Some(TemplateId(1)));
+        assert_eq!(s.entries().count(), 2);
+    }
+
+    #[test]
+    fn observe_prehashed_matches_observe_bookkeeping() {
+        let c = catalog();
+        let mut a = small_store(10);
+        let mut b = small_store(10);
+        let queries = [
+            "SELECT * FROM t WHERE a = 1",
+            "SELECT * FROM t WHERE a = 2",
+            "SELECT * FROM t WHERE b = 7",
+            "SELECT * FROM t WHERE a = 3",
+        ];
+        for q in queries {
+            let h = a.observe(q, &c).unwrap();
+            // Simulate the serving loop: scanner supplies the hash.
+            let h2 = b
+                .observe_prehashed(autoindex_sql::fingerprint(q).unwrap().hash, q, &c)
+                .unwrap();
+            assert_eq!(h, h2);
+        }
+        assert_eq!(a.observed(), b.observed());
+        assert_eq!(a.len(), b.len());
+        for (h, ea) in a.entries() {
+            let eb = b.get(h).unwrap();
+            assert_eq!(ea.id, eb.id);
+            assert_eq!(ea.frequency.to_bits(), eb.frequency.to_bits());
+            assert_eq!(ea.last_seen, eb.last_seen);
+        }
+        // A miss on the prehashed path (unknown hash) falls back to the
+        // full path and still lands on the canonical fingerprint key.
+        let h = b
+            .observe_prehashed(0xdead_beef, "SELECT a FROM t WHERE b = 1", &c)
+            .unwrap();
+        assert!(b.get(h).is_some());
+        assert_ne!(h, 0xdead_beef);
     }
 
     #[test]

@@ -94,6 +94,7 @@ fn gen_batch(rng: &mut StdRng, size: usize) -> Vec<Observation> {
                             maintenance,
                             growth: None,
                         },
+                        fp: None,
                     }
                 }
             };
@@ -308,4 +309,60 @@ fn prop_assert_sanity(t: &str) {
     let lines: Vec<&str> = t.lines().collect();
     assert!(lines[0].starts_with("serve: executed="));
     assert!(lines.last().unwrap().starts_with("final: indexes="));
+}
+
+// ------------------------------------- 4. fast-path semantic neutrality
+
+/// The compiled-template fast path is an *optimisation*, not a semantic
+/// change: with it on or off, the transcript (every epoch's diagnosis,
+/// decision and `ConfigSet` fingerprint), the tuner's template-level
+/// workload view and the final index set must be byte-identical. And
+/// because caches are frozen per epoch, the hit count itself is a pure
+/// function of the stream — invariant under worker count.
+#[test]
+fn fastpath_on_and_off_are_byte_identical() {
+    let queries = banking_queries(1_200, 7);
+    let run = |fastpath: bool, workers: usize| {
+        let cfg = ServeConfig::builder()
+            .workers(workers)
+            .epoch_interval(300)
+            .fastpath(fastpath)
+            .build()
+            .unwrap();
+        serve(banking_db(), advisor(), &queries, cfg).unwrap()
+    };
+    let on = run(true, 1);
+    let off = run(false, 1);
+
+    assert_eq!(
+        on.report.transcript(),
+        off.report.transcript(),
+        "fast path must not change a single transcript byte"
+    );
+    assert_eq!(
+        on.advisor.workload(),
+        off.advisor.workload(),
+        "template-level workload view must match"
+    );
+    let index_keys = |db: &SimDb| {
+        let mut keys: Vec<String> = db.indexes().map(|(_, d)| d.key()).collect();
+        keys.sort();
+        keys
+    };
+    assert_eq!(index_keys(&on.db), index_keys(&off.db), "final index sets");
+
+    // The fast path actually served traffic (banking statements are
+    // template repeats), and the accounting adds up.
+    assert!(on.report.fastpath_hits > 0, "expected fast-path hits");
+    assert_eq!(off.report.fastpath_hits, 0);
+    assert_eq!(
+        on.report.fastpath_hits + on.report.fastpath_misses,
+        on.report.executed
+    );
+
+    // Hit counts and transcripts are worker-count invariant.
+    let on4 = run(true, 4);
+    assert_eq!(on4.report.fastpath_hits, on.report.fastpath_hits);
+    assert_eq!(on4.report.fastpath_misses, on.report.fastpath_misses);
+    assert_eq!(on4.report.transcript(), on.report.transcript());
 }

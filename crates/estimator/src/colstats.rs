@@ -1,0 +1,603 @@
+//! Columnar per-column statistics and compiled selectivity programs.
+//!
+//! The interpreted estimator path resolves every predicate's column *by
+//! name* against the catalog on every evaluation. For the template fast
+//! path that is wasted work: a template's predicate structure is fixed, so
+//! column resolution, statistics lookup, and every value-independent
+//! selectivity factor can be done **once at compile time**, leaving only
+//! the literal-dependent leaves to evaluate per statement — batched over a
+//! flat program instead of a per-predicate tree walk.
+//!
+//! Two pieces:
+//!
+//! * [`ColumnarStats`] — a flat, slot-addressed table of resolved
+//!   per-column statistics for one catalog version, keyed by interned
+//!   ([`TableId`], [`ColumnId`]) pairs. Parallel `ndv` / `min` / `max` /
+//!   `null_frac` arrays expose the stats in columnar (struct-of-arrays)
+//!   form for batched scans.
+//! * [`TemplateSelProgram`] — a [`SelTrace`] (from
+//!   `QueryShape::extract_traced`) compiled into flat postfix programs, one
+//!   per `(predicate, table)` factor. Value-independent subtrees are
+//!   const-folded at compile time; literal-dependent leaves carry a
+//!   pre-resolved statistics slot and evaluate via the *same*
+//!   `autoindex_storage::selectivity` primitives as the interpreted path,
+//!   so results are bit-identical.
+
+use autoindex_sql::intern::{ColumnId, Interner, TableId};
+use autoindex_sql::predicate::AtomicPredicate;
+use autoindex_sql::{CmpOp, Value};
+use autoindex_storage::catalog::{Catalog, Column};
+use autoindex_storage::selectivity::{between_selectivity, clamp_sel, cmp_selectivity};
+use autoindex_storage::shape::{SelTrace, SelTree};
+use autoindex_storage::QueryShape;
+use std::collections::HashMap;
+
+/// Flat, slot-addressed per-column statistics for one catalog version.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarStats {
+    interner: Interner,
+    slots: HashMap<(TableId, ColumnId), u32>,
+    cols: Vec<Column>,
+    /// Owning table's row count, parallel to `cols`.
+    rows: Vec<u64>,
+    /// Columnar (struct-of-arrays) mirrors of the per-column statistics,
+    /// parallel to `cols`, for batched scans.
+    pub ndv: Vec<f64>,
+    pub min: Vec<f64>,
+    pub max: Vec<f64>,
+    pub null_frac: Vec<f64>,
+    /// Catalog version the stats were resolved against.
+    version: u64,
+}
+
+impl ColumnarStats {
+    /// Resolve every column of every catalog table into slots. Tables are
+    /// visited in sorted-name order so slot numbering is deterministic.
+    pub fn build(catalog: &Catalog) -> Self {
+        let mut s = ColumnarStats {
+            version: catalog.version(),
+            ..ColumnarStats::default()
+        };
+        let mut tables: Vec<&str> = catalog.tables().map(|t| t.name.as_str()).collect();
+        tables.sort_unstable();
+        for name in tables {
+            let table = catalog.table(name).expect("listed table exists");
+            let tid = s.interner.table(&table.name);
+            for col in &table.columns {
+                let cid = s.interner.column(&col.name);
+                let slot = s.cols.len() as u32;
+                s.slots.insert((tid, cid), slot);
+                s.rows.push(table.rows);
+                s.ndv.push(col.stats.ndv);
+                s.min.push(col.stats.min);
+                s.max.push(col.stats.max);
+                s.null_frac.push(col.stats.null_frac);
+                s.cols.push(col.clone());
+            }
+        }
+        s
+    }
+
+    /// Catalog version these stats were built from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of resolved column slots.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether no columns are resolved.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Slot of `table.column`, if both exist in the catalog snapshot.
+    pub fn slot(&self, table: &str, column: &str) -> Option<u32> {
+        let tid = TableId(self.interner.get(table)?);
+        let cid = ColumnId(self.interner.get(column)?);
+        self.slots.get(&(tid, cid)).copied()
+    }
+
+    /// Slot of the column an atom restricts on `table` (uses the atom's
+    /// interned column id against this stats table's interner).
+    pub fn slot_for_atom(&mut self, table: &str, atom: &AtomicPredicate) -> Option<u32> {
+        let tid = TableId(self.interner.get(table)?);
+        let cid = atom.interned_column(&mut self.interner)?;
+        self.slots.get(&(tid, cid)).copied()
+    }
+
+    /// The resolved column behind a slot.
+    pub fn column(&self, slot: u32) -> &Column {
+        &self.cols[slot as usize]
+    }
+
+    /// Row count of the table owning `slot`.
+    pub fn table_rows(&self, slot: u32) -> u64 {
+        self.rows[slot as usize]
+    }
+}
+
+/// Where a literal-dependent leaf gets its value at evaluation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LitRef {
+    /// `literals[slot]`, negated (unary minus in the statement) if set.
+    Slot { slot: u16, negate: bool },
+    /// A constant baked into the template text.
+    Const(Value),
+}
+
+/// A literal-dependent selectivity leaf with its statistics pre-resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynLeaf {
+    /// Range comparison whose selectivity depends on the literal.
+    Cmp { col: u32, op: CmpOp, value: LitRef },
+    /// BETWEEN whose bounds include at least one literal slot.
+    Between {
+        col: u32,
+        low: LitRef,
+        high: LitRef,
+        negated: bool,
+    },
+}
+
+/// One postfix instruction of a factor program.
+#[derive(Debug, Clone, PartialEq)]
+enum SelOp {
+    /// Push a compile-time-folded selectivity.
+    Const(f64),
+    /// Push a literal-dependent leaf's selectivity.
+    Leaf(DynLeaf),
+    /// Pop `n`, push their product floored at `1/rows`.
+    AndN(u16),
+    /// Pop `n`, push `1 - ∏(1 - s)` clamped to `[0, 1]`.
+    OrN(u16),
+    /// Pop one, push `1 - s`.
+    Not,
+}
+
+/// One `(predicate, table)` selectivity factor, compiled.
+#[derive(Debug, Clone, PartialEq)]
+struct FactorProgram {
+    /// Index of the factor's table in the shape's `tables` vector.
+    table_index: u16,
+    /// Row count of that table (clamp floor).
+    rows: u64,
+    /// Postfix ops; a fully folded factor is a single `Const`.
+    ops: Vec<SelOp>,
+}
+
+/// A compiled selectivity program for one template: evaluates every
+/// literal-dependent factor of the template's `filter_sel`s in one flat
+/// pass, writing per-table selectivities bit-identical to what
+/// `QueryShape::extract` would compute for the same literals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TemplateSelProgram {
+    factors: Vec<FactorProgram>,
+    /// Number of tables in the template's shape (length of the output).
+    n_tables: u16,
+}
+
+impl TemplateSelProgram {
+    /// Compile `trace` (recorded against the template's sentinel-parsed
+    /// statement) into a flat program. `slot_of` maps a sentinel literal
+    /// value back to its literal-buffer slot (`None` = a real constant).
+    /// Returns `None` when a factor's table is missing from the shape or
+    /// catalog — callers fall back to the interpreted path.
+    pub fn compile(
+        trace: &SelTrace,
+        shape: &QueryShape,
+        catalog: &Catalog,
+        stats: &mut ColumnarStats,
+        slot_of: &dyn Fn(&Value) -> Option<(u16, bool)>,
+    ) -> Option<TemplateSelProgram> {
+        let mut factors = Vec::with_capacity(trace.factors.len());
+        for (table, tree) in &trace.factors {
+            let table_index = shape.tables.iter().position(|t| &t.table == table)?;
+            let def = catalog.table(table)?;
+            let mut ops = Vec::new();
+            compile_tree(tree, table, def, stats, slot_of, &mut ops)?;
+            factors.push(FactorProgram {
+                table_index: table_index as u16,
+                rows: def.rows,
+                ops,
+            });
+        }
+        Some(TemplateSelProgram {
+            factors,
+            n_tables: shape.tables.len() as u16,
+        })
+    }
+
+    /// True when every factor const-folded (no literal-dependent leaves):
+    /// the template's `filter_sel`s never change between statements.
+    pub fn is_constant(&self) -> bool {
+        self.factors
+            .iter()
+            .all(|f| matches!(f.ops.as_slice(), [SelOp::Const(_)]))
+    }
+
+    /// Evaluate with `literals` bound, writing one `filter_sel` per shape
+    /// table into `out` (resized and reset by this call). `stack` is caller
+    /// scratch, reused across calls to stay allocation-free at steady state.
+    pub fn eval_into(
+        &self,
+        literals: &[Value],
+        stats: &ColumnarStats,
+        out: &mut Vec<f64>,
+        stack: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(self.n_tables as usize, 1.0);
+        for f in &self.factors {
+            stack.clear();
+            for op in &f.ops {
+                match op {
+                    SelOp::Const(s) => stack.push(*s),
+                    SelOp::Leaf(leaf) => stack.push(eval_leaf(leaf, literals, stats, f.rows)),
+                    SelOp::AndN(n) => {
+                        let at = stack.len() - *n as usize;
+                        let mut sel = 1.0;
+                        for s in &stack[at..] {
+                            sel *= *s;
+                        }
+                        stack.truncate(at);
+                        stack.push(sel.max(1.0 / f.rows.max(1) as f64));
+                    }
+                    SelOp::OrN(n) => {
+                        let at = stack.len() - *n as usize;
+                        let mut not_sel = 1.0;
+                        for s in &stack[at..] {
+                            not_sel *= 1.0 - *s;
+                        }
+                        stack.truncate(at);
+                        stack.push((1.0 - not_sel).clamp(0.0, 1.0));
+                    }
+                    SelOp::Not => {
+                        let s = stack.pop().expect("well-formed program");
+                        stack.push(1.0 - s);
+                    }
+                }
+            }
+            debug_assert_eq!(stack.len(), 1, "factor program leaves one value");
+            out[f.table_index as usize] *= stack[0];
+        }
+        for s in out.iter_mut() {
+            *s = s.clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Whether a range estimate on this column actually reads the value
+/// (mirrors the guard inside `cmp_selectivity` / `between_selectivity`).
+fn col_qualifies(col: &Column) -> bool {
+    col.ty.is_numeric() && col.stats.max > col.stats.min
+}
+
+/// Compile one subtree, appending postfix ops. Value-independent subtrees
+/// fold to a single `Const` computed by `SelTree::eval` — the same
+/// arithmetic the interpreted path runs, so folding cannot change bits.
+fn compile_tree(
+    tree: &SelTree,
+    table: &str,
+    def: &autoindex_storage::Table,
+    stats: &mut ColumnarStats,
+    slot_of: &dyn Fn(&Value) -> Option<(u16, bool)>,
+    ops: &mut Vec<SelOp>,
+) -> Option<()> {
+    if !tree_depends_on_literals(tree, table, stats, slot_of) {
+        ops.push(SelOp::Const(tree.eval(def)));
+        return Some(());
+    }
+    match tree {
+        SelTree::And(children) => {
+            for c in children {
+                compile_tree(c, table, def, stats, slot_of, ops)?;
+            }
+            ops.push(SelOp::AndN(children.len() as u16));
+        }
+        SelTree::Or(children) => {
+            for c in children {
+                compile_tree(c, table, def, stats, slot_of, ops)?;
+            }
+            ops.push(SelOp::OrN(children.len() as u16));
+        }
+        SelTree::Not(inner) => {
+            compile_tree(inner, table, def, stats, slot_of, ops)?;
+            ops.push(SelOp::Not);
+        }
+        SelTree::Atom(atom) => {
+            let col = stats.slot_for_atom(table, atom)?;
+            let leaf = match atom {
+                AtomicPredicate::Cmp { op, value, .. } => DynLeaf::Cmp {
+                    col,
+                    op: *op,
+                    value: lit_ref(value, slot_of),
+                },
+                AtomicPredicate::Between {
+                    low, high, negated, ..
+                } => DynLeaf::Between {
+                    col,
+                    low: lit_ref(low, slot_of),
+                    high: lit_ref(high, slot_of),
+                    negated: *negated,
+                },
+                // Every other atom kind is value-independent and was
+                // handled by the const fold above.
+                _ => return None,
+            };
+            ops.push(SelOp::Leaf(leaf));
+        }
+        SelTree::One => ops.push(SelOp::Const(1.0)),
+    }
+    Some(())
+}
+
+fn lit_ref(v: &Value, slot_of: &dyn Fn(&Value) -> Option<(u16, bool)>) -> LitRef {
+    match slot_of(v) {
+        Some((slot, negate)) => LitRef::Slot { slot, negate },
+        None => LitRef::Const(v.clone()),
+    }
+}
+
+/// Whether any leaf under `tree` produces a different selectivity for
+/// different literal bindings. Conservative in the right direction: a
+/// `true` only costs a dynamic leaf, a `false` must be provably constant.
+fn tree_depends_on_literals(
+    tree: &SelTree,
+    table: &str,
+    stats: &mut ColumnarStats,
+    slot_of: &dyn Fn(&Value) -> Option<(u16, bool)>,
+) -> bool {
+    match tree {
+        SelTree::And(children) | SelTree::Or(children) => children
+            .iter()
+            .any(|c| tree_depends_on_literals(c, table, stats, slot_of)),
+        SelTree::Not(inner) => tree_depends_on_literals(inner, table, stats, slot_of),
+        SelTree::One => false,
+        SelTree::Atom(atom) => {
+            let qualifies = stats
+                .slot_for_atom(table, atom)
+                .map(|s| col_qualifies(stats.column(s)))
+                .unwrap_or(false);
+            match atom {
+                // Eq/Ne read only NDV; ranges read the value iff the
+                // column has usable numeric bounds.
+                AtomicPredicate::Cmp { op, value, .. } => {
+                    !matches!(op, CmpOp::Eq | CmpOp::Ne) && qualifies && slot_of(value).is_some()
+                }
+                // BETWEEN reads values iff the column qualifies and
+                // neither bound is a non-numeric constant (which forces
+                // the default branch regardless of the other bound).
+                AtomicPredicate::Between { low, high, .. } => {
+                    let bound_blocks = |v: &Value| {
+                        slot_of(v).is_none() && !matches!(v, Value::Int(_) | Value::Float(_))
+                    };
+                    qualifies
+                        && (slot_of(low).is_some() || slot_of(high).is_some())
+                        && !bound_blocks(low)
+                        && !bound_blocks(high)
+                }
+                // IN-list selectivity depends only on arity (fixed per
+                // template); LIKE on the pattern shape; IS NULL and
+                // opaque atoms on stats alone.
+                _ => false,
+            }
+        }
+    }
+}
+
+fn eval_leaf(leaf: &DynLeaf, literals: &[Value], stats: &ColumnarStats, rows: u64) -> f64 {
+    let sel = match leaf {
+        DynLeaf::Cmp { col, op, value } => with_lit(value, literals, |v| {
+            cmp_selectivity(Some(stats.column(*col)), *op, v)
+        }),
+        DynLeaf::Between {
+            col,
+            low,
+            high,
+            negated,
+        } => with_lit(low, literals, |lo| {
+            with_lit(high, literals, |hi| {
+                between_selectivity(Some(stats.column(*col)), lo, hi, *negated)
+            })
+        }),
+    };
+    // The interpreted path clamps each atom via `atom_selectivity`.
+    clamp_sel(sel, rows)
+}
+
+/// Resolve a `LitRef` to a `&Value` without heap allocation: slots borrow
+/// from the literal buffer; negated slots materialise a stack-only
+/// `Int`/`Float` (the bind guards reject negated non-numeric literals).
+fn with_lit<R>(r: &LitRef, literals: &[Value], f: impl FnOnce(&Value) -> R) -> R {
+    match r {
+        LitRef::Const(v) => f(v),
+        LitRef::Slot {
+            slot,
+            negate: false,
+        } => f(&literals[*slot as usize]),
+        LitRef::Slot { slot, negate: true } => match &literals[*slot as usize] {
+            Value::Int(i) => f(&Value::Int(-i)),
+            Value::Float(x) => f(&Value::Float(-x)),
+            other => f(other),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+    use autoindex_storage::catalog::{Column as Col, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("account", 100_000)
+                .column(Col::int("id", 100_000))
+                .column(Col::int("branch", 100))
+                .column(Col::float("balance", 5_000, 0.0, 1_000_000.0))
+                .column(Col::text("owner", 90_000, 16))
+                .build()
+                .unwrap(),
+        );
+        c.add_table(
+            TableBuilder::new("branch", 100)
+                .column(Col::int("bid", 100))
+                .column(Col::int("region", 10))
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn columnar_stats_resolve_slots() {
+        let c = catalog();
+        let s = ColumnarStats::build(&c);
+        assert_eq!(s.len(), 6);
+        let slot = s.slot("account", "balance").unwrap();
+        assert_eq!(s.column(slot).name, "balance");
+        assert_eq!(s.table_rows(slot), 100_000);
+        assert!(s.slot("account", "ghost").is_none());
+        assert!(s.slot("ghost", "id").is_none());
+        // Same-named columns on different tables get distinct slots.
+        assert_ne!(
+            s.slot("account", "id"),
+            s.slot("branch", "bid"),
+            "distinct slots"
+        );
+    }
+
+    #[test]
+    fn columnar_build_is_deterministic() {
+        let c = catalog();
+        let a = ColumnarStats::build(&c);
+        let b = ColumnarStats::build(&c);
+        assert_eq!(a.slot("account", "balance"), b.slot("account", "balance"));
+        assert_eq!(a.ndv, b.ndv);
+        assert_eq!(a.min, b.min);
+    }
+
+    /// Compile a template's trace with sentinels standing in for the
+    /// literals, then check that evaluating the program with *real*
+    /// literals reproduces `QueryShape::extract` on the real statement,
+    /// bit for bit.
+    fn assert_program_matches(template_sql: &str, real_sql: &str, literals: Vec<Value>) {
+        const SENTINEL_BASE: i64 = 9_100_000_000_000_000;
+        let c = catalog();
+        let tmpl = parse_statement(template_sql).unwrap();
+        let (shape, trace) = QueryShape::extract_traced(&tmpl, &c);
+        let mut stats = ColumnarStats::build(&c);
+        let slot_of = |v: &Value| -> Option<(u16, bool)> {
+            match v {
+                Value::Int(i) if *i >= SENTINEL_BASE => Some(((*i - SENTINEL_BASE) as u16, false)),
+                Value::Int(i) if *i <= -SENTINEL_BASE => Some(((-*i - SENTINEL_BASE) as u16, true)),
+                _ => None,
+            }
+        };
+        let prog = TemplateSelProgram::compile(&trace, &shape, &c, &mut stats, &slot_of)
+            .expect("compiles");
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        prog.eval_into(&literals, &stats, &mut out, &mut stack);
+
+        let real = parse_statement(real_sql).unwrap();
+        let expect = QueryShape::extract(&real, &c);
+        assert_eq!(out.len(), expect.tables.len());
+        for (i, t) in expect.tables.iter().enumerate() {
+            assert_eq!(
+                out[i].to_bits(),
+                t.filter_sel.to_bits(),
+                "filter_sel drift on table {} ({} vs {})",
+                t.table,
+                out[i],
+                t.filter_sel
+            );
+        }
+    }
+
+    #[test]
+    fn program_reproduces_interpreted_filter_sel() {
+        // Slot k is encoded as SENTINEL_BASE + k in the template text.
+        assert_program_matches(
+            "SELECT * FROM account WHERE branch = 9100000000000000 AND \
+             balance > 9100000000000001",
+            "SELECT * FROM account WHERE branch = 7 AND balance > 250000",
+            vec![Value::Int(7), Value::Int(250_000)],
+        );
+        assert_program_matches(
+            "SELECT * FROM account WHERE balance BETWEEN 9100000000000000 AND 9100000000000001",
+            "SELECT * FROM account WHERE balance BETWEEN 1000 AND 90000",
+            vec![Value::Int(1000), Value::Int(90_000)],
+        );
+        // OR / NOT structure with a mixed dynamic + constant leaf.
+        assert_program_matches(
+            "SELECT * FROM account WHERE balance < 9100000000000000 OR NOT (branch = 9100000000000001)",
+            "SELECT * FROM account WHERE balance < 5000 OR NOT (branch = 3)",
+            vec![Value::Int(5000), Value::Int(3)],
+        );
+        // Join query touching two tables.
+        assert_program_matches(
+            "SELECT * FROM account a, branch b WHERE a.branch = b.bid AND \
+             b.region = 9100000000000000 AND a.balance >= 9100000000000001",
+            "SELECT * FROM account a, branch b WHERE a.branch = b.bid AND \
+             b.region = 4 AND a.balance >= 123.5",
+            vec![Value::Int(4), Value::Float(123.5)],
+        );
+    }
+
+    #[test]
+    fn negated_slots_evaluate_with_sign_applied() {
+        // Template encodes `balance > -$0` as Int(-(SENTINEL_BASE + 0)).
+        assert_program_matches(
+            "SELECT * FROM account WHERE balance > -9100000000000000",
+            "SELECT * FROM account WHERE balance > -50",
+            vec![Value::Int(50)],
+        );
+    }
+
+    #[test]
+    fn value_independent_template_is_constant() {
+        let c = catalog();
+        let tmpl = parse_statement(
+            "SELECT * FROM account WHERE branch = 9100000000000000 AND owner IS NOT NULL",
+        )
+        .unwrap();
+        let (shape, trace) = QueryShape::extract_traced(&tmpl, &c);
+        let mut stats = ColumnarStats::build(&c);
+        // Eq depends only on NDV, IS NULL only on stats: fully foldable.
+        let slot_of = |v: &Value| -> Option<(u16, bool)> {
+            matches!(v, Value::Int(i) if *i >= 9_100_000_000_000_000).then_some((0, false))
+        };
+        let prog = TemplateSelProgram::compile(&trace, &shape, &c, &mut stats, &slot_of).unwrap();
+        assert!(prog.is_constant(), "Eq + IS NULL folds entirely");
+    }
+
+    #[test]
+    fn eval_is_allocation_free_on_reused_scratch() {
+        let c = catalog();
+        let tmpl =
+            parse_statement("SELECT * FROM account WHERE balance > 9100000000000000").unwrap();
+        let (shape, trace) = QueryShape::extract_traced(&tmpl, &c);
+        let mut stats = ColumnarStats::build(&c);
+        let slot_of = |v: &Value| -> Option<(u16, bool)> {
+            matches!(v, Value::Int(i) if *i >= 9_100_000_000_000_000).then_some((0, false))
+        };
+        let prog = TemplateSelProgram::compile(&trace, &shape, &c, &mut stats, &slot_of).unwrap();
+        let mut out = Vec::with_capacity(4);
+        let mut stack = Vec::with_capacity(8);
+        // Warm up, then check capacities never grow (proxy for no realloc).
+        for v in [10.0, 500_000.0, 999_999.0] {
+            prog.eval_into(&[Value::Float(v)], &stats, &mut out, &mut stack);
+        }
+        let (co, cs) = (out.capacity(), stack.capacity());
+        for i in 0..100 {
+            prog.eval_into(&[Value::Int(i)], &stats, &mut out, &mut stack);
+        }
+        assert_eq!(out.capacity(), co);
+        assert_eq!(stack.capacity(), cs);
+    }
+}

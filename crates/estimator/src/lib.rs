@@ -22,10 +22,12 @@
 //!   the Greedy baseline both use this in §VI ("To ensure the fairness,
 //!   Greedy and AutoIndex utilized the same cost estimation method").
 
+pub mod colstats;
 pub mod cost_cache;
 pub mod model;
 pub mod training;
 
+pub use colstats::{ColumnarStats, DynLeaf, LitRef, TemplateSelProgram};
 pub use cost_cache::{CacheKey, CachedCostEstimator, CostCache, CostCacheStats};
 pub use model::{ModelError, OneLayerRegression, TrainConfig};
 pub use training::{kfold_cross_validate, CollectConfig, FoldReport, TrainingSet};

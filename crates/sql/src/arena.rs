@@ -1,0 +1,823 @@
+//! Arena-backed AST: the allocation-free twin of the [`crate::ast`] tree.
+//!
+//! The boxed AST allocates per node (`Box` for every `Not`/subquery, a
+//! `Vec` for every `And`/`Or`/projection/row) and owns a `String` for every
+//! identifier. [`AstArena`] stores the same structure as typed `u32`
+//! indices into flat pools: one `Vec` per node kind, child lists as
+//! `(start, len)` ranges into shared index arrays, and every identifier
+//! interned through [`Interner`] into a [`crate::intern::TableId`]/[`crate::intern::ColumnId`]-style
+//! handle. Encoding a statement touches the allocator O(pool-growth) times
+//! amortised; *walking* an encoded statement touches it never.
+//!
+//! [`AstArena::encode`] / [`AstArena::decode`] are exact inverses on every
+//! statement the parser can produce (property-tested in
+//! `tests/proptests.rs` against random statements), which is what makes the
+//! arena safe to substitute on the hot path.
+
+use crate::ast::*;
+use crate::intern::Interner;
+
+/// Typed index of a predicate node in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredId(u32);
+/// Typed index of a column reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColId(u32);
+/// Typed index of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValId(u32);
+/// Typed index of a `SELECT` node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SelId(u32);
+/// Typed index of a whole statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StmtId(u32);
+
+/// A `(start, len)` slice of one of the arena's child-index arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Range {
+    start: u32,
+    len: u32,
+}
+
+impl Range {
+    fn iter(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ColNode {
+    /// Interned table/alias name, if qualified.
+    table: Option<u32>,
+    /// Interned column name.
+    column: u32,
+}
+
+#[derive(Debug, Clone)]
+enum ValNode {
+    Int(i64),
+    Float(f64),
+    /// Index into the verbatim string pool (string literals keep case).
+    Str(u32),
+    Null,
+    Placeholder,
+}
+
+#[derive(Debug, Clone)]
+enum PredNode {
+    And(Range),
+    Or(Range),
+    Not(PredId),
+    Cmp {
+        col: ColId,
+        op: CmpOp,
+        val: ValId,
+    },
+    JoinEq {
+        left: ColId,
+        right: ColId,
+    },
+    InList {
+        col: ColId,
+        vals: Range,
+        negated: bool,
+    },
+    Between {
+        col: ColId,
+        low: ValId,
+        high: ValId,
+        negated: bool,
+    },
+    Like {
+        col: ColId,
+        /// Verbatim pattern (string pool; patterns are case-sensitive).
+        pattern: u32,
+        negated: bool,
+    },
+    IsNull {
+        col: ColId,
+        negated: bool,
+    },
+    Exists {
+        query: SelId,
+        negated: bool,
+    },
+    InSubquery {
+        col: ColId,
+        query: SelId,
+        negated: bool,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum ItemNode {
+    Star,
+    Column(ColId),
+    Aggregate {
+        /// Verbatim function name (string pool; the parser upper-cases
+        /// these, and the interner would fold case).
+        func: u32,
+        arg: Option<ColId>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum TableNode {
+    Table { name: u32, alias: Option<u32> },
+    Derived { query: SelId, alias: Option<u32> },
+}
+
+#[derive(Debug, Clone)]
+struct JoinNode {
+    kind: JoinKind,
+    relation: u32, // index into `tables`
+    on: Option<PredId>,
+}
+
+#[derive(Debug, Clone)]
+struct OrderNode {
+    col: ColId,
+    descending: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SetNode {
+    column: u32,
+    value: ValId,
+}
+
+#[derive(Debug, Clone)]
+struct SelNode {
+    distinct: bool,
+    projection: Range, // items
+    from: Range,       // tables
+    joins: Range,      // joins
+    where_clause: Option<PredId>,
+    group_by: Range, // cols
+    having: Option<PredId>,
+    order_by: Range, // orders
+    limit: Option<u64>,
+    for_update: bool,
+}
+
+#[derive(Debug, Clone)]
+enum StmtNode {
+    Select(SelId),
+    Insert {
+        table: u32,
+        columns: Range, // names
+        rows: Range,    // row_ranges
+    },
+    Update {
+        table: u32,
+        sets: Range, // sets
+        where_clause: Option<PredId>,
+    },
+    Delete {
+        table: u32,
+        where_clause: Option<PredId>,
+    },
+}
+
+/// Flat-pool AST storage. See the module docs for the encoding scheme.
+#[derive(Debug, Clone, Default)]
+pub struct AstArena {
+    interner: Interner,
+    strings: Vec<String>,
+    cols: Vec<ColNode>,
+    values: Vec<ValNode>,
+    preds: Vec<PredNode>,
+    items: Vec<ItemNode>,
+    tables: Vec<TableNode>,
+    joins: Vec<JoinNode>,
+    orders: Vec<OrderNode>,
+    sets: Vec<SetNode>,
+    selects: Vec<SelNode>,
+    stmts: Vec<StmtNode>,
+    // Shared child-index arrays (each `Range` above points into one).
+    pred_children: Vec<PredId>,
+    val_children: Vec<ValId>,
+    col_children: Vec<ColId>,
+    item_children: Vec<u32>,
+    table_children: Vec<u32>,
+    join_children: Vec<u32>,
+    order_children: Vec<u32>,
+    set_children: Vec<u32>,
+    name_children: Vec<u32>,
+    row_ranges: Vec<Range>,
+}
+
+impl AstArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        AstArena::default()
+    }
+
+    /// The identifier interner (shared by every encoded statement).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner, for callers that pre-intern catalog
+    /// names so encoded statements and catalog lookups share ids.
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Number of encoded statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True when no statement has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Drop all encoded nodes but keep the interner and pool capacity.
+    pub fn clear(&mut self) {
+        let AstArena {
+            interner: _,
+            strings,
+            cols,
+            values,
+            preds,
+            items,
+            tables,
+            joins,
+            orders,
+            sets,
+            selects,
+            stmts,
+            pred_children,
+            val_children,
+            col_children,
+            item_children,
+            table_children,
+            join_children,
+            order_children,
+            set_children,
+            name_children,
+            row_ranges,
+        } = self;
+        strings.clear();
+        cols.clear();
+        values.clear();
+        preds.clear();
+        items.clear();
+        tables.clear();
+        joins.clear();
+        orders.clear();
+        sets.clear();
+        selects.clear();
+        stmts.clear();
+        pred_children.clear();
+        val_children.clear();
+        col_children.clear();
+        item_children.clear();
+        table_children.clear();
+        join_children.clear();
+        order_children.clear();
+        set_children.clear();
+        name_children.clear();
+        row_ranges.clear();
+    }
+
+    fn string(&mut self, s: &str) -> u32 {
+        // Literal pool is append-only and deduplicated linearly only for
+        // small pools; literals rarely repeat within one statement.
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return i as u32;
+        }
+        self.strings.push(s.to_string());
+        (self.strings.len() - 1) as u32
+    }
+
+    // ----- encode --------------------------------------------------------
+
+    /// Encode a parsed statement into the arena, returning its id.
+    pub fn encode(&mut self, stmt: &Statement) -> StmtId {
+        let node = match stmt {
+            Statement::Select(s) => StmtNode::Select(self.encode_select(s)),
+            Statement::Insert(i) => {
+                let table = self.interner.intern(&i.table);
+                let names: Vec<u32> = i.columns.iter().map(|c| self.interner.intern(c)).collect();
+                let columns = push_range(&mut self.name_children, names);
+                let rows: Vec<Range> = i
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let vals: Vec<ValId> = row.iter().map(|v| self.encode_value(v)).collect();
+                        push_range(&mut self.val_children, vals)
+                    })
+                    .collect();
+                let rows = push_range(&mut self.row_ranges, rows);
+                StmtNode::Insert {
+                    table,
+                    columns,
+                    rows,
+                }
+            }
+            Statement::Update(u) => {
+                let table = self.interner.intern(&u.table);
+                let sets: Vec<u32> = u
+                    .sets
+                    .iter()
+                    .map(|s| {
+                        let column = self.interner.intern(&s.column);
+                        let value = self.encode_value(&s.value);
+                        self.sets.push(SetNode { column, value });
+                        (self.sets.len() - 1) as u32
+                    })
+                    .collect();
+                let sets = push_range(&mut self.set_children, sets);
+                let where_clause = u.where_clause.as_ref().map(|p| self.encode_pred(p));
+                StmtNode::Update {
+                    table,
+                    sets,
+                    where_clause,
+                }
+            }
+            Statement::Delete(d) => StmtNode::Delete {
+                table: self.interner.intern(&d.table),
+                where_clause: d.where_clause.as_ref().map(|p| self.encode_pred(p)),
+            },
+        };
+        self.stmts.push(node);
+        StmtId((self.stmts.len() - 1) as u32)
+    }
+
+    fn encode_select(&mut self, s: &SelectStatement) -> SelId {
+        let items: Vec<u32> = s
+            .projection
+            .iter()
+            .map(|item| {
+                let node = match item {
+                    SelectItem::Star => ItemNode::Star,
+                    SelectItem::Column(c) => ItemNode::Column(self.encode_col(c)),
+                    SelectItem::Aggregate { func, arg } => ItemNode::Aggregate {
+                        func: self.string(func),
+                        arg: arg.as_ref().map(|c| self.encode_col(c)),
+                    },
+                };
+                self.items.push(node);
+                (self.items.len() - 1) as u32
+            })
+            .collect();
+        let projection = push_range(&mut self.item_children, items);
+
+        let froms: Vec<u32> = s.from.iter().map(|t| self.encode_table(t)).collect();
+        let from = push_range(&mut self.table_children, froms);
+
+        let joins: Vec<u32> = s
+            .joins
+            .iter()
+            .map(|j| {
+                let relation = self.encode_table(&j.relation);
+                let on = j.on.as_ref().map(|p| self.encode_pred(p));
+                self.joins.push(JoinNode {
+                    kind: j.kind,
+                    relation,
+                    on,
+                });
+                (self.joins.len() - 1) as u32
+            })
+            .collect();
+        let joins = push_range(&mut self.join_children, joins);
+
+        let where_clause = s.where_clause.as_ref().map(|p| self.encode_pred(p));
+        let groups: Vec<ColId> = s.group_by.iter().map(|c| self.encode_col(c)).collect();
+        let group_by = push_range(&mut self.col_children, groups);
+        let having = s.having.as_ref().map(|p| self.encode_pred(p));
+        let orders: Vec<u32> = s
+            .order_by
+            .iter()
+            .map(|o| {
+                let col = self.encode_col(&o.column);
+                self.orders.push(OrderNode {
+                    col,
+                    descending: o.descending,
+                });
+                (self.orders.len() - 1) as u32
+            })
+            .collect();
+        let order_by = push_range(&mut self.order_children, orders);
+
+        self.selects.push(SelNode {
+            distinct: s.distinct,
+            projection,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit: s.limit,
+            for_update: s.for_update,
+        });
+        SelId((self.selects.len() - 1) as u32)
+    }
+
+    fn encode_table(&mut self, t: &TableRef) -> u32 {
+        let node = match t {
+            TableRef::Table { name, alias } => TableNode::Table {
+                name: self.interner.intern(name),
+                alias: alias.as_ref().map(|a| self.interner.intern(a)),
+            },
+            TableRef::Derived { query, alias } => TableNode::Derived {
+                query: self.encode_select(query),
+                alias: alias.as_ref().map(|a| self.interner.intern(a)),
+            },
+        };
+        self.tables.push(node);
+        (self.tables.len() - 1) as u32
+    }
+
+    fn encode_col(&mut self, c: &ColumnRef) -> ColId {
+        let node = ColNode {
+            table: c.table.as_ref().map(|t| self.interner.intern(t)),
+            column: self.interner.intern(&c.column),
+        };
+        self.cols.push(node);
+        ColId((self.cols.len() - 1) as u32)
+    }
+
+    fn encode_value(&mut self, v: &Value) -> ValId {
+        let node = match v {
+            Value::Int(i) => ValNode::Int(*i),
+            Value::Float(f) => ValNode::Float(*f),
+            Value::Str(s) => ValNode::Str(self.string(s)),
+            Value::Null => ValNode::Null,
+            Value::Placeholder => ValNode::Placeholder,
+        };
+        self.values.push(node);
+        ValId((self.values.len() - 1) as u32)
+    }
+
+    fn encode_pred(&mut self, p: &Predicate) -> PredId {
+        let node = match p {
+            Predicate::And(ps) => {
+                let kids: Vec<PredId> = ps.iter().map(|c| self.encode_pred(c)).collect();
+                PredNode::And(push_range(&mut self.pred_children, kids))
+            }
+            Predicate::Or(ps) => {
+                let kids: Vec<PredId> = ps.iter().map(|c| self.encode_pred(c)).collect();
+                PredNode::Or(push_range(&mut self.pred_children, kids))
+            }
+            Predicate::Not(inner) => PredNode::Not(self.encode_pred(inner)),
+            Predicate::Cmp { column, op, value } => PredNode::Cmp {
+                col: self.encode_col(column),
+                op: *op,
+                val: self.encode_value(value),
+            },
+            Predicate::JoinEq { left, right } => PredNode::JoinEq {
+                left: self.encode_col(left),
+                right: self.encode_col(right),
+            },
+            Predicate::InList {
+                column,
+                values,
+                negated,
+            } => {
+                let vals: Vec<ValId> = values.iter().map(|v| self.encode_value(v)).collect();
+                PredNode::InList {
+                    col: self.encode_col(column),
+                    vals: push_range(&mut self.val_children, vals),
+                    negated: *negated,
+                }
+            }
+            Predicate::Between {
+                column,
+                low,
+                high,
+                negated,
+            } => PredNode::Between {
+                col: self.encode_col(column),
+                low: self.encode_value(low),
+                high: self.encode_value(high),
+                negated: *negated,
+            },
+            Predicate::Like {
+                column,
+                pattern,
+                negated,
+            } => PredNode::Like {
+                col: self.encode_col(column),
+                pattern: self.string(pattern),
+                negated: *negated,
+            },
+            Predicate::IsNull { column, negated } => PredNode::IsNull {
+                col: self.encode_col(column),
+                negated: *negated,
+            },
+            Predicate::Exists { query, negated } => PredNode::Exists {
+                query: self.encode_select(query),
+                negated: *negated,
+            },
+            Predicate::InSubquery {
+                column,
+                query,
+                negated,
+            } => PredNode::InSubquery {
+                col: self.encode_col(column),
+                query: self.encode_select(query),
+                negated: *negated,
+            },
+        };
+        self.preds.push(node);
+        PredId((self.preds.len() - 1) as u32)
+    }
+
+    // ----- decode --------------------------------------------------------
+
+    /// Decode a statement back into the boxed AST (exact inverse of
+    /// [`AstArena::encode`]).
+    pub fn decode(&self, id: StmtId) -> Statement {
+        match &self.stmts[id.0 as usize] {
+            StmtNode::Select(s) => Statement::Select(self.decode_select(*s)),
+            StmtNode::Insert {
+                table,
+                columns,
+                rows,
+            } => Statement::Insert(InsertStatement {
+                table: self.name(*table),
+                columns: columns
+                    .iter()
+                    .map(|i| self.name(self.name_children[i]))
+                    .collect(),
+                rows: rows
+                    .iter()
+                    .map(|i| {
+                        self.row_ranges[i]
+                            .iter()
+                            .map(|j| self.decode_value(self.val_children[j]))
+                            .collect()
+                    })
+                    .collect(),
+            }),
+            StmtNode::Update {
+                table,
+                sets,
+                where_clause,
+            } => Statement::Update(UpdateStatement {
+                table: self.name(*table),
+                sets: sets
+                    .iter()
+                    .map(|i| {
+                        let s = &self.sets[self.set_children[i] as usize];
+                        SetClause {
+                            column: self.name(s.column),
+                            value: self.decode_value(s.value),
+                        }
+                    })
+                    .collect(),
+                where_clause: where_clause.map(|p| self.decode_pred(p)),
+            }),
+            StmtNode::Delete {
+                table,
+                where_clause,
+            } => Statement::Delete(DeleteStatement {
+                table: self.name(*table),
+                where_clause: where_clause.map(|p| self.decode_pred(p)),
+            }),
+        }
+    }
+
+    fn name(&self, id: u32) -> String {
+        self.interner
+            .resolve(id)
+            .expect("interned name resolves")
+            .to_string()
+    }
+
+    fn decode_select(&self, id: SelId) -> SelectStatement {
+        let s = &self.selects[id.0 as usize];
+        SelectStatement {
+            distinct: s.distinct,
+            projection: s
+                .projection
+                .iter()
+                .map(|i| match &self.items[self.item_children[i] as usize] {
+                    ItemNode::Star => SelectItem::Star,
+                    ItemNode::Column(c) => SelectItem::Column(self.decode_col(*c)),
+                    ItemNode::Aggregate { func, arg } => SelectItem::Aggregate {
+                        func: self.strings[*func as usize].clone(),
+                        arg: arg.map(|c| self.decode_col(c)),
+                    },
+                })
+                .collect(),
+            from: s
+                .from
+                .iter()
+                .map(|i| self.decode_table(self.table_children[i]))
+                .collect(),
+            joins: s
+                .joins
+                .iter()
+                .map(|i| {
+                    let j = &self.joins[self.join_children[i] as usize];
+                    Join {
+                        kind: j.kind,
+                        relation: self.decode_table(j.relation),
+                        on: j.on.map(|p| self.decode_pred(p)),
+                    }
+                })
+                .collect(),
+            where_clause: s.where_clause.map(|p| self.decode_pred(p)),
+            group_by: s
+                .group_by
+                .iter()
+                .map(|i| self.decode_col(self.col_children[i]))
+                .collect(),
+            having: s.having.map(|p| self.decode_pred(p)),
+            order_by: s
+                .order_by
+                .iter()
+                .map(|i| {
+                    let o = &self.orders[self.order_children[i] as usize];
+                    OrderItem {
+                        column: self.decode_col(o.col),
+                        descending: o.descending,
+                    }
+                })
+                .collect(),
+            limit: s.limit,
+            for_update: s.for_update,
+        }
+    }
+
+    fn decode_table(&self, id: u32) -> TableRef {
+        match &self.tables[id as usize] {
+            TableNode::Table { name, alias } => TableRef::Table {
+                name: self.name(*name),
+                alias: alias.map(|a| self.name(a)),
+            },
+            TableNode::Derived { query, alias } => TableRef::Derived {
+                query: Box::new(self.decode_select(*query)),
+                alias: alias.map(|a| self.name(a)),
+            },
+        }
+    }
+
+    fn decode_col(&self, id: ColId) -> ColumnRef {
+        let c = &self.cols[id.0 as usize];
+        ColumnRef {
+            table: c.table.map(|t| self.name(t)),
+            column: self.name(c.column),
+        }
+    }
+
+    fn decode_value(&self, id: ValId) -> Value {
+        match &self.values[id.0 as usize] {
+            ValNode::Int(i) => Value::Int(*i),
+            ValNode::Float(f) => Value::Float(*f),
+            ValNode::Str(s) => Value::Str(self.strings[*s as usize].clone()),
+            ValNode::Null => Value::Null,
+            ValNode::Placeholder => Value::Placeholder,
+        }
+    }
+
+    fn decode_pred(&self, id: PredId) -> Predicate {
+        match &self.preds[id.0 as usize] {
+            PredNode::And(r) => Predicate::And(
+                r.iter()
+                    .map(|i| self.decode_pred(self.pred_children[i]))
+                    .collect(),
+            ),
+            PredNode::Or(r) => Predicate::Or(
+                r.iter()
+                    .map(|i| self.decode_pred(self.pred_children[i]))
+                    .collect(),
+            ),
+            PredNode::Not(p) => Predicate::Not(Box::new(self.decode_pred(*p))),
+            PredNode::Cmp { col, op, val } => Predicate::Cmp {
+                column: self.decode_col(*col),
+                op: *op,
+                value: self.decode_value(*val),
+            },
+            PredNode::JoinEq { left, right } => Predicate::JoinEq {
+                left: self.decode_col(*left),
+                right: self.decode_col(*right),
+            },
+            PredNode::InList { col, vals, negated } => Predicate::InList {
+                column: self.decode_col(*col),
+                values: vals
+                    .iter()
+                    .map(|i| self.decode_value(self.val_children[i]))
+                    .collect(),
+                negated: *negated,
+            },
+            PredNode::Between {
+                col,
+                low,
+                high,
+                negated,
+            } => Predicate::Between {
+                column: self.decode_col(*col),
+                low: self.decode_value(*low),
+                high: self.decode_value(*high),
+                negated: *negated,
+            },
+            PredNode::Like {
+                col,
+                pattern,
+                negated,
+            } => Predicate::Like {
+                column: self.decode_col(*col),
+                pattern: self.strings[*pattern as usize].clone(),
+                negated: *negated,
+            },
+            PredNode::IsNull { col, negated } => Predicate::IsNull {
+                column: self.decode_col(*col),
+                negated: *negated,
+            },
+            PredNode::Exists { query, negated } => Predicate::Exists {
+                query: Box::new(self.decode_select(*query)),
+                negated: *negated,
+            },
+            PredNode::InSubquery {
+                col,
+                query,
+                negated,
+            } => Predicate::InSubquery {
+                column: self.decode_col(*col),
+                query: Box::new(self.decode_select(*query)),
+                negated: *negated,
+            },
+        }
+    }
+}
+
+fn push_range<T>(pool: &mut Vec<T>, items: Vec<T>) -> Range {
+    let start = pool.len() as u32;
+    let len = items.len() as u32;
+    pool.extend(items);
+    Range { start, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    fn roundtrip(sql: &str) {
+        let stmt = parse_statement(sql).unwrap();
+        let mut arena = AstArena::new();
+        let id = arena.encode(&stmt);
+        assert_eq!(arena.decode(id), stmt, "arena round-trip for {sql:?}");
+    }
+
+    #[test]
+    fn roundtrips_representative_statements() {
+        for sql in [
+            "SELECT a, b FROM t WHERE a = 1 AND (b = 2 OR c > 3) ORDER BY a DESC LIMIT 5",
+            "SELECT DISTINCT COUNT(*), SUM(x) FROM t GROUP BY a HAVING a > 2",
+            "SELECT * FROM person p, visit v WHERE p.id = v.person_id AND v.site = 3",
+            "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w WHERE a.q LIKE 'p%'",
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT BETWEEN 4 AND 5 FOR UPDATE",
+            "SELECT * FROM t WHERE EXISTS (SELECT x FROM u WHERE u.k = t.k) AND t.a IS NOT NULL",
+            "SELECT * FROM person WHERE id IN (SELECT person_id FROM visit WHERE site = 5)",
+            "SELECT * FROM (SELECT a FROM u WHERE a = 2) d WHERE d.a = 1",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2.5, NULL)",
+            "UPDATE t SET a = 5, b = 'y' WHERE c BETWEEN 1 AND 2",
+            "DELETE FROM t WHERE a IN (1, 2) OR NOT (b = 3)",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn many_statements_share_one_arena() {
+        let mut arena = AstArena::new();
+        let sqls = [
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t WHERE b = 2",
+            "DELETE FROM t WHERE b = 3",
+        ];
+        let ids: Vec<(StmtId, Statement)> = sqls
+            .iter()
+            .map(|s| {
+                let stmt = parse_statement(s).unwrap();
+                (arena.encode(&stmt), stmt)
+            })
+            .collect();
+        for (id, stmt) in &ids {
+            assert_eq!(&arena.decode(*id), stmt);
+        }
+        // Shared names interned once across statements.
+        assert_eq!(arena.interner().len(), 3, "t, a, b");
+    }
+
+    #[test]
+    fn clear_keeps_interner() {
+        let mut arena = AstArena::new();
+        let stmt = parse_statement("SELECT a FROM t").unwrap();
+        arena.encode(&stmt);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.interner().len(), 2);
+        let id = arena.encode(&stmt);
+        assert_eq!(arena.decode(id), stmt);
+    }
+}

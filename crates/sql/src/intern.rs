@@ -1,0 +1,165 @@
+//! String interning for identifier-heavy hot paths.
+//!
+//! The serving loop sees the same handful of table and column names
+//! millions of times; carrying them as `String` forces an allocation (and a
+//! hash of the bytes) at every step that touches one. [`Interner`] maps each
+//! distinct name to a dense `u32` handle exactly once; afterwards the hot
+//! path moves [`TableId`]/[`ColumnId`] copies around for free and compares
+//! them with a single integer compare.
+//!
+//! Identifiers are interned *case-insensitively lower-cased*, matching the
+//! lexer's normalisation of unquoted identifiers, so `Account`, `ACCOUNT`
+//! and `account` share one id.
+//!
+//! [`TemplateId`] lives here too: the template store hands out one per
+//! distinct query template, and the compiled fast path uses it as the
+//! stable, transcript-independent identity of a compiled entry.
+
+use std::collections::HashMap;
+
+/// Dense handle for an interned table name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Dense handle for an interned column name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+/// Dense handle for a query template (assigned by the template store in
+/// first-seen order; stable for the life of the store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u32);
+
+/// A deduplicating name → dense-id map with reverse lookup.
+///
+/// ```
+/// use autoindex_sql::intern::Interner;
+///
+/// let mut it = Interner::new();
+/// let a = it.intern("Account");
+/// assert_eq!(a, it.intern("account")); // case-insensitive
+/// assert_ne!(a, it.intern("branch"));
+/// assert_eq!(it.resolve(a), Some("account"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name` (lower-cased), returning its dense id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        // Fast path: already lower-case and present — no allocation.
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let lower = name.to_ascii_lowercase();
+        if let Some(&id) = self.by_name.get(&lower) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(lower.clone());
+        self.by_name.insert(lower, id);
+        id
+    }
+
+    /// Intern a table name.
+    pub fn table(&mut self, name: &str) -> TableId {
+        TableId(self.intern(name))
+    }
+
+    /// Intern a column name.
+    pub fn column(&mut self, name: &str) -> ColumnId {
+        ColumnId(self.intern(name))
+    }
+
+    /// Look up an id without interning. `None` if never seen.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Some(id);
+        }
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// The name behind an id (lower-cased canonical form).
+    pub fn resolve(&self, id: impl Into<u32>) -> Option<&str> {
+        self.names.get(id.into() as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl From<TableId> for u32 {
+    fn from(id: TableId) -> u32 {
+        id.0
+    }
+}
+
+impl From<ColumnId> for u32 {
+    fn from(id: ColumnId) -> u32 {
+        id.0
+    }
+}
+
+impl From<TemplateId> for u32 {
+    fn from(id: TemplateId) -> u32 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern("alpha");
+        let b = it.intern("beta");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(it.intern("alpha"), a);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_unification() {
+        let mut it = Interner::new();
+        let a = it.intern("Account");
+        assert_eq!(it.intern("ACCOUNT"), a);
+        assert_eq!(it.resolve(a), Some("account"));
+        assert_eq!(it.get("aCcOuNt"), Some(a));
+        assert_eq!(it.get("ghost"), None);
+    }
+
+    #[test]
+    fn typed_handles_are_distinct_types() {
+        let mut it = Interner::new();
+        let t = it.table("account");
+        let c = it.column("account");
+        // Same underlying id (same name pool), different handle types.
+        assert_eq!(u32::from(t), u32::from(c));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.resolve(0u32), None);
+    }
+}

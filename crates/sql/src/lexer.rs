@@ -56,6 +56,68 @@ const KEYWORDS: &[&str] = &[
     "THEN", "ELSE", "END", "FOR", "OF",
 ];
 
+/// Case-insensitive keyword lookup: the canonical upper-case spelling if
+/// `word` is a keyword, `None` otherwise. Allocation-free — used by the
+/// zero-allocation fingerprint scanner, which cannot afford the
+/// `to_ascii_uppercase` the lexer performs per word.
+///
+/// Dispatches on `(length, first byte)` before comparing, so the common
+/// case — an identifier that is *not* a keyword — decides against at most
+/// four candidates instead of scanning all of `KEYWORDS`. The unit test
+/// `bucketed_keyword_match_agrees_with_linear_scan` pins this to the
+/// canonical linear lookup.
+pub fn keyword_match(word: &str) -> Option<&'static str> {
+    let bytes = word.as_bytes();
+    let &first = bytes.first()?;
+    // `| 0x20` lower-cases ASCII letters; other leading bytes (`_`) fall
+    // through to the empty bucket.
+    let candidates: &[&'static str] = match (bytes.len(), first | 0x20) {
+        (2, b'a') => &["AS"],
+        (2, b'b') => &["BY"],
+        (2, b'i') => &["IN", "IS"],
+        (2, b'o') => &["OR", "ON", "OF"],
+        (3, b'a') => &["AND", "ASC", "AVG", "ALL"],
+        (3, b'e') => &["END"],
+        (3, b'f') => &["FOR"],
+        (3, b'm') => &["MIN", "MAX"],
+        (3, b'n') => &["NOT"],
+        (3, b's') => &["SET", "SUM"],
+        (4, b'c') => &["CASE"],
+        (4, b'd') => &["DESC"],
+        (4, b'e') => &["ELSE"],
+        (4, b'f') => &["FROM", "FULL"],
+        (4, b'i') => &["INTO"],
+        (4, b'j') => &["JOIN"],
+        (4, b'l') => &["LIKE", "LEFT"],
+        (4, b'n') => &["NULL"],
+        (4, b't') => &["THEN"],
+        (4, b'w') => &["WHEN"],
+        (5, b'c') => &["COUNT"],
+        (5, b'g') => &["GROUP"],
+        (5, b'i') => &["INNER"],
+        (5, b'l') => &["LIMIT"],
+        (5, b'o') => &["ORDER", "OUTER"],
+        (5, b'r') => &["RIGHT"],
+        (5, b'u') => &["UNION"],
+        (5, b'w') => &["WHERE"],
+        (6, b'd') => &["DELETE"],
+        (6, b'e') => &["EXISTS"],
+        (6, b'h') => &["HAVING"],
+        (6, b'i') => &["INSERT"],
+        (6, b'o') => &["OFFSET"],
+        (6, b's') => &["SELECT"],
+        (6, b'u') => &["UPDATE"],
+        (6, b'v') => &["VALUES"],
+        (7, b'b') => &["BETWEEN"],
+        (8, b'd') => &["DISTINCT"],
+        _ => &[],
+    };
+    candidates
+        .iter()
+        .copied()
+        .find(|k| k.eq_ignore_ascii_case(word))
+}
+
 /// Streaming tokenizer over a SQL string.
 pub struct Lexer<'a> {
     src: &'a str,
@@ -325,6 +387,56 @@ impl<'a> Lexer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bucketed_keyword_match_agrees_with_linear_scan() {
+        let linear = |w: &str| KEYWORDS.iter().copied().find(|k| k.eq_ignore_ascii_case(w));
+        // Every keyword in canonical, lower and mixed case.
+        for &k in KEYWORDS {
+            let lower = k.to_ascii_lowercase();
+            let mixed: String = k
+                .chars()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i % 2 == 0 {
+                        c.to_ascii_lowercase()
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            for w in [k, lower.as_str(), mixed.as_str()] {
+                assert_eq!(keyword_match(w), Some(k), "keyword {w:?}");
+                assert_eq!(keyword_match(w), linear(w));
+            }
+        }
+        // Non-keywords that share a bucket, length or prefix with one.
+        for w in [
+            "",
+            "_",
+            "z",
+            "ok",
+            "ox",
+            "ana",
+            "sel",
+            "selec",
+            "select1",
+            "selects",
+            "wherex",
+            "where_",
+            "likeness",
+            "betwee",
+            "betweenx",
+            "distinc",
+            "distinctx",
+            "account",
+            "balance",
+            "o_id",
+            "inx",
+        ] {
+            assert_eq!(keyword_match(w), linear(w), "non-keyword {w:?}");
+        }
+    }
 
     fn kinds(sql: &str) -> Vec<TokenKind> {
         Lexer::tokenize(sql)

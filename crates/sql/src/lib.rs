@@ -14,7 +14,12 @@
 //!   generation.
 //! * [`mod@fingerprint`] — `SQL2Template` support: replacing literals with
 //!   placeholders so that queries differing only in constants map to the
-//!   same template.
+//!   same template, plus [`scan_fingerprint`], a zero-allocation scanner
+//!   that computes the same hash without building tokens.
+//! * [`intern`] — dense `u32` handles ([`TableId`] / [`ColumnId`] /
+//!   [`TemplateId`]) for identifier-heavy hot paths.
+//! * [`arena`] — [`AstArena`], a flat-pool AST representation with typed
+//!   indices instead of `Box`/`Vec` per node.
 //!
 //! The subset is deliberately scoped to what an index advisor consumes:
 //! which columns appear in which clause, with which operators and
@@ -34,17 +39,23 @@
 //! assert_eq!(f1, f2);
 //! ```
 
+pub mod arena;
 pub mod ast;
 pub mod fingerprint;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod predicate;
 
+pub use arena::AstArena;
 pub use ast::{
     CmpOp, ColumnRef, DeleteStatement, InsertStatement, Join, JoinKind, OrderItem, Predicate,
     SelectItem, SelectStatement, SetClause, Statement, TableRef, UpdateStatement, Value,
 };
-pub use fingerprint::{fingerprint, fingerprint_statement, Fingerprint};
+pub use fingerprint::{
+    fingerprint, fingerprint_statement, scan_fingerprint, Fingerprint, LiteralBuf,
+};
+pub use intern::{ColumnId, Interner, TableId, TemplateId};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_statement, ParseError, Parser};
 pub use predicate::{AtomicPredicate, Dnf, DnfError};

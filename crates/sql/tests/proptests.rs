@@ -6,8 +6,9 @@
 
 use autoindex_sql::predicate::{collect_atoms, evaluate, evaluate_dnf, to_dnf_capped};
 use autoindex_sql::{
-    fingerprint, parse_statement, CmpOp, ColumnRef, Predicate, SelectItem, SelectStatement,
-    Statement, TableRef, Value,
+    fingerprint, parse_statement, scan_fingerprint, AstArena, CmpOp, ColumnRef, DeleteStatement,
+    InsertStatement, LiteralBuf, OrderItem, Predicate, SelectItem, SelectStatement, SetClause,
+    Statement, TableRef, UpdateStatement, Value,
 };
 use autoindex_support::prop::{property, PropConfig};
 use autoindex_support::rng::StdRng;
@@ -81,6 +82,106 @@ fn gen_predicate(rng: &mut StdRng, depth: usize) -> Predicate {
 /// Size hint → tree depth in 0..=4.
 fn depth_for(size: usize) -> usize {
     (size / 25).min(4)
+}
+
+/// A richer literal mix (int / float / string) for statement-level tests.
+/// Kept render-safe: every value round-trips through `Display` → lexer.
+fn gen_value_rich(rng: &mut StdRng) -> Value {
+    match rng.random_range(0u32..4) {
+        0 | 1 => Value::Int(rng.random_range(-100i64..1000)),
+        // Halves avoid integral floats, which render as "2" and re-lex as Int.
+        2 => Value::Float(rng.random_range(0i64..100) as f64 + 0.5),
+        _ => Value::Str(match rng.random_range(0u32..3) {
+            0 => "x".to_string(),
+            1 => "o'neil".to_string(), // exercises '' escaping
+            _ => "pat%tern".to_string(),
+        }),
+    }
+}
+
+/// Random full statement (all four kinds), built to be render-safe: the
+/// `Display` output re-parses, which is what lets the arena and scanner
+/// property tests compare against the allocating parser.
+fn gen_statement(rng: &mut StdRng, size: usize) -> Statement {
+    let table = *rng.choose(&["t", "account", "visit"]).unwrap();
+    match rng.random_range(0u32..6) {
+        // SELECT dominates the mix, as it does in the workloads.
+        0..=2 => {
+            let projection = if rng.random_bool(0.5) {
+                vec![SelectItem::Star]
+            } else {
+                vec![
+                    SelectItem::Column(gen_column(rng)),
+                    SelectItem::Aggregate {
+                        func: "COUNT".to_string(),
+                        arg: None,
+                    },
+                ]
+            };
+            let group_by = if projection.len() > 1 {
+                vec![gen_column(rng)]
+            } else {
+                vec![]
+            };
+            Statement::Select(SelectStatement {
+                distinct: rng.random_bool(0.2) && projection[0] != SelectItem::Star,
+                projection,
+                from: vec![TableRef::Table {
+                    name: table.to_string(),
+                    alias: rng.random_bool(0.3).then(|| "s".to_string()),
+                }],
+                joins: vec![],
+                where_clause: rng
+                    .random_bool(0.9)
+                    .then(|| gen_predicate(rng, depth_for(size))),
+                group_by,
+                having: None,
+                order_by: rng
+                    .random_bool(0.4)
+                    .then(|| OrderItem {
+                        column: gen_column(rng),
+                        descending: rng.random_bool(0.5),
+                    })
+                    .into_iter()
+                    .collect(),
+                limit: rng
+                    .random_bool(0.4)
+                    .then(|| rng.random_range(1i64..50) as u64),
+                for_update: rng.random_bool(0.1),
+            })
+        }
+        3 => {
+            let cols: Vec<String> = COLUMNS
+                .iter()
+                .take(rng.random_range(1usize..4))
+                .map(|c| c.to_string())
+                .collect();
+            let rows = (0..rng.random_range(1usize..3))
+                .map(|_| cols.iter().map(|_| gen_value_rich(rng)).collect())
+                .collect();
+            Statement::Insert(InsertStatement {
+                table: table.to_string(),
+                columns: cols,
+                rows,
+            })
+        }
+        4 => Statement::Update(UpdateStatement {
+            table: table.to_string(),
+            sets: vec![SetClause {
+                column: COLUMNS[rng.random_range(0usize..4)].to_string(),
+                value: gen_value_rich(rng),
+            }],
+            where_clause: rng
+                .random_bool(0.8)
+                .then(|| gen_predicate(rng, depth_for(size))),
+        }),
+        _ => Statement::Delete(DeleteStatement {
+            table: table.to_string(),
+            where_clause: rng
+                .random_bool(0.8)
+                .then(|| gen_predicate(rng, depth_for(size))),
+        }),
+    }
 }
 
 /// DNF must agree with direct evaluation on every assignment of small
@@ -193,6 +294,59 @@ fn fingerprint_literal_invariant() {
             let f1 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v1}")).unwrap();
             let f2 = fingerprint(&format!("SELECT * FROM t WHERE {col} = {v2}")).unwrap();
             prop_assert_eq!(f1, f2);
+            Ok(())
+        },
+    );
+}
+
+/// Arena encode/decode is the identity on everything the parser produces:
+/// parsing into the interned arena and decoding back yields the same AST
+/// the allocating parser built, on random statements of all four kinds.
+#[test]
+fn arena_roundtrip_matches_parser() {
+    property(
+        "arena_roundtrip_matches_parser",
+        PropConfig::default(),
+        |rng, size| {
+            let sql = gen_statement(rng, size).to_string();
+            let parsed = parse_statement(&sql);
+            prop_assert!(parsed.is_ok(), "generator produced unparseable {sql}");
+            let parsed = parsed.unwrap();
+            let mut arena = AstArena::new();
+            let id = arena.encode(&parsed);
+            prop_assert_eq!(arena.decode(id), parsed, "arena round-trip for {}", sql);
+            Ok(())
+        },
+    );
+}
+
+/// The zero-allocation scanner agrees with the token-based fingerprint on
+/// random statements: same hash, and one collected literal per literal
+/// token the lexer sees.
+#[test]
+fn scan_fingerprint_matches_token_fingerprint() {
+    property(
+        "scan_fingerprint_matches_token_fingerprint",
+        PropConfig::default(),
+        |rng, size| {
+            let sql = gen_statement(rng, size).to_string();
+            let fp = fingerprint(&sql);
+            prop_assert!(fp.is_ok(), "fingerprint failed on {sql}");
+            let fp = fp.unwrap();
+            let mut lits = LiteralBuf::new();
+            let scanned = scan_fingerprint(&sql, &mut lits);
+            prop_assert_eq!(scanned, Some(fp.hash), "hash mismatch on {}", sql);
+            let token_literals = autoindex_sql::Lexer::tokenize(&sql)
+                .unwrap()
+                .iter()
+                .filter(|t| t.kind.is_literal())
+                .count();
+            prop_assert_eq!(
+                lits.values.len(),
+                token_literals,
+                "literal count on {}",
+                sql
+            );
             Ok(())
         },
     );

@@ -50,7 +50,7 @@ pub use histogram::Histogram;
 pub use index::{IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost};
 pub use planner::{AccessPath, CostFeatures, CostParams, PlanSummary, Planner};
 pub use selectivity::{atom_selectivity, conjunct_selectivity, DEFAULT_EQ_SEL, DEFAULT_RANGE_SEL};
-pub use shape::{QueryShape, TableAtoms, WriteKind, WriteShape};
+pub use shape::{QueryShape, SelTrace, SelTree, TableAtoms, WriteKind, WriteShape};
 pub use usage::{IndexUsage, UsageDelta, UsageTracker};
 
 /// Errors surfaced by the storage substrate.

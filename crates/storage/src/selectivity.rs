@@ -5,7 +5,7 @@
 //! back to the standard defaults. Selectivities are always clamped to
 //! `[1/rows, 1]` so downstream cost arithmetic stays sane.
 
-use crate::catalog::Table;
+use crate::catalog::{Column, Table};
 use autoindex_sql::predicate::AtomicPredicate;
 use autoindex_sql::{CmpOp, Value};
 
@@ -16,17 +16,122 @@ pub const DEFAULT_EQ_SEL: f64 = 0.005;
 pub const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
 /// Default selectivity of a sargable LIKE 'prefix%' pattern.
 pub const DEFAULT_PREFIX_LIKE_SEL: f64 = 0.02;
+/// Selectivity of an opaque (unanalysable) atom.
+pub const DEFAULT_OPAQUE_SEL: f64 = 0.5;
 
-fn clamp(sel: f64, table: &Table) -> f64 {
-    let floor = 1.0 / table.rows.max(1) as f64;
+/// Clamp a raw selectivity to `[1/rows, 1]` (idempotent). Exposed so the
+/// estimator's compiled selectivity programs reproduce this module's
+/// arithmetic bit-for-bit outside of [`atom_selectivity`].
+pub fn clamp_sel(sel: f64, rows: u64) -> f64 {
+    let floor = 1.0 / rows.max(1) as f64;
     sel.clamp(floor.min(1.0), 1.0)
 }
 
-fn value_as_f64(v: &Value) -> Option<f64> {
+fn clamp(sel: f64, table: &Table) -> f64 {
+    clamp_sel(sel, table.rows)
+}
+
+/// Numeric view of a literal (`Int` widened, `Float` as-is, else `None`).
+pub fn value_as_f64(v: &Value) -> Option<f64> {
     match v {
         Value::Int(i) => Some(*i as f64),
         Value::Float(f) => Some(*f),
         _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-column primitives.
+//
+// Each returns the *unclamped* selectivity for one atom kind given the
+// resolved column statistics (`None` = unknown column → defaults). They are
+// the single source of truth for the math: `atom_selectivity` below and the
+// estimator's compiled `TemplateSelProgram` both call these, which is what
+// guarantees the fast path cannot drift from the interpreted path.
+// ---------------------------------------------------------------------------
+
+/// `col OP value` comparison selectivity.
+pub fn cmp_selectivity(col: Option<&Column>, op: CmpOp, value: &Value) -> f64 {
+    let Some(col) = col else {
+        return default_for_op(op);
+    };
+    let ndv = col.stats.ndv.max(1.0);
+    match op {
+        CmpOp::Eq => 1.0 / ndv,
+        CmpOp::Ne => 1.0 - 1.0 / ndv,
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            match value_as_f64(value) {
+                Some(v) if col.ty.is_numeric() && col.stats.max > col.stats.min => {
+                    // Equi-depth histogram when available; min/max
+                    // interpolation otherwise.
+                    let below = match &col.stats.histogram {
+                        Some(h) => h.fraction_below(v),
+                        None => {
+                            ((v - col.stats.min) / (col.stats.max - col.stats.min)).clamp(0.0, 1.0)
+                        }
+                    };
+                    match op {
+                        CmpOp::Lt | CmpOp::Le => below,
+                        _ => 1.0 - below,
+                    }
+                }
+                _ => DEFAULT_RANGE_SEL,
+            }
+        }
+    }
+}
+
+/// `col IN (v1, ..., vk)` selectivity for a `k`-element list.
+pub fn in_list_selectivity(col: Option<&Column>, len: usize, negated: bool) -> f64 {
+    let ndv = col.map(|c| c.stats.ndv.max(1.0)).unwrap_or(200.0);
+    let k = len.max(1) as f64;
+    let sel = (k / ndv).min(1.0);
+    if negated {
+        1.0 - sel
+    } else {
+        sel
+    }
+}
+
+/// `col BETWEEN low AND high` selectivity.
+pub fn between_selectivity(col: Option<&Column>, low: &Value, high: &Value, negated: bool) -> f64 {
+    let sel = match (col, value_as_f64(low), value_as_f64(high)) {
+        (Some(c), Some(lo), Some(hi)) if c.ty.is_numeric() && c.stats.max > c.stats.min => {
+            match &c.stats.histogram {
+                Some(h) => h.range_selectivity(lo, hi),
+                None => ((hi - lo) / (c.stats.max - c.stats.min)).clamp(0.0, 1.0),
+            }
+        }
+        _ => DEFAULT_RANGE_SEL * DEFAULT_RANGE_SEL,
+    };
+    if negated {
+        1.0 - sel
+    } else {
+        sel
+    }
+}
+
+/// `col LIKE pattern` selectivity (pattern shape only; stats-free).
+pub fn like_selectivity(pattern: &str, negated: bool) -> f64 {
+    let sel = if pattern.starts_with('%') || pattern.starts_with('_') {
+        0.1
+    } else {
+        DEFAULT_PREFIX_LIKE_SEL
+    };
+    if negated {
+        1.0 - sel
+    } else {
+        sel
+    }
+}
+
+/// `col IS [NOT] NULL` selectivity.
+pub fn is_null_selectivity(col: Option<&Column>, negated: bool) -> f64 {
+    let frac = col.map(|c| c.stats.null_frac).unwrap_or(0.01);
+    if negated {
+        1.0 - frac
+    } else {
+        frac.max(1e-4)
     }
 }
 
@@ -40,34 +145,7 @@ pub fn atom_selectivity(atom: &AtomicPredicate, table: &Table) -> f64 {
         .restricted_column()
         .and_then(|c| table.column(&c.column));
     let sel = match atom {
-        AtomicPredicate::Cmp { op, value, .. } => {
-            let Some(col) = col else {
-                return clamp(default_for_op(*op), table);
-            };
-            let ndv = col.stats.ndv.max(1.0);
-            match op {
-                CmpOp::Eq => 1.0 / ndv,
-                CmpOp::Ne => 1.0 - 1.0 / ndv,
-                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-                    match value_as_f64(value) {
-                        Some(v) if col.ty.is_numeric() && col.stats.max > col.stats.min => {
-                            // Equi-depth histogram when available; min/max
-                            // interpolation otherwise.
-                            let below = match &col.stats.histogram {
-                                Some(h) => h.fraction_below(v),
-                                None => ((v - col.stats.min) / (col.stats.max - col.stats.min))
-                                    .clamp(0.0, 1.0),
-                            };
-                            match op {
-                                CmpOp::Lt | CmpOp::Le => below,
-                                _ => 1.0 - below,
-                            }
-                        }
-                        _ => DEFAULT_RANGE_SEL,
-                    }
-                }
-            }
-        }
+        AtomicPredicate::Cmp { op, value, .. } => cmp_selectivity(col, *op, value),
         AtomicPredicate::JoinEq { .. } => {
             // Join selectivity is handled by the join model; as a filter
             // atom (e.g. `t.a = t.b` on one table) use the eq default.
@@ -75,62 +153,21 @@ pub fn atom_selectivity(atom: &AtomicPredicate, table: &Table) -> f64 {
         }
         AtomicPredicate::InList {
             values, negated, ..
-        } => {
-            let ndv = col.map(|c| c.stats.ndv.max(1.0)).unwrap_or(200.0);
-            let k = values.len().max(1) as f64;
-            let sel = (k / ndv).min(1.0);
-            if *negated {
-                1.0 - sel
-            } else {
-                sel
-            }
-        }
+        } => in_list_selectivity(col, values.len(), *negated),
         AtomicPredicate::Between {
             low, high, negated, ..
-        } => {
-            let sel = match (col, value_as_f64(low), value_as_f64(high)) {
-                (Some(c), Some(lo), Some(hi)) if c.ty.is_numeric() && c.stats.max > c.stats.min => {
-                    match &c.stats.histogram {
-                        Some(h) => h.range_selectivity(lo, hi),
-                        None => ((hi - lo) / (c.stats.max - c.stats.min)).clamp(0.0, 1.0),
-                    }
-                }
-                _ => DEFAULT_RANGE_SEL * DEFAULT_RANGE_SEL,
-            };
-            if *negated {
-                1.0 - sel
-            } else {
-                sel
-            }
-        }
+        } => between_selectivity(col, low, high, *negated),
         AtomicPredicate::Like {
             pattern, negated, ..
-        } => {
-            let sel = if pattern.starts_with('%') || pattern.starts_with('_') {
-                0.1
-            } else {
-                DEFAULT_PREFIX_LIKE_SEL
-            };
-            if *negated {
-                1.0 - sel
-            } else {
-                sel
-            }
-        }
-        AtomicPredicate::IsNull { negated, .. } => {
-            let frac = col.map(|c| c.stats.null_frac).unwrap_or(0.01);
-            if *negated {
-                1.0 - frac
-            } else {
-                frac.max(1e-4)
-            }
-        }
-        AtomicPredicate::Opaque { .. } => 0.5,
+        } => like_selectivity(pattern, *negated),
+        AtomicPredicate::IsNull { negated, .. } => is_null_selectivity(col, *negated),
+        AtomicPredicate::Opaque { .. } => DEFAULT_OPAQUE_SEL,
     };
     clamp(sel, table)
 }
 
-fn default_for_op(op: CmpOp) -> f64 {
+/// Default comparison selectivity when the column is unknown.
+pub fn default_for_op(op: CmpOp) -> f64 {
     match op {
         CmpOp::Eq => DEFAULT_EQ_SEL,
         CmpOp::Ne => 1.0 - DEFAULT_EQ_SEL,

@@ -90,10 +90,87 @@ pub struct QueryShape {
     pub limit: Option<u64>,
 }
 
+/// One table's selectivity factor, mirroring the recursion of
+/// `sel_for_table` with the resolved atoms at the leaves.
+///
+/// [`QueryShape::extract_traced`] records one tree per
+/// `(predicate, touched table)` application; evaluating a tree with
+/// [`SelTree::eval`] reproduces `sel_for_table` bit-for-bit. The estimator
+/// compiles these trees into flat selectivity programs so the template fast
+/// path can recompute `filter_sel` for fresh literals without re-walking
+/// the predicate (or re-parsing the statement).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelTree {
+    /// Product of children, floored at `1/rows`.
+    And(Vec<SelTree>),
+    /// `1 - ∏(1 - s)`, clamped to `[0, 1]`.
+    Or(Vec<SelTree>),
+    /// `1 - s`.
+    Not(Box<SelTree>),
+    /// A resolved, normalised atom on this tree's table.
+    Atom(AtomicPredicate),
+    /// An atom that does not restrict this table (other table, join edge,
+    /// unresolved column): constant `1.0`.
+    One,
+}
+
+impl SelTree {
+    /// Evaluate against `table_def`, reproducing `sel_for_table` exactly.
+    pub fn eval(&self, table_def: &Table) -> f64 {
+        match self {
+            SelTree::And(children) => {
+                let mut sel = 1.0;
+                for c in children {
+                    sel *= c.eval(table_def);
+                }
+                sel.max(1.0 / table_def.rows.max(1) as f64)
+            }
+            SelTree::Or(children) => {
+                let mut not_sel = 1.0;
+                for c in children {
+                    not_sel *= 1.0 - c.eval(table_def);
+                }
+                (1.0 - not_sel).clamp(0.0, 1.0)
+            }
+            SelTree::Not(inner) => 1.0 - inner.eval(table_def),
+            SelTree::Atom(a) => atom_selectivity(a, table_def),
+            SelTree::One => 1.0,
+        }
+    }
+}
+
+/// The ordered selectivity factors recorded by
+/// [`QueryShape::extract_traced`]: one `(table, factor tree)` pair per
+/// predicate-application, in the exact order `filter_sel` multiplied them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelTrace {
+    pub factors: Vec<(String, SelTree)>,
+}
+
 impl QueryShape {
     /// Extract the shape of `stmt` against `catalog`.
     pub fn extract(stmt: &Statement, catalog: &Catalog) -> QueryShape {
+        Self::extract_inner(stmt, catalog, false).0
+    }
+
+    /// Like [`QueryShape::extract`], additionally recording the per-table
+    /// selectivity factor trees (see [`SelTrace`]). The returned shape is
+    /// identical to the untraced one — `SelTree::eval` performs the same
+    /// arithmetic `sel_for_table` does, in the same order.
+    pub fn extract_traced(stmt: &Statement, catalog: &Catalog) -> (QueryShape, SelTrace) {
+        let (shape, trace) = Self::extract_inner(stmt, catalog, true);
+        (shape, trace.expect("trace requested"))
+    }
+
+    fn extract_inner(
+        stmt: &Statement,
+        catalog: &Catalog,
+        traced: bool,
+    ) -> (QueryShape, Option<SelTrace>) {
         let mut b = ShapeBuilder::new(catalog);
+        if traced {
+            b.trace = Some(SelTrace::default());
+        }
         match stmt {
             Statement::Select(s) => {
                 b.walk_select(s, &Bindings::empty());
@@ -201,6 +278,8 @@ struct ShapeBuilder<'a> {
     order: HashMap<String, usize>,
     joins: Vec<JoinEdge>,
     subquery_count: usize,
+    /// When set, `accumulate_filter_sel` records each factor tree here.
+    trace: Option<SelTrace>,
 }
 
 impl<'a> ShapeBuilder<'a> {
@@ -211,6 +290,7 @@ impl<'a> ShapeBuilder<'a> {
             order: HashMap::new(),
             joins: Vec::new(),
             subquery_count: 0,
+            trace: None,
         }
     }
 
@@ -523,23 +603,42 @@ impl<'a> ShapeBuilder<'a> {
         };
         for t in touched {
             if let Some(table) = self.catalog.table(&t) {
-                let sel = sel_for_table(p, &t, table, self, bindings);
+                let sel = if self.trace.is_some() {
+                    // Traced extraction: build the factor tree first, then
+                    // evaluate it — SelTree::eval is sel_for_table's twin,
+                    // so the resulting filter_sel is bit-identical.
+                    let tree = sel_tree_for_table(p, &t, table, self, bindings);
+                    let sel = tree.eval(table);
+                    if let Some(trace) = &mut self.trace {
+                        trace.factors.push((t.clone(), tree));
+                    }
+                    sel
+                } else {
+                    sel_for_table(p, &t, table, self, bindings)
+                };
                 self.entry(&t).filter_sel *= sel;
             }
         }
     }
 
-    fn finish(mut self, write: Option<WriteShape>, limit: Option<u64>) -> QueryShape {
+    fn finish(
+        mut self,
+        write: Option<WriteShape>,
+        limit: Option<u64>,
+    ) -> (QueryShape, Option<SelTrace>) {
         for t in &mut self.tables {
             t.filter_sel = t.filter_sel.clamp(0.0, 1.0);
         }
-        QueryShape {
-            tables: self.tables,
-            joins: self.joins,
-            write,
-            subquery_count: self.subquery_count,
-            limit,
-        }
+        (
+            QueryShape {
+                tables: self.tables,
+                joins: self.joins,
+                write,
+                subquery_count: self.subquery_count,
+                limit,
+            },
+            self.trace,
+        )
     }
 }
 
@@ -633,6 +732,52 @@ fn sel_for_table(
                     atom_selectivity(&normalise_atom(a, &col), table_def)
                 }
                 _ => 1.0,
+            }
+        }
+    }
+}
+
+/// Structural twin of [`sel_for_table`]: builds the [`SelTree`] whose
+/// [`SelTree::eval`] performs exactly the computation `sel_for_table`
+/// would, with the resolved atoms preserved at the leaves.
+// `table_def` is unused at the leaves (eval resolves it later) but the
+// signature must stay parallel to `sel_for_table` for the twin review.
+#[allow(clippy::only_used_in_recursion)]
+fn sel_tree_for_table(
+    p: &Predicate,
+    table: &str,
+    table_def: &Table,
+    b: &ShapeBuilder<'_>,
+    bindings: &Bindings,
+) -> SelTree {
+    match p {
+        Predicate::And(ps) => SelTree::And(
+            ps.iter()
+                .map(|c| sel_tree_for_table(c, table, table_def, b, bindings))
+                .collect(),
+        ),
+        Predicate::Or(ps) => SelTree::Or(
+            ps.iter()
+                .map(|c| sel_tree_for_table(c, table, table_def, b, bindings))
+                .collect(),
+        ),
+        Predicate::Not(inner) => SelTree::Not(Box::new(sel_tree_for_table(
+            inner, table, table_def, b, bindings,
+        ))),
+        atom => {
+            let atoms = collect_atoms(atom);
+            let Some(a) = atoms.first() else {
+                return SelTree::One;
+            };
+            if a.join_edge().is_some() {
+                return SelTree::One;
+            }
+            let Some(colref) = a.restricted_column() else {
+                return SelTree::One;
+            };
+            match b.resolve(colref, bindings) {
+                Some((t, col)) if t == table => SelTree::Atom(normalise_atom(a, &col)),
+                _ => SelTree::One,
             }
         }
     }
@@ -852,6 +997,52 @@ mod tests {
             .unwrap()
             .referenced_columns
             .contains(&"person_id".to_string()));
+    }
+
+    #[test]
+    fn traced_extraction_is_bit_identical_to_untraced() {
+        for sql in [
+            "SELECT name FROM person WHERE temperature > 38 AND community = 'x'",
+            "SELECT * FROM person WHERE temperature > 38 OR community = 'x'",
+            "SELECT * FROM person p, visit v WHERE p.id = v.person_id AND v.site = 3",
+            "SELECT * FROM person WHERE community = 'x' AND id IN \
+             (SELECT person_id FROM visit WHERE site = 5)",
+            "SELECT * FROM person WHERE NOT (temperature > 38 AND community = 'x') \
+             AND id BETWEEN 5 AND 50",
+            "UPDATE person SET temperature = 37.0 WHERE name = 'bo' AND community = 'x'",
+            "DELETE FROM visit WHERE site = 9",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let c = catalog();
+            let plain = QueryShape::extract(&stmt, &c);
+            let (traced, trace) = QueryShape::extract_traced(&stmt, &c);
+            assert_eq!(plain, traced, "shape drift on {sql}");
+            for (t, p) in plain.tables.iter().zip(traced.tables.iter()) {
+                assert_eq!(
+                    t.filter_sel.to_bits(),
+                    p.filter_sel.to_bits(),
+                    "filter_sel bits drift on {sql}"
+                );
+            }
+            // Re-evaluating the trace reproduces filter_sel exactly.
+            for table in &plain.tables {
+                let Some(def) = c.table(&table.table) else {
+                    continue;
+                };
+                let mut sel = 1.0;
+                for (t, tree) in &trace.factors {
+                    if t == &table.table {
+                        sel *= tree.eval(def);
+                    }
+                }
+                assert_eq!(
+                    sel.clamp(0.0, 1.0).to_bits(),
+                    table.filter_sel.to_bits(),
+                    "trace replay drift on {sql} / {}",
+                    table.table
+                );
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,7 @@
 //! ```
 
 pub mod bench;
+pub mod hash;
 pub mod json;
 pub mod obs;
 pub mod prop;

@@ -272,9 +272,103 @@ impl Drop for ScopedTimer {
     }
 }
 
+/// Number of cells in a [`ShardedCounter`]. Sixteen covers every worker
+/// sweep the benches run; workers beyond that wrap around (still correct,
+/// just sharing cells again).
+pub const SHARD_CELLS: usize = 16;
+
+/// One cache line per cell so concurrent writers never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// A counter sharded across cache-line-padded per-worker cells.
+///
+/// A plain [`Counter`] is lock-free but still *contended*: every worker's
+/// `fetch_add` bounces the same cache line between cores. A
+/// `ShardedCounter` gives each worker its own padded cell
+/// ([`ShardedCounter::cell`]) so hot-path increments are core-local;
+/// [`ShardedCounter::sum`] folds the cells on the (cold) snapshot path.
+///
+/// Totals are exact; only the per-cell breakdown depends on worker
+/// numbering.
+#[derive(Debug, Clone)]
+pub struct ShardedCounter(Arc<[PaddedCell; SHARD_CELLS]>);
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        ShardedCounter(Arc::new(std::array::from_fn(|_| PaddedCell::default())))
+    }
+}
+
+impl ShardedCounter {
+    /// A fresh sharded counter with all cells zero.
+    pub fn new() -> Self {
+        ShardedCounter::default()
+    }
+
+    /// The hot-path handle for `worker` (wraps modulo [`SHARD_CELLS`]).
+    pub fn cell(&self, worker: usize) -> ShardCell {
+        ShardCell {
+            counter: self.clone(),
+            idx: worker % SHARD_CELLS,
+        }
+    }
+
+    /// Increment `worker`'s cell by one.
+    #[inline]
+    pub fn incr(&self, worker: usize) {
+        self.0[worker % SHARD_CELLS]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `worker`'s cell.
+    #[inline]
+    pub fn add(&self, worker: usize, n: u64) {
+        self.0[worker % SHARD_CELLS]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all cells (the snapshot-time read).
+    pub fn sum(&self) -> u64 {
+        self.0.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for c in self.0.iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A [`ShardedCounter`] handle pinned to one worker's cell: increments are
+/// a single relaxed `fetch_add` on a cache line no other worker writes.
+#[derive(Debug, Clone)]
+pub struct ShardCell {
+    counter: ShardedCounter,
+    idx: usize,
+}
+
+impl ShardCell {
+    /// Increment this cell by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.counter.0[self.idx].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to this cell.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.counter.0[self.idx].0.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
+    sharded: Mutex<BTreeMap<String, ShardedCounter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     timers: Mutex<BTreeMap<String, Timer>>,
 }
@@ -312,6 +406,17 @@ impl MetricsRegistry {
         map.entry(name.to_string()).or_default().clone()
     }
 
+    /// Intern (or look up) the sharded counter `name`.
+    ///
+    /// Sharded and plain counters share one namespace in every read-side
+    /// view ([`Self::counter_value`], [`Self::counters_with_prefix`],
+    /// [`Self::snapshot`]): a name registered both ways reports the *sum*
+    /// of both cells. Prefer distinct names.
+    pub fn sharded_counter(&self, name: &str) -> ShardedCounter {
+        let mut map = self.inner.sharded.lock().expect("metrics lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
     /// Intern (or look up) the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut map = self.inner.gauges.lock().expect("metrics lock");
@@ -332,13 +437,23 @@ impl MetricsRegistry {
     /// Current value of counter `name` (0 if never interned). Handy in
     /// tests and smoke checks.
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.inner
+        let plain = self
+            .inner
             .counters
             .lock()
             .expect("metrics lock")
             .get(name)
             .map(Counter::get)
-            .unwrap_or(0)
+            .unwrap_or(0);
+        let sharded = self
+            .inner
+            .sharded
+            .lock()
+            .expect("metrics lock")
+            .get(name)
+            .map(ShardedCounter::sum)
+            .unwrap_or(0);
+        plain + sharded
     }
 
     /// Current value of gauge `name` (0.0 if never interned).
@@ -354,16 +469,33 @@ impl MetricsRegistry {
 
     /// All counters whose name starts with `prefix`, sorted by name.
     /// Lets callers lift a whole namespace (`"guard."`, `"db.fault."`)
-    /// into a report without enumerating every metric by hand.
+    /// into a report without enumerating every metric by hand. Plain and
+    /// sharded counters are merged into one deterministically sorted view.
     pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
-        self.inner
+        let merged = self.merged_counters(prefix);
+        merged.into_iter().collect()
+    }
+
+    /// Plain + sharded counters with `prefix`, merged (summing name
+    /// collisions) into one sorted map. The single source of truth for
+    /// every read-side counter view, so snapshots and prefix scans agree
+    /// and diff cleanly regardless of which flavour recorded the value.
+    fn merged_counters(&self, prefix: &str) -> BTreeMap<String, u64> {
+        let mut merged: BTreeMap<String, u64> = self
+            .inner
             .counters
             .lock()
             .expect("metrics lock")
             .iter()
             .filter(|(name, _)| name.starts_with(prefix))
             .map(|(name, c)| (name.clone(), c.get()))
-            .collect()
+            .collect();
+        for (name, s) in self.inner.sharded.lock().expect("metrics lock").iter() {
+            if name.starts_with(prefix) {
+                *merged.entry(name.clone()).or_insert(0) += s.sum();
+            }
+        }
+        merged
     }
 
     /// Zero every counter, gauge and timer **in place**: handles cached by
@@ -371,6 +503,9 @@ impl MetricsRegistry {
     pub fn reset(&self) {
         for c in self.inner.counters.lock().expect("metrics lock").values() {
             c.reset();
+        }
+        for s in self.inner.sharded.lock().expect("metrics lock").values() {
+            s.reset();
         }
         for g in self.inner.gauges.lock().expect("metrics lock").values() {
             g.reset();
@@ -395,12 +530,9 @@ impl MetricsRegistry {
     /// byte-identically through [`Json`]'s writer.
     pub fn snapshot(&self) -> Json {
         let counters: BTreeMap<String, Json> = self
-            .inner
-            .counters
-            .lock()
-            .expect("metrics lock")
-            .iter()
-            .map(|(k, v)| (k.clone(), Json::from(v.get())))
+            .merged_counters("")
+            .into_iter()
+            .map(|(k, v)| (k, Json::from(v)))
             .collect();
         let gauges: BTreeMap<String, Json> = self
             .inner
@@ -585,5 +717,64 @@ mod tests {
         let b = MetricsRegistry::global();
         a.counter("obs.selftest.global").incr();
         assert!(b.counter_value("obs.selftest.global") >= 1);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_cells() {
+        let m = MetricsRegistry::new();
+        let c = m.sharded_counter("obs.sharded.test");
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let cell = c.cell(w);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        cell.incr();
+                    }
+                    cell.add(5);
+                });
+            }
+        });
+        assert_eq!(c.sum(), 4 * 1005);
+        assert_eq!(m.counter_value("obs.sharded.test"), 4 * 1005);
+        // Interning again attaches to the same cells.
+        assert_eq!(m.sharded_counter("obs.sharded.test").sum(), 4 * 1005);
+        // Workers beyond SHARD_CELLS wrap around but totals stay exact.
+        c.incr(SHARD_CELLS + 1);
+        assert_eq!(c.sum(), 4 * 1005 + 1);
+    }
+
+    #[test]
+    fn sharded_counters_merge_into_deterministic_views() {
+        let m = MetricsRegistry::new();
+        m.counter("ns.plain").add(3);
+        m.sharded_counter("ns.sharded").cell(0).add(7);
+        m.sharded_counter("ns.sharded").cell(9).add(2);
+        // Same name in both flavours reports the sum.
+        m.counter("ns.both").add(1);
+        m.sharded_counter("ns.both").add(0, 10);
+
+        assert_eq!(
+            m.counters_with_prefix("ns."),
+            vec![
+                ("ns.both".to_string(), 11),
+                ("ns.plain".to_string(), 3),
+                ("ns.sharded".to_string(), 9),
+            ]
+        );
+        assert_eq!(m.counter_value("ns.both"), 11);
+
+        let snap = m.snapshot();
+        let counters = snap.get("counters").unwrap();
+        assert_eq!(counters.get("ns.sharded").and_then(Json::as_u64), Some(9));
+        assert_eq!(counters.get("ns.both").and_then(Json::as_u64), Some(11));
+        // Byte-identical serialization regardless of which flavour recorded.
+        assert_eq!(snap.to_string(), m.snapshot().to_string());
+
+        m.reset();
+        assert_eq!(m.counter_value("ns.sharded"), 0);
+        assert_eq!(m.counter_value("ns.both"), 0);
+        // Handles cached before reset stay attached to the same cells.
+        m.sharded_counter("ns.sharded").cell(3).incr();
+        assert_eq!(m.counter_value("ns.sharded"), 1);
     }
 }

@@ -1,36 +1,55 @@
 #!/usr/bin/env sh
-# Serving-throughput regression check for autoindex-rs (PR 5).
+# Serving-throughput regression check for autoindex-rs (PR 5 + PR 6).
 #
-# Compares the freshly written BENCH_PR5.json against the committed
-# baseline scripts/bench_baseline_pr5.json, row by row (one row per
-# worker count in the sweep). Only *simulated-domain* numbers are
+# Stage 1 (PR 5): compares the freshly written BENCH_PR5.json against the
+# committed baseline scripts/bench_baseline_pr5.json, row by row (one row
+# per worker count in the sweep). Only *simulated-domain* numbers are
 # compared — simulated_qps and speedup_vs_1 — never wall_ms, so the check
 # is host independent: the simulation is deterministic and any drift
 # means the pipeline's behaviour changed, not the machine.
+#
+# Stage 2 (PR 6): checks BENCH_PR6.json against
+# scripts/bench_baseline_pr6.json. Its execution rows live in the same
+# simulated domain and get the same tolerance-band comparison (the fast
+# path must not change what executes — see docs/PERFORMANCE.md), and the
+# measured front-end speedup (wall-clock qps of scan+bind vs
+# parse+extract, a ratio of two rates on the same host and therefore host
+# independent) must clear a hard floor.
 #
 # Knobs (environment):
 #   BENCH_TOLERANCE_PCT   allowed relative drift per compared value,
 #                         percent (default 5; the sweep is deterministic,
 #                         so real drift should be ~0 — the band only
 #                         absorbs float formatting)
-#   BENCH_CURRENT         path to the fresh results
+#   BENCH_CURRENT         path to the fresh PR 5 results
 #                         (default BENCH_PR5.json at the repo root)
-#   BENCH_BASELINE        path to the committed baseline
+#   BENCH_BASELINE        path to the committed PR 5 baseline
 #                         (default scripts/bench_baseline_pr5.json)
+#   BENCH_CURRENT_PR6     path to the fresh PR 6 results
+#                         (default BENCH_PR6.json at the repo root)
+#   BENCH_BASELINE_PR6    path to the committed PR 6 baseline
+#                         (default scripts/bench_baseline_pr6.json)
+#   FRONTEND_SPEEDUP_FLOOR  minimum fastpath-on/off front-end qps ratio
+#                         (default 10)
 #
-# Exit status: 0 when every row is inside the band, 1 otherwise. CI runs
-# this as a separate, non-blocking job (continue-on-error) so a perf
-# regression is *reported* on every push without blocking the merge —
-# refresh the baseline deliberately when a change is intentional:
+# Exit status: 0 when every row is inside the band and the front-end floor
+# holds, 1 otherwise. CI runs this as a separate, non-blocking job
+# (continue-on-error) so a perf regression is *reported* on every push
+# without blocking the merge — refresh the baselines deliberately when a
+# change is intentional:
 #
 #   cargo bench --offline -p autoindex-bench --bench throughput
 #   cp BENCH_PR5.json scripts/bench_baseline_pr5.json
+#   cp BENCH_PR6.json scripts/bench_baseline_pr6.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
 CURRENT="${BENCH_CURRENT:-BENCH_PR5.json}"
 BASELINE="${BENCH_BASELINE:-scripts/bench_baseline_pr5.json}"
+CURRENT6="${BENCH_CURRENT_PR6:-BENCH_PR6.json}"
+BASELINE6="${BENCH_BASELINE_PR6:-scripts/bench_baseline_pr6.json}"
+FLOOR="${FRONTEND_SPEEDUP_FLOOR:-10}"
 TOL="${BENCH_TOLERANCE_PCT:-5}"
 
 if [ ! -f "$CURRENT" ]; then
@@ -39,6 +58,14 @@ if [ ! -f "$CURRENT" ]; then
 fi
 if [ ! -f "$BASELINE" ]; then
     echo "ERROR: baseline $BASELINE not found" >&2
+    exit 1
+fi
+if [ ! -f "$CURRENT6" ]; then
+    echo "ERROR: $CURRENT6 not found — run: cargo bench --offline -p autoindex-bench --bench throughput" >&2
+    exit 1
+fi
+if [ ! -f "$BASELINE6" ]; then
+    echo "ERROR: baseline $BASELINE6 not found" >&2
     exit 1
 fi
 
@@ -55,40 +82,82 @@ extract() {
     ' "$1"
 }
 
-extract "$CURRENT" >/tmp/bench_current.$$
-extract "$BASELINE" >/tmp/bench_baseline.$$
+# Pull one scalar "key": value out of a pretty-printed JSON file.
+scalar() {
+    awk -v key="\"$2\":" '$1 == key { gsub(/[",]/, ""); print $2; exit }' "$1"
+}
+
 trap 'rm -f /tmp/bench_current.$$ /tmp/bench_baseline.$$' EXIT
 
+# Row-by-row simulated-domain comparison of one results file against one
+# baseline. Appends to the global FAILED flag.
+compare_rows() {
+    CUR="$1"
+    BASE="$2"
+    extract "$CUR" >/tmp/bench_current.$$
+    extract "$BASE" >/tmp/bench_baseline.$$
+    echo "workers      qps(base)      qps(now)    drift%   speedup(now)  deterministic"
+    while read -r W BQ BS BD; do
+        LINE=$(grep "^$W " /tmp/bench_current.$$ || true)
+        if [ -z "$LINE" ]; then
+            echo "  $W: MISSING from $CUR"
+            FAILED=1
+            continue
+        fi
+        CQ=$(printf '%s' "$LINE" | awk '{print $2}')
+        CS=$(printf '%s' "$LINE" | awk '{print $3}')
+        CD=$(printf '%s' "$LINE" | awk '{print $4}')
+        OK=$(awk -v a="$BQ" -v b="$CQ" -v t="$TOL" 'BEGIN {
+            d = (a > 0) ? (b - a) / a * 100 : 0;
+            printf "%.2f %d", d, (d <= t && d >= -t) ? 1 : 0
+        }')
+        DRIFT=${OK% *}
+        PASS=${OK#* }
+        STATUS="ok"
+        if [ "$PASS" != "1" ]; then STATUS="DRIFT"; FAILED=1; fi
+        if [ "$CD" != "true" ]; then STATUS="NONDET"; FAILED=1; fi
+        printf '%7s %13s %13s %9s %14s %14s  %s\n' \
+            "$W" "$BQ" "$CQ" "$DRIFT" "$CS" "$CD" "$STATUS"
+        : "$BS" "$BD"
+    done </tmp/bench_baseline.$$
+}
+
 FAILED=0
-echo "bench check: tolerance ±${TOL}% (simulated domain; wall-clock ignored)"
-echo "workers      qps(base)      qps(now)    drift%   speedup(now)  deterministic"
-while read -r W BQ BS BD; do
-    LINE=$(grep "^$W " /tmp/bench_current.$$ || true)
-    if [ -z "$LINE" ]; then
-        echo "  $W: MISSING from $CURRENT"
-        FAILED=1
-        continue
-    fi
-    CQ=$(printf '%s' "$LINE" | awk '{print $2}')
-    CS=$(printf '%s' "$LINE" | awk '{print $3}')
-    CD=$(printf '%s' "$LINE" | awk '{print $4}')
-    OK=$(awk -v a="$BQ" -v b="$CQ" -v t="$TOL" 'BEGIN {
-        d = (a > 0) ? (b - a) / a * 100 : 0;
-        printf "%.2f %d", d, (d <= t && d >= -t) ? 1 : 0
-    }')
-    DRIFT=${OK% *}
-    PASS=${OK#* }
-    STATUS="ok"
-    if [ "$PASS" != "1" ]; then STATUS="DRIFT"; FAILED=1; fi
-    if [ "$CD" != "true" ]; then STATUS="NONDET"; FAILED=1; fi
-    printf '%7s %13s %13s %9s %14s %14s  %s\n' \
-        "$W" "$BQ" "$CQ" "$DRIFT" "$CS" "$CD" "$STATUS"
-    : "$BS" "$BD"
-done </tmp/bench_baseline.$$
+echo "bench check [PR5 $CURRENT]: tolerance ±${TOL}% (simulated domain; wall-clock ignored)"
+compare_rows "$CURRENT" "$BASELINE"
+
+echo "bench check [PR6 $CURRENT6]: execution rows, tolerance ±${TOL}%"
+compare_rows "$CURRENT6" "$BASELINE6"
+
+# PR 6 front end: serve-level fast-path engagement plus the wall-clock
+# speedup floor. Both current values come from BENCH_PR6.json; the
+# committed baseline documents the reference run.
+FP_HITS=$(scalar "$CURRENT6" "hits")
+OFF_IDENT=$(scalar "$CURRENT6" "off_transcript_identical")
+SPEEDUP=$(scalar "$CURRENT6" "frontend_speedup")
+if [ -z "$FP_HITS" ] || [ "$FP_HITS" -le 0 ] 2>/dev/null; then
+    echo "  frontend: serve fastpath hits = ${FP_HITS:-missing}  FAIL (must be > 0)"
+    FAILED=1
+else
+    echo "  frontend: serve fastpath hits = $FP_HITS  ok"
+fi
+if [ "$OFF_IDENT" != "true" ]; then
+    echo "  frontend: fastpath-off transcript identical = ${OFF_IDENT:-missing}  FAIL"
+    FAILED=1
+else
+    echo "  frontend: fastpath-off transcript identical = true  ok"
+fi
+if [ -z "$SPEEDUP" ] || ! awk -v s="$SPEEDUP" -v f="$FLOOR" 'BEGIN { exit !(s + 0 >= f + 0) }'; then
+    echo "  frontend: speedup = ${SPEEDUP:-missing}x  FAIL (floor ${FLOOR}x)"
+    FAILED=1
+else
+    echo "  frontend: speedup = ${SPEEDUP}x (floor ${FLOOR}x)  ok"
+fi
 
 if [ "$FAILED" -ne 0 ]; then
-    echo "BENCH CHECK FAILED: throughput drifted outside ±${TOL}% (or determinism broke)." >&2
-    echo "If intentional: cp $CURRENT $BASELINE" >&2
+    echo "BENCH CHECK FAILED: throughput drifted outside ±${TOL}%, determinism broke," >&2
+    echo "or the front-end fast path regressed below ${FLOOR}x." >&2
+    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6" >&2
     exit 1
 fi
-echo "BENCH CHECK OK: all worker counts within ±${TOL}% of baseline."
+echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x."

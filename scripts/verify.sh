@@ -45,6 +45,24 @@ if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.determinism' | grep -q 'ok'; t
     exit 1
 fi
 
+echo "==> fast-path smoke-check (compiled-template fast path must engage on the banking stream)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.fastpath\.hits' | grep -q 'ok'; then
+    echo "ERROR: template fast-path hit count is zero (or not worker-count invariant)" >&2
+    exit 1
+fi
+
+echo "==> docs link audit (every docs/*.md must be reachable from README.md)"
+DOCS_MISSING=0
+for f in docs/*.md; do
+    if ! grep -q "$f" README.md; then
+        echo "ERROR: $f is not linked from README.md" >&2
+        DOCS_MISSING=1
+    fi
+done
+if [ "$DOCS_MISSING" -ne 0 ]; then
+    exit 1
+fi
+
 echo "==> external dependency check (cargo tree must be all autoindex-*)"
 EXTERNAL=$(cargo tree --offline --workspace --prefix none -e normal,dev,build \
     | awk '{print $1}' | grep -v '^autoindex' | sort -u || true)
