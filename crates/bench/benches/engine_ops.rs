@@ -1,0 +1,168 @@
+//! Paged-engine micro-benchmark (PR 7). Writes `BENCH_PR7.json` at the
+//! repo root.
+//!
+//! Three measurements over the storage engine tier
+//! (`autoindex_storage::engine` — pager + WAL + disk-paged B+Tree):
+//!
+//! 1. **Offline build** — `build_offline` over `ROWS` synthetic rows,
+//!    chunked group-commit epochs. Reports wall-clock insert ops/s
+//!    (ungated — host dependent) and the *deterministic* build facts:
+//!    entry count, live pages, split count, WAL commit count and the
+//!    content digest of the finished tree. Those are gated byte-exactly
+//!    by `scripts/check_bench.sh` against
+//!    `scripts/bench_baseline_pr7.json` — the engine is deterministic, so
+//!    any drift is a behaviour change, not noise.
+//! 2. **Leaf-chain scan** — repeated full `entries()` scans of the built
+//!    tree; wall-clock entries/s (ungated).
+//! 3. **Online + crash equivalence** — a second engine builds the same
+//!    index online while concurrent inserts land in the side-log, crashes
+//!    mid-build, recovers, resumes and finishes. The finished tree's
+//!    digest must be bit-equal to the offline build on the final data,
+//!    and a post-checkpoint crash must recover the same digest
+//!    (`online_equals_offline` / `recovery_ok`, both gated).
+
+use autoindex_storage::{Engine, EngineConfig};
+use autoindex_support::json::{obj, Json};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: u64 = 20_000;
+const ONLINE_BASE: u64 = 15_000;
+const KEY: &str = "t(a)";
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::default()).expect("fresh engine")
+}
+
+fn main() {
+    // --- 1. offline build ------------------------------------------------
+    let mut offline = engine();
+    let t = Instant::now();
+    offline
+        .build_offline(KEY, "t", ROWS, None)
+        .expect("offline build");
+    let build_secs = t.elapsed().as_secs_f64();
+    let insert_ops_per_s = ROWS as f64 / build_secs;
+
+    let digest = offline.content_digest(KEY).expect("digest");
+    let (indexes, pages, entries) = offline.check_integrity().expect("integrity");
+    assert_eq!(indexes, 1);
+    assert_eq!(entries, ROWS, "offline build must index every row");
+    let splits = offline.tree_ops().splits;
+    let wal_commits = offline.wal_stats().commits;
+    assert!(splits > 0, "20k rows at fanout 64 must split");
+
+    // --- 2. leaf-chain scan ----------------------------------------------
+    const SCAN_REPS: usize = 20;
+    let t = Instant::now();
+    for _ in 0..SCAN_REPS {
+        black_box(offline.entries(KEY).expect("scan"));
+    }
+    let scan_ops_per_s = (ROWS as usize * SCAN_REPS) as f64 / t.elapsed().as_secs_f64();
+
+    // --- 3. online build + crash, vs offline -----------------------------
+    let mut online = engine();
+    online
+        .start_build(KEY, "t", ONLINE_BASE, None)
+        .expect("start online build");
+    // Interleave base-scan epochs with concurrent inserts (side-log),
+    // crashing once mid-build; recovery must resume both.
+    let mut appended = ONLINE_BASE;
+    let mut steps = 0u64;
+    loop {
+        let n = online.build_step(KEY, 512, None).expect("build step");
+        if n == 0 {
+            break;
+        }
+        steps += 1;
+        if appended < ROWS {
+            let chunk = 500.min(ROWS - appended);
+            online
+                .apply_insert("t", appended, chunk, None)
+                .expect("concurrent insert");
+            appended += chunk;
+        }
+        if steps == ONLINE_BASE / 512 / 2 {
+            online.crash().expect("crash + recover mid-build");
+        }
+    }
+    while appended < ROWS {
+        let chunk = 500.min(ROWS - appended);
+        online
+            .apply_insert("t", appended, chunk, None)
+            .expect("tail insert");
+        appended += chunk;
+    }
+    online.finish_build(KEY, None).expect("finish online build");
+    let online_digest = online.content_digest(KEY).expect("online digest");
+    let online_equals_offline = online_digest == digest;
+    assert!(
+        online_equals_offline,
+        "online+crash build diverged from offline: {online_digest:#x} vs {digest:#x}"
+    );
+
+    // Post-checkpoint crash: the data file alone must carry the index.
+    online.checkpoint(None).expect("checkpoint");
+    online.crash().expect("crash after checkpoint");
+    let recovery_ok = online.content_digest(KEY).expect("recovered digest") == digest;
+    assert!(recovery_ok, "post-checkpoint recovery lost data");
+    let recoveries = online.stats().recoveries;
+    let side_absorbed = online.stats().side_log_absorbed;
+
+    eprintln!(
+        "engine: built {ROWS} rows in {:.3}s ({:.0} inserts/s) | scan {:.0} entries/s",
+        build_secs, insert_ops_per_s, scan_ops_per_s
+    );
+    eprintln!(
+        "engine: pages {pages} | splits {splits} | wal commits {wal_commits} | digest {digest:#018x}"
+    );
+    eprintln!(
+        "engine: online==offline {online_equals_offline} | recovery_ok {recovery_ok} \
+         | recoveries {recoveries} | side-log absorbed {side_absorbed}"
+    );
+
+    let doc = obj([
+        ("bench", Json::from("engine_ops")),
+        (
+            "workload",
+            Json::from(format!(
+                "paged engine, {ROWS} synthetic rows, fanout 64, chunked group commits; \
+                 online build over {ONLINE_BASE} base rows with concurrent side-log inserts \
+                 and one crash/recover mid-build"
+            )),
+        ),
+        (
+            "metric",
+            Json::from(
+                "engine.* fields are deterministic and gated byte-exactly by \
+                 scripts/check_bench.sh; wallclock.* rates are host dependent and reported \
+                 only (docs/ROBUSTNESS.md \"Durability\")",
+            ),
+        ),
+        (
+            "engine",
+            obj([
+                ("rows", Json::from(ROWS)),
+                ("entries", Json::from(entries)),
+                ("tree_pages", Json::from(pages)),
+                ("splits", Json::from(splits)),
+                ("wal_commits", Json::from(wal_commits)),
+                ("content_digest", Json::from(format!("{digest:#018x}"))),
+                ("online_equals_offline", Json::from(online_equals_offline)),
+                ("recovery_ok", Json::from(recovery_ok)),
+                ("side_log_absorbed", Json::from(side_absorbed)),
+            ]),
+        ),
+        (
+            "wallclock",
+            obj([
+                ("insert_ops_per_s", Json::from(insert_ops_per_s)),
+                ("scan_ops_per_s", Json::from(scan_ops_per_s)),
+                ("build_secs", Json::from(build_secs)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    std::fs::write(path, format!("{}\n", doc.pretty())).expect("write BENCH_PR7.json");
+    eprintln!("wrote {path}");
+}

@@ -114,7 +114,9 @@ pub struct ServeConfig {
     pub deterministic: bool,
     /// Seed of the shard-assignment stream.
     pub seed: u64,
-    /// Minimum epochs between two tuning rounds.
+    /// Quiet epochs required strictly between two tuning rounds: after a
+    /// round at epoch `t`, the next becomes eligible at `t + this + 1`.
+    /// See [`tuning_cooldown_over`] for the pinned comparison.
     pub tuning_cooldown_epochs: u64,
     /// Reset usage counters after each tuning round (fresh measurement
     /// window for the new configuration), like the online loop.
@@ -1086,10 +1088,7 @@ impl<E: CostEstimator> TunerState<E> {
     }
 
     fn cooldown_over(&self, epoch: u64, cooldown: u64) -> bool {
-        match self.last_tuned_epoch {
-            None => true,
-            Some(t) => epoch.saturating_sub(t) > cooldown,
-        }
+        tuning_cooldown_over(self.last_tuned_epoch, epoch, cooldown)
     }
 
     /// Run one tuning round through the session pipeline and render its
@@ -1369,6 +1368,26 @@ pub fn serve<E: CostEstimator + Send>(
     })
 }
 
+/// Whether the tuning cooldown has elapsed at `epoch`.
+///
+/// `cooldown` is [`ServeConfig::tuning_cooldown_epochs`]: the number of
+/// epoch boundaries that must pass *strictly between* two tuning rounds.
+/// A round at epoch `t` makes the next one eligible at `t + cooldown + 1`
+/// (the strict `>` is deliberate — `cooldown = 0` still forbids two
+/// rounds at the same epoch, and `cooldown = 1` leaves exactly one
+/// quiet epoch between rounds). Before the first round there is nothing
+/// to cool down from.
+///
+/// This comparison is pinned by a regression test: relaxing `>` to `>=`
+/// would shift every tuning round one epoch earlier and change serve
+/// transcripts, which are CI-checked byte-for-byte.
+pub fn tuning_cooldown_over(last_tuned: Option<u64>, epoch: u64, cooldown: u64) -> bool {
+    match last_tuned {
+        None => true,
+        Some(t) => epoch.saturating_sub(t) > cooldown,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1410,6 +1429,25 @@ mod tests {
         let c = ServeConfig::builder().workers(3).seed(7).build().unwrap();
         assert_eq!(c.workers, 3);
         assert_eq!(c.seed, 7);
+    }
+
+    // Regression (PR7 satellite): the guard-cooldown comparison is
+    // *strict* — `epoch - last > cooldown`, not `>=`. Relaxing it would
+    // fire every tuning round one epoch early and silently change every
+    // CI-pinned transcript, so the exact boundary is locked in here.
+    #[test]
+    fn tuning_cooldown_boundary_is_strict() {
+        // Never tuned: always eligible.
+        assert!(tuning_cooldown_over(None, 0, 0));
+        assert!(tuning_cooldown_over(None, 0, 100));
+        // cooldown = 0 still forbids a second round at the same epoch.
+        assert!(!tuning_cooldown_over(Some(5), 5, 0));
+        assert!(tuning_cooldown_over(Some(5), 6, 0));
+        // cooldown = 1 (the default): one quiet epoch between rounds.
+        assert!(!tuning_cooldown_over(Some(5), 6, 1));
+        assert!(tuning_cooldown_over(Some(5), 7, 1));
+        // No underflow when the clock looks backwards.
+        assert!(!tuning_cooldown_over(Some(9), 3, 1));
     }
 
     #[test]

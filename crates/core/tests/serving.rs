@@ -210,6 +210,53 @@ fn deterministic_serve_with_guard_is_worker_count_invariant() {
     assert_eq!(run(1), run(4), "guarded transcripts differ across workers");
 }
 
+/// Regression property (PR7 satellite): the **final partial epoch**. The
+/// tuner's epoch ranges end with `end.min(n)`; when the stream length is
+/// not a multiple of `epoch_interval`, the last epoch is short. That
+/// remainder epoch must carry exactly `n % interval` statements, every
+/// statement must be accounted, and the transcript must stay byte-equal
+/// between 1 and 4 workers — the barrier logic around a ragged tail is
+/// precisely where a worker-count-dependent off-by-one would hide.
+#[test]
+fn final_partial_epoch_is_exact_and_worker_count_invariant() {
+    property(
+        "serve.final_partial_epoch",
+        PropConfig::default().cases(6),
+        |rng, _size| {
+            let interval = rng.random_range(40u64..120);
+            // Force a non-empty remainder: n = k*interval + r, 0 < r < interval.
+            let full_epochs = rng.random_range(1u64..4);
+            let remainder = rng.random_range(1u64..interval);
+            let n = full_epochs * interval + remainder;
+            let queries = banking_queries(n as usize, rng.next_u64());
+
+            let run = |workers: usize| {
+                let cfg = ServeConfig::builder()
+                    .workers(workers)
+                    .epoch_interval(interval)
+                    .deterministic(true)
+                    .seed(13)
+                    .build()
+                    .unwrap();
+                serve(banking_db(), advisor(), &queries, cfg).unwrap()
+            };
+            let one = run(1);
+            let four = run(4);
+
+            prop_assert_eq!(one.report.epochs.len() as u64, full_epochs + 1);
+            let last = one.report.epochs.last().unwrap();
+            prop_assert_eq!(last.statements, remainder);
+            for e in &one.report.epochs[..full_epochs as usize] {
+                prop_assert_eq!(e.statements, interval);
+            }
+            let accounted: u64 = one.report.epochs.iter().map(|e| e.statements).sum();
+            prop_assert_eq!(accounted, n);
+            prop_assert_eq!(one.report.transcript(), four.report.transcript());
+            Ok(())
+        },
+    );
+}
+
 // ----------------------------------------------------- 3. crash safety
 
 #[test]

@@ -1,0 +1,1198 @@
+//! The paged storage engine: WAL-protected B+Trees with online
+//! incremental index build.
+//!
+//! This ties the lower modules together (see `docs/ARCHITECTURE.md`):
+//! a [`Pager`] for the data file, a [`Wal`] for durability, and
+//! [`crate::btree`] for the trees — one per physical index, keyed by the
+//! index's catalog key (e.g. `"accounts(owner_id)"`).
+//!
+//! # Transactions and the meta page
+//!
+//! Every public mutation follows the same shape: mutate pages in the
+//! cache, then [`commit`](Engine::commit) — which serializes the entire
+//! engine state (catalog roots, in-flight builds, freelist, page count,
+//! epoch) into **page 0**, appends every dirty page's after-image plus a
+//! `Commit` record to the WAL, and syncs. Because the catalog lives in a
+//! page that commits atomically with the data pages, index registration
+//! is atomic against the WAL by construction: recovery either sees the
+//! whole epoch (catalog *and* tree pages) or none of it.
+//!
+//! If a fault fires mid-commit ([`FaultPlan::roll_page_write`] /
+//! [`FaultPlan::roll_fsync`]), the public op returns
+//! [`StorageError::FaultInjected`] *after* aborting —
+//! a simulated crash + recovery back to the last committed epoch — so
+//! the engine is consistent on every return path.
+//!
+//! # Online incremental build
+//!
+//! [`start_build`](Engine::start_build) snapshots the table's row count
+//! and creates an empty tree; [`build_step`](Engine::build_step) scans a
+//! chunk of base rows into it (one group-commit epoch per chunk, so
+//! progress is durable and the build **resumes after a crash** from
+//! `next_row`); concurrent writes land in a WAL-protected **side-log**
+//! page chain instead of racing the scan; and
+//! [`finish_build`](Engine::finish_build) drains the side-log (inserts
+//! are idempotent on exact `(key,row)` duplicates, so overlap between
+//! scan and side-log is harmless) and moves the tree into the catalog —
+//! all in one commit. [`cancel_build`](Engine::cancel_build) frees the
+//! half-built tree and side-log at any point. The acceptance property —
+//! an index built online under concurrent writes is bit-equal to one
+//! built offline on the final data — is checked over the in-order
+//! [`entries`](Engine::entries) stream, since physical page layout
+//! legitimately differs with insertion order.
+//!
+//! # Keys
+//!
+//! The simulation has no materialized column values, so the indexed key
+//! of `(index, row)` is synthesized deterministically:
+//! `derive_seed(fnv(index_key) ^ seed, row)`, optionally folded into
+//! `key_space` to model duplicate-heavy columns. What matters is that it
+//! is a pure function of `(index, row)` — the online/offline and
+//! crash-recovery equalities are real equalities over real pages.
+
+use crate::btree::{self, BtreeConfig, Entry, TreeOps};
+use crate::fault::FaultKind;
+use crate::pager::{fnv1a, page_type, Pager, NO_PAGE, PAYLOAD_SIZE};
+use crate::wal::Wal;
+use crate::{FaultPlan, StorageError};
+use autoindex_support::obs::{Counter, MetricsRegistry};
+use autoindex_support::rng::derive_seed;
+use std::collections::BTreeMap;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Seed for synthetic key derivation.
+    pub seed: u64,
+    /// B+Tree fanout (see [`BtreeConfig::with_fanout`]); small by default
+    /// so splits and rebalances are exercised at test-sized row counts.
+    pub fanout: usize,
+    /// Rows per [`Engine::build_step`] chunk in
+    /// [`Engine::build_offline`] (one group-commit epoch each).
+    pub build_chunk: u64,
+    /// Auto-checkpoint after this many commits (0 = manual only).
+    pub checkpoint_every: u64,
+    /// Fold synthetic keys into `[0, key_space)` to model duplicate-heavy
+    /// indexed columns; 0 = full 64-bit key space (all keys distinct).
+    pub key_space: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0xE27_9A6E,
+            fanout: 64,
+            build_chunk: 256,
+            checkpoint_every: 8,
+            key_space: 0,
+        }
+    }
+}
+
+/// A registered physical index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeEntry {
+    /// Table the index belongs to.
+    pub table: String,
+    /// Root page of its B+Tree.
+    pub root: u32,
+}
+
+/// An in-flight online build (persisted in the meta page, so it survives
+/// — and resumes after — a crash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildState {
+    /// Table being indexed.
+    pub table: String,
+    /// Root of the tree under construction.
+    pub root: u32,
+    /// Next base row the scan will absorb.
+    pub next_row: u64,
+    /// Base row count snapshotted at [`Engine::start_build`].
+    pub total_rows: u64,
+    /// Head of the side-log page chain (concurrent writes).
+    side_head: u32,
+    /// Tail page of the side-log chain (append point).
+    side_tail: u32,
+    /// Entries in the side-log.
+    pub side_count: u64,
+}
+
+/// Cumulative engine counters (also exported as `storage.*` metrics).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// B+Tree entries inserted (catalog trees + builds + side-log drains).
+    pub inserts: u64,
+    /// B+Tree entries removed.
+    pub removes: u64,
+    /// Crash-recovery passes (including abort-driven ones).
+    pub recoveries: u64,
+    /// Faulted transactions rolled back via crash + recover.
+    pub aborts: u64,
+    /// Online builds started / finished / cancelled.
+    pub builds_started: u64,
+    /// See `builds_started`.
+    pub builds_finished: u64,
+    /// See `builds_started`.
+    pub builds_cancelled: u64,
+    /// Side-log entries drained into finished builds.
+    pub side_log_absorbed: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+struct MetricHandles {
+    wal_appends: Counter,
+    wal_commits: Counter,
+    wal_syncs: Counter,
+    wal_replayed: Counter,
+    wal_resets: Counter,
+    wal_checkpoints: Counter,
+    btree_inserts: Counter,
+    btree_removes: Counter,
+    btree_splits: Counter,
+    btree_merges: Counter,
+    btree_borrows: Counter,
+    btree_page_reads: Counter,
+    btree_page_writes: Counter,
+    engine_recoveries: Counter,
+    engine_aborts: Counter,
+    engine_builds_started: Counter,
+    engine_builds_finished: Counter,
+    engine_builds_cancelled: Counter,
+    engine_side_absorbed: Counter,
+}
+
+impl MetricHandles {
+    fn bind(m: &MetricsRegistry) -> Self {
+        MetricHandles {
+            wal_appends: m.counter("storage.wal.appends"),
+            wal_commits: m.counter("storage.wal.commits"),
+            wal_syncs: m.counter("storage.wal.syncs"),
+            wal_replayed: m.counter("storage.wal.replayed"),
+            wal_resets: m.counter("storage.wal.resets"),
+            wal_checkpoints: m.counter("storage.wal.checkpoints"),
+            btree_inserts: m.counter("storage.btree.inserts"),
+            btree_removes: m.counter("storage.btree.removes"),
+            btree_splits: m.counter("storage.btree.splits"),
+            btree_merges: m.counter("storage.btree.merges"),
+            btree_borrows: m.counter("storage.btree.borrows"),
+            btree_page_reads: m.counter("storage.btree.page_reads"),
+            btree_page_writes: m.counter("storage.btree.page_writes"),
+            engine_recoveries: m.counter("storage.engine.recoveries"),
+            engine_aborts: m.counter("storage.engine.aborts"),
+            engine_builds_started: m.counter("storage.engine.builds_started"),
+            engine_builds_finished: m.counter("storage.engine.builds_finished"),
+            engine_builds_cancelled: m.counter("storage.engine.builds_cancelled"),
+            engine_side_absorbed: m.counter("storage.engine.side_log_absorbed"),
+        }
+    }
+}
+
+/// Everything already published to the obs layer (so flushes add deltas).
+#[derive(Debug, Default, Clone, Copy)]
+struct Published {
+    wal_appends: u64,
+    wal_commits: u64,
+    wal_syncs: u64,
+    wal_replayed: u64,
+    wal_resets: u64,
+    inserts: u64,
+    removes: u64,
+    splits: u64,
+    merges: u64,
+    borrows: u64,
+    page_reads: u64,
+    page_writes: u64,
+    recoveries: u64,
+    aborts: u64,
+    builds_started: u64,
+    builds_finished: u64,
+    builds_cancelled: u64,
+    side_absorbed: u64,
+    checkpoints: u64,
+}
+
+const META_MAGIC: u64 = 0x4155_544f_4944_5831; // "AUTOIDX1"
+const SIDE_CAP: usize = (PAYLOAD_SIZE - 6) / 16;
+
+/// The paged storage engine. See the module docs.
+pub struct Engine {
+    cfg: EngineConfig,
+    btree_cfg: BtreeConfig,
+    pager: Pager,
+    wal: Wal,
+    catalog: BTreeMap<String, TreeEntry>,
+    builds: BTreeMap<String, BuildState>,
+    commit_epoch: u64,
+    commits_since_checkpoint: u64,
+    tree_ops: TreeOps,
+    stats: EngineStats,
+    metrics: Option<MetricHandles>,
+    published: Published,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("epoch", &self.commit_epoch)
+            .field("catalog", &self.catalog)
+            .field("builds", &self.builds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with an empty, durable catalog (epoch 1).
+    pub fn new(cfg: EngineConfig) -> Result<Self, StorageError> {
+        let mut e = Engine {
+            btree_cfg: BtreeConfig::with_fanout(cfg.fanout),
+            cfg,
+            pager: Pager::new(),
+            wal: Wal::new(),
+            catalog: BTreeMap::new(),
+            builds: BTreeMap::new(),
+            commit_epoch: 0,
+            commits_since_checkpoint: 0,
+            tree_ops: TreeOps::default(),
+            stats: EngineStats::default(),
+            metrics: None,
+            published: Published::default(),
+        };
+        let meta = e.pager.alloc(page_type::META)?;
+        debug_assert_eq!(meta, 0, "meta page must be page 0");
+        e.commit(None)?;
+        Ok(e)
+    }
+
+    /// Bind (or rebind) the obs layer; future flushes add deltas here.
+    pub fn set_metrics(&mut self, metrics: &MetricsRegistry) {
+        self.metrics = Some(MetricHandles::bind(metrics));
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Structural B+Tree churn so far.
+    pub fn tree_ops(&self) -> TreeOps {
+        self.tree_ops
+    }
+
+    /// WAL counters so far.
+    pub fn wal_stats(&self) -> crate::wal::WalStats {
+        self.wal.stats
+    }
+
+    /// Pager counters + allocation state `(page_count, free_head)`.
+    pub fn pager_stats(&self) -> (crate::pager::PagerStats, u32) {
+        (self.pager.stats, self.pager.page_count())
+    }
+
+    /// Last durable group-commit epoch.
+    pub fn commit_epoch(&self) -> u64 {
+        self.commit_epoch
+    }
+
+    /// Registered physical indexes, in key order.
+    pub fn catalog(&self) -> impl Iterator<Item = (&str, &TreeEntry)> {
+        self.catalog.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether `key` is a registered physical index.
+    pub fn has_index(&self, key: &str) -> bool {
+        self.catalog.contains_key(key)
+    }
+
+    /// In-flight build state for `key`, if any.
+    pub fn build_state(&self, key: &str) -> Option<&BuildState> {
+        self.builds.get(key)
+    }
+
+    /// The synthetic indexed key of `(index, row)`; a pure function of
+    /// its arguments (plus the engine seed), so online and offline builds
+    /// agree entry-for-entry.
+    pub fn entry_key(&self, index_key: &str, row: u64) -> u64 {
+        let h = derive_seed(fnv1a(index_key.as_bytes()) ^ self.cfg.seed, row);
+        if self.cfg.key_space > 0 {
+            h % self.cfg.key_space
+        } else {
+            h
+        }
+    }
+
+    // ------------------------------------------------------- commit / crash
+
+    /// Group-commit the current epoch: meta page + dirty after-images +
+    /// commit record, then sync. On an injected fault the transaction is
+    /// aborted (crash + recover to the last committed epoch) before the
+    /// error is returned.
+    pub fn commit(&mut self, faults: Option<&FaultPlan>) -> Result<(), StorageError> {
+        let epoch = self.commit_epoch + 1;
+        self.write_meta(epoch)?;
+        let images = self.pager.seal_dirty(epoch);
+        for (id, bytes) in images {
+            if faults.is_some_and(|f| f.roll_page_write()) {
+                // The torn half-record reaches disk (synced) so recovery
+                // really does hit — and stop at — a torn tail.
+                self.wal.append_torn_page_image(id, &bytes);
+                self.wal.sync();
+                self.abort()?;
+                return Err(StorageError::FaultInjected(FaultKind::TornPageWrite));
+            }
+            self.wal.append_page_image(id, &bytes);
+        }
+        self.wal.append_commit(epoch);
+        if faults.is_some_and(|f| f.roll_fsync()) {
+            self.abort()?;
+            return Err(StorageError::FaultInjected(FaultKind::FailedSync));
+        }
+        self.wal.sync();
+        self.commit_epoch = epoch;
+        self.commits_since_checkpoint += 1;
+        if self.cfg.checkpoint_every > 0
+            && self.commits_since_checkpoint >= self.cfg.checkpoint_every
+        {
+            // Best-effort: a faulted checkpoint aborts back to the epoch
+            // just committed (which is durable), never fails the commit.
+            let _ = self.checkpoint(faults);
+        }
+        self.flush_metrics();
+        Ok(())
+    }
+
+    /// Flush every cached page to the data file, sync it, truncate the
+    /// WAL. On an injected fault the engine aborts (the last committed
+    /// epoch — still fully in the WAL — survives) and returns the error.
+    pub fn checkpoint(&mut self, faults: Option<&FaultPlan>) -> Result<(), StorageError> {
+        if faults.is_some_and(|f| f.roll_page_write()) {
+            self.abort()?;
+            return Err(StorageError::FaultInjected(FaultKind::TornPageWrite));
+        }
+        self.pager.write_back();
+        if faults.is_some_and(|f| f.roll_fsync()) {
+            self.abort()?;
+            return Err(StorageError::FaultInjected(FaultKind::FailedSync));
+        }
+        self.pager.file_mut().sync();
+        self.wal.reset();
+        self.commits_since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+        self.flush_metrics();
+        Ok(())
+    }
+
+    /// Simulated crash + recovery: both files revert to their last synced
+    /// images, the cache drops, and recovery replays committed WAL epochs
+    /// and re-reads the meta page. All uncommitted work vanishes; all
+    /// committed work (including in-flight build progress) survives.
+    pub fn crash(&mut self) -> Result<(), StorageError> {
+        self.pager.file_mut().crash();
+        self.wal.crash();
+        self.recover()
+    }
+
+    /// Roll back the in-flight transaction by crashing to the last
+    /// committed epoch. Every faulted public op goes through here, so the
+    /// engine is consistent on every return path.
+    fn abort(&mut self) -> Result<(), StorageError> {
+        self.stats.aborts += 1;
+        self.crash()
+    }
+
+    fn recover(&mut self) -> Result<(), StorageError> {
+        self.pager.clear_cache();
+        let Engine { wal, pager, .. } = self;
+        wal.replay(|page, bytes| pager.install(page, bytes))?;
+        wal.repair();
+        self.read_meta()?;
+        self.stats.recoveries += 1;
+        self.flush_metrics();
+        Ok(())
+    }
+
+    // --------------------------------------------------------- row inserts
+
+    /// Route `rows` freshly appended rows of `table` (ids
+    /// `start_row .. start_row + rows`) into every registered index and
+    /// every in-flight build's side-log, as one group-commit epoch. An
+    /// injected fault is absorbed: the transaction aborts, then replays
+    /// fault-suppressed, so physical state never diverges from the
+    /// logical catalog (mirroring `SimDb::execute`'s retry contract).
+    pub fn apply_insert(
+        &mut self,
+        table: &str,
+        start_row: u64,
+        rows: u64,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        if rows == 0 {
+            return Ok(());
+        }
+        let attempt = |e: &mut Engine, f: Option<&FaultPlan>| -> Result<(), StorageError> {
+            e.insert_rows_uncommitted(table, start_row, rows)?;
+            e.commit(f)
+        };
+        match attempt(self, faults) {
+            Ok(()) => Ok(()),
+            Err(StorageError::FaultInjected(_)) => attempt(self, None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn insert_rows_uncommitted(
+        &mut self,
+        table: &str,
+        start_row: u64,
+        rows: u64,
+    ) -> Result<(), StorageError> {
+        let keys: Vec<String> = self
+            .catalog
+            .iter()
+            .filter(|(_, t)| t.table == table)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            for row in start_row..start_row + rows {
+                let e = (self.entry_key(&key, row), row);
+                let entry = self.catalog.get(&key).expect("listed above");
+                let root = btree::insert(
+                    &mut self.pager,
+                    &self.btree_cfg,
+                    entry.root,
+                    e,
+                    &mut self.tree_ops,
+                )?;
+                self.catalog.get_mut(&key).expect("listed above").root = root;
+                self.stats.inserts += 1;
+            }
+        }
+        let build_keys: Vec<String> = self
+            .builds
+            .iter()
+            .filter(|(_, b)| b.table == table)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in build_keys {
+            for row in start_row..start_row + rows {
+                let e = (self.entry_key(&key, row), row);
+                self.side_append(&key, e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a row from every registered index of `table` (one epoch).
+    /// Same fault-absorption contract as [`apply_insert`](Self::apply_insert).
+    pub fn apply_remove(
+        &mut self,
+        table: &str,
+        row: u64,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        let attempt = |e: &mut Engine, f: Option<&FaultPlan>| -> Result<(), StorageError> {
+            let keys: Vec<String> = e
+                .catalog
+                .iter()
+                .filter(|(_, t)| t.table == table)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in keys {
+                let entry = (e.entry_key(&key, row), row);
+                let root = e.catalog.get(&key).expect("listed above").root;
+                let (root, removed) =
+                    btree::remove(&mut e.pager, &e.btree_cfg, root, entry, &mut e.tree_ops)?;
+                e.catalog.get_mut(&key).expect("listed above").root = root;
+                e.stats.removes += removed as u64;
+            }
+            e.commit(f)
+        };
+        match attempt(self, faults) {
+            Ok(()) => Ok(()),
+            Err(StorageError::FaultInjected(_)) => attempt(self, None),
+            Err(e) => Err(e),
+        }
+    }
+
+    // -------------------------------------------------------- online build
+
+    /// Begin an online build of index `key` over the first `total_rows`
+    /// rows of `table`. Registers (and commits) the build state so it
+    /// survives a crash; rows appended after this point are absorbed via
+    /// the side-log.
+    pub fn start_build(
+        &mut self,
+        key: &str,
+        table: &str,
+        total_rows: u64,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        if self.catalog.contains_key(key) || self.builds.contains_key(key) {
+            return Err(StorageError::DuplicateIndex(key.to_string()));
+        }
+        let root = btree::create(&mut self.pager)?;
+        self.builds.insert(
+            key.to_string(),
+            BuildState {
+                table: table.to_string(),
+                root,
+                next_row: 0,
+                total_rows,
+                side_head: NO_PAGE,
+                side_tail: NO_PAGE,
+                side_count: 0,
+            },
+        );
+        self.stats.builds_started += 1;
+        match self.commit(faults) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // The abort inside commit already rolled the registration
+                // back (recovery re-read the pre-build meta page).
+                debug_assert!(!self.builds.contains_key(key));
+                Err(e)
+            }
+        }
+    }
+
+    /// Absorb up to `max_rows` base rows into the build for `key`, then
+    /// commit — one durable group-commit epoch of progress. Returns the
+    /// rows absorbed (0 once the base scan is complete). A faulted step
+    /// aborts back to the previous epoch and surfaces the error: the
+    /// caller may retry (resume) or [`cancel_build`](Self::cancel_build).
+    pub fn build_step(
+        &mut self,
+        key: &str,
+        max_rows: u64,
+        faults: Option<&FaultPlan>,
+    ) -> Result<u64, StorageError> {
+        let b = self
+            .builds
+            .get(key)
+            .ok_or_else(|| StorageError::Invalid(format!("no build in flight for {key}")))?;
+        let (mut root, next, total) = (b.root, b.next_row, b.total_rows);
+        let n = max_rows.min(total - next);
+        if n == 0 {
+            return Ok(0);
+        }
+        for row in next..next + n {
+            let e = (self.entry_key(key, row), row);
+            root = btree::insert(
+                &mut self.pager,
+                &self.btree_cfg,
+                root,
+                e,
+                &mut self.tree_ops,
+            )?;
+            self.stats.inserts += 1;
+        }
+        {
+            let b = self.builds.get_mut(key).expect("checked above");
+            b.root = root;
+            b.next_row = next + n;
+        }
+        self.commit(faults)?;
+        Ok(n)
+    }
+
+    /// Complete the build: drain the side-log into the tree (idempotent
+    /// inserts dedup any scan/side-log overlap), free the side-log pages,
+    /// and move the tree into the catalog — one atomic commit. Errors if
+    /// the base scan has not finished.
+    pub fn finish_build(
+        &mut self,
+        key: &str,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        let b = self
+            .builds
+            .get(key)
+            .ok_or_else(|| StorageError::Invalid(format!("no build in flight for {key}")))?;
+        if b.next_row < b.total_rows {
+            return Err(StorageError::Invalid(format!(
+                "build for {key} incomplete: {}/{} rows",
+                b.next_row, b.total_rows
+            )));
+        }
+        let (mut root, mut page) = (b.root, b.side_head);
+        let table = b.table.clone();
+        let mut absorbed = 0u64;
+        while page != NO_PAGE {
+            let (entries, next) = self.side_read(page)?;
+            for e in entries {
+                root = btree::insert(
+                    &mut self.pager,
+                    &self.btree_cfg,
+                    root,
+                    e,
+                    &mut self.tree_ops,
+                )?;
+                absorbed += 1;
+            }
+            self.pager.free(page)?;
+            page = next;
+        }
+        self.builds.remove(key);
+        self.catalog
+            .insert(key.to_string(), TreeEntry { table, root });
+        self.stats.inserts += absorbed;
+        self.stats.side_log_absorbed += absorbed;
+        self.stats.builds_finished += 1;
+        self.commit(faults)
+    }
+
+    /// Abandon the build: free the half-built tree and side-log pages and
+    /// forget the state, in one commit. Idempotent on a missing build.
+    pub fn cancel_build(
+        &mut self,
+        key: &str,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        let Some(b) = self.builds.remove(key) else {
+            return Ok(());
+        };
+        btree::free_tree(&mut self.pager, b.root)?;
+        let mut page = b.side_head;
+        while page != NO_PAGE {
+            let (_, next) = self.side_read(page)?;
+            self.pager.free(page)?;
+            page = next;
+        }
+        self.stats.builds_cancelled += 1;
+        self.commit(faults)
+    }
+
+    /// Offline build: start + chunked steps + finish, under one fault
+    /// plan. On an injected fault the half-built state is cancelled
+    /// (fault-suppressed) before the error is returned, so a failed build
+    /// leaves no trace — the guard's rollback contract.
+    pub fn build_offline(
+        &mut self,
+        key: &str,
+        table: &str,
+        total_rows: u64,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        let run = |e: &mut Engine| -> Result<(), StorageError> {
+            e.start_build(key, table, total_rows, faults)?;
+            loop {
+                let chunk = e.cfg.build_chunk.max(1);
+                if e.build_step(key, chunk, faults)? == 0 {
+                    break;
+                }
+            }
+            e.finish_build(key, faults)
+        };
+        match run(self) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.cancel_build(key, None)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop a registered index, freeing its tree (one commit).
+    pub fn drop_index(
+        &mut self,
+        key: &str,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), StorageError> {
+        let entry = self
+            .catalog
+            .remove(key)
+            .ok_or_else(|| StorageError::Invalid(format!("no physical index {key}")))?;
+        btree::free_tree(&mut self.pager, entry.root)?;
+        self.commit(faults)
+    }
+
+    // -------------------------------------------------------------- reads
+
+    /// All rows indexed under `key_value` in index `key`.
+    pub fn lookup(&mut self, key: &str, key_value: u64) -> Result<Vec<u64>, StorageError> {
+        let root = self.require_root(key)?;
+        btree::lookup(&mut self.pager, root, key_value)
+    }
+
+    /// All `(key, row)` entries of index `key` with `lo <= key <= hi`.
+    pub fn range(&mut self, key: &str, lo: u64, hi: u64) -> Result<Vec<Entry>, StorageError> {
+        let root = self.require_root(key)?;
+        btree::range(&mut self.pager, root, lo, hi)
+    }
+
+    /// The full in-order entry stream of index `key` — the bit-equality
+    /// surface for online-vs-offline and crash-recovery checks.
+    pub fn entries(&mut self, key: &str) -> Result<Vec<Entry>, StorageError> {
+        let root = self.require_root(key)?;
+        btree::entries(&mut self.pager, root)
+    }
+
+    /// FNV digest of the in-order entry stream of index `key`.
+    pub fn content_digest(&mut self, key: &str) -> Result<u64, StorageError> {
+        let mut bytes = Vec::new();
+        for (k, r) in self.entries(key)? {
+            bytes.extend_from_slice(&k.to_le_bytes());
+            bytes.extend_from_slice(&r.to_le_bytes());
+        }
+        Ok(fnv1a(&bytes))
+    }
+
+    /// Walk every registered tree verifying structure (sortedness,
+    /// uniform depth, occupancy, leaf chain); returns
+    /// `(indexes, total pages, total entries)`.
+    pub fn check_integrity(&mut self) -> Result<(usize, u64, u64), StorageError> {
+        let roots: Vec<u32> = self.catalog.values().map(|t| t.root).collect();
+        let (mut pages, mut entries) = (0u64, 0u64);
+        for root in &roots {
+            let c = btree::check(&mut self.pager, &self.btree_cfg, *root)?;
+            pages += c.pages;
+            entries += c.entries;
+        }
+        Ok((roots.len(), pages, entries))
+    }
+
+    fn require_root(&self, key: &str) -> Result<u32, StorageError> {
+        self.catalog
+            .get(key)
+            .map(|t| t.root)
+            .ok_or_else(|| StorageError::Invalid(format!("no physical index {key}")))
+    }
+
+    // ----------------------------------------------------------- side-log
+
+    fn side_append(&mut self, key: &str, entry: Entry) -> Result<(), StorageError> {
+        let b = self.builds.get(key).expect("caller checked").clone();
+        let tail = if b.side_tail == NO_PAGE {
+            let page = self.pager.alloc(page_type::SIDELOG)?;
+            let p = self.pager.payload_mut(page)?;
+            p[0..2].copy_from_slice(&0u16.to_le_bytes());
+            p[2..6].copy_from_slice(&NO_PAGE.to_le_bytes());
+            let b = self.builds.get_mut(key).expect("caller checked");
+            b.side_head = page;
+            b.side_tail = page;
+            page
+        } else {
+            let count = {
+                let p = self.pager.payload(b.side_tail)?;
+                u16::from_le_bytes([p[0], p[1]]) as usize
+            };
+            if count < SIDE_CAP {
+                b.side_tail
+            } else {
+                let page = self.pager.alloc(page_type::SIDELOG)?;
+                {
+                    let p = self.pager.payload_mut(page)?;
+                    p[0..2].copy_from_slice(&0u16.to_le_bytes());
+                    p[2..6].copy_from_slice(&NO_PAGE.to_le_bytes());
+                }
+                let p = self.pager.payload_mut(b.side_tail)?;
+                p[2..6].copy_from_slice(&page.to_le_bytes());
+                self.builds.get_mut(key).expect("caller checked").side_tail = page;
+                page
+            }
+        };
+        let p = self.pager.payload_mut(tail)?;
+        let count = u16::from_le_bytes([p[0], p[1]]) as usize;
+        let off = 6 + count * 16;
+        p[off..off + 8].copy_from_slice(&entry.0.to_le_bytes());
+        p[off + 8..off + 16].copy_from_slice(&entry.1.to_le_bytes());
+        p[0..2].copy_from_slice(&((count + 1) as u16).to_le_bytes());
+        self.builds.get_mut(key).expect("caller checked").side_count += 1;
+        Ok(())
+    }
+
+    fn side_read(&mut self, page: u32) -> Result<(Vec<Entry>, u32), StorageError> {
+        let p = self.pager.payload(page)?;
+        let count = u16::from_le_bytes([p[0], p[1]]) as usize;
+        if 6 + count * 16 > PAYLOAD_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "side-log {page} count {count}"
+            )));
+        }
+        let next = u32::from_le_bytes([p[2], p[3], p[4], p[5]]);
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 6 + i * 16;
+            let k = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+            let r = u64::from_le_bytes(p[off + 8..off + 16].try_into().expect("8 bytes"));
+            entries.push((k, r));
+        }
+        Ok((entries, next))
+    }
+
+    // ---------------------------------------------------------- meta page
+
+    fn write_meta(&mut self, epoch: u64) -> Result<(), StorageError> {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&META_MAGIC.to_le_bytes());
+        let (page_count, free_head) = self.pager.alloc_state();
+        buf.extend_from_slice(&page_count.to_le_bytes());
+        buf.extend_from_slice(&free_head.to_le_bytes());
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(&(self.catalog.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&(self.builds.len() as u16).to_le_bytes());
+        let put_str = |buf: &mut Vec<u8>, s: &str| {
+            buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        };
+        for (key, t) in &self.catalog {
+            put_str(&mut buf, key);
+            put_str(&mut buf, &t.table);
+            buf.extend_from_slice(&t.root.to_le_bytes());
+        }
+        for (key, b) in &self.builds {
+            put_str(&mut buf, key);
+            put_str(&mut buf, &b.table);
+            buf.extend_from_slice(&b.root.to_le_bytes());
+            buf.extend_from_slice(&b.next_row.to_le_bytes());
+            buf.extend_from_slice(&b.total_rows.to_le_bytes());
+            buf.extend_from_slice(&b.side_head.to_le_bytes());
+            buf.extend_from_slice(&b.side_tail.to_le_bytes());
+            buf.extend_from_slice(&b.side_count.to_le_bytes());
+        }
+        if buf.len() > PAYLOAD_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "meta page overflow: {} bytes",
+                buf.len()
+            )));
+        }
+        let p = self.pager.payload_mut(0)?;
+        p[..buf.len()].copy_from_slice(&buf);
+        // Zero the tail so stale catalog bytes never survive shrinkage.
+        p[buf.len()..].fill(0);
+        Ok(())
+    }
+
+    fn read_meta(&mut self) -> Result<(), StorageError> {
+        let p = self.pager.payload(0)?.to_vec();
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], StorageError> {
+            let s = p
+                .get(*off..*off + n)
+                .ok_or_else(|| StorageError::Corrupt("meta page truncated".into()))?;
+            *off += n;
+            Ok(s)
+        };
+        let u16_at = |off: &mut usize| -> Result<u16, StorageError> {
+            Ok(u16::from_le_bytes(take(off, 2)?.try_into().expect("2")))
+        };
+        let u32_at = |off: &mut usize| -> Result<u32, StorageError> {
+            Ok(u32::from_le_bytes(take(off, 4)?.try_into().expect("4")))
+        };
+        let u64_at = |off: &mut usize| -> Result<u64, StorageError> {
+            Ok(u64::from_le_bytes(take(off, 8)?.try_into().expect("8")))
+        };
+        let str_at = |off: &mut usize| -> Result<String, StorageError> {
+            let n = u16::from_le_bytes(take(off, 2)?.try_into().expect("2")) as usize;
+            String::from_utf8(take(off, n)?.to_vec())
+                .map_err(|_| StorageError::Corrupt("meta string not utf-8".into()))
+        };
+        if u64_at(&mut off)? != META_MAGIC {
+            return Err(StorageError::Corrupt("bad meta magic".into()));
+        }
+        let page_count = u32_at(&mut off)?;
+        let free_head = u32_at(&mut off)?;
+        let epoch = u64_at(&mut off)?;
+        let n_catalog = u16_at(&mut off)? as usize;
+        let n_builds = u16_at(&mut off)? as usize;
+        let mut catalog = BTreeMap::new();
+        for _ in 0..n_catalog {
+            let key = str_at(&mut off)?;
+            let table = str_at(&mut off)?;
+            let root = u32_at(&mut off)?;
+            catalog.insert(key, TreeEntry { table, root });
+        }
+        let mut builds = BTreeMap::new();
+        for _ in 0..n_builds {
+            let key = str_at(&mut off)?;
+            let table = str_at(&mut off)?;
+            let root = u32_at(&mut off)?;
+            let next_row = u64_at(&mut off)?;
+            let total_rows = u64_at(&mut off)?;
+            let side_head = u32_at(&mut off)?;
+            let side_tail = u32_at(&mut off)?;
+            let side_count = u64_at(&mut off)?;
+            builds.insert(
+                key,
+                BuildState {
+                    table,
+                    root,
+                    next_row,
+                    total_rows,
+                    side_head,
+                    side_tail,
+                    side_count,
+                },
+            );
+        }
+        self.pager.set_alloc_state(page_count, free_head);
+        self.catalog = catalog;
+        self.builds = builds;
+        self.commit_epoch = epoch;
+        self.commits_since_checkpoint = 0;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ metrics
+
+    fn flush_metrics(&mut self) {
+        let Some(h) = &self.metrics else {
+            return;
+        };
+        let pubd = &mut self.published;
+        let push = |c: &Counter, now: u64, last: &mut u64| {
+            c.add(now.saturating_sub(*last));
+            *last = now;
+        };
+        push(
+            &h.wal_appends,
+            self.wal.stats.appends,
+            &mut pubd.wal_appends,
+        );
+        push(
+            &h.wal_commits,
+            self.wal.stats.commits,
+            &mut pubd.wal_commits,
+        );
+        push(&h.wal_syncs, self.wal.stats.syncs, &mut pubd.wal_syncs);
+        push(
+            &h.wal_replayed,
+            self.wal.stats.replayed,
+            &mut pubd.wal_replayed,
+        );
+        push(&h.wal_resets, self.wal.stats.resets, &mut pubd.wal_resets);
+        push(
+            &h.wal_checkpoints,
+            self.stats.checkpoints,
+            &mut pubd.checkpoints,
+        );
+        push(&h.btree_inserts, self.stats.inserts, &mut pubd.inserts);
+        push(&h.btree_removes, self.stats.removes, &mut pubd.removes);
+        push(&h.btree_splits, self.tree_ops.splits, &mut pubd.splits);
+        push(&h.btree_merges, self.tree_ops.merges, &mut pubd.merges);
+        push(&h.btree_borrows, self.tree_ops.borrows, &mut pubd.borrows);
+        push(
+            &h.btree_page_reads,
+            self.pager.stats.page_reads,
+            &mut pubd.page_reads,
+        );
+        push(
+            &h.btree_page_writes,
+            self.pager.stats.page_writes,
+            &mut pubd.page_writes,
+        );
+        push(
+            &h.engine_recoveries,
+            self.stats.recoveries,
+            &mut pubd.recoveries,
+        );
+        push(&h.engine_aborts, self.stats.aborts, &mut pubd.aborts);
+        push(
+            &h.engine_builds_started,
+            self.stats.builds_started,
+            &mut pubd.builds_started,
+        );
+        push(
+            &h.engine_builds_finished,
+            self.stats.builds_finished,
+            &mut pubd.builds_finished,
+        );
+        push(
+            &h.engine_builds_cancelled,
+            self.stats.builds_cancelled,
+            &mut pubd.builds_cancelled,
+        );
+        push(
+            &h.engine_side_absorbed,
+            self.stats.side_log_absorbed,
+            &mut pubd.side_absorbed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlanConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            fanout: 8,
+            build_chunk: 32,
+            checkpoint_every: 4,
+            key_space: 64,
+            ..EngineConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn offline_build_then_lookup() {
+        let mut e = engine();
+        e.build_offline("t(a)", "t", 500, None).unwrap();
+        assert!(e.has_index("t(a)"));
+        let entries = e.entries("t(a)").unwrap();
+        assert_eq!(entries.len(), 500);
+        let (idx, _pages, total) = e.check_integrity().unwrap();
+        assert_eq!((idx, total), (1, 500));
+        // Every row is reachable via point lookup on its synthetic key.
+        for row in [0u64, 7, 499] {
+            let k = e.entry_key("t(a)", row);
+            assert!(e.lookup("t(a)", k).unwrap().contains(&row));
+        }
+    }
+
+    #[test]
+    fn online_build_absorbing_writes_equals_offline_on_final_data() {
+        // Online: build over 300 base rows while 90 concurrent rows land.
+        let mut online = engine();
+        online.start_build("t(a)", "t", 300, None).unwrap();
+        let mut appended = 300u64;
+        while online.build_step("t(a)", 32, None).unwrap() > 0 {
+            online.apply_insert("t", appended, 10, None).unwrap();
+            appended += 10;
+        }
+        let side = online.build_state("t(a)").unwrap().side_count;
+        assert!(side > 0, "side-log must have absorbed concurrent writes");
+        online.finish_build("t(a)", None).unwrap();
+        // Writes after finish go straight into the registered tree.
+        online.apply_insert("t", appended, 5, None).unwrap();
+        appended += 5;
+
+        // Offline: the same final data, built in one pass.
+        let mut offline = engine();
+        offline.build_offline("t(a)", "t", appended, None).unwrap();
+
+        assert_eq!(
+            online.entries("t(a)").unwrap(),
+            offline.entries("t(a)").unwrap()
+        );
+        assert_eq!(
+            online.content_digest("t(a)").unwrap(),
+            offline.content_digest("t(a)").unwrap()
+        );
+        online.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn crash_mid_build_resumes_from_committed_progress() {
+        let mut e = engine();
+        e.start_build("t(a)", "t", 200, None).unwrap();
+        e.build_step("t(a)", 64, None).unwrap();
+        let committed = e.build_state("t(a)").unwrap().next_row;
+        // More progress + a concurrent write, never committed…
+        e.insert_rows_uncommitted("t", 200, 3).unwrap();
+        e.crash().unwrap();
+        let b = e.build_state("t(a)").unwrap();
+        assert_eq!(b.next_row, committed, "progress reverts to last epoch");
+        assert_eq!(b.side_count, 0, "uncommitted side-log entries vanish");
+        // Resume to completion; result equals a clean offline build.
+        while e.build_step("t(a)", 64, None).unwrap() > 0 {}
+        e.finish_build("t(a)", None).unwrap();
+        let mut clean = engine();
+        clean.build_offline("t(a)", "t", 200, None).unwrap();
+        assert_eq!(
+            e.content_digest("t(a)").unwrap(),
+            clean.content_digest("t(a)").unwrap()
+        );
+    }
+
+    #[test]
+    fn cancel_build_frees_every_page() {
+        let mut e = engine();
+        e.start_build("t(a)", "t", 100, None).unwrap();
+        e.build_step("t(a)", 50, None).unwrap();
+        e.apply_insert("t", 100, 20, None).unwrap();
+        e.cancel_build("t(a)", None).unwrap();
+        assert!(e.build_state("t(a)").is_none());
+        // All pages the build held are reusable: page_count stays flat
+        // across a fresh identical build.
+        let count = e.pager.page_count();
+        e.start_build("t(a)", "t", 100, None).unwrap();
+        e.build_step("t(a)", 50, None).unwrap();
+        assert_eq!(e.pager.page_count(), count);
+    }
+
+    #[test]
+    fn faulted_commit_aborts_to_last_epoch() {
+        let mut e = engine();
+        e.build_offline("t(a)", "t", 100, None).unwrap();
+        let digest = e.content_digest("t(a)").unwrap();
+        let faults = FaultPlan::new(FaultPlanConfig {
+            page_write_failure: 1.0,
+            ..FaultPlanConfig::default()
+        });
+        // The remove path absorbs faults: aborted attempt, clean replay.
+        let err = e.apply_remove("zzz", 0, Some(&faults));
+        assert!(err.is_ok(), "remove path absorbs faults: {err:?}");
+        let epoch = e.commit_epoch();
+        let err = e
+            .start_build("t(b)", "t", 50, Some(&faults))
+            .expect_err("page-write fault must fail the commit");
+        assert!(matches!(
+            err,
+            StorageError::FaultInjected(FaultKind::TornPageWrite)
+        ));
+        assert!(e.build_state("t(b)").is_none(), "registration rolled back");
+        assert_eq!(e.commit_epoch(), epoch, "epoch unchanged after abort");
+        assert_eq!(e.content_digest("t(a)").unwrap(), digest);
+        assert!(e.stats().aborts >= 1);
+    }
+
+    #[test]
+    fn insert_faults_are_absorbed_not_lost() {
+        let mut e = engine();
+        e.build_offline("t(a)", "t", 50, None).unwrap();
+        let faults = FaultPlan::new(FaultPlanConfig {
+            fsync_failure: 1.0,
+            ..FaultPlanConfig::default()
+        });
+        e.apply_insert("t", 50, 10, Some(&faults)).unwrap();
+        assert_eq!(e.entries("t(a)").unwrap().len(), 60);
+        assert!(e.stats().aborts >= 1, "first attempt aborted");
+        let mut clean = engine();
+        clean.build_offline("t(a)", "t", 60, None).unwrap();
+        assert_eq!(
+            e.content_digest("t(a)").unwrap(),
+            clean.content_digest("t(a)").unwrap()
+        );
+    }
+
+    #[test]
+    fn checkpoint_then_crash_recovers_from_data_file() {
+        let mut e = engine();
+        e.build_offline("t(a)", "t", 300, None).unwrap();
+        let digest = e.content_digest("t(a)").unwrap();
+        e.checkpoint(None).unwrap();
+        assert!(e.wal_stats().resets >= 1);
+        e.crash().unwrap();
+        assert_eq!(e.content_digest("t(a)").unwrap(), digest);
+        e.check_integrity().unwrap();
+        // And the tree still accepts writes after recovery.
+        e.apply_insert("t", 300, 10, None).unwrap();
+        assert_eq!(e.entries("t(a)").unwrap().len(), 310);
+    }
+
+    #[test]
+    fn meta_roundtrip_preserves_builds_and_freelist() {
+        let mut e = engine();
+        e.build_offline("t(a)", "t", 40, None).unwrap();
+        e.start_build("u(b)", "u", 80, None).unwrap();
+        e.build_step("u(b)", 16, None).unwrap();
+        e.apply_insert("u", 80, 5, None).unwrap();
+        e.drop_index("t(a)", None).unwrap(); // populates the freelist
+        let alloc = e.pager.alloc_state();
+        let builds = e.builds.clone();
+        let catalog = e.catalog.clone();
+        e.crash().unwrap();
+        assert_eq!(e.pager.alloc_state(), alloc);
+        assert_eq!(e.builds, builds);
+        assert_eq!(e.catalog, catalog);
+    }
+}

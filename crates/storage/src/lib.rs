@@ -27,24 +27,42 @@
 //!   what-if costs, simulated execution with noise, usage tracking and
 //!   data growth.
 //!
+//! Beneath the analytic model sits an optional **real engine tier**
+//! (off by default; enable via [`db::StorageBackend::Paged`]):
+//!
+//! * [`pager`] — fixed-size checksummed pages, freelist, and a crashable
+//!   two-buffer file ([`pager::SimFile`]) with explicit durability.
+//! * [`btree`] — a disk-paged B+Tree: insert/split, point + range scans
+//!   over the leaf chain, delete with occupancy rebalance.
+//! * [`wal`] — write-ahead log: append, group-commit epochs, recovery
+//!   replay, checkpoint truncation.
+//! * [`engine`] — ties them together: WAL-atomic catalog registration
+//!   and **online incremental index build** (side-log absorption,
+//!   cancellable, crash-resumable).
+//!
 //! The *native* what-if cost deliberately ignores index-maintenance cost on
 //! writes — mirroring the real openGauss/PostgreSQL estimators the paper
 //! criticises (§V: "current database cannot estimate the index maintenance
 //! costs") — while simulated *execution* pays it. The learned estimator in
 //! `autoindex-estimator` closes that gap.
 
+pub mod btree;
 pub mod catalog;
 pub mod db;
+pub mod engine;
 pub mod fault;
 pub mod histogram;
 pub mod index;
+pub mod pager;
 pub mod planner;
 pub mod selectivity;
 pub mod shape;
 pub mod usage;
+pub mod wal;
 
 pub use catalog::{Catalog, Column, ColumnStats, ColumnType, Table, TableBuilder};
-pub use db::{DbSnapshot, ExecOutcome, SimDb, SimDbConfig, WorkloadMeasurement};
+pub use db::{DbSnapshot, ExecOutcome, SimDb, SimDbConfig, StorageBackend, WorkloadMeasurement};
+pub use engine::{Engine, EngineConfig};
 pub use fault::{FaultKind, FaultPlan, FaultPlanConfig};
 pub use histogram::Histogram;
 pub use index::{IndexDef, IndexGeometry, IndexId, IndexScope, MaintenanceCost};
@@ -70,6 +88,10 @@ pub enum StorageError {
     /// for [`FaultKind::TransientError`]; a [`FaultKind::FailedBuild`]
     /// means this DDL attempt is gone (a new attempt re-rolls).
     FaultInjected(FaultKind),
+    /// The engine tier found physically corrupt state (checksum mismatch,
+    /// torn page, malformed node) — never expected outside injected
+    /// faults and deliberate corruption in tests.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -83,6 +105,7 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownIndex(id) => write!(f, "unknown index id {id:?}"),
             StorageError::Invalid(m) => write!(f, "invalid argument: {m}"),
             StorageError::FaultInjected(k) => write!(f, "injected fault: {k}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
         }
     }
 }

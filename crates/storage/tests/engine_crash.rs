@@ -1,0 +1,222 @@
+//! Crash-mid-build fault matrix for the paged engine (PR7 satellite).
+//!
+//! Three crash points × three recoveries, asserting catalog/WAL atomicity
+//! at every cell:
+//!
+//! | crash point                          | mechanism                        |
+//! |--------------------------------------|----------------------------------|
+//! | before any WAL append of an epoch    | clean [`Engine::crash`] between  |
+//! |                                      | committed build steps            |
+//! | torn append, mid page-split          | `page_write_failure` fault while |
+//! |                                      | a splitting step commits         |
+//! | after append, before the sync        | `fsync_failure` fault            |
+//!
+//! crossed with: **recover** (state is exactly the last committed epoch),
+//! **resume** (the build continues from durable progress and the finished
+//! index is bit-equal to an offline build on the same data), and **guard
+//! rollback** (`cancel_build` leaves no physical residue).
+
+use autoindex_storage::{
+    Engine, EngineConfig, FaultKind, FaultPlan, FaultPlanConfig, StorageError,
+};
+
+const KEY: &str = "t(a)";
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        fanout: 8, // small fanout: every chunk forces page splits
+        build_chunk: 32,
+        checkpoint_every: 4,
+        key_space: 64, // duplicate-heavy indexed column
+        ..EngineConfig::default()
+    })
+    .unwrap()
+}
+
+fn torn_write_plan() -> FaultPlan {
+    FaultPlan::new(FaultPlanConfig {
+        page_write_failure: 1.0,
+        ..FaultPlanConfig::default()
+    })
+}
+
+fn failed_sync_plan() -> FaultPlan {
+    FaultPlan::new(FaultPlanConfig {
+        fsync_failure: 1.0,
+        ..FaultPlanConfig::default()
+    })
+}
+
+/// Digest of an offline build over `rows` base rows on a fresh engine —
+/// the bit-equality reference for every resumed/online build below.
+fn offline_digest(rows: u64) -> u64 {
+    let mut e = engine();
+    e.build_offline(KEY, "t", rows, None).unwrap();
+    e.content_digest(KEY).unwrap()
+}
+
+fn resume_to_completion(e: &mut Engine) {
+    while e.build_step(KEY, 32, None).unwrap() > 0 {}
+    e.finish_build(KEY, None).unwrap();
+}
+
+// ------------------------------------------------- crash point 1: clean
+
+#[test]
+fn clean_crash_between_steps_recovers_committed_progress_and_resumes() {
+    let mut e = engine();
+    e.start_build(KEY, "t", 300, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+    let epoch = e.commit_epoch();
+
+    // Crash before the next epoch appends anything: recovery must land on
+    // exactly the committed build state, nothing more, nothing less.
+    e.crash().unwrap();
+    assert_eq!(e.commit_epoch(), epoch);
+    let b = e.build_state(KEY).expect("build survives the crash");
+    assert_eq!(b.next_row, 64);
+    assert_eq!(b.total_rows, 300);
+    assert!(!e.has_index(KEY), "catalog never saw the unfinished build");
+
+    resume_to_completion(&mut e);
+    assert_eq!(e.content_digest(KEY).unwrap(), offline_digest(300));
+    e.check_integrity().unwrap();
+}
+
+// -------------------------------------- crash point 2: torn, mid-split
+
+#[test]
+fn torn_append_mid_split_aborts_the_step_and_the_build_resumes() {
+    let mut e = engine();
+    e.start_build(KEY, "t", 300, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+    let splits_before = e.tree_ops().splits;
+    assert!(splits_before > 0, "fanout 8 must split within 32 rows");
+    let epoch = e.commit_epoch();
+
+    // The faulted step splits pages again, then tears a WAL page image
+    // while committing: the whole step must vanish.
+    let err = e.build_step(KEY, 32, Some(&torn_write_plan())).unwrap_err();
+    assert_eq!(err, StorageError::FaultInjected(FaultKind::TornPageWrite));
+    assert_eq!(e.commit_epoch(), epoch, "faulted epoch never committed");
+    assert_eq!(e.build_state(KEY).unwrap().next_row, 32);
+    assert!(e.stats().aborts > 0);
+
+    // The repaired log keeps accepting epochs: resume to completion.
+    resume_to_completion(&mut e);
+    assert_eq!(e.content_digest(KEY).unwrap(), offline_digest(300));
+    e.check_integrity().unwrap();
+}
+
+// --------------------------------- crash point 3: append, no durability
+
+#[test]
+fn failed_sync_after_append_loses_only_the_in_flight_epoch() {
+    let mut e = engine();
+    e.start_build(KEY, "t", 200, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+    let epoch = e.commit_epoch();
+
+    let err = e
+        .build_step(KEY, 32, Some(&failed_sync_plan()))
+        .unwrap_err();
+    assert_eq!(err, StorageError::FaultInjected(FaultKind::FailedSync));
+    // The records were appended but never synced: atomically gone.
+    assert_eq!(e.commit_epoch(), epoch);
+    assert_eq!(e.build_state(KEY).unwrap().next_row, 32);
+
+    resume_to_completion(&mut e);
+    assert_eq!(e.content_digest(KEY).unwrap(), offline_digest(200));
+}
+
+// ------------------------------------------------ guard rollback column
+
+#[test]
+fn cancel_after_a_faulted_step_leaves_no_physical_residue() {
+    let mut e = engine();
+    let clean = e.check_integrity().unwrap();
+
+    e.start_build(KEY, "t", 300, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+    e.build_step(KEY, 32, Some(&torn_write_plan())).unwrap_err();
+
+    // Guard decision: roll the whole build back instead of resuming.
+    e.cancel_build(KEY, None).unwrap();
+    assert!(e.build_state(KEY).is_none());
+    assert!(!e.has_index(KEY));
+    assert_eq!(
+        e.check_integrity().unwrap(),
+        clean,
+        "every page of the abandoned build must return to the freelist"
+    );
+
+    // The engine is fully reusable afterwards.
+    e.build_offline(KEY, "t", 150, None).unwrap();
+    assert_eq!(e.content_digest(KEY).unwrap(), offline_digest(150));
+}
+
+// ------------------------------------- catalog/WAL registration atomicity
+
+#[test]
+fn finish_build_is_atomic_against_the_wal() {
+    let mut e = engine();
+    e.start_build(KEY, "t", 100, None).unwrap();
+    while e.build_step(KEY, 32, None).unwrap() > 0 {}
+
+    // The registering commit itself fails its sync: the catalog move must
+    // not survive while the pages do (or vice versa) — recovery lands on
+    // "build complete but unregistered", which is resumable.
+    let err = e.finish_build(KEY, Some(&failed_sync_plan())).unwrap_err();
+    assert_eq!(err, StorageError::FaultInjected(FaultKind::FailedSync));
+    assert!(!e.has_index(KEY), "registration rolled back with its epoch");
+    let b = e.build_state(KEY).expect("build state rolled back too");
+    assert_eq!(b.next_row, b.total_rows);
+
+    e.finish_build(KEY, None).unwrap();
+    assert!(e.has_index(KEY));
+    assert_eq!(e.entries(KEY).unwrap().len(), 100);
+    assert_eq!(e.content_digest(KEY).unwrap(), offline_digest(100));
+}
+
+#[test]
+fn start_build_registration_rolls_back_with_its_epoch() {
+    let mut e = engine();
+    let clean = e.check_integrity().unwrap();
+    let err = e
+        .start_build(KEY, "t", 100, Some(&torn_write_plan()))
+        .unwrap_err();
+    assert_eq!(err, StorageError::FaultInjected(FaultKind::TornPageWrite));
+    assert!(e.build_state(KEY).is_none());
+    assert_eq!(e.check_integrity().unwrap(), clean);
+    // A clean retry works (fresh attempt, fresh rolls).
+    e.start_build(KEY, "t", 100, None).unwrap();
+}
+
+// ------------------------- the full story: writes + crash + resume online
+
+#[test]
+fn online_build_with_concurrent_writes_survives_a_crash_and_matches_offline() {
+    let mut e = engine();
+    e.start_build(KEY, "t", 200, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+
+    // Concurrent appends land in the side-log while the base scan runs.
+    e.apply_insert("t", 200, 25, None).unwrap();
+    e.build_step(KEY, 32, None).unwrap();
+    e.apply_insert("t", 225, 15, None).unwrap();
+
+    // Crash mid-build: committed scan progress *and* the side-log are
+    // durable; recovery resumes both.
+    e.crash().unwrap();
+    let b = e.build_state(KEY).expect("build survives");
+    assert_eq!(b.next_row, 64);
+    assert_eq!(b.side_count, 40);
+
+    resume_to_completion(&mut e);
+    assert_eq!(e.entries(KEY).unwrap().len(), 240);
+    // Bit-equal to an offline build over the final 240 rows.
+    assert_eq!(e.content_digest(KEY).unwrap(), offline_digest(240));
+    assert!(e.stats().side_log_absorbed >= 40);
+    e.check_integrity().unwrap();
+}

@@ -51,6 +51,16 @@ if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.fastpath\.hits' | grep -q 'ok'
     exit 1
 fi
 
+echo "==> WAL-recovery smoke-check (paged engine: crash + replay bit-equal, online == offline)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'storage\.wal\.recovery' | grep -q 'ok'; then
+    echo "ERROR: WAL crash recovery did not restore the identical tree" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'storage\.online\.build' | grep -q 'ok'; then
+    echo "ERROR: online (crash-resumed) build diverged from the offline build" >&2
+    exit 1
+fi
+
 echo "==> docs link audit (every docs/*.md must be reachable from README.md)"
 DOCS_MISSING=0
 for f in docs/*.md; do
