@@ -170,8 +170,106 @@ fn smoke() {
     }
     smoke_guard_faults();
     smoke_serve_determinism();
+    smoke_fleet();
     smoke_wal_recovery();
     println!("smoke OK: snapshot parseable, all core counters non-zero");
+}
+
+/// Multi-tenant fleet stage (`scripts/verify.sh` greps the
+/// `serve.fleet.determinism` row): a small banking tenant fleet served
+/// under a saturating admission capacity with 1 and with 4 work-stealing
+/// workers must produce the identical transcript digest — same admission
+/// decisions, shed counts, SLO verdicts and tuner visits — and admission
+/// control must actually engage (shed + deferred slices both non-zero,
+/// protected priorities never shed). See `docs/SERVING.md` §"Multi-tenant
+/// fleet".
+fn smoke_fleet() {
+    use autoindex_core::{
+        serve_fleet, AutoIndex, AutoIndexConfig, FleetConfig, FleetTenant, TenantSpec,
+    };
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::{SimDb, SimDbConfig};
+    use autoindex_workloads::fleet::fleet_workload;
+    use std::sync::Arc;
+
+    println!("\n--- multi-tenant fleet smoke ---");
+    let run = |workers: usize| {
+        let tenants: Vec<FleetTenant<NativeCostEstimator>> = fleet_workload(8, 800, 2024)
+            .into_iter()
+            .map(|w| {
+                let db_cfg = SimDbConfig {
+                    seed: w.seed,
+                    ..Default::default()
+                };
+                let mut db = SimDb::with_metrics(
+                    w.catalog,
+                    db_cfg,
+                    autoindex_support::obs::MetricsRegistry::new(),
+                );
+                for d in w.dba_indexes {
+                    let _ = db.create_index(d);
+                }
+                FleetTenant {
+                    spec: TenantSpec {
+                        name: w.name,
+                        priority: w.priority,
+                        slo_p50_ms: w.slo_p50_ms,
+                        slo_p99_ms: w.slo_p99_ms,
+                    },
+                    db,
+                    advisor: AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator),
+                    queries: Arc::new(w.queries),
+                }
+            })
+            .collect();
+        let cfg = FleetConfig::builder()
+            .workers(workers)
+            .epoch_interval(200)
+            // ~8 tenants x 200 statements x ~0.7 sim-ms — capacity near
+            // 80% of the offered epoch load keeps admission saturated.
+            .epoch_capacity_ms(900.0)
+            .shed_floor_priority(1)
+            .build()
+            .unwrap();
+        serve_fleet(tenants, cfg).unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    let ok = one.report.transcript_digest() == four.report.transcript_digest();
+    println!(
+        "  serve.fleet.determinism (1 vs 4 workers, 8 tenants) {:>6}  {}",
+        if ok { "equal" } else { "differ" },
+        if ok { "ok" } else { "FAIL" }
+    );
+    if !ok {
+        eprintln!("smoke FAILED: fleet transcript digest differs across worker counts");
+        eprintln!(
+            "--- 1 worker ---\n{}\n--- 4 workers ---\n{}",
+            one.report.transcript(),
+            four.report.transcript()
+        );
+        std::process::exit(1);
+    }
+    let r = &four.report;
+    let protected_shed = r
+        .tenant_reports
+        .iter()
+        .any(|t| t.priority >= 1 && t.shed > 0);
+    let adm_ok = r.shed_slices > 0 && r.deferred_slices > 0 && !protected_shed;
+    println!(
+        "  serve.admission (shed_slices={} deferred_slices={} protected_shed={}) {}",
+        r.shed_slices,
+        r.deferred_slices,
+        protected_shed,
+        if adm_ok { "ok" } else { "FAIL" }
+    );
+    if !adm_ok {
+        eprintln!(
+            "smoke FAILED: admission control not engaged or a protected tenant was shed\n{}",
+            r.transcript()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// WAL-recovery stage (`scripts/verify.sh` greps the `storage.wal.recovery`

@@ -37,6 +37,12 @@
 //!   tuner thread merges their observations, runs diagnosis/tuning and
 //!   publishes configuration swaps at epoch boundaries; a deterministic
 //!   mode makes the whole pipeline worker-count invariant.
+//! * [`mod@fleet`] — the multi-tenant serving fleet (`docs/SERVING.md`):
+//!   many tenant databases multiplexed over one work-stealing executor
+//!   pool with per-tenant lock-free snapshot publication, SLO-driven
+//!   admission control (admit / defer / shed) and a regret-directed
+//!   background tuner fleet slot; per-tenant transcripts stay
+//!   worker-count invariant.
 //! * [`error`] — [`error::AutoIndexError`], the crate-wide error type.
 
 pub mod candgen;
@@ -44,6 +50,7 @@ pub mod delta;
 pub mod diagnosis;
 pub mod error;
 pub mod fastpath;
+pub mod fleet;
 pub mod greedy;
 pub mod guard;
 pub mod mcts;
@@ -58,6 +65,11 @@ pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 pub use error::AutoIndexError;
 pub use fastpath::{CompiledTemplate, FastPathCache};
+pub use fleet::{
+    decide_admission, serve_fleet, Admission, AdmissionCandidate, AdmissionDecision, FleetConfig,
+    FleetConfigBuilder, FleetEpochRecord, FleetOutcome, FleetReport, FleetTenant,
+    FleetTenantOutcome, TenantReport, TenantSliceRecord, TenantSpec,
+};
 pub use greedy::{
     greedy_select, rank_candidates, rank_candidates_parallel, GreedyConfig, ScoredCandidate,
 };

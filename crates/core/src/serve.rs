@@ -21,8 +21,12 @@
 //!
 //! * **Executors** drain deterministically sharded slices of the query
 //!   stream against a shared, immutable [`DbSnapshot`]: the snapshot is
-//!   epoch-versioned behind an `RwLock`, and workers clone the `Arc` once
-//!   per epoch — the per-statement read path takes no lock at all.
+//!   epoch-versioned in a lock-free publication slot
+//!   ([`autoindex_support::arcswap::ArcSlot`]), and workers clone the
+//!   `Arc` once per epoch — neither grabbing the latest publication nor
+//!   the per-statement read path takes any lock. The gate's condvar
+//!   barrier survives only for deterministic mode's *bounded* epoch
+//!   waits.
 //! * **Observations** (execution outcome + detached usage delta, stamped
 //!   with the statement's global sequence number) flow over a bounded
 //!   [`std::sync::mpsc::sync_channel`] into a single background tuner.
@@ -78,6 +82,7 @@ use autoindex_sql::fingerprint::LiteralBuf;
 use autoindex_sql::parse_statement;
 use autoindex_storage::shape::QueryShape;
 use autoindex_storage::{DbSnapshot, ExecOutcome, SimDb, UsageDelta};
+use autoindex_support::arcswap::ArcSlot;
 use autoindex_support::hash::U64HashMap;
 use autoindex_support::obs::{Counter, Gauge, MetricsRegistry, ShardCell};
 use autoindex_support::rng::derive_seed;
@@ -85,7 +90,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Domain-separation salt for the statement → shard assignment stream.
@@ -301,8 +306,10 @@ pub fn logical_merge(batch: &mut [Observation]) {
 }
 
 /// Statement → shard assignment: a pure function of `(seed, seq)`, so the
-/// partition of the stream is identical at any worker count.
-fn shard_of(seed: u64, seq: u64, shards: u64) -> u64 {
+/// partition of the stream is identical at any worker count. Shared with
+/// the multi-tenant fleet ([`crate::fleet`]), which derives a per-tenant
+/// seed first.
+pub(crate) fn shard_of(seed: u64, seq: u64, shards: u64) -> u64 {
     derive_seed(seed ^ SHARD_SALT, seq) % shards
 }
 
@@ -313,15 +320,20 @@ fn shard_of(seed: u64, seq: u64, shards: u64) -> u64 {
 /// The tuner [`publish`](EpochGate::publish)es a fresh [`DbSnapshot`] at
 /// each epoch boundary; workers [`wait_for`](EpochGate::wait_for) the
 /// epoch they are about to execute (deterministic mode) or grab
-/// [`latest`](EpochGate::latest) (free-running mode). The snapshot sits
-/// behind an `RwLock<Arc<..>>` that is only touched on epoch transitions;
-/// the per-statement read path works off the cloned `Arc` and takes no
-/// lock. All lock acquisitions recover from poisoning
-/// (`PoisonError::into_inner`), and workers never hold the lock across
+/// [`latest`](EpochGate::latest) (free-running mode). The publication
+/// lives in a lock-free [`ArcSlot`]: grabbing the latest value is a
+/// wait-free-in-practice pointer clone that can never block behind the
+/// publisher (and, unlike the `RwLock` it replaced, can never be *queued
+/// behind* a publisher that is waiting on a writer lock while holding
+/// nothing a worker needs). The mutex + condvar pair below is **only**
+/// the bounded-wait barrier for deterministic mode's epoch
+/// synchronization — free-running mode never touches it on the read
+/// path. All lock acquisitions recover from poisoning
+/// (`PoisonError::into_inner`), and workers never hold any lock across
 /// statement execution, so a worker panic cannot wedge the tuner.
 struct EpochGate {
     epoch: AtomicU64,
-    snap: RwLock<Publication>,
+    slot: ArcSlot<Publication>,
     aborted: AtomicBool,
     wait_lock: Mutex<()>,
     cv: Condvar,
@@ -330,11 +342,13 @@ struct EpochGate {
 /// What one epoch publishes: the immutable snapshot plus the epoch-frozen
 /// compiled-template cache built against that snapshot's catalog. Both are
 /// read-only for workers, so fast-path behaviour is a pure function of
-/// `(stream, publications)` — invariant under worker count.
+/// `(stream, publications)` — invariant under worker count. Shared with
+/// the multi-tenant fleet ([`crate::fleet`]), which keeps one publication
+/// slot per tenant.
 #[derive(Clone)]
-struct Publication {
-    snap: Arc<DbSnapshot>,
-    cache: Arc<FastPathCache>,
+pub(crate) struct Publication {
+    pub(crate) snap: Arc<DbSnapshot>,
+    pub(crate) cache: Arc<FastPathCache>,
 }
 
 impl EpochGate {
@@ -342,25 +356,22 @@ impl EpochGate {
         let epoch = initial.snap.epoch;
         EpochGate {
             epoch: AtomicU64::new(epoch),
-            snap: RwLock::new(initial),
+            slot: ArcSlot::new(Arc::new(initial)),
             aborted: AtomicBool::new(false),
             wait_lock: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
-    /// The latest publication (brief read lock, then lock-free).
+    /// The latest publication (lock-free slot load + two `Arc` clones).
     fn latest(&self) -> Publication {
-        self.snap
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        (*self.slot.load()).clone()
     }
 
     /// Publish as the current epoch and wake every waiter.
     fn publish(&self, publication: Publication) {
         let epoch = publication.snap.epoch;
-        *self.snap.write().unwrap_or_else(PoisonError::into_inner) = publication;
+        self.slot.store(Arc::new(publication));
         self.epoch.store(epoch, Ordering::Release);
         let _g = self
             .wait_lock
@@ -372,7 +383,7 @@ impl EpochGate {
     /// Bounded wait for epoch `target`. Returns [`EpochWait::Ready`] with
     /// the snapshot once `target` (or later) is published,
     /// [`EpochWait::Aborted`] when the pipeline aborted, and
-    /// [`EpochWait::TimedOut`] after one condvar timeout slice.
+    /// [`EpochWait::TimedOut`] after one full timeout slice.
     ///
     /// The wait is deliberately *not* unbounded: a worker that parks here
     /// is holding a task, and if every surviving worker parked on epoch
@@ -380,7 +391,18 @@ impl EpochGate {
     /// the queue, nobody would ever finish epoch `e` and the pipeline
     /// would deadlock. Timing out lets the caller put its task back and
     /// re-pop the (epoch-ordered) queue, so stranded earlier-epoch work
-    /// is always picked up by the next woken worker.
+    /// is always picked up by the next woken worker
+    /// (regression-tested by `mid_epoch_retirement_never_deadlocks` in
+    /// `crates/core/tests/serving.rs`).
+    ///
+    /// The slice is measured against a deadline, not "one condvar nap":
+    /// `Condvar::wait_timeout` may wake spuriously, and treating a
+    /// spurious wake as the slice's end used to return a premature
+    /// `TimedOut` — correct (the caller requeues and re-pops) but churny,
+    /// a full requeue round-trip per phantom wake. Re-arming the wait for
+    /// the remaining time keeps the slice exact: every early wake
+    /// re-checks the published epoch and the abort flag, and only the
+    /// deadline produces `TimedOut`.
     fn wait_for(&self, target: u64) -> EpochWait {
         if self.aborted.load(Ordering::Acquire) {
             return EpochWait::Aborted;
@@ -388,17 +410,23 @@ impl EpochGate {
         if self.epoch.load(Ordering::Acquire) >= target {
             return EpochWait::Ready(self.latest());
         }
-        let g = self
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let mut g = self
             .wait_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         // Re-check under the lock (publish notifies while holding it),
-        // then sleep one timeout slice.
-        if self.epoch.load(Ordering::Acquire) < target && !self.aborted.load(Ordering::Acquire) {
-            let _ = self
+        // then sleep out the slice, re-arming across spurious wakes.
+        while self.epoch.load(Ordering::Acquire) < target && !self.aborted.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            g = self
                 .cv
-                .wait_timeout(g, Duration::from_millis(20))
-                .unwrap_or_else(PoisonError::into_inner);
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
         if self.aborted.load(Ordering::Acquire) {
             EpochWait::Aborted
@@ -704,17 +732,19 @@ impl WorkerCtx<'_> {
 /// bindable skeleton clone per compiled template, and the selectivity-
 /// program evaluation scratch. Cloned skeletons are only valid against
 /// the cache they were cloned from, so the whole map is dropped whenever
-/// the pinned publication changes (epoch boundary). At steady state —
-/// same epoch, repeat templates — executing a statement through
-/// [`execute_one`] performs **zero heap allocations** (integer/float
-/// literals; string literals clone into reused `Value`s).
-struct WorkerScratch {
+/// the pinned publication changes (epoch boundary; in the fleet, also a
+/// tenant switch). At steady state — same publication, repeat templates —
+/// executing a statement through [`execute_statement`] performs **zero
+/// heap allocations** (integer/float literals; string literals clone into
+/// reused `Value`s).
+pub(crate) struct WorkerScratch {
     lits: LiteralBuf,
     shapes: U64HashMap<QueryShape>,
     sels: Vec<f64>,
     stack: Vec<f64>,
-    /// Epoch of the publication `shapes` was built against.
-    cache_epoch: u64,
+    /// `(tenant, epoch)` of the publication `shapes` was built against
+    /// (single-tenant serve pins tenant 0).
+    pinned: (u64, u64),
     hits: ShardCell,
     misses: ShardCell,
     fallbacks: ShardCell,
@@ -722,51 +752,62 @@ struct WorkerScratch {
 
 impl WorkerScratch {
     fn new(metrics: &ServeMetrics, worker: usize) -> Self {
+        WorkerScratch::with_cells(
+            metrics.fastpath_hits.cell(worker),
+            metrics.fastpath_misses.cell(worker),
+            metrics.fastpath_fallbacks.cell(worker),
+        )
+    }
+
+    /// Build a scratch around caller-supplied fast-path tally cells (the
+    /// fleet binds these to its own registry's sharded counters).
+    pub(crate) fn with_cells(hits: ShardCell, misses: ShardCell, fallbacks: ShardCell) -> Self {
         WorkerScratch {
             lits: LiteralBuf::default(),
             shapes: U64HashMap::default(),
             sels: Vec::new(),
             stack: Vec::new(),
-            cache_epoch: u64::MAX,
-            hits: metrics.fastpath_hits.cell(worker),
-            misses: metrics.fastpath_misses.cell(worker),
-            fallbacks: metrics.fastpath_fallbacks.cell(worker),
+            pinned: (u64::MAX, u64::MAX),
+            hits,
+            misses,
+            fallbacks,
         }
     }
 
-    /// Re-pin the scratch to `epoch`, invalidating cached skeleton clones
-    /// built against an older publication's cache.
-    fn pin_epoch(&mut self, epoch: u64) {
-        if self.cache_epoch != epoch {
+    /// Re-pin the scratch to a `(tenant, epoch)` publication,
+    /// invalidating cached skeleton clones built against any other
+    /// publication's cache (fingerprints collide across tenants, so the
+    /// tenant id is part of the key).
+    pub(crate) fn pin(&mut self, key: (u64, u64)) {
+        if self.pinned != key {
             self.shapes.clear();
-            self.cache_epoch = epoch;
+            self.pinned = key;
         }
     }
 }
 
-/// Execute one statement inside a panic fence. Reads only the publication
-/// and the query text; mutates only the worker's own scratch.
+/// Execute one statement against a publication. Reads only the
+/// publication and the query text; mutates only the worker's own scratch.
+/// Shared by single-tenant [`serve`] and the multi-tenant fleet
+/// ([`crate::fleet`]).
 ///
 /// Fast path: fingerprint-scan the statement (collecting its literals),
-/// look the hash up in the epoch's compiled-template cache, bind the
-/// literals into the worker's reusable skeleton clone, execute. Any miss
-/// or tripped bind guard falls back to the full parse + extract — which
-/// also reproduces parse failures exactly where the slow path reports
-/// them. A hit returns `fp: Some(hash)` so the tuner can skip
+/// look the hash up in the publication's compiled-template cache, bind
+/// the literals into the worker's reusable skeleton clone, execute. Any
+/// miss or tripped bind guard falls back to the full parse + extract —
+/// which also reproduces parse failures exactly where the slow path
+/// reports them. A hit returns `fp: Some(hash)` so the tuner can skip
 /// re-fingerprinting.
-fn execute_one(
+pub(crate) fn execute_statement(
     publication: &Publication,
-    ctx: &WorkerCtx,
+    sql: &str,
     seq: u64,
+    fastpath: bool,
     scratch: &mut WorkerScratch,
 ) -> ObservationPayload {
-    if ctx.cfg.panic_on.contains(&seq) {
-        panic!("injected worker panic at seq {seq}");
-    }
     let snap = &publication.snap;
-    let sql = &ctx.queries[seq as usize];
 
-    if ctx.cfg.fastpath {
+    if fastpath {
         if let Some(hash) = autoindex_sql::fingerprint::scan_fingerprint(sql, &mut scratch.lits) {
             if let Some(compiled) = publication.cache.get(hash) {
                 let shape = scratch
@@ -810,6 +851,26 @@ fn execute_one(
     }
 }
 
+/// [`execute_statement`] plus the single-tenant panic-injection knob —
+/// the body workers run inside their `catch_unwind` fence.
+fn execute_one(
+    publication: &Publication,
+    ctx: &WorkerCtx,
+    seq: u64,
+    scratch: &mut WorkerScratch,
+) -> ObservationPayload {
+    if ctx.cfg.panic_on.contains(&seq) {
+        panic!("injected worker panic at seq {seq}");
+    }
+    execute_statement(
+        publication,
+        &ctx.queries[seq as usize],
+        seq,
+        ctx.cfg.fastpath,
+        scratch,
+    )
+}
+
 /// The executor loop: pop a task, pin the task's epoch snapshot, run the
 /// task's shard slice statement by statement, ship observations. Returns
 /// when the queue drains, the pipeline aborts, the tuner goes away, or
@@ -849,7 +910,7 @@ fn worker_loop(
         } else {
             ctx.gate.latest()
         };
-        scratch.pin_epoch(publication.snap.epoch);
+        scratch.pin((0, publication.snap.epoch));
         let (start, end) = ctx.epoch_range(task.epoch);
         for seq in task.resume_at.max(start)..end {
             if shard_of(ctx.cfg.seed, seq, ctx.cfg.shards) != task.shard {
@@ -936,7 +997,7 @@ struct TunerCtx<'a> {
 /// measuring which thread happened to win the race for which task —
 /// which is scheduler-dependent and would make the throughput bench
 /// (`BENCH_PR5.json` / `scripts/check_bench.sh`) flaky.
-fn lpt_makespan(mut shard_ms: Vec<f64>, workers: usize) -> f64 {
+pub(crate) fn lpt_makespan(mut shard_ms: Vec<f64>, workers: usize) -> f64 {
     if workers <= 1 {
         return shard_ms.iter().sum();
     }

@@ -312,6 +312,53 @@ fn worker_panics_never_poison_the_pipeline() {
     );
 }
 
+/// Regression (PR8 satellite): a worker retiring **mid-epoch** must never
+/// deadlock publication. The epoch barrier counts retired workers out of
+/// the quorum with bounded-wait slices; the hazard is a worker that dies
+/// between contributing some of an epoch's observations and reaching the
+/// barrier — if the barrier still waited for it (or a spurious wakeup
+/// re-armed the wait with a stale quorum), the tuner would hang forever
+/// at that epoch boundary. Kill every worker inside the *same* epoch and
+/// demand the run still completes, fully accounted, with the surviving
+/// transcript worker-count invariant.
+#[test]
+fn mid_epoch_retirement_never_deadlocks() {
+    let queries = banking_queries(900, 61);
+    // All panic seqs land inside epoch 1 (300..600) with a 300-interval:
+    // with a zero panic budget and 3 workers, all three executors retire
+    // in the middle of the same epoch, leaving the tuner alone to drain
+    // the remainder and publish the boundary.
+    let panic_seqs = vec![310, 345, 402];
+    let run = |workers: usize| {
+        let cfg = ServeConfig::builder()
+            .workers(workers)
+            .epoch_interval(300)
+            .deterministic(true)
+            .max_worker_panics(0)
+            .panic_on(panic_seqs.clone())
+            .build()
+            .unwrap();
+        serve(banking_db(), advisor(), &queries, cfg).unwrap()
+    };
+    let out = run(3);
+    assert_eq!(out.report.panics, 3);
+    assert_eq!(out.report.workers_retired, 3, "every executor retired");
+    assert_eq!(
+        out.report.executed + out.report.parse_failures + out.report.panics,
+        900,
+        "no sequence slot lost to the mid-epoch retirements"
+    );
+    // All three epoch boundaries were published — nothing deadlocked.
+    assert_eq!(out.report.epochs.len(), 3);
+    let accounted: u64 = out.report.epochs.iter().map(|e| e.statements).sum();
+    assert_eq!(accounted, 900);
+    assert_eq!(
+        out.report.transcript(),
+        run(1).report.transcript(),
+        "mid-epoch retirement transcript differs across worker counts"
+    );
+}
+
 #[test]
 fn panic_budget_keeps_workers_alive() {
     let queries = banking_queries(600, 31);

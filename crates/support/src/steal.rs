@@ -1,0 +1,249 @@
+//! Work-stealing task pool: per-worker deques with steal-half.
+//!
+//! [`StealPool`] is the hermetic executor substrate the serving fleet
+//! schedules on (the `crossbeam-deque` role, sized down to what the
+//! workspace needs). Each worker owns a deque; producers spread new work
+//! round-robin across the deques ([`StealPool::inject`]); a worker pops
+//! its own deque from the front, and when that runs dry it picks a victim
+//! and **steals the back half** of the victim's deque in one grab:
+//!
+//! ```text
+//!   worker 0 ──pop──► [ t0 t1 t2 t3 t4 t5 ]
+//!                                 ▲└──┬───┘
+//!   worker 1 (empty) ─────steal───┘  half moves to worker 1's deque
+//! ```
+//!
+//! Steal-half amortizes contention: a thief that found one victim leaves
+//! with enough work to stay busy instead of coming back per task. Each
+//! deque sits behind its own mutex — the owner's pop and a thief's grab
+//! contend only on that one deque, and only when the thief actually
+//! picked it. This keeps the structure simple and obviously correct
+//! (every task is delivered exactly once, asserted by tests); the
+//! *scheduling* it produces is racy by design, which is fine for the
+//! serving fleet because transcripts are merged on the statements'
+//! logical clock, never on arrival order.
+//!
+//! Steal traffic is counted ([`StealPool::steals`],
+//! [`StealPool::stolen_tasks`]) for observability; the counts are
+//! scheduler-dependent and must never feed a deterministic surface.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A fixed set of mutex-guarded deques with round-robin injection and
+/// steal-half rebalancing. See the [module docs](self).
+pub struct StealPool<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    /// Round-robin cursor for [`StealPool::inject`].
+    next: AtomicUsize,
+    /// Successful steal grabs.
+    steals: AtomicU64,
+    /// Tasks moved by those grabs.
+    stolen: AtomicU64,
+}
+
+impl<T> StealPool<T> {
+    /// A pool with `slots` deques (at least one).
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        StealPool {
+            queues: (0..slots).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of deques.
+    pub fn slots(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn queue(&self, slot: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queues[slot % self.queues.len()]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append `item` to `slot`'s deque (the owner's push).
+    pub fn push(&self, slot: usize, item: T) {
+        self.queue(slot).push_back(item);
+    }
+
+    /// Prepend `item` to `slot`'s deque — used to hand back the remainder
+    /// of an interrupted task so it is the next thing picked up (by the
+    /// owner or by a thief).
+    pub fn push_front(&self, slot: usize, item: T) {
+        self.queue(slot).push_front(item);
+    }
+
+    /// Spread a batch of work round-robin across all deques.
+    pub fn inject<I: IntoIterator<Item = T>>(&self, items: I) {
+        for item in items {
+            let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queue(slot).push_back(item);
+        }
+    }
+
+    /// Pop the next task for `slot`: its own deque front first, then a
+    /// steal-half sweep over the other deques. `None` means every deque
+    /// was observed empty once during the sweep (the pool may be refilled
+    /// concurrently — callers poll or park on their own signal).
+    pub fn pop(&self, slot: usize) -> Option<T> {
+        let n = self.queues.len();
+        let slot = slot % n;
+        if let Some(t) = self.queue(slot).pop_front() {
+            return Some(t);
+        }
+        for off in 1..n {
+            let victim = (slot + off) % n;
+            // Take the back half (the owner works the front), preserving
+            // relative order, and make it our own.
+            let mut grabbed = {
+                let mut q = self.queue(victim);
+                let len = q.len();
+                if len == 0 {
+                    continue;
+                }
+                q.split_off(len - len.div_ceil(2))
+            };
+            let first = grabbed.pop_front();
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.stolen
+                .fetch_add(1 + grabbed.len() as u64, Ordering::Relaxed);
+            if !grabbed.is_empty() {
+                self.queue(slot).append(&mut grabbed);
+            }
+            return first;
+        }
+        None
+    }
+
+    /// Whether every deque is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        (0..self.queues.len()).all(|i| self.queue(i).is_empty())
+    }
+
+    /// Total queued tasks (racy snapshot).
+    pub fn len(&self) -> usize {
+        (0..self.queues.len()).map(|i| self.queue(i).len()).sum()
+    }
+
+    /// Successful steal grabs so far (observability only).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Tasks moved between deques by steals so far (observability only).
+    pub fn stolen_tasks(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_sees_fifo_order() {
+        let pool = StealPool::new(1);
+        for i in 0..5 {
+            pool.push(0, i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| pool.pop(0)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool.steals(), 0, "own deque is not a steal");
+    }
+
+    #[test]
+    fn push_front_is_picked_up_first() {
+        let pool = StealPool::new(1);
+        pool.push(0, 1);
+        pool.push(0, 2);
+        pool.push_front(0, 0);
+        assert_eq!(pool.pop(0), Some(0));
+    }
+
+    #[test]
+    fn steal_takes_half_from_the_back() {
+        let pool = StealPool::new(2);
+        for i in 0..6 {
+            pool.push(0, i);
+        }
+        // Worker 1 is empty: its pop steals half of worker 0's deque.
+        assert_eq!(pool.pop(1), Some(3), "first of the stolen back half");
+        assert_eq!(pool.steals(), 1);
+        assert_eq!(pool.stolen_tasks(), 3);
+        // The rest of the stolen half now lives in worker 1's deque.
+        assert_eq!(pool.pop(1), Some(4));
+        assert_eq!(pool.pop(1), Some(5));
+        // Worker 0 kept its front half.
+        assert_eq!(pool.pop(0), Some(0));
+        assert_eq!(pool.pop(0), Some(1));
+        assert_eq!(pool.pop(0), Some(2));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn inject_round_robins_across_deques() {
+        let pool = StealPool::new(3);
+        pool.inject(0..9);
+        for slot in 0..3 {
+            assert_eq!(pool.queue(slot).len(), 3);
+        }
+    }
+
+    /// The delivery contract under real contention: N workers drain a
+    /// pool of M tasks concurrently, every task arrives exactly once.
+    #[test]
+    fn concurrent_drain_delivers_each_task_exactly_once() {
+        const TASKS: usize = 20_000;
+        const WORKERS: usize = 8;
+        let pool = Arc::new(StealPool::new(WORKERS));
+        let delivered = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        // Seed everything into one deque to force heavy stealing.
+        for i in 0..TASKS {
+            pool.push(0, i);
+        }
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                let delivered = Arc::clone(&delivered);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    // `pop() == None` is only a racy snapshot (tasks may be
+                    // mid-steal), so poll until the shared delivery count
+                    // says the pool is truly drained — exactly the done-flag
+                    // pattern the serving fleet uses.
+                    loop {
+                        match pool.pop(w) {
+                            Some(t) => {
+                                got.push(t);
+                                delivered.fetch_add(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if delivered.load(Ordering::SeqCst) >= TASKS {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..TASKS).collect();
+        assert_eq!(all, expect, "every task exactly once");
+        // No assertion on steals(): whether thieves got a look-in before
+        // the owner drained everything is a scheduler race. Steal-half
+        // semantics are pinned by `steal_takes_half_from_the_back`.
+    }
+}

@@ -10,6 +10,9 @@
 //!   banking scenario: 144 tables, a summarization (OLAP) and a withdrawal
 //!   (OLTP) service, and a bloated hand-crafted DBA index set with
 //!   redundant/unused/negative indexes. Used by Figure 1 and Tables II–III.
+//! * [`fleet`] — the multi-tenant serving-fleet population: T scaled-down
+//!   banking tenants (thousands of accounts each) with priorities, latency
+//!   SLOs and drifting workload mixes. Used by the PR8 fleet bench.
 //! * [`epidemic`] — the Figure 2 motivating example: three workload phases
 //!   with opposite index requirements.
 //! * [`partitioned`] — a hash-partitioned metering table exercising the
@@ -20,6 +23,7 @@
 
 pub mod banking;
 pub mod epidemic;
+pub mod fleet;
 pub mod partitioned;
 pub mod tpcc;
 pub mod tpcds;

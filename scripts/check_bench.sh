@@ -33,6 +33,12 @@
 #                         (default BENCH_PR7.json at the repo root)
 #   BENCH_BASELINE_PR7    path to the committed PR 7 baseline
 #                         (default scripts/bench_baseline_pr7.json)
+#   BENCH_CURRENT_PR8     path to the fresh PR 8 fleet results
+#                         (default BENCH_PR8.json at the repo root)
+#   BENCH_BASELINE_PR8    path to the committed PR 8 baseline
+#                         (default scripts/bench_baseline_pr8.json)
+#   FLEET_SPEEDUP_FLOOR_4 minimum fleet speedup at 4 workers (default 3.5)
+#   FLEET_SPEEDUP_FLOOR_8 minimum fleet speedup at 8 workers (default 6)
 #   FRONTEND_SPEEDUP_FLOOR  minimum fastpath-on/off front-end qps ratio
 #                         (default 10)
 #
@@ -55,7 +61,11 @@ CURRENT6="${BENCH_CURRENT_PR6:-BENCH_PR6.json}"
 BASELINE6="${BENCH_BASELINE_PR6:-scripts/bench_baseline_pr6.json}"
 CURRENT7="${BENCH_CURRENT_PR7:-BENCH_PR7.json}"
 BASELINE7="${BENCH_BASELINE_PR7:-scripts/bench_baseline_pr7.json}"
+CURRENT8="${BENCH_CURRENT_PR8:-BENCH_PR8.json}"
+BASELINE8="${BENCH_BASELINE_PR8:-scripts/bench_baseline_pr8.json}"
 FLOOR="${FRONTEND_SPEEDUP_FLOOR:-10}"
+FLEET4="${FLEET_SPEEDUP_FLOOR_4:-3.5}"
+FLEET8="${FLEET_SPEEDUP_FLOOR_8:-6}"
 TOL="${BENCH_TOLERANCE_PCT:-5}"
 
 if [ ! -f "$CURRENT" ]; then
@@ -80,6 +90,14 @@ if [ ! -f "$CURRENT7" ]; then
 fi
 if [ ! -f "$BASELINE7" ]; then
     echo "ERROR: baseline $BASELINE7 not found" >&2
+    exit 1
+fi
+if [ ! -f "$CURRENT8" ]; then
+    echo "ERROR: $CURRENT8 not found — run: cargo bench --offline -p autoindex-bench --bench fleet" >&2
+    exit 1
+fi
+if [ ! -f "$BASELINE8" ]; then
+    echo "ERROR: baseline $BASELINE8 not found" >&2
     exit 1
 fi
 
@@ -185,10 +203,45 @@ for KEY7 in entries tree_pages splits wal_commits content_digest \
     fi
 done
 
+# PR 8 multi-tenant fleet: sweep rows get the usual simulated-domain
+# tolerance band; the fleet's deterministic fields — admission counts,
+# shed/executed totals and the transcript digest over fleet + all tenant
+# transcripts — are exact (admission is a pure function of config and
+# streams, so a single changed byte means behaviour changed). The
+# work-stealing scaling floors are re-checked from the recorded speedups.
+echo "bench check [PR8 $CURRENT8]: fleet sweep rows, tolerance ±${TOL}%"
+compare_rows "$CURRENT8" "$BASELINE8"
+for KEY8 in tenants statements executed shed shed_slices deferred_slices \
+    tuning_visits slo_violations fleet_epochs transcript_digest; do
+    BASEV=$(scalar "$BASELINE8" "$KEY8")
+    CURV=$(scalar "$CURRENT8" "$KEY8")
+    if [ -z "$CURV" ] || [ "$CURV" != "$BASEV" ]; then
+        echo "  fleet: $KEY8 = ${CURV:-missing} (baseline $BASEV)  FAIL"
+        FAILED=1
+    else
+        echo "  fleet: $KEY8 = $CURV  ok"
+    fi
+done
+SP4=$(scalar "$CURRENT8" "speedup_at_4")
+SP8=$(scalar "$CURRENT8" "speedup_at_8")
+if [ -z "$SP4" ] || ! awk -v s="$SP4" -v f="$FLEET4" 'BEGIN { exit !(s + 0 >= f + 0) }'; then
+    echo "  fleet: speedup_at_4 = ${SP4:-missing}x  FAIL (floor ${FLEET4}x)"
+    FAILED=1
+else
+    echo "  fleet: speedup_at_4 = ${SP4}x (floor ${FLEET4}x)  ok"
+fi
+if [ -z "$SP8" ] || ! awk -v s="$SP8" -v f="$FLEET8" 'BEGIN { exit !(s + 0 >= f + 0) }'; then
+    echo "  fleet: speedup_at_8 = ${SP8:-missing}x  FAIL (floor ${FLEET8}x)"
+    FAILED=1
+else
+    echo "  fleet: speedup_at_8 = ${SP8}x (floor ${FLEET8}x)  ok"
+fi
+
 if [ "$FAILED" -ne 0 ]; then
     echo "BENCH CHECK FAILED: throughput drifted outside ±${TOL}%, determinism broke," >&2
-    echo "the front-end fast path regressed below ${FLOOR}x, or an engine field changed." >&2
-    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6 && cp $CURRENT7 $BASELINE7" >&2
+    echo "the front-end fast path regressed below ${FLOOR}x, an engine field changed," >&2
+    echo "or the fleet's deterministic fields / scaling floors regressed." >&2
+    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6 && cp $CURRENT7 $BASELINE7 && cp $CURRENT8 $BASELINE8" >&2
     exit 1
 fi
-echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x, engine fields exact."
+echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x, engine fields exact, fleet deterministic and scaling (4w >= ${FLEET4}x, 8w >= ${FLEET8}x)."

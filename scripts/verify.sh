@@ -51,6 +51,16 @@ if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.fastpath\.hits' | grep -q 'ok'
     exit 1
 fi
 
+echo "==> fleet determinism smoke-check (multi-tenant digests byte-identical, admission engaged)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.fleet\.determinism' | grep -q 'ok'; then
+    echo "ERROR: multi-tenant fleet transcript digest differs between 1 and 4 workers" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'serve\.admission ' | grep -q 'ok'; then
+    echo "ERROR: fleet admission control did not engage (or shed a protected tenant)" >&2
+    exit 1
+fi
+
 echo "==> WAL-recovery smoke-check (paged engine: crash + replay bit-equal, online == offline)"
 if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'storage\.wal\.recovery' | grep -q 'ok'; then
     echo "ERROR: WAL crash recovery did not restore the identical tree" >&2

@@ -97,11 +97,11 @@ pub mod cli_support {
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use autoindex_core::{
-        ApplyVerdict, AutoIndex, AutoIndexConfig, AutoIndexError, CandidateConfig,
-        CandidateGenerator, DiagnosisConfig, GreedyConfig, Guard, GuardConfig, GuardEvent,
-        GuardPhase, IndexDiagnosis, MctsConfig, Recommendation, ServeConfig, ServeOutcome,
-        ServeReport, SessionReport, TemplateStore, TemplateStoreConfig, TuningReport,
-        TuningSession,
+        serve_fleet, ApplyVerdict, AutoIndex, AutoIndexConfig, AutoIndexError, CandidateConfig,
+        CandidateGenerator, DiagnosisConfig, FleetConfig, FleetOutcome, FleetReport, FleetTenant,
+        GreedyConfig, Guard, GuardConfig, GuardEvent, GuardPhase, IndexDiagnosis, MctsConfig,
+        Recommendation, ServeConfig, ServeOutcome, ServeReport, SessionReport, TemplateStore,
+        TemplateStoreConfig, TenantReport, TenantSpec, TuningReport, TuningSession,
     };
     pub use autoindex_estimator::{
         kfold_cross_validate, CollectConfig, CostEstimator, LearnedCostEstimator,
