@@ -172,7 +172,119 @@ fn smoke() {
     smoke_serve_determinism();
     smoke_fleet();
     smoke_wal_recovery();
+    smoke_drift();
     println!("smoke OK: snapshot parseable, all core counters non-zero");
+}
+
+/// Drift-recovery stage (`scripts/verify.sh` greps the
+/// `tuner.drift.regret` row): on the flash-crowd drift scenario the C²UCB
+/// bandit's cumulative regret against the frozen hindsight oracle must
+/// beat or tie greedy's — the measured-reward loop may not lose to the
+/// estimate-only baseline on the scenario it is built for. A scaled-down
+/// round-by-round replay of the `drift_matrix` bench (one scenario, two
+/// strategies); see `docs/EXPERIMENTS.md` §"Drift matrix".
+fn smoke_drift() {
+    use autoindex_core::{AutoIndex, AutoIndexConfig, RegretAccounter, StrategyKind};
+    use autoindex_estimator::NativeCostEstimator;
+    use autoindex_storage::{SimDb, SimDbConfig};
+    use autoindex_workloads::drift::flash_crowd;
+
+    println!("\n--- drift regret smoke ---");
+    const ROUND: usize = 100;
+    let s = flash_crowd(77, 600);
+    let build_db = || {
+        let cfg = SimDbConfig {
+            seed: 77,
+            ..Default::default()
+        };
+        let mut db = SimDb::with_metrics(
+            s.catalog.clone(),
+            cfg,
+            autoindex_support::obs::MetricsRegistry::new(),
+        );
+        for d in &s.start_indexes {
+            let _ = db.create_index(d.clone());
+        }
+        db
+    };
+
+    // Frozen hindsight oracle: observe the whole stream, freeze the MCTS
+    // recommendation onto a shadow database with the same simulator seed,
+    // replay per round.
+    let mut db = build_db();
+    let mut hindsight = AutoIndex::new(AutoIndexConfig::default(), NativeCostEstimator);
+    for q in &s.queries {
+        hindsight.observe(q, &db).unwrap();
+    }
+    let rec = hindsight
+        .session(&mut db)
+        .recommend_only()
+        .run()
+        .unwrap()
+        .report
+        .recommendation;
+    let mut shadow = build_db();
+    for d in &rec.remove {
+        if let Some(id) = shadow.find_index(d) {
+            let _ = shadow.drop_index(id);
+        }
+    }
+    for d in &rec.add {
+        let _ = shadow.create_index(d.clone());
+    }
+    let oracle: Vec<_> = shadow.indexes().map(|(_, d)| d.clone()).collect();
+    let oracle_means: Vec<f64> = s
+        .queries
+        .chunks(ROUND)
+        .map(|round| {
+            round
+                .iter()
+                .map(|q| {
+                    shadow
+                        .execute(&autoindex_sql::parse_statement(q).unwrap())
+                        .latency_ms
+                })
+                .sum::<f64>()
+                / round.len() as f64
+        })
+        .collect();
+
+    let regret_for = |kind: StrategyKind| -> f64 {
+        let mut db = build_db();
+        let cfg = AutoIndexConfig::builder().strategy(kind).build().unwrap();
+        let mut advisor = AutoIndex::new(cfg, NativeCostEstimator);
+        let mut regret = RegretAccounter::new(oracle.clone());
+        for (r, round) in s.queries.chunks(ROUND).enumerate() {
+            let mut total = 0.0;
+            for q in round {
+                total += db
+                    .execute(&autoindex_sql::parse_statement(q).unwrap())
+                    .latency_ms;
+                advisor.observe(q, &db).unwrap();
+            }
+            let mean = total / round.len() as f64;
+            advisor.observe_reward(mean);
+            regret.observe_round(mean, oracle_means[r], round.len() as u64, db.metrics());
+            advisor.session(&mut db).run().unwrap();
+            db.reset_usage();
+        }
+        regret.cumulative_ms()
+    };
+
+    let bandit = regret_for(StrategyKind::Bandit);
+    let greedy = regret_for(StrategyKind::Greedy);
+    let ok = bandit <= greedy;
+    println!(
+        "  tuner.drift.regret (flash crowd: bandit {bandit:.1} vs greedy {greedy:.1} sim-ms)  {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    if !ok {
+        eprintln!(
+            "smoke FAILED: bandit cumulative regret {bandit:.3} exceeds greedy {greedy:.3} \
+             on the flash-crowd drift scenario"
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Multi-tenant fleet stage (`scripts/verify.sh` greps the

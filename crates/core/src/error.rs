@@ -27,6 +27,12 @@ pub enum AutoIndexError {
     /// and tuning is suspended until an operator intervenes (see
     /// `docs/ROBUSTNESS.md`).
     ObserveOnly,
+    /// A strategy name failed to parse into a
+    /// [`StrategyKind`](crate::strategy::StrategyKind).
+    InvalidStrategy {
+        /// The unrecognized name as supplied.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for AutoIndexError {
@@ -39,6 +45,12 @@ impl std::fmt::Display for AutoIndexError {
             }
             AutoIndexError::ObserveOnly => {
                 f.write_str("guard is in observe-only mode; tuning suspended")
+            }
+            AutoIndexError::InvalidStrategy { name } => {
+                write!(
+                    f,
+                    "unknown tuning strategy `{name}`; expected greedy, mcts or bandit"
+                )
             }
         }
     }
@@ -83,5 +95,10 @@ mod tests {
             .contains("observe-only"));
         let s: AutoIndexError = StorageError::UnknownTable("t".into()).into();
         assert!(s.to_string().contains("unknown table"));
+        let k = AutoIndexError::InvalidStrategy {
+            name: "simulated-annealing".into(),
+        };
+        assert!(k.to_string().contains("simulated-annealing"));
+        assert!(k.to_string().contains("bandit"));
     }
 }

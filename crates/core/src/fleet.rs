@@ -94,6 +94,7 @@ use crate::serve::{
     execute_statement, lpt_makespan, shard_of, tuning_cooldown_over, ObservationPayload,
     Publication, WorkerScratch,
 };
+use crate::strategy::StrategyKind;
 use crate::system::AutoIndex;
 use autoindex_estimator::CostEstimator;
 use autoindex_storage::SimDb;
@@ -170,6 +171,13 @@ pub struct FleetConfig {
     pub reset_usage_after_tuning: bool,
     /// Run tuner visits through the guard pipeline.
     pub guard: Option<GuardConfig>,
+    /// Override every tenant advisor's tuning strategy for fleet visits.
+    /// `None` (the default) leaves each advisor's configured strategy
+    /// untouched and keeps decision strings — and thus transcript
+    /// digests — byte-identical to PR8. `Some(StrategyKind::Bandit)`
+    /// additionally feeds each tenant's measured slice mean back to its
+    /// bandit as the reward signal.
+    pub tuner_strategy: Option<StrategyKind>,
     /// Seed of the per-tenant shard-assignment streams (tenant `t` uses
     /// `derive_seed(seed, t)`).
     pub seed: u64,
@@ -197,6 +205,7 @@ impl Default for FleetConfig {
             tuning_cooldown_epochs: 1,
             reset_usage_after_tuning: true,
             guard: None,
+            tuner_strategy: None,
             seed: 42,
             fastpath: true,
             max_worker_panics: 0,
@@ -273,6 +282,10 @@ impl FleetConfigBuilder {
     }
     pub fn guard(mut self, v: impl Into<Option<GuardConfig>>) -> Self {
         self.cfg.guard = v.into();
+        self
+    }
+    pub fn tuner_strategy(mut self, v: impl Into<Option<StrategyKind>>) -> Self {
+        self.cfg.tuner_strategy = v.into();
         self
     }
     pub fn seed(mut self, v: u64) -> Self {
@@ -983,9 +996,15 @@ impl<E: CostEstimator> TenantState<E> {
     fn visit(&mut self, cfg: &FleetConfig, epoch: u64) -> String {
         self.tuning_visits += 1;
         self.last_tuned_epoch = Some(epoch);
+        // Strategy attribution only when the fleet overrides it: the
+        // default (None) keeps decision strings byte-identical to PR8.
+        let prefix = cfg
+            .tuner_strategy
+            .map(|k| format!("strategy={k} "))
+            .unwrap_or_default();
         let diagnosis = self.advisor.diagnose(&self.db);
         if !diagnosis.should_tune {
-            return "quiet".to_string();
+            return format!("{prefix}quiet");
         }
         let session = self.advisor.session(&mut self.db);
         let run = match cfg.guard.clone() {
@@ -1013,7 +1032,7 @@ impl<E: CostEstimator> TenantState<E> {
         if cfg.reset_usage_after_tuning {
             self.db.reset_usage();
         }
-        decision
+        format!("{prefix}{decision}")
     }
 }
 
@@ -1067,7 +1086,10 @@ pub fn serve_fleet<E: CostEstimator + Send>(
     let mut slots: Vec<ArcSlot<Publication>> = Vec::with_capacity(tenants.len());
     let mut queries: Vec<Arc<Vec<String>>> = Vec::with_capacity(tenants.len());
     let mut seeds: Vec<u64> = Vec::with_capacity(tenants.len());
-    for (t, tenant) in tenants.into_iter().enumerate() {
+    for (t, mut tenant) in tenants.into_iter().enumerate() {
+        if let Some(k) = config.tuner_strategy {
+            tenant.advisor.set_strategy(k);
+        }
         let snap = Arc::new(tenant.db.snapshot(0));
         let cache = if config.fastpath {
             Arc::new(FastPathCache::build(
@@ -1325,6 +1347,11 @@ pub fn serve_fleet<E: CostEstimator + Send>(
                     let mean = slice_rec.record.sim_latency_ms / slice_rec.record.executed as f64;
                     st.last_mean_ms = Some(mean);
                     st.best_mean_ms = st.best_mean_ms.min(mean);
+                    if config.tuner_strategy == Some(StrategyKind::Bandit) {
+                        // Close the bandit's loop: the measured slice mean
+                        // is the reward for the arms applied last visit.
+                        st.advisor.observe_reward(mean);
+                    }
                 }
                 i = end;
             }
@@ -1841,6 +1868,56 @@ mod tests {
         assert_eq!(
             out.metrics.counter_value("serve.tenant.tuning_visits"),
             out.report.tuning_visits
+        );
+    }
+
+    #[test]
+    fn bandit_tuner_override_attributes_visits_and_stays_invariant() {
+        // With `tuner_strategy = Some(Bandit)` the drifting tenant's
+        // visits are bandit-driven, attributed in the decision string,
+        // and the transcript stays worker-count invariant; with the
+        // override off nothing about the transcript changes vs PR8.
+        let mk = || {
+            let mut stream = point_lookups(300, 0);
+            stream.extend(scans(300));
+            vec![
+                tenant("steady", 1, point_lookups(600, 70_000), 1),
+                tenant("drift", 1, stream, 2),
+            ]
+        };
+        let run = |workers: usize, strat: Option<StrategyKind>| {
+            let cfg = FleetConfig::builder()
+                .workers(workers)
+                .epoch_interval(100)
+                .regret_threshold(0.10)
+                .tuner_strategy(strat)
+                .build()
+                .unwrap();
+            serve_fleet(mk(), cfg).unwrap()
+        };
+        let a = run(1, Some(StrategyKind::Bandit));
+        let b = run(3, Some(StrategyKind::Bandit));
+        assert_eq!(
+            a.report.transcript_digest(),
+            b.report.transcript_digest(),
+            "bandit visits are worker-count invariant"
+        );
+        assert!(
+            a.report
+                .epochs
+                .iter()
+                .any(|e| e.visit.contains("strategy=bandit")),
+            "visits carry strategy attribution: {}",
+            a.report.transcript()
+        );
+        let plain = run(1, None);
+        assert!(
+            plain
+                .report
+                .epochs
+                .iter()
+                .all(|e| !e.visit.contains("strategy=")),
+            "no attribution without the override"
         );
     }
 

@@ -16,6 +16,16 @@
 //!   tree share almost all what-if work (see `docs/PERFORMANCE.md`).
 //! * [`greedy`] — the Greedy baseline of §VI-A: per-candidate standalone
 //!   benefit ranking, top-k until the budget is exhausted, no removal.
+//! * [`strategy`] — the pluggable [`strategy::TuningStrategy`] trait and
+//!   [`strategy::StrategyKind`] selector: greedy, MCTS and the bandit all
+//!   answer the same `propose`/`observe_reward` contract, so sessions,
+//!   the online loop and the fleet pick strategies by name.
+//! * [`bandit`] — the C²UCB-style linear contextual bandit strategy
+//!   (DBA-bandits): candidate indexes become arms with estimator-prior
+//!   context features, measured post-apply latency is the reward, and
+//!   per-arm confidence bounds drive safe exploration; plus the
+//!   [`bandit::RegretAccounter`] scoring rounds against a frozen
+//!   hindsight-oracle configuration.
 //! * [`diagnosis`] — the Index Diagnosis module (§III): classifies indexes
 //!   into beneficial-but-missing / rarely-used / negative and fires an
 //!   index-tuning request when their ratio crosses a threshold.
@@ -45,6 +55,7 @@
 //!   worker-count invariant.
 //! * [`error`] — [`error::AutoIndexError`], the crate-wide error type.
 
+pub mod bandit;
 pub mod candgen;
 pub mod delta;
 pub mod diagnosis;
@@ -57,9 +68,11 @@ pub mod mcts;
 pub mod online;
 pub mod serve;
 pub mod session;
+pub mod strategy;
 pub mod system;
 pub mod templates;
 
+pub use bandit::{ArmChoice, BanditConfig, BanditConfigBuilder, BanditStrategy, RegretAccounter};
 pub use candgen::{CandidateConfig, CandidateGenerator};
 pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
@@ -85,6 +98,10 @@ pub use serve::{
     ServeConfigBuilder, ServeOutcome, ServeReport,
 };
 pub use session::{SessionReport, TuningSession};
+pub use strategy::{
+    GreedyStrategy, MctsStrategy, Proposal, RewardObservation, StrategyContext, StrategyKind,
+    TuningStrategy,
+};
 pub use system::{
     AutoIndex, AutoIndexConfig, AutoIndexConfigBuilder, Recommendation, TuningReport,
 };

@@ -22,9 +22,11 @@
 //! threads plus a background tuner publishing configuration swaps at
 //! epoch boundaries — see [`mod@crate::serve`] and `docs/SERVING.md`.
 
+use crate::bandit::ArmChoice;
 use crate::diagnosis::DiagnosisReport;
 use crate::error::{invalid, AutoIndexError};
 use crate::guard::{ApplyVerdict, Guard, GuardConfig, GuardEvent, GuardPhase};
+use crate::strategy::StrategyKind;
 use crate::system::{AutoIndex, TuningReport};
 use autoindex_estimator::CostEstimator;
 use autoindex_storage::{ExecOutcome, SimDb};
@@ -144,6 +146,24 @@ pub enum OnlineEvent {
         diagnosis: DiagnosisReport,
         report: TuningReport,
     },
+    /// An unguarded bandit round performed DDL: like [`OnlineEvent::Tuned`]
+    /// but attributing the change to the bandit's selected arms, so
+    /// transcripts can tell exploration-driven applies from the MCTS
+    /// pipeline's. Emitted only while the bandit strategy is active —
+    /// transcripts (and their digests) are byte-identical when it is off.
+    BanditArmApplied {
+        diagnosis: DiagnosisReport,
+        report: TuningReport,
+        /// The super-arm the bandit committed to this round, with its
+        /// confidence-bound scores at selection time.
+        arms: Vec<ArmChoice>,
+    },
+    /// The operator switched the advisor's tuning strategy via
+    /// [`OnlineAutoIndex::set_strategy`].
+    StrategySwitched {
+        from: StrategyKind,
+        to: StrategyKind,
+    },
     /// Diagnosis fired and a guarded round applied a change; probation is
     /// armed until the given statement count.
     GuardApplied {
@@ -253,6 +273,17 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
     /// Statements executed so far.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Switch the advisor's tuning strategy mid-stream. Returns the
+    /// [`OnlineEvent::StrategySwitched`] transition for the caller's
+    /// transcript; per-strategy state (policy tree, bandit model) is
+    /// retained across switches.
+    pub fn set_strategy(&mut self, to: StrategyKind) -> OnlineEvent {
+        let from = self.advisor.strategy();
+        self.advisor.set_strategy(to);
+        self.db.metrics().counter("online.strategy_switches").incr();
+        OnlineEvent::StrategySwitched { from, to }
     }
 
     /// Execute one statement from the stream, observe it, and run the
@@ -385,6 +416,13 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
                 let report = self.advisor.apply_unguarded(&mut self.db, rec, start);
                 if !report.recommendation.is_noop() {
                     self.tuning_rounds += 1;
+                    if self.advisor.strategy() == StrategyKind::Bandit {
+                        return self.finish_round(OnlineEvent::BanditArmApplied {
+                            diagnosis,
+                            report,
+                            arms: self.advisor.last_arms().to_vec(),
+                        });
+                    }
                 }
                 OnlineEvent::Tuned { diagnosis, report }
             }
@@ -428,6 +466,12 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
                 }
             }
         };
+        self.finish_round(event)
+    }
+
+    /// Common tuning-round tail: start a fresh measurement window for the
+    /// new configuration when configured to.
+    fn finish_round(&mut self, event: OnlineEvent) -> OnlineEvent {
         if self.config.reset_usage_after_tuning {
             self.db.reset_usage();
         }
@@ -443,7 +487,9 @@ impl<E: CostEstimator> OnlineAutoIndex<E> {
         let mut out = Vec::new();
         for q in sqls {
             match self.feed(q).event {
-                OnlineEvent::Tuned { report, .. } | OnlineEvent::GuardApplied { report, .. } => {
+                OnlineEvent::Tuned { report, .. }
+                | OnlineEvent::BanditArmApplied { report, .. }
+                | OnlineEvent::GuardApplied { report, .. } => {
                     out.push((self.executed, report));
                 }
                 _ => {}
@@ -798,6 +844,56 @@ mod tests {
         // Operator reset re-arms tuning.
         o.reset_guard();
         assert!(o.guard().unwrap().can_tune());
+    }
+
+    #[test]
+    fn strategy_switch_emits_transition_and_bandit_applies_are_attributed() {
+        let mut o = online();
+        let ev = o.set_strategy(StrategyKind::Bandit);
+        assert!(matches!(
+            ev,
+            OnlineEvent::StrategySwitched {
+                from: StrategyKind::Mcts,
+                to: StrategyKind::Bandit,
+            }
+        ));
+        let mut bandit_applied = false;
+        for i in 0..1_200 {
+            let fed = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+            match fed.event {
+                OnlineEvent::BanditArmApplied { ref arms, .. } => {
+                    bandit_applied = true;
+                    assert!(!arms.is_empty(), "arm attribution must be present");
+                }
+                OnlineEvent::Tuned { ref report, .. } => {
+                    assert!(
+                        report.recommendation.is_noop(),
+                        "bandit DDL must surface as BanditArmApplied, not Tuned"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(bandit_applied, "the bandit must act on the hot template");
+        assert!(o.db().indexes().any(|(_, d)| d.key() == "t(a)"));
+        assert!(o.db().metrics().counter_value("online.strategy_switches") >= 1);
+    }
+
+    #[test]
+    fn transcript_unchanged_when_bandit_is_off() {
+        // The new variants must not perturb the default-path event stream:
+        // same queries, same events, with or without the bandit compiled-in
+        // state sitting idle inside the advisor.
+        let run = || {
+            let mut o = online();
+            let mut log = Vec::new();
+            for i in 0..900 {
+                let fed = o.feed(&format!("SELECT * FROM t WHERE a = {i}"));
+                log.push(format!("{:?}", std::mem::discriminant(&fed.event)));
+            }
+            log
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 use crate::error::AutoIndexError;
 use crate::guard::{ApplyVerdict, Guard, GuardConfig};
+use crate::strategy::StrategyKind;
 use crate::system::{AutoIndex, Recommendation, TuningReport};
 use autoindex_estimator::{CostEstimator, TemplateWorkload};
 use autoindex_storage::shape::QueryShape;
@@ -85,6 +86,7 @@ pub struct TuningSession<'a, 'd, E: CostEstimator> {
     guard: Option<GuardConfig>,
     recommendation: Option<Recommendation>,
     recommend_only: bool,
+    strategy: Option<StrategyKind>,
 }
 
 impl<'a, 'd, E: CostEstimator> TuningSession<'a, 'd, E> {
@@ -96,6 +98,7 @@ impl<'a, 'd, E: CostEstimator> TuningSession<'a, 'd, E> {
             guard: None,
             recommendation: None,
             recommend_only: false,
+            strategy: None,
         }
     }
 
@@ -120,6 +123,14 @@ impl<'a, 'd, E: CostEstimator> TuningSession<'a, 'd, E> {
         self
     }
 
+    /// Recommend with an explicit [`StrategyKind`] for this session only,
+    /// overriding `AutoIndexConfig::strategy`. The advisor's per-strategy
+    /// state (policy tree, bandit model) persists either way.
+    pub fn strategy(mut self, kind: StrategyKind) -> Self {
+        self.strategy = Some(kind);
+        self
+    }
+
     /// Skip recommendation and apply this exact, previously computed (and
     /// possibly operator-approved) recommendation.
     pub fn with_recommendation(mut self, rec: Recommendation) -> Self {
@@ -131,13 +142,14 @@ impl<'a, 'd, E: CostEstimator> TuningSession<'a, 'd, E> {
     /// then apply per the builder's mode.
     pub fn run(self) -> Result<SessionReport, AutoIndexError> {
         let start = Instant::now();
+        let kind = self.strategy.unwrap_or(self.advisor.strategy());
         let rec = match self.recommendation {
             Some(r) => r,
             None => match &self.workload {
-                Some(w) => self.advisor.compute_recommendation(self.db, w),
+                Some(w) => self.advisor.compute_recommendation_with(kind, self.db, w),
                 None => {
                     let w = self.advisor.workload();
-                    self.advisor.compute_recommendation(self.db, &w)
+                    self.advisor.compute_recommendation_with(kind, self.db, &w)
                 }
             },
         };

@@ -8,14 +8,18 @@
 //! and universe all persist across rounds, making the management
 //! *incremental*: each round starts from what previous rounds learned.
 
-use crate::candgen::{CandidateConfig, CandidateGenerator};
-use crate::delta::DeltaWorkload;
+use crate::bandit::{ArmChoice, BanditConfig, BanditStrategy};
+use crate::candgen::CandidateConfig;
 use crate::diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 use crate::error::{invalid, AutoIndexError};
-use crate::mcts::{ConfigSet, MctsConfig, MctsSearch, PolicyTree, Universe};
+use crate::mcts::MctsConfig;
 use crate::session::TuningSession;
+use crate::strategy::{
+    GreedyStrategy, MctsStrategy, RewardObservation, RoundStats, StrategyContext, StrategyKind,
+    TuningStrategy,
+};
 use crate::templates::{TemplateStore, TemplateStoreConfig};
-use autoindex_estimator::cost_cache::{CostCache, CostCacheStats};
+use autoindex_estimator::cost_cache::CostCache;
 use autoindex_estimator::{CostEstimator, TemplateWorkload};
 use autoindex_sql::SqlError;
 use autoindex_storage::index::{IndexDef, IndexId};
@@ -42,6 +46,13 @@ pub struct AutoIndexConfig {
     /// (pressure-adjusted) estimated workload cost by at most this
     /// fraction. `None` disables the pass.
     pub prune_epsilon: Option<f64>,
+    /// Which tuning strategy recommendation rounds run by default
+    /// ([`StrategyKind::Mcts`] preserves the historical behavior).
+    /// Overridable per session via `TuningSession::strategy`.
+    pub strategy: StrategyKind,
+    /// Parameters of the C²UCB bandit strategy ([`crate::bandit`]);
+    /// ignored unless the bandit is selected.
+    pub bandit: BanditConfig,
 }
 
 impl Default for AutoIndexConfig {
@@ -55,6 +66,8 @@ impl Default for AutoIndexConfig {
             protect_primary_keys: true,
             min_improvement: 0.002,
             prune_epsilon: Some(0.0),
+            strategy: StrategyKind::default(),
+            bandit: BanditConfig::default(),
         }
     }
 }
@@ -107,6 +120,14 @@ impl AutoIndexConfigBuilder {
         self.cfg.prune_epsilon = v;
         self
     }
+    pub fn strategy(mut self, v: StrategyKind) -> Self {
+        self.cfg.strategy = v;
+        self
+    }
+    pub fn bandit(mut self, v: BanditConfig) -> Self {
+        self.cfg.bandit = v;
+        self
+    }
 
     /// Validate and build.
     pub fn build(self) -> Result<AutoIndexConfig, AutoIndexError> {
@@ -131,8 +152,10 @@ impl AutoIndexConfigBuilder {
                 "a zero budget forbids every index; use None for unlimited",
             ));
         }
-        // Nested search configuration goes through its own validator.
+        // Nested search/bandit configuration goes through its own
+        // validator.
         let _ = MctsConfig::builder_from(c.mcts.clone()).build()?;
+        let _ = BanditConfig::builder_from(c.bandit.clone()).build()?;
         Ok(c)
     }
 }
@@ -213,61 +236,90 @@ impl TuningReport {
     }
 }
 
-/// Statistics captured while the most recent recommendation was computed,
-/// consumed by [`AutoIndex::apply`]-style wrappers so [`TuningReport`]
-/// carries real numbers instead of placeholders.
-#[derive(Debug, Clone, Copy, Default)]
-struct RoundStats {
-    candidates_generated: usize,
-    /// Search cache misses + prune/refinement probes.
-    evaluations: usize,
-    /// Search cache misses only.
-    search_evaluations: usize,
-    cache_hits: usize,
-    search_time: Duration,
-    candgen_time: Duration,
-}
-
 /// The incremental index management system.
+///
+/// Since PR 9 the recommendation engine is pluggable: the advisor owns
+/// one [`TuningStrategy`] instance per [`StrategyKind`] — each with its
+/// own round-persistent state (the MCTS policy tree and term cache, the
+/// bandit's linear model) — and dispatches rounds to the active one.
 pub struct AutoIndex<E: CostEstimator> {
     pub config: AutoIndexConfig,
     estimator: E,
     templates: TemplateStore,
-    universe: Universe,
-    tree: PolicyTree,
-    /// Round-persistent per-template term cache of the delta-cost engine:
-    /// prune probes, the MCTS search, refinement passes and *subsequent
-    /// rounds over unchanged statistics* all share it.
-    cost_cache: CostCache,
-    /// Catalog version the cache contents were computed against.
-    cache_catalog_version: Option<u64>,
-    /// Set by template refresh/decay: the cache is invalidated at the next
-    /// pricing opportunity (invalidation needs the db's metrics registry).
-    cache_dirty: bool,
+    /// The §IV-B pipeline (universe, policy tree, delta-cost cache).
+    mcts: MctsStrategy,
+    /// The §VI-A baseline.
+    greedy: GreedyStrategy,
+    /// The C²UCB bandit ([`crate::bandit`]).
+    bandit: BanditStrategy,
+    /// Strategy the next round dispatches to (config default until
+    /// [`AutoIndex::set_strategy`] or a session override changes it).
+    active: StrategyKind,
     /// Telemetry from the most recent recommendation run.
     last_round: RoundStats,
+    /// Policy-tree size reported by the most recent proposal.
+    last_tree_nodes: usize,
+    /// Arms the most recent bandit proposal applied (empty otherwise).
+    last_arms: Vec<ArmChoice>,
 }
 
 impl<E: CostEstimator> AutoIndex<E> {
     /// Create a system with the given estimator.
     pub fn new(config: AutoIndexConfig, estimator: E) -> Self {
         let templates = TemplateStore::new(config.templates.clone());
+        let bandit = BanditStrategy::new(config.bandit.clone());
+        let active = config.strategy;
         AutoIndex {
             config,
             estimator,
             templates,
-            universe: Universe::new(),
-            tree: PolicyTree::new(),
-            cost_cache: CostCache::new(),
-            cache_catalog_version: None,
-            cache_dirty: false,
+            mcts: MctsStrategy::new(),
+            greedy: GreedyStrategy,
+            bandit,
+            active,
             last_round: RoundStats::default(),
+            last_tree_nodes: 0,
+            last_arms: Vec::new(),
         }
     }
 
-    /// The delta-cost term cache (read access for tests/telemetry).
+    /// The delta-cost term cache of the MCTS strategy (read access for
+    /// tests/telemetry).
     pub fn cost_cache(&self) -> &CostCache {
-        &self.cost_cache
+        self.mcts.cost_cache()
+    }
+
+    /// The strategy the next tuning round will use.
+    pub fn strategy(&self) -> StrategyKind {
+        self.active
+    }
+
+    /// Switch the default strategy for subsequent rounds. Strategy state
+    /// is per-kind and persistent: switching away and back resumes where
+    /// the strategy left off.
+    pub fn set_strategy(&mut self, kind: StrategyKind) {
+        self.active = kind;
+    }
+
+    /// Feed measured post-apply latency back to the active strategy
+    /// (the bandit's reward signal; greedy/MCTS ignore it).
+    pub fn observe_reward(&mut self, measured_mean_ms: f64) {
+        let obs = RewardObservation { measured_mean_ms };
+        self.strategy_mut(self.active).observe_reward(&obs);
+    }
+
+    /// Arms the most recent bandit round applied (empty for other
+    /// strategies or when nothing was applied).
+    pub fn last_arms(&self) -> &[ArmChoice] {
+        &self.last_arms
+    }
+
+    fn strategy_mut(&mut self, kind: StrategyKind) -> &mut dyn TuningStrategy<E> {
+        match kind {
+            StrategyKind::Greedy => &mut self.greedy,
+            StrategyKind::Mcts => &mut self.mcts,
+            StrategyKind::Bandit => &mut self.bandit,
+        }
     }
 
     /// Feed one query from the stream (the `SQL2Template` hot path).
@@ -327,12 +379,19 @@ impl<E: CostEstimator> AutoIndex<E> {
     }
 
     /// Recompute template shapes against current statistics (call after
-    /// significant data growth). Invalidates the delta-cost term cache:
-    /// re-extracted shapes may carry new selectivities, and the catalog
-    /// they were priced against has typically moved too.
+    /// significant data growth). Invalidates strategy state derived from
+    /// the old statistics (the MCTS delta-cost term cache): re-extracted
+    /// shapes may carry new selectivities, and the catalog they were
+    /// priced against has typically moved too.
     pub fn refresh_statistics(&mut self, db: &SimDb) {
         self.templates.refresh_shapes(db.catalog());
-        self.cache_dirty = true;
+        self.invalidate_strategies();
+    }
+
+    fn invalidate_strategies(&mut self) {
+        TuningStrategy::<E>::invalidate(&mut self.mcts);
+        TuningStrategy::<E>::invalidate(&mut self.greedy);
+        TuningStrategy::<E>::invalidate(&mut self.bandit);
     }
 
     /// Force one template-frequency decay (§IV-C). Online, the workload
@@ -343,7 +402,7 @@ impl<E: CostEstimator> AutoIndex<E> {
     /// is the natural point to bound cache memory).
     pub fn force_template_decay(&mut self) {
         self.templates.decay();
-        self.cache_dirty = true;
+        self.invalidate_strategies();
     }
 
     /// Open a builder-style [`TuningSession`] — the unified entry point
@@ -361,260 +420,44 @@ impl<E: CostEstimator> AutoIndex<E> {
         TuningSession::new(self, db)
     }
 
-    /// The recommendation pipeline (§IV-A/B): candidate generation,
-    /// universe interning, prune pass, MCTS over the persistent policy
-    /// tree, add-refinement, minimal-change pass and the improvement gate.
-    /// Internal engine behind [`AutoIndex::session`].
+    /// Run the active strategy's recommendation pipeline. For the default
+    /// [`StrategyKind::Mcts`] this is the paper's §IV-A/B flow (candidate
+    /// generation, universe interning, prune pass, MCTS over the
+    /// persistent policy tree, add-refinement, minimal-change pass and
+    /// the improvement gate), now living in
+    /// [`MctsStrategy`](crate::strategy::MctsStrategy). Internal engine
+    /// behind [`AutoIndex::session`].
     pub(crate) fn compute_recommendation(
         &mut self,
         db: &SimDb,
         workload: &TemplateWorkload,
     ) -> Recommendation {
-        let existing_defs: Vec<(IndexId, IndexDef)> =
-            db.indexes().map(|(id, d)| (id, d.clone())).collect();
-        let existing_list: Vec<IndexDef> = existing_defs.iter().map(|(_, d)| d.clone()).collect();
+        self.compute_recommendation_with(self.active, db, workload)
+    }
 
-        self.last_round = RoundStats::default();
-        if workload.is_empty() {
-            return Recommendation::noop(0.0);
-        }
-
-        // Candidate generation (§IV-A).
-        let candgen_started = Instant::now();
-        let candidates = CandidateGenerator::new(self.config.candidates.clone()).generate(
-            workload,
-            db.catalog(),
-            &existing_list,
-        );
-        let candgen_time = candgen_started.elapsed();
-        db.metrics()
-            .timer("system.candgen_time")
-            .record(candgen_time);
-        db.metrics()
-            .counter("system.candidates_generated")
-            .add(candidates.len() as u64);
-
-        // Universe bookkeeping.
-        let mut existing_set = ConfigSet::default();
-        let mut protected = ConfigSet::default();
-        for (_, d) in &existing_defs {
-            let slot = self.universe.intern(d);
-            existing_set.insert(slot);
-            if self.config.protect_primary_keys && is_primary_key_index(db, d) {
-                protected.insert(slot);
-            }
-        }
-        for c in &candidates {
-            self.universe.intern(c);
-        }
-        self.universe.refresh_sizes(db);
-
-        // Delta-cost engine upkeep: drop memoized terms when the catalog
-        // (statistics) moved since they were computed, or when a template
-        // refresh/decay requested it. Terms are otherwise valid across
-        // rounds — that is the "incremental" in incremental management.
-        let catalog_version = db.catalog().version();
-        if self.cache_dirty
-            || self
-                .cache_catalog_version
-                .is_some_and(|v| v != catalog_version)
-        {
-            self.cost_cache.invalidate(db.metrics());
-            self.cache_dirty = false;
-        }
-        self.cache_catalog_version = Some(catalog_version);
-
-        // Estimator-driven redundant-index prune pass (§III): sequentially
-        // try removing existing indexes — least-scanned first — keeping
-        // each removal whose (pressure-adjusted) estimated cost increase is
-        // within epsilon. Sequential re-evaluation makes the pass safe for
-        // mutually-redundant pairs: once one copy is gone, the survivor is
-        // no longer removable for free.
-        //
-        // `priced` goes through the same per-template term cache as the
-        // search (when the decomposed evaluator is enabled), so the prune
-        // probes, the MCTS leaves and the refinement hill-climb all share
-        // what-if work — bitwise-identically to the naive evaluator.
-        let extra_evals = std::cell::Cell::new(0usize);
-        let delta = self
-            .config
-            .mcts
-            .decomposed_eval
-            .then(|| DeltaWorkload::new(&self.universe, workload));
-        let cache_stats = CostCacheStats::bind(db.metrics());
-        let priced = |cfg: &ConfigSet| {
-            extra_evals.set(extra_evals.get() + 1);
-            let pressure = db.pressure_for_index_bytes(self.universe.config_size(cfg));
-            match &delta {
-                Some(dw) => {
-                    dw.cost(
-                        db,
-                        &self.estimator,
-                        &self.universe,
-                        cfg,
-                        &self.cost_cache,
-                        &cache_stats,
-                    ) * pressure
-                }
-                None => {
-                    let defs = self.universe.config_defs(cfg);
-                    self.estimator.workload_cost(db, workload, &defs) * pressure
-                }
-            }
-        };
-        let mut start_set = existing_set.clone();
-        if let Some(eps) = self.config.prune_epsilon {
-            let mut base = priced(&start_set);
-            // Least-used first: zero-scan indexes are the cheapest wins.
-            let mut order: Vec<(u64, usize)> = existing_defs
-                .iter()
-                .filter_map(|(id, d)| {
-                    let slot = self.universe.slot(d)?;
-                    if protected.contains(slot) {
-                        return None;
-                    }
-                    Some((db.usage().usage(*id).scans, slot))
-                })
-                .collect();
-            order.sort();
-            for (_, slot) in order {
-                let mut trial = start_set.clone();
-                trial.remove(slot);
-                let c = priced(&trial);
-                if c <= base * (1.0 + eps) {
-                    start_set = trial;
-                    base = c;
-                }
-            }
-        }
-
-        // MCTS over the persistent policy tree (§IV-B).
-        self.tree.begin_round(self.config.mcts.round_decay);
-        let search = MctsSearch {
-            universe: &self.universe,
-            estimator: &self.estimator,
+    /// [`AutoIndex::compute_recommendation`] with an explicit strategy
+    /// (the `TuningSession::strategy` override path).
+    pub(crate) fn compute_recommendation_with(
+        &mut self,
+        kind: StrategyKind,
+        db: &SimDb,
+        workload: &TemplateWorkload,
+    ) -> Recommendation {
+        let ctx = StrategyContext {
             db,
             workload,
-            config: self.config.mcts.clone(),
-            budget: self.config.storage_budget,
-            existing: existing_set.clone(),
-            protected,
-            start: start_set,
-            cost_cache: Some(&self.cost_cache),
+            estimator: &self.estimator,
+            config: &self.config,
         };
-        let outcome = search.run(&mut self.tree);
-
-        // Local add-refinement pass: the tree search handles interactions,
-        // substitutions and removals; a final hill-climb over the remaining
-        // candidates ("repeat above steps until ... meeting the performance
-        // expectation", §IV-B Remark) guarantees no individually-profitable
-        // candidate is left on the table.
-        let mut best_config = outcome.best_config.clone();
-        let mut best_cost = priced(&best_config);
-        for _ in 0..2 {
-            let mut changed = false;
-            for slot in 0..self.universe.len() {
-                if best_config.contains(slot) {
-                    continue;
-                }
-                if let Some(b) = self.config.storage_budget {
-                    if self.universe.config_size(&best_config) + self.universe.size(slot) > b {
-                        continue;
-                    }
-                }
-                let mut trial = best_config.clone();
-                trial.insert(slot);
-                let c = priced(&trial);
-                // An addition needs a strict improvement (beyond float
-                // noise). Because removals tolerate zero regression, any
-                // strictly profitable addition cannot be flip-flopped away
-                // by a later prune pass while the estimates stand still.
-                if c < best_cost * (1.0 - 1e-6) {
-                    best_config = trial;
-                    best_cost = c;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-
-        // Minimal-change principle when the removal pass is off: an
-        // existing index whose presence is cost-neutral must not be dropped
-        // just because the search happened to find the optimum without it.
-        if self.config.prune_epsilon.is_none() {
-            for slot in existing_set.iter() {
-                if best_config.contains(slot) {
-                    continue;
-                }
-                if let Some(b) = self.config.storage_budget {
-                    if self.universe.config_size(&best_config) + self.universe.size(slot) > b {
-                        continue;
-                    }
-                }
-                let mut trial = best_config.clone();
-                trial.insert(slot);
-                let c = priced(&trial);
-                if c <= best_cost * (1.0 + 1e-9) {
-                    best_config = trial;
-                    best_cost = c.min(best_cost);
-                }
-            }
-        }
-
-        let baseline_cost = priced(&existing_set);
-
-        // Truthful round telemetry: real candidate count, real estimator
-        // evaluation counts (search cache misses + every `priced` probe the
-        // prune/refinement passes made), real phase timings. `apply` folds
-        // these into the `TuningReport` instead of hardcoded zeros.
-        self.last_round = RoundStats {
-            candidates_generated: candidates.len(),
-            evaluations: outcome.evaluations + extra_evals.get(),
-            search_evaluations: outcome.evaluations,
-            cache_hits: outcome.cache_hits,
-            search_time: outcome.elapsed,
-            candgen_time,
+        let proposal = match kind {
+            StrategyKind::Greedy => self.greedy.propose(ctx),
+            StrategyKind::Mcts => self.mcts.propose(ctx),
+            StrategyKind::Bandit => self.bandit.propose(ctx),
         };
-
-        let improvement = if baseline_cost > 0.0 {
-            ((baseline_cost - best_cost) / baseline_cost).max(0.0)
-        } else {
-            0.0
-        };
-        if improvement < self.config.min_improvement {
-            // A prune-only change (dropping cost-neutral redundant indexes)
-            // is worth acting on regardless of the latency improvement —
-            // it reclaims storage and write headroom for free, and leaving
-            // it pending makes diagnosis re-fire every window (§III removes
-            // redundant indexes, not only slow ones).
-            let pruned_something = best_config.iter().all(|s| existing_set.contains(s))
-                && best_config.len() < existing_set.len();
-            if !pruned_something {
-                return Recommendation::noop(baseline_cost);
-            }
-        }
-
-        // Diff best configuration against the existing one.
-        let mut add = Vec::new();
-        let mut remove = Vec::new();
-        for slot in best_config.iter() {
-            if !existing_set.contains(slot) {
-                add.push(self.universe.def(slot).clone());
-            }
-        }
-        for slot in existing_set.iter() {
-            if !best_config.contains(slot) {
-                remove.push(self.universe.def(slot).clone());
-            }
-        }
-        Recommendation {
-            add,
-            remove,
-            est_cost_before: baseline_cost,
-            est_cost_after: best_cost,
-        }
+        self.last_round = proposal.stats;
+        self.last_tree_nodes = proposal.tree_nodes;
+        self.last_arms = proposal.arms;
+        proposal.recommendation
     }
 
     /// Unguarded apply (drops, then creates, ignoring individual DDL
@@ -660,7 +503,7 @@ impl<E: CostEstimator> AutoIndex<E> {
             dropped,
             candidates_generated: stats.candidates_generated,
             tuning_time: start.elapsed(),
-            tree_nodes: self.tree.len(),
+            tree_nodes: self.last_tree_nodes,
             evaluations: stats.evaluations,
             search_evaluations: stats.search_evaluations,
             eval_cache_hits: stats.cache_hits,
@@ -668,14 +511,6 @@ impl<E: CostEstimator> AutoIndex<E> {
             candgen_time: stats.candgen_time,
         }
     }
-}
-
-/// Whether `def` implements `table`'s primary key (exactly or as its full
-/// prefix in order).
-fn is_primary_key_index(db: &SimDb, def: &IndexDef) -> bool {
-    db.catalog()
-        .table(&def.table)
-        .is_some_and(|t| !t.primary_key.is_empty() && def.columns == t.primary_key)
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@
 //! * [`fleet`] — the multi-tenant serving-fleet population: T scaled-down
 //!   banking tenants (thousands of accounts each) with priorities, latency
 //!   SLOs and drifting workload mixes. Used by the PR8 fleet bench.
+//! * [`drift`] — single-tenant drift scenarios (flash crowd, seasonal
+//!   shift, schema migration, ad-hoc analyst bursts) with marked drift
+//!   points and mean-latency SLOs. Used by the PR9 `drift_matrix` bench
+//!   comparing greedy/MCTS/bandit recovery and regret.
 //! * [`epidemic`] — the Figure 2 motivating example: three workload phases
 //!   with opposite index requirements.
 //! * [`partitioned`] — a hash-partitioned metering table exercising the
@@ -22,6 +26,7 @@
 //! reproducible run to run.
 
 pub mod banking;
+pub mod drift;
 pub mod epidemic;
 pub mod fleet;
 pub mod partitioned;

@@ -63,6 +63,9 @@ fn main() {
                 OnlineEvent::Tuned { diagnosis, report }
                 | OnlineEvent::GuardApplied {
                     diagnosis, report, ..
+                }
+                | OnlineEvent::BanditArmApplied {
+                    diagnosis, report, ..
                 } => {
                     println!(
                         "  [stmt {}] diagnosis fired (problem ratio {:.0}%, missing benefit {:.0}%)",
@@ -102,6 +105,9 @@ fn main() {
                     "  [stmt {}] guard degraded to observe-only",
                     online.executed()
                 ),
+                OnlineEvent::StrategySwitched { from, to } => {
+                    println!("  [stmt {}] strategy {from} -> {to}", online.executed())
+                }
             }
         }
         println!(

@@ -37,6 +37,12 @@
 #                         (default BENCH_PR8.json at the repo root)
 #   BENCH_BASELINE_PR8    path to the committed PR 8 baseline
 #                         (default scripts/bench_baseline_pr8.json)
+#   BENCH_CURRENT_PR9     path to the fresh PR 9 drift-matrix results
+#                         (default BENCH_PR9.json at the repo root)
+#   BENCH_BASELINE_PR9    path to the committed PR 9 baseline
+#                         (default scripts/bench_baseline_pr9.json)
+#   BANDIT_WINS_FLOOR     minimum scenarios where the bandit beats/ties
+#                         greedy cumulative regret (default 2)
 #   FLEET_SPEEDUP_FLOOR_4 minimum fleet speedup at 4 workers (default 3.5)
 #   FLEET_SPEEDUP_FLOOR_8 minimum fleet speedup at 8 workers (default 6)
 #   FRONTEND_SPEEDUP_FLOOR  minimum fastpath-on/off front-end qps ratio
@@ -63,6 +69,9 @@ CURRENT7="${BENCH_CURRENT_PR7:-BENCH_PR7.json}"
 BASELINE7="${BENCH_BASELINE_PR7:-scripts/bench_baseline_pr7.json}"
 CURRENT8="${BENCH_CURRENT_PR8:-BENCH_PR8.json}"
 BASELINE8="${BENCH_BASELINE_PR8:-scripts/bench_baseline_pr8.json}"
+CURRENT9="${BENCH_CURRENT_PR9:-BENCH_PR9.json}"
+BASELINE9="${BENCH_BASELINE_PR9:-scripts/bench_baseline_pr9.json}"
+WINS_FLOOR="${BANDIT_WINS_FLOOR:-2}"
 FLOOR="${FRONTEND_SPEEDUP_FLOOR:-10}"
 FLEET4="${FLEET_SPEEDUP_FLOOR_4:-3.5}"
 FLEET8="${FLEET_SPEEDUP_FLOOR_8:-6}"
@@ -98,6 +107,14 @@ if [ ! -f "$CURRENT8" ]; then
 fi
 if [ ! -f "$BASELINE8" ]; then
     echo "ERROR: baseline $BASELINE8 not found" >&2
+    exit 1
+fi
+if [ ! -f "$CURRENT9" ]; then
+    echo "ERROR: $CURRENT9 not found — run: cargo bench --offline -p autoindex-bench --bench drift_matrix" >&2
+    exit 1
+fi
+if [ ! -f "$BASELINE9" ]; then
+    echo "ERROR: baseline $BASELINE9 not found" >&2
     exit 1
 fi
 
@@ -237,11 +254,55 @@ else
     echo "  fleet: speedup_at_8 = ${SP8}x (floor ${FLEET8}x)  ok"
 fi
 
+# PR 9 drift matrix: every field in the file is either a config echo or
+# a simulated-domain result (regret curves, recovery rounds, digests) —
+# deterministic by construction — except wall_ms. The comparison is
+# therefore byte-exact after stripping wall_ms lines; on top of that the
+# bandit-vs-greedy win floor and every cell's recovery requirement are
+# re-checked from the current file.
+echo "bench check [PR9 $CURRENT9]: drift-matrix fields, exact match (wall_ms ignored)"
+if grep -v '"wall_ms":' "$CURRENT9" >/tmp/bench_current.$$ \
+    && grep -v '"wall_ms":' "$BASELINE9" >/tmp/bench_baseline.$$ \
+    && cmp -s /tmp/bench_current.$$ /tmp/bench_baseline.$$; then
+    echo "  drift: all simulated fields byte-identical to baseline  ok"
+else
+    echo "  drift: simulated fields differ from baseline  FAIL"
+    diff /tmp/bench_baseline.$$ /tmp/bench_current.$$ | head -20 || true
+    FAILED=1
+fi
+rm -f /tmp/bench_current.$$ /tmp/bench_baseline.$$
+WINS=$(scalar "$CURRENT9" "bandit_wins_vs_greedy")
+if [ -z "$WINS" ] || [ "$WINS" -lt "$WINS_FLOOR" ] 2>/dev/null; then
+    echo "  drift: bandit_wins_vs_greedy = ${WINS:-missing}  FAIL (floor $WINS_FLOOR)"
+    FAILED=1
+else
+    echo "  drift: bandit_wins_vs_greedy = $WINS (floor $WINS_FLOOR)  ok"
+fi
+INVAR=$(scalar "$CURRENT9" "fleet_bandit_invariant")
+if [ "$INVAR" != "true" ]; then
+    echo "  drift: fleet_bandit_invariant = ${INVAR:-missing}  FAIL"
+    FAILED=1
+else
+    echo "  drift: fleet_bandit_invariant = true  ok"
+fi
+RECOV=$(awk '
+    /"post_rounds":/     { gsub(/[",]/, ""); p = $2 }
+    /"recovery_rounds":/ { gsub(/[",]/, ""); if ($2 + 0 >= p + 0) bad++ }
+    END { print bad + 0 }
+' "$CURRENT9")
+if [ "$RECOV" != "0" ]; then
+    echo "  drift: $RECOV cells never recovered to SLO  FAIL"
+    FAILED=1
+else
+    echo "  drift: every cell recovered to SLO  ok"
+fi
+
 if [ "$FAILED" -ne 0 ]; then
     echo "BENCH CHECK FAILED: throughput drifted outside ±${TOL}%, determinism broke," >&2
     echo "the front-end fast path regressed below ${FLOOR}x, an engine field changed," >&2
-    echo "or the fleet's deterministic fields / scaling floors regressed." >&2
-    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6 && cp $CURRENT7 $BASELINE7 && cp $CURRENT8 $BASELINE8" >&2
+    echo "or the fleet's deterministic fields / scaling floors regressed," >&2
+    echo "or the drift matrix changed (regret/digests exact) or the bandit lost its win floor." >&2
+    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6 && cp $CURRENT7 $BASELINE7 && cp $CURRENT8 $BASELINE8 && cp $CURRENT9 $BASELINE9" >&2
     exit 1
 fi
-echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x, engine fields exact, fleet deterministic and scaling (4w >= ${FLEET4}x, 8w >= ${FLEET8}x)."
+echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x, engine fields exact, fleet deterministic and scaling (4w >= ${FLEET4}x, 8w >= ${FLEET8}x), drift matrix exact (bandit wins >= ${WINS_FLOOR})."

@@ -71,6 +71,12 @@ if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'storage\.online\.build' | grep -q 'ok
     exit 1
 fi
 
+echo "==> drift regret smoke-check (bandit cumulative regret <= greedy on flash crowd)"
+if ! printf '%s\n' "$SMOKE_OUT" | grep -E 'tuner\.drift\.regret' | grep -q 'ok'; then
+    echo "ERROR: bandit cumulative regret exceeds greedy on the flash-crowd drift scenario" >&2
+    exit 1
+fi
+
 echo "==> docs link audit (every docs/*.md must be reachable from README.md)"
 DOCS_MISSING=0
 for f in docs/*.md; do
