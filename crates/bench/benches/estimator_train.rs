@@ -13,12 +13,17 @@ fn main() {
     });
 
     // Pure model fit on synthetic data.
-    let data: Vec<([f64; 3], f64)> = (0..2_000)
+    let data: Vec<([f64; 5], f64)> = (0..2_000)
         .map(|i| {
             let a = (i % 997) as f64 * 3.0 + 1.0;
             let io = (i % 31) as f64;
             let cpu = (i % 13) as f64 * 0.5;
-            ([a, io, cpu], a + 1.3 * io + 1.15 * cpu)
+            let sort = (i % 7) as f64 * 2.0;
+            let heap = (i % 17) as f64 * 0.25;
+            (
+                [a, io, cpu, sort, heap],
+                a + 1.3 * io + 1.15 * cpu + 0.4 * sort + 0.9 * heap,
+            )
         })
         .collect();
     b.bench_function("fit_2000_samples", || {

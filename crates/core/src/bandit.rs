@@ -343,11 +343,8 @@ impl<E: CostEstimator> TuningStrategy<E> for BanditStrategy {
         let existing: Vec<IndexDef> = db.indexes().map(|(_, d)| d.clone()).collect();
 
         let candgen_started = Instant::now();
-        let mut candidates = CandidateGenerator::new(ctx.config.candidates.clone()).generate(
-            workload,
-            db.catalog(),
-            &existing,
-        );
+        let (mut candidates, cand_stats) = CandidateGenerator::new(ctx.config.candidates.clone())
+            .generate_with_stats(workload, db.catalog(), &existing);
         // Bandit-owned indexes are standing arms: they stay in the pool
         // even once built (existing-index subtraction would hide them),
         // so an arm that stops earning can fall out of the super-arm and
@@ -364,6 +361,7 @@ impl<E: CostEstimator> TuningStrategy<E> for BanditStrategy {
         db.metrics()
             .counter("system.candidates_generated")
             .add(candidates.len() as u64);
+        crate::strategy::tally_candidate_classes(db.metrics(), &cand_stats);
         if candidates.is_empty() {
             let base = ctx.estimator.workload_cost(db, workload, &existing);
             return Proposal {

@@ -23,11 +23,12 @@
 //! For partitioned tables a LOCAL variant is emitted alongside the GLOBAL
 //! one, supporting §III's index *type* selection.
 
+use crate::error::{invalid, AutoIndexError};
 use autoindex_sql::predicate::AtomicPredicate;
 use autoindex_storage::catalog::Catalog;
-use autoindex_storage::index::{IndexDef, IndexScope};
+use autoindex_storage::index::{IndexDef, IndexScope, SortDirection};
 use autoindex_storage::selectivity::atom_selectivity;
-use autoindex_storage::shape::QueryShape;
+use autoindex_storage::shape::{QueryShape, TableAtoms};
 
 /// Candidate generation parameters.
 #[derive(Debug, Clone)]
@@ -44,6 +45,18 @@ pub struct CandidateConfig {
     /// Skip index candidates on tables smaller than this (a tiny table is
     /// always cached and scanned faster than it is sought).
     pub min_table_rows: u64,
+    /// Generate sort-order-aware candidates: `(equality filter columns ++
+    /// ORDER BY keys)` with per-key-part directions matching the clause, so
+    /// mixed-direction `ORDER BY a DESC, b` becomes seekable. Off by
+    /// default — existing workload transcripts predate this class.
+    pub sort_aware: bool,
+    /// Generate covering candidates: a filter/order key extended with the
+    /// statement's remaining referenced columns so the plan becomes an
+    /// index-only scan. Off by default, same reason as `sort_aware`.
+    pub covering: bool,
+    /// Column cap for covering candidates (key + appended payload). Wider
+    /// than `max_index_columns` because the payload carries no seek cost.
+    pub max_covering_columns: usize,
 }
 
 impl Default for CandidateConfig {
@@ -54,8 +67,107 @@ impl Default for CandidateConfig {
             partitioned_variants: true,
             join_filter_composites: true,
             min_table_rows: 100,
+            sort_aware: false,
+            covering: false,
+            max_covering_columns: 6,
         }
     }
+}
+
+impl CandidateConfig {
+    /// Builder seeded from the defaults.
+    pub fn builder() -> CandidateConfigBuilder {
+        CandidateConfigBuilder {
+            cfg: CandidateConfig::default(),
+        }
+    }
+
+    /// Builder seeded from an existing config.
+    pub fn builder_from(cfg: CandidateConfig) -> CandidateConfigBuilder {
+        CandidateConfigBuilder { cfg }
+    }
+}
+
+/// Validating builder for [`CandidateConfig`].
+#[derive(Debug, Clone)]
+pub struct CandidateConfigBuilder {
+    cfg: CandidateConfig,
+}
+
+impl CandidateConfigBuilder {
+    pub fn selectivity_threshold(mut self, v: f64) -> Self {
+        self.cfg.selectivity_threshold = v;
+        self
+    }
+
+    pub fn max_index_columns(mut self, v: usize) -> Self {
+        self.cfg.max_index_columns = v;
+        self
+    }
+
+    pub fn partitioned_variants(mut self, v: bool) -> Self {
+        self.cfg.partitioned_variants = v;
+        self
+    }
+
+    pub fn join_filter_composites(mut self, v: bool) -> Self {
+        self.cfg.join_filter_composites = v;
+        self
+    }
+
+    pub fn min_table_rows(mut self, v: u64) -> Self {
+        self.cfg.min_table_rows = v;
+        self
+    }
+
+    pub fn sort_aware(mut self, v: bool) -> Self {
+        self.cfg.sort_aware = v;
+        self
+    }
+
+    pub fn covering(mut self, v: bool) -> Self {
+        self.cfg.covering = v;
+        self
+    }
+
+    pub fn max_covering_columns(mut self, v: usize) -> Self {
+        self.cfg.max_covering_columns = v;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<CandidateConfig, AutoIndexError> {
+        let c = self.cfg;
+        if !c.selectivity_threshold.is_finite()
+            || c.selectivity_threshold <= 0.0
+            || c.selectivity_threshold > 1.0
+        {
+            return Err(invalid(
+                "candidates.selectivity_threshold",
+                "must be finite and in (0, 1]",
+            ));
+        }
+        if c.max_index_columns == 0 {
+            return Err(invalid("candidates.max_index_columns", "must be >= 1"));
+        }
+        if c.max_covering_columns < c.max_index_columns {
+            return Err(invalid(
+                "candidates.max_covering_columns",
+                "must be >= max_index_columns (the payload extends the key)",
+            ));
+        }
+        Ok(c)
+    }
+}
+
+/// Per-class tallies from one generation pass (pre-merge emissions),
+/// surfaced as the `advisor.candidates.{sort_aware,covering}` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateStats {
+    /// Sort-order-aware candidates emitted.
+    pub sort_aware: usize,
+    /// Covering candidates emitted.
+    pub covering: usize,
 }
 
 /// The candidate index generator.
@@ -77,11 +189,22 @@ impl CandidateGenerator {
         catalog: &Catalog,
         existing: &[IndexDef],
     ) -> Vec<IndexDef> {
+        self.generate_with_stats(workload, catalog, existing).0
+    }
+
+    /// [`generate`](Self::generate) plus per-class emission tallies.
+    pub fn generate_with_stats(
+        &self,
+        workload: &[(QueryShape, u64)],
+        catalog: &Catalog,
+        existing: &[IndexDef],
+    ) -> (Vec<IndexDef>, CandidateStats) {
         let mut raw: Vec<IndexDef> = Vec::new();
+        let mut stats = CandidateStats::default();
         for (shape, _count) in workload {
-            self.candidates_from_shape(shape, catalog, existing, &mut raw);
+            self.candidates_from_shape(shape, catalog, existing, &mut raw, &mut stats);
         }
-        self.reduce(raw, catalog, existing)
+        (self.reduce(raw, catalog, existing), stats)
     }
 
     /// Candidates from one shape (pre-merge).
@@ -91,6 +214,7 @@ impl CandidateGenerator {
         catalog: &Catalog,
         existing: &[IndexDef],
         out: &mut Vec<IndexDef>,
+        stats: &mut CandidateStats,
     ) {
         // (1) Filter predicates: one composite per DNF conjunct.
         for t in &shape.tables {
@@ -196,6 +320,158 @@ impl CandidateGenerator {
                 }
                 out.push(IndexDef::new(t.table.clone(), &to_strs(cols)));
             }
+        }
+
+        // (4) Sort-order-aware composites (gated: `config.sort_aware`).
+        // (5) Covering extensions (gated: `config.covering`).
+        if self.config.sort_aware || self.config.covering {
+            for t in &shape.tables {
+                let Some(table) = catalog.table(&t.table) else {
+                    continue;
+                };
+                if table.rows < self.config.min_table_rows {
+                    continue;
+                }
+                if self.config.sort_aware {
+                    self.sort_aware_candidates(t, table, out, stats);
+                }
+                if self.config.covering {
+                    self.covering_candidates(t, table, existing, out, stats);
+                }
+            }
+        }
+    }
+
+    /// Equality-filter columns of `t` that exist on `table`, in conjunct
+    /// order (deterministic), deduplicated.
+    fn equality_filter_columns(
+        &self,
+        t: &TableAtoms,
+        table: &autoindex_storage::catalog::Table,
+    ) -> Vec<String> {
+        let mut cols = Vec::new();
+        for atom in &t.conjuncts {
+            if !atom.is_sargable() || !atom.is_equality() {
+                continue;
+            }
+            let Some(c) = atom.restricted_column() else {
+                continue;
+            };
+            if table.column(&c.column).is_some() && !cols.contains(&c.column) {
+                cols.push(c.column.clone());
+            }
+        }
+        cols
+    }
+
+    /// Class (4): `(equality filter columns ++ ORDER BY keys)` with the
+    /// clause's per-key directions, so the planner can seek the filtered
+    /// range already in output order — including mixed-direction orders no
+    /// uniform-direction key can serve with a forward or backward scan.
+    fn sort_aware_candidates(
+        &self,
+        t: &TableAtoms,
+        table: &autoindex_storage::catalog::Table,
+        out: &mut Vec<IndexDef>,
+        stats: &mut CandidateStats,
+    ) {
+        if t.order_columns.is_empty() || !t.order_columns.iter().all(|c| table.column(c).is_some())
+        {
+            return;
+        }
+        let mut eq = self.equality_filter_columns(t, table);
+        // Order keys win the budget; equality columns yield from the back.
+        eq.retain(|c| !t.order_columns.contains(c));
+        let budget = self.config.max_index_columns;
+        if t.order_columns.len() > budget {
+            return;
+        }
+        eq.truncate(budget - t.order_columns.len());
+
+        let mut cols: Vec<String> = eq;
+        let mut dirs: Vec<SortDirection> = vec![SortDirection::Asc; cols.len()];
+        for (c, desc) in t.order_columns.iter().zip(&t.order_desc) {
+            cols.push(c.clone());
+            dirs.push(if *desc {
+                SortDirection::Desc
+            } else {
+                SortDirection::Asc
+            });
+        }
+        let strs = to_strs(&cols);
+        out.push(IndexDef::new(t.table.clone(), &strs).with_directions(&dirs));
+        stats.sort_aware += 1;
+    }
+
+    /// Class (5): extend a filter (or filter+order) key with the
+    /// statement's remaining referenced columns so the whole projection is
+    /// answered from the index leaves. Only for statements with an explicit
+    /// column list — `SELECT *` can never be covered.
+    fn covering_candidates(
+        &self,
+        t: &TableAtoms,
+        table: &autoindex_storage::catalog::Table,
+        existing: &[IndexDef],
+        out: &mut Vec<IndexDef>,
+        stats: &mut CandidateStats,
+    ) {
+        if t.whole_row
+            || t.referenced_columns.is_empty()
+            || !t
+                .referenced_columns
+                .iter()
+                .all(|c| table.column(c).is_some())
+        {
+            return;
+        }
+        // Seed keys: each thresholded DNF-conjunct composite, plus the
+        // sort-aware key when the statement orders this table.
+        let mut seeds: Vec<(Vec<String>, Vec<SortDirection>)> = Vec::new();
+        for group in &t.conjunct_groups {
+            if let Some(cols) = self.conjunct_columns(group, table, &[]) {
+                let dirs = vec![SortDirection::Asc; cols.len()];
+                seeds.push((cols, dirs));
+            }
+        }
+        if !t.order_columns.is_empty() && t.order_columns.iter().all(|c| table.column(c).is_some())
+        {
+            let mut eq = self.equality_filter_columns(t, table);
+            eq.retain(|c| !t.order_columns.contains(c));
+            let mut cols = eq;
+            let mut dirs = vec![SortDirection::Asc; cols.len()];
+            for (c, desc) in t.order_columns.iter().zip(&t.order_desc) {
+                cols.push(c.clone());
+                dirs.push(if *desc {
+                    SortDirection::Desc
+                } else {
+                    SortDirection::Asc
+                });
+            }
+            seeds.push((cols, dirs));
+        }
+        for (mut cols, mut dirs) in seeds {
+            if cols.is_empty() {
+                continue;
+            }
+            // Append the missing referenced columns as an ASC payload.
+            for c in &t.referenced_columns {
+                if !cols.contains(c) {
+                    cols.push(c.clone());
+                    dirs.push(SortDirection::Asc);
+                }
+            }
+            // A truncated payload would not cover; skip rather than emit a
+            // silently non-covering wide key.
+            if cols.len() > self.config.max_covering_columns {
+                continue;
+            }
+            // Nothing appended means the seed key already covers.
+            let def = IndexDef::new(t.table.clone(), &to_strs(&cols)).with_directions(&dirs);
+            if existing.iter().any(|e| e.covers(&def)) {
+                continue;
+            }
+            out.push(def);
+            stats.covering += 1;
         }
     }
 
@@ -652,6 +928,132 @@ mod tests {
             "SELECT * FROM customer WHERE c_last = 'X'",
         ];
         assert_eq!(keys(&gen(&sqls, &[])), keys(&gen(&sqls, &[])));
+    }
+
+    fn gen_with(
+        cfg: CandidateConfig,
+        sqls: &[&str],
+        existing: &[IndexDef],
+    ) -> (Vec<IndexDef>, CandidateStats) {
+        let c = catalog();
+        let workload: Vec<(QueryShape, u64)> = sqls
+            .iter()
+            .map(|s| (QueryShape::extract(&parse_statement(s).unwrap(), &c), 1u64))
+            .collect();
+        CandidateGenerator::new(cfg).generate_with_stats(&workload, &c, existing)
+    }
+
+    #[test]
+    fn builder_validates_fields() {
+        assert!(CandidateConfig::builder().build().is_ok());
+        assert!(CandidateConfig::builder()
+            .selectivity_threshold(0.0)
+            .build()
+            .is_err());
+        assert!(CandidateConfig::builder()
+            .selectivity_threshold(f64::NAN)
+            .build()
+            .is_err());
+        assert!(CandidateConfig::builder()
+            .selectivity_threshold(1.5)
+            .build()
+            .is_err());
+        assert!(CandidateConfig::builder()
+            .max_index_columns(0)
+            .build()
+            .is_err());
+        assert!(CandidateConfig::builder()
+            .max_index_columns(4)
+            .max_covering_columns(3)
+            .build()
+            .is_err());
+        let cfg = CandidateConfig::builder()
+            .sort_aware(true)
+            .covering(true)
+            .max_covering_columns(8)
+            .build()
+            .unwrap();
+        assert!(cfg.sort_aware && cfg.covering);
+        assert_eq!(cfg.max_covering_columns, 8);
+        // builder_from preserves the seed.
+        let again = CandidateConfig::builder_from(cfg.clone()).build().unwrap();
+        assert_eq!(again.max_covering_columns, cfg.max_covering_columns);
+    }
+
+    #[test]
+    fn new_classes_off_by_default() {
+        let sql = "SELECT o_id, o_amount FROM orders WHERE o_c_id = 5 \
+                   ORDER BY o_w_id DESC, o_d_id LIMIT 10";
+        let (cands, stats) = gen_with(CandidateConfig::default(), &[sql], &[]);
+        assert_eq!(stats, CandidateStats::default());
+        assert!(
+            !keys(&cands).iter().any(|k| k.contains("DESC")),
+            "{:?}",
+            keys(&cands)
+        );
+    }
+
+    #[test]
+    fn sort_aware_emits_directional_composite() {
+        let sql = "SELECT o_id, o_amount FROM orders WHERE o_c_id = 5 \
+                   ORDER BY o_w_id DESC, o_d_id LIMIT 10";
+        let cfg = CandidateConfig::builder().sort_aware(true).build().unwrap();
+        let (cands, stats) = gen_with(cfg, &[sql], &[]);
+        assert!(stats.sort_aware >= 1);
+        assert!(
+            keys(&cands).contains(&"orders(o_c_id,o_w_id DESC,o_d_id)".to_string()),
+            "{:?}",
+            keys(&cands)
+        );
+    }
+
+    #[test]
+    fn covering_appends_referenced_payload() {
+        let sql = "SELECT o_id FROM orders WHERE o_c_id = 5 AND o_w_id = 2";
+        let cfg = CandidateConfig::builder().covering(true).build().unwrap();
+        let (cands, stats) = gen_with(cfg, &[sql], &[]);
+        assert!(stats.covering >= 1);
+        assert!(
+            keys(&cands).contains(&"orders(o_c_id,o_w_id,o_id)".to_string()),
+            "{:?}",
+            keys(&cands)
+        );
+    }
+
+    #[test]
+    fn covering_skips_select_star_and_wide_payloads() {
+        let cfg = CandidateConfig::builder()
+            .covering(true)
+            .max_covering_columns(4)
+            .build()
+            .unwrap();
+        let (_, stats) = gen_with(cfg.clone(), &["SELECT * FROM orders WHERE o_c_id = 5"], &[]);
+        assert_eq!(stats.covering, 0, "SELECT * can never be covered");
+        // Payload that would exceed the cap is dropped, not truncated.
+        let (cands, stats) = gen_with(
+            cfg,
+            &["SELECT o_id, o_amount, o_d_id, o_w_id FROM orders WHERE o_c_id = 5"],
+            &[],
+        );
+        assert_eq!(stats.covering, 0, "{:?}", keys(&cands));
+    }
+
+    #[test]
+    fn sort_aware_candidates_survive_search_and_dedupe() {
+        // The same statement twice must not double-emit after reduce, and
+        // a covering twin of the sort key merges into the wider one.
+        let sql = "SELECT o_id FROM orders WHERE o_c_id = 5 ORDER BY o_amount DESC LIMIT 10";
+        let cfg = CandidateConfig::builder()
+            .sort_aware(true)
+            .covering(true)
+            .build()
+            .unwrap();
+        let (cands, _) = gen_with(cfg, &[sql, sql], &[]);
+        let k = keys(&cands);
+        let dir_keys: Vec<&String> = k.iter().filter(|s| s.contains("DESC")).collect();
+        let mut dedup = dir_keys.clone();
+        dedup.dedup();
+        assert_eq!(dir_keys, dedup, "{k:?}");
     }
 
     #[test]

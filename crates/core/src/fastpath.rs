@@ -358,7 +358,8 @@ fn predicate_eligible(p: &Predicate) -> bool {
         | Predicate::InList { .. }
         | Predicate::Like { .. }
         | Predicate::Exists { .. }
-        | Predicate::InSubquery { .. } => false,
+        | Predicate::InSubquery { .. }
+        | Predicate::AggCmp { .. } => false,
     }
 }
 

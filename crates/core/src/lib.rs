@@ -73,7 +73,7 @@ pub mod system;
 pub mod templates;
 
 pub use bandit::{ArmChoice, BanditConfig, BanditConfigBuilder, BanditStrategy, RegretAccounter};
-pub use candgen::{CandidateConfig, CandidateGenerator};
+pub use candgen::{CandidateConfig, CandidateConfigBuilder, CandidateGenerator, CandidateStats};
 pub use delta::{DeltaTerm, DeltaWorkload};
 pub use diagnosis::{DiagnosisConfig, DiagnosisReport, IndexDiagnosis};
 pub use error::AutoIndexError;

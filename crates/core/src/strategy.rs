@@ -26,7 +26,7 @@
 //! behavior unless a caller opts into another strategy.
 
 use crate::bandit::ArmChoice;
-use crate::candgen::CandidateGenerator;
+use crate::candgen::{CandidateGenerator, CandidateStats};
 use crate::delta::DeltaWorkload;
 use crate::error::AutoIndexError;
 use crate::greedy::{greedy_select, GreedyConfig};
@@ -192,11 +192,8 @@ impl<E: CostEstimator> TuningStrategy<E> for GreedyStrategy {
         let existing: Vec<IndexDef> = ctx.db.indexes().map(|(_, d)| d.clone()).collect();
 
         let candgen_started = Instant::now();
-        let candidates = CandidateGenerator::new(ctx.config.candidates.clone()).generate(
-            ctx.workload,
-            ctx.db.catalog(),
-            &existing,
-        );
+        let (candidates, cand_stats) = CandidateGenerator::new(ctx.config.candidates.clone())
+            .generate_with_stats(ctx.workload, ctx.db.catalog(), &existing);
         let candgen_time = candgen_started.elapsed();
         ctx.db
             .metrics()
@@ -206,6 +203,7 @@ impl<E: CostEstimator> TuningStrategy<E> for GreedyStrategy {
             .metrics()
             .counter("system.candidates_generated")
             .add(candidates.len() as u64);
+        tally_candidate_classes(ctx.db.metrics(), &cand_stats);
 
         let search_started = Instant::now();
         let picked = greedy_select(
@@ -325,11 +323,8 @@ impl<E: CostEstimator> TuningStrategy<E> for MctsStrategy {
 
         // Candidate generation (§IV-A).
         let candgen_started = Instant::now();
-        let candidates = CandidateGenerator::new(ctx.config.candidates.clone()).generate(
-            workload,
-            db.catalog(),
-            &existing_list,
-        );
+        let (candidates, cand_stats) = CandidateGenerator::new(ctx.config.candidates.clone())
+            .generate_with_stats(workload, db.catalog(), &existing_list);
         let candgen_time = candgen_started.elapsed();
         db.metrics()
             .timer("system.candgen_time")
@@ -337,6 +332,7 @@ impl<E: CostEstimator> TuningStrategy<E> for MctsStrategy {
         db.metrics()
             .counter("system.candidates_generated")
             .add(candidates.len() as u64);
+        tally_candidate_classes(db.metrics(), &cand_stats);
 
         // Universe bookkeeping.
         let mut existing_set = ConfigSet::default();
@@ -570,6 +566,20 @@ impl<E: CostEstimator> TuningStrategy<E> for MctsStrategy {
             arms: Vec::new(),
         }
     }
+}
+
+/// Emit the per-class candidate counters
+/// (`advisor.candidates.{sort_aware,covering}`) for one generation pass.
+pub(crate) fn tally_candidate_classes(
+    metrics: &autoindex_support::obs::MetricsRegistry,
+    stats: &CandidateStats,
+) {
+    metrics
+        .counter("advisor.candidates.sort_aware")
+        .add(stats.sort_aware as u64);
+    metrics
+        .counter("advisor.candidates.covering")
+        .add(stats.covering as u64);
 }
 
 /// Whether `def` implements `table`'s primary key (exactly or as its full

@@ -152,14 +152,14 @@ mod tests {
     fn learned_estimator_through_the_trait() {
         use crate::model::{OneLayerRegression, TrainConfig};
         // A trivially trained model still drives the trait path correctly.
-        let samples: Vec<([f64; 3], f64)> = (1..200)
+        let samples: Vec<([f64; 5], f64)> = (1..200)
             .map(|i| {
                 let d = i as f64 * 10.0;
-                ([d, 0.0, 0.0], d * 0.01)
+                ([d, 0.0, 0.0, 0.0, 0.0], d * 0.01)
             })
             .chain((1..200).map(|i| {
                 let io = i as f64 * 0.1;
-                ([5.0, io, io / 2.0], (5.0 + 1.3 * io) * 0.01)
+                ([5.0, io, io / 2.0, 0.0, 0.0], (5.0 + 1.3 * io) * 0.01)
             }))
             .collect();
         let model = OneLayerRegression::train(&samples, &TrainConfig::default()).unwrap();

@@ -9,8 +9,12 @@
 
 use autoindex_support::json::{obj, Json, JsonError};
 
-/// Number of input features: `(C^data, C^io, C^cpu)` per §V.
-pub const N_FEATURES: usize = 3;
+/// Number of input features: `(C^data, C^io, C^cpu, C^sort, C^heap)`.
+/// The first three are the §V vector; `C^sort` / `C^heap` are the sort and
+/// random-heap-fetch sub-components of `C^data`, broken out so the model
+/// can learn how much of a plan's cost an order-providing or covering
+/// index removes.
+pub const N_FEATURES: usize = 5;
 
 /// Errors from model construction or training.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,7 +251,7 @@ impl OneLayerRegression {
     /// Deserialise from JSON produced by [`OneLayerRegression::to_json`].
     pub fn from_json(s: &str) -> Result<Self, JsonError> {
         let v = Json::parse(s)?;
-        let arr3 = |key: &str| -> Result<[f64; N_FEATURES], JsonError> {
+        let arr = |key: &str| -> Result<[f64; N_FEATURES], JsonError> {
             let a = v
                 .get(key)
                 .and_then(Json::as_array)
@@ -272,8 +276,8 @@ impl OneLayerRegression {
             })
         };
         Ok(OneLayerRegression {
-            feat_scale: arr3("feat_scale")?,
-            weights: arr3("weights")?,
+            feat_scale: arr("feat_scale")?,
+            weights: arr("weights")?,
             bias: num("bias")?,
             scale: num("scale")?,
         })
@@ -383,8 +387,10 @@ mod tests {
     use super::*;
 
     /// Synthetic ground truth: y = 1.0*d + 1.3*io + 1.15*cpu (the
-    /// simulator's TrueCostWeights), across decades of magnitude.
-    fn synthetic(n: usize) -> Vec<([f64; 3], f64)> {
+    /// simulator's TrueCostWeights), across decades of magnitude. The
+    /// sort/heap features mirror the planner's: sub-components of `d`,
+    /// carrying no weight of their own in the target.
+    fn synthetic(n: usize) -> Vec<([f64; N_FEATURES], f64)> {
         let mut out = Vec::with_capacity(n);
         let mut x = 1u64;
         for i in 0..n {
@@ -392,7 +398,9 @@ mod tests {
             let a = ((x >> 16) % 10_000) as f64 * 0.7 + 1.0;
             let b = ((x >> 32) % 1_000) as f64 * (i % 3) as f64;
             let c = ((x >> 45) % 500) as f64;
-            out.push(([a, b, c], a + 1.3 * b + 1.15 * c));
+            let s = a * (((x >> 20) % 100) as f64 / 250.0);
+            let h = a * (((x >> 8) % 100) as f64 / 400.0);
+            out.push(([a, b, c, s, h], a + 1.3 * b + 1.15 * c));
         }
         out
     }
@@ -407,7 +415,7 @@ mod tests {
 
     #[test]
     fn non_finite_sample_errors() {
-        let s = vec![([1.0, f64::NAN, 0.0], 1.0)];
+        let s = vec![([1.0, f64::NAN, 0.0, 0.0, 0.0], 1.0)];
         assert!(matches!(
             OneLayerRegression::train(&s, &TrainConfig::default()),
             Err(ModelError::NonFiniteSample { index: 0 })
@@ -428,8 +436,8 @@ mod tests {
         // C^data) must be ordered by the learned model.
         let data = synthetic(600);
         let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
-        let light = model.predict(&[1000.0, 0.0, 0.0]);
-        let heavy = model.predict(&[1000.0, 800.0, 400.0]);
+        let light = model.predict(&[1000.0, 0.0, 0.0, 0.0, 0.0]);
+        let heavy = model.predict(&[1000.0, 800.0, 400.0, 0.0, 0.0]);
         assert!(heavy > light * 1.2, "heavy={heavy} light={light}");
     }
 
@@ -442,7 +450,7 @@ mod tests {
             assert!(p >= 0.0 && p <= model.scale);
         }
         // Even absurd inputs stay bounded (sigmoid saturation).
-        assert!(model.predict(&[1e30, 1e30, 1e30]) <= model.scale);
+        assert!(model.predict(&[1e30; N_FEATURES]) <= model.scale);
     }
 
     #[test]

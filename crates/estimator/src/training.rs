@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn kfold_rejects_tiny_sets() {
         let set = TrainingSet {
-            samples: vec![([1.0, 0.0, 0.0], 1.0); 3],
+            samples: vec![([1.0, 0.0, 0.0, 0.0, 0.0], 1.0); 3],
         };
         assert!(kfold_cross_validate(&set, 9, &TrainConfig::default()).is_err());
     }

@@ -10,8 +10,10 @@ fn cfg() -> PropConfig {
     PropConfig::default().cases(32)
 }
 
-/// Synthetic linear cost process with decade-spanning features.
-fn synthetic(seed: u64, n: usize) -> Vec<([f64; 3], f64)> {
+/// Synthetic linear cost process with decade-spanning features. The sort
+/// and heap features mirror the planner's: sub-components of `d` that
+/// carry no weight of their own in the target.
+fn synthetic(seed: u64, n: usize) -> Vec<([f64; 5], f64)> {
     let mut x = seed | 1;
     let mut next = move || {
         x ^= x << 13;
@@ -24,7 +26,9 @@ fn synthetic(seed: u64, n: usize) -> Vec<([f64; 3], f64)> {
             let d = (next() % 100_000) as f64 / 7.0 + 1.0;
             let io = (next() % 500) as f64 / 3.0;
             let cpu = (next() % 200) as f64 / 5.0;
-            ([d, io, cpu], d + 1.3 * io + 1.15 * cpu)
+            let sort = d * (next() % 100) as f64 / 250.0;
+            let heap = d * (next() % 100) as f64 / 400.0;
+            ([d, io, cpu, sort, heap], d + 1.3 * io + 1.15 * cpu)
         })
         .collect()
 }
@@ -42,9 +46,15 @@ fn predictions_monotone_in_each_feature() {
             let scale = rng.random_range(1.0f64..100.0);
             let data = synthetic(seed, 300);
             let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
-            let base = [50.0 * scale, 10.0 * scale, 5.0 * scale];
+            let base = [
+                50.0 * scale,
+                10.0 * scale,
+                5.0 * scale,
+                4.0 * scale,
+                3.0 * scale,
+            ];
             let p0 = model.predict(&base);
-            for i in 0..3 {
+            for i in 0..5 {
                 let mut bumped = base;
                 bumped[i] *= 2.0;
                 let p1 = model.predict(&bumped);
@@ -65,7 +75,7 @@ fn predictions_bounded() {
         let cpu = rng.random_range(0.0f64..1e9);
         let data = synthetic(seed, 200);
         let model = OneLayerRegression::train(&data, &TrainConfig::default()).unwrap();
-        let p = model.predict(&[d, io, cpu]);
+        let p = model.predict(&[d, io, cpu, d * 0.1, d * 0.2]);
         prop_assert!(p.is_finite());
         prop_assert!(p >= 0.0);
         prop_assert!(p <= model.scale);

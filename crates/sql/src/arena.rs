@@ -108,6 +108,13 @@ enum PredNode {
         query: SelId,
         negated: bool,
     },
+    AggCmp {
+        /// Verbatim function name (string pool, like [`ItemNode::Aggregate`]).
+        func: u32,
+        arg: Option<ColId>,
+        op: CmpOp,
+        val: ValId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -524,6 +531,17 @@ impl AstArena {
                 query: self.encode_select(query),
                 negated: *negated,
             },
+            Predicate::AggCmp {
+                func,
+                arg,
+                op,
+                value,
+            } => PredNode::AggCmp {
+                func: self.string(func),
+                arg: arg.as_ref().map(|c| self.encode_col(c)),
+                op: *op,
+                val: self.encode_value(value),
+            },
         };
         self.preds.push(node);
         PredId((self.preds.len() - 1) as u32)
@@ -745,6 +763,12 @@ impl AstArena {
                 query: Box::new(self.decode_select(*query)),
                 negated: *negated,
             },
+            PredNode::AggCmp { func, arg, op, val } => Predicate::AggCmp {
+                func: self.strings[*func as usize].clone(),
+                arg: arg.map(|c| self.decode_col(c)),
+                op: *op,
+                value: self.decode_value(*val),
+            },
         }
     }
 }
@@ -773,6 +797,7 @@ mod tests {
         for sql in [
             "SELECT a, b FROM t WHERE a = 1 AND (b = 2 OR c > 3) ORDER BY a DESC LIMIT 5",
             "SELECT DISTINCT COUNT(*), SUM(x) FROM t GROUP BY a HAVING a > 2",
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 5 AND SUM(x) <= 10",
             "SELECT * FROM person p, visit v WHERE p.id = v.person_id AND v.site = 3",
             "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w WHERE a.q LIKE 'p%'",
             "SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT BETWEEN 4 AND 5 FOR UPDATE",

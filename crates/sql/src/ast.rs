@@ -177,6 +177,15 @@ pub enum Predicate {
         query: Box<SelectStatement>,
         negated: bool,
     },
+    /// `agg(col) op value` — an aggregate comparison, legal only in
+    /// `HAVING`. Never sargable (no B+Tree can seek an aggregate), but it
+    /// must survive fingerprinting so the template is still learnable.
+    AggCmp {
+        func: String,
+        arg: Option<ColumnRef>,
+        op: CmpOp,
+        value: Value,
+    },
 }
 
 impl Predicate {
@@ -218,6 +227,11 @@ impl Predicate {
             Predicate::JoinEq { left, right } => {
                 f(left);
                 f(right);
+            }
+            Predicate::AggCmp { arg, .. } => {
+                if let Some(c) = arg {
+                    f(c);
+                }
             }
             Predicate::Exists { .. } => {}
         }
@@ -334,6 +348,15 @@ impl fmt::Display for Predicate {
                 "{column} {}IN ({query})",
                 if *negated { "NOT " } else { "" }
             ),
+            Predicate::AggCmp {
+                func,
+                arg,
+                op,
+                value,
+            } => match arg {
+                Some(c) => write!(f, "{func}({c}) {op} {value}"),
+                None => write!(f, "{func}(*) {op} {value}"),
+            },
         }
     }
 }

@@ -231,6 +231,12 @@ fn templatize_predicate(p: &Predicate) -> Predicate {
             query: Box::new(templatize_select(query)),
             negated: *negated,
         },
+        Predicate::AggCmp { func, arg, op, .. } => Predicate::AggCmp {
+            func: func.clone(),
+            arg: arg.clone(),
+            op: *op,
+            value: Value::Placeholder,
+        },
     }
 }
 
@@ -619,6 +625,23 @@ mod tests {
             let ft = fingerprint(&fs.text).unwrap();
             assert_eq!(fs, ft, "for {sql:?}");
         }
+    }
+
+    #[test]
+    fn having_aggregate_fingerprints_on_both_paths() {
+        // Regression: HAVING over an aggregate used to fail to parse, so
+        // the structural path silently dropped the template. Both paths
+        // must now agree and unify across constants.
+        let sql1 = "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 5";
+        let sql2 = "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 99";
+        let stmt = parse_statement(sql1).unwrap();
+        let fs = fingerprint_statement(&stmt);
+        let ft = fingerprint(sql1).unwrap();
+        assert_eq!(fs, ft);
+        assert_eq!(ft, fingerprint(sql2).unwrap());
+        // The scan path agrees too.
+        let mut lits = LiteralBuf::new();
+        assert_eq!(scan_fingerprint(sql1, &mut lits), Some(ft.hash));
     }
 
     #[test]

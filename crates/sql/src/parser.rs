@@ -405,7 +405,56 @@ impl Parser {
         self.parse_comparison()
     }
 
+    /// True when the current token is an aggregate function keyword
+    /// followed by `(` — the start of a HAVING aggregate comparison.
+    fn at_aggregate_call(&self) -> bool {
+        let kw = matches!(
+            self.peek(),
+            TokenKind::Keyword(k) if matches!(k.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+        );
+        kw && matches!(
+            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+            Some(TokenKind::Punct("("))
+        )
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.bump() {
+            TokenKind::Punct("=") => Ok(CmpOp::Eq),
+            TokenKind::Punct("<>") => Ok(CmpOp::Ne),
+            TokenKind::Punct("<") => Ok(CmpOp::Lt),
+            TokenKind::Punct("<=") => Ok(CmpOp::Le),
+            TokenKind::Punct(">") => Ok(CmpOp::Gt),
+            TokenKind::Punct(">=") => Ok(CmpOp::Ge),
+            other => self.err(format!("expected a comparison operator, found {other:?}")),
+        }
+    }
+
     fn parse_comparison(&mut self) -> Result<Predicate, ParseError> {
+        // `agg(col) op value` — the HAVING aggregate form. Checked before
+        // column parsing because aggregate names lex as keywords, which
+        // `parse_column_ref` rejects.
+        if self.at_aggregate_call() {
+            let TokenKind::Keyword(func) = self.bump() else {
+                unreachable!("at_aggregate_call checked a keyword");
+            };
+            self.expect_punct("(")?;
+            let arg = if self.eat_punct("*") {
+                None
+            } else {
+                self.eat_keyword("DISTINCT");
+                Some(self.parse_column_ref()?)
+            };
+            self.expect_punct(")")?;
+            let op = self.parse_cmp_op()?;
+            let value = self.parse_value()?;
+            return Ok(Predicate::AggCmp {
+                func,
+                arg,
+                op,
+                value,
+            });
+        }
         let column = self.parse_column_ref()?;
         let negated = self.eat_keyword("NOT");
 
@@ -463,15 +512,7 @@ impl Parser {
             return Ok(Predicate::IsNull { column, negated });
         }
 
-        let op = match self.bump() {
-            TokenKind::Punct("=") => CmpOp::Eq,
-            TokenKind::Punct("<>") => CmpOp::Ne,
-            TokenKind::Punct("<") => CmpOp::Lt,
-            TokenKind::Punct("<=") => CmpOp::Le,
-            TokenKind::Punct(">") => CmpOp::Gt,
-            TokenKind::Punct(">=") => CmpOp::Ge,
-            other => return self.err(format!("expected a comparison operator, found {other:?}")),
-        };
+        let op = self.parse_cmp_op()?;
 
         // Right-hand side: value, or column reference (join edge).
         match self.peek().clone() {
@@ -641,6 +682,32 @@ mod tests {
         assert!(s.order_by[0].descending);
         assert!(!s.order_by[1].descending);
         assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_having_over_aggregate() {
+        let s = sel("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 5");
+        assert!(matches!(
+            s.having,
+            Some(Predicate::AggCmp { ref func, arg: None, op: CmpOp::Gt, .. }) if func == "COUNT"
+        ));
+        let s = sel("SELECT a FROM t GROUP BY a HAVING SUM(amount) >= 100 AND a > 2");
+        let Some(Predicate::And(parts)) = s.having else {
+            panic!("expected AND in HAVING");
+        };
+        assert!(matches!(
+            parts[0],
+            Predicate::AggCmp { arg: Some(ref c), .. } if c.column == "amount"
+        ));
+        assert!(matches!(parts[1], Predicate::Cmp { .. }));
+    }
+
+    #[test]
+    fn aggregate_comparison_in_where_also_parses() {
+        // Semantically dubious SQL, but the parser must not panic on it;
+        // downstream it becomes a non-sargable opaque atom.
+        let s = sel("SELECT * FROM t WHERE MIN(b) < 3");
+        assert!(matches!(s.where_clause, Some(Predicate::AggCmp { .. })));
     }
 
     #[test]

@@ -280,6 +280,25 @@ fn atom_from(p: &Predicate, negated: bool) -> AtomicPredicate {
                 if *n != negated { "NOT " } else { "" }
             ),
         },
+        Predicate::AggCmp {
+            func,
+            arg,
+            op,
+            value,
+        } => {
+            // An aggregate comparison restricts groups, not rows: no index
+            // can seek it, so it folds to an opaque atom (negation folds
+            // into the operator like a plain comparison).
+            let op = if negated { op.negate() } else { *op };
+            let arg_text = match arg {
+                Some(c) => c.to_string(),
+                None => "*".to_string(),
+            };
+            AtomicPredicate::Opaque {
+                column: None,
+                text: format!("{func}({arg_text}) {op} {value}"),
+            }
+        }
         Predicate::And(_) | Predicate::Or(_) | Predicate::Not(_) => {
             unreachable!("composite predicates handled by push_negations")
         }
@@ -592,6 +611,31 @@ mod tests {
             atoms[1],
             AtomicPredicate::InList { negated: false, .. }
         ));
+    }
+
+    #[test]
+    fn having_aggregate_becomes_opaque_atom() {
+        // Regression: a HAVING clause over an unindexed aggregate must not
+        // panic in DNF conversion nor drop the statement's atoms.
+        let stmt =
+            parse_statement("SELECT a FROM t GROUP BY a HAVING COUNT(*) > 5 AND SUM(b) <= 10")
+                .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let h = s.having.unwrap();
+        let d = to_dnf(&h).unwrap();
+        assert_eq!(d.conjuncts.len(), 1);
+        assert_eq!(d.conjuncts[0].len(), 2);
+        for a in &d.conjuncts[0] {
+            assert!(matches!(a, AtomicPredicate::Opaque { column: None, .. }));
+            assert!(!a.is_sargable());
+        }
+        // Negation folds into the operator rather than wrapping the text.
+        let stmt = parse_statement("SELECT a FROM t GROUP BY a HAVING NOT COUNT(*) > 5").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let atoms = collect_atoms(&s.having.unwrap());
+        assert!(
+            matches!(&atoms[0], AtomicPredicate::Opaque { text, .. } if text == "COUNT(*) <= 5")
+        );
     }
 
     #[test]

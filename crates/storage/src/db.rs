@@ -134,6 +134,12 @@ struct DbMetricHandles {
     plan_seq_scan: Counter,
     plan_index_scan: Counter,
     plan_bitmap_or: Counter,
+    /// `planner.sort_elided` — sort/group requirements satisfied by an
+    /// order-providing index scan (no simulated sort paid).
+    plan_sort_elided: Counter,
+    /// `planner.covering_scans` — index-only scans chosen (base-table
+    /// fetches reduced to visibility checks).
+    plan_covering_scans: Counter,
     /// `planner.join.hash` / `planner.join.index_nl` /
     /// `planner.join.nested_loop` — join-device choices.
     join_hash: Counter,
@@ -167,6 +173,8 @@ impl DbMetricHandles {
             plan_seq_scan: m.counter("planner.path.seq_scan"),
             plan_index_scan: m.counter("planner.path.index_scan"),
             plan_bitmap_or: m.counter("planner.path.bitmap_or"),
+            plan_sort_elided: m.counter("planner.sort_elided"),
+            plan_covering_scans: m.counter("planner.covering_scans"),
             join_hash: m.counter("planner.join.hash"),
             join_index_nl: m.counter("planner.join.index_nl"),
             join_nested_loop: m.counter("planner.join.nested_loop"),
@@ -196,6 +204,8 @@ impl DbMetricHandles {
                 None => self.plan_seq_scan.incr(),
             }
         }
+        self.plan_sort_elided.add(plan.sort_elided as u64);
+        self.plan_covering_scans.add(plan.covering_scans as u64);
         for j in &plan.join_strategies {
             match j {
                 crate::planner::JoinStrategy::Hash => self.join_hash.incr(),

@@ -37,20 +37,48 @@ pub enum IndexScope {
     Local,
 }
 
+/// Sort direction of one key part of a B+Tree index. Ascending is the
+/// default everywhere; a key part stored descending serves `ORDER BY c
+/// DESC` with a forward leaf scan (and `ORDER BY c` with a backward one —
+/// reversing *every* key part yields the same physical tree read the other
+/// way, so uniformly-reversed definitions are interchangeable for order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortDirection {
+    #[default]
+    Asc,
+    Desc,
+}
+
+impl SortDirection {
+    /// The opposite direction (what a backward scan delivers).
+    pub fn reversed(self) -> SortDirection {
+        match self {
+            SortDirection::Asc => SortDirection::Desc,
+            SortDirection::Desc => SortDirection::Asc,
+        }
+    }
+}
+
 /// An index definition: target table and ordered key columns.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IndexDef {
     pub table: String,
     pub columns: Vec<String>,
+    /// Per-key-part sort direction, aligned with `columns`. All-ascending
+    /// unless built via [`IndexDef::with_directions`].
+    pub directions: Vec<SortDirection>,
     pub scope: IndexScope,
 }
 
 impl IndexDef {
-    /// A global B+Tree index on `table(columns...)`.
+    /// A global B+Tree index on `table(columns...)`, all parts ascending.
     pub fn new(table: impl Into<String>, columns: &[&str]) -> Self {
+        let columns: Vec<String> = columns.iter().map(|s| s.to_string()).collect();
+        let directions = vec![SortDirection::Asc; columns.len()];
         IndexDef {
             table: table.into(),
-            columns: columns.iter().map(|s| s.to_string()).collect(),
+            columns,
+            directions,
             scope: IndexScope::Global,
         }
     }
@@ -61,26 +89,61 @@ impl IndexDef {
         self
     }
 
-    /// Canonical display key, e.g. `orders(o_c_id,o_w_id)`.
+    /// Replace the per-part sort directions (must match the column count,
+    /// enforced by [`IndexDef::validate`]).
+    pub fn with_directions(mut self, directions: &[SortDirection]) -> Self {
+        self.directions = directions.to_vec();
+        self
+    }
+
+    /// The direction of key part `i` (ascending when unspecified).
+    pub fn direction(&self, i: usize) -> SortDirection {
+        self.directions.get(i).copied().unwrap_or_default()
+    }
+
+    /// Canonical display key, e.g. `orders(o_c_id,o_w_id)` or
+    /// `flows(sensor_id,ts DESC)`. All-ascending indexes render exactly as
+    /// before directions existed.
     pub fn key(&self) -> String {
-        format!("{}({})", self.table, self.columns.join(","))
+        let parts: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match self.direction(i) {
+                SortDirection::Asc => c.clone(),
+                SortDirection::Desc => format!("{c} DESC"),
+            })
+            .collect();
+        format!("{}({})", self.table, parts.join(","))
     }
 
     /// Whether `other`'s key columns are a leftmost prefix of this index's
     /// key columns (then this index *covers* `other`: §IV-A step 3, "merge
-    /// indexes based on the leftmost matching principle").
+    /// indexes based on the leftmost matching principle"). Key parts must
+    /// agree in direction too: `t(a,b DESC)` does not subsume `t(a,b)` for
+    /// order purposes.
     pub fn covers(&self, other: &IndexDef) -> bool {
         self.table == other.table
             && other.columns.len() <= self.columns.len()
             && other.columns.iter().zip(&self.columns).all(|(a, b)| a == b)
+            && (0..other.columns.len()).all(|i| other.direction(i) == self.direction(i))
     }
 
-    /// Validate against the catalog table (columns exist, non-empty).
+    /// Validate against the catalog table (columns exist, non-empty,
+    /// directions aligned with columns).
     pub fn validate(&self, table: &Table) -> Result<(), StorageError> {
         if self.columns.is_empty() {
             return Err(StorageError::Invalid(format!(
                 "index on {:?} has no columns",
                 self.table
+            )));
+        }
+        if self.directions.len() != self.columns.len() {
+            return Err(StorageError::Invalid(format!(
+                "index {} has {} direction(s) for {} column(s)",
+                self.key(),
+                self.directions.len(),
+                self.columns.len()
             )));
         }
         for c in &self.columns {
@@ -274,6 +337,30 @@ mod tests {
         assert_eq!(d.to_string(), "t(a,b)");
         let l = d.clone().with_scope(IndexScope::Local);
         assert_eq!(l.to_string(), "t(a,b) LOCAL");
+    }
+
+    #[test]
+    fn directions_render_and_compare() {
+        use SortDirection::{Asc, Desc};
+        let plain = IndexDef::new("t", &["a", "b"]);
+        let mixed = IndexDef::new("t", &["a", "b"]).with_directions(&[Asc, Desc]);
+        assert_eq!(plain.key(), "t(a,b)");
+        assert_eq!(mixed.key(), "t(a,b DESC)");
+        assert_ne!(plain, mixed);
+        assert_eq!(mixed.direction(0), Asc);
+        assert_eq!(mixed.direction(1), Desc);
+        assert_eq!(Asc.reversed(), Desc);
+        // Direction-differing prefixes don't cover each other.
+        assert!(!mixed.covers(&plain));
+        assert!(!plain.covers(&mixed));
+        assert!(mixed.covers(&IndexDef::new("t", &["a"])));
+        // Mismatched direction count fails validation.
+        let t = table(1000);
+        assert!(mixed.validate(&t).is_ok());
+        assert!(IndexDef::new("t", &["a"])
+            .with_directions(&[Asc, Desc])
+            .validate(&t)
+            .is_err());
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub struct CostFeatures {
     pub c_io: f64,
     /// Index maintenance CPU: `C^cpu`.
     pub c_cpu: f64,
+    /// Sort cost actually paid: `C^sort`. Already *included* in `c_data`;
+    /// broken out so the learned regression can see how much of a plan's
+    /// cost an order-providing index would remove.
+    pub c_sort: f64,
+    /// Random heap-fetch cost paid by index paths: `C^heap`. Included in
+    /// `c_data`; broken out so the regression can see covering benefit.
+    pub c_heap: f64,
 }
 
 impl CostFeatures {
@@ -66,15 +73,17 @@ impl CostFeatures {
         self.c_data
     }
 
-    /// The physically-grounded total used by simulated execution.
+    /// The physically-grounded total used by simulated execution. `c_sort`
+    /// and `c_heap` are sub-components of `c_data` and carry no extra
+    /// weight here — they exist for the learned model's benefit only.
     pub fn true_cost(&self, w: &TrueCostWeights) -> f64 {
         w.data * self.c_data + w.io_maint * self.c_io + w.cpu_maint * self.c_cpu
     }
 
     /// Feature vector for the learned regression, in §V order
-    /// `(C^data, C^io, C^cpu)`.
-    pub fn as_vec(&self) -> [f64; 3] {
-        [self.c_data, self.c_io, self.c_cpu]
+    /// `(C^data, C^io, C^cpu, C^sort, C^heap)`.
+    pub fn as_vec(&self) -> [f64; 5] {
+        [self.c_data, self.c_io, self.c_cpu, self.c_sort, self.c_heap]
     }
 
     /// Element-wise accumulation.
@@ -82,6 +91,8 @@ impl CostFeatures {
         self.c_data += other.c_data;
         self.c_io += other.c_io;
         self.c_cpu += other.c_cpu;
+        self.c_sort += other.c_sort;
+        self.c_heap += other.c_heap;
     }
 
     /// Uniformly scaled copy. The fault layer's stale-statistics windows
@@ -91,6 +102,8 @@ impl CostFeatures {
             c_data: self.c_data * k,
             c_io: self.c_io * k,
             c_cpu: self.c_cpu * k,
+            c_sort: self.c_sort * k,
+            c_heap: self.c_heap * k,
         }
     }
 }
@@ -130,8 +143,16 @@ pub struct AccessPath {
     pub rows_out: f64,
     /// Access cost in optimizer units.
     pub cost: f64,
-    /// Whether this path provides the statement's required sort order.
+    /// Whether this path provides the statement's required sort order
+    /// (forward scan, or a backward scan when every key direction is the
+    /// reverse of the wanted one).
     pub provides_order: bool,
+    /// Whether this is an index-only scan (every referenced column lives in
+    /// the index leaves; base-table fetches reduced to visibility checks).
+    pub covering: bool,
+    /// Random heap-fetch component of `cost` (0 for seq scans, whose pages
+    /// are read sequentially).
+    pub heap_cost: f64,
 }
 
 /// A join step in the chosen plan.
@@ -156,6 +177,11 @@ pub struct PlanSummary {
     /// Indexes that served reads in this plan (for usage tracking).
     pub indexes_used: Vec<IndexId>,
     pub features: CostFeatures,
+    /// Tables whose sort/group requirement was satisfied by an
+    /// order-providing index path (no simulated sort paid).
+    pub sort_elided: u32,
+    /// Index-only scans chosen in this plan.
+    pub covering_scans: u32,
 }
 
 impl PlanSummary {
@@ -179,6 +205,13 @@ impl PlanSummary {
         for p in &self.paths {
             match p.index {
                 Some(id) => {
+                    let mut tags = String::new();
+                    if p.provides_order {
+                        tags.push_str(", provides order");
+                    }
+                    if p.covering {
+                        tags.push_str(", index only");
+                    }
                     let _ = writeln!(
                         out,
                         "  -> Index Scan on {} using {}  (sel={:.4}, rows={:.0}, cost={:.1}{})",
@@ -187,11 +220,7 @@ impl PlanSummary {
                         p.matched_sel,
                         p.rows_out,
                         p.cost,
-                        if p.provides_order {
-                            ", provides order"
-                        } else {
-                            ""
-                        }
+                        tags
                     );
                 }
                 None => {
@@ -242,6 +271,16 @@ pub struct Planner<'a> {
     pub params: &'a CostParams,
 }
 
+/// Cost breakdown of one index-scan path.
+struct ScanCost {
+    /// Total access cost in optimizer units.
+    cost: f64,
+    /// Random heap-fetch component of `cost`.
+    heap_io: f64,
+    /// Index-only scan (projection + filters answered from the leaves).
+    covering: bool,
+}
+
 /// Result of matching conjuncts against an index prefix.
 struct PrefixMatch {
     /// Number of leading index columns matched.
@@ -281,6 +320,8 @@ impl<'a> Planner<'a> {
                         rows_out: 0.0,
                         cost: 0.0,
                         provides_order: false,
+                        covering: false,
+                        heap_cost: 0.0,
                     });
                     continue;
                 }
@@ -291,6 +332,7 @@ impl<'a> Planner<'a> {
             }
             used.extend(path.bitmap_indexes.iter().copied());
             features.c_data += path.cost;
+            features.c_heap += path.heap_cost;
             paths.push(path);
         }
 
@@ -302,6 +344,20 @@ impl<'a> Planner<'a> {
         // ---- sort ----------------------------------------------------------
         let sort_cost = self.sort_cost(shape, &paths);
         features.c_data += sort_cost;
+        features.c_sort = sort_cost;
+
+        // ---- plan-shape counters ------------------------------------------
+        let mut sort_elided = 0u32;
+        let mut covering_scans = 0u32;
+        for (t, p) in shape.tables.iter().zip(&paths) {
+            let needs_order = !t.order_columns.is_empty() || !t.group_columns.is_empty();
+            if needs_order && p.provides_order {
+                sort_elided += 1;
+            }
+            if p.covering {
+                covering_scans += 1;
+            }
+        }
 
         // ---- write side ----------------------------------------------------
         let mut maintenance = Vec::new();
@@ -351,6 +407,8 @@ impl<'a> Planner<'a> {
             maintenance,
             indexes_used: used,
             features,
+            sort_elided,
+            covering_scans,
         }
     }
 
@@ -394,12 +452,14 @@ impl<'a> Planner<'a> {
                 rows_out: 1.0,
                 cost: self.params.seq_page_cost,
                 provides_order: false,
+                covering: false,
+                heap_cost: 0.0,
             };
         };
         let rows = table.rows.max(1) as f64;
         let pages = table.pages().max(1) as f64;
         let rows_out = (rows * t.filter_sel).max(0.0);
-        let order_cols = self.required_order(t);
+        let (order_cols, order_dirs) = self.required_order(t);
 
         // Sequential scan baseline.
         let n_atoms = t.all_atoms.len().max(1) as f64;
@@ -414,6 +474,8 @@ impl<'a> Planner<'a> {
             rows_out,
             cost: seq_cost,
             provides_order: false,
+            covering: false,
+            heap_cost: 0.0,
         };
         // If a LIMIT is present with no joins, a seq scan can stop early —
         // but only without ORDER BY.
@@ -423,20 +485,22 @@ impl<'a> Planner<'a> {
 
         for vi in indexes.iter().filter(|vi| vi.def.table == t.table) {
             let m = self.match_prefix(&vi.def, &vi.geo, &t.conjuncts, table);
-            let provides_order =
-                !order_cols.is_empty() && self.index_provides_order(&vi.def, &m, &order_cols);
+            let provides_order = !order_cols.is_empty()
+                && self.index_provides_order(&vi.def, &m, &order_cols, order_dirs);
             if m.matched_cols == 0 && !provides_order {
                 continue;
             }
-            let cost = self.index_scan_cost(table, vi, &m, t, shape, provides_order);
+            let scan = self.index_scan_cost(table, vi, &m, t, shape, provides_order);
             let candidate = AccessPath {
                 table: t.table.clone(),
                 index: Some(vi.id),
                 bitmap_indexes: Vec::new(),
                 matched_sel: m.sel,
                 rows_out,
-                cost,
+                cost: scan.cost,
                 provides_order,
+                covering: scan.covering,
+                heap_cost: scan.heap_io,
             };
             // Compare including the sort the path would save.
             let sort_bonus = if provides_order {
@@ -459,7 +523,7 @@ impl<'a> Planner<'a> {
         // once — the plan shape that makes the §IV-A per-OR-arm candidates
         // actually pay off.
         if t.conjuncts.is_empty() && t.conjunct_groups.len() > 1 {
-            if let Some((cost, first, rest)) = self.bitmap_or_path(t, indexes, table) {
+            if let Some((cost, heap, first, rest)) = self.bitmap_or_path(t, indexes, table) {
                 if cost < best.cost {
                     best = AccessPath {
                         table: t.table.clone(),
@@ -469,6 +533,8 @@ impl<'a> Planner<'a> {
                         rows_out,
                         cost,
                         provides_order: false,
+                        covering: false,
+                        heap_cost: heap,
                     };
                 }
             }
@@ -477,14 +543,14 @@ impl<'a> Planner<'a> {
     }
 
     /// Cost a BitmapOr over the table's DNF arms. Returns
-    /// `(cost, first index, remaining indexes)` or `None` when some arm has
-    /// no usable index (the scan would be needed anyway).
+    /// `(cost, heap cost, first index, remaining indexes)` or `None` when
+    /// some arm has no usable index (the scan would be needed anyway).
     fn bitmap_or_path(
         &self,
         t: &TableAtoms,
         indexes: &[VisibleIndex],
         table: &crate::catalog::Table,
-    ) -> Option<(f64, IndexId, Vec<IndexId>)> {
+    ) -> Option<(f64, f64, IndexId, Vec<IndexId>)> {
         let p = self.params;
         let rows = table.rows.max(1) as f64;
         let mut ids = Vec::with_capacity(t.conjunct_groups.len());
@@ -519,20 +585,54 @@ impl<'a> Planner<'a> {
         let cpu = fetched * (p.cpu_tuple_cost + t.all_atoms.len() as f64 * p.cpu_operator_cost);
         let first = *ids.first()?;
         let rest = ids[1..].to_vec();
-        Some((probe_cost + heap + cpu, first, rest))
+        Some((probe_cost + heap + cpu, heap, first, rest))
     }
 
-    /// Order requirement on this table: ORDER BY columns, else GROUP BY
-    /// columns (grouping by a sorted stream avoids the hash/sort).
-    fn required_order(&self, t: &TableAtoms) -> Vec<String> {
+    /// Order requirement on this table: ORDER BY columns with their
+    /// per-key directions, else GROUP BY columns (grouping by a sorted
+    /// stream avoids the hash/sort, and any per-column direction groups
+    /// equal keys adjacently — so GROUP BY carries no direction vector).
+    fn required_order<'t>(&self, t: &'t TableAtoms) -> (Vec<String>, Option<&'t [bool]>) {
         if !t.order_columns.is_empty() {
-            t.order_columns.clone()
+            (t.order_columns.clone(), Some(t.order_desc.as_slice()))
         } else {
-            t.group_columns.clone()
+            (t.group_columns.clone(), None)
         }
     }
 
-    fn index_provides_order(&self, def: &IndexDef, m: &PrefixMatch, order_cols: &[String]) -> bool {
+    /// Whether the key parts of `def` starting at `start` emit rows in the
+    /// wanted per-key directions. A forward scan requires every key-part
+    /// direction to equal the wanted one; a backward scan (walking the
+    /// leaves right-to-left at identical cost) requires every one to be its
+    /// reverse. `None` means direction-insensitive (GROUP BY).
+    fn directions_compatible(&self, def: &IndexDef, start: usize, dirs: Option<&[bool]>) -> bool {
+        use crate::index::SortDirection;
+        let Some(dirs) = dirs else { return true };
+        let wanted = |d: bool| {
+            if d {
+                SortDirection::Desc
+            } else {
+                SortDirection::Asc
+            }
+        };
+        let forward = dirs
+            .iter()
+            .enumerate()
+            .all(|(j, d)| def.direction(start + j) == wanted(*d));
+        let backward = dirs
+            .iter()
+            .enumerate()
+            .all(|(j, d)| def.direction(start + j) == wanted(*d).reversed());
+        forward || backward
+    }
+
+    fn index_provides_order(
+        &self,
+        def: &IndexDef,
+        m: &PrefixMatch,
+        order_cols: &[String],
+        order_dirs: Option<&[bool]>,
+    ) -> bool {
         if !m.all_equality {
             // The prefix ends in a range atom. Order is still provided when
             // that range column *is* the first order column (a range scan
@@ -545,18 +645,22 @@ impl<'a> Planner<'a> {
                 && order_cols
                     .iter()
                     .zip(&def.columns[last..])
-                    .all(|(a, b)| a == b);
+                    .all(|(a, b)| a == b)
+                && self.directions_compatible(def, last, order_dirs);
         }
         // Equality-matched prefix: the order columns must follow it...
-        let tail = &def.columns[m.matched_cols.min(def.columns.len())..];
-        order_cols.len() <= tail.len()
+        let start = m.matched_cols.min(def.columns.len());
+        let tail = &def.columns[start..];
+        (order_cols.len() <= tail.len()
             && order_cols.iter().zip(tail).all(|(a, b)| a == b)
+            && self.directions_compatible(def, start, order_dirs))
             // ...or be a leftmost prefix of the index outright.
             || (order_cols.len() <= def.columns.len()
                 && order_cols
                     .iter()
                     .zip(&def.columns)
-                    .all(|(a, b)| a == b))
+                    .all(|(a, b)| a == b)
+                && self.directions_compatible(def, 0, order_dirs))
     }
 
     /// Leftmost-prefix matching of sargable conjuncts against an index.
@@ -605,7 +709,7 @@ impl<'a> Planner<'a> {
         t: &TableAtoms,
         shape: &QueryShape,
         provides_order: bool,
-    ) -> f64 {
+    ) -> ScanCost {
         let p = self.params;
         let mut rows = table.rows.max(1) as f64;
         // Top-k: an order-providing index scan stops after LIMIT matching
@@ -655,7 +759,11 @@ impl<'a> Planner<'a> {
         let cpu = fetched * p.cpu_index_tuple_cost
             + fetched * (t.all_atoms.len() as f64) * p.cpu_operator_cost
             + fetched * p.cpu_tuple_cost;
-        descent + leaf_io + heap_io + cpu
+        ScanCost {
+            cost: descent + leaf_io + heap_io + cpu,
+            heap_io,
+            covering,
+        }
     }
 
     fn sort_cost_for(&self, rows: f64) -> f64 {
@@ -1266,12 +1374,110 @@ mod tests {
             c_data: 1.0,
             c_io: 2.0,
             c_cpu: 3.0,
+            c_sort: 4.0,
+            c_heap: 5.0,
         });
         f.add(&CostFeatures {
             c_data: 0.5,
             c_io: 0.5,
             c_cpu: 0.5,
+            c_sort: 0.5,
+            c_heap: 0.5,
         });
-        assert_eq!(f.as_vec(), [1.5, 2.5, 3.5]);
+        assert_eq!(f.as_vec(), [1.5, 2.5, 3.5, 4.5, 5.5]);
+        // Sub-components carry no extra weight in the scalar costs.
+        assert_eq!(f.native_cost(), 1.5);
+        let t = f.true_cost(&TrueCostWeights::default());
+        assert!((t - (1.5 + 1.3 * 2.5 + 1.15 * 3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn desc_order_by_served_by_backward_scan() {
+        // Single-column DESC over an ASC index: a backward scan provides
+        // the order at identical cost — this is load-bearing for every
+        // existing `ORDER BY ts DESC LIMIT k` workload statement.
+        let asc = plan(
+            "SELECT * FROM customer ORDER BY c_last LIMIT 10",
+            &[IndexDef::new("customer", &["c_last"])],
+        );
+        let desc = plan(
+            "SELECT * FROM customer ORDER BY c_last DESC LIMIT 10",
+            &[IndexDef::new("customer", &["c_last"])],
+        );
+        assert!(desc.paths[0].provides_order);
+        assert_eq!(desc.sort_cost, 0.0);
+        assert_eq!(asc.native_cost(), desc.native_cost());
+    }
+
+    #[test]
+    fn mixed_direction_order_needs_matching_key_directions() {
+        use crate::index::SortDirection::{Asc, Desc};
+        let sql = "SELECT * FROM orders WHERE o_c_id = 42 \
+                   ORDER BY o_w_id DESC, o_d_id LIMIT 10";
+        // All-ASC key cannot serve DESC,ASC forward or backward.
+        let plain = plan(
+            sql,
+            &[IndexDef::new("orders", &["o_c_id", "o_w_id", "o_d_id"])],
+        );
+        assert!(!plain.paths[0].provides_order);
+        assert!(plain.sort_cost > 0.0);
+        // A key whose directions match (or mirror) the requirement does.
+        let matched = plan(
+            sql,
+            &[IndexDef::new("orders", &["o_c_id", "o_w_id", "o_d_id"])
+                .with_directions(&[Asc, Desc, Asc])],
+        );
+        assert!(matched.paths[0].provides_order);
+        assert_eq!(matched.sort_cost, 0.0);
+        assert_eq!(matched.sort_elided, 1);
+        let mirrored = plan(
+            sql,
+            &[IndexDef::new("orders", &["o_c_id", "o_w_id", "o_d_id"])
+                .with_directions(&[Asc, Asc, Desc])],
+        );
+        assert!(
+            mirrored.paths[0].provides_order,
+            "backward scan serves the mirrored key"
+        );
+        assert!(matched.native_cost() < plain.native_cost());
+    }
+
+    #[test]
+    fn group_by_order_requirement_is_direction_insensitive() {
+        use crate::index::SortDirection::Desc;
+        // GROUP BY only needs equal keys adjacent; a DESC key part groups
+        // just as well as an ASC one.
+        let p = plan(
+            "SELECT o_w_id, COUNT(*) FROM orders WHERE o_c_id = 42 GROUP BY o_w_id",
+            &[IndexDef::new("orders", &["o_c_id", "o_w_id"]).with_directions(&[Desc, Desc])],
+        );
+        assert!(p.paths[0].provides_order);
+        assert_eq!(p.sort_cost, 0.0);
+    }
+
+    #[test]
+    fn plan_counters_track_covering_and_sort_elision() {
+        let covered = plan(
+            "SELECT o_c_id FROM orders WHERE o_d_id = 3",
+            &[IndexDef::new("orders", &["o_d_id", "o_c_id"])],
+        );
+        assert!(covered.paths[0].covering);
+        assert_eq!(covered.covering_scans, 1);
+        assert_eq!(covered.sort_elided, 0);
+        assert!(covered.paths[0].heap_cost < covered.paths[0].cost);
+        assert!(covered.features.c_heap > 0.0);
+
+        let sorted = plan(
+            "SELECT * FROM customer ORDER BY c_last LIMIT 10",
+            &[IndexDef::new("customer", &["c_last"])],
+        );
+        assert_eq!(sorted.sort_elided, 1);
+        assert_eq!(sorted.covering_scans, 0);
+        assert_eq!(sorted.features.c_sort, 0.0);
+
+        let unsorted = plan("SELECT * FROM customer ORDER BY c_last LIMIT 10", &[]);
+        assert_eq!(unsorted.sort_elided, 0);
+        assert!(unsorted.features.c_sort > 0.0);
+        assert_eq!(unsorted.features.c_sort, unsorted.sort_cost);
     }
 }

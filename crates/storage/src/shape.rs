@@ -66,6 +66,9 @@ pub struct TableAtoms {
     pub group_columns: Vec<String>,
     /// ORDER BY columns on this table, in clause order.
     pub order_columns: Vec<String>,
+    /// Per-`order_columns` entry: `true` when that key is `DESC`. Always
+    /// aligned with `order_columns` (GROUP BY keys have no direction).
+    pub order_desc: Vec<bool>,
     /// Every column of this table the statement references (projection,
     /// predicates, grouping, ordering). With [`TableAtoms::whole_row`]
     /// false, an index containing all of them supports an index-only scan.
@@ -304,6 +307,7 @@ impl<'a> ShapeBuilder<'a> {
                 filter_sel: 1.0,
                 group_columns: Vec::new(),
                 order_columns: Vec::new(),
+                order_desc: Vec::new(),
                 referenced_columns: Vec::new(),
                 whole_row: false,
             });
@@ -384,7 +388,9 @@ impl<'a> ShapeBuilder<'a> {
         }
         for o in &sel.order_by {
             if let Some((t, col)) = self.resolve(&o.column, &bindings) {
-                self.entry(&t).order_columns.push(col.clone());
+                let entry = self.entry(&t);
+                entry.order_columns.push(col.clone());
+                entry.order_desc.push(o.descending);
                 self.reference(&t, &col);
             }
         }
@@ -916,6 +922,15 @@ mod tests {
         let t = s.table("person").unwrap();
         assert_eq!(t.group_columns, vec!["community"]);
         assert_eq!(t.order_columns, vec!["community"]);
+        assert_eq!(t.order_desc, vec![false]);
+    }
+
+    #[test]
+    fn order_directions_recorded_per_key() {
+        let s = shape("SELECT * FROM person ORDER BY community DESC, age LIMIT 5");
+        let t = s.table("person").unwrap();
+        assert_eq!(t.order_columns, vec!["community", "age"]);
+        assert_eq!(t.order_desc, vec![true, false]);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Property tests for the PR10 sort/covering surface: an ordered index
+//! seek over the *real* paged B+Tree must return rows in exactly the
+//! order a sort-based plan returns, and a covering scan must be
+//! result-equivalent to the base-lookup plan it elides — both checked as
+//! byte-identical rendered transcripts, over random schemas and entry
+//! sets.
+
+use autoindex_sql::parse_statement;
+use autoindex_storage::btree::{self, BtreeConfig, TreeOps};
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::{IndexDef, SortDirection};
+use autoindex_storage::pager::Pager;
+use autoindex_storage::planner::{CostParams, Planner, VisibleIndex};
+use autoindex_storage::shape::QueryShape;
+use autoindex_support::prop::{property, PropConfig};
+use autoindex_support::prop_assert;
+
+/// Render an entry stream to the byte-transcript compared across plans.
+fn transcript(entries: &[(u64, u64)]) -> String {
+    let mut out = String::new();
+    for (k, r) in entries {
+        out.push_str(&format!("k={k} r={r}\n"));
+    }
+    out
+}
+
+/// Build a real paged B+Tree from `entries` inserted in the given
+/// (arbitrary) order; returns `(pager, root)`.
+fn build_tree(entries: &[(u64, u64)], fanout: usize) -> (Pager, u32) {
+    let mut pager = Pager::new();
+    let cfg = BtreeConfig::with_fanout(fanout);
+    let mut ops = TreeOps::default();
+    let mut root = btree::create(&mut pager).expect("create leaf");
+    for &e in entries {
+        root = btree::insert(&mut pager, &cfg, root, e, &mut ops).expect("insert");
+    }
+    (pager, root)
+}
+
+/// An ordered index seek (leaf-chain range walk) emits rows in exactly
+/// the order an explicit sort of the same multiset produces — the
+/// physical fact the planner's sort-elision rests on. Checked forward
+/// (ASC) and reversed (the backward scan that serves DESC), as
+/// byte-identical transcripts.
+#[test]
+fn ordered_seek_replays_sort_exactly() {
+    property(
+        "ordered_seek_replays_sort_exactly",
+        PropConfig::default(),
+        |rng, size| {
+            let n = 1 + size * 4;
+            // Small key space forces duplicate keys, so the composite
+            // (key, row) tie-break is actually exercised.
+            let key_space = rng.random_range(2u64..64);
+            let mut entries: Vec<(u64, u64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.random_range(0u64..key_space),
+                        rng.random_range(0u64..1_000_000),
+                    )
+                })
+                .collect();
+            rng.shuffle(&mut entries);
+            let fanout = rng.random_range(4usize..16);
+            let (mut pager, root) = build_tree(&entries, fanout);
+
+            let a = rng.random_range(0u64..key_space);
+            let b = rng.random_range(0u64..key_space);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+
+            // Ordered index seek: walk the leaf chain over [lo, hi].
+            let seek = btree::range(&mut pager, root, lo, hi).expect("range");
+
+            // Sort-based plan: filter the raw multiset, dedup (insert of
+            // an existing composite is a no-op), then explicitly sort.
+            let mut sorted: Vec<(u64, u64)> = entries
+                .iter()
+                .copied()
+                .filter(|(k, _)| (lo..=hi).contains(k))
+                .collect();
+            sorted.sort();
+            sorted.dedup();
+
+            prop_assert!(
+                transcript(&seek) == transcript(&sorted),
+                "forward seek != sort, n={n} lo={lo} hi={hi} fanout={fanout}"
+            );
+
+            // Backward scan (serves ORDER BY ... DESC at identical cost):
+            // must equal the descending sort exactly.
+            let back: Vec<(u64, u64)> = seek.iter().rev().copied().collect();
+            let mut desc = sorted.clone();
+            desc.sort_by(|x, y| y.cmp(x));
+            prop_assert!(
+                transcript(&back) == transcript(&desc),
+                "backward seek != desc sort, n={n} lo={lo} hi={hi}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// A covering scan answers the query from index leaves alone; the plan it
+/// replaces fetches each row id from the base table first. Over random
+/// schemas (a base tree keyed by row id plus a secondary index), both
+/// must produce byte-identical transcripts: every row id an index range
+/// scan emits exists in the base table, and the payload read either way
+/// is the same.
+#[test]
+fn covering_scan_matches_base_lookups() {
+    property(
+        "covering_scan_matches_base_lookups",
+        PropConfig::default(),
+        |rng, size| {
+            let n = 1 + size * 4;
+            let key_space = rng.random_range(2u64..64);
+            // The "schema": payload column derived from the row id by a
+            // pure function, stored (conceptually) both in the base table
+            // and in the index leaves.
+            let salt = rng.random_range(1u64..u64::MAX);
+            let payload = |row: u64| row.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+
+            let mut rows: Vec<u64> = (0..n as u64).collect();
+            rng.shuffle(&mut rows);
+            let index_entries: Vec<(u64, u64)> = rows
+                .iter()
+                .map(|&r| (rng.random_range(0u64..key_space), r))
+                .collect();
+            // Base table tree: row id -> payload (payload as the entry's
+            // second word so lookups return it).
+            let base_entries: Vec<(u64, u64)> = rows.iter().map(|&r| (r, payload(r))).collect();
+
+            let fanout = rng.random_range(4usize..16);
+            let (mut ipager, iroot) = build_tree(&index_entries, fanout);
+            let (mut bpager, broot) = build_tree(&base_entries, fanout);
+
+            let a = rng.random_range(0u64..key_space);
+            let b = rng.random_range(0u64..key_space);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let scan = btree::range(&mut ipager, iroot, lo, hi).expect("index range");
+
+            // Covering plan: payload comes straight from the leaf entry.
+            let covering: Vec<(u64, u64)> = scan.iter().map(|&(_, r)| (r, payload(r))).collect();
+
+            // Base-lookup plan: fetch each row id from the base tree.
+            let mut fetched = Vec::with_capacity(scan.len());
+            for &(_, r) in &scan {
+                let hits = btree::lookup(&mut bpager, broot, r).expect("base lookup");
+                prop_assert!(
+                    hits.len() == 1,
+                    "row {r} has {} base entries (lo={lo} hi={hi})",
+                    hits.len()
+                );
+                fetched.push((r, hits[0]));
+            }
+
+            prop_assert!(
+                transcript(&covering) == transcript(&fetched),
+                "covering != base-lookup, n={n} lo={lo} hi={hi} fanout={fanout}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Planner-level guard over random schemas: whenever the chosen plan
+/// elides the sort (ordered index seek) the winning path really provides
+/// the required order and no sort cost is charged; whenever it reports a
+/// covering scan, the path pays zero heap fetches. Either way the
+/// semantic fields (rows out, matched selectivity) are identical to the
+/// sort/heap-paying plan with no indexes — the surface changes cost,
+/// never results.
+#[test]
+fn surface_plans_change_cost_never_results() {
+    property(
+        "surface_plans_change_cost_never_results",
+        PropConfig::default(),
+        |rng, _size| {
+            let rows = rng.random_range(10_000u64..2_000_000);
+            let distinct = rng.random_range(2u64..5_000);
+            let mut c = Catalog::new();
+            c.add_table(
+                TableBuilder::new("t", rows)
+                    .column(Column::int("a", distinct))
+                    .column(Column::int("b", 64))
+                    .column(Column::int("c", 1000))
+                    .primary_key(&["a"])
+                    .build()
+                    .unwrap(),
+            );
+            let desc = rng.random_bool(0.5);
+            let dir_matches = rng.random_bool(0.5);
+            let sql = format!(
+                "SELECT a, b, c FROM t WHERE a = 7 ORDER BY b{} LIMIT 20",
+                if desc { " DESC" } else { "" }
+            );
+            let stmt = parse_statement(&sql).unwrap();
+            let shape = QueryShape::extract(&stmt, &c);
+
+            // Only the ORDER BY key part's direction varies; either
+            // direction is servable (forward or backward scan), so the
+            // plan must elide the sort regardless of dir_matches.
+            let key_dir = if desc == dir_matches {
+                SortDirection::Desc
+            } else {
+                SortDirection::Asc
+            };
+            let plan_with = |cols: &[&str]| {
+                let mut dirs = vec![SortDirection::Asc; cols.len()];
+                dirs[1] = key_dir;
+                let def = IndexDef::new("t", cols).with_directions(&dirs);
+                let geo = autoindex_storage::index::geometry(&def, c.table("t").unwrap()).unwrap();
+                let params = CostParams::default();
+                let vis = vec![VisibleIndex {
+                    id: autoindex_storage::index::IndexId(0),
+                    def,
+                    geo,
+                }];
+                Planner::new(&c, &params).plan(&shape, &vis)
+            };
+            let covering = plan_with(&["a", "b", "c"]);
+            let lookup = plan_with(&["a", "b"]);
+            let params = CostParams::default();
+            let bare = Planner::new(&c, &params).plan(&shape, &[]);
+
+            for (name, plan) in [("covering", &covering), ("lookup", &lookup)] {
+                prop_assert!(
+                    plan.sort_elided == 1,
+                    "{name}: ordered seek not chosen, desc={desc} \
+                     dir_matches={dir_matches} rows={rows}"
+                );
+                prop_assert!(
+                    plan.sort_cost == 0.0,
+                    "{name}: sort charged despite elision"
+                );
+                prop_assert!(plan.paths[0].provides_order, "{name}: no order provided");
+                // Semantic fields identical: the surface changes cost,
+                // never results.
+                prop_assert!(plan.paths[0].rows_out == bare.paths[0].rows_out);
+            }
+            prop_assert!(bare.sort_cost > 0.0, "bare plan must pay the sort");
+
+            let cov = &covering.paths[0];
+            let base = &lookup.paths[0];
+            prop_assert!(cov.covering, "index holding every column not covering");
+            prop_assert!(covering.covering_scans == 1);
+            prop_assert!(!base.covering, "index missing column c marked covering");
+            prop_assert!(lookup.covering_scans == 0);
+            // Covering reduces heap fetches to visibility checks — paid
+            // per page, two orders of magnitude below per-tuple lookups.
+            prop_assert!(
+                cov.heap_cost < base.heap_cost,
+                "covering paid {} heap vs {} for base lookups",
+                cov.heap_cost,
+                base.heap_cost
+            );
+            prop_assert!(base.heap_cost > 0.0, "base-lookup path paid no heap");
+            Ok(())
+        },
+    );
+}

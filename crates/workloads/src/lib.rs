@@ -21,6 +21,15 @@
 //!   with opposite index requirements.
 //! * [`partitioned`] — a hash-partitioned metering table exercising the
 //!   §III GLOBAL-vs-LOCAL index type selection.
+//! * [`timeseries`] — metrics ingestion + latest-K dashboard scans
+//!   (`ORDER BY ts DESC LIMIT`) and HAVING rollups. Used by the PR10
+//!   `sort_surface` bench and chaos matrix.
+//! * [`socialgraph`] — timeline fanout with a mixed-direction ranked feed
+//!   (`ORDER BY score DESC, post_id`). Used by the PR10 `sort_surface`
+//!   bench and chaos matrix.
+//! * [`saas`] — multi-tenant ticketing with tenant-scoped equality
+//!   prefixes and recency order suffixes. Used by the PR10 `sort_surface`
+//!   bench and chaos matrix.
 //!
 //! Every generator is deterministic given its seed, so experiments are
 //! reproducible run to run.
@@ -30,6 +39,9 @@ pub mod drift;
 pub mod epidemic;
 pub mod fleet;
 pub mod partitioned;
+pub mod saas;
+pub mod socialgraph;
+pub mod timeseries;
 pub mod tpcc;
 pub mod tpcds;
 
@@ -47,6 +59,34 @@ pub struct Scenario {
     /// columns for the testing datasets and manually-crafted indexes for
     /// the real datasets").
     pub default_indexes: Vec<IndexDef>,
+}
+
+/// A sort/covering-surface scenario (PR10): schema, starting indexes and
+/// a deterministic statement stream whose reads lean on ORDER BY /
+/// GROUP BY / HAVING shapes. Shared by [`timeseries`], [`socialgraph`]
+/// and [`saas`].
+pub struct SurfaceScenario {
+    /// Stable scenario name (`"time_series"`, ...), used as the BENCH key.
+    pub name: &'static str,
+    /// The scenario's schema with statistics.
+    pub catalog: Catalog,
+    /// Starting index set (primary-key lookups, plus at most the obvious
+    /// single-column choice the composites must beat).
+    pub start_indexes: Vec<IndexDef>,
+    /// The deterministic statement stream.
+    pub queries: Vec<String>,
+    /// Mean-latency SLO (simulated ms per statement) for admission-style
+    /// consumers.
+    pub slo_mean_ms: f64,
+}
+
+/// All three PR10 surface scenarios, in their canonical matrix order.
+pub fn surface_scenarios(seed: u64, statements: usize) -> Vec<SurfaceScenario> {
+    vec![
+        timeseries::scenario(seed, statements),
+        socialgraph::scenario(seed, statements),
+        saas::scenario(seed, statements),
+    ]
 }
 
 /// Convenience: parse a batch of generated SQL, panicking on generator bugs

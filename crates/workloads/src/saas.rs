@@ -1,0 +1,170 @@
+//! Multi-tenant SaaS ticketing workload (PR10).
+//!
+//! Every read is tenant-scoped: an equality prefix (`tenant_id`, often
+//! plus `status`/`priority`) followed by a recency ORDER BY — the
+//! *prefix-range* shape from the PR10 surface, where the right index is
+//! `filter columns ++ order keys` with per-part directions:
+//!
+//! * the queue view wants `tickets(tenant_id, status, created_ts DESC)`;
+//! * the triage view wants `tickets(tenant_id, priority, updated_ts DESC)`;
+//! * the per-assignee workload report runs `GROUP BY assignee_id HAVING
+//!   COUNT(*) > ?` under a tenant filter.
+//!
+//! Ticket churn (inserts + status updates) keeps wide speculative indexes
+//! from being free.
+
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use autoindex_support::rng::{derive_seed, StdRng};
+
+use crate::SurfaceScenario;
+
+/// Tickets across all tenants.
+const TICKETS: u64 = 180_000;
+/// Tenants sharing the store.
+const TENANTS: u64 = 300;
+/// Support agents.
+const AGENTS: u64 = 900;
+
+/// Two-table SaaS schema: the shared `tickets` table (created_ts
+/// correlated with insertion order) and a small `tenants` dimension.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("tickets", TICKETS)
+            .column(Column::int("ticket_id", TICKETS))
+            .column(Column::int("tenant_id", TENANTS))
+            .column(Column::int("status", 5))
+            .column(Column::int("priority", 4))
+            .column(Column::int("assignee_id", AGENTS))
+            .column(Column::int("created_ts", TICKETS).with_correlation(0.9))
+            .column(Column::int("updated_ts", TICKETS).with_correlation(0.6))
+            .primary_key(&["ticket_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("tenants", TENANTS)
+            .column(Column::int("tenant_id", TENANTS))
+            .column(Column::int("plan", 4))
+            .column(Column::int("seats", 50))
+            .primary_key(&["tenant_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c
+}
+
+/// Starting indexes: primary keys plus a bare `tenant_id` index — the
+/// obvious single-column choice the sort-aware composites must beat.
+pub fn start_indexes() -> Vec<IndexDef> {
+    vec![
+        IndexDef::new("tickets", &["ticket_id"]),
+        IndexDef::new("tickets", &["tenant_id"]),
+        IndexDef::new("tenants", &["tenant_id"]),
+    ]
+}
+
+/// Deterministic statement stream: ~35% queue views, ~15% triage views,
+/// ~15% workload reports, ~25% ticket churn, ~10% tenant lookups.
+pub fn queries(seed: u64, statements: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x5aa5));
+    let mut q = Vec::with_capacity(statements);
+    for _ in 0..statements {
+        let roll = rng.random_range(0..100u32);
+        let tenant = rng.random_range(1..=TENANTS);
+        if roll < 35 {
+            let status = rng.random_range(1..=5u64);
+            q.push(format!(
+                "SELECT ticket_id, created_ts FROM tickets WHERE tenant_id = {tenant} \
+                 AND status = {status} ORDER BY created_ts DESC LIMIT 25"
+            ));
+        } else if roll < 50 {
+            q.push(format!(
+                "SELECT * FROM tickets WHERE tenant_id = {tenant} AND priority = 1 \
+                 ORDER BY updated_ts DESC LIMIT 10"
+            ));
+        } else if roll < 65 {
+            q.push(format!(
+                "SELECT assignee_id, COUNT(*) FROM tickets WHERE tenant_id = {tenant} \
+                 GROUP BY assignee_id HAVING COUNT(*) > 20"
+            ));
+        } else if roll < 90 {
+            if rng.random_bool(0.5) {
+                let id = rng.random_range(1..=TICKETS);
+                let agent = rng.random_range(1..=AGENTS);
+                q.push(format!(
+                    "INSERT INTO tickets (ticket_id, tenant_id, status, priority, \
+                     assignee_id, created_ts, updated_ts) \
+                     VALUES ({id}, {tenant}, 1, 2, {agent}, {id}, {id})"
+                ));
+            } else {
+                let id = rng.random_range(1..=TICKETS);
+                q.push(format!(
+                    "UPDATE tickets SET status = 3, updated_ts = {id} WHERE ticket_id = {id}"
+                ));
+            }
+        } else {
+            q.push(format!("SELECT * FROM tenants WHERE tenant_id = {tenant}"));
+        }
+    }
+    q
+}
+
+/// The full scenario bundle for the `sort_surface` bench and chaos matrix.
+pub fn scenario(seed: u64, statements: usize) -> SurfaceScenario {
+    SurfaceScenario {
+        name: "saas",
+        catalog: catalog(),
+        start_indexes: start_indexes(),
+        queries: queries(seed, statements),
+        slo_mean_ms: 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+
+    #[test]
+    fn scenario_parses_and_validates() {
+        let s = scenario(9, 300);
+        assert_eq!(s.queries.len(), 300);
+        for d in &s.start_indexes {
+            d.validate(s.catalog.table(&d.table).expect("table exists"))
+                .expect("start index valid");
+        }
+        for q in &s.queries {
+            parse_statement(q).unwrap_or_else(|e| panic!("bad SQL {q:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(queries(31, 200), queries(31, 200));
+        assert_ne!(queries(31, 200), queries(32, 200), "seed matters");
+    }
+
+    #[test]
+    fn mix_is_tenant_scoped_with_order_suffixes() {
+        let q = queries(5, 600);
+        let queue = q
+            .iter()
+            .filter(|s| s.contains("ORDER BY created_ts DESC"))
+            .count();
+        let triage = q
+            .iter()
+            .filter(|s| s.contains("ORDER BY updated_ts DESC"))
+            .count();
+        let having = q.iter().filter(|s| s.contains("HAVING COUNT(*)")).count();
+        let churn = q
+            .iter()
+            .filter(|s| s.starts_with("INSERT") || s.starts_with("UPDATE"))
+            .count();
+        assert!(queue > 120, "queue views dominate: {queue}");
+        assert!(triage > 50, "triage views present: {triage}");
+        assert!(having > 50, "workload reports present: {having}");
+        assert!(churn > 90, "ticket churn present: {churn}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Social-graph fanout workload (PR10).
+//!
+//! Timeline fanout reads over a posts/follows graph. Two shapes make this
+//! the stress test for *direction-annotated* keys:
+//!
+//! * the ranked feed orders by `score DESC, post_id` — a **mixed-direction**
+//!   ORDER BY that no all-ASC index can serve with a forward *or* backward
+//!   scan; only a key declared `(kind, score DESC, post_id)` elides the
+//!   sort.
+//! * timeline and follower-list reads project narrow column sets, so the
+//!   covering class can drop the per-row heap lookups entirely.
+//!
+//! Engagement rollups add a `GROUP BY ... HAVING COUNT(*)` tail, and
+//! post/follow writes keep index maintenance costs honest.
+
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use autoindex_support::rng::{derive_seed, StdRng};
+
+use crate::SurfaceScenario;
+
+/// Posts in the graph.
+const POSTS: u64 = 200_000;
+/// Follow edges.
+const EDGES: u64 = 300_000;
+/// Distinct authors / accounts.
+const AUTHORS: u64 = 2_000;
+
+/// Two-table graph schema: `posts` (ts correlated with insertion order)
+/// and the `follows` edge list.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("posts", POSTS)
+            .column(Column::int("post_id", POSTS))
+            .column(Column::int("author_id", AUTHORS))
+            .column(Column::int("ts", POSTS).with_correlation(0.95))
+            .column(Column::int("score", 10_000))
+            .column(Column::int("kind", 6))
+            .primary_key(&["post_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("follows", EDGES)
+            .column(Column::int("edge_id", EDGES))
+            .column(Column::int("follower_id", AUTHORS * 5 / 2))
+            .column(Column::int("followee_id", AUTHORS * 5 / 2))
+            .column(Column::int("since", EDGES).with_correlation(0.9))
+            .primary_key(&["edge_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c
+}
+
+/// Starting indexes: primary keys only.
+pub fn start_indexes() -> Vec<IndexDef> {
+    vec![
+        IndexDef::new("posts", &["post_id"]),
+        IndexDef::new("follows", &["edge_id"]),
+    ]
+}
+
+/// Deterministic statement stream: ~40% timeline fanout, ~20% ranked
+/// feed (mixed-direction ORDER BY), ~15% follower lists, ~15% writes,
+/// ~10% engagement rollups.
+pub fn queries(seed: u64, statements: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x50c1));
+    let mut q = Vec::with_capacity(statements);
+    for _ in 0..statements {
+        let roll = rng.random_range(0..100u32);
+        if roll < 40 {
+            // Timeline fanout: latest posts from one author, narrow cols.
+            let author = rng.random_range(1..=AUTHORS);
+            let ts_lo = rng.random_range(POSTS / 2..POSTS);
+            q.push(format!(
+                "SELECT post_id, ts FROM posts WHERE author_id = {author} \
+                 AND ts > {ts_lo} ORDER BY ts DESC LIMIT 20"
+            ));
+        } else if roll < 60 {
+            // Ranked feed: mixed-direction order (DESC score, ASC tiebreak).
+            let kind = rng.random_range(1..=6u64);
+            q.push(format!(
+                "SELECT post_id, score FROM posts WHERE kind = {kind} \
+                 ORDER BY score DESC, post_id LIMIT 25"
+            ));
+        } else if roll < 75 {
+            let follower = rng.random_range(1..=AUTHORS * 5 / 2);
+            q.push(format!(
+                "SELECT followee_id FROM follows WHERE follower_id = {follower} \
+                 ORDER BY since DESC LIMIT 100"
+            ));
+        } else if roll < 90 {
+            if rng.random_bool(0.6) {
+                let id = rng.random_range(1..=POSTS);
+                let author = rng.random_range(1..=AUTHORS);
+                let score = rng.random_range(0..=10_000u64);
+                q.push(format!(
+                    "INSERT INTO posts (post_id, author_id, ts, score, kind) \
+                     VALUES ({id}, {author}, {id}, {score}, 2)"
+                ));
+            } else {
+                let id = rng.random_range(1..=EDGES);
+                let a = rng.random_range(1..=AUTHORS * 5 / 2);
+                let b = rng.random_range(1..=AUTHORS * 5 / 2);
+                q.push(format!(
+                    "INSERT INTO follows (edge_id, follower_id, followee_id, since) \
+                     VALUES ({id}, {a}, {b}, {id})"
+                ));
+            }
+        } else {
+            // Engagement rollup with a HAVING threshold.
+            let ts_lo = rng.random_range(POSTS / 2..POSTS);
+            q.push(format!(
+                "SELECT author_id, COUNT(*) FROM posts WHERE ts > {ts_lo} \
+                 GROUP BY author_id HAVING COUNT(*) > 10"
+            ));
+        }
+    }
+    q
+}
+
+/// The full scenario bundle for the `sort_surface` bench and chaos matrix.
+pub fn scenario(seed: u64, statements: usize) -> SurfaceScenario {
+    SurfaceScenario {
+        name: "social_graph",
+        catalog: catalog(),
+        start_indexes: start_indexes(),
+        queries: queries(seed, statements),
+        slo_mean_ms: 2.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+
+    #[test]
+    fn scenario_parses_and_validates() {
+        let s = scenario(3, 300);
+        assert_eq!(s.queries.len(), 300);
+        for d in &s.start_indexes {
+            d.validate(s.catalog.table(&d.table).expect("table exists"))
+                .expect("start index valid");
+        }
+        for q in &s.queries {
+            parse_statement(q).unwrap_or_else(|e| panic!("bad SQL {q:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(queries(21, 200), queries(21, 200));
+        assert_ne!(queries(21, 200), queries(22, 200), "seed matters");
+    }
+
+    #[test]
+    fn mix_contains_mixed_direction_orders() {
+        let q = queries(5, 600);
+        let mixed = q
+            .iter()
+            .filter(|s| s.contains("ORDER BY score DESC, post_id"))
+            .count();
+        let fanout = q.iter().filter(|s| s.contains("ORDER BY ts DESC")).count();
+        let having = q.iter().filter(|s| s.contains("HAVING COUNT(*)")).count();
+        assert!(mixed > 80, "ranked feed present: {mixed}");
+        assert!(fanout > 150, "timeline fanout dominates: {fanout}");
+        assert!(having > 25, "rollups present: {having}");
+    }
+}

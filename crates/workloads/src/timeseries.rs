@@ -1,0 +1,155 @@
+//! Time-series ingestion + range-scan dashboard workload (PR10).
+//!
+//! A metrics store under continuous ingestion, queried by dashboards that
+//! want the *latest K points per series* — the canonical shape the
+//! sort-aware and covering candidate classes exist for:
+//!
+//! * `WHERE metric_id = ? AND ts > ? ORDER BY ts DESC LIMIT 50` is served
+//!   sort-free by `metrics(metric_id, ts DESC)` (or its all-ASC twin via a
+//!   backward scan), and *heap-free* by the covering variant that carries
+//!   `value` in the key payload.
+//! * the rollup panel groups by `host_id` with a `HAVING COUNT(*)`
+//!   threshold, exercising the aggregate-predicate surface end to end.
+//!
+//! Without the PR10 candidate classes an advisor can only offer
+//! `metrics(metric_id)` — every dashboard hit still pays the sort and the
+//! heap lookups, which is exactly the gap the `sort_surface` bench gates.
+
+use autoindex_storage::catalog::{Catalog, Column, TableBuilder};
+use autoindex_storage::index::IndexDef;
+use autoindex_support::rng::{derive_seed, StdRng};
+
+use crate::SurfaceScenario;
+
+/// Metrics rows in the simulated store.
+const SAMPLES: u64 = 150_000;
+/// Distinct series (dashboards filter on one).
+const METRICS: u64 = 200;
+/// Hosts emitting samples.
+const HOSTS: u64 = 400;
+
+/// The two-table metrics schema: an append-mostly `metrics` fact table
+/// (ts strongly correlated with insertion order) and a small `hosts`
+/// dimension.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("metrics", SAMPLES)
+            .column(Column::int("sample_id", SAMPLES))
+            .column(Column::int("metric_id", METRICS))
+            .column(Column::int("host_id", HOSTS))
+            .column(Column::int("ts", SAMPLES).with_correlation(0.98))
+            .column(Column::float("value", SAMPLES / 3, 0.0, 1e6))
+            .column(Column::int("tag", 20))
+            .primary_key(&["sample_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c.add_table(
+        TableBuilder::new("hosts", HOSTS)
+            .column(Column::int("host_id", HOSTS))
+            .column(Column::int("region", 12))
+            .column(Column::int("tier", 4))
+            .primary_key(&["host_id"])
+            .build()
+            .expect("static schema"),
+    );
+    c
+}
+
+/// Starting indexes: primary-key lookups only — no dashboard support, so
+/// the advisor has to discover the sort-aware/covering shapes itself.
+pub fn start_indexes() -> Vec<IndexDef> {
+    vec![
+        IndexDef::new("metrics", &["sample_id"]),
+        IndexDef::new("hosts", &["host_id"]),
+    ]
+}
+
+/// Deterministic statement stream: ~30% ingestion, ~40% latest-K
+/// dashboard scans, ~15% HAVING rollups, ~15% dimension reads.
+pub fn queries(seed: u64, statements: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x71e5));
+    let mut q = Vec::with_capacity(statements);
+    for _ in 0..statements {
+        let roll = rng.random_range(0..100u32);
+        if roll < 30 {
+            let id = rng.random_range(1..=SAMPLES);
+            let metric = rng.random_range(1..=METRICS);
+            let host = rng.random_range(1..=HOSTS);
+            let value = rng.random_range(1..=1_000_000u64);
+            q.push(format!(
+                "INSERT INTO metrics (sample_id, metric_id, host_id, ts, value, tag) \
+                 VALUES ({id}, {metric}, {host}, {id}, {value}, 3)"
+            ));
+        } else if roll < 70 {
+            // Latest-K panel: narrow projection, DESC order, recent range.
+            let metric = rng.random_range(1..=METRICS);
+            let ts_lo = rng.random_range(SAMPLES / 2..SAMPLES);
+            q.push(format!(
+                "SELECT ts, value FROM metrics WHERE metric_id = {metric} \
+                 AND ts > {ts_lo} ORDER BY ts DESC LIMIT 50"
+            ));
+        } else if roll < 85 {
+            // Noisy-host rollup: GROUP BY + HAVING aggregate threshold.
+            let tag = rng.random_range(1..=20u64);
+            q.push(format!(
+                "SELECT host_id, COUNT(*) FROM metrics WHERE tag = {tag} \
+                 GROUP BY host_id HAVING COUNT(*) > 100"
+            ));
+        } else {
+            let region = rng.random_range(1..=12u64);
+            q.push(format!(
+                "SELECT * FROM hosts WHERE region = {region} ORDER BY tier"
+            ));
+        }
+    }
+    q
+}
+
+/// The full scenario bundle for the `sort_surface` bench and chaos matrix.
+pub fn scenario(seed: u64, statements: usize) -> SurfaceScenario {
+    SurfaceScenario {
+        name: "time_series",
+        catalog: catalog(),
+        start_indexes: start_indexes(),
+        queries: queries(seed, statements),
+        slo_mean_ms: 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoindex_sql::parse_statement;
+
+    #[test]
+    fn scenario_parses_and_validates() {
+        let s = scenario(7, 300);
+        assert_eq!(s.queries.len(), 300);
+        for d in &s.start_indexes {
+            d.validate(s.catalog.table(&d.table).expect("table exists"))
+                .expect("start index valid");
+        }
+        for q in &s.queries {
+            parse_statement(q).unwrap_or_else(|e| panic!("bad SQL {q:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(queries(11, 200), queries(11, 200));
+        assert_ne!(queries(11, 200), queries(12, 200), "seed matters");
+    }
+
+    #[test]
+    fn mix_exercises_the_sort_surface() {
+        let q = queries(5, 600);
+        let desc = q.iter().filter(|s| s.contains("ORDER BY ts DESC")).count();
+        let having = q.iter().filter(|s| s.contains("HAVING COUNT(*)")).count();
+        let ingest = q.iter().filter(|s| s.starts_with("INSERT")).count();
+        assert!(desc > 150, "dashboard scans dominate reads: {desc}");
+        assert!(having > 40, "rollups present: {having}");
+        assert!(ingest > 100, "ingestion pressure present: {ingest}");
+    }
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# Chaos matrix: {banking, fleet, time-series, social-graph, saas}
+#   x {quiet, 5% faults, 20% faults}.
+#
+# Each cell invokes `repro chaos <workload> <rate>`, which serves the
+# workload through the guarded pipeline at 1 and 4 workers under a
+# uniform fault plan and asserts (a) the serve transcripts are
+# worker-count invariant and (b) a matrix of guarded applies never
+# leaks a partial catalog (every run ends fully applied or exactly
+# restored). The binary prints one machine-readable `CHAOS ...` line
+# per cell and exits non-zero on any violation.
+#
+# This script renders the matrix as a markdown pass/fail table, appends
+# it to $GITHUB_STEP_SUMMARY when set (the CI job summary), and exits
+# non-zero if any cell failed. Run from the repo root:
+#
+#   scripts/chaos_matrix.sh
+#
+# Environment:
+#   REPRO  path to a prebuilt repro binary (default: cargo run --release)
+set -u
+
+cd "$(dirname "$0")/.."
+
+WORKLOADS="banking fleet time-series social-graph saas"
+RATES="0 0.05 0.20"
+
+run_cell() {
+    if [ -n "${REPRO:-}" ]; then
+        "$REPRO" chaos "$1" "$2" 2>&1
+    else
+        cargo run --release --offline -q -p autoindex-bench --bin repro -- \
+            chaos "$1" "$2" 2>&1
+    fi
+}
+
+TABLE="| workload | fault rate | invariant | serve rollbacks | apply rollbacks | leaks | result |
+|---|---|---|---|---|---|---|"
+FAILURES=0
+CELLS=0
+
+for w in $WORKLOADS; do
+    for r in $RATES; do
+        CELLS=$((CELLS + 1))
+        OUT=$(run_cell "$w" "$r")
+        STATUS=$?
+        printf '%s\n' "$OUT"
+        LINE=$(printf '%s\n' "$OUT" | grep '^CHAOS ' | tail -n 1)
+        if [ "$STATUS" -ne 0 ] || [ -z "$LINE" ]; then
+            FAILURES=$((FAILURES + 1))
+            TABLE="$TABLE
+| $w | $r | ? | ? | ? | ? | :x: FAIL |"
+            continue
+        fi
+        field() {
+            printf '%s\n' "$LINE" | tr ' ' '\n' | sed -n "s/^$1=//p"
+        }
+        INV=$(field invariant)
+        SRB=$(field serve_rollbacks)
+        ARB=$(field apply_rollbacks)
+        LEAKS=$(field leaks)
+        RESULT=$(field result)
+        if [ "$RESULT" = "PASS" ]; then
+            MARK=":white_check_mark: PASS"
+        else
+            MARK=":x: FAIL"
+            FAILURES=$((FAILURES + 1))
+        fi
+        TABLE="$TABLE
+| $w | $r | $INV | $SRB | $ARB | $LEAKS | $MARK |"
+    done
+done
+
+echo
+echo "## Chaos matrix ($CELLS cells, $FAILURES failed)"
+echo
+printf '%s\n' "$TABLE"
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "## Chaos matrix ($CELLS cells, $FAILURES failed)"
+        echo
+        printf '%s\n' "$TABLE"
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "CHAOS MATRIX FAILED: $FAILURES of $CELLS cells" >&2
+    exit 1
+fi
+echo "CHAOS MATRIX OK: $CELLS cells, worker-count invariant, zero leaks"

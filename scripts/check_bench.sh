@@ -41,6 +41,10 @@
 #                         (default BENCH_PR9.json at the repo root)
 #   BENCH_BASELINE_PR9    path to the committed PR 9 baseline
 #                         (default scripts/bench_baseline_pr9.json)
+#   BENCH_CURRENT_PR10    path to the fresh PR 10 sort-surface results
+#                         (default BENCH_PR10.json at the repo root)
+#   BENCH_BASELINE_PR10   path to the committed PR 10 baseline
+#                         (default scripts/bench_baseline_pr10.json)
 #   BANDIT_WINS_FLOOR     minimum scenarios where the bandit beats/ties
 #                         greedy cumulative regret (default 2)
 #   FLEET_SPEEDUP_FLOOR_4 minimum fleet speedup at 4 workers (default 3.5)
@@ -71,6 +75,8 @@ CURRENT8="${BENCH_CURRENT_PR8:-BENCH_PR8.json}"
 BASELINE8="${BENCH_BASELINE_PR8:-scripts/bench_baseline_pr8.json}"
 CURRENT9="${BENCH_CURRENT_PR9:-BENCH_PR9.json}"
 BASELINE9="${BENCH_BASELINE_PR9:-scripts/bench_baseline_pr9.json}"
+CURRENT10="${BENCH_CURRENT_PR10:-BENCH_PR10.json}"
+BASELINE10="${BENCH_BASELINE_PR10:-scripts/bench_baseline_pr10.json}"
 WINS_FLOOR="${BANDIT_WINS_FLOOR:-2}"
 FLOOR="${FRONTEND_SPEEDUP_FLOOR:-10}"
 FLEET4="${FLEET_SPEEDUP_FLOOR_4:-3.5}"
@@ -115,6 +121,14 @@ if [ ! -f "$CURRENT9" ]; then
 fi
 if [ ! -f "$BASELINE9" ]; then
     echo "ERROR: baseline $BASELINE9 not found" >&2
+    exit 1
+fi
+if [ ! -f "$CURRENT10" ]; then
+    echo "ERROR: $CURRENT10 not found — run: cargo bench --offline -p autoindex-bench --bench sort_surface" >&2
+    exit 1
+fi
+if [ ! -f "$BASELINE10" ]; then
+    echo "ERROR: baseline $BASELINE10 not found" >&2
     exit 1
 fi
 
@@ -297,12 +311,64 @@ else
     echo "  drift: every cell recovered to SLO  ok"
 fi
 
+# PR 10 sort surface: every field is a config echo or a simulated-domain
+# result (totals, elision/covering counters, digests) except wall_ms, so
+# the comparison is byte-exact after stripping wall_ms. On top of that
+# the adoption and cost gates are re-checked from the current file: on
+# the gated scenario every strategy's surface-on run must adopt >= 1
+# surface index and beat its own surface-off (equality/range-only) total.
+echo "bench check [PR10 $CURRENT10]: sort-surface fields, exact match (wall_ms ignored)"
+if grep -v '"wall_ms":' "$CURRENT10" >/tmp/bench_current.$$ \
+    && grep -v '"wall_ms":' "$BASELINE10" >/tmp/bench_baseline.$$ \
+    && cmp -s /tmp/bench_current.$$ /tmp/bench_baseline.$$; then
+    echo "  sort: all simulated fields byte-identical to baseline  ok"
+else
+    echo "  sort: simulated fields differ from baseline  FAIL"
+    diff /tmp/bench_baseline.$$ /tmp/bench_current.$$ | head -20 || true
+    FAILED=1
+fi
+rm -f /tmp/bench_current.$$ /tmp/bench_baseline.$$
+SORT_GATES=$(awk '
+    /"adopted_surface": \[\]/   { empty = 1 }
+    /"adopted_surface": \[$/    { empty = 0 }
+    /"scenario":/               { gsub(/[",]/, ""); scen = $2 }
+    /"strategy":/               { gsub(/[",]/, ""); strat = $2 }
+    /"surface":/                { gsub(/[",]/, ""); surf = $2 }
+    /"total_sim_ms":/ {
+        gsub(/[",]/, "")
+        if (scen == "time_series") {
+            if (surf == "true") { on[strat] = $2; if (empty) noadopt++ }
+            else                { off[strat] = $2 }
+        }
+        empty = 0
+    }
+    END {
+        worse = 0
+        for (s in on) if (on[s] + 0 >= off[s] + 0) worse++
+        printf "%d %d %d\n", length(on), noadopt + 0, worse
+    }
+' "$CURRENT10")
+SORT_CELLS=${SORT_GATES%% *}
+SORT_REST=${SORT_GATES#* }
+SORT_NOADOPT=${SORT_REST%% *}
+SORT_WORSE=${SORT_REST##* }
+if [ "$SORT_CELLS" != "3" ]; then
+    echo "  sort: found $SORT_CELLS gated surface-on cells (need 3)  FAIL"
+    FAILED=1
+elif [ "$SORT_NOADOPT" != "0" ] || [ "$SORT_WORSE" != "0" ]; then
+    echo "  sort: $SORT_NOADOPT strategies adopted nothing, $SORT_WORSE failed the cost gate  FAIL"
+    FAILED=1
+else
+    echo "  sort: every strategy adopted a surface index and beat equality/range-only  ok"
+fi
+
 if [ "$FAILED" -ne 0 ]; then
     echo "BENCH CHECK FAILED: throughput drifted outside ±${TOL}%, determinism broke," >&2
     echo "the front-end fast path regressed below ${FLOOR}x, an engine field changed," >&2
     echo "or the fleet's deterministic fields / scaling floors regressed," >&2
-    echo "or the drift matrix changed (regret/digests exact) or the bandit lost its win floor." >&2
-    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6 && cp $CURRENT7 $BASELINE7 && cp $CURRENT8 $BASELINE8 && cp $CURRENT9 $BASELINE9" >&2
+    echo "or the drift matrix changed (regret/digests exact) or the bandit lost its win floor," >&2
+    echo "or the sort-surface matrix changed (totals/digests exact) or its adoption/cost gates broke." >&2
+    echo "If intentional: cp $CURRENT $BASELINE && cp $CURRENT6 $BASELINE6 && cp $CURRENT7 $BASELINE7 && cp $CURRENT8 $BASELINE8 && cp $CURRENT9 $BASELINE9 && cp $CURRENT10 $BASELINE10" >&2
     exit 1
 fi
-echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x, engine fields exact, fleet deterministic and scaling (4w >= ${FLEET4}x, 8w >= ${FLEET8}x), drift matrix exact (bandit wins >= ${WINS_FLOOR})."
+echo "BENCH CHECK OK: all rows within ±${TOL}%, front end >= ${FLOOR}x, engine fields exact, fleet deterministic and scaling (4w >= ${FLEET4}x, 8w >= ${FLEET8}x), drift matrix exact (bandit wins >= ${WINS_FLOOR}), sort surface exact with adoption + cost gates."
